@@ -1,0 +1,26 @@
+//! Baseline committers from the Mahi-Mahi evaluation (Section 5).
+//!
+//! The paper compares Mahi-Mahi against two state-of-the-art asynchronous
+//! DAG protocols:
+//!
+//! - [`CordialMinersCommitter`] — Cordial Miners (Keidar et al., DISC 2023):
+//!   an *uncertified* DAG like Mahi-Mahi, but committing at most one leader
+//!   every `w` rounds (non-overlapping waves) and lacking the direct skip
+//!   rule, so crashed leaders stall the sequence until a later wave's leader
+//!   commits. The Mahi-Mahi authors provide the first implementation of
+//!   Cordial Miners; this module is a reproduction of that reproduction.
+//! - [`TuskCommitter`] — Tusk (Danezis et al., EuroSys 2022): a *certified*
+//!   DAG protocol. Every DAG round runs consistent broadcast (three message
+//!   delays — [`ProtocolCommitter::delays_per_round`] returns 3), waves span
+//!   three certified rounds, and a leader commits with `f + 1` direct votes.
+//!
+//! Both implement [`ProtocolCommitter`], so the simulator and sequencer
+//! drive them exactly like Mahi-Mahi.
+
+mod cordial_miners;
+mod tusk;
+
+pub use cordial_miners::{CordialMinersCommitter, CordialMinersOptions};
+pub use tusk::TuskCommitter;
+
+pub use mahimahi_core::ProtocolCommitter;

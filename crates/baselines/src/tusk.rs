@@ -1,0 +1,301 @@
+//! Tusk: certified-DAG consensus (Danezis et al., EuroSys 2022).
+//!
+//! Tusk runs over a DAG whose every vertex is *certified* by consistent
+//! broadcast before it can be referenced — three message delays per DAG
+//! round ([`ProtocolCommitter::delays_per_round`] = 3) plus the CPU cost of
+//! verifying `2f + 1`-signature certificates (modeled by the simulator).
+//! In exchange, equivocations never enter the DAG and the commit rule is
+//! simple:
+//!
+//! - waves span **three certified rounds** `r, r+1, r+2`;
+//! - the common coin revealed in round `r+2` retroactively elects the wave's
+//!   leader block in round `r`;
+//! - the leader commits **directly** if `f + 1` round-`r+1` blocks reference
+//!   it (a validity quorum suffices on a certified DAG);
+//! - earlier undecided leaders commit **recursively** if the committed
+//!   anchor leader's causal history reaches them, and are skipped otherwise.
+//!
+//! Nine message delays per commit (3 rounds × 3 delays) — the latency the
+//! paper's Figure 3 shows for Tusk.
+//!
+//! Our substrate stores uncertified blocks; the certification step is
+//! modeled by (a) the simulator charging 3 delays and the verification cost
+//! per round, and (b) Byzantine equivocation strategies being disabled for
+//! Tusk runs (a certified DAG rejects them). This substitution is recorded
+//! in DESIGN.md §3.
+
+use mahimahi_core::{CoinElector, LeaderElector, LeaderStatus, ProtocolCommitter};
+use mahimahi_dag::BlockStore;
+use mahimahi_types::{Block, Committee, Round, Slot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Rounds per Tusk wave (fixed by the protocol).
+pub const TUSK_WAVE_LENGTH: u64 = 3;
+
+/// The Tusk committer.
+pub struct TuskCommitter {
+    committee: Committee,
+    elector: Arc<dyn LeaderElector>,
+    /// Memoized decided waves (decisions are stable; see `mahimahi-core`).
+    decided: Mutex<HashMap<u64, LeaderStatus>>,
+}
+
+impl TuskCommitter {
+    /// Creates a committer electing leaders through the common coin.
+    pub fn new(committee: Committee) -> Self {
+        Self::with_elector(committee, Arc::new(CoinElector::new()))
+    }
+
+    /// Creates a committer with a custom election strategy (tests).
+    pub fn with_elector(committee: Committee, elector: Arc<dyn LeaderElector>) -> Self {
+        TuskCommitter {
+            committee,
+            elector,
+            decided: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn propose_round(&self, wave: u64) -> Round {
+        wave * TUSK_WAVE_LENGTH + 1
+    }
+
+    /// The round whose blocks reveal the coin for `wave` (its last round).
+    fn reveal_round(&self, wave: u64) -> Round {
+        self.propose_round(wave) + TUSK_WAVE_LENGTH - 1
+    }
+
+    /// Direct rule: `f + 1` distinct round-`r+1` authors reference the
+    /// leader block directly.
+    fn try_direct_commit(&self, store: &BlockStore, wave: u64, slot: Slot) -> Option<Arc<Block>> {
+        let support_round = self.propose_round(wave) + 1;
+        for candidate in store.blocks_in_slot(slot) {
+            let reference = candidate.reference();
+            let supporters = store.authorities_with(support_round, |block| {
+                block.parents().contains(&reference)
+            });
+            if supporters.len() >= self.committee.validity_threshold() {
+                return Some(Arc::clone(candidate));
+            }
+        }
+        None
+    }
+
+    /// Recursive rule: committed iff the anchor's causal history reaches the
+    /// leader block.
+    fn try_indirect(&self, store: &BlockStore, slot: Slot, anchor: &Block) -> LeaderStatus {
+        let anchor_ref = anchor.reference();
+        for candidate in store.blocks_in_slot(slot) {
+            if store.is_link(&candidate.reference(), &anchor_ref) {
+                return LeaderStatus::Commit(Arc::clone(candidate));
+            }
+        }
+        LeaderStatus::Skip(slot)
+    }
+}
+
+impl ProtocolCommitter for TuskCommitter {
+    fn committee(&self) -> &Committee {
+        &self.committee
+    }
+
+    fn name(&self) -> &'static str {
+        "Tusk"
+    }
+
+    fn delays_per_round(&self) -> u64 {
+        3 // consistent broadcast per certified round
+    }
+
+    fn try_decide(&self, store: &BlockStore, from_round: Round) -> Vec<LeaderStatus> {
+        let highest = store
+            .highest_round()
+            .saturating_sub(TUSK_WAVE_LENGTH - 1);
+        let from_round = from_round.max(1);
+        if highest < from_round {
+            return Vec::new();
+        }
+        let first_wave = (from_round - 1).div_ceil(TUSK_WAVE_LENGTH);
+        let last_wave = (highest - 1) / TUSK_WAVE_LENGTH;
+        if self.propose_round(first_wave) > highest {
+            return Vec::new();
+        }
+
+        let mut decided = self.decided.lock();
+        let mut statuses: HashMap<u64, LeaderStatus> = HashMap::new();
+        for wave in (first_wave..=last_wave).rev() {
+            let round = self.propose_round(wave);
+            if let Some(status) = decided.get(&wave) {
+                statuses.insert(wave, status.clone());
+                continue;
+            }
+            let Some(slot) = self.elector.elect_slot(
+                &self.committee,
+                store,
+                self.reveal_round(wave),
+                round,
+                0,
+            ) else {
+                statuses.insert(wave, LeaderStatus::Undecided { round, offset: 0 });
+                continue;
+            };
+            let status = if let Some(block) = self.try_direct_commit(store, wave, slot) {
+                LeaderStatus::Commit(block)
+            } else {
+                let anchor = ((wave + 1)..=last_wave)
+                    .map(|later| statuses.get(&later).expect("later waves decided first"))
+                    .find(|status| !matches!(status, LeaderStatus::Skip(_)));
+                match anchor {
+                    Some(LeaderStatus::Commit(anchor_block)) => {
+                        let anchor_block = Arc::clone(anchor_block);
+                        self.try_indirect(store, slot, &anchor_block)
+                    }
+                    _ => LeaderStatus::Undecided { round, offset: 0 },
+                }
+            };
+            if status.is_decided() {
+                decided.insert(wave, status.clone());
+            }
+            statuses.insert(wave, status);
+        }
+        (first_wave..=last_wave)
+            .map(|wave| statuses.remove(&wave).expect("every wave decided"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_core::{CommitSequencer, FixedElector};
+    use mahimahi_dag::DagBuilder;
+    use mahimahi_types::{AuthorityIndex, TestCommittee};
+
+    #[test]
+    fn commits_one_leader_every_three_rounds_on_full_dag() {
+        let setup = TestCommittee::new(4, 19);
+        let committer = TuskCommitter::new(setup.committee().clone());
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_rounds(12);
+        let statuses = committer.try_decide(dag.store(), 1);
+        // Waves propose at 1, 4, 7, 10; all decidable (reveal ≤ 12).
+        assert_eq!(statuses.len(), 4);
+        assert_eq!(
+            statuses.iter().map(LeaderStatus::round).collect::<Vec<_>>(),
+            vec![1, 4, 7, 10]
+        );
+        for status in &statuses {
+            assert!(matches!(status, LeaderStatus::Commit(_)), "{status}");
+        }
+    }
+
+    #[test]
+    fn direct_commit_needs_only_validity_quorum() {
+        let setup = TestCommittee::new(4, 19);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        let r1 = dag.add_full_round();
+        // Round 2: only v0 and v1 reference v3's round-1 block.
+        use mahimahi_dag::BlockSpec;
+        dag.add_round(vec![
+            BlockSpec::new(0).with_parent_authors(vec![1, 3]),
+            BlockSpec::new(1).with_parent_authors(vec![0, 3]),
+            BlockSpec::new(2).with_parent_authors(vec![0, 1]),
+            BlockSpec::new(3).with_parent_authors(vec![0, 1]),
+        ]);
+        dag.add_full_round();
+        let elector = FixedElector::new().assign(1, 0, 3);
+        let committer = TuskCommitter::with_elector(committee, Arc::new(elector));
+        let statuses = committer.try_decide(dag.store(), 1);
+        // v3@1 has f + 1 = 2 direct supporters (v0, v1... plus v3 itself):
+        // commit.
+        assert!(matches!(&statuses[0], LeaderStatus::Commit(block)
+            if block.reference() == r1[3]));
+    }
+
+    #[test]
+    fn crashed_leader_skipped_only_through_later_anchor() {
+        let setup = TestCommittee::new(4, 19);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_round();
+        for _ in 0..4 {
+            dag.add_round_producers(&[0, 1, 2]);
+        }
+        let elector = FixedElector::new().assign(1, 0, 3).assign(4, 0, 1);
+        let committer = TuskCommitter::with_elector(committee, Arc::new(elector));
+        // Rounds 1..5: wave 0 (reveal 3) decidable, wave 1 (reveal 6) not.
+        let statuses = committer.try_decide(dag.store(), 1);
+        assert_eq!(statuses.len(), 1);
+        // v3 produced a round-1 block (it crashed after round 1), but only
+        // its own round-2 block... none: v3 has no round-2 block, so support
+        // is counted from v0, v1, v2's round-2 blocks, all of which
+        // reference v3@1 (full round): direct commit actually succeeds.
+        assert!(matches!(statuses[0], LeaderStatus::Commit(_)));
+
+        // Crash v3 from round 1 instead: rebuild.
+        let setup = TestCommittee::new(4, 19);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        for _ in 0..7 {
+            dag.add_round_producers(&[0, 1, 2]);
+        }
+        let elector = FixedElector::new().assign(1, 0, 3).assign(4, 0, 1);
+        let committer = TuskCommitter::with_elector(committee, Arc::new(elector));
+        let statuses = committer.try_decide(dag.store(), 1);
+        // Wave 0's slot (v3@1) is empty: no direct commit possible; wave 1
+        // (v1@4) commits directly; the recursive rule then skips wave 0.
+        assert_eq!(statuses.len(), 2);
+        assert!(matches!(statuses[0], LeaderStatus::Skip(slot)
+            if slot == Slot::new(1, AuthorityIndex(3))));
+        assert!(matches!(statuses[1], LeaderStatus::Commit(_)));
+    }
+
+    #[test]
+    fn sequencer_drives_tusk() {
+        let setup = TestCommittee::new(4, 19);
+        let mut sequencer = CommitSequencer::new(TuskCommitter::new(setup.committee().clone()));
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_rounds(12);
+        let decisions = sequencer.try_commit(dag.store());
+        assert_eq!(decisions.len(), 4);
+        assert_eq!(sequencer.next_round(), 10);
+    }
+
+    #[test]
+    fn reports_three_delays_per_round() {
+        let setup = TestCommittee::new(4, 19);
+        let committer = TuskCommitter::new(setup.committee().clone());
+        assert_eq!(committer.delays_per_round(), 3);
+        assert_eq!(committer.name(), "Tusk");
+    }
+
+    #[test]
+    fn indirect_commit_through_reachability() {
+        // A leader with fewer than f + 1 direct supporters still commits if
+        // a later committed leader reaches it.
+        let setup = TestCommittee::new(4, 19);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        let r1 = dag.add_full_round();
+        use mahimahi_dag::BlockSpec;
+        // Round 2: nobody but v3 references v3@1 (support = 1 < f + 1 = 2).
+        dag.add_round(vec![
+            BlockSpec::new(0).with_parent_authors(vec![1, 2]),
+            BlockSpec::new(1).with_parent_authors(vec![0, 2]),
+            BlockSpec::new(2).with_parent_authors(vec![0, 1]),
+            BlockSpec::new(3).with_parent_authors(vec![0, 1]),
+        ]);
+        // Rounds 3+: full references — later leaders reach v3@1 through
+        // v3's own chain.
+        dag.add_full_rounds(5);
+        let elector = FixedElector::new().assign(1, 0, 3).assign(4, 0, 0);
+        let committer = TuskCommitter::with_elector(committee, Arc::new(elector));
+        let statuses = committer.try_decide(dag.store(), 1);
+        assert!(statuses.len() >= 2);
+        // Wave 1 commits directly; wave 0's leader commits recursively.
+        assert!(matches!(&statuses[0], LeaderStatus::Commit(block)
+            if block.reference() == r1[3]), "{}", statuses[0]);
+    }
+}

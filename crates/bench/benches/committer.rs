@@ -1,0 +1,104 @@
+//! Microbenchmarks for the committers: one decision pass over a prepared
+//! DAG, for each of the paper's four systems.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mahimahi_baselines::{CordialMinersCommitter, CordialMinersOptions, TuskCommitter};
+use mahimahi_core::{CommitSequencer, Committer, CommitterOptions, ProtocolCommitter};
+use mahimahi_dag::DagBuilder;
+use mahimahi_types::TestCommittee;
+
+fn prepared_dag(rounds: usize) -> (TestCommittee, DagBuilder) {
+    let setup = TestCommittee::new(10, 5);
+    let mut dag = DagBuilder::new(setup.clone());
+    dag.add_full_rounds(rounds);
+    (setup, dag)
+}
+
+fn committers(setup: &TestCommittee) -> Vec<(&'static str, Box<dyn ProtocolCommitter>)> {
+    let committee = setup.committee().clone();
+    vec![
+        (
+            "mahi-mahi-5",
+            Box::new(Committer::new(
+                committee.clone(),
+                CommitterOptions::mahi_mahi_5(2),
+            )),
+        ),
+        (
+            "mahi-mahi-4",
+            Box::new(Committer::new(
+                committee.clone(),
+                CommitterOptions::mahi_mahi_4(2),
+            )),
+        ),
+        (
+            "cordial-miners",
+            Box::new(CordialMinersCommitter::new(
+                committee.clone(),
+                CordialMinersOptions::default(),
+            )),
+        ),
+        ("tusk", Box::new(TuskCommitter::new(committee))),
+    ]
+}
+
+/// One full decision pass over a 30-round DAG, fresh committer each time
+/// (no decided-slot memo: the worst case a validator pays after recovery).
+fn bench_try_decide_cold(c: &mut Criterion) {
+    let (setup, dag) = prepared_dag(30);
+    let mut group = c.benchmark_group("try_decide_cold_30_rounds");
+    for (name, _) in committers(&setup) {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    committers(&setup)
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, committer)| committer)
+                        .expect("committer exists")
+                },
+                |committer| committer.try_decide(dag.store(), 1),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The steady-state cost: re-deciding after every round with the memo warm
+/// (what a validator pays per received block).
+fn bench_try_decide_warm(c: &mut Criterion) {
+    let (setup, dag) = prepared_dag(30);
+    let mut group = c.benchmark_group("try_decide_warm_30_rounds");
+    for (name, committer) in committers(&setup) {
+        let _ = committer.try_decide(dag.store(), 1); // warm the memo
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| committer.try_decide(dag.store(), 25))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequencer_end_to_end(c: &mut Criterion) {
+    let (setup, dag) = prepared_dag(30);
+    c.bench_function("sequencer_30_rounds_mahi_mahi_5", |b| {
+        b.iter_batched(
+            || {
+                CommitSequencer::new(Committer::new(
+                    setup.committee().clone(),
+                    CommitterOptions::mahi_mahi_5(2),
+                ))
+            },
+            |mut sequencer| sequencer.try_commit(dag.store()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_try_decide_cold,
+    bench_try_decide_warm,
+    bench_sequencer_end_to_end
+);
+criterion_main!(benches);

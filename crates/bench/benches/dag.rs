@@ -1,0 +1,121 @@
+//! Microbenchmarks for the DAG substrate.
+//!
+//! `voted_block`/`is_cert` dominate the committer's cost; the memoization
+//! ablation (cold store vs warm store) quantifies the design decision
+//! recorded in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mahimahi_dag::{BlockStore, DagBuilder};
+use mahimahi_types::TestCommittee;
+use std::collections::HashSet;
+
+fn ten_node_dag(rounds: usize) -> DagBuilder {
+    let setup = TestCommittee::new(10, 5);
+    let mut dag = DagBuilder::new(setup);
+    dag.add_full_rounds(rounds);
+    dag
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("store_insert_round_of_10", |b| {
+        let dag = ten_node_dag(1);
+        let blocks: Vec<_> = dag.store().blocks_at_round(1).into_iter().cloned().collect();
+        b.iter_batched(
+            || BlockStore::new(10, 7),
+            |mut store| {
+                for block in &blocks {
+                    store.insert(block.clone()).unwrap();
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_votes(c: &mut Criterion) {
+    let dag = ten_node_dag(10);
+    let store = dag.store();
+    let leader = store.blocks_at_round(1)[0].clone();
+    let votes: Vec<_> = store
+        .blocks_at_round(4)
+        .iter()
+        .map(|b| b.reference())
+        .collect();
+
+    // Warm: the store's memo already holds every result.
+    for vote in &votes {
+        let _ = store.is_vote(vote, &leader);
+    }
+    c.bench_function("is_vote_warm", |b| {
+        b.iter(|| {
+            votes
+                .iter()
+                .filter(|vote| store.is_vote(vote, &leader))
+                .count()
+        })
+    });
+
+    // Cold: rebuild the store each batch (ablation: memoization off).
+    c.bench_function("is_vote_cold", |b| {
+        b.iter_batched(
+            || {
+                let mut fresh = BlockStore::new(10, 7);
+                for block in store.iter() {
+                    if block.round() > 0 {
+                        fresh.insert(block.clone()).unwrap();
+                    }
+                }
+                fresh
+            },
+            |fresh| {
+                votes
+                    .iter()
+                    .filter(|vote| fresh.is_vote(vote, &leader))
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let dag = ten_node_dag(10);
+    let store = dag.store();
+    let leader = store.blocks_at_round(1)[0].clone();
+    let certs: Vec<_> = store.blocks_at_round(5).into_iter().cloned().collect();
+    c.bench_function("is_cert_warm_round_of_10", |b| {
+        b.iter(|| {
+            certs
+                .iter()
+                .filter(|cert| store.is_cert(cert, &leader))
+                .count()
+        })
+    });
+}
+
+fn bench_linearize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearize_sub_dag");
+    for rounds in [5usize, 20] {
+        let dag = ten_node_dag(rounds);
+        let store = dag.store();
+        let leader = store.blocks_at_round(rounds as u64)[0].reference();
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, _| {
+            b.iter_batched(
+                HashSet::new,
+                |mut emitted| store.linearize_sub_dag(&leader, &mut emitted),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_votes,
+    bench_certificates,
+    bench_linearize
+);
+criterion_main!(benches);

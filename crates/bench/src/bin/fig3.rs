@@ -1,0 +1,37 @@
+//! Figure 3: comparative throughput-latency under ideal conditions.
+//!
+//! WAN, 10 and 50 validators, no faults, 512-byte transactions. Validates
+//! claims C1 (Mahi-Mahi matches baseline throughput at lower latency),
+//! C2 (scales to 50 validators), and C5 (wave length 4 beats 5).
+
+use bench::{banner, paper_systems, quick_flag, run_sweep, write_csv, Sweep};
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Figure 3 — throughput/latency, ideal conditions",
+        "C1: MM ≈ baseline throughput at much lower latency; \
+         C2: scales to 50 nodes; C5: MM-4 < MM-5 latency",
+    );
+    let mut all = Vec::new();
+    for committee_size in [10usize, 50] {
+        if quick && committee_size == 50 {
+            // 50-node points are expensive; --quick runs a single one.
+        }
+        println!("--- {committee_size} validators ---");
+        let mut sweep = Sweep::standard(committee_size, 0, quick);
+        if committee_size == 50 {
+            // Laptop-scale budget: shorter runs, fewer points at 50 nodes.
+            sweep.duration = mahimahi_net::time::from_secs(if quick { 3 } else { 5 });
+            sweep.total_loads_tps = if quick {
+                vec![5_000]
+            } else {
+                vec![5_000, 20_000, 50_000, 100_000]
+            };
+        }
+        for protocol in paper_systems() {
+            all.extend(run_sweep(protocol, &sweep));
+        }
+    }
+    write_csv("fig3", &all);
+}

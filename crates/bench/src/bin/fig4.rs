@@ -1,0 +1,25 @@
+//! Figure 4: performance under crash faults.
+//!
+//! WAN, 10 validators of which 3 are crashed (the maximum `f`). Validates
+//! claim C3: Mahi-Mahi keeps ~2× lower latency than Cordial Miners thanks
+//! to the direct skip rule; Tusk's latency explodes.
+
+use bench::{banner, paper_systems, quick_flag, run_sweep, write_csv, Sweep};
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Figure 4 — 10 validators, 3 crash faults",
+        "C3: MM ≈ 50% lower latency than Cordial Miners under faults; \
+         Tusk degrades to multi-second commits",
+    );
+    let mut sweep = Sweep::standard(10, 3, quick);
+    if !quick {
+        sweep.total_loads_tps = vec![1_000, 5_000, 10_000, 20_000, 35_000];
+    }
+    let mut all = Vec::new();
+    for protocol in paper_systems() {
+        all.extend(run_sweep(protocol, &sweep));
+    }
+    write_csv("fig4", &all);
+}

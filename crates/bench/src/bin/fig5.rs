@@ -1,0 +1,31 @@
+//! Figure 5: impact of the number of leader slots per round (Mahi-Mahi-4).
+//!
+//! WAN, 10 validators, 1–3 leaders, zero and three crash faults. Validates
+//! claim C4: latency decreases as leaders go 1 → 3, more so under faults.
+
+use bench::{banner, quick_flag, run_sweep, write_csv, Sweep};
+use mahimahi_sim::ProtocolChoice;
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Figure 5 — Mahi-Mahi-4 leaders per round",
+        "C4: average latency decreases from 1 to 3 leaders (≈40 ms ideal, \
+         ≈100 ms with 3 faults)",
+    );
+    let mut all = Vec::new();
+    for crashed in [0usize, 3] {
+        println!("--- {crashed} faults ---");
+        let mut sweep = Sweep::standard(10, crashed, quick);
+        if !quick {
+            sweep.total_loads_tps = vec![1_000, 10_000, 30_000];
+        }
+        for leaders in [1usize, 2, 3] {
+            all.extend(run_sweep(
+                ProtocolChoice::MahiMahi4 { leaders },
+                &sweep,
+            ));
+        }
+    }
+    write_csv("fig5", &all);
+}

@@ -1,0 +1,30 @@
+//! Figure 7 (Appendix D): leaders per round for Mahi-Mahi-5.
+//!
+//! Same experiment as Figure 5 with wave length 5: the latency reduction
+//! from multiple leaders holds for both configurations.
+
+use bench::{banner, quick_flag, run_sweep, write_csv, Sweep};
+use mahimahi_sim::ProtocolChoice;
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Figure 7 — Mahi-Mahi-5 leaders per round",
+        "same trend as Figure 5 at wave length 5",
+    );
+    let mut all = Vec::new();
+    for crashed in [0usize, 3] {
+        println!("--- {crashed} faults ---");
+        let mut sweep = Sweep::standard(10, crashed, quick);
+        if !quick {
+            sweep.total_loads_tps = vec![1_000, 10_000, 30_000];
+        }
+        for leaders in [1usize, 2, 3] {
+            all.extend(run_sweep(
+                ProtocolChoice::MahiMahi5 { leaders },
+                &sweep,
+            ));
+        }
+    }
+    write_csv("fig7", &all);
+}

@@ -1,0 +1,51 @@
+//! Extension experiment (beyond the paper): the latency impact of *active*
+//! Byzantine behaviour — equivocating and mute validators — on Mahi-Mahi.
+//!
+//! The paper notes that benchmarking under Byzantine faults is an open
+//! problem (Section 5) and evaluates crash faults only; this harness
+//! measures the two misbehaviours the uncertified DAG must absorb.
+
+use bench::{banner, quick_flag, write_csv};
+use mahimahi_net::time;
+use mahimahi_sim::{Behavior, ProtocolChoice, SimConfig, Simulation};
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Byzantine extension — equivocators and mute validators (n = 10)",
+        "not in the paper: quantifies the commit rule's equivocation cost",
+    );
+    let scenarios: Vec<(&str, Vec<(usize, Behavior)>)> = vec![
+        ("honest", vec![]),
+        ("1 equivocator", vec![(9, Behavior::Equivocator)]),
+        (
+            "3 equivocators",
+            vec![
+                (7, Behavior::Equivocator),
+                (8, Behavior::Equivocator),
+                (9, Behavior::Equivocator),
+            ],
+        ),
+        ("1 mute", vec![(9, Behavior::Mute)]),
+        (
+            "3 mute",
+            vec![(7, Behavior::Mute), (8, Behavior::Mute), (9, Behavior::Mute)],
+        ),
+    ];
+    let mut all = Vec::new();
+    for (label, behaviors) in scenarios {
+        let config = SimConfig {
+            protocol: ProtocolChoice::MahiMahi5 { leaders: 2 },
+            committee_size: 10,
+            behaviors,
+            duration: time::from_secs(if quick { 5 } else { 10 }),
+            txs_per_second_per_validator: 1_000,
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(config).run();
+        println!("{label:<16} {}", report.table_row());
+        all.push(report);
+    }
+    write_csv("fig_byz", &all);
+}

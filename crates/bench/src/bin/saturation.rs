@@ -1,0 +1,38 @@
+//! Extension: find the saturation knee (the paper's "maximal throughput
+//! after which latency grows quickly", Section 5.1).
+//!
+//! Pushes the 10-validator configuration beyond the paper's load axis until
+//! block capacity (2,000 txs/block × round rate) is exceeded and queueing
+//! delay dominates.
+
+use bench::{banner, quick_flag, run_sweep, write_csv, Sweep};
+use mahimahi_net::time;
+use mahimahi_sim::ProtocolChoice;
+
+fn main() {
+    let quick = quick_flag();
+    banner(
+        "Saturation — 10 validators, loads beyond the paper's axis",
+        "latency stays flat until block capacity, then queueing dominates",
+    );
+    let sweep = Sweep {
+        committee_size: 10,
+        crashed: 0,
+        total_loads_tps: if quick {
+            vec![50_000, 200_000]
+        } else {
+            vec![50_000, 100_000, 140_000, 170_000, 200_000]
+        },
+        duration: time::from_secs(if quick { 5 } else { 10 }),
+        seed: 2024,
+    };
+    let mut all = Vec::new();
+    for protocol in [
+        ProtocolChoice::MahiMahi4 { leaders: 2 },
+        ProtocolChoice::MahiMahi5 { leaders: 2 },
+        ProtocolChoice::CordialMiners,
+    ] {
+        all.extend(run_sweep(protocol, &sweep));
+    }
+    write_csv("saturation", &all);
+}

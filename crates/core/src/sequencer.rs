@@ -1,0 +1,381 @@
+//! `ExtendCommitSequence` (Algorithm 1 lines 3–10) plus the DagRider-style
+//! sub-DAG linearization (Section 3.2 steps 4–5).
+
+use mahimahi_types::{Block, BlockRef, Round, Slot, Transaction};
+use mahimahi_dag::BlockStore;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::protocol::ProtocolCommitter;
+use crate::status::LeaderStatus;
+
+/// A committed leader slot together with the newly linearized blocks of its
+/// causal sub-DAG (the leader block last).
+#[derive(Clone)]
+pub struct CommittedSubDag {
+    /// Global sequence index of the slot (0-based across all slots).
+    pub position: u64,
+    /// The committed leader block's reference.
+    pub leader: BlockRef,
+    /// Every block first linearized by this leader, in deterministic
+    /// `(round, author, digest)` order, ending with the leader itself.
+    pub blocks: Vec<Arc<Block>>,
+}
+
+impl CommittedSubDag {
+    /// Iterates over the transactions committed by this sub-DAG in order.
+    pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
+        self.blocks.iter().flat_map(|block| block.transactions())
+    }
+}
+
+impl fmt::Debug for CommittedSubDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CommittedSubDag(#{} leader={} blocks={})",
+            self.position,
+            self.leader,
+            self.blocks.len()
+        )
+    }
+}
+
+/// One sequencing decision, in commit order.
+#[derive(Clone, Debug)]
+pub enum CommitDecision {
+    /// The slot committed; its sub-DAG extends the total order.
+    Commit(CommittedSubDag),
+    /// The slot was skipped (position recorded for audit).
+    Skip(u64, Slot),
+}
+
+impl CommitDecision {
+    /// The global sequence index of this decision.
+    pub fn position(&self) -> u64 {
+        match self {
+            CommitDecision::Commit(sub_dag) => sub_dag.position,
+            CommitDecision::Skip(position, _) => *position,
+        }
+    }
+}
+
+/// Stateful wrapper turning slot classifications into the totally-ordered
+/// commit sequence.
+///
+/// `try_commit` is idempotent in the sense of the paper's
+/// `ExtendCommitSequence`: each call sequences every slot decided since the
+/// last call, stopping at the first undecided slot (step 4), and linearizes
+/// each committed leader's yet-unemitted causal history (step 5).
+///
+/// Generic over the protocol: the same sequencer drives Mahi-Mahi (slots in
+/// every round) and the baselines (slots only in wave-propose rounds).
+pub struct CommitSequencer<C> {
+    committer: C,
+    /// Blocks already emitted in the total order.
+    emitted: HashSet<BlockRef>,
+    /// The round of the last status consumed (resume point).
+    next_round: Round,
+    /// How many statuses of `next_round` were already consumed.
+    consumed_in_round: usize,
+    /// Global count of sequenced slots.
+    position: u64,
+    /// Garbage-collection depth: a committed leader at round `r` linearizes
+    /// only blocks with round ≥ `r − gc_depth`. `None` disables GC
+    /// (everything reachable is linearized, memory grows unboundedly).
+    gc_depth: Option<u64>,
+}
+
+impl<C: ProtocolCommitter> CommitSequencer<C> {
+    /// Wraps a committer with fresh sequencing state (starting at round 1).
+    pub fn new(committer: C) -> Self {
+        CommitSequencer {
+            committer,
+            emitted: HashSet::new(),
+            next_round: 1,
+            consumed_in_round: 0,
+            position: 0,
+            gc_depth: None,
+        }
+    }
+
+    /// Enables garbage collection with the given depth (Mysticeti-style):
+    /// blocks more than `depth` rounds below a committed leader are
+    /// deterministically excluded from its sub-DAG, so every validator —
+    /// whenever it physically compacts — agrees on the total order.
+    ///
+    /// Callers may then periodically call [`BlockStore::compact`] with
+    /// [`CommitSequencer::gc_floor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (a leader must at least linearize itself).
+    pub fn with_gc_depth(mut self, depth: u64) -> Self {
+        assert!(depth > 0, "gc depth must be positive");
+        self.gc_depth = Some(depth);
+        self
+    }
+
+    /// The lowest round future commits can still reference: the store may
+    /// be compacted below it.
+    pub fn gc_floor(&self) -> Round {
+        match self.gc_depth {
+            Some(depth) => self.next_round.saturating_sub(depth),
+            None => 0,
+        }
+    }
+
+    /// The committer driving the decisions.
+    pub fn committer(&self) -> &C {
+        &self.committer
+    }
+
+    /// The first round not yet fully sequenced.
+    pub fn next_round(&self) -> Round {
+        self.next_round
+    }
+
+    /// Total slots sequenced so far.
+    pub fn sequenced_slots(&self) -> u64 {
+        self.position
+    }
+
+    /// Number of distinct blocks emitted into the total order so far.
+    pub fn emitted_blocks(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Extends the commit sequence as far as the DAG allows.
+    pub fn try_commit(&mut self, store: &BlockStore) -> Vec<CommitDecision> {
+        let statuses = self.committer.try_decide(store, self.next_round);
+        let mut decisions = Vec::new();
+        let mut current_round = self.next_round;
+        let mut index_in_round = 0usize;
+        for status in &statuses {
+            let round = status.round();
+            debug_assert!(round >= current_round, "statuses out of order");
+            if round > current_round {
+                current_round = round;
+                index_in_round = 0;
+            }
+            // Skip statuses sequenced by a previous call.
+            if current_round == self.next_round && index_in_round < self.consumed_in_round {
+                index_in_round += 1;
+                continue;
+            }
+            match status {
+                LeaderStatus::Undecided { .. } => break,
+                LeaderStatus::Skip(slot) => {
+                    decisions.push(CommitDecision::Skip(self.position, *slot));
+                    self.consume(current_round, &mut index_in_round);
+                }
+                LeaderStatus::Commit(block) => {
+                    let floor = self
+                        .gc_depth
+                        .map_or(0, |depth| block.round().saturating_sub(depth));
+                    let blocks = store.linearize_sub_dag_floored(
+                        &block.reference(),
+                        &mut self.emitted,
+                        floor,
+                    );
+                    decisions.push(CommitDecision::Commit(CommittedSubDag {
+                        position: self.position,
+                        leader: block.reference(),
+                        blocks,
+                    }));
+                    self.consume(current_round, &mut index_in_round);
+                }
+            }
+        }
+        decisions
+    }
+
+    fn consume(&mut self, round: Round, index_in_round: &mut usize) {
+        if round > self.next_round {
+            self.next_round = round;
+            self.consumed_in_round = 0;
+        }
+        self.consumed_in_round += 1;
+        self.position += 1;
+        *index_in_round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committer::{Committer, CommitterOptions};
+    use mahimahi_dag::DagBuilder;
+    use mahimahi_types::TestCommittee;
+
+    fn sequencer(
+        setup: &TestCommittee,
+        wave_length: u64,
+        leaders: usize,
+    ) -> CommitSequencer<Committer> {
+        CommitSequencer::new(Committer::new(
+            setup.committee().clone(),
+            CommitterOptions {
+                wave_length,
+                leaders_per_round: leaders,
+            },
+        ))
+    }
+
+    #[test]
+    fn sequences_full_dag_without_gaps_or_duplicates() {
+        let setup = TestCommittee::new(4, 13);
+        let mut sequencer = sequencer(&setup, 5, 2);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_rounds(12);
+        let decisions = sequencer.try_commit(dag.store());
+        assert!(!decisions.is_empty());
+        // Positions are consecutive from zero.
+        for (expected, decision) in decisions.iter().enumerate() {
+            assert_eq!(decision.position(), expected as u64);
+        }
+        // Every block emitted exactly once.
+        let mut seen = HashSet::new();
+        for decision in &decisions {
+            if let CommitDecision::Commit(sub_dag) = decision {
+                assert_eq!(
+                    sub_dag.blocks.last().map(|b| b.reference()),
+                    Some(sub_dag.leader)
+                );
+                for block in &sub_dag.blocks {
+                    assert!(seen.insert(block.reference()), "duplicate {block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_calls_resume_where_they_stopped() {
+        let setup = TestCommittee::new(4, 13);
+        let mut incremental = sequencer(&setup, 5, 2);
+        let mut oneshot = sequencer(&setup, 5, 2);
+        let mut dag = DagBuilder::new(setup);
+
+        let mut collected = Vec::new();
+        for _ in 0..3 {
+            dag.add_full_rounds(4);
+            collected.extend(incremental.try_commit(dag.store()));
+        }
+        let all_at_once = oneshot.try_commit(dag.store());
+        assert_eq!(collected.len(), all_at_once.len());
+        for (a, b) in collected.iter().zip(&all_at_once) {
+            assert_eq!(a.position(), b.position());
+            match (a, b) {
+                (CommitDecision::Commit(x), CommitDecision::Commit(y)) => {
+                    assert_eq!(x.leader, y.leader);
+                    let x_refs: Vec<BlockRef> =
+                        x.blocks.iter().map(|b| b.reference()).collect();
+                    let y_refs: Vec<BlockRef> =
+                        y.blocks.iter().map(|b| b.reference()).collect();
+                    assert_eq!(x_refs, y_refs);
+                }
+                (CommitDecision::Skip(_, x), CommitDecision::Skip(_, y)) => {
+                    assert_eq!(x, y)
+                }
+                _ => panic!("decision kind mismatch at {}", a.position()),
+            }
+        }
+        // Nothing more to sequence without new blocks.
+        assert!(incremental.try_commit(dag.store()).is_empty());
+    }
+
+    #[test]
+    fn crash_faults_interleave_skips_and_commits() {
+        let setup = TestCommittee::new(4, 13);
+        let mut sequencer = sequencer(&setup, 4, 2);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_round();
+        for _ in 0..11 {
+            dag.add_round_producers(&[0, 1, 2]);
+        }
+        let decisions = sequencer.try_commit(dag.store());
+        let commits = decisions
+            .iter()
+            .filter(|d| matches!(d, CommitDecision::Commit(_)))
+            .count();
+        let skips = decisions
+            .iter()
+            .filter(|d| matches!(d, CommitDecision::Skip(..)))
+            .count();
+        assert!(commits > 0);
+        assert!(skips > 0);
+        // The total order contains every committed block's transactions in a
+        // stable order across a fresh sequencer.
+        let mut fresh = CommitSequencer::new(Committer::new(
+            sequencer.committer().committee().clone(),
+            sequencer.committer().options(),
+        ));
+        let again = fresh.try_commit(dag.store());
+        assert_eq!(again.len(), decisions.len());
+    }
+
+    #[test]
+    fn commit_sequence_is_prefix_consistent_across_views() {
+        // Two sequencers over DAGs of different depth: the shorter's commit
+        // sequence must be a prefix of the longer's (the safety property the
+        // paper proves in Lemmas 5–7).
+        let setup = TestCommittee::new(4, 13);
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(8);
+
+        let mut short_seq = sequencer(&setup, 5, 2);
+        let short: Vec<_> = short_seq
+            .try_commit(dag.store())
+            .into_iter()
+            .filter_map(|d| match d {
+                CommitDecision::Commit(sub_dag) => Some(sub_dag.leader),
+                CommitDecision::Skip(..) => None,
+            })
+            .collect();
+
+        dag.add_full_rounds(4);
+        let mut long_seq = sequencer(&setup, 5, 2);
+        let long: Vec<_> = long_seq
+            .try_commit(dag.store())
+            .into_iter()
+            .filter_map(|d| match d {
+                CommitDecision::Commit(sub_dag) => Some(sub_dag.leader),
+                CommitDecision::Skip(..) => None,
+            })
+            .collect();
+
+        assert!(long.len() >= short.len());
+        assert_eq!(&long[..short.len()], &short[..]);
+    }
+
+    #[test]
+    fn transactions_surface_through_sub_dags() {
+        let setup = TestCommittee::new(4, 13);
+        let mut sequencer = sequencer(&setup, 4, 1);
+        let mut dag = DagBuilder::new(setup);
+        use mahimahi_dag::BlockSpec;
+        // Round 1 blocks carry distinguishable transactions.
+        dag.add_round(
+            (0..4)
+                .map(|author| {
+                    BlockSpec::new(author).with_transactions(vec![Transaction::benchmark(
+                        author as u64,
+                    )])
+                })
+                .collect(),
+        );
+        dag.add_full_rounds(6);
+        let decisions = sequencer.try_commit(dag.store());
+        let committed_ids: HashSet<u64> = decisions
+            .iter()
+            .filter_map(|d| match d {
+                CommitDecision::Commit(sub_dag) => Some(sub_dag),
+                _ => None,
+            })
+            .flat_map(|sub_dag| sub_dag.transactions())
+            .filter_map(Transaction::benchmark_id)
+            .collect();
+        assert_eq!(committed_ids, HashSet::from([0, 1, 2, 3]));
+    }
+}

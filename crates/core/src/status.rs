@@ -1,0 +1,99 @@
+//! Leader slot classification.
+
+use mahimahi_types::{Block, Round, Slot};
+use std::fmt;
+use std::sync::Arc;
+
+/// The classification of one leader slot (Section 3.1: every slot is
+/// `commit`, `skip`, or `undecided`).
+#[derive(Clone, PartialEq, Eq)]
+pub enum LeaderStatus {
+    /// The slot commits this block (exactly one block per slot can ever be
+    /// certified — Lemma 2).
+    Commit(Arc<Block>),
+    /// The slot is skipped: no block in it will ever be certified.
+    Skip(Slot),
+    /// The slot cannot be classified yet. The authority may be unknown
+    /// (the coin for its round has not opened), so the slot is identified
+    /// by `(round, offset)` rather than by authority.
+    Undecided {
+        /// The Propose round of the slot.
+        round: Round,
+        /// The leader offset within the round (`0 .. leaders_per_round`).
+        offset: usize,
+    },
+}
+
+impl LeaderStatus {
+    /// The Propose round this status concerns.
+    pub fn round(&self) -> Round {
+        match self {
+            LeaderStatus::Commit(block) => block.round(),
+            LeaderStatus::Skip(slot) => slot.round,
+            LeaderStatus::Undecided { round, .. } => *round,
+        }
+    }
+
+    /// Whether the slot is decided (committed or skipped).
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, LeaderStatus::Undecided { .. })
+    }
+
+    /// The committed block, if any.
+    pub fn committed_block(&self) -> Option<&Arc<Block>> {
+        match self {
+            LeaderStatus::Commit(block) => Some(block),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LeaderStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaderStatus::Commit(block) => write!(f, "Commit({})", block.reference()),
+            LeaderStatus::Skip(slot) => write!(f, "Skip({slot})"),
+            LeaderStatus::Undecided { round, offset } => {
+                write!(f, "Undecided(round={round}, offset={offset})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LeaderStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::AuthorityIndex;
+
+    #[test]
+    fn accessors() {
+        let block = Block::genesis(AuthorityIndex(1)).into_arc();
+        let commit = LeaderStatus::Commit(block.clone());
+        assert_eq!(commit.round(), 0);
+        assert!(commit.is_decided());
+        assert_eq!(commit.committed_block(), Some(&block));
+
+        let skip = LeaderStatus::Skip(Slot::new(3, AuthorityIndex(2)));
+        assert_eq!(skip.round(), 3);
+        assert!(skip.is_decided());
+        assert!(skip.committed_block().is_none());
+
+        let undecided = LeaderStatus::Undecided { round: 5, offset: 1 };
+        assert_eq!(undecided.round(), 5);
+        assert!(!undecided.is_decided());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let undecided = LeaderStatus::Undecided { round: 5, offset: 1 };
+        assert!(undecided.to_string().contains("round=5"));
+        let skip = LeaderStatus::Skip(Slot::new(3, AuthorityIndex(2)));
+        assert!(skip.to_string().contains("S(v2,3)"));
+    }
+}

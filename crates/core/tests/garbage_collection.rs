@@ -1,0 +1,163 @@
+//! Garbage collection: bounded memory without breaking agreement.
+//!
+//! Mysticeti-lineage systems bound DAG memory with a *GC depth*: a
+//! committed leader at round `r` linearizes only blocks within `gc_depth`
+//! rounds below it, and everything older is physically dropped. The
+//! critical property is determinism — two validators compacting at
+//! *different* times must still produce identical commit sequences, because
+//! the exclusion is a function of the leader round, not of when `compact`
+//! ran.
+
+use mahimahi_core::{CommitDecision, CommitSequencer, Committer, CommitterOptions};
+use mahimahi_dag::DagBuilder;
+use mahimahi_types::{BlockRef, TestCommittee};
+
+const GC_DEPTH: u64 = 8;
+
+fn committer(setup: &TestCommittee) -> Committer {
+    Committer::new(setup.committee().clone(), CommitterOptions::default())
+}
+
+fn leaders(decisions: &[CommitDecision]) -> Vec<Option<BlockRef>> {
+    decisions
+        .iter()
+        .map(|decision| match decision {
+            CommitDecision::Commit(sub_dag) => Some(sub_dag.leader),
+            CommitDecision::Skip(..) => None,
+        })
+        .collect()
+}
+
+fn blocks(decisions: &[CommitDecision]) -> Vec<BlockRef> {
+    decisions
+        .iter()
+        .filter_map(|decision| match decision {
+            CommitDecision::Commit(sub_dag) => Some(sub_dag),
+            CommitDecision::Skip(..) => None,
+        })
+        .flat_map(|sub_dag| sub_dag.blocks.iter().map(|block| block.reference()))
+        .collect()
+}
+
+#[test]
+fn compaction_does_not_change_the_commit_sequence() {
+    let setup = TestCommittee::new(4, 77);
+
+    // Validator A: never compacts. Validator B: compacts aggressively after
+    // every batch. Both must sequence identical blocks.
+    let mut dag_a = DagBuilder::new(setup.clone());
+    let mut dag_b = DagBuilder::new(setup.clone());
+    let mut seq_a = CommitSequencer::new(committer(&setup)).with_gc_depth(GC_DEPTH);
+    let mut seq_b = CommitSequencer::new(committer(&setup)).with_gc_depth(GC_DEPTH);
+
+    let mut all_a = Vec::new();
+    let mut all_b = Vec::new();
+    for _ in 0..6 {
+        dag_a.add_full_rounds(5);
+        dag_b.add_full_rounds(5);
+        all_a.extend(seq_a.try_commit(dag_a.store()));
+        all_b.extend(seq_b.try_commit(dag_b.store()));
+        // B compacts right up to its GC floor.
+        let floor = seq_b.gc_floor();
+        dag_b.store_mut().compact(floor);
+    }
+    assert_eq!(leaders(&all_a), leaders(&all_b));
+    assert_eq!(blocks(&all_a), blocks(&all_b));
+    assert!(!blocks(&all_a).is_empty());
+    // B's store is bounded; A's grows with the run.
+    assert!(dag_b.store().len() < dag_a.store().len());
+}
+
+#[test]
+fn gc_floor_tracks_progress_and_compact_reclaims() {
+    let setup = TestCommittee::new(4, 78);
+    let mut dag = DagBuilder::new(setup.clone());
+    let mut sequencer = CommitSequencer::new(committer(&setup)).with_gc_depth(GC_DEPTH);
+    assert_eq!(sequencer.gc_floor(), 0);
+
+    dag.add_full_rounds(30);
+    let decisions = sequencer.try_commit(dag.store());
+    assert!(!decisions.is_empty());
+    let floor = sequencer.gc_floor();
+    assert!(floor > 0, "floor did not advance");
+
+    let before = dag.store().len();
+    let dropped = dag.store_mut().compact(floor);
+    assert!(dropped > 0);
+    assert_eq!(dag.store().len(), before - dropped);
+    // Everything below the floor is gone; everything at/above remains.
+    for round in 0..floor {
+        assert!(dag.store().blocks_at_round(round).is_empty());
+    }
+    assert!(!dag.store().blocks_at_round(floor).is_empty());
+}
+
+#[test]
+fn sequencing_continues_after_compaction() {
+    let setup = TestCommittee::new(4, 79);
+    let mut dag = DagBuilder::new(setup.clone());
+    let mut sequencer = CommitSequencer::new(committer(&setup)).with_gc_depth(GC_DEPTH);
+
+    dag.add_full_rounds(20);
+    let first = sequencer.try_commit(dag.store());
+    assert!(!first.is_empty());
+    dag.store_mut().compact(sequencer.gc_floor());
+
+    // The DAG keeps growing on the compacted store; commits keep flowing.
+    dag.add_full_rounds(10);
+    let second = sequencer.try_commit(dag.store());
+    assert!(!second.is_empty());
+    // Positions remain gapless across the compaction.
+    let mut positions: Vec<u64> = first
+        .iter()
+        .chain(second.iter())
+        .map(CommitDecision::position)
+        .collect();
+    let expected: Vec<u64> = (0..positions.len() as u64).collect();
+    positions.sort_unstable();
+    assert_eq!(positions, expected);
+}
+
+#[test]
+fn deep_history_is_deterministically_excluded() {
+    // A straggler block that is only ever referenced far above the GC
+    // horizon must be excluded from linearization by BOTH a compacting and
+    // a non-compacting validator.
+    use mahimahi_dag::BlockSpec;
+    let setup = TestCommittee::new(4, 80);
+    let mut dag = DagBuilder::new(setup.clone());
+    dag.add_full_round();
+    // Author 3 produces round 2 but nobody references it until much later
+    // (authors 0–2 reference only each other).
+    let r2 = dag.add_round(vec![
+        BlockSpec::new(0).with_parent_authors(vec![1, 2]),
+        BlockSpec::new(1).with_parent_authors(vec![0, 2]),
+        BlockSpec::new(2).with_parent_authors(vec![0, 1]),
+        BlockSpec::new(3).with_parent_authors(vec![0, 1]),
+    ]);
+    let straggler = r2[3];
+    for _ in 0..(GC_DEPTH as usize + 6) {
+        dag.add_round(vec![
+            BlockSpec::new(0).with_parent_authors(vec![1, 2]),
+            BlockSpec::new(1).with_parent_authors(vec![0, 2]),
+            BlockSpec::new(2).with_parent_authors(vec![0, 1]),
+        ]);
+    }
+    // Author 0 finally references the straggler, far above the horizon.
+    let current = dag.current_round();
+    let mut parents = vec![dag.tip(0), dag.tip(1), dag.tip(2), straggler];
+    parents.dedup();
+    dag.add_round(vec![
+        BlockSpec::new(0).with_explicit_parents(parents),
+        BlockSpec::new(1).with_parent_authors(vec![0, 2]),
+        BlockSpec::new(2).with_parent_authors(vec![0, 1]),
+    ]);
+    dag.add_full_rounds_producers(&[0, 1, 2], 6);
+
+    let mut with_gc = CommitSequencer::new(committer(&setup)).with_gc_depth(GC_DEPTH);
+    let sequenced = blocks(&with_gc.try_commit(dag.store()));
+    assert!(
+        !sequenced.contains(&straggler),
+        "straggler below the GC horizon must not be linearized (round {current})"
+    );
+}

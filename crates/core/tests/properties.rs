@@ -1,0 +1,180 @@
+//! Property-based tests of the commit rule over randomized DAGs.
+//!
+//! Strategy: grow DAGs with random per-round producer sets, random parent
+//! subsets (always ≥ quorum, as validity demands), and random equivocations,
+//! then check the invariants the paper proves:
+//!
+//! - **prefix consistency** (Lemmas 5–6): decisions never change as the DAG
+//!   grows, and two committers over different prefixes agree;
+//! - **slot uniqueness** (Lemma 2 / Observation 1): a slot never commits
+//!   two different blocks, even under equivocation;
+//! - **slot identity**: every committed block actually occupies its slot.
+
+use mahimahi_core::{Committer, CommitterOptions, LeaderStatus};
+use mahimahi_dag::{BlockSpec, DagBuilder};
+use mahimahi_types::TestCommittee;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Grows `rounds` random rounds on top of the builder: every honest author
+/// produces each round referencing a random quorum; `equivocator`
+/// (optional) produces two variants on some rounds.
+fn grow_random_dag(
+    dag: &mut DagBuilder,
+    rounds: u64,
+    seed: u64,
+    equivocator: Option<u32>,
+) {
+    let n = dag.setup().committee().size() as u32;
+    let quorum = dag.setup().committee().quorum_threshold();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let mut specs = Vec::new();
+        for author in 0..n {
+            let mut others: Vec<u32> = (0..n).filter(|&a| a != author).collect();
+            others.shuffle(&mut rng);
+            others.truncate(quorum - 1);
+            if Some(author) == equivocator && round % 3 == 1 {
+                // Two equivocating variants with different reference sets.
+                specs.push(
+                    BlockSpec::new(author)
+                        .with_parent_authors(others.clone())
+                        .with_tag(round * 2 + 1),
+                );
+                let mut alt: Vec<u32> = (0..n).filter(|&a| a != author).collect();
+                alt.shuffle(&mut rng);
+                alt.truncate(quorum - 1);
+                specs.push(
+                    BlockSpec::new(author)
+                        .with_parent_authors(alt)
+                        .with_tag(round * 2 + 2),
+                );
+            } else {
+                specs.push(BlockSpec::new(author).with_parent_authors(others));
+            }
+        }
+        dag.add_round(specs);
+    }
+}
+
+fn leaders_of(statuses: &[LeaderStatus]) -> Vec<String> {
+    statuses
+        .iter()
+        .take_while(|status| status.is_decided())
+        .map(|status| status.to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Decisions are stable: the decided prefix after `k` rounds is a
+    /// prefix of the decided sequence after `k + more` rounds.
+    #[test]
+    fn decisions_are_stable_under_growth(
+        seed in 0u64..10_000,
+        wave_length in 4u64..=5,
+        leaders in 1usize..=2,
+        initial_rounds in 8u64..14,
+        more_rounds in 1u64..6,
+        equivocate in proptest::bool::ANY,
+    ) {
+        let setup = TestCommittee::new(4, seed);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        let equivocator = equivocate.then_some(1u32);
+        grow_random_dag(&mut dag, initial_rounds, seed, equivocator);
+
+        let committer = Committer::new(
+            committee.clone(),
+            CommitterOptions { wave_length, leaders_per_round: leaders },
+        );
+        let early = leaders_of(&committer.try_decide(dag.store(), 1));
+
+        grow_random_dag(&mut dag, more_rounds, seed ^ 0xbeef, equivocator);
+        // A *fresh* committer (no memo) over the longer DAG must agree.
+        let fresh = Committer::new(
+            committee,
+            CommitterOptions { wave_length, leaders_per_round: leaders },
+        );
+        let late = leaders_of(&fresh.try_decide(dag.store(), 1));
+
+        prop_assert!(late.len() >= early.len(),
+            "decided prefix shrank: {} -> {}", early.len(), late.len());
+        prop_assert_eq!(&late[..early.len()], &early[..],
+            "decided prefix changed under growth");
+    }
+
+    /// Under equivocation, every committed slot holds exactly one block and
+    /// that block belongs to the slot (author and round match).
+    #[test]
+    fn committed_blocks_match_their_slots(
+        seed in 0u64..10_000,
+        rounds in 10u64..16,
+    ) {
+        let setup = TestCommittee::new(4, seed);
+        let committee = setup.committee().clone();
+        let mut dag = DagBuilder::new(setup);
+        grow_random_dag(&mut dag, rounds, seed, Some(2));
+
+        let committer = Committer::new(committee, CommitterOptions::default());
+        let statuses = committer.try_decide(dag.store(), 1);
+        let mut committed_rounds = Vec::new();
+        for status in &statuses {
+            if let LeaderStatus::Commit(block) = status {
+                // The block must occupy the coin-elected slot of its round.
+                prop_assert_eq!(block.round(), status.round());
+                committed_rounds.push((block.round(), block.author(), block.digest()));
+            }
+        }
+        // No slot commits twice with different digests: (round, author)
+        // pairs may repeat only for multi-leader rounds with ℓ > 1, which
+        // elect *consecutive* authorities — same (round, author) twice
+        // would mean the same slot decided two ways.
+        let mut seen = std::collections::HashMap::new();
+        for (round, author, digest) in committed_rounds {
+            if let Some(previous) = seen.insert((round, author), digest) {
+                prop_assert_eq!(previous, digest,
+                    "slot ({}, {}) committed two different blocks", round, author);
+            }
+        }
+    }
+
+    /// Two committers over causally-consistent prefixes of the same DAG
+    /// agree on every slot both decide (the cross-validator Lemma 6 at the
+    /// committer level).
+    #[test]
+    fn different_views_never_contradict(
+        seed in 0u64..10_000,
+        rounds_a in 8u64..12,
+        rounds_b in 12u64..18,
+    ) {
+        let setup = TestCommittee::new(4, seed);
+        let committee = setup.committee().clone();
+
+        // View A: a prefix. View B: the same prefix grown further (the
+        // random growth is deterministic in `seed`, so A's DAG is a strict
+        // subset of B's).
+        let mut dag_a = DagBuilder::new(setup.clone());
+        grow_random_dag(&mut dag_a, rounds_a, seed, None);
+        let mut dag_b = DagBuilder::new(setup);
+        grow_random_dag(&mut dag_b, rounds_a, seed, None);
+        grow_random_dag(&mut dag_b, rounds_b - rounds_a, seed ^ 1, None);
+
+        let options = CommitterOptions::default();
+        let a = Committer::new(committee.clone(), options)
+            .try_decide(dag_a.store(), 1);
+        let b = Committer::new(committee, options).try_decide(dag_b.store(), 1);
+        for (status_a, status_b) in a.iter().zip(b.iter()) {
+            if status_a.is_decided() && status_b.is_decided() {
+                prop_assert_eq!(
+                    status_a.to_string(),
+                    status_b.to_string(),
+                    "views contradict at round {}", status_a.round()
+                );
+            }
+        }
+    }
+}

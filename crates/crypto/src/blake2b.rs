@@ -1,0 +1,364 @@
+//! BLAKE2b implemented from scratch per [RFC 7693].
+//!
+//! The Mahi-Mahi implementation uses `blake2` for block digests; this module
+//! is a dependency-free reimplementation supporting arbitrary output lengths
+//! up to 64 bytes and the keyed (MAC) mode, verified against test vectors
+//! generated from a reference implementation.
+//!
+//! [RFC 7693]: https://www.rfc-editor.org/rfc/rfc7693
+
+use crate::digest::Digest;
+
+/// The BLAKE2b initialization vector (RFC 7693 §2.6).
+const IV: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Message word permutations for the 12 rounds (RFC 7693 §2.7).
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+const BLOCK_BYTES: usize = 128;
+
+/// Incremental BLAKE2b hasher.
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_crypto::blake2b::Blake2b;
+///
+/// let mut hasher = Blake2b::new(32);
+/// hasher.update(b"mahi");
+/// hasher.update(b"-mahi");
+/// let once = hasher.finalize();
+/// assert_eq!(once, mahimahi_crypto::blake2b::blake2b_256(b"mahi-mahi").as_bytes().to_vec());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Blake2b {
+    h: [u64; 8],
+    /// Unprocessed input; flushed a block at a time.
+    buffer: [u8; BLOCK_BYTES],
+    buffer_len: usize,
+    /// Total bytes compressed so far (128-bit counter, low/high words).
+    counter: u128,
+    out_len: usize,
+}
+
+impl Blake2b {
+    /// Creates an unkeyed hasher producing `out_len` bytes of output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_len` is zero or greater than 64.
+    pub fn new(out_len: usize) -> Self {
+        Self::new_keyed(out_len, &[])
+    }
+
+    /// Creates a keyed hasher (MAC mode, RFC 7693 §2.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_len` is zero or greater than 64, or if `key` is longer
+    /// than 64 bytes.
+    pub fn new_keyed(out_len: usize, key: &[u8]) -> Self {
+        assert!(out_len >= 1 && out_len <= 64, "output length must be 1..=64");
+        assert!(key.len() <= 64, "key must be at most 64 bytes");
+        let mut h = IV;
+        // Parameter block: digest length, key length, fanout = depth = 1.
+        h[0] ^= 0x0101_0000 ^ ((key.len() as u64) << 8) ^ out_len as u64;
+        let mut hasher = Self {
+            h,
+            buffer: [0; BLOCK_BYTES],
+            buffer_len: 0,
+            counter: 0,
+            out_len,
+        };
+        if !key.is_empty() {
+            let mut block = [0u8; BLOCK_BYTES];
+            block[..key.len()].copy_from_slice(key);
+            hasher.update(&block);
+        }
+        hasher
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        // Compress only when more input follows: the final block must be
+        // compressed with the "last block" flag in `finalize`.
+        while !rest.is_empty() {
+            if self.buffer_len == BLOCK_BYTES {
+                self.counter += BLOCK_BYTES as u128;
+                let block = self.buffer;
+                self.compress(&block, false);
+                self.buffer_len = 0;
+            }
+            let take = (BLOCK_BYTES - self.buffer_len).min(rest.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&rest[..take]);
+            self.buffer_len += take;
+            rest = &rest[take..];
+        }
+    }
+
+    /// Consumes the hasher and returns the digest bytes (`out_len` long).
+    pub fn finalize(mut self) -> Vec<u8> {
+        self.counter += self.buffer_len as u128;
+        self.buffer[self.buffer_len..].fill(0);
+        let block = self.buffer;
+        self.compress(&block, true);
+        let mut out = vec![0u8; self.out_len];
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            chunk.copy_from_slice(&self.h[i].to_le_bytes()[..chunk.len()]);
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_BYTES], last: bool) {
+        let mut m = [0u64; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(block[i * 8..i * 8 + 8].try_into().expect("8-byte chunk"));
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.counter as u64;
+        v[13] ^= (self.counter >> 64) as u64;
+        if last {
+            v[14] = !v[14];
+        }
+        for round in 0..12 {
+            let s = &SIGMA[round % 10];
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+#[inline(always)]
+fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+    v[d] = (v[d] ^ v[a]).rotate_right(32);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(24);
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+    v[d] = (v[d] ^ v[a]).rotate_right(16);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(63);
+}
+
+/// Hashes `data` to a 32-byte [`Digest`] (BLAKE2b-256).
+///
+/// This is the digest function used for all block and transaction hashes in
+/// the reproduction, mirroring the paper's use of `blake2`.
+pub fn blake2b_256(data: &[u8]) -> Digest {
+    let mut hasher = Blake2b::new(32);
+    hasher.update(data);
+    let out = hasher.finalize();
+    Digest::from_slice(&out).expect("blake2b-256 output is 32 bytes")
+}
+
+/// Hashes the concatenation of `parts` to a 32-byte [`Digest`].
+///
+/// Each part is length-prefixed before hashing so that the boundary between
+/// parts is unambiguous (`["ab","c"]` and `["a","bc"]` hash differently).
+pub fn blake2b_256_parts(parts: &[&[u8]]) -> Digest {
+    let mut hasher = Blake2b::new(32);
+    for part in parts {
+        hasher.update(&(part.len() as u64).to_le_bytes());
+        hasher.update(part);
+    }
+    let out = hasher.finalize();
+    Digest::from_slice(&out).expect("blake2b-256 output is 32 bytes")
+}
+
+/// Keyed BLAKE2b-256 (MAC mode) over `data`.
+pub fn blake2b_256_keyed(key: &[u8], data: &[u8]) -> Digest {
+    let mut hasher = Blake2b::new_keyed(32, key);
+    hasher.update(data);
+    let out = hasher.finalize();
+    Digest::from_slice(&out).expect("blake2b-256 output is 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    fn b2b_hex(out_len: usize, key: &[u8], data: &[u8]) -> String {
+        let mut hasher = Blake2b::new_keyed(out_len, key);
+        hasher.update(data);
+        hex_encode(&hasher.finalize())
+    }
+
+    // Reference values generated with Python's hashlib (RFC 7693-conformant).
+
+    #[test]
+    fn rfc7693_abc_512() {
+        assert_eq!(
+            b2b_hex(64, &[], b"abc"),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn empty_512() {
+        assert_eq!(
+            b2b_hex(64, &[], b""),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn empty_256() {
+        assert_eq!(
+            b2b_hex(32, &[], b""),
+            "0e5751c026e543b2e8ab2eb06099daa1d1e5df47778f7787faab45cdf12fe3a8"
+        );
+    }
+
+    #[test]
+    fn abc_256() {
+        assert_eq!(
+            b2b_hex(32, &[], b"abc"),
+            "bddd813c634239723171ef3fee98579b94964e3bb1cb3e427262c8c068d52319"
+        );
+    }
+
+    #[test]
+    fn keyed_empty_kat() {
+        let key: Vec<u8> = (0u8..64).collect();
+        assert_eq!(
+            b2b_hex(64, &key, b""),
+            "10ebb67700b1868efb4417987acf4690ae9d972fb7a590c2f02871799aaa4786\
+             b5e996e8f0f4eb981fc214b005f42d2ff4233499391653df7aefcbc13fc51568"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn keyed_255_bytes_kat() {
+        let key: Vec<u8> = (0u8..64).collect();
+        let data: Vec<u8> = (0u8..255).collect();
+        assert_eq!(
+            b2b_hex(64, &key, &data),
+            "142709d62e28fcccd0af97fad0f8465b971e82201dc51070faa0372aa43e9248\
+             4be1c1e73ba10906d5d1853db6a4106e0a7bf9800d373d6dee2d46d62ef2a461"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn thousand_zero_bytes_256() {
+        assert_eq!(
+            b2b_hex(32, &[], &vec![0u8; 1000]),
+            "919da92d5040aeac86a75eb4125da3d0a9423bae8ae422b733b755f7baa8dadf"
+        );
+    }
+
+    #[test]
+    fn exactly_one_block_256() {
+        let data: Vec<u8> = (0u8..128).collect();
+        assert_eq!(
+            b2b_hex(32, &[], &data),
+            "c3582f71ebb2be66fa5dd750f80baae97554f3b015663c8be377cfcb2488c1d1"
+        );
+    }
+
+    #[test]
+    fn one_block_plus_one_byte_256() {
+        let data: Vec<u8> = (0u8..129).collect();
+        assert_eq!(
+            b2b_hex(32, &[], &data),
+            "f7f3c46ba2564ff4c4c162da1f5b605f9f1c4aa6a20652a9f9a337c1a2f5b9c9"
+        );
+    }
+
+    #[test]
+    fn keyed_32_byte_key() {
+        assert_eq!(
+            b2b_hex(32, b"0123456789abcdef0123456789abcdef", b"mahi-mahi"),
+            "c3e118a713bb2b8007edff0285fa399243e03b05f5c115d2b28f8c56818b84f7"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let one_shot = blake2b_256(&data);
+        for chunk_size in [1, 7, 127, 128, 129, 500] {
+            let mut hasher = Blake2b::new(32);
+            for chunk in data.chunks(chunk_size) {
+                hasher.update(chunk);
+            }
+            assert_eq!(
+                hasher.finalize(),
+                one_shot.as_bytes().to_vec(),
+                "chunk size {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn parts_are_length_prefixed() {
+        assert_ne!(
+            blake2b_256_parts(&[b"ab", b"c"]),
+            blake2b_256_parts(&[b"a", b"bc"]),
+        );
+    }
+
+    #[test]
+    fn keyed_differs_from_unkeyed() {
+        assert_ne!(
+            blake2b_256_keyed(b"key", b"data"),
+            blake2b_256(b"data"),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn rejects_zero_output() {
+        let _ = Blake2b::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn rejects_oversized_output() {
+        let _ = Blake2b::new(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "key must be")]
+    fn rejects_oversized_key() {
+        let _ = Blake2b::new_keyed(32, &[0u8; 65]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The uncertified DAG substrate.
+//!
+//! Validators hold blocks in a local DAG (`DAG[r, v]` in the paper's
+//! notation). This crate provides:
+//!
+//! - [`BlockStore`]: an equivocation-aware, causally-complete block store
+//!   with pending-ancestry buffering (the paper's rule that *"honest
+//!   validators only include hashes of blocks once they have downloaded
+//!   their entire causal history"*) and synchronizer hooks
+//!   ([`BlockStore::missing_parents`]);
+//! - the traversal helpers of Algorithm 3 — [`BlockStore::voted_block`]
+//!   (`VotedBlock`), [`BlockStore::is_vote`] (`IsVote`),
+//!   [`BlockStore::is_cert`] (`IsCert`), [`BlockStore::is_link`] (`IsLink`),
+//!   and [`BlockStore::linearize_sub_dag`] (`LinearizeSubDags`);
+//! - [`DagBuilder`]: a test/simulation utility for constructing DAGs with
+//!   precise control over references, omissions, and equivocations.
+//!
+//! # Example
+//!
+//! ```
+//! use mahimahi_types::TestCommittee;
+//! use mahimahi_dag::DagBuilder;
+//!
+//! let setup = TestCommittee::new(4, 7);
+//! let mut builder = DagBuilder::new(setup);
+//! builder.add_full_round(); // round 1: everyone references everyone
+//! builder.add_full_round(); // round 2
+//! let store = builder.store();
+//! assert_eq!(store.highest_round(), 2);
+//! assert_eq!(store.blocks_at_round(2).len(), 4);
+//! ```
+
+mod builder;
+mod store;
+mod traversal;
+
+pub use builder::{BlockSpec, DagBuilder};
+pub use store::{BlockStore, InsertResult, StoreError};

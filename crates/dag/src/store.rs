@@ -1,0 +1,669 @@
+//! The equivocation-aware block store.
+
+use mahimahi_types::{AuthorityIndex, Block, BlockRef, Round, Slot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense index of a block inside a [`BlockStore`] (internal interning).
+pub(crate) type BlockIdx = u32;
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The block's author index is outside the committee.
+    UnknownAuthority(AuthorityIndex),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownAuthority(authority) => {
+                write!(f, "block author {authority} outside the committee")
+            }
+        }
+    }
+}
+
+impl StdError for StoreError {}
+
+/// Outcome of [`BlockStore::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertResult {
+    /// The block (and possibly previously-pending descendants) joined the
+    /// DAG. Contains every reference that became available, in insertion
+    /// order (the block itself first).
+    Inserted(Vec<BlockRef>),
+    /// The block is buffered until the listed ancestors arrive.
+    Pending(Vec<BlockRef>),
+    /// The block (or an identical copy) is already stored or pending.
+    Duplicate,
+    /// The block's round is below the garbage-collection cutoff; it was
+    /// dropped (its slot's fate was decided long ago).
+    BelowGcFloor,
+}
+
+pub(crate) struct StoredBlock {
+    pub block: Arc<Block>,
+    /// Parent references resolved to dense indexes.
+    pub parents: Vec<BlockIdx>,
+}
+
+/// A validator's local DAG: every causally-complete block it has accepted.
+///
+/// The store is *equivocation-aware*: `DAG[r, v]` may hold several blocks
+/// when `v` is Byzantine, and all of them participate in traversals exactly
+/// as the paper prescribes.
+///
+/// Blocks whose ancestry is incomplete are buffered (`Pending`) and join the
+/// DAG automatically once their missing parents arrive — the store performs
+/// the paper's causal-completeness admission rule; a synchronizer drives
+/// [`BlockStore::missing_parents`] to fetch the gaps.
+pub struct BlockStore {
+    committee_size: usize,
+    quorum_threshold: usize,
+    pub(crate) blocks: Vec<StoredBlock>,
+    pub(crate) by_ref: HashMap<BlockRef, BlockIdx>,
+    /// round → author → equivocating block indexes (insertion order).
+    rounds: BTreeMap<Round, Vec<Vec<BlockIdx>>>,
+    highest_round: Round,
+    /// Rounds below this have been garbage-collected ([`BlockStore::compact`]).
+    gc_cutoff: Round,
+    /// Blocks waiting for ancestors: own ref → block.
+    pending: HashMap<BlockRef, Arc<Block>>,
+    /// missing parent → dependents waiting on it.
+    waiters: HashMap<BlockRef, Vec<BlockRef>>,
+    /// Memoized `VotedBlock` results: (vote block, target slot) → voted
+    /// block (if any). Sound because a stored block's causal history is
+    /// immutable. Interior mutability keeps traversals `&self`.
+    pub(crate) vote_cache: Mutex<HashMap<(BlockIdx, Slot), Option<BlockIdx>>>,
+    /// Memoized `IsCert` results: (certificate block, leader block) → bool.
+    /// Sound for the same reason: both blocks' histories are immutable.
+    pub(crate) cert_cache: Mutex<HashMap<(BlockIdx, BlockIdx), bool>>,
+}
+
+impl BlockStore {
+    /// Creates a store for a committee of `committee_size` validators with
+    /// quorum threshold `quorum_threshold`, pre-seeded with the genesis
+    /// blocks of round 0.
+    pub fn new(committee_size: usize, quorum_threshold: usize) -> Self {
+        let mut store = BlockStore {
+            committee_size,
+            quorum_threshold,
+            blocks: Vec::new(),
+            by_ref: HashMap::new(),
+            rounds: BTreeMap::new(),
+            highest_round: 0,
+            gc_cutoff: 0,
+            pending: HashMap::new(),
+            waiters: HashMap::new(),
+            vote_cache: Mutex::new(HashMap::new()),
+            cert_cache: Mutex::new(HashMap::new()),
+        };
+        for genesis in Block::all_genesis(committee_size) {
+            store
+                .insert(genesis.into_arc())
+                .expect("genesis authors are in range");
+        }
+        store
+    }
+
+    /// The committee size this store was created for.
+    pub fn committee_size(&self) -> usize {
+        self.committee_size
+    }
+
+    /// The quorum threshold `2f + 1` used by vote/certificate counting.
+    pub fn quorum_threshold(&self) -> usize {
+        self.quorum_threshold
+    }
+
+    /// Inserts a block, buffering it if ancestors are missing.
+    ///
+    /// The caller is responsible for block *validity* ([`Block::verify`]);
+    /// the store enforces only causal completeness and authority range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownAuthority`] for out-of-range authors
+    /// (such blocks could not be indexed).
+    pub fn insert(&mut self, block: Arc<Block>) -> Result<InsertResult, StoreError> {
+        if block.author().as_usize() >= self.committee_size {
+            return Err(StoreError::UnknownAuthority(block.author()));
+        }
+        if block.round() < self.gc_cutoff {
+            return Ok(InsertResult::BelowGcFloor);
+        }
+        let reference = block.reference();
+        if self.by_ref.contains_key(&reference) || self.pending.contains_key(&reference) {
+            return Ok(InsertResult::Duplicate);
+        }
+        // Parents below the GC cutoff are treated as present: their slots
+        // were decided and dropped; floored linearization never reads them.
+        let missing: Vec<BlockRef> = block
+            .parents()
+            .iter()
+            .filter(|parent| {
+                parent.round >= self.gc_cutoff && !self.by_ref.contains_key(parent)
+            })
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            for parent in &missing {
+                self.waiters.entry(*parent).or_default().push(reference);
+            }
+            self.pending.insert(reference, block);
+            return Ok(InsertResult::Pending(missing));
+        }
+        let mut admitted = vec![reference];
+        self.admit(block);
+        self.drain_waiters(reference, &mut admitted);
+        Ok(InsertResult::Inserted(admitted))
+    }
+
+    /// Links a now-complete block into the DAG. All parents must be present
+    /// (or garbage-collected, in which case the edge is pruned).
+    fn admit(&mut self, block: Arc<Block>) {
+        let reference = block.reference();
+        let parents = block
+            .parents()
+            .iter()
+            .filter_map(|parent| self.by_ref.get(parent).copied())
+            .collect();
+        let index = self.blocks.len() as BlockIdx;
+        self.blocks.push(StoredBlock { block, parents });
+        self.by_ref.insert(reference, index);
+        let slots = self
+            .rounds
+            .entry(reference.round)
+            .or_insert_with(|| vec![Vec::new(); self.committee_size]);
+        slots[reference.author.as_usize()].push(index);
+        self.highest_round = self.highest_round.max(reference.round);
+    }
+
+    /// After `arrived` joined the DAG, admits any pending blocks that are now
+    /// causally complete (transitively).
+    fn drain_waiters(&mut self, arrived: BlockRef, admitted: &mut Vec<BlockRef>) {
+        let mut frontier = vec![arrived];
+        while let Some(parent) = frontier.pop() {
+            let Some(dependents) = self.waiters.remove(&parent) else {
+                continue;
+            };
+            for dependent in dependents {
+                let Some(block) = self.pending.get(&dependent) else {
+                    continue; // already admitted via another parent
+                };
+                let complete = block.parents().iter().all(|reference| {
+                    reference.round < self.gc_cutoff || self.by_ref.contains_key(reference)
+                });
+                if complete {
+                    let block = self.pending.remove(&dependent).expect("present");
+                    self.admit(block);
+                    admitted.push(dependent);
+                    frontier.push(dependent);
+                }
+            }
+        }
+    }
+
+    /// Whether the block is linked into the DAG (not merely pending).
+    pub fn contains(&self, reference: &BlockRef) -> bool {
+        self.by_ref.contains_key(reference)
+    }
+
+    /// Fetches a stored block.
+    pub fn get(&self, reference: &BlockRef) -> Option<&Arc<Block>> {
+        self.by_ref
+            .get(reference)
+            .map(|&index| &self.blocks[index as usize].block)
+    }
+
+    /// All blocks of `round`, across every authority and equivocation
+    /// (`DAG[r, *]`).
+    pub fn blocks_at_round(&self, round: Round) -> Vec<&Arc<Block>> {
+        let Some(slots) = self.rounds.get(&round) else {
+            return Vec::new();
+        };
+        slots
+            .iter()
+            .flatten()
+            .map(|&index| &self.blocks[index as usize].block)
+            .collect()
+    }
+
+    /// All blocks occupying `slot` (`DAG[r, v]`; more than one only under
+    /// equivocation).
+    pub fn blocks_in_slot(&self, slot: Slot) -> Vec<&Arc<Block>> {
+        let Some(slots) = self.rounds.get(&slot.round) else {
+            return Vec::new();
+        };
+        slots[slot.authority.as_usize()]
+            .iter()
+            .map(|&index| &self.blocks[index as usize].block)
+            .collect()
+    }
+
+    /// Distinct authorities with at least one block at `round`.
+    pub fn authorities_at_round(&self, round: Round) -> Vec<AuthorityIndex> {
+        let Some(slots) = self.rounds.get(&round) else {
+            return Vec::new();
+        };
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, blocks)| !blocks.is_empty())
+            .map(|(author, _)| AuthorityIndex::from(author))
+            .collect()
+    }
+
+    /// The highest round with any stored block.
+    pub fn highest_round(&self) -> Round {
+        self.highest_round
+    }
+
+    /// The garbage-collection cutoff (0 when never compacted).
+    pub fn gc_cutoff(&self) -> Round {
+        self.gc_cutoff
+    }
+
+    /// Total number of stored (causally complete) blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds no blocks (never true: genesis is pre-seeded).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of blocks buffered awaiting ancestors.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// References the store is waiting for (synchronizer work queue).
+    pub fn missing_parents(&self) -> Vec<BlockRef> {
+        let mut missing: Vec<BlockRef> = self
+            .waiters
+            .keys()
+            .filter(|reference| !self.by_ref.contains_key(reference))
+            .copied()
+            .collect();
+        missing.sort();
+        missing
+    }
+
+    /// Iterates over every stored block in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Block>> {
+        self.blocks.iter().map(|stored| &stored.block)
+    }
+
+    pub(crate) fn index_of(&self, reference: &BlockRef) -> Option<BlockIdx> {
+        self.by_ref.get(reference).copied()
+    }
+
+    pub(crate) fn stored(&self, index: BlockIdx) -> &StoredBlock {
+        &self.blocks[index as usize]
+    }
+
+    /// Garbage collection: drops every block with `round < cutoff` and all
+    /// state referring to them (indexes, pending blocks that can no longer
+    /// complete, memo caches).
+    ///
+    /// Safe to call once the commit sequence has passed `cutoff` *and*
+    /// linearization uses a GC floor ≥ `cutoff`
+    /// ([`BlockStore::linearize_sub_dag_floored`]): decisions about slots at
+    /// or above `cutoff` only read rounds ≥ `cutoff`, and floored
+    /// linearization deterministically ignores older blocks, so pruned
+    /// parent edges are never followed.
+    ///
+    /// Returns the number of blocks dropped.
+    pub fn compact(&mut self, cutoff: Round) -> usize {
+        if cutoff <= self.gc_cutoff {
+            return 0;
+        }
+        self.gc_cutoff = cutoff;
+        let before = self.blocks.len();
+        // Rebuild the interned block table keeping rounds ≥ cutoff (and
+        // genesis-bootstrap blocks only if cutoff is 0, handled above).
+        let old_blocks = std::mem::take(&mut self.blocks);
+        let mut remap: HashMap<BlockIdx, BlockIdx> = HashMap::new();
+        let mut kept: Vec<StoredBlock> = Vec::new();
+        for (old_index, stored) in old_blocks.into_iter().enumerate() {
+            if stored.block.round() >= cutoff {
+                remap.insert(old_index as BlockIdx, kept.len() as BlockIdx);
+                kept.push(stored);
+            }
+        }
+        for stored in &mut kept {
+            stored.parents = stored
+                .parents
+                .iter()
+                .filter_map(|parent| remap.get(parent).copied())
+                .collect();
+        }
+        self.blocks = kept;
+        self.by_ref.retain(|reference, index| {
+            if reference.round >= cutoff {
+                *index = remap[index];
+                true
+            } else {
+                false
+            }
+        });
+        self.rounds.retain(|&round, _| round >= cutoff);
+        for slots in self.rounds.values_mut() {
+            for indexes in slots.iter_mut() {
+                for index in indexes.iter_mut() {
+                    *index = remap[index];
+                }
+            }
+        }
+        // Pending blocks waiting on now-unreachable ancestry can never be
+        // admitted; drop them and their waiter entries.
+        self.pending
+            .retain(|reference, _| reference.round >= cutoff);
+        let pending_refs: std::collections::HashSet<BlockRef> =
+            self.pending.keys().copied().collect();
+        self.waiters.retain(|missing, dependents| {
+            if missing.round < cutoff {
+                return false;
+            }
+            dependents.retain(|dependent| pending_refs.contains(dependent));
+            !dependents.is_empty()
+        });
+        // Memo caches are keyed by dense indexes: cleared wholesale (they
+        // re-warm within a round).
+        self.vote_cache.lock().clear();
+        self.cert_cache.lock().clear();
+        before - self.blocks.len()
+    }
+
+    /// Distinct authorities of round `round` satisfying `predicate` on at
+    /// least one of their blocks (equivocation-tolerant counting used by the
+    /// decision rules).
+    pub fn authorities_with<F>(&self, round: Round, predicate: F) -> HashSet<AuthorityIndex>
+    where
+        F: Fn(&Arc<Block>) -> bool,
+    {
+        let mut authorities = HashSet::new();
+        let Some(slots) = self.rounds.get(&round) else {
+            return authorities;
+        };
+        for (author, indexes) in slots.iter().enumerate() {
+            for &index in indexes {
+                if predicate(&self.blocks[index as usize].block) {
+                    authorities.insert(AuthorityIndex::from(author));
+                    break;
+                }
+            }
+        }
+        authorities
+    }
+}
+
+impl fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BlockStore({} blocks, {} pending, rounds 0..={})",
+            self.blocks.len(),
+            self.pending.len(),
+            self.highest_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::{BlockBuilder, TestCommittee, Transaction};
+
+    fn setup() -> TestCommittee {
+        TestCommittee::new(4, 11)
+    }
+
+    fn round_one_block(setup: &TestCommittee, author: u32) -> Arc<Block> {
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[author as usize].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(|b| b.reference())
+                .filter(|r| r.author.0 != author),
+        );
+        BlockBuilder::new(AuthorityIndex(author), 1)
+            .parents(parents)
+            .build(setup)
+            .into_arc()
+    }
+
+    #[test]
+    fn new_store_contains_genesis() {
+        let store = BlockStore::new(4, 3);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.blocks_at_round(0).len(), 4);
+        assert_eq!(store.highest_round(), 0);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn insert_complete_block() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let block = round_one_block(&setup, 0);
+        let result = store.insert(block.clone()).unwrap();
+        assert_eq!(result, InsertResult::Inserted(vec![block.reference()]));
+        assert!(store.contains(&block.reference()));
+        assert_eq!(store.highest_round(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_detected() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let block = round_one_block(&setup, 0);
+        store.insert(block.clone()).unwrap();
+        assert_eq!(store.insert(block).unwrap(), InsertResult::Duplicate);
+    }
+
+    #[test]
+    fn author_out_of_range_rejected() {
+        let mut store = BlockStore::new(4, 3);
+        let bogus = Block::genesis(AuthorityIndex(9)).into_arc();
+        assert_eq!(
+            store.insert(bogus),
+            Err(StoreError::UnknownAuthority(AuthorityIndex(9)))
+        );
+    }
+
+    #[test]
+    fn pending_until_parents_arrive() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let r1: Vec<Arc<Block>> = (0..4).map(|a| round_one_block(&setup, a)).collect();
+        let r1_refs: Vec<BlockRef> = r1.iter().map(|b| b.reference()).collect();
+        let mut parents = vec![r1_refs[0]];
+        parents.extend(r1_refs[1..].iter().copied());
+        let r2 = BlockBuilder::new(AuthorityIndex(0), 2)
+            .parents(parents)
+            .transaction(Transaction::benchmark(1))
+            .build(&setup)
+            .into_arc();
+
+        // Insert the round-2 block first: all four round-1 parents missing.
+        let result = store.insert(r2.clone()).unwrap();
+        let InsertResult::Pending(missing) = result else {
+            panic!("expected pending, got {result:?}");
+        };
+        assert_eq!(missing.len(), 4);
+        assert_eq!(store.pending_count(), 1);
+        assert_eq!(store.missing_parents().len(), 4);
+        assert!(!store.contains(&r2.reference()));
+
+        // Feed three parents: still pending.
+        for block in &r1[..3] {
+            store.insert(block.clone()).unwrap();
+        }
+        assert!(!store.contains(&r2.reference()));
+
+        // The final parent releases the dependent block.
+        let result = store.insert(r1[3].clone()).unwrap();
+        let InsertResult::Inserted(admitted) = result else {
+            panic!("expected inserted, got {result:?}");
+        };
+        assert_eq!(admitted, vec![r1_refs[3], r2.reference()]);
+        assert!(store.contains(&r2.reference()));
+        assert_eq!(store.pending_count(), 0);
+        assert!(store.missing_parents().is_empty());
+    }
+
+    #[test]
+    fn duplicate_pending_detected() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let r1 = round_one_block(&setup, 0);
+        let refs = vec![r1.reference()];
+        let dependent = BlockBuilder::new(AuthorityIndex(0), 2)
+            .parents(refs)
+            .build(&setup)
+            .into_arc();
+        assert!(matches!(
+            store.insert(dependent.clone()).unwrap(),
+            InsertResult::Pending(_)
+        ));
+        assert_eq!(store.insert(dependent).unwrap(), InsertResult::Duplicate);
+    }
+
+    #[test]
+    fn equivocations_share_a_slot() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[1].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(|b| b.reference())
+                .filter(|r| r.author.0 != 1),
+        );
+        let one = BlockBuilder::new(AuthorityIndex(1), 1)
+            .parents(parents.clone())
+            .transaction(Transaction::benchmark(1))
+            .build(&setup)
+            .into_arc();
+        let two = BlockBuilder::new(AuthorityIndex(1), 1)
+            .parents(parents)
+            .transaction(Transaction::benchmark(2))
+            .build(&setup)
+            .into_arc();
+        store.insert(one.clone()).unwrap();
+        store.insert(two.clone()).unwrap();
+        let slot = Slot::new(1, AuthorityIndex(1));
+        let in_slot = store.blocks_in_slot(slot);
+        assert_eq!(in_slot.len(), 2);
+        assert_eq!(store.blocks_at_round(1).len(), 2);
+        assert_eq!(store.authorities_at_round(1), vec![AuthorityIndex(1)]);
+    }
+
+    #[test]
+    fn authorities_with_predicate() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        for author in 0..3 {
+            store.insert(round_one_block(&setup, author)).unwrap();
+        }
+        let with_round_one = store.authorities_with(1, |_| true);
+        assert_eq!(with_round_one.len(), 3);
+        let none = store.authorities_with(1, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn compact_drops_old_rounds_and_rejects_stale_blocks() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let r1: Vec<Arc<Block>> = (0..4).map(|a| round_one_block(&setup, a)).collect();
+        for block in &r1 {
+            store.insert(block.clone()).unwrap();
+        }
+        // Round 2 blocks on top.
+        let r1_refs: Vec<BlockRef> = r1.iter().map(|b| b.reference()).collect();
+        let mut r2 = Vec::new();
+        for author in 0..4u32 {
+            let mut parents = vec![r1_refs[author as usize]];
+            parents.extend(r1_refs.iter().copied().filter(|r| r.author.0 != author));
+            let block = BlockBuilder::new(AuthorityIndex(author), 2)
+                .parents(parents)
+                .build(&setup)
+                .into_arc();
+            store.insert(block.clone()).unwrap();
+            r2.push(block);
+        }
+        assert_eq!(store.len(), 12);
+
+        let dropped = store.compact(2);
+        assert_eq!(dropped, 8); // genesis + round 1
+        assert_eq!(store.gc_cutoff(), 2);
+        assert!(store.blocks_at_round(0).is_empty());
+        assert!(store.blocks_at_round(1).is_empty());
+        assert_eq!(store.blocks_at_round(2).len(), 4);
+        // Round-2 blocks remain addressable and traversable among
+        // themselves.
+        assert!(store.contains(&r2[0].reference()));
+        assert!(store.is_link(&r2[0].reference(), &r2[0].reference()));
+
+        // Re-inserting a pruned round-1 block is absorbed.
+        assert_eq!(
+            store.insert(r1[0].clone()).unwrap(),
+            InsertResult::BelowGcFloor
+        );
+        // A new round-3 block referencing round-2 (present) plus pruned
+        // round-1 parents is admitted with the stale edges dropped.
+        let mut parents = vec![r2[0].reference()];
+        parents.extend(r2[1..].iter().map(|b| b.reference()));
+        parents.push(r1_refs[1]);
+        let block = BlockBuilder::new(AuthorityIndex(0), 3)
+            .parents(parents)
+            .build(&setup)
+            .into_arc();
+        assert!(matches!(
+            store.insert(block).unwrap(),
+            InsertResult::Inserted(_)
+        ));
+        // Compacting to a lower (or equal) cutoff is a no-op.
+        assert_eq!(store.compact(1), 0);
+        assert_eq!(store.compact(2), 0);
+    }
+
+    #[test]
+    fn missing_parents_is_sorted_and_deduplicated() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let r1: Vec<Arc<Block>> = (0..4).map(|a| round_one_block(&setup, a)).collect();
+        let r1_refs: Vec<BlockRef> = r1.iter().map(|b| b.reference()).collect();
+        // Two round-2 blocks both waiting on the same four round-1 parents.
+        for author in 0..2u32 {
+            let mut parents = vec![r1_refs[author as usize]];
+            parents.extend(
+                r1_refs
+                    .iter()
+                    .copied()
+                    .filter(|r| r.author.0 != author),
+            );
+            let block = BlockBuilder::new(AuthorityIndex(author), 2)
+                .parents(parents)
+                .build(&setup)
+                .into_arc();
+            store.insert(block).unwrap();
+        }
+        let missing = store.missing_parents();
+        assert_eq!(missing.len(), 4);
+        let mut sorted = missing.clone();
+        sorted.sort();
+        assert_eq!(missing, sorted);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the structural lemmas of Appendix C that live at the
+//! DAG level (independent of the commit rule).
+
+use mahimahi_dag::{BlockSpec, DagBuilder};
+use mahimahi_types::TestCommittee;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds `rounds` rounds where every author references a random quorum.
+fn random_quorum_dag(n: usize, rounds: u64, seed: u64) -> DagBuilder {
+    let setup = TestCommittee::new(n, seed);
+    let quorum = setup.committee().quorum_threshold();
+    let mut dag = DagBuilder::new(setup);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let specs = (0..n as u32)
+            .map(|author| {
+                let mut others: Vec<u32> =
+                    (0..n as u32).filter(|&a| a != author).collect();
+                others.shuffle(&mut rng);
+                others.truncate(quorum - 1);
+                BlockSpec::new(author).with_parent_authors(others)
+            })
+            .collect();
+        dag.add_round(specs);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Lemma 10 (common core): for every round `r`, some round-`r` block is
+    /// in the causal history of *every* round-`r+2` block — whatever the
+    /// (quorum-respecting) reference pattern.
+    #[test]
+    fn common_core_exists(
+        n in prop_oneof![Just(4usize), Just(7), Just(10)],
+        seed in 0u64..100_000,
+    ) {
+        let rounds = 6u64;
+        let dag = random_quorum_dag(n, rounds, seed);
+        let store = dag.store();
+        for r in 1..=(rounds - 2) {
+            let core_exists = store.blocks_at_round(r).iter().any(|candidate| {
+                let candidate_ref = candidate.reference();
+                store
+                    .blocks_at_round(r + 2)
+                    .iter()
+                    .all(|later| store.is_link(&candidate_ref, &later.reference()))
+            });
+            prop_assert!(core_exists, "no common core at round {} (n = {})", r, n);
+        }
+    }
+
+    /// Observation 1: a block votes for at most one block per slot, no
+    /// matter how many equivocations the slot holds or how they are
+    /// referenced.
+    #[test]
+    fn votes_are_unique_per_slot(
+        seed in 0u64..100_000,
+        variants in 2usize..4,
+    ) {
+        let setup = TestCommittee::new(4, seed);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_round();
+        // Author 0 equivocates `variants` ways at round 2.
+        let mut specs = vec![BlockSpec::new(1), BlockSpec::new(2), BlockSpec::new(3)];
+        for variant in 0..variants {
+            specs.push(BlockSpec::new(0).with_tag(variant as u64 + 1));
+        }
+        let r2 = dag.add_round(specs);
+        let equivocations: Vec<_> = r2.iter().filter(|b| b.author.0 == 0).copied().collect();
+        prop_assert_eq!(equivocations.len(), variants);
+        // Round 3+4: full references (everyone sees every equivocation).
+        dag.add_full_round();
+        let r4 = dag.add_full_round();
+        let store = dag.store();
+        for vote in &r4 {
+            let votes: usize = equivocations
+                .iter()
+                .filter(|candidate| {
+                    let block = store.get(candidate).unwrap().clone();
+                    store.is_vote(vote, &block)
+                })
+                .count();
+            prop_assert!(votes <= 1, "{} voted {} times for one slot", vote, votes);
+        }
+    }
+
+    /// Lemma 2 at the DAG level: at most one block per slot can gather a
+    /// certificate, for any reference pattern and number of equivocations.
+    #[test]
+    fn at_most_one_certified_block_per_slot(
+        seed in 0u64..100_000,
+    ) {
+        let setup = TestCommittee::new(4, seed);
+        let quorum = setup.committee().quorum_threshold();
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_round();
+        let r1 = dag.add_round(vec![
+            BlockSpec::new(0).with_tag(1),
+            BlockSpec::new(0).with_tag(2),
+            BlockSpec::new(1),
+            BlockSpec::new(2),
+            BlockSpec::new(3),
+        ]);
+        let equivocations: Vec<_> = r1.iter().filter(|b| b.author.0 == 0).copied().collect();
+        // Random split: each later author extends a random equivocation.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let r = dag.current_round();
+            let specs = (0..4u32)
+                .map(|author| {
+                    if r == 2 {
+                        // First round after the equivocation: pick a variant.
+                        let pick = *equivocations.choose(&mut rng).unwrap();
+                        let others: Vec<_> = dag
+                            .store()
+                            .blocks_at_round(2)
+                            .iter()
+                            .map(|b| b.reference())
+                            .filter(|b| b.author.0 != 0)
+                            .collect();
+                        let mut parents = vec![dag.tip(author)];
+                        parents.push(pick);
+                        parents.extend(others);
+                        BlockSpec::new(author).with_explicit_parents(parents)
+                    } else {
+                        BlockSpec::new(author)
+                    }
+                })
+                .collect();
+            dag.add_round(specs);
+        }
+        let store = dag.store();
+        let certify_round = 2 + 3; // w = 4 certify round for slot round 2
+        let certified: usize = equivocations
+            .iter()
+            .filter(|candidate| {
+                let block = store.get(candidate).unwrap().clone();
+                store
+                    .authorities_with(certify_round, |cert| store.is_cert(cert, &block))
+                    .len()
+                    >= quorum
+            })
+            .count();
+        prop_assert!(certified <= 1, "{} equivocations certified", certified);
+    }
+}

@@ -1,0 +1,326 @@
+//! The simulated message network: event queue, bandwidth, FIFO links.
+
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::adversary::{Adversary, MessageMeta};
+use crate::latency::LatencyModel;
+use crate::time::Time;
+
+/// Static configuration of the simulated network fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node egress bandwidth in bytes per second (the paper's machines
+    /// have 10 Gbps ≈ 1.25 GB/s).
+    pub egress_bytes_per_sec: f64,
+    /// RNG seed for latency sampling.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's machine profile: 10 Gbps NICs.
+    pub fn aws(nodes: usize, seed: u64) -> Self {
+        NetworkConfig {
+            nodes,
+            egress_bytes_per_sec: 1.25e9,
+            seed,
+        }
+    }
+}
+
+/// A message in flight (or delivered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Simulated delivery time.
+    pub deliver_at: Time,
+    /// Sender node.
+    pub from: usize,
+    /// Recipient node.
+    pub to: usize,
+    /// Opaque payload.
+    pub payload: P,
+}
+
+/// The simulated network: computes delivery times from latency, bandwidth,
+/// the adversary, and per-link FIFO ordering, and hands back messages in
+/// global time order.
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_net::{NetworkConfig, SimNetwork, UniformLatency, NoAdversary};
+///
+/// let mut net = SimNetwork::new(
+///     NetworkConfig { nodes: 3, egress_bytes_per_sec: 1e9, seed: 7 },
+///     UniformLatency::new(1_000, 2_000),
+///     NoAdversary,
+/// );
+/// net.send(0, 0, 1, 512, 1, "hello");
+/// let envelope = net.next_delivery().unwrap();
+/// assert_eq!(envelope.to, 1);
+/// assert!(envelope.deliver_at >= 1_000);
+/// ```
+pub struct SimNetwork<P, L, A> {
+    config: NetworkConfig,
+    latency: L,
+    adversary: A,
+    rng: ChaCha8Rng,
+    /// Per-node egress NIC availability (serialization queueing).
+    egress_busy_until: Vec<Time>,
+    /// Per-link last delivery time (TCP FIFO).
+    link_last_delivery: HashMap<(usize, usize), Time>,
+    /// In-flight messages keyed by (time, sequence) for deterministic order.
+    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    /// Payload storage parallel to queue entries.
+    payloads: HashMap<u64, Envelope<P>>,
+    sequence: u64,
+    /// Total bytes ever offered to the network (statistics).
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
+    /// Creates a network over `config` with the given latency model and
+    /// adversary.
+    pub fn new(config: NetworkConfig, latency: L, adversary: A) -> Self {
+        SimNetwork {
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            egress_busy_until: vec![0; config.nodes],
+            link_last_delivery: HashMap::new(),
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            sequence: 0,
+            bytes_sent: 0,
+            messages_sent: 0,
+            config,
+            latency,
+            adversary,
+        }
+    }
+
+    /// The number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// Queues a message from `from` to `to` at simulated time `now`.
+    ///
+    /// `size` is the serialized payload size (drives the bandwidth model),
+    /// `round` is the protocol round exposed to the adversary (0 = control
+    /// traffic). Returns the scheduled delivery time.
+    pub fn send(
+        &mut self,
+        now: Time,
+        from: usize,
+        to: usize,
+        size: usize,
+        round: u64,
+        payload: P,
+    ) -> Time {
+        assert!(from < self.config.nodes && to < self.config.nodes, "node out of range");
+        // Serialization: the sender's NIC transmits messages back to back.
+        let tx_time = (size as f64 / self.config.egress_bytes_per_sec * 1e6).ceil() as Time;
+        let tx_start = now.max(self.egress_busy_until[from]);
+        self.egress_busy_until[from] = tx_start + tx_time;
+        // Propagation.
+        let flight = self.latency.sample(from, to, &mut self.rng);
+        let physical_arrival = tx_start + tx_time + flight;
+        // Adversarial scheduling (may only delay).
+        let meta = MessageMeta {
+            from,
+            to,
+            round,
+            size,
+        };
+        let scheduled = self.adversary.schedule(meta, physical_arrival);
+        debug_assert!(scheduled >= physical_arrival, "adversary accelerated a message");
+        // Per-link FIFO (TCP): never deliver before an earlier send.
+        let fifo_floor = self
+            .link_last_delivery
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(0);
+        let deliver_at = scheduled.max(fifo_floor);
+        self.link_last_delivery.insert((from, to), deliver_at);
+
+        self.sequence += 1;
+        self.bytes_sent += size as u64;
+        self.messages_sent += 1;
+        self.queue
+            .push(Reverse((deliver_at, self.sequence, to)));
+        self.payloads.insert(
+            self.sequence,
+            Envelope {
+                deliver_at,
+                from,
+                to,
+                payload,
+            },
+        );
+        deliver_at
+    }
+
+    /// Broadcasts copies of `payload` to every node except the sender.
+    /// Returns the latest scheduled delivery time.
+    pub fn broadcast(
+        &mut self,
+        now: Time,
+        from: usize,
+        size: usize,
+        round: u64,
+        payload: P,
+    ) -> Time
+    where
+        P: Clone,
+    {
+        let mut latest = now;
+        for to in 0..self.config.nodes {
+            if to != from {
+                latest = latest.max(self.send(now, from, to, size, round, payload.clone()));
+            }
+        }
+        latest
+    }
+
+    /// The delivery time of the earliest in-flight message.
+    pub fn next_delivery_time(&self) -> Option<Time> {
+        self.queue.peek().map(|Reverse((time, _, _))| *time)
+    }
+
+    /// Removes and returns the earliest in-flight message.
+    pub fn next_delivery(&mut self) -> Option<Envelope<P>> {
+        let Reverse((_, sequence, _)) = self.queue.pop()?;
+        Some(
+            self.payloads
+                .remove(&sequence)
+                .expect("payload stored with queue entry"),
+        )
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total bytes offered to the network so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages offered to the network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NoAdversary;
+    use crate::latency::UniformLatency;
+    use crate::time;
+
+    fn network(nodes: usize, bytes_per_sec: f64) -> SimNetwork<u32, UniformLatency, NoAdversary> {
+        SimNetwork::new(
+            NetworkConfig {
+                nodes,
+                egress_bytes_per_sec: bytes_per_sec,
+                seed: 5,
+            },
+            UniformLatency::new(time::from_millis(10), time::from_millis(10)),
+            NoAdversary,
+        )
+    }
+
+    #[test]
+    fn messages_deliver_in_time_order() {
+        let mut net = network(4, 1e12);
+        net.send(100, 0, 1, 10, 1, 1);
+        net.send(0, 1, 2, 10, 1, 2);
+        net.send(50, 2, 3, 10, 1, 3);
+        let mut times = Vec::new();
+        while let Some(envelope) = net.next_delivery() {
+            times.push(envelope.deliver_at);
+        }
+        assert_eq!(times.len(), 3);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        // 1 MB/s: a 100 kB message takes 100 ms to push out.
+        let mut net = network(2, 1e6);
+        let first = net.send(0, 0, 1, 100_000, 1, 1);
+        let second = net.send(0, 0, 1, 100_000, 1, 2);
+        // First: 100 ms tx + 10 ms flight; second waits for the NIC.
+        assert_eq!(first, time::from_millis(110));
+        assert_eq!(second, time::from_millis(210));
+    }
+
+    #[test]
+    fn broadcast_shares_the_nic() {
+        let mut net = network(5, 1e6);
+        // 100 kB broadcast to 4 peers: the last copy leaves the NIC at
+        // 400 ms.
+        let latest = net.broadcast(0, 0, 100_000, 1, 9);
+        assert_eq!(latest, time::from_millis(410));
+        assert_eq!(net.in_flight(), 4);
+        assert_eq!(net.bytes_sent(), 400_000);
+        assert_eq!(net.messages_sent(), 4);
+    }
+
+    #[test]
+    fn per_link_fifo_never_reorders() {
+        // Jittery latency could reorder; the FIFO clamp must prevent it.
+        let mut net = SimNetwork::new(
+            NetworkConfig {
+                nodes: 2,
+                egress_bytes_per_sec: 1e12,
+                seed: 11,
+            },
+            UniformLatency::new(time::from_millis(1), time::from_millis(100)),
+            NoAdversary,
+        );
+        for i in 0..50u32 {
+            net.send(i as Time, 0, 1, 10, 1, i);
+        }
+        let mut last_payload = None;
+        while let Some(envelope) = net.next_delivery() {
+            if let Some(previous) = last_payload {
+                assert!(envelope.payload > previous, "link reordered messages");
+            }
+            last_payload = Some(envelope.payload);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = SimNetwork::new(
+                NetworkConfig {
+                    nodes: 3,
+                    egress_bytes_per_sec: 1e9,
+                    seed,
+                },
+                UniformLatency::new(time::from_millis(1), time::from_millis(50)),
+                NoAdversary,
+            );
+            (0..20)
+                .map(|i| net.send(0, 0, 1 + (i as usize % 2), 100, 1, i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn rejects_unknown_nodes() {
+        let mut net = network(2, 1e9);
+        net.send(0, 0, 5, 10, 1, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Localhost cluster assembly for examples and integration tests.
+
+use mahimahi_core::{CommittedSubDag, CommitterOptions};
+use mahimahi_types::{TestCommittee, Transaction};
+use mahimahi_transport::Transport;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::node::{NodeConfig, NodeHandle, ValidatorNode};
+
+/// An `n`-validator Mahi-Mahi cluster on 127.0.0.1.
+///
+/// # Example
+///
+/// ```no_run
+/// use mahimahi_node::LocalCluster;
+/// use mahimahi_types::Transaction;
+///
+/// let cluster = LocalCluster::start(4, 7).unwrap();
+/// cluster.submit(0, Transaction::benchmark(1));
+/// let sub_dag = cluster.wait_for_commit(0, std::time::Duration::from_secs(30)).unwrap();
+/// assert!(sub_dag.blocks.len() > 0);
+/// cluster.stop();
+/// ```
+pub struct LocalCluster {
+    handles: Vec<NodeHandle>,
+}
+
+impl LocalCluster {
+    /// Starts `n` validators with default options, fully meshed over
+    /// ephemeral localhost ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/WAL errors from node start-up.
+    pub fn start(n: usize, seed: u64) -> std::io::Result<Self> {
+        Self::start_with(n, seed, CommitterOptions::default(), &[])
+    }
+
+    /// Starts a cluster with explicit committer options; authorities listed
+    /// in `silent` are *not* started (crash-from-boot faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/WAL errors from node start-up.
+    pub fn start_with(
+        n: usize,
+        seed: u64,
+        options: CommitterOptions,
+        silent: &[u32],
+    ) -> std::io::Result<Self> {
+        let setup = TestCommittee::new(n, seed);
+        // Bind all transports first so every address is known.
+        let transports: Vec<Transport> = (0..n as u32)
+            .map(|id| Transport::bind(id, "127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let addresses: Vec<SocketAddr> = transports.iter().map(Transport::local_addr).collect();
+        for transport in &transports {
+            for (peer, address) in addresses.iter().enumerate() {
+                if peer as u32 != transport.id() {
+                    transport.connect(peer as u32, *address);
+                }
+            }
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (id, transport) in transports.into_iter().enumerate() {
+            if silent.contains(&(id as u32)) {
+                // Crashed from boot: transport dropped, node never runs.
+                continue;
+            }
+            let mut config = NodeConfig::local(id as u32, setup.clone());
+            config.options = options;
+            let node = ValidatorNode::new(config, transport)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            handles.push(node.start());
+        }
+        Ok(LocalCluster { handles })
+    }
+
+    /// Number of running validators.
+    pub fn running(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a transaction to the `index`-th *running* validator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn submit(&self, index: usize, transaction: Transaction) {
+        self.handles[index].submit(transaction);
+    }
+
+    /// The commit stream of the `index`-th running validator.
+    pub fn commits(&self, index: usize) -> &crossbeam::channel::Receiver<CommittedSubDag> {
+        self.handles[index].commits()
+    }
+
+    /// Waits until the `index`-th validator commits a sub-DAG containing at
+    /// least one transaction, returning it.
+    pub fn wait_for_commit(
+        &self,
+        index: usize,
+        timeout: Duration,
+    ) -> Option<CommittedSubDag> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            match self.handles[index]
+                .commits()
+                .recv_timeout(Duration::from_millis(100))
+            {
+                Ok(sub_dag) => {
+                    if sub_dag.blocks.iter().any(|b| !b.transactions().is_empty()) {
+                        return Some(sub_dag);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+        None
+    }
+
+    /// Stops every validator.
+    pub fn stop(self) {
+        for handle in self.handles {
+            handle.stop();
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Networked Mahi-Mahi validator.
+//!
+//! The production-shaped counterpart of the simulator's validators: a
+//! [`ValidatorNode`] runs the uncertified-DAG protocol over real TCP
+//! ([`mahimahi_transport`]), persists every block to a write-ahead log
+//! before disseminating it, recovers its DAG from the log after a restart,
+//! and emits committed sub-DAGs to the application through a channel —
+//! Section 4 of the paper in miniature.
+//!
+//! [`LocalCluster`] assembles an `n`-node cluster on localhost for examples
+//! and integration tests.
+
+mod cluster;
+mod node;
+mod wire;
+
+pub use cluster::LocalCluster;
+pub use node::{NodeConfig, NodeHandle, ValidatorNode};
+pub use wire::NodeMessage;

@@ -1,0 +1,102 @@
+//! Wire messages between networked validators.
+
+use mahimahi_types::{Block, BlockRef, CodecError, Decode, Decoder, Encode, Encoder};
+use std::sync::Arc;
+
+/// Messages exchanged by networked validators (uncertified protocols).
+#[derive(Debug, Clone)]
+pub enum NodeMessage {
+    /// Best-effort block dissemination.
+    Block(Arc<Block>),
+    /// Ask the peer for the listed blocks (synchronizer).
+    Request(Vec<BlockRef>),
+    /// Answer to a [`NodeMessage::Request`].
+    Response(Vec<Arc<Block>>),
+}
+
+const TAG_BLOCK: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_RESPONSE: u8 = 3;
+
+impl Encode for NodeMessage {
+    fn encode(&self, encoder: &mut Encoder) {
+        match self {
+            NodeMessage::Block(block) => {
+                encoder.put_u8(TAG_BLOCK);
+                block.as_ref().encode(encoder);
+            }
+            NodeMessage::Request(references) => {
+                encoder.put_u8(TAG_REQUEST);
+                references.encode(encoder);
+            }
+            NodeMessage::Response(blocks) => {
+                encoder.put_u8(TAG_RESPONSE);
+                encoder.put_u32(u32::try_from(blocks.len()).expect("block count fits u32"));
+                for block in blocks {
+                    block.as_ref().encode(encoder);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for NodeMessage {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match decoder.get_u8()? {
+            TAG_BLOCK => Ok(NodeMessage::Block(Block::decode(decoder)?.into_arc())),
+            TAG_REQUEST => Ok(NodeMessage::Request(Vec::<BlockRef>::decode(decoder)?)),
+            TAG_RESPONSE => {
+                let count = decoder.get_u32()? as usize;
+                let mut blocks = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    blocks.push(Block::decode(decoder)?.into_arc());
+                }
+                Ok(NodeMessage::Response(blocks))
+            }
+            _ => Err(CodecError::InvalidValue("node message tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::AuthorityIndex;
+
+    #[test]
+    fn messages_round_trip() {
+        let genesis = Block::genesis(AuthorityIndex(1)).into_arc();
+        let messages = vec![
+            NodeMessage::Block(genesis.clone()),
+            NodeMessage::Request(vec![genesis.reference()]),
+            NodeMessage::Response(vec![genesis.clone()]),
+        ];
+        for message in messages {
+            let bytes = message.to_bytes_vec();
+            let decoded = NodeMessage::from_bytes_exact(&bytes).unwrap();
+            match (&message, &decoded) {
+                (NodeMessage::Block(a), NodeMessage::Block(b)) => {
+                    assert_eq!(a.reference(), b.reference())
+                }
+                (NodeMessage::Request(a), NodeMessage::Request(b)) => assert_eq!(a, b),
+                (NodeMessage::Response(a), NodeMessage::Response(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    assert_eq!(a[0].reference(), b[0].reference());
+                }
+                _ => panic!("variant changed in round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(NodeMessage::from_bytes_exact(&[9]).is_err());
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let genesis = Block::genesis(AuthorityIndex(1)).into_arc();
+        let bytes = NodeMessage::Block(genesis).to_bytes_vec();
+        assert!(NodeMessage::from_bytes_exact(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

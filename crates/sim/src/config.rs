@@ -1,0 +1,304 @@
+//! Simulation configuration.
+
+use mahimahi_baselines::{CordialMinersCommitter, CordialMinersOptions, TuskCommitter};
+use mahimahi_core::{Committer, CommitterOptions, ProtocolCommitter};
+use mahimahi_net::time::{self, Time};
+use mahimahi_types::{Committee, Round};
+
+/// Which consensus protocol a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// Mahi-Mahi with 5-round waves.
+    MahiMahi5 {
+        /// Leader slots per round (the paper evaluates 1–3, default 2).
+        leaders: usize,
+    },
+    /// Mahi-Mahi with 4-round waves.
+    MahiMahi4 {
+        /// Leader slots per round.
+        leaders: usize,
+    },
+    /// Cordial Miners (5-round non-overlapping waves, one leader).
+    CordialMiners,
+    /// Tusk over a certified DAG (3 certified rounds per wave).
+    Tusk,
+}
+
+impl ProtocolChoice {
+    /// Instantiates the committer for `committee`.
+    pub fn committer(&self, committee: Committee) -> Box<dyn ProtocolCommitter> {
+        match *self {
+            ProtocolChoice::MahiMahi5 { leaders } => Box::new(Committer::new(
+                committee,
+                CommitterOptions::mahi_mahi_5(leaders),
+            )),
+            ProtocolChoice::MahiMahi4 { leaders } => Box::new(Committer::new(
+                committee,
+                CommitterOptions::mahi_mahi_4(leaders),
+            )),
+            ProtocolChoice::CordialMiners => Box::new(CordialMinersCommitter::new(
+                committee,
+                CordialMinersOptions::default(),
+            )),
+            ProtocolChoice::Tusk => Box::new(TuskCommitter::new(committee)),
+        }
+    }
+
+    /// Whether blocks must be certified (consistent broadcast) before
+    /// entering the DAG.
+    pub fn certified(&self) -> bool {
+        matches!(self, ProtocolChoice::Tusk)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            ProtocolChoice::MahiMahi5 { leaders } => format!("Mahi-Mahi-5 ({leaders}L)"),
+            ProtocolChoice::MahiMahi4 { leaders } => format!("Mahi-Mahi-4 ({leaders}L)"),
+            ProtocolChoice::CordialMiners => "Cordial-Miners".to_string(),
+            ProtocolChoice::Tusk => "Tusk".to_string(),
+        }
+    }
+}
+
+/// Validator behavior, assigned per authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Stops participating entirely at the given round (0 = never starts;
+    /// the paper's crash-fault experiments use 0).
+    Crashed {
+        /// First round at which the validator is silent.
+        from_round: Round,
+    },
+    /// Down for a window of simulated time (messages in the window are
+    /// lost), then restarts and catches up through the synchronizer.
+    Offline {
+        /// Outage start.
+        from: Time,
+        /// Restart time.
+        until: Time,
+    },
+    /// Produces two equivocating blocks per round, sending one variant to
+    /// each half of the committee (disallowed under Tusk's certified DAG).
+    Equivocator,
+    /// Produces blocks but never sends them (its slots appear empty).
+    Mute,
+}
+
+/// Network delay model selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyChoice {
+    /// The paper's five-region AWS WAN.
+    AwsWan,
+    /// Uniform delay in `[min, max]` (unit tests, controlled experiments).
+    Uniform {
+        /// Minimum one-way delay.
+        min: Time,
+        /// Maximum one-way delay.
+        max: Time,
+    },
+}
+
+/// Delivery-schedule adversary selection (see `mahimahi-net`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryChoice {
+    /// Benign network.
+    None,
+    /// The random network model: every validator advances with a uniformly
+    /// random `2f + 1` subset each round.
+    RandomSubset {
+        /// Extra hold applied to non-subset blocks.
+        hold: Time,
+    },
+    /// Continuously active asynchronous adversary delaying rotating targets.
+    RotatingDelay {
+        /// Number of simultaneously targeted authorities.
+        targets: usize,
+        /// Rounds between target rotations.
+        period: u64,
+        /// Extra delay applied to targeted blocks.
+        extra: Time,
+    },
+    /// Network partition healing at the given time.
+    Partition {
+        /// Number of nodes split from the rest.
+        minority: usize,
+        /// Healing time.
+        heals_at: Time,
+    },
+}
+
+/// CPU cost model (microseconds). The paper attributes Tusk's overhead to
+/// certificate verification; these knobs reproduce that effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCosts {
+    /// One signature verification.
+    pub signature_verify: Time,
+    /// One coin-share (DLEQ) verification.
+    pub coin_share_verify: Time,
+    /// Producing (hashing + signing) one block.
+    pub block_creation: Time,
+    /// Per-kilobyte hashing cost while verifying a block.
+    pub hash_per_kb: Time,
+    /// Batch-verification discount applied to certificate signature checks
+    /// (1.0 = none, 0.5 = batching halves the cost). Expressed in percent to
+    /// stay integer-typed.
+    pub batch_discount_percent: u64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            signature_verify: 30,
+            coin_share_verify: 60,
+            block_creation: 50,
+            hash_per_kb: 1,
+            batch_discount_percent: 50,
+        }
+    }
+}
+
+impl CpuCosts {
+    /// Cost of verifying an uncertified block of `size` bytes.
+    pub fn block_verify(&self, size: usize) -> Time {
+        self.signature_verify + self.coin_share_verify + self.hash_per_kb * (size as Time / 1024)
+    }
+
+    /// Cost of verifying a certificate carrying `signatures` signatures.
+    pub fn certificate_verify(&self, signatures: usize) -> Time {
+        self.signature_verify * signatures as Time * self.batch_discount_percent / 100
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The protocol under test.
+    pub protocol: ProtocolChoice,
+    /// Committee size `n` (the paper uses 10 and 50).
+    pub committee_size: usize,
+    /// Per-validator behavior overrides (`(authority, behavior)`);
+    /// unlisted authorities are honest.
+    pub behaviors: Vec<(usize, Behavior)>,
+    /// Simulated run duration.
+    pub duration: Time,
+    /// Open-loop client load per validator (transactions per second).
+    pub txs_per_second_per_validator: u64,
+    /// Wire size of one transaction (the paper uses 512 bytes).
+    pub tx_wire_size: usize,
+    /// Maximum transactions included in one block.
+    pub max_block_transactions: usize,
+    /// Delay model.
+    pub latency: LatencyChoice,
+    /// Adversary model.
+    pub adversary: AdversaryChoice,
+    /// CPU cost model.
+    pub cpu: CpuCosts,
+    /// How long validators keep collecting previous-round blocks after the
+    /// quorum arrived before advancing (round pacing; see
+    /// `SimValidator`). 0 disables the wait.
+    pub inclusion_wait: Time,
+    /// Seed controlling all randomness in the run.
+    pub seed: u64,
+    /// Ignore transactions submitted before this fraction of the run when
+    /// computing latency statistics (warm-up).
+    pub warmup_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            protocol: ProtocolChoice::MahiMahi5 { leaders: 2 },
+            committee_size: 4,
+            behaviors: Vec::new(),
+            duration: time::from_secs(10),
+            txs_per_second_per_validator: 100,
+            tx_wire_size: 512,
+            max_block_transactions: 2_000,
+            latency: LatencyChoice::AwsWan,
+            adversary: AdversaryChoice::None,
+            cpu: CpuCosts::default(),
+            inclusion_wait: time::from_millis(50),
+            seed: 42,
+            warmup_fraction: 0.2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The behavior of `authority`.
+    pub fn behavior_of(&self, authority: usize) -> Behavior {
+        self.behaviors
+            .iter()
+            .find(|(a, _)| *a == authority)
+            .map(|(_, b)| *b)
+            .unwrap_or_default()
+    }
+
+    /// Marks the last `count` authorities as crashed from the start (the
+    /// paper's fault experiments crash the maximum `f`).
+    pub fn with_crashed(mut self, count: usize) -> Self {
+        for authority in self.committee_size.saturating_sub(count)..self.committee_size {
+            self.behaviors
+                .push((authority, Behavior::Crashed { from_round: 0 }));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::TestCommittee;
+
+    #[test]
+    fn protocol_names_and_certification() {
+        assert!(ProtocolChoice::Tusk.certified());
+        assert!(!ProtocolChoice::MahiMahi5 { leaders: 2 }.certified());
+        assert!(ProtocolChoice::MahiMahi4 { leaders: 3 }
+            .name()
+            .contains("Mahi-Mahi-4"));
+    }
+
+    #[test]
+    fn committers_instantiate() {
+        let setup = TestCommittee::new(4, 1);
+        for protocol in [
+            ProtocolChoice::MahiMahi5 { leaders: 2 },
+            ProtocolChoice::MahiMahi4 { leaders: 1 },
+            ProtocolChoice::CordialMiners,
+            ProtocolChoice::Tusk,
+        ] {
+            let committer = protocol.committer(setup.committee().clone());
+            assert_eq!(committer.committee().size(), 4);
+        }
+    }
+
+    #[test]
+    fn with_crashed_marks_the_tail() {
+        let config = SimConfig {
+            committee_size: 10,
+            ..SimConfig::default()
+        }
+        .with_crashed(3);
+        assert_eq!(config.behavior_of(0), Behavior::Honest);
+        assert_eq!(
+            config.behavior_of(7),
+            Behavior::Crashed { from_round: 0 }
+        );
+        assert_eq!(
+            config.behavior_of(9),
+            Behavior::Crashed { from_round: 0 }
+        );
+    }
+
+    #[test]
+    fn cpu_costs_scale() {
+        let cpu = CpuCosts::default();
+        assert!(cpu.block_verify(10_240) > cpu.block_verify(1_024));
+        assert_eq!(cpu.certificate_verify(7), 30 * 7 / 2);
+    }
+}

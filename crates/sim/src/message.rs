@@ -1,0 +1,146 @@
+//! Messages exchanged between simulated validators.
+
+use mahimahi_types::{AuthorityIndex, Block, BlockRef};
+use std::sync::Arc;
+
+/// The wire messages of the simulation.
+///
+/// Uncertified protocols (Mahi-Mahi, Cordial Miners) use only [`Block`],
+/// [`Request`], and [`Response`]. Tusk's certified pipeline adds the
+/// consistent-broadcast triple [`Proposal`] → [`Ack`] → [`Certificate`].
+///
+/// [`Block`]: SimMessage::Block
+/// [`Request`]: SimMessage::Request
+/// [`Response`]: SimMessage::Response
+/// [`Proposal`]: SimMessage::Proposal
+/// [`Ack`]: SimMessage::Ack
+/// [`Certificate`]: SimMessage::Certificate
+#[derive(Debug, Clone)]
+pub enum SimMessage {
+    /// Best-effort block dissemination (uncertified DAGs).
+    Block(Arc<Block>),
+    /// Certified pipeline step 1: a block awaiting acknowledgements.
+    Proposal(Arc<Block>),
+    /// Certified pipeline step 2: a signed acknowledgement back to the
+    /// author.
+    Ack {
+        /// The acknowledged block.
+        reference: BlockRef,
+        /// The acknowledging validator.
+        voter: AuthorityIndex,
+    },
+    /// Certified pipeline step 3: the certificate releasing the block into
+    /// the DAG. Carries the number of aggregated signatures (CPU model).
+    Certificate {
+        /// The certified block's reference (recipients hold the proposal).
+        reference: BlockRef,
+        /// Signatures aggregated in the certificate.
+        signatures: usize,
+    },
+    /// Synchronizer: ask the peer for missing blocks.
+    Request(Vec<BlockRef>),
+    /// Synchronizer: blocks answering a [`SimMessage::Request`].
+    Response(Vec<Arc<Block>>),
+}
+
+impl SimMessage {
+    /// Serialized size in bytes, for the bandwidth model.
+    ///
+    /// Block payloads are accounted at `tx_wire_size` bytes per transaction
+    /// (the simulator carries 8-byte synthetic transactions in memory but
+    /// charges full wire size — DESIGN.md §3).
+    pub fn wire_size(&self, tx_wire_size: usize) -> usize {
+        match self {
+            SimMessage::Block(block) | SimMessage::Proposal(block) => {
+                block_wire_size(block, tx_wire_size)
+            }
+            SimMessage::Ack { .. } => 64,
+            SimMessage::Certificate { signatures, .. } => 44 + 16 * signatures,
+            SimMessage::Request(refs) => 16 + 44 * refs.len(),
+            SimMessage::Response(blocks) => {
+                16 + blocks
+                    .iter()
+                    .map(|block| block_wire_size(block, tx_wire_size))
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// The DAG round this message concerns (0 for control traffic) — what
+    /// the adversary is allowed to observe.
+    pub fn round(&self) -> u64 {
+        match self {
+            SimMessage::Block(block) | SimMessage::Proposal(block) => block.round(),
+            SimMessage::Ack { reference, .. } | SimMessage::Certificate { reference, .. } => {
+                reference.round
+            }
+            SimMessage::Request(_) | SimMessage::Response(_) => 0,
+        }
+    }
+}
+
+/// Wire size of a block with transactions inflated to their configured
+/// benchmark size.
+pub fn block_wire_size(block: &Block, tx_wire_size: usize) -> usize {
+    let actual: usize = block
+        .transactions()
+        .iter()
+        .map(|tx| tx.len())
+        .sum();
+    let billed = block.transactions().len() * tx_wire_size;
+    block.serialized_size() - actual + billed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::AuthorityIndex;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let genesis = Block::genesis(AuthorityIndex(0)).into_arc();
+        let block_size = SimMessage::Block(genesis.clone()).wire_size(512);
+        assert!(block_size > 0);
+        let ack = SimMessage::Ack {
+            reference: genesis.reference(),
+            voter: AuthorityIndex(1),
+        };
+        assert!(ack.wire_size(512) < block_size * 10);
+        let cert = SimMessage::Certificate {
+            reference: genesis.reference(),
+            signatures: 7,
+        };
+        assert_eq!(cert.wire_size(512), 44 + 112);
+    }
+
+    #[test]
+    fn rounds_reported_to_adversary() {
+        let genesis = Block::genesis(AuthorityIndex(0)).into_arc();
+        assert_eq!(SimMessage::Block(genesis.clone()).round(), 0);
+        assert_eq!(SimMessage::Request(vec![]).round(), 0);
+        assert_eq!(
+            SimMessage::Ack {
+                reference: genesis.reference(),
+                voter: AuthorityIndex(1)
+            }
+            .round(),
+            0
+        );
+    }
+
+    #[test]
+    fn transaction_inflation() {
+        use mahimahi_types::{BlockBuilder, TestCommittee, Transaction};
+        let setup = TestCommittee::new(4, 1);
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[0].reference()];
+        parents.extend(genesis[1..].iter().map(Block::reference));
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(parents)
+            .transactions((0..10u64).map(|i| Transaction::new(i.to_le_bytes().to_vec())))
+            .build(&setup);
+        let real = block.serialized_size();
+        let billed = block_wire_size(&block, 512);
+        assert_eq!(billed, real - 10 * 8 + 10 * 512);
+    }
+}

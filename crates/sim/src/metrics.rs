@@ -1,0 +1,201 @@
+//! Run metrics: the quantities the paper's figures plot.
+
+use mahimahi_net::time::{self, Time};
+
+/// Latency sample statistics (client submission → commit).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<Time>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Time) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        time::as_secs_f64((sum / self.samples.len() as u128) as Time)
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile latency in seconds (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_s(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.sort();
+        let index = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        time::as_secs_f64(self.samples[index])
+    }
+
+    /// Median latency in seconds.
+    pub fn p50_s(&mut self) -> f64 {
+        self.quantile_s(0.5)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99_s(&mut self) -> f64 {
+        self.quantile_s(0.99)
+    }
+
+    /// Maximum latency in seconds.
+    pub fn max_s(&self) -> f64 {
+        time::as_secs_f64(self.samples.iter().copied().max().unwrap_or(0))
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Committee size.
+    pub committee_size: usize,
+    /// Number of crashed/Byzantine validators configured.
+    pub faulty: usize,
+    /// Offered load across all validators (tx/s).
+    pub offered_load_tps: u64,
+    /// Simulated run duration in seconds.
+    pub duration_s: f64,
+    /// Transactions committed at the observer validator.
+    pub committed_transactions: u64,
+    /// Committed transactions per second of simulated time (measured over
+    /// the post-warm-up window).
+    pub throughput_tps: f64,
+    /// Client-observed latency statistics (post-warm-up submissions).
+    pub latency: LatencyStats,
+    /// Highest DAG round reached by the observer.
+    pub highest_round: u64,
+    /// Leader slots committed at the observer.
+    pub committed_slots: u64,
+    /// Leader slots skipped at the observer.
+    pub skipped_slots: u64,
+    /// Total blocks linearized into the observer's commit sequence.
+    pub sequenced_blocks: u64,
+    /// Total bytes offered to the network.
+    pub network_bytes: u64,
+}
+
+impl SimReport {
+    /// One aligned text row for experiment tables (see the bench harness).
+    pub fn table_row(&self) -> String {
+        let mut latency = self.latency.clone();
+        format!(
+            "{:<22} n={:<3} faults={:<2} load={:>8} tps | tput={:>9.0} tps | lat avg={:>6.3}s p50={:>6.3}s p99={:>6.3}s | rounds={:<6} commits={:<5} skips={}",
+            self.protocol,
+            self.committee_size,
+            self.faulty,
+            self.offered_load_tps,
+            self.throughput_tps,
+            self.latency.mean_s(),
+            latency.p50_s(),
+            latency.p99_s(),
+            self.highest_round,
+            self.committed_slots,
+            self.skipped_slots,
+        )
+    }
+
+    /// One CSV row (matching [`SimReport::csv_header`]).
+    pub fn csv_row(&self) -> String {
+        let mut latency = self.latency.clone();
+        format!(
+            "{},{},{},{},{:.1},{:.4},{:.4},{:.4},{},{},{}",
+            self.protocol.replace(',', ";"),
+            self.committee_size,
+            self.faulty,
+            self.offered_load_tps,
+            self.throughput_tps,
+            self.latency.mean_s(),
+            latency.p50_s(),
+            latency.p99_s(),
+            self.highest_round,
+            self.committed_slots,
+            self.skipped_slots,
+        )
+    }
+
+    /// Header line for [`SimReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "protocol,n,faults,offered_tps,throughput_tps,latency_avg_s,latency_p50_s,latency_p99_s,rounds,commits,skips"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let mut stats = LatencyStats::default();
+        for ms in [100u64, 200, 300, 400, 500] {
+            stats.record(time::from_millis(ms));
+        }
+        assert_eq!(stats.len(), 5);
+        assert!((stats.mean_s() - 0.3).abs() < 1e-9);
+        assert!((stats.p50_s() - 0.3).abs() < 1e-9);
+        assert!((stats.max_s() - 0.5).abs() < 1e-9);
+        assert!((stats.quantile_s(0.0) - 0.1).abs() < 1e-9);
+        assert!((stats.quantile_s(1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut stats = LatencyStats::default();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean_s(), 0.0);
+        assert_eq!(stats.p99_s(), 0.0);
+        assert_eq!(stats.max_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_bounds_checked() {
+        let mut stats = LatencyStats::default();
+        stats.record(1);
+        let _ = stats.quantile_s(1.5);
+    }
+
+    #[test]
+    fn report_rows_render() {
+        let report = SimReport {
+            protocol: "Mahi-Mahi-5 (2L)".into(),
+            committee_size: 10,
+            offered_load_tps: 10_000,
+            throughput_tps: 9_800.0,
+            ..SimReport::default()
+        };
+        assert!(report.table_row().contains("Mahi-Mahi-5"));
+        assert!(report.csv_row().starts_with("Mahi-Mahi-5"));
+        assert!(SimReport::csv_header().contains("throughput_tps"));
+    }
+}

@@ -1,0 +1,507 @@
+//! The simulation event loop.
+
+use mahimahi_net::time::Time;
+use mahimahi_net::{
+    Adversary, GeoLatency, LatencyModel, MessageMeta, NetworkConfig, NoAdversary,
+    PartitionAdversary, RandomSubsetAdversary, RotatingDelayAdversary, SimNetwork,
+    UniformLatency,
+};
+use mahimahi_types::{AuthorityIndex, TestCommittee};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::{AdversaryChoice, Behavior, LatencyChoice, SimConfig};
+use crate::message::SimMessage;
+use crate::metrics::{LatencyStats, SimReport};
+use crate::validator::{Action, SimValidator};
+
+/// Runtime dispatch over the latency models (chosen per run).
+enum AnyLatency {
+    Geo(GeoLatency),
+    Uniform(UniformLatency),
+}
+
+impl LatencyModel for AnyLatency {
+    fn sample<R: Rng + ?Sized>(&self, from: usize, to: usize, rng: &mut R) -> Time {
+        match self {
+            AnyLatency::Geo(model) => model.sample(from, to, rng),
+            AnyLatency::Uniform(model) => model.sample(from, to, rng),
+        }
+    }
+
+    fn mean(&self, from: usize, to: usize) -> Time {
+        match self {
+            AnyLatency::Geo(model) => model.mean(from, to),
+            AnyLatency::Uniform(model) => model.mean(from, to),
+        }
+    }
+}
+
+/// Runtime dispatch over the adversaries.
+enum AnyAdversary {
+    None(NoAdversary),
+    RandomSubset(RandomSubsetAdversary),
+    Rotating(RotatingDelayAdversary),
+    Partition(PartitionAdversary),
+}
+
+impl Adversary for AnyAdversary {
+    fn schedule(&mut self, meta: MessageMeta, arrival: Time) -> Time {
+        match self {
+            AnyAdversary::None(adversary) => adversary.schedule(meta, arrival),
+            AnyAdversary::RandomSubset(adversary) => adversary.schedule(meta, arrival),
+            AnyAdversary::Rotating(adversary) => adversary.schedule(meta, arrival),
+            AnyAdversary::Partition(adversary) => adversary.schedule(meta, arrival),
+        }
+    }
+}
+
+/// A full simulated deployment: committee, network, clients, clock.
+pub struct Simulation {
+    config: SimConfig,
+    network: SimNetwork<SimMessage, AnyLatency, AnyAdversary>,
+    validators: Vec<SimValidator>,
+    /// Deliveries deferred because the recipient's CPU was busy:
+    /// (resume time, sequence, from, to, message).
+    deferred: BinaryHeap<Reverse<(Time, u64, usize, usize, SeqMessage)>>,
+    deferred_sequence: u64,
+    /// Scheduled `maybe_advance` wake-ups: (time, validator).
+    wakeups: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Per-validator CPU availability.
+    cpu_busy_until: Vec<Time>,
+    now: Time,
+    /// Next client batch time and id counter.
+    next_batch_at: Time,
+    next_tx_id: u64,
+    /// Transactions due so far per honest validator (exact-rate clients).
+    txs_due_per_validator: u64,
+    /// Committed-transaction latency samples (post-warm-up submissions).
+    latencies: LatencyStats,
+    /// (commit time, count) pairs for throughput windowing at the observer.
+    observer_commits: Vec<(Time, u64)>,
+}
+
+/// Wrapper making `SimMessage` usable inside the ordered heap (ordering is
+/// by the tuple prefix only).
+struct SeqMessage(SimMessage);
+
+impl PartialEq for SeqMessage {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for SeqMessage {}
+impl PartialOrd for SeqMessage {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SeqMessage {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Interval between client submission batches (quantizes open-loop arrival
+/// times; small relative to WAN latencies).
+const CLIENT_BATCH_INTERVAL: Time = 5_000; // 5 ms
+
+impl Simulation {
+    /// Builds a simulation from `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let setup = TestCommittee::new(config.committee_size, config.seed);
+        let nodes = config.committee_size;
+        let latency = match config.latency {
+            LatencyChoice::AwsWan => AnyLatency::Geo(GeoLatency::aws(nodes)),
+            LatencyChoice::Uniform { min, max } => {
+                AnyLatency::Uniform(UniformLatency::new(min, max))
+            }
+        };
+        let quorum = setup.committee().quorum_threshold();
+        let adversary = match config.adversary {
+            AdversaryChoice::None => AnyAdversary::None(NoAdversary),
+            AdversaryChoice::RandomSubset { hold } => AnyAdversary::RandomSubset(
+                RandomSubsetAdversary::new(nodes, quorum, hold, config.seed ^ 0xada),
+            ),
+            AdversaryChoice::RotatingDelay {
+                targets,
+                period,
+                extra,
+            } => AnyAdversary::Rotating(RotatingDelayAdversary::new(
+                nodes, targets, period, extra,
+            )),
+            AdversaryChoice::Partition { minority, heals_at } => {
+                AnyAdversary::Partition(PartitionAdversary::split_first(
+                    nodes, minority, heals_at,
+                ))
+            }
+        };
+        let network = SimNetwork::new(
+            NetworkConfig::aws(nodes, config.seed ^ 0x7ea),
+            latency,
+            adversary,
+        );
+        let validators = (0..nodes)
+            .map(|index| {
+                SimValidator::new(
+                    AuthorityIndex::from(index),
+                    setup.clone(),
+                    config.protocol.committer(setup.committee().clone()),
+                    config.behavior_of(index),
+                    config.protocol.certified(),
+                    config.max_block_transactions,
+                    config.inclusion_wait,
+                )
+            })
+            .collect();
+        Simulation {
+            network,
+            validators,
+            deferred: BinaryHeap::new(),
+            deferred_sequence: 0,
+            wakeups: BinaryHeap::new(),
+            cpu_busy_until: vec![0; nodes],
+            now: 0,
+            next_batch_at: 0,
+            next_tx_id: 0,
+            txs_due_per_validator: 0,
+            latencies: LatencyStats::default(),
+            observer_commits: Vec::new(),
+            config,
+        }
+    }
+
+    /// The first honest validator (identical commit sequences make any
+    /// honest validator a valid observer).
+    fn observer(&self) -> usize {
+        (0..self.config.committee_size)
+            .find(|&index| matches!(self.config.behavior_of(index), Behavior::Honest))
+            .unwrap_or(0)
+    }
+
+    /// Runs to completion, returning the report plus every validator's
+    /// committed-leader log (`None` entries are skips; crashed validators
+    /// have empty logs). Used by the safety-property tests: all honest
+    /// logs must be pairwise prefix-consistent.
+    pub fn run_with_logs(self) -> (SimReport, Vec<Vec<Option<mahimahi_types::BlockRef>>>) {
+        let mut simulation = self;
+        simulation.run_loop();
+        let logs = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.commit_log().to_vec())
+            .collect();
+        (simulation.report(), logs)
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub fn run(mut self) -> SimReport {
+        self.run_loop();
+        self.report()
+    }
+
+    fn run_loop(&mut self) {
+        // Kick-off: round-1 production on top of genesis.
+        for index in 0..self.validators.len() {
+            let actions = self.validators[index].maybe_advance(0);
+            self.perform(index, actions);
+        }
+
+        loop {
+            let next_network = self.network.next_delivery_time();
+            let next_deferred = self
+                .deferred
+                .peek()
+                .map(|Reverse((time, ..))| *time);
+            let next_wakeup = self.wakeups.peek().map(|Reverse((time, _))| *time);
+            let next_batch = (self.next_batch_at <= self.config.duration)
+                .then_some(self.next_batch_at);
+            let Some(next) = [next_network, next_deferred, next_wakeup, next_batch]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
+                break;
+            };
+            if next > self.config.duration {
+                break;
+            }
+            self.now = next;
+
+            if Some(next) == next_wakeup {
+                let Reverse((_, validator)) = self.wakeups.pop().expect("peeked");
+                let mut actions = self.validators[validator].maybe_advance(self.now);
+                actions.extend(self.validators[validator].try_commit(self.now));
+                self.perform(validator, actions);
+                continue;
+            }
+            if Some(next) == next_batch {
+                self.submit_client_batch();
+                continue;
+            }
+            if Some(next) == next_deferred {
+                let Reverse((_, _, from, to, SeqMessage(message))) =
+                    self.deferred.pop().expect("peeked");
+                self.process_message(from, to, message);
+                continue;
+            }
+            let envelope = self.network.next_delivery().expect("peeked");
+            self.dispatch(envelope.from, envelope.to, envelope.payload);
+        }
+    }
+
+    /// Open-loop clients: each honest validator receives the transactions
+    /// that fell due since the previous batch. Exact-rate accounting: after
+    /// `t` seconds every honest validator has received `⌊t × rate⌋`
+    /// transactions, whatever the batch interval.
+    fn submit_client_batch(&mut self) {
+        let rate = self.config.txs_per_second_per_validator;
+        if rate == 0 {
+            self.next_batch_at = self.config.duration + 1;
+            return;
+        }
+        let due = (self.now as u128 * rate as u128 / mahimahi_net::time::SECOND as u128) as u64;
+        let count = due.saturating_sub(self.txs_due_per_validator);
+        self.txs_due_per_validator = due;
+        for index in 0..self.validators.len() {
+            if !matches!(self.config.behavior_of(index), Behavior::Honest) {
+                continue;
+            }
+            let ids = (0..count).map(|_| {
+                let id = self.next_tx_id;
+                self.next_tx_id += 1;
+                (id, self.now)
+            });
+            self.validators[index].submit_transactions(ids);
+            // Inclusion happens at the next block production; nudge the
+            // validator in case it is idle at a round boundary.
+            let actions = self.validators[index].maybe_advance(self.now);
+            self.perform(index, actions);
+        }
+        self.next_batch_at = self.now + CLIENT_BATCH_INTERVAL;
+    }
+
+    /// Applies CPU gating, then lets the recipient process the message.
+    fn dispatch(&mut self, from: usize, to: usize, message: SimMessage) {
+        let busy_until = self.cpu_busy_until[to];
+        if busy_until > self.now {
+            self.deferred_sequence += 1;
+            self.deferred.push(Reverse((
+                busy_until,
+                self.deferred_sequence,
+                from,
+                to,
+                SeqMessage(message),
+            )));
+            return;
+        }
+        self.process_message(from, to, message);
+    }
+
+    fn process_message(&mut self, from: usize, to: usize, message: SimMessage) {
+        // Charge verification CPU.
+        let cpu = &self.config.cpu;
+        let cost = match &message {
+            SimMessage::Block(block) | SimMessage::Proposal(block) => {
+                cpu.block_verify(crate::message::block_wire_size(block, self.config.tx_wire_size))
+            }
+            SimMessage::Ack { .. } => cpu.signature_verify,
+            SimMessage::Certificate { signatures, .. } => cpu.certificate_verify(*signatures),
+            SimMessage::Request(_) => 1,
+            SimMessage::Response(blocks) => blocks
+                .iter()
+                .map(|block| {
+                    cpu.block_verify(crate::message::block_wire_size(
+                        block,
+                        self.config.tx_wire_size,
+                    ))
+                })
+                .sum(),
+        };
+        self.cpu_busy_until[to] = self.now + cost;
+        let actions = self.validators[to].on_message(self.now, from, message);
+        self.perform(to, actions);
+    }
+
+    /// Executes validator actions: network sends and latency bookkeeping.
+    fn perform(&mut self, origin: usize, actions: Vec<Action>) {
+        let observer = self.observer();
+        for action in actions {
+            match action {
+                Action::Broadcast(message) => {
+                    // Block creation costs CPU on the producer.
+                    if matches!(
+                        message,
+                        SimMessage::Block(_) | SimMessage::Proposal(_)
+                    ) {
+                        self.cpu_busy_until[origin] =
+                            self.cpu_busy_until[origin].max(self.now)
+                                + self.config.cpu.block_creation;
+                    }
+                    let size = message.wire_size(self.config.tx_wire_size);
+                    let round = message.round();
+                    self.network
+                        .broadcast(self.now, origin, size, round, message);
+                }
+                Action::Send(to, message) => {
+                    let size = message.wire_size(self.config.tx_wire_size);
+                    let round = message.round();
+                    self.network
+                        .send(self.now, origin, to, size, round, message);
+                }
+                Action::TxsCommitted(submits) => {
+                    let warmup =
+                        (self.config.duration as f64 * self.config.warmup_fraction) as Time;
+                    for submitted in submits {
+                        if submitted >= warmup {
+                            self.latencies.record(self.now - submitted);
+                        }
+                    }
+                    let _ = observer;
+                }
+                Action::WakeAt(time) => {
+                    self.wakeups.push(Reverse((time.max(self.now), origin)));
+                }
+            }
+        }
+    }
+
+    fn report(mut self) -> SimReport {
+        let observer_index = self.observer();
+        let observer = &self.validators[observer_index];
+        let duration_s = mahimahi_net::time::as_secs_f64(self.config.duration);
+        let warmup = (self.config.duration as f64 * self.config.warmup_fraction) as Time;
+        let window_s = mahimahi_net::time::as_secs_f64(self.config.duration - warmup);
+
+        // Throughput: committed transactions at the observer over the
+        // post-warm-up window, approximated by scaling the total count by
+        // the window share (commits are spread evenly in steady state).
+        let committed = observer.committed_transactions;
+        let throughput = if window_s > 0.0 {
+            committed as f64 * (window_s / duration_s) / window_s
+        } else {
+            0.0
+        };
+
+        let honest = (0..self.config.committee_size)
+            .filter(|&i| matches!(self.config.behavior_of(i), Behavior::Honest))
+            .count();
+        let offered = self.config.txs_per_second_per_validator * honest as u64;
+        self.observer_commits.clear();
+        SimReport {
+            protocol: self.config.protocol.name(),
+            committee_size: self.config.committee_size,
+            faulty: self.config.committee_size - honest,
+            offered_load_tps: offered,
+            duration_s,
+            committed_transactions: committed,
+            throughput_tps: throughput,
+            latency: self.latencies,
+            highest_round: observer.store().highest_round(),
+            committed_slots: observer.committed_slots,
+            skipped_slots: observer.skipped_slots,
+            sequenced_blocks: observer.sequenced_blocks,
+            network_bytes: self.network.bytes_sent(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolChoice;
+    use mahimahi_net::time;
+
+    fn base_config(protocol: ProtocolChoice) -> SimConfig {
+        SimConfig {
+            protocol,
+            committee_size: 4,
+            duration: time::from_secs(5),
+            txs_per_second_per_validator: 50,
+            latency: LatencyChoice::Uniform {
+                min: time::from_millis(40),
+                max: time::from_millis(60),
+            },
+            seed: 7,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn mahi_mahi_5_commits_transactions() {
+        let report = Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 })).run();
+        assert!(report.committed_transactions > 0, "{report:?}");
+        assert!(report.highest_round > 20, "{report:?}");
+        assert!(!report.latency.is_empty());
+        assert!(report.latency.mean_s() < 2.0, "{}", report.latency.mean_s());
+    }
+
+    #[test]
+    fn mahi_mahi_4_is_faster_than_5() {
+        let five = Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 })).run();
+        let four = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
+        assert!(four.latency.mean_s() < five.latency.mean_s(),
+            "MM4 {} !< MM5 {}", four.latency.mean_s(), five.latency.mean_s());
+    }
+
+    #[test]
+    fn cordial_miners_commits_but_slower_than_mahi_mahi() {
+        let mahi = Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 })).run();
+        let cordial = Simulation::new(base_config(ProtocolChoice::CordialMiners)).run();
+        assert!(cordial.committed_transactions > 0);
+        assert!(
+            cordial.latency.mean_s() > mahi.latency.mean_s(),
+            "CM {} !> MM5 {}",
+            cordial.latency.mean_s(),
+            mahi.latency.mean_s()
+        );
+    }
+
+    #[test]
+    fn tusk_commits_with_highest_latency() {
+        let tusk = Simulation::new(base_config(ProtocolChoice::Tusk)).run();
+        assert!(tusk.committed_transactions > 0, "{tusk:?}");
+        let mahi = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
+        assert!(
+            tusk.latency.mean_s() > 1.5 * mahi.latency.mean_s(),
+            "Tusk {} vs MM4 {}",
+            tusk.latency.mean_s(),
+            mahi.latency.mean_s()
+        );
+    }
+
+    #[test]
+    fn crash_faults_do_not_block_commits() {
+        let config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 }).with_crashed(1);
+        let report = Simulation::new(config).run();
+        assert!(report.committed_transactions > 0, "{report:?}");
+        assert!(report.skipped_slots > 0, "crashed slots must be skipped");
+    }
+
+    #[test]
+    fn equivocator_does_not_break_safety_or_liveness() {
+        let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
+        config.behaviors = vec![(3, Behavior::Equivocator)];
+        let report = Simulation::new(config).run();
+        assert!(report.committed_transactions > 0, "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
+        let b = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
+        assert_eq!(a.committed_transactions, b.committed_transactions);
+        assert_eq!(a.highest_round, b.highest_round);
+    }
+
+    #[test]
+    fn random_subset_adversary_keeps_liveness() {
+        let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
+        config.adversary = AdversaryChoice::RandomSubset {
+            hold: time::from_millis(80),
+        };
+        let report = Simulation::new(config).run();
+        assert!(report.committed_transactions > 0, "{report:?}");
+    }
+}

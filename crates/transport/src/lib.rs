@@ -1,0 +1,360 @@
+//! Length-prefixed TCP transport for networked validators.
+//!
+//! The paper's implementation "utilizes tokio for asynchronous networking
+//! and employs raw TCP sockets for communication" (Section 4). tokio is not
+//! in this reproduction's dependency budget; the same shape — one duplex
+//! byte stream per peer pair, length-prefixed frames, automatic reconnect —
+//! is built from `std::net` with a thread per connection and crossbeam
+//! channels (DESIGN.md §3).
+//!
+//! Topology: every node binds one listener and opens one *outbound*
+//! connection to every peer. A node's frames to a peer always travel over
+//! its own outbound connection (two simplex connections per pair), which
+//! keeps connection management trivial and preserves per-link FIFO.
+//!
+//! # Example
+//!
+//! ```
+//! use mahimahi_transport::Transport;
+//!
+//! let a = Transport::bind(0, "127.0.0.1:0")?; // node 0, ephemeral port
+//! let b = Transport::bind(1, "127.0.0.1:0")?;
+//! a.connect(1, b.local_addr());
+//! b.connect(0, a.local_addr());
+//! a.send(1, b"hello".to_vec());
+//! let (from, frame) = b.incoming().recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!((from, frame.as_slice()), (0, b"hello".as_ref()));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Maximum accepted frame size (64 MiB), mirroring the codec limit.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Identifies a peer (the validator's authority index).
+pub type PeerId = u32;
+
+/// A node's TCP endpoint: listener plus outbound peer connections.
+pub struct Transport {
+    id: PeerId,
+    local_addr: SocketAddr,
+    incoming_rx: Receiver<(PeerId, Vec<u8>)>,
+    /// Kept alive so reader threads can clone it for new connections.
+    _incoming_tx: Sender<(PeerId, Vec<u8>)>,
+    peers: Arc<Mutex<HashMap<PeerId, Sender<Vec<u8>>>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Transport {
+    /// Binds a listener for node `id` at `addr` (use port 0 for an
+    /// ephemeral port) and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind<A: ToSocketAddrs>(id: PeerId, addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (incoming_tx, incoming_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_tx = incoming_tx.clone();
+        let accept_shutdown = Arc::clone(&shutdown);
+        thread::Builder::new()
+            .name(format!("accept-{id}"))
+            .spawn(move || accept_loop(listener, accept_tx, accept_shutdown))
+            .expect("spawn accept thread");
+
+        Ok(Transport {
+            id,
+            local_addr,
+            incoming_rx,
+            _incoming_tx: incoming_tx,
+            peers: Arc::new(Mutex::new(HashMap::new())),
+            shutdown,
+        })
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The bound listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The channel of received frames, tagged with the sending peer.
+    pub fn incoming(&self) -> &Receiver<(PeerId, Vec<u8>)> {
+        &self.incoming_rx
+    }
+
+    /// Registers `peer` at `addr` and starts its outbound sender (with
+    /// automatic reconnect). Queued frames survive reconnects.
+    pub fn connect(&self, peer: PeerId, addr: SocketAddr) {
+        let (tx, rx) = unbounded::<Vec<u8>>();
+        self.peers.lock().insert(peer, tx);
+        let id = self.id;
+        let shutdown = Arc::clone(&self.shutdown);
+        thread::Builder::new()
+            .name(format!("send-{id}-to-{peer}"))
+            .spawn(move || sender_loop(id, addr, rx, shutdown))
+            .expect("spawn sender thread");
+    }
+
+    /// Queues `frame` for `peer`. Silently ignores unknown peers (callers
+    /// connect the full mesh at start-up).
+    pub fn send(&self, peer: PeerId, frame: Vec<u8>) {
+        if let Some(tx) = self.peers.lock().get(&peer) {
+            let _ = tx.send(frame);
+        }
+    }
+
+    /// Queues `frame` for every connected peer.
+    pub fn broadcast(&self, frame: Vec<u8>) {
+        let peers = self.peers.lock();
+        for tx in peers.values() {
+            let _ = tx.send(frame.clone());
+        }
+    }
+
+    /// Signals all threads to stop. Subsequent sends are dropped.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.peers.lock().clear();
+    }
+}
+
+impl Drop for Transport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    incoming: Sender<(PeerId, Vec<u8>)>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let incoming = incoming.clone();
+                let shutdown = Arc::clone(&shutdown);
+                thread::Builder::new()
+                    .name("reader".into())
+                    .spawn(move || reader_loop(stream, incoming, shutdown))
+                    .expect("spawn reader thread");
+            }
+            Err(ref error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads the peer's hello (its id), then frames, forwarding them upstream.
+fn reader_loop(
+    mut stream: TcpStream,
+    incoming: Sender<(PeerId, Vec<u8>)>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Some(hello) = read_frame_blocking(&mut stream, &shutdown) else {
+        return;
+    };
+    if hello.len() != 4 {
+        return;
+    }
+    let peer = PeerId::from_le_bytes(hello.try_into().expect("4 bytes"));
+    while !shutdown.load(Ordering::SeqCst) {
+        let Some(frame) = read_frame_blocking(&mut stream, &shutdown) else {
+            return;
+        };
+        if incoming.send((peer, frame)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads one length-prefixed frame; `None` on disconnect, oversized frame,
+/// or shutdown.
+fn read_frame_blocking(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<Vec<u8>> {
+    let mut header = [0u8; 4];
+    read_exact_interruptible(stream, &mut header, shutdown)?;
+    let length = u32::from_le_bytes(header);
+    if length > MAX_FRAME_BYTES {
+        return None;
+    }
+    let mut frame = vec![0u8; length as usize];
+    read_exact_interruptible(stream, &mut frame, shutdown)?;
+    Some(frame)
+}
+
+/// `read_exact` that re-checks the shutdown flag on read timeouts.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buffer: &mut [u8],
+    shutdown: &AtomicBool,
+) -> Option<()> {
+    let mut filled = 0;
+    while filled < buffer.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match stream.read(&mut buffer[filled..]) {
+            Ok(0) => return None,
+            Ok(read) => filled += read,
+            Err(ref error)
+                if error.kind() == std::io::ErrorKind::WouldBlock
+                    || error.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+/// Maintains the outbound connection: (re)connect with backoff, send the
+/// hello, then drain the frame queue.
+fn sender_loop(
+    id: PeerId,
+    addr: SocketAddr,
+    frames: Receiver<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut backoff = Duration::from_millis(20);
+    'reconnect: while !shutdown.load(Ordering::SeqCst) {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_secs(1));
+            continue;
+        };
+        backoff = Duration::from_millis(20);
+        let _ = stream.set_nodelay(true);
+        if write_frame(&mut stream, &id.to_le_bytes()).is_err() {
+            continue;
+        }
+        loop {
+            match frames.recv_timeout(Duration::from_millis(200)) {
+                Ok(frame) => {
+                    if write_frame(&mut stream, &frame).is_err() {
+                        // Connection lost; the frame is dropped (consensus
+                        // recovers through the synchronizer).
+                        continue 'reconnect;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Transport, Transport) {
+        let a = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let b = Transport::bind(1, "127.0.0.1:0").unwrap();
+        a.connect(1, b.local_addr());
+        b.connect(0, a.local_addr());
+        (a, b)
+    }
+
+    #[test]
+    fn frames_travel_both_ways() {
+        let (a, b) = pair();
+        a.send(1, vec![1, 2, 3]);
+        b.send(0, vec![9]);
+        let (from, frame) = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, frame), (0, vec![1, 2, 3]));
+        let (from, frame) = a.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, frame), (1, vec![9]));
+    }
+
+    #[test]
+    fn frames_preserve_order() {
+        let (a, b) = pair();
+        for i in 0..100u32 {
+            a.send(1, i.to_le_bytes().to_vec());
+        }
+        for expected in 0..100u32 {
+            let (_, frame) = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(frame, expected.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_peers() {
+        let a = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let b = Transport::bind(1, "127.0.0.1:0").unwrap();
+        let c = Transport::bind(2, "127.0.0.1:0").unwrap();
+        a.connect(1, b.local_addr());
+        a.connect(2, c.local_addr());
+        a.broadcast(vec![7; 10]);
+        for receiver in [&b, &c] {
+            let (from, frame) = receiver
+                .incoming()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap();
+            assert_eq!((from, frame), (0, vec![7; 10]));
+        }
+    }
+
+    #[test]
+    fn large_frames_round_trip() {
+        let (a, b) = pair();
+        let big = vec![0xabu8; 1_000_000];
+        a.send(1, big.clone());
+        let (_, frame) = b.incoming().recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(frame.len(), big.len());
+        assert_eq!(frame, big);
+    }
+
+    #[test]
+    fn queued_frames_survive_connect_before_peer_is_up() {
+        // Send before the peer's listener address is connected: frames wait
+        // in the queue and flush on connect.
+        let a = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let b = Transport::bind(1, "127.0.0.1:0").unwrap();
+        a.connect(1, b.local_addr());
+        a.send(1, vec![42]);
+        let (_, frame) = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(frame, vec![42]);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting_sends() {
+        let (a, b) = pair();
+        a.shutdown();
+        a.send(1, vec![1]);
+        assert!(b
+            .incoming()
+            .recv_timeout(Duration::from_millis(600))
+            .is_err());
+    }
+}

@@ -1,0 +1,828 @@
+//! Blocks: the single message type of the protocol.
+//!
+//! Section 2.3 of the paper specifies that a block carries (1) the author
+//! and a signature, (2) a round number, (3) transactions, (4) at least
+//! `2f + 1` distinct hashes of valid blocks from the previous round (plus
+//! possibly older ones), and (5) a share of the global perfect coin.
+//!
+//! Parents are ordered and the order is protocol-relevant: the vote
+//! interpretation (`IsVote`, Algorithm 3) performs a depth-first traversal
+//! following the reference order, starting from the author's own previous
+//! block.
+
+use mahimahi_crypto::blake2b::blake2b_256;
+use mahimahi_crypto::coin::{CoinSecret, CoinShare};
+use mahimahi_crypto::schnorr::{Keypair, Signature};
+use mahimahi_crypto::Digest;
+use serde::{Deserialize, Serialize};
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::committee::Committee;
+use crate::ids::{AuthorityIndex, Round, Slot};
+use crate::transaction::Transaction;
+
+const DIGEST_DOMAIN: &[u8] = b"mahimahi-block-v1";
+
+/// A hash reference to a block: `(author, round, digest)`.
+///
+/// The DAG is connected exclusively through these references.
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_types::{Block, AuthorityIndex};
+///
+/// let genesis = Block::genesis(AuthorityIndex(0));
+/// let reference = genesis.reference();
+/// assert_eq!(reference.round, 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockRef {
+    /// The round of the referenced block.
+    pub round: Round,
+    /// The author of the referenced block.
+    pub author: AuthorityIndex,
+    /// The content digest of the referenced block.
+    pub digest: Digest,
+}
+
+impl BlockRef {
+    /// The slot this reference occupies.
+    pub fn slot(&self) -> Slot {
+        Slot::new(self.round, self.author)
+    }
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.digest.to_string();
+        write!(f, "B({},{},{})", self.author, self.round, &hex[..8])
+    }
+}
+
+impl fmt::Debug for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Encode for BlockRef {
+    fn encode(&self, encoder: &mut Encoder) {
+        encoder.put_u64(self.round);
+        encoder.put_u32(self.author.0);
+        encoder.put_bytes(self.digest.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 4 + Digest::LENGTH
+    }
+}
+
+impl Decode for BlockRef {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let round = decoder.get_u64()?;
+        let author = AuthorityIndex(decoder.get_u32()?);
+        let digest = Digest::new(decoder.get_array::<32>()?);
+        Ok(BlockRef {
+            round,
+            author,
+            digest,
+        })
+    }
+}
+
+/// A signed DAG vertex.
+///
+/// Blocks are immutable once constructed; they are shared widely through
+/// [`Arc`] (see [`Block::into_arc`]). The content digest is computed at
+/// construction and cached in [`Block::reference`].
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    author: AuthorityIndex,
+    round: Round,
+    parents: Vec<BlockRef>,
+    transactions: Vec<Transaction>,
+    coin_share: Option<CoinShare>,
+    signature: Signature,
+    /// Cached `(round, author, digest)`; recomputed on decode.
+    reference: BlockRef,
+}
+
+impl Block {
+    /// The deterministic genesis block of `authority` (round 0).
+    ///
+    /// Genesis blocks carry no transactions, no parents, and no coin share;
+    /// they bootstrap parent quorums for round 1.
+    pub fn genesis(authority: AuthorityIndex) -> Block {
+        // Genesis is unsigned (its bytes are fixed by convention and
+        // validated structurally); a fixed dummy signature keeps the type
+        // uniform.
+        let signature = Keypair::from_seed(u64::MAX).sign(b"mahimahi-genesis");
+        let mut block = Block {
+            author: authority,
+            round: 0,
+            parents: Vec::new(),
+            transactions: Vec::new(),
+            coin_share: None,
+            signature,
+            reference: BlockRef {
+                round: 0,
+                author: authority,
+                digest: Digest::ZERO,
+            },
+        };
+        block.reference.digest = block.compute_digest();
+        block
+    }
+
+    /// All genesis blocks for a committee of `committee_size`.
+    pub fn all_genesis(committee_size: usize) -> Vec<Block> {
+        (0..committee_size)
+            .map(|index| Block::genesis(AuthorityIndex::from(index)))
+            .collect()
+    }
+
+    /// The block author.
+    pub fn author(&self) -> AuthorityIndex {
+        self.author
+    }
+
+    /// The block round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The slot `(round, author)` this block occupies.
+    pub fn slot(&self) -> Slot {
+        Slot::new(self.round, self.author)
+    }
+
+    /// Ordered parent references (own previous block first).
+    pub fn parents(&self) -> &[BlockRef] {
+        &self.parents
+    }
+
+    /// The transactions carried by this block.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// The coin share for this block's round (absent only in genesis).
+    pub fn coin_share(&self) -> Option<&CoinShare> {
+        self.coin_share.as_ref()
+    }
+
+    /// The author's signature over the content digest.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The cached `(round, author, digest)` reference.
+    pub fn reference(&self) -> BlockRef {
+        self.reference
+    }
+
+    /// The content digest.
+    pub fn digest(&self) -> Digest {
+        self.reference.digest
+    }
+
+    /// Wraps the block for cheap sharing.
+    pub fn into_arc(self) -> Arc<Block> {
+        Arc::new(self)
+    }
+
+    fn signing_message(digest: &Digest) -> Vec<u8> {
+        let mut message = Vec::with_capacity(DIGEST_DOMAIN.len() + Digest::LENGTH);
+        message.extend_from_slice(DIGEST_DOMAIN);
+        message.extend_from_slice(digest.as_bytes());
+        message
+    }
+
+    fn compute_digest(&self) -> Digest {
+        let mut encoder = Encoder::new();
+        encoder.put_bytes(DIGEST_DOMAIN);
+        encoder.put_u32(self.author.0);
+        encoder.put_u64(self.round);
+        self.parents.encode(&mut encoder);
+        encoder.put_u32(u32::try_from(self.transactions.len()).expect("tx count fits u32"));
+        for tx in &self.transactions {
+            encoder.put_var_bytes(tx.as_bytes());
+        }
+        match &self.coin_share {
+            None => encoder.put_u8(0),
+            Some(share) => {
+                encoder.put_u8(1);
+                encoder.put_bytes(&share.to_bytes());
+            }
+        }
+        blake2b_256(&encoder.into_bytes())
+    }
+
+    /// Validates the block against the committee (Section 2.3's validity
+    /// conditions, minus causal-history availability, which is the DAG
+    /// store's responsibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition as a [`ValidationError`].
+    pub fn verify(&self, committee: &Committee) -> Result<(), ValidationError> {
+        if !committee.exists(self.author) {
+            return Err(ValidationError::UnknownAuthority(self.author));
+        }
+        if self.round == 0 {
+            // Genesis blocks are fixed by convention.
+            if *self != Block::genesis(self.author) {
+                return Err(ValidationError::MalformedGenesis);
+            }
+            return Ok(());
+        }
+
+        let public_key = committee
+            .public_key(self.author)
+            .expect("author existence checked above");
+        let message = Self::signing_message(&self.reference.digest);
+        if public_key.verify(&message, &self.signature).is_err() {
+            return Err(ValidationError::InvalidSignature);
+        }
+
+        // Parent structure: own previous block first, no duplicates, all
+        // older than this block, quorum of distinct authors at round - 1.
+        let Some(first) = self.parents.first() else {
+            return Err(ValidationError::MissingParents);
+        };
+        if first.author != self.author || first.round != self.round - 1 {
+            return Err(ValidationError::FirstParentNotOwn);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.parents.len());
+        let mut previous_round_authors = std::collections::HashSet::new();
+        for parent in &self.parents {
+            if parent.round >= self.round {
+                return Err(ValidationError::ParentNotOlder(*parent));
+            }
+            if !committee.exists(parent.author) {
+                return Err(ValidationError::UnknownAuthority(parent.author));
+            }
+            if !seen.insert(*parent) {
+                return Err(ValidationError::DuplicateParent(*parent));
+            }
+            if parent.round == self.round - 1 {
+                previous_round_authors.insert(parent.author);
+            }
+        }
+        if previous_round_authors.len() < committee.quorum_threshold() {
+            return Err(ValidationError::InsufficientParentQuorum {
+                got: previous_round_authors.len(),
+                needed: committee.quorum_threshold(),
+            });
+        }
+
+        // Coin share: present, owned by the author, valid for this round.
+        let Some(share) = &self.coin_share else {
+            return Err(ValidationError::MissingCoinShare);
+        };
+        if share.index() != self.author.as_u64() {
+            return Err(ValidationError::ForeignCoinShare);
+        }
+        if committee
+            .coin_public()
+            .verify_share(self.round, share)
+            .is_err()
+        {
+            return Err(ValidationError::InvalidCoinShare);
+        }
+        Ok(())
+    }
+
+    /// Total serialized size in bytes (used by the bandwidth model).
+    pub fn serialized_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reference)
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{{parents: {:?}, txs: {}}}",
+            self.reference,
+            self.parents,
+            self.transactions.len()
+        )
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, encoder: &mut Encoder) {
+        encoder.put_u32(self.author.0);
+        encoder.put_u64(self.round);
+        self.parents.encode(encoder);
+        encoder.put_u32(u32::try_from(self.transactions.len()).expect("tx count fits u32"));
+        for tx in &self.transactions {
+            encoder.put_var_bytes(tx.as_bytes());
+        }
+        match &self.coin_share {
+            None => encoder.put_u8(0),
+            Some(share) => {
+                encoder.put_u8(1);
+                encoder.put_bytes(&share.to_bytes());
+            }
+        }
+        encoder.put_bytes(&self.signature.to_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8
+            + self.parents.encoded_len()
+            + 4
+            + self
+                .transactions
+                .iter()
+                .map(|tx| 4 + tx.len())
+                .sum::<usize>()
+            + 1
+            + if self.coin_share.is_some() {
+                CoinShare::LENGTH
+            } else {
+                0
+            }
+            + Signature::LENGTH
+    }
+}
+
+impl Decode for Block {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let author = AuthorityIndex(decoder.get_u32()?);
+        let round = decoder.get_u64()?;
+        let parents = Vec::<BlockRef>::decode(decoder)?;
+        let tx_count = decoder.get_u32()? as usize;
+        let mut transactions = Vec::with_capacity(tx_count.min(4096));
+        for _ in 0..tx_count {
+            transactions.push(Transaction::new(decoder.get_var_bytes()?.to_vec()));
+        }
+        let coin_share = match decoder.get_u8()? {
+            0 => None,
+            1 => Some(
+                CoinShare::from_bytes(&decoder.get_array::<32>()?)
+                    .ok_or(CodecError::InvalidValue("coin share"))?,
+            ),
+            _ => return Err(CodecError::InvalidValue("coin share discriminant")),
+        };
+        let signature = Signature::from_bytes(&decoder.get_array::<16>()?)
+            .ok_or(CodecError::InvalidValue("signature"))?;
+        let mut block = Block {
+            author,
+            round,
+            parents,
+            transactions,
+            coin_share,
+            signature,
+            reference: BlockRef {
+                round,
+                author,
+                digest: Digest::ZERO,
+            },
+        };
+        // The digest is recomputed from content, so a decoded block is
+        // always self-consistent (content-addressed).
+        block.reference.digest = block.compute_digest();
+        Ok(block)
+    }
+}
+
+/// Builder assembling and signing a [`Block`].
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_types::{Block, BlockBuilder, TestCommittee, AuthorityIndex, Transaction};
+///
+/// let setup = TestCommittee::new(4, 1);
+/// let genesis = Block::all_genesis(4);
+/// let parents = genesis.iter().map(|b| b.reference()).collect::<Vec<_>>();
+/// // Own previous block must come first.
+/// let mut ordered = vec![parents[2]];
+/// ordered.extend(parents.iter().copied().filter(|p| p.author != AuthorityIndex(2)));
+///
+/// let block = BlockBuilder::new(AuthorityIndex(2), 1)
+///     .parents(ordered)
+///     .transaction(Transaction::benchmark(0))
+///     .build(&setup);
+/// assert!(block.verify(setup.committee()).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    author: AuthorityIndex,
+    round: Round,
+    parents: Vec<BlockRef>,
+    transactions: Vec<Transaction>,
+}
+
+impl BlockBuilder {
+    /// Starts a block for `author` at `round`.
+    pub fn new(author: AuthorityIndex, round: Round) -> Self {
+        BlockBuilder {
+            author,
+            round,
+            parents: Vec::new(),
+            transactions: Vec::new(),
+        }
+    }
+
+    /// Sets the ordered parent references.
+    pub fn parents(mut self, parents: Vec<BlockRef>) -> Self {
+        self.parents = parents;
+        self
+    }
+
+    /// Appends one parent reference.
+    pub fn parent(mut self, parent: BlockRef) -> Self {
+        self.parents.push(parent);
+        self
+    }
+
+    /// Appends a transaction.
+    pub fn transaction(mut self, transaction: Transaction) -> Self {
+        self.transactions.push(transaction);
+        self
+    }
+
+    /// Appends many transactions.
+    pub fn transactions<I: IntoIterator<Item = Transaction>>(mut self, iter: I) -> Self {
+        self.transactions.extend(iter);
+        self
+    }
+
+    /// Signs and assembles the block using the authority's secrets from a
+    /// [`TestCommittee`].
+    ///
+    /// [`TestCommittee`]: crate::committee::TestCommittee
+    pub fn build(self, setup: &crate::committee::TestCommittee) -> Block {
+        let keypair = setup.keypair(self.author).clone();
+        let coin_secret = setup.coin_secret(self.author).clone();
+        self.build_with(&keypair, &coin_secret)
+    }
+
+    /// Signs and assembles the block from explicit secrets.
+    pub fn build_with(self, keypair: &Keypair, coin_secret: &CoinSecret) -> Block {
+        let coin_share = coin_secret.share_for_round(self.round);
+        let mut block = Block {
+            author: self.author,
+            round: self.round,
+            parents: self.parents,
+            transactions: self.transactions,
+            coin_share: Some(coin_share),
+            // Placeholder signature; replaced after the digest is known.
+            signature: keypair.sign(b"placeholder"),
+            reference: BlockRef {
+                round: self.round,
+                author: self.author,
+                digest: Digest::ZERO,
+            },
+        };
+        block.reference.digest = block.compute_digest();
+        block.signature = keypair.sign(&Block::signing_message(&block.reference.digest));
+        block
+    }
+}
+
+/// Reasons a block fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// The author (or a parent's author) is not a committee member.
+    UnknownAuthority(AuthorityIndex),
+    /// The signature does not verify against the author's key.
+    InvalidSignature,
+    /// A round-0 block differs from the conventional genesis block.
+    MalformedGenesis,
+    /// A non-genesis block carries no parents.
+    MissingParents,
+    /// The first parent is not the author's own block at the previous round.
+    FirstParentNotOwn,
+    /// A parent reference is not strictly older than the block.
+    ParentNotOlder(BlockRef),
+    /// The same parent appears twice.
+    DuplicateParent(BlockRef),
+    /// Fewer than `2f + 1` distinct authors among previous-round parents.
+    InsufficientParentQuorum {
+        /// Distinct previous-round parent authors found.
+        got: usize,
+        /// The quorum threshold `2f + 1`.
+        needed: usize,
+    },
+    /// A non-genesis block carries no coin share.
+    MissingCoinShare,
+    /// The coin share belongs to a different authority.
+    ForeignCoinShare,
+    /// The coin share's validity proof fails for this round.
+    InvalidCoinShare,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownAuthority(authority) => {
+                write!(f, "unknown authority {authority}")
+            }
+            ValidationError::InvalidSignature => write!(f, "invalid block signature"),
+            ValidationError::MalformedGenesis => write!(f, "malformed genesis block"),
+            ValidationError::MissingParents => write!(f, "block has no parents"),
+            ValidationError::FirstParentNotOwn => {
+                write!(f, "first parent is not the author's previous block")
+            }
+            ValidationError::ParentNotOlder(parent) => {
+                write!(f, "parent {parent} is not older than the block")
+            }
+            ValidationError::DuplicateParent(parent) => {
+                write!(f, "duplicate parent {parent}")
+            }
+            ValidationError::InsufficientParentQuorum { got, needed } => {
+                write!(f, "only {got} previous-round parents, need {needed}")
+            }
+            ValidationError::MissingCoinShare => write!(f, "missing coin share"),
+            ValidationError::ForeignCoinShare => {
+                write!(f, "coin share authored by a different validator")
+            }
+            ValidationError::InvalidCoinShare => write!(f, "invalid coin share"),
+        }
+    }
+}
+
+impl StdError for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committee::TestCommittee;
+
+    fn setup() -> TestCommittee {
+        TestCommittee::new(4, 42)
+    }
+
+    fn genesis_parents(author: AuthorityIndex) -> Vec<BlockRef> {
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[author.as_usize()].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(Block::reference)
+                .filter(|reference| reference.author != author),
+        );
+        parents
+    }
+
+    fn valid_block(setup: &TestCommittee, author: u32) -> Block {
+        BlockBuilder::new(AuthorityIndex(author), 1)
+            .parents(genesis_parents(AuthorityIndex(author)))
+            .transaction(Transaction::benchmark(1))
+            .build(setup)
+    }
+
+    #[test]
+    fn valid_block_verifies() {
+        let setup = setup();
+        let block = valid_block(&setup, 0);
+        assert_eq!(block.verify(setup.committee()), Ok(()));
+    }
+
+    #[test]
+    fn genesis_blocks_verify_and_are_deterministic() {
+        let setup = setup();
+        for authority in setup.committee().authorities() {
+            let genesis = Block::genesis(authority);
+            assert_eq!(genesis.verify(setup.committee()), Ok(()));
+            assert_eq!(genesis, Block::genesis(authority));
+        }
+    }
+
+    #[test]
+    fn unknown_author_rejected() {
+        let setup = setup();
+        let bogus = Block::genesis(AuthorityIndex(17));
+        assert_eq!(
+            bogus.verify(setup.committee()),
+            Err(ValidationError::UnknownAuthority(AuthorityIndex(17)))
+        );
+    }
+
+    #[test]
+    fn tampered_genesis_rejected() {
+        let setup = setup();
+        let mut genesis = Block::genesis(AuthorityIndex(0));
+        genesis.transactions.push(Transaction::benchmark(0));
+        assert_eq!(
+            genesis.verify(setup.committee()),
+            Err(ValidationError::MalformedGenesis)
+        );
+    }
+
+    #[test]
+    fn signature_covers_content() {
+        let setup = setup();
+        let mut block = valid_block(&setup, 0);
+        block.transactions.push(Transaction::benchmark(7));
+        block.reference.digest = block.compute_digest();
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_keypair_rejected() {
+        let setup = setup();
+        // Author 0's block signed with authority 1's key.
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(genesis_parents(AuthorityIndex(0)))
+            .build_with(
+                setup.keypair(AuthorityIndex(1)),
+                setup.coin_secret(AuthorityIndex(0)),
+            );
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn missing_parents_rejected() {
+        let setup = setup();
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(Vec::new())
+            .build(&setup);
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::MissingParents)
+        );
+    }
+
+    #[test]
+    fn first_parent_must_be_own_previous_block() {
+        let setup = setup();
+        let genesis = Block::all_genesis(4);
+        // Parents start with someone else's block.
+        let parents: Vec<BlockRef> = genesis.iter().map(Block::reference).collect();
+        let block = BlockBuilder::new(AuthorityIndex(2), 1)
+            .parents(parents)
+            .build(&setup);
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::FirstParentNotOwn)
+        );
+    }
+
+    #[test]
+    fn parent_from_same_round_rejected() {
+        let setup = setup();
+        let mut parents = genesis_parents(AuthorityIndex(0));
+        let sibling = valid_block(&setup, 1);
+        parents.push(sibling.reference());
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(parents)
+            .build(&setup);
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::ParentNotOlder(sibling.reference()))
+        );
+    }
+
+    #[test]
+    fn duplicate_parent_rejected() {
+        let setup = setup();
+        let mut parents = genesis_parents(AuthorityIndex(0));
+        parents.push(parents[1]);
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(parents)
+            .build(&setup);
+        assert!(matches!(
+            block.verify(setup.committee()),
+            Err(ValidationError::DuplicateParent(_))
+        ));
+    }
+
+    #[test]
+    fn insufficient_quorum_rejected() {
+        let setup = setup();
+        // Only two previous-round parents (own + one) — below 2f+1 = 3.
+        let parents = genesis_parents(AuthorityIndex(0))[..2].to_vec();
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(parents)
+            .build(&setup);
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::InsufficientParentQuorum { got: 2, needed: 3 })
+        );
+    }
+
+    #[test]
+    fn foreign_coin_share_rejected() {
+        let setup = setup();
+        let block = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(genesis_parents(AuthorityIndex(0)))
+            .build_with(
+                setup.keypair(AuthorityIndex(0)),
+                setup.coin_secret(AuthorityIndex(1)),
+            );
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::ForeignCoinShare)
+        );
+    }
+
+    #[test]
+    fn missing_coin_share_rejected() {
+        let setup = setup();
+        let mut block = valid_block(&setup, 0);
+        block.coin_share = None;
+        block.reference.digest = block.compute_digest();
+        block.signature = setup
+            .keypair(AuthorityIndex(0))
+            .sign(&Block::signing_message(&block.reference.digest));
+        assert_eq!(
+            block.verify(setup.committee()),
+            Err(ValidationError::MissingCoinShare)
+        );
+    }
+
+    #[test]
+    fn block_round_trips_through_codec() {
+        let setup = setup();
+        let block = valid_block(&setup, 3);
+        let bytes = block.to_bytes_vec();
+        assert_eq!(bytes.len(), block.encoded_len());
+        let decoded = Block::from_bytes_exact(&bytes).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.reference(), block.reference());
+        assert_eq!(decoded.verify(setup.committee()), Ok(()));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_signature() {
+        let setup = setup();
+        let block = valid_block(&setup, 0);
+        let mut bytes = block.to_bytes_vec();
+        let len = bytes.len();
+        // Corrupt the signature's response scalar to an out-of-range value.
+        bytes[len - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Block::from_bytes_exact(&bytes).is_err());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let setup = setup();
+        let base = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(genesis_parents(AuthorityIndex(0)))
+            .build(&setup);
+        let with_tx = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(genesis_parents(AuthorityIndex(0)))
+            .transaction(Transaction::benchmark(1))
+            .build(&setup);
+        assert_ne!(base.digest(), with_tx.digest());
+    }
+
+    #[test]
+    fn equivocating_blocks_share_slot_but_not_digest() {
+        let setup = setup();
+        let one = BlockBuilder::new(AuthorityIndex(1), 1)
+            .parents(genesis_parents(AuthorityIndex(1)))
+            .transaction(Transaction::benchmark(1))
+            .build(&setup);
+        let two = BlockBuilder::new(AuthorityIndex(1), 1)
+            .parents(genesis_parents(AuthorityIndex(1)))
+            .transaction(Transaction::benchmark(2))
+            .build(&setup);
+        assert_eq!(one.slot(), two.slot());
+        assert_ne!(one.digest(), two.digest());
+        // Both individually valid: equivocation is handled by the commit
+        // rule, not block validity (the point of an uncertified DAG).
+        assert_eq!(one.verify(setup.committee()), Ok(()));
+        assert_eq!(two.verify(setup.committee()), Ok(()));
+    }
+
+    #[test]
+    fn serialized_size_tracks_payload() {
+        let setup = setup();
+        let small = valid_block(&setup, 0);
+        let big = BlockBuilder::new(AuthorityIndex(0), 1)
+            .parents(genesis_parents(AuthorityIndex(0)))
+            .transactions((0..10).map(Transaction::benchmark))
+            .build(&setup);
+        assert!(big.serialized_size() > small.serialized_size() + 9 * 512);
+    }
+
+    #[test]
+    fn display_formats() {
+        let block = Block::genesis(AuthorityIndex(2));
+        let shown = block.to_string();
+        assert!(shown.starts_with("B(v2,0,"));
+    }
+}

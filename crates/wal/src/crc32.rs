@@ -1,0 +1,77 @@
+//! CRC-32 (IEEE 802.3) for record integrity checking.
+//!
+//! Table-driven implementation of the standard reflected CRC-32 with
+//! polynomial `0xEDB88320`, as used by zlib/PNG/Ethernet. Verified against
+//! the canonical check value `crc32(b"123456789") == 0xCBF43926`.
+
+/// Lazily-built lookup table for one byte at a time processing.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mahimahi_wal::crc32::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let baseline = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.to_vec();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), baseline, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fault tolerance: crashes, equivocation, and an adversarial scheduler.
+//!
+//! Exercises the failure modes the paper's design sections revolve around:
+//!
+//! 1. the maximum number of benign crashes (`f = 3` of 10) — the direct
+//!    skip rule keeps latency low (claim C3);
+//! 2. a Byzantine equivocator — the commit rule commits at most one of the
+//!    equivocating blocks per slot (Lemma 2);
+//! 3. a continuously active asynchronous adversary delaying rotating
+//!    targets — liveness is preserved (the coin elects leaders after the
+//!    fact).
+//!
+//! ```text
+//! cargo run --release --example faults_and_equivocation
+//! ```
+
+use mahi_mahi::net::time;
+use mahi_mahi::sim::{AdversaryChoice, Behavior, ProtocolChoice, SimConfig, Simulation};
+
+fn base() -> SimConfig {
+    SimConfig {
+        protocol: ProtocolChoice::MahiMahi5 { leaders: 2 },
+        committee_size: 10,
+        duration: time::from_secs(10),
+        txs_per_second_per_validator: 500,
+        seed: 13,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    println!("--- 1. three crashed validators (max f) ---");
+    let report = Simulation::new(base().with_crashed(3)).run();
+    println!("{}", report.table_row());
+    println!(
+        "crashed leader slots skipped: {} (directly, ~2 rounds earlier than \
+         Cordial Miners would)\n",
+        report.skipped_slots
+    );
+
+    println!("--- 2. one equivocating validator ---");
+    let mut config = base();
+    config.behaviors = vec![(9, Behavior::Equivocator)];
+    let (report, logs) = Simulation::new(config).run_with_logs();
+    println!("{}", report.table_row());
+    // Safety check: every pair of honest logs is prefix-consistent.
+    let honest_logs: Vec<_> = logs[..9].to_vec();
+    for (i, a) in honest_logs.iter().enumerate() {
+        for b in honest_logs.iter().skip(i + 1) {
+            let len = a.len().min(b.len());
+            assert_eq!(&a[..len], &b[..len], "commit sequences diverged!");
+        }
+    }
+    println!("all 9 honest validators agree on the commit sequence ✔\n");
+
+    println!("--- 3. asynchronous adversary (rotating targeted delays) ---");
+    let mut config = base();
+    config.adversary = AdversaryChoice::RotatingDelay {
+        targets: 3,
+        period: 2,
+        extra: time::from_millis(400),
+    };
+    let report = Simulation::new(config).run();
+    println!("{}", report.table_row());
+    assert!(report.committed_transactions > 0);
+    println!("liveness preserved under targeted delays ✔");
+}

@@ -1,0 +1,81 @@
+//! Quickstart: run the Mahi-Mahi commit rule over a hand-built DAG.
+//!
+//! Builds eight full DAG rounds for a four-validator committee, lets the
+//! committer classify every leader slot, and prints the resulting total
+//! order — the core of the protocol with no networking involved.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mahi_mahi::core::{CommitDecision, CommitSequencer, Committer, CommitterOptions};
+use mahi_mahi::dag::DagBuilder;
+use mahi_mahi::types::{TestCommittee, Transaction};
+
+fn main() {
+    // 1. Provision a committee of four validators (n = 3f + 1, f = 1).
+    //    The TestCommittee holds every validator's signing key and coin
+    //    share; a real deployment hands each validator only its own.
+    let setup = TestCommittee::new(4, 42);
+    let committee = setup.committee().clone();
+    println!(
+        "committee: n = {}, f = {}, quorum = {}",
+        committee.size(),
+        committee.f(),
+        committee.quorum_threshold()
+    );
+
+    // 2. Build a DAG: every round, every validator proposes a block
+    //    referencing the full previous round, with a transaction inside.
+    let mut dag = DagBuilder::new(setup);
+    let mut tx_id = 0u64;
+    for _ in 0..8 {
+        let specs = (0..4)
+            .map(|author| {
+                tx_id += 1;
+                mahi_mahi::dag::BlockSpec::new(author)
+                    .with_transactions(vec![Transaction::benchmark(tx_id)])
+            })
+            .collect();
+        dag.add_round(specs);
+    }
+    println!(
+        "dag: {} blocks across rounds 0..={}",
+        dag.store().len(),
+        dag.store().highest_round()
+    );
+
+    // 3. Run the committer: wave length 5, two leader slots per round.
+    let committer = Committer::new(committee, CommitterOptions::default());
+    let mut sequencer = CommitSequencer::new(committer);
+    let decisions = sequencer.try_commit(dag.store());
+
+    // 4. Print the total order.
+    println!("\ncommit sequence:");
+    for decision in &decisions {
+        match decision {
+            CommitDecision::Commit(sub_dag) => {
+                let transactions: usize = sub_dag
+                    .blocks
+                    .iter()
+                    .map(|block| block.transactions().len())
+                    .sum();
+                println!(
+                    "  #{:<3} commit leader {}  (+{} blocks, {} txs)",
+                    sub_dag.position,
+                    sub_dag.leader,
+                    sub_dag.blocks.len(),
+                    transactions,
+                );
+            }
+            CommitDecision::Skip(position, slot) => {
+                println!("  #{position:<3} skip   {slot}");
+            }
+        }
+    }
+    println!(
+        "\n{} slots decided, {} blocks sequenced",
+        decisions.len(),
+        sequencer.emitted_blocks()
+    );
+}

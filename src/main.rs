@@ -1,0 +1,232 @@
+//! `mahi-mahi` — command-line front end for the reproduction.
+//!
+//! ```text
+//! mahi-mahi simulate  --protocol mm4 --nodes 10 --load 10000 --duration 10
+//! mahi-mahi compare   --nodes 10 --load 10000            # all four systems
+//! mahi-mahi cluster   --nodes 4 --txs 100                # real TCP localhost
+//! mahi-mahi analyze   --faults 3 --leaders 2             # closed-form models
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay inside the
+//! workspace's dependency budget.
+
+use mahi_mahi::analysis;
+use mahi_mahi::net::time;
+use mahi_mahi::node::LocalCluster;
+use mahi_mahi::sim::{AdversaryChoice, ProtocolChoice, SimConfig, Simulation};
+use mahi_mahi::types::Transaction;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    let options = parse_options(args.collect());
+    match command.as_str() {
+        "simulate" => simulate(&options),
+        "compare" => compare(&options),
+        "cluster" => cluster(&options),
+        "analyze" => analyze(&options),
+        _ => help(),
+    }
+}
+
+/// Parses `--key value` pairs; bare flags get the value `"true"`.
+fn parse_options(raw: Vec<String>) -> HashMap<String, String> {
+    let mut options = HashMap::new();
+    let mut iter = raw.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        let Some(key) = token.strip_prefix("--") else {
+            eprintln!("ignoring stray argument {token:?}");
+            continue;
+        };
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+            _ => "true".to_string(),
+        };
+        options.insert(key.to_string(), value);
+    }
+    options
+}
+
+fn get<T: std::str::FromStr>(options: &HashMap<String, String>, key: &str, default: T) -> T {
+    options
+        .get(key)
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(default)
+}
+
+fn protocol_of(options: &HashMap<String, String>) -> ProtocolChoice {
+    let leaders = get(options, "leaders", 2usize);
+    match options.get("protocol").map(String::as_str).unwrap_or("mm5") {
+        "mm4" | "mahi-mahi-4" => ProtocolChoice::MahiMahi4 { leaders },
+        "cm" | "cordial-miners" => ProtocolChoice::CordialMiners,
+        "tusk" => ProtocolChoice::Tusk,
+        _ => ProtocolChoice::MahiMahi5 { leaders },
+    }
+}
+
+fn config_of(options: &HashMap<String, String>, protocol: ProtocolChoice) -> SimConfig {
+    let nodes = get(options, "nodes", 10usize);
+    let faults = get(options, "faults", 0usize);
+    let load = get(options, "load", 10_000u64);
+    let honest = nodes - faults;
+    let adversary = match options.get("adversary").map(String::as_str) {
+        Some("random") => AdversaryChoice::RandomSubset {
+            hold: time::from_millis(150),
+        },
+        Some("rotating") => AdversaryChoice::RotatingDelay {
+            targets: (nodes - 1) / 3,
+            period: 2,
+            extra: time::from_millis(400),
+        },
+        _ => AdversaryChoice::None,
+    };
+    SimConfig {
+        protocol,
+        committee_size: nodes,
+        duration: time::from_secs(get(options, "duration", 10u64)),
+        txs_per_second_per_validator: load / honest as u64,
+        adversary,
+        seed: get(options, "seed", 42u64),
+        ..SimConfig::default()
+    }
+    .with_crashed(faults)
+}
+
+fn simulate(options: &HashMap<String, String>) {
+    let config = config_of(options, protocol_of(options));
+    println!(
+        "simulating {} … ({} validators, {} crashed, {} tx/s offered)",
+        config.protocol.name(),
+        config.committee_size,
+        config.behaviors.len(),
+        config.txs_per_second_per_validator
+            * (config.committee_size - config.behaviors.len()) as u64,
+    );
+    let report = Simulation::new(config).run();
+    println!("{}", report.table_row());
+}
+
+fn compare(options: &HashMap<String, String>) {
+    for protocol in [
+        ProtocolChoice::Tusk,
+        ProtocolChoice::CordialMiners,
+        ProtocolChoice::MahiMahi5 { leaders: 2 },
+        ProtocolChoice::MahiMahi4 { leaders: 2 },
+    ] {
+        let report = Simulation::new(config_of(options, protocol)).run();
+        println!("{}", report.table_row());
+    }
+}
+
+fn cluster(options: &HashMap<String, String>) {
+    let nodes = get(options, "nodes", 4usize);
+    let txs = get(options, "txs", 100u64);
+    let cluster = LocalCluster::start(nodes, get(options, "seed", 42)).expect("start cluster");
+    println!("started {nodes} validators on localhost; submitting {txs} transactions");
+    for id in 0..txs {
+        cluster.submit((id % nodes as u64) as usize, Transaction::benchmark(id));
+    }
+    let mut committed = std::collections::HashSet::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while committed.len() < txs as usize && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = cluster.commits(0).recv_timeout(Duration::from_millis(200)) {
+            committed.extend(sub_dag.transactions().filter_map(Transaction::benchmark_id));
+        }
+    }
+    println!("{} / {txs} transactions committed", committed.len());
+    cluster.stop();
+}
+
+fn analyze(options: &HashMap<String, String>) {
+    let f = get(options, "faults", 3u64);
+    let leaders = get(options, "leaders", 2u64);
+    let n = 3 * f + 1;
+    println!("committee n = {n} (f = {f}), ℓ = {leaders} leader slots per round\n");
+    println!(
+        "Lemma 13 (w = 5, asynchronous): P(direct commit per round) ≥ {:.4}",
+        analysis::direct_commit_probability_w5(f, leaders)
+    );
+    println!(
+        "Lemma 16 (w = 4, asynchronous): P(direct commit per round) ≥ {:.4}",
+        analysis::direct_commit_probability_w4_async(f, leaders)
+    );
+    println!(
+        "Lemma 17 (w = 4, random network): P(some vote missing) ≤ {:.2e}",
+        analysis::w4_random_unreachable_bound(f)
+    );
+    for (label, model) in [
+        ("Mahi-Mahi-4", analysis::ProtocolModel::MahiMahi { wave_length: 4 }),
+        ("Mahi-Mahi-5", analysis::ProtocolModel::MahiMahi { wave_length: 5 }),
+        (
+            "Cordial Miners",
+            analysis::ProtocolModel::CordialMiners { wave_length: 5 },
+        ),
+        ("Tusk", analysis::ProtocolModel::Tusk),
+    ] {
+        println!(
+            "expected commit latency ({label:<14}): {:>5.2} message delays",
+            analysis::expected_commit_delays(model)
+        );
+    }
+}
+
+fn help() {
+    println!(
+        "mahi-mahi — reproduction of the Mahi-Mahi asynchronous BFT consensus paper
+
+USAGE:
+  mahi-mahi simulate [--protocol mm5|mm4|cm|tusk] [--nodes N] [--faults F]
+                     [--load TPS] [--duration SECS] [--leaders L] [--seed S]
+                     [--adversary random|rotating]
+  mahi-mahi compare  [same options]     run all four systems
+  mahi-mahi cluster  [--nodes N] [--txs T]   real TCP cluster on localhost
+  mahi-mahi analyze  [--faults F] [--leaders L]  closed-form models
+"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_pairs_and_flags() {
+        let options = parse_options(
+            ["--nodes", "10", "--quick", "--load", "500"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(get(&options, "nodes", 0usize), 10);
+        assert_eq!(options.get("quick").map(String::as_str), Some("true"));
+        assert_eq!(get(&options, "load", 0u64), 500);
+        assert_eq!(get(&options, "missing", 7u64), 7);
+    }
+
+    #[test]
+    fn protocol_selection() {
+        let mut options = HashMap::new();
+        options.insert("protocol".into(), "tusk".into());
+        assert_eq!(protocol_of(&options), ProtocolChoice::Tusk);
+        options.insert("protocol".into(), "mm4".into());
+        options.insert("leaders".into(), "3".into());
+        assert_eq!(
+            protocol_of(&options),
+            ProtocolChoice::MahiMahi4 { leaders: 3 }
+        );
+    }
+
+    #[test]
+    fn config_reflects_options() {
+        let mut options = HashMap::new();
+        options.insert("nodes".into(), "10".into());
+        options.insert("faults".into(), "3".into());
+        options.insert("load".into(), "7000".into());
+        let config = config_of(&options, ProtocolChoice::CordialMiners);
+        assert_eq!(config.committee_size, 10);
+        assert_eq!(config.behaviors.len(), 3);
+        assert_eq!(config.txs_per_second_per_validator, 1000);
+    }
+}

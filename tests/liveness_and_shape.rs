@@ -1,0 +1,132 @@
+//! Cross-crate liveness and figure-shape tests.
+//!
+//! These assert the *qualitative* results of the paper's evaluation — who
+//! is faster than whom, and that progress never stalls — on short
+//! simulations suitable for CI. The full sweeps live in the bench harness.
+
+use mahi_mahi::net::time;
+use mahi_mahi::sim::{AdversaryChoice, LatencyChoice, ProtocolChoice, SimConfig, Simulation};
+
+fn wan(protocol: ProtocolChoice, committee_size: usize, crashed: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        protocol,
+        committee_size,
+        duration: time::from_secs(8),
+        txs_per_second_per_validator: 300,
+        latency: LatencyChoice::AwsWan,
+        seed,
+        ..SimConfig::default()
+    }
+    .with_crashed(crashed)
+}
+
+/// Claim C1/C5 (Figure 3 shape): latency order MM-4 < MM-5 < CM < Tusk on
+/// the geo-replicated WAN without faults.
+#[test]
+fn figure3_latency_ordering() {
+    let mm4 = Simulation::new(wan(ProtocolChoice::MahiMahi4 { leaders: 2 }, 10, 0, 1)).run();
+    let mm5 = Simulation::new(wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 0, 1)).run();
+    let cm = Simulation::new(wan(ProtocolChoice::CordialMiners, 10, 0, 1)).run();
+    let tusk = Simulation::new(wan(ProtocolChoice::Tusk, 10, 0, 1)).run();
+    let (mm4, mm5, cm, tusk) = (
+        mm4.latency.mean_s(),
+        mm5.latency.mean_s(),
+        cm.latency.mean_s(),
+        tusk.latency.mean_s(),
+    );
+    assert!(
+        mm4 < mm5 && mm5 < cm && cm < tusk,
+        "ordering violated: MM4={mm4:.3} MM5={mm5:.3} CM={cm:.3} Tusk={tusk:.3}"
+    );
+    // Rough factors from the paper: ≥ 20% vs CM, ≥ 50% vs Tusk.
+    assert!(mm5 < 0.8 * cm, "MM5 {mm5:.3} vs CM {cm:.3}");
+    assert!(mm4 < 0.5 * tusk, "MM4 {mm4:.3} vs Tusk {tusk:.3}");
+}
+
+/// Claim C3 (Figure 4 shape): with 3/10 validators crashed, Mahi-Mahi
+/// stays well below Cordial Miners (direct skip rule) and Tusk.
+#[test]
+fn figure4_faulty_latency_ordering() {
+    let mm5 = Simulation::new(wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 3, 2)).run();
+    let cm = Simulation::new(wan(ProtocolChoice::CordialMiners, 10, 3, 2)).run();
+    assert!(mm5.committed_transactions > 0 && cm.committed_transactions > 0);
+    assert!(
+        mm5.latency.mean_s() < 0.8 * cm.latency.mean_s(),
+        "MM5 {:.3} vs CM {:.3}",
+        mm5.latency.mean_s(),
+        cm.latency.mean_s()
+    );
+    // The crashed leaders' slots are skipped, not stalled on.
+    assert!(mm5.skipped_slots > 0);
+}
+
+/// Claim C4 (Figure 5 shape): more leaders per round reduce latency.
+#[test]
+fn figure5_more_leaders_reduce_latency() {
+    let one = Simulation::new(wan(ProtocolChoice::MahiMahi4 { leaders: 1 }, 10, 0, 3)).run();
+    let three = Simulation::new(wan(ProtocolChoice::MahiMahi4 { leaders: 3 }, 10, 0, 3)).run();
+    assert!(
+        three.latency.mean_s() < one.latency.mean_s(),
+        "3 leaders {:.3} !< 1 leader {:.3}",
+        three.latency.mean_s(),
+        one.latency.mean_s()
+    );
+}
+
+/// Claim C2: the protocol sustains a 50-validator committee.
+#[test]
+fn figure3_fifty_validators_commit() {
+    let mut config = wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 50, 0, 4);
+    config.duration = time::from_secs(4);
+    config.txs_per_second_per_validator = 50;
+    let report = Simulation::new(config).run();
+    assert!(report.committed_transactions > 0);
+    assert!(
+        report.latency.mean_s() < 2.0,
+        "50-node latency {:.3}",
+        report.latency.mean_s()
+    );
+}
+
+/// Liveness under an asynchronous adversary: progress continues (albeit
+/// slower) when a rotating set of authors is delayed every round.
+#[test]
+fn liveness_under_continuous_attack() {
+    let mut config = wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 0, 5);
+    config.adversary = AdversaryChoice::RotatingDelay {
+        targets: 3,
+        period: 1,
+        extra: time::from_millis(500),
+    };
+    let report = Simulation::new(config).run();
+    assert!(report.committed_transactions > 0, "{report:?}");
+}
+
+/// Liveness through a partition: nothing commits new transactions during a
+/// minority partition... actually a 1-of-10 partition leaves a quorum, so
+/// commits continue; after healing the partitioned validator's blocks are
+/// re-included. Both phases must make progress.
+#[test]
+fn liveness_across_partition() {
+    let mut config = wan(ProtocolChoice::MahiMahi4 { leaders: 2 }, 10, 0, 6);
+    config.adversary = AdversaryChoice::Partition {
+        minority: 1,
+        heals_at: time::from_secs(3),
+    };
+    let report = Simulation::new(config).run();
+    assert!(report.committed_transactions > 0);
+}
+
+/// Throughput sanity: committed throughput approaches offered load when
+/// under saturation (open loop, post-warm-up accounting).
+#[test]
+fn throughput_tracks_offered_load() {
+    let report =
+        Simulation::new(wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 0, 7)).run();
+    let offered = report.offered_load_tps as f64;
+    assert!(
+        report.throughput_tps > 0.7 * offered,
+        "tput {:.0} vs offered {offered}",
+        report.throughput_tps
+    );
+}

@@ -1,0 +1,102 @@
+//! Property-based end-to-end agreement: random seeds, loads, fault mixes,
+//! and adversaries — every honest pair of validators must produce
+//! prefix-consistent commit sequences, and runs without excessive faults
+//! must make progress.
+
+use mahi_mahi::net::time;
+use mahi_mahi::sim::{
+    AdversaryChoice, Behavior, LatencyChoice, ProtocolChoice, SimConfig, Simulation,
+};
+use proptest::prelude::*;
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolChoice> {
+    prop_oneof![
+        (1usize..=3).prop_map(|leaders| ProtocolChoice::MahiMahi5 { leaders }),
+        (1usize..=3).prop_map(|leaders| ProtocolChoice::MahiMahi4 { leaders }),
+        Just(ProtocolChoice::CordialMiners),
+        Just(ProtocolChoice::Tusk),
+    ]
+}
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    prop_oneof![
+        3 => Just(Behavior::Crashed { from_round: 0 }),
+        2 => (1u64..12).prop_map(|from_round| Behavior::Crashed { from_round }),
+        2 => Just(Behavior::Equivocator),
+        1 => Just(Behavior::Mute),
+    ]
+}
+
+fn adversary_strategy() -> impl Strategy<Value = AdversaryChoice> {
+    prop_oneof![
+        3 => Just(AdversaryChoice::None),
+        1 => (50u64..200).prop_map(|ms| AdversaryChoice::RandomSubset {
+            hold: time::from_millis(ms),
+        }),
+        1 => (100u64..400).prop_map(|ms| AdversaryChoice::RotatingDelay {
+            targets: 1,
+            period: 2,
+            extra: time::from_millis(ms),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full multi-second protocol simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn honest_validators_always_agree(
+        protocol in protocol_strategy(),
+        seed in 0u64..1_000_000,
+        load in 20u64..300,
+        faulty in behavior_strategy(),
+        adversary in adversary_strategy(),
+    ) {
+        // Tusk's certified DAG rejects equivocation by construction; the
+        // simulator models that by running the faulty validator honestly.
+        let mut config = SimConfig {
+            protocol,
+            committee_size: 4,
+            duration: time::from_secs(5),
+            txs_per_second_per_validator: load,
+            latency: LatencyChoice::Uniform {
+                min: time::from_millis(10),
+                max: time::from_millis(90),
+            },
+            adversary,
+            seed,
+            ..SimConfig::default()
+        };
+        config.behaviors = vec![(3, faulty)];
+
+        let honest: Vec<usize> = (0..4)
+            .filter(|&i| matches!(config.behavior_of(i), Behavior::Honest))
+            .collect();
+        let (report, logs) = Simulation::new(config).run_with_logs();
+
+        // Safety: pairwise prefix consistency of honest commit logs.
+        for (position, &i) in honest.iter().enumerate() {
+            for &j in honest.iter().skip(position + 1) {
+                let (a, b) = (&logs[i], &logs[j]);
+                let len = a.len().min(b.len());
+                prop_assert_eq!(
+                    &a[..len], &b[..len],
+                    "validators {} and {} diverged (protocol {:?}, seed {})",
+                    i, j, protocol, seed
+                );
+            }
+        }
+
+        // Liveness: with one fault among four (f = 1) and a benign-or-fair
+        // scheduler, transactions must commit.
+        if matches!(adversary, AdversaryChoice::None) {
+            prop_assert!(
+                report.committed_transactions > 0,
+                "no progress (protocol {:?}, seed {})", protocol, seed
+            );
+        }
+    }
+}

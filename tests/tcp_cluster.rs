@@ -1,0 +1,126 @@
+//! Integration tests for the real-TCP validator stack: cluster commits,
+//! fault tolerance, and WAL crash recovery.
+
+use mahi_mahi::core::CommitterOptions;
+use mahi_mahi::node::{LocalCluster, NodeConfig, ValidatorNode};
+use mahi_mahi::transport::Transport;
+use mahi_mahi::types::{TestCommittee, Transaction};
+use std::time::Duration;
+
+#[test]
+fn four_node_cluster_commits_transactions() {
+    let cluster = LocalCluster::start(4, 501).expect("cluster starts");
+    for id in 0..20u64 {
+        cluster.submit((id % 4) as usize, Transaction::benchmark(id));
+    }
+    let sub_dag = cluster
+        .wait_for_commit(0, Duration::from_secs(30))
+        .expect("a commit with transactions");
+    assert!(sub_dag.blocks.iter().any(|b| !b.transactions().is_empty()));
+    cluster.stop();
+}
+
+#[test]
+fn cluster_tolerates_a_silent_validator() {
+    // One of four validators never starts (crash-from-boot): the remaining
+    // 2f + 1 = 3 must still commit.
+    let cluster =
+        LocalCluster::start_with(4, 502, CommitterOptions::mahi_mahi_4(2), &[3])
+            .expect("cluster starts");
+    assert_eq!(cluster.running(), 3);
+    for id in 0..20u64 {
+        cluster.submit((id % 3) as usize, Transaction::benchmark(id));
+    }
+    let sub_dag = cluster
+        .wait_for_commit(0, Duration::from_secs(30))
+        .expect("commits despite the silent validator");
+    assert!(sub_dag.blocks.iter().any(|b| !b.transactions().is_empty()));
+    cluster.stop();
+}
+
+#[test]
+fn all_validators_commit_the_same_leaders() {
+    let cluster = LocalCluster::start(4, 503).expect("cluster starts");
+    for id in 0..10u64 {
+        cluster.submit(0, Transaction::benchmark(id));
+    }
+    // Collect the first few committed leaders from two validators.
+    let take = 5;
+    let mut leaders = Vec::new();
+    for validator in 0..2 {
+        let mut sequence = Vec::new();
+        while sequence.len() < take {
+            match cluster
+                .commits(validator)
+                .recv_timeout(Duration::from_secs(30))
+            {
+                Ok(sub_dag) => sequence.push(sub_dag.leader),
+                Err(_) => break,
+            }
+        }
+        leaders.push(sequence);
+    }
+    cluster.stop();
+    assert_eq!(leaders[0].len(), take, "validator 0 committed too little");
+    assert_eq!(leaders[0], leaders[1], "commit sequences diverged");
+}
+
+#[test]
+fn node_recovers_its_dag_from_the_wal_and_rejoins() {
+    let dir = std::env::temp_dir().join(format!(
+        "mahimahi-recovery-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let setup = TestCommittee::new(4, 504);
+
+    // Phase 1: run a full cluster by hand so node 0 uses a file WAL.
+    let transports: Vec<Transport> = (0..4)
+        .map(|id| Transport::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(Transport::local_addr).collect();
+    for t in &transports {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer as u32 != t.id() {
+                t.connect(peer as u32, *addr);
+            }
+        }
+    }
+    let mut handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let mut config = NodeConfig::local(id as u32, setup.clone());
+        if id == 0 {
+            config.wal_path = Some(dir.join("v0.wal"));
+        }
+        handles.push(ValidatorNode::new(config, transport).unwrap().start());
+    }
+    handles[0].submit(Transaction::benchmark(1));
+    // Wait for some progress, then stop everything.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while handles[0].round() < 8 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let progressed_to = handles[0].round();
+    assert!(progressed_to >= 8, "cluster made no progress");
+    for handle in handles {
+        handle.stop();
+    }
+
+    // Phase 2: restart node 0 from its WAL. The recovered DAG must contain
+    // its own chain up to the round it had produced.
+    let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+    let mut config = NodeConfig::local(0, setup);
+    config.wal_path = Some(dir.join("v0.wal"));
+    let node = ValidatorNode::new(config, transport).unwrap();
+    assert!(
+        node.round() >= 8,
+        "recovered round {} < produced {progressed_to}",
+        node.round()
+    );
+    assert!(node.store().highest_round() >= node.round());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
