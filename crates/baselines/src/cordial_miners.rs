@@ -92,9 +92,8 @@ impl CordialMinersCommitter {
     fn try_direct_commit(&self, store: &BlockStore, wave: u64, slot: Slot) -> Option<Arc<Block>> {
         let certify_round = self.certify_round(wave);
         for candidate in store.blocks_in_slot(slot) {
-            let certifiers = store.authorities_with(certify_round, |block| {
-                store.is_cert(block, candidate)
-            });
+            let certifiers =
+                store.authorities_with(certify_round, |block| store.is_cert(block, candidate));
             if certifiers.len() >= self.committee.quorum_threshold() {
                 return Some(Arc::clone(candidate));
             }
@@ -116,8 +115,7 @@ impl CordialMinersCommitter {
         let anchor_ref = anchor.reference();
         for candidate in store.blocks_in_slot(slot) {
             let has_certified_link = store.blocks_at_round(certify_round).iter().any(|block| {
-                store.is_cert(block, candidate)
-                    && store.is_link(&block.reference(), &anchor_ref)
+                store.is_cert(block, candidate) && store.is_link(&block.reference(), &anchor_ref)
             });
             if has_certified_link {
                 return LeaderStatus::Commit(Arc::clone(candidate));
@@ -159,13 +157,10 @@ impl ProtocolCommitter for CordialMinersCommitter {
                 statuses.insert(wave, status.clone());
                 continue;
             }
-            let Some(slot) = self.elector.elect_slot(
-                &self.committee,
-                store,
-                self.certify_round(wave),
-                round,
-                0,
-            ) else {
+            let Some(slot) =
+                self.elector
+                    .elect_slot(&self.committee, store, self.certify_round(wave), round, 0)
+            else {
                 statuses.insert(wave, LeaderStatus::Undecided { round, offset: 0 });
                 continue;
             };
@@ -273,7 +268,10 @@ mod tests {
         assert_eq!(decisions.len(), 3);
         // All blocks up to round 11 are linearized exactly once.
         let emitted = sequencer.emitted_blocks();
-        assert_eq!(emitted, 4 /* genesis */ + 11 * 4 - 3 /* above leader */);
+        assert_eq!(
+            emitted,
+            4 /* genesis */ + 11 * 4 - 3 /* above leader */
+        );
     }
 
     #[test]
@@ -304,9 +302,7 @@ mod tests {
                 .map(|a| {
                     let mut spec = BlockSpec::new(a);
                     if dag.current_round() == 1 {
-                        let parents: Vec<_> = [b2, r1[0], r1[3], r1[4]]
-                            .into_iter()
-                            .collect();
+                        let parents: Vec<_> = [b2, r1[0], r1[3], r1[4]].into_iter().collect();
                         spec = spec.with_explicit_parents(parents);
                     }
                     spec

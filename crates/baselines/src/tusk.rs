@@ -72,9 +72,8 @@ impl TuskCommitter {
         let support_round = self.propose_round(wave) + 1;
         for candidate in store.blocks_in_slot(slot) {
             let reference = candidate.reference();
-            let supporters = store.authorities_with(support_round, |block| {
-                block.parents().contains(&reference)
-            });
+            let supporters =
+                store.authorities_with(support_round, |block| block.parents().contains(&reference));
             if supporters.len() >= self.committee.validity_threshold() {
                 return Some(Arc::clone(candidate));
             }
@@ -109,9 +108,7 @@ impl ProtocolCommitter for TuskCommitter {
     }
 
     fn try_decide(&self, store: &BlockStore, from_round: Round) -> Vec<LeaderStatus> {
-        let highest = store
-            .highest_round()
-            .saturating_sub(TUSK_WAVE_LENGTH - 1);
+        let highest = store.highest_round().saturating_sub(TUSK_WAVE_LENGTH - 1);
         let from_round = from_round.max(1);
         if highest < from_round {
             return Vec::new();
@@ -130,13 +127,10 @@ impl ProtocolCommitter for TuskCommitter {
                 statuses.insert(wave, status.clone());
                 continue;
             }
-            let Some(slot) = self.elector.elect_slot(
-                &self.committee,
-                store,
-                self.reveal_round(wave),
-                round,
-                0,
-            ) else {
+            let Some(slot) =
+                self.elector
+                    .elect_slot(&self.committee, store, self.reveal_round(wave), round, 0)
+            else {
                 statuses.insert(wave, LeaderStatus::Undecided { round, offset: 0 });
                 continue;
             };
@@ -295,7 +289,11 @@ mod tests {
         let statuses = committer.try_decide(dag.store(), 1);
         assert!(statuses.len() >= 2);
         // Wave 1 commits directly; wave 0's leader commits recursively.
-        assert!(matches!(&statuses[0], LeaderStatus::Commit(block)
-            if block.reference() == r1[3]), "{}", statuses[0]);
+        assert!(
+            matches!(&statuses[0], LeaderStatus::Commit(block)
+            if block.reference() == r1[3]),
+            "{}",
+            statuses[0]
+        );
     }
 }

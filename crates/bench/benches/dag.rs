@@ -19,7 +19,12 @@ fn ten_node_dag(rounds: usize) -> DagBuilder {
 fn bench_insert(c: &mut Criterion) {
     c.bench_function("store_insert_round_of_10", |b| {
         let dag = ten_node_dag(1);
-        let blocks: Vec<_> = dag.store().blocks_at_round(1).into_iter().cloned().collect();
+        let blocks: Vec<_> = dag
+            .store()
+            .blocks_at_round(1)
+            .into_iter()
+            .cloned()
+            .collect();
         b.iter_batched(
             || BlockStore::new(10, 7),
             |mut store| {

@@ -103,8 +103,7 @@ fn main() {
                 total_rounds += 1;
                 let mut any = false;
                 for offset in 0..leaders {
-                    let authority =
-                        AuthorityIndex(coin.leader_slot(offset, committee_size) as u32);
+                    let authority = AuthorityIndex(coin.leader_slot(offset, committee_size) as u32);
                     let slot = Slot::new(propose, authority);
                     let direct = store.blocks_in_slot(slot).iter().any(|candidate| {
                         store

@@ -20,10 +20,7 @@ fn main() {
             sweep.total_loads_tps = vec![1_000, 10_000, 30_000];
         }
         for leaders in [1usize, 2, 3] {
-            all.extend(run_sweep(
-                ProtocolChoice::MahiMahi5 { leaders },
-                &sweep,
-            ));
+            all.extend(run_sweep(ProtocolChoice::MahiMahi5 { leaders }, &sweep));
         }
     }
     write_csv("fig7", &all);

@@ -29,7 +29,11 @@ fn main() {
         ("1 mute", vec![(9, Behavior::Mute)]),
         (
             "3 mute",
-            vec![(7, Behavior::Mute), (8, Behavior::Mute), (9, Behavior::Mute)],
+            vec![
+                (7, Behavior::Mute),
+                (8, Behavior::Mute),
+                (9, Behavior::Mute),
+            ],
         ),
     ];
     let mut all = Vec::new();

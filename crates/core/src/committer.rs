@@ -1,8 +1,8 @@
 //! Algorithm 1's `TryDecide`: classify every leader slot from the last
 //! committed round up to the highest decidable round.
 
-use mahimahi_types::{Committee, Round};
 use mahimahi_dag::BlockStore;
+use mahimahi_types::{Committee, Round};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -266,9 +266,7 @@ mod tests {
             // The block's author must be the coin-elected authority: verify
             // determinism by re-deciding.
             let again = committer.try_decide(dag.store(), block.round());
-            assert!(again
-                .iter()
-                .any(|s| s.committed_block() == Some(&block)));
+            assert!(again.iter().any(|s| s.committed_block() == Some(&block)));
         }
     }
 

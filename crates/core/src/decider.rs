@@ -6,10 +6,10 @@
 //! `round % wave_length`) and keeps the committer stateless.
 
 use mahimahi_crypto::coin::{CoinShare, CoinValue};
-use mahimahi_types::{Block, Committee, Round, Slot};
+use mahimahi_dag::BlockStore;
 #[cfg(test)]
 use mahimahi_types::AuthorityIndex;
-use mahimahi_dag::BlockStore;
+use mahimahi_types::{Block, Committee, Round, Slot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -120,22 +120,18 @@ impl<'a> WaveDecider<'a> {
     /// `SkippedLeader`: `2f + 1` distinct vote-round authors have a block
     /// that does not vote for `leader`.
     fn skipped_leader(&self, leader: &Block) -> bool {
-        let non_votes = self
-            .store
-            .authorities_with(self.vote_round(), |block| {
-                !self.store.is_vote(&block.reference(), leader)
-            });
+        let non_votes = self.store.authorities_with(self.vote_round(), |block| {
+            !self.store.is_vote(&block.reference(), leader)
+        });
         non_votes.len() >= self.committee.quorum_threshold()
     }
 
     /// `SupportedLeader`: `2f + 1` distinct certify-round authors have a
     /// block that certifies `leader`.
     fn supported_leader(&self, leader: &Block) -> bool {
-        let certifiers = self
-            .store
-            .authorities_with(self.certify_round(), |block| {
-                self.store.is_cert(block, leader)
-            });
+        let certifiers = self.store.authorities_with(self.certify_round(), |block| {
+            self.store.is_cert(block, leader)
+        });
         certifiers.len() >= self.committee.quorum_threshold()
     }
 
@@ -188,9 +184,7 @@ impl<'a> WaveDecider<'a> {
         let anchor_ref = anchor.reference();
         for decision_block in self.store.blocks_at_round(self.certify_round()) {
             if self.store.is_cert(decision_block, leader)
-                && self
-                    .store
-                    .is_link(&decision_block.reference(), &anchor_ref)
+                && self.store.is_link(&decision_block.reference(), &anchor_ref)
             {
                 return true;
             }
@@ -218,30 +212,30 @@ mod tests {
         let (committee, mut dag) = setup_dag(1);
         let coins = CoinCache::default();
         // Round 1 has 4 blocks with shares: coin opens.
-        assert!(coins
-            .coin_for_round(&committee, dag.store(), 1)
-            .is_some());
+        assert!(coins.coin_for_round(&committee, dag.store(), 1).is_some());
         // Round 2 has no blocks yet.
-        assert!(coins
-            .coin_for_round(&committee, dag.store(), 2)
-            .is_none());
+        assert!(coins.coin_for_round(&committee, dag.store(), 2).is_none());
         // Two blocks at round 2 (< 2f+1 = 3 shares): still closed.
         dag.add_round(vec![BlockSpec::new(0), BlockSpec::new(1)]);
-        assert!(coins
-            .coin_for_round(&committee, dag.store(), 2)
-            .is_none());
+        assert!(coins.coin_for_round(&committee, dag.store(), 2).is_none());
     }
 
     #[test]
     fn coin_value_is_stable_as_blocks_arrive() {
         let (committee, mut dag) = setup_dag(1);
         let coins = CoinCache::default();
-        dag.add_round(vec![BlockSpec::new(0), BlockSpec::new(1), BlockSpec::new(2)]);
-        let early = coins
-            .coin_for_round(&committee, dag.store(), 2)
-            .unwrap();
+        dag.add_round(vec![
+            BlockSpec::new(0),
+            BlockSpec::new(1),
+            BlockSpec::new(2),
+        ]);
+        let early = coins.coin_for_round(&committee, dag.store(), 2).unwrap();
         // A fresh cache over the grown DAG must agree (threshold property).
-        dag.add_round(vec![BlockSpec::new(0), BlockSpec::new(1), BlockSpec::new(2)]);
+        dag.add_round(vec![
+            BlockSpec::new(0),
+            BlockSpec::new(1),
+            BlockSpec::new(2),
+        ]);
         let fresh = CoinCache::default()
             .coin_for_round(&committee, dag.store(), 2)
             .unwrap();
@@ -305,7 +299,10 @@ mod tests {
                 assert_eq!(decision, Decision::Skip, "crashed leader at {slot}");
                 exercised = true;
             } else {
-                assert!(matches!(decision, Decision::Commit(_)), "live leader {slot}");
+                assert!(
+                    matches!(decision, Decision::Commit(_)),
+                    "live leader {slot}"
+                );
             }
         }
         // With 3 rounds × 1 offset and a uniform coin the crashed author is
@@ -314,8 +311,7 @@ mod tests {
         if !exercised {
             for propose in 2..=4u64 {
                 for offset in 1..4 {
-                    let decider =
-                        WaveDecider::new(&committee, dag.store(), 5, propose, offset);
+                    let decider = WaveDecider::new(&committee, dag.store(), 5, propose, offset);
                     let Some(slot) = decider.leader_slot(&coins) else {
                         continue;
                     };

@@ -7,8 +7,8 @@
 //! elections instead — that is [`FixedElector`]. Both implement
 //! [`LeaderElector`], which the committer consults for every slot.
 
-use mahimahi_types::{AuthorityIndex, Committee, Round, Slot};
 use mahimahi_dag::BlockStore;
+use mahimahi_types::{AuthorityIndex, Committee, Round, Slot};
 use std::collections::HashMap;
 use std::fmt::Debug;
 
@@ -68,9 +68,7 @@ impl LeaderElector for CoinElector {
         _propose_round: Round,
         offset: usize,
     ) -> Option<AuthorityIndex> {
-        let coin = self
-            .coins
-            .coin_for_round(committee, store, certify_round)?;
+        let coin = self.coins.coin_for_round(committee, store, certify_round)?;
         Some(AuthorityIndex(
             coin.leader_slot(offset, committee.size()) as u32
         ))

@@ -6,8 +6,8 @@
 //! plus the common DagRider-style linearization. Factoring the interface
 //! here lets the simulator and the sequencer treat them uniformly.
 
-use mahimahi_types::{Committee, Round};
 use mahimahi_dag::BlockStore;
+use mahimahi_types::{Committee, Round};
 
 use crate::committer::Committer;
 use crate::status::LeaderStatus;

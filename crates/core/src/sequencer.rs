@@ -1,8 +1,8 @@
 //! `ExtendCommitSequence` (Algorithm 1 lines 3–10) plus the DagRider-style
 //! sub-DAG linearization (Section 3.2 steps 4–5).
 
-use mahimahi_types::{Block, BlockRef, Round, Slot, Transaction};
 use mahimahi_dag::BlockStore;
+use mahimahi_types::{Block, BlockRef, Round, Slot, Transaction};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -269,10 +269,8 @@ mod tests {
             match (a, b) {
                 (CommitDecision::Commit(x), CommitDecision::Commit(y)) => {
                     assert_eq!(x.leader, y.leader);
-                    let x_refs: Vec<BlockRef> =
-                        x.blocks.iter().map(|b| b.reference()).collect();
-                    let y_refs: Vec<BlockRef> =
-                        y.blocks.iter().map(|b| b.reference()).collect();
+                    let x_refs: Vec<BlockRef> = x.blocks.iter().map(|b| b.reference()).collect();
+                    let y_refs: Vec<BlockRef> = y.blocks.iter().map(|b| b.reference()).collect();
                     assert_eq!(x_refs, y_refs);
                 }
                 (CommitDecision::Skip(_, x), CommitDecision::Skip(_, y)) => {
@@ -359,9 +357,8 @@ mod tests {
         dag.add_round(
             (0..4)
                 .map(|author| {
-                    BlockSpec::new(author).with_transactions(vec![Transaction::benchmark(
-                        author as u64,
-                    )])
+                    BlockSpec::new(author)
+                        .with_transactions(vec![Transaction::benchmark(author as u64)])
                 })
                 .collect(),
         );

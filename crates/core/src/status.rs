@@ -84,14 +84,20 @@ mod tests {
         assert!(skip.is_decided());
         assert!(skip.committed_block().is_none());
 
-        let undecided = LeaderStatus::Undecided { round: 5, offset: 1 };
+        let undecided = LeaderStatus::Undecided {
+            round: 5,
+            offset: 1,
+        };
         assert_eq!(undecided.round(), 5);
         assert!(!undecided.is_decided());
     }
 
     #[test]
     fn display_is_informative() {
-        let undecided = LeaderStatus::Undecided { round: 5, offset: 1 };
+        let undecided = LeaderStatus::Undecided {
+            round: 5,
+            offset: 1,
+        };
         assert!(undecided.to_string().contains("round=5"));
         let skip = LeaderStatus::Skip(Slot::new(3, AuthorityIndex(2)));
         assert!(skip.to_string().contains("S(v2,3)"));

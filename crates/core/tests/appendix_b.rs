@@ -201,7 +201,11 @@ fn appendix_b_slot_classification() {
                 assert_eq!(Some(block.reference()), *reference, "wrong block: {status}");
             }
             (LeaderStatus::Skip(slot), &"skip") => {
-                assert_eq!(*slot, Slot::new(6, AuthorityIndex(0)), "wrong skip: {status}");
+                assert_eq!(
+                    *slot,
+                    Slot::new(6, AuthorityIndex(0)),
+                    "wrong skip: {status}"
+                );
             }
             _ => panic!("unexpected status {status}, expected {kind}"),
         }
@@ -234,7 +238,10 @@ fn appendix_b_l1a_is_undecided_without_its_anchor() {
     let statuses = committer.try_decide(figure.dag.store(), 1);
     assert!(matches!(
         statuses[0],
-        LeaderStatus::Undecided { round: 1, offset: 0 }
+        LeaderStatus::Undecided {
+            round: 1,
+            offset: 0
+        }
     ));
     // L1b is still directly committed...
     assert!(matches!(&statuses[1], LeaderStatus::Commit(block)
@@ -297,7 +304,10 @@ fn appendix_b_commit_sequence_matches_paper() {
             assert!(seen.insert(block.reference()));
         }
         // The committed leader closes its own sub-DAG.
-        assert_eq!(sub_dag.blocks.last().map(|b| b.reference()), Some(sub_dag.leader));
+        assert_eq!(
+            sub_dag.blocks.last().map(|b| b.reference()),
+            Some(sub_dag.leader)
+        );
     }
     // The skipped equivocation L5b is never linearized: it is in no
     // committed leader's causal history.

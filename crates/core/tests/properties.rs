@@ -21,12 +21,7 @@ use rand_chacha::ChaCha8Rng;
 /// Grows `rounds` random rounds on top of the builder: every honest author
 /// produces each round referencing a random quorum; `equivocator`
 /// (optional) produces two variants on some rounds.
-fn grow_random_dag(
-    dag: &mut DagBuilder,
-    rounds: u64,
-    seed: u64,
-    equivocator: Option<u32>,
-) {
+fn grow_random_dag(dag: &mut DagBuilder, rounds: u64, seed: u64, equivocator: Option<u32>) {
     let n = dag.setup().committee().size() as u32;
     let quorum = dag.setup().committee().quorum_threshold();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -78,7 +78,7 @@ impl Blake2b {
     /// Panics if `out_len` is zero or greater than 64, or if `key` is longer
     /// than 64 bytes.
     pub fn new_keyed(out_len: usize, key: &[u8]) -> Self {
-        assert!(out_len >= 1 && out_len <= 64, "output length must be 1..=64");
+        assert!((1..=64).contains(&out_len), "output length must be 1..=64");
         assert!(key.len() <= 64, "key must be at most 64 bytes");
         let mut h = IV;
         // Parameter block: digest length, key length, fanout = depth = 1.
@@ -338,10 +338,7 @@ mod tests {
 
     #[test]
     fn keyed_differs_from_unkeyed() {
-        assert_ne!(
-            blake2b_256_keyed(b"key", b"data"),
-            blake2b_256(b"data"),
-        );
+        assert_ne!(blake2b_256_keyed(b"key", b"data"), blake2b_256(b"data"),);
     }
 
     #[test]

@@ -309,8 +309,7 @@ impl CoinValue {
     /// The base leader index `c` for a committee of `committee_size`.
     pub fn base_leader(&self, committee_size: usize) -> u64 {
         assert!(committee_size > 0, "committee cannot be empty");
-        u64::from_le_bytes(self.bytes[..8].try_into().expect("8 bytes"))
-            % committee_size as u64
+        u64::from_le_bytes(self.bytes[..8].try_into().expect("8 bytes")) % committee_size as u64
     }
 
     /// The authority filling leader slot `leader_offset` of the round
@@ -385,10 +384,22 @@ mod tests {
     fn different_rounds_produce_different_values() {
         let (secrets, public) = dealt(4, 3);
         let value5 = public
-            .combine(5, &secrets.iter().map(|s| s.share_for_round(5)).collect::<Vec<_>>())
+            .combine(
+                5,
+                &secrets
+                    .iter()
+                    .map(|s| s.share_for_round(5))
+                    .collect::<Vec<_>>(),
+            )
             .unwrap();
         let value6 = public
-            .combine(6, &secrets.iter().map(|s| s.share_for_round(6)).collect::<Vec<_>>())
+            .combine(
+                6,
+                &secrets
+                    .iter()
+                    .map(|s| s.share_for_round(6))
+                    .collect::<Vec<_>>(),
+            )
             .unwrap();
         assert_ne!(value5.as_bytes(), value6.as_bytes());
     }
@@ -486,8 +497,7 @@ mod tests {
         let (secrets, public) = dealt(4, 3);
         let mut counts = [0usize; 4];
         for round in 0..200 {
-            let shares: Vec<CoinShare> =
-                secrets.iter().map(|s| s.share_for_round(round)).collect();
+            let shares: Vec<CoinShare> = secrets.iter().map(|s| s.share_for_round(round)).collect();
             let value = public.combine(round, &shares[..3]).unwrap();
             counts[value.base_leader(4) as usize] += 1;
         }

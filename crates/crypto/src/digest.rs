@@ -111,10 +111,7 @@ mod tests {
         bytes[0] = 1;
         assert_eq!(Digest::new(bytes).prefix_u64(), 1);
         bytes[7] = 1;
-        assert_eq!(
-            Digest::new(bytes).prefix_u64(),
-            1 | (1 << 56),
-        );
+        assert_eq!(Digest::new(bytes).prefix_u64(), 1 | (1 << 56),);
     }
 
     #[test]

@@ -67,8 +67,12 @@ impl DleqProof {
         b: GroupElement,
     ) -> Result<(), CryptoError> {
         // Recompute the commitments: A = base_a^z · a^{-c}, B = base_b^z · b^{-c}.
-        let commit_a = base_a.pow(self.response).mul(a.pow(self.challenge).inverse());
-        let commit_b = base_b.pow(self.response).mul(b.pow(self.challenge).inverse());
+        let commit_a = base_a
+            .pow(self.response)
+            .mul(a.pow(self.challenge).inverse());
+        let commit_b = base_b
+            .pow(self.response)
+            .mul(b.pow(self.challenge).inverse());
         let expected = Self::challenge(base_a, a, base_b, b, commit_a, commit_b);
         if expected == self.challenge {
             Ok(())
@@ -122,7 +126,16 @@ impl DleqProof {
 mod tests {
     use super::*;
 
-    fn setup(exponent: u64, round: u64) -> (GroupElement, GroupElement, GroupElement, GroupElement, Scalar) {
+    fn setup(
+        exponent: u64,
+        round: u64,
+    ) -> (
+        GroupElement,
+        GroupElement,
+        GroupElement,
+        GroupElement,
+        Scalar,
+    ) {
         let x = Scalar::new(exponent);
         let g = GroupElement::generator();
         let h = GroupElement::hash_to_group(&[b"round", &round.to_le_bytes()]);

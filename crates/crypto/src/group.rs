@@ -227,6 +227,7 @@ impl GroupElement {
     }
 
     /// The group operation (modular multiplication).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: GroupElement) -> GroupElement {
         GroupElement(mul_mod(self.0, rhs.0, MODULUS_P))
     }

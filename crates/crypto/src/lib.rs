@@ -104,7 +104,7 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 ///
 /// Returns `None` when the input has odd length or contains a non-hex digit.
 pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits = s.as_bytes();

@@ -159,7 +159,10 @@ impl DagBuilder {
     /// Adds a round where only `producers` make blocks, each referencing the
     /// full previous round. Models benign crashes of the other authorities.
     pub fn add_round_producers(&mut self, producers: &[u32]) -> Vec<BlockRef> {
-        let specs = producers.iter().map(|&author| BlockSpec::new(author)).collect();
+        let specs = producers
+            .iter()
+            .map(|&author| BlockSpec::new(author))
+            .collect();
         self.add_round(specs)
     }
 
@@ -241,15 +244,13 @@ impl DagBuilder {
                     if parent_author == spec.author {
                         continue;
                     }
-                    let slot_blocks = self
-                        .store
-                        .blocks_in_slot(mahimahi_types::Slot::new(
-                            round - 1,
-                            AuthorityIndex(parent_author),
-                        ));
-                    let first = slot_blocks
-                        .first()
-                        .unwrap_or_else(|| panic!("no block by v{parent_author} at round {}", round - 1));
+                    let slot_blocks = self.store.blocks_in_slot(mahimahi_types::Slot::new(
+                        round - 1,
+                        AuthorityIndex(parent_author),
+                    ));
+                    let first = slot_blocks.first().unwrap_or_else(|| {
+                        panic!("no block by v{parent_author} at round {}", round - 1)
+                    });
                     parents.push(first.reference());
                 }
             }
@@ -372,7 +373,7 @@ mod tests {
         let mut dag = builder();
         dag.add_full_round();
         dag.add_round_producers(&[0, 1, 2]); // author 3 crashed
-        // Author 3 cannot produce at round 3: no own block at round 2.
+                                             // Author 3 cannot produce at round 3: no own block at round 2.
         dag.add_round(vec![BlockSpec::new(3)]);
     }
 
@@ -380,8 +381,7 @@ mod tests {
     fn parent_authors_implicitly_include_self() {
         let mut dag = builder();
         let r1 = dag.add_full_round();
-        let refs =
-            dag.add_round(vec![BlockSpec::new(0).with_parent_authors(vec![1, 2, 3])]);
+        let refs = dag.add_round(vec![BlockSpec::new(0).with_parent_authors(vec![1, 2, 3])]);
         let block = dag.store().get(&refs[0]).unwrap();
         assert_eq!(block.parents()[0], r1[0]);
         assert_eq!(block.parents().len(), 4);
@@ -392,8 +392,9 @@ mod tests {
         let mut dag = builder();
         let r1 = dag.add_full_round();
         // Give parents with own block NOT first; builder must fix the order.
-        let refs = dag.add_round(vec![BlockSpec::new(2)
-            .with_explicit_parents(vec![r1[0], r1[1], r1[2], r1[3]])]);
+        let refs = dag.add_round(vec![
+            BlockSpec::new(2).with_explicit_parents(vec![r1[0], r1[1], r1[2], r1[3]])
+        ]);
         let block = dag.store().get(&refs[0]).unwrap();
         assert_eq!(block.parents()[0], r1[2]);
         assert_eq!(block.parents().len(), 4);

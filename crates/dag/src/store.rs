@@ -146,9 +146,7 @@ impl BlockStore {
         let missing: Vec<BlockRef> = block
             .parents()
             .iter()
-            .filter(|parent| {
-                parent.round >= self.gc_cutoff && !self.by_ref.contains_key(parent)
-            })
+            .filter(|parent| parent.round >= self.gc_cutoff && !self.by_ref.contains_key(parent))
             .copied()
             .collect();
         if !missing.is_empty() {
@@ -648,12 +646,7 @@ mod tests {
         // Two round-2 blocks both waiting on the same four round-1 parents.
         for author in 0..2u32 {
             let mut parents = vec![r1_refs[author as usize]];
-            parents.extend(
-                r1_refs
-                    .iter()
-                    .copied()
-                    .filter(|r| r.author.0 != author),
-            );
+            parents.extend(r1_refs.iter().copied().filter(|r| r.author.0 != author));
             let block = BlockBuilder::new(AuthorityIndex(author), 2)
                 .parents(parents)
                 .build(&setup)

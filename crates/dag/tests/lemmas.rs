@@ -17,8 +17,7 @@ fn random_quorum_dag(n: usize, rounds: u64, seed: u64) -> DagBuilder {
     for _ in 0..rounds {
         let specs = (0..n as u32)
             .map(|author| {
-                let mut others: Vec<u32> =
-                    (0..n as u32).filter(|&a| a != author).collect();
+                let mut others: Vec<u32> = (0..n as u32).filter(|&a| a != author).collect();
                 others.shuffle(&mut rng);
                 others.truncate(quorum - 1);
                 BlockSpec::new(author).with_parent_authors(others)

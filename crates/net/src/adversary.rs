@@ -10,8 +10,8 @@
 //! drop, forge, or reorder within a link.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::time::{self, Time};
 

@@ -154,9 +154,9 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric() {
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(AWS_REGIONS[i].1[j], AWS_REGIONS[j].1[i], "{i},{j}");
+        for (i, (_, row)) in AWS_REGIONS.iter().enumerate() {
+            for (j, delay) in row.iter().enumerate() {
+                assert_eq!(*delay, AWS_REGIONS[j].1[i], "{i},{j}");
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The simulated message network: event queue, bandwidth, FIFO links.
 
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -121,7 +121,10 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
         round: u64,
         payload: P,
     ) -> Time {
-        assert!(from < self.config.nodes && to < self.config.nodes, "node out of range");
+        assert!(
+            from < self.config.nodes && to < self.config.nodes,
+            "node out of range"
+        );
         // Serialization: the sender's NIC transmits messages back to back.
         let tx_time = (size as f64 / self.config.egress_bytes_per_sec * 1e6).ceil() as Time;
         let tx_start = now.max(self.egress_busy_until[from]);
@@ -137,7 +140,10 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
             size,
         };
         let scheduled = self.adversary.schedule(meta, physical_arrival);
-        debug_assert!(scheduled >= physical_arrival, "adversary accelerated a message");
+        debug_assert!(
+            scheduled >= physical_arrival,
+            "adversary accelerated a message"
+        );
         // Per-link FIFO (TCP): never deliver before an earlier send.
         let fifo_floor = self
             .link_last_delivery
@@ -150,8 +156,7 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
         self.sequence += 1;
         self.bytes_sent += size as u64;
         self.messages_sent += 1;
-        self.queue
-            .push(Reverse((deliver_at, self.sequence, to)));
+        self.queue.push(Reverse((deliver_at, self.sequence, to)));
         self.payloads.insert(
             self.sequence,
             Envelope {
@@ -166,14 +171,7 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
 
     /// Broadcasts copies of `payload` to every node except the sender.
     /// Returns the latest scheduled delivery time.
-    pub fn broadcast(
-        &mut self,
-        now: Time,
-        from: usize,
-        size: usize,
-        round: u64,
-        payload: P,
-    ) -> Time
+    pub fn broadcast(&mut self, now: Time, from: usize, size: usize, round: u64, payload: P) -> Time
     where
         P: Clone,
     {

@@ -1,8 +1,8 @@
 //! Localhost cluster assembly for examples and integration tests.
 
 use mahimahi_core::{CommittedSubDag, CommitterOptions};
-use mahimahi_types::{TestCommittee, Transaction};
 use mahimahi_transport::Transport;
+use mahimahi_types::{TestCommittee, Transaction};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -98,11 +98,7 @@ impl LocalCluster {
 
     /// Waits until the `index`-th validator commits a sub-DAG containing at
     /// least one transaction, returning it.
-    pub fn wait_for_commit(
-        &self,
-        index: usize,
-        timeout: Duration,
-    ) -> Option<CommittedSubDag> {
+    pub fn wait_for_commit(&self, index: usize, timeout: Duration) -> Option<CommittedSubDag> {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
             match self.handles[index]

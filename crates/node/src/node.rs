@@ -1,7 +1,9 @@
 //! The networked validator: protocol loop, WAL persistence, recovery.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use mahimahi_core::{CommitDecision, CommitSequencer, Committer, CommitterOptions, CommittedSubDag};
+use mahimahi_core::{
+    CommitDecision, CommitSequencer, CommittedSubDag, Committer, CommitterOptions,
+};
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_transport::Transport;
 use mahimahi_types::{
@@ -278,7 +280,8 @@ impl ValidatorNode {
             let floor = self.sequencer.gc_floor();
             if floor >= self.store.gc_cutoff() + 64 {
                 self.store.compact(floor);
-                self.unreferenced.retain(|reference| reference.round >= floor);
+                self.unreferenced
+                    .retain(|reference| reference.round >= floor);
             }
         }
         self.transport.shutdown();

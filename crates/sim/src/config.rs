@@ -285,14 +285,8 @@ mod tests {
         }
         .with_crashed(3);
         assert_eq!(config.behavior_of(0), Behavior::Honest);
-        assert_eq!(
-            config.behavior_of(7),
-            Behavior::Crashed { from_round: 0 }
-        );
-        assert_eq!(
-            config.behavior_of(9),
-            Behavior::Crashed { from_round: 0 }
-        );
+        assert_eq!(config.behavior_of(7), Behavior::Crashed { from_round: 0 });
+        assert_eq!(config.behavior_of(9), Behavior::Crashed { from_round: 0 });
     }
 
     #[test]

@@ -82,11 +82,7 @@ impl SimMessage {
 /// Wire size of a block with transactions inflated to their configured
 /// benchmark size.
 pub fn block_wire_size(block: &Block, tx_wire_size: usize) -> usize {
-    let actual: usize = block
-        .transactions()
-        .iter()
-        .map(|tx| tx.len())
-        .sum();
+    let actual: usize = block.transactions().iter().map(|tx| tx.len()).sum();
     let billed = block.transactions().len() * tx_wire_size;
     block.serialized_size() - actual + billed
 }

@@ -3,8 +3,7 @@
 use mahimahi_net::time::Time;
 use mahimahi_net::{
     Adversary, GeoLatency, LatencyModel, MessageMeta, NetworkConfig, NoAdversary,
-    PartitionAdversary, RandomSubsetAdversary, RotatingDelayAdversary, SimNetwork,
-    UniformLatency,
+    PartitionAdversary, RandomSubsetAdversary, RotatingDelayAdversary, SimNetwork, UniformLatency,
 };
 use mahimahi_types::{AuthorityIndex, TestCommittee};
 use rand::Rng;
@@ -17,6 +16,7 @@ use crate::metrics::{LatencyStats, SimReport};
 use crate::validator::{Action, SimValidator};
 
 /// Runtime dispatch over the latency models (chosen per run).
+#[allow(clippy::large_enum_variant)] // Geo carries the full region matrix; one instance per run
 enum AnyLatency {
     Geo(GeoLatency),
     Uniform(UniformLatency),
@@ -57,14 +57,17 @@ impl Adversary for AnyAdversary {
     }
 }
 
+/// A delivery parked until the recipient's CPU frees up:
+/// (resume time, sequence, from, to, message).
+type DeferredDelivery = (Time, u64, usize, usize, SeqMessage);
+
 /// A full simulated deployment: committee, network, clients, clock.
 pub struct Simulation {
     config: SimConfig,
     network: SimNetwork<SimMessage, AnyLatency, AnyAdversary>,
     validators: Vec<SimValidator>,
-    /// Deliveries deferred because the recipient's CPU was busy:
-    /// (resume time, sequence, from, to, message).
-    deferred: BinaryHeap<Reverse<(Time, u64, usize, usize, SeqMessage)>>,
+    /// Deliveries deferred because the recipient's CPU was busy.
+    deferred: BinaryHeap<Reverse<DeferredDelivery>>,
     deferred_sequence: u64,
     /// Scheduled `maybe_advance` wake-ups: (time, validator).
     wakeups: BinaryHeap<Reverse<(Time, usize)>>,
@@ -128,13 +131,9 @@ impl Simulation {
                 targets,
                 period,
                 extra,
-            } => AnyAdversary::Rotating(RotatingDelayAdversary::new(
-                nodes, targets, period, extra,
-            )),
+            } => AnyAdversary::Rotating(RotatingDelayAdversary::new(nodes, targets, period, extra)),
             AdversaryChoice::Partition { minority, heals_at } => {
-                AnyAdversary::Partition(PartitionAdversary::split_first(
-                    nodes, minority, heals_at,
-                ))
+                AnyAdversary::Partition(PartitionAdversary::split_first(nodes, minority, heals_at))
             }
         };
         let network = SimNetwork::new(
@@ -210,13 +209,10 @@ impl Simulation {
 
         loop {
             let next_network = self.network.next_delivery_time();
-            let next_deferred = self
-                .deferred
-                .peek()
-                .map(|Reverse((time, ..))| *time);
+            let next_deferred = self.deferred.peek().map(|Reverse((time, ..))| *time);
             let next_wakeup = self.wakeups.peek().map(|Reverse((time, _))| *time);
-            let next_batch = (self.next_batch_at <= self.config.duration)
-                .then_some(self.next_batch_at);
+            let next_batch =
+                (self.next_batch_at <= self.config.duration).then_some(self.next_batch_at);
             let Some(next) = [next_network, next_deferred, next_wakeup, next_batch]
                 .into_iter()
                 .flatten()
@@ -303,9 +299,9 @@ impl Simulation {
         // Charge verification CPU.
         let cpu = &self.config.cpu;
         let cost = match &message {
-            SimMessage::Block(block) | SimMessage::Proposal(block) => {
-                cpu.block_verify(crate::message::block_wire_size(block, self.config.tx_wire_size))
-            }
+            SimMessage::Block(block) | SimMessage::Proposal(block) => cpu.block_verify(
+                crate::message::block_wire_size(block, self.config.tx_wire_size),
+            ),
             SimMessage::Ack { .. } => cpu.signature_verify,
             SimMessage::Certificate { signatures, .. } => cpu.certificate_verify(*signatures),
             SimMessage::Request(_) => 1,
@@ -331,13 +327,9 @@ impl Simulation {
             match action {
                 Action::Broadcast(message) => {
                     // Block creation costs CPU on the producer.
-                    if matches!(
-                        message,
-                        SimMessage::Block(_) | SimMessage::Proposal(_)
-                    ) {
-                        self.cpu_busy_until[origin] =
-                            self.cpu_busy_until[origin].max(self.now)
-                                + self.config.cpu.block_creation;
+                    if matches!(message, SimMessage::Block(_) | SimMessage::Proposal(_)) {
+                        self.cpu_busy_until[origin] = self.cpu_busy_until[origin].max(self.now)
+                            + self.config.cpu.block_creation;
                     }
                     let size = message.wire_size(self.config.tx_wire_size);
                     let round = message.round();
@@ -441,8 +433,12 @@ mod tests {
     fn mahi_mahi_4_is_faster_than_5() {
         let five = Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 })).run();
         let four = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
-        assert!(four.latency.mean_s() < five.latency.mean_s(),
-            "MM4 {} !< MM5 {}", four.latency.mean_s(), five.latency.mean_s());
+        assert!(
+            four.latency.mean_s() < five.latency.mean_s(),
+            "MM4 {} !< MM5 {}",
+            four.latency.mean_s(),
+            five.latency.mean_s()
+        );
     }
 
     #[test]

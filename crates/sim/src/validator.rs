@@ -193,8 +193,7 @@ impl SimValidator {
                 ));
             }
             SimMessage::Ack { reference, voter } => {
-                if reference.author == self.authority && !self.certified_own.contains(&reference)
-                {
+                if reference.author == self.authority && !self.certified_own.contains(&reference) {
                     let votes = self.ack_votes.entry(reference).or_default();
                     votes.insert(voter);
                     if votes.len() >= self.setup.committee().quorum_threshold() {
@@ -495,8 +494,10 @@ mod tests {
         let mut v = validator(0, Behavior::Honest, false);
         let actions = v.maybe_advance(0);
         assert_eq!(v.round(), 1);
-        assert!(matches!(&actions[..], [Action::Broadcast(SimMessage::Block(b))]
-            if b.round() == 1));
+        assert!(
+            matches!(&actions[..], [Action::Broadcast(SimMessage::Block(b))]
+            if b.round() == 1)
+        );
     }
 
     #[test]
@@ -564,7 +565,10 @@ mod tests {
     fn certified_validator_waits_for_certificate() {
         let mut v = validator(0, Behavior::Honest, true);
         let actions = v.maybe_advance(0);
-        assert!(matches!(&actions[..], [Action::Broadcast(SimMessage::Proposal(_))]));
+        assert!(matches!(
+            &actions[..],
+            [Action::Broadcast(SimMessage::Proposal(_))]
+        ));
         // Not in the DAG yet: the round counter advanced but the store has
         // no round-1 block until the certificate forms.
         assert_eq!(v.store().blocks_at_round(1).len(), 0);
@@ -624,8 +628,10 @@ mod tests {
             .map(|b| b.reference())
             .unwrap();
         let actions = v.on_message(5, 3, SimMessage::Request(vec![own]));
-        assert!(matches!(&actions[..], [Action::Send(3, SimMessage::Response(blocks))]
-            if blocks.len() == 1));
+        assert!(
+            matches!(&actions[..], [Action::Send(3, SimMessage::Response(blocks))]
+            if blocks.len() == 1)
+        );
     }
 
     #[test]

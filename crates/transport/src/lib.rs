@@ -229,12 +229,7 @@ fn read_exact_interruptible(
 
 /// Maintains the outbound connection: (re)connect with backoff, send the
 /// hello, then drain the frame queue.
-fn sender_loop(
-    id: PeerId,
-    addr: SocketAddr,
-    frames: Receiver<Vec<u8>>,
-    shutdown: Arc<AtomicBool>,
-) {
+fn sender_loop(id: PeerId, addr: SocketAddr, frames: Receiver<Vec<u8>>, shutdown: Arc<AtomicBool>) {
     let mut backoff = Duration::from_millis(20);
     'reconnect: while !shutdown.load(Ordering::SeqCst) {
         let Ok(mut stream) = TcpStream::connect(addr) else {

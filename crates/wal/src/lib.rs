@@ -55,7 +55,10 @@ impl fmt::Display for WalError {
         match self {
             WalError::Io(error) => write!(f, "wal i/o error: {error}"),
             WalError::RecordTooLarge(size) => {
-                write!(f, "record of {size} bytes exceeds the {MAX_RECORD_BYTES} limit")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds the {MAX_RECORD_BYTES} limit"
+                )
             }
         }
     }
@@ -463,7 +466,7 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let io = WalError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = WalError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("i/o"));
         assert!(WalError::RecordTooLarge(1).to_string().contains("limit"));
     }

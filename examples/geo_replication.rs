@@ -37,7 +37,10 @@ fn main() {
         .iter()
         .find(|(name, _)| name.contains("Mahi-Mahi-4"))
         .expect("mahi-mahi-4 ran");
-    let tusk = rows.iter().find(|(name, _)| name.contains("Tusk")).expect("tusk ran");
+    let tusk = rows
+        .iter()
+        .find(|(name, _)| name.contains("Tusk"))
+        .expect("tusk ran");
     println!(
         "\nMahi-Mahi-4 cuts latency {:.0}% vs Tusk (paper: ~74%)",
         (1.0 - mahi4.1 / tusk.1) * 100.0

@@ -25,23 +25,20 @@ fn main() {
     let mut committed = std::collections::HashSet::new();
     let deadline = Instant::now() + Duration::from_secs(30);
     while committed.len() < 100 && Instant::now() < deadline {
-        match cluster.commits(0).recv_timeout(Duration::from_millis(200)) {
-            Ok(sub_dag) => {
-                let txs: Vec<u64> = sub_dag
-                    .transactions()
-                    .filter_map(Transaction::benchmark_id)
-                    .collect();
-                if !txs.is_empty() {
-                    println!(
-                        "commit #{}: leader {} carries {} txs",
-                        sub_dag.position,
-                        sub_dag.leader,
-                        txs.len()
-                    );
-                }
-                committed.extend(txs);
+        if let Ok(sub_dag) = cluster.commits(0).recv_timeout(Duration::from_millis(200)) {
+            let txs: Vec<u64> = sub_dag
+                .transactions()
+                .filter_map(Transaction::benchmark_id)
+                .collect();
+            if !txs.is_empty() {
+                println!(
+                    "commit #{}: leader {} carries {} txs",
+                    sub_dag.position,
+                    sub_dag.leader,
+                    txs.len()
+                );
             }
-            Err(_) => {}
+            committed.extend(txs);
         }
     }
     println!("\n{} / 100 transactions committed", committed.len());

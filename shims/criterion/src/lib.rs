@@ -1,0 +1,288 @@
+//! Offline shim for `criterion`: a minimal micro-benchmark harness with the
+//! criterion API shape (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `iter`/`iter_batched`, throughput annotations).
+//!
+//! Each benchmark is warmed up briefly and then timed for a fixed budget;
+//! the mean time per iteration is printed to stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison — this exists so
+//! `cargo bench` and `cargo build --benches` work offline.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Units processed per iteration, printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim's timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by `iter`/`iter_batched`.
+    mean_nanos: f64,
+    measurement_budget: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_budget: Duration) -> Self {
+        Bencher {
+            mean_nanos: 0.0,
+            measurement_budget,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed runs.
+        for _ in 0..3 {
+            std_black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < self.measurement_budget && iterations < 100_000 {
+            std_black_box(routine());
+            iterations += 1;
+        }
+        self.mean_nanos = started.elapsed().as_nanos() as f64 / iterations.max(1) as f64;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.measurement_budget && iterations < 100_000 {
+            let input = setup();
+            let started = Instant::now();
+            std_black_box(routine(input));
+            total += started.elapsed();
+            iterations += 1;
+        }
+        self.mean_nanos = total.as_nanos() as f64 / iterations.max(1) as f64;
+    }
+}
+
+fn human_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_nanos: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => {
+            let gib_per_sec = bytes as f64 / mean_nanos.max(f64::MIN_POSITIVE) / 1.073_741_824;
+            format!("  ({gib_per_sec:.3} GiB/s)")
+        }
+        Throughput::Elements(elements) => {
+            let per_sec = elements as f64 / mean_nanos.max(f64::MIN_POSITIVE) * 1e9;
+            format!("  ({per_sec:.0} elem/s)")
+        }
+    });
+    println!(
+        "{name:<50} time: {}{}",
+        human_nanos(mean_nanos),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Top-level benchmark driver (criterion's `Criterion` struct).
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep `cargo bench` runs short: the shim aims for a quick signal,
+        // not statistical rigor.
+        Criterion {
+            measurement_budget: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_budget);
+        routine(&mut bencher);
+        report(name, bencher.mean_nanos, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.measurement_budget);
+        routine(&mut bencher);
+        let label = format!("{}/{}", self.name, id.into().name);
+        report(&label, bencher.mean_nanos, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.measurement_budget);
+        routine(&mut bencher, input);
+        let label = format!("{}/{}", self.name, id.into().name);
+        report(&label, bencher.mean_nanos, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            measurement_budget: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = quick();
+        let mut calls = 0u64;
+        criterion.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("group");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1024),
+            &vec![0u8; 1024],
+            |b, data| b.iter(|| data.iter().map(|&x| x as u64).sum::<u64>()),
+        );
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut bencher = Bencher::new(Duration::from_millis(1));
+        bencher.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(bencher.mean_nanos >= 0.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace annotates wire types with `#[derive(Serialize, Deserialize)]`
+//! to document intent (and to ease a future swap to the real `serde`), but
+//! actual encoding goes through the hand-rolled codec in
+//! `mahimahi-types::codec`. The shim keeps those derives compiling offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the shim).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the derive macros exist so that
+//! `#[derive(Serialize, Deserialize)]` parses, but they expand to nothing —
+//! the workspace's wire format is the hand-rolled codec in
+//! `mahimahi-types::codec`, so no generated impls are required.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

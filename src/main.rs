@@ -157,8 +157,14 @@ fn analyze(options: &HashMap<String, String>) {
         analysis::w4_random_unreachable_bound(f)
     );
     for (label, model) in [
-        ("Mahi-Mahi-4", analysis::ProtocolModel::MahiMahi { wave_length: 4 }),
-        ("Mahi-Mahi-5", analysis::ProtocolModel::MahiMahi { wave_length: 5 }),
+        (
+            "Mahi-Mahi-4",
+            analysis::ProtocolModel::MahiMahi { wave_length: 4 },
+        ),
+        (
+            "Mahi-Mahi-5",
+            analysis::ProtocolModel::MahiMahi { wave_length: 5 },
+        ),
         (
             "Cordial Miners",
             analysis::ProtocolModel::CordialMiners { wave_length: 5 },

@@ -121,8 +121,7 @@ fn liveness_across_partition() {
 /// under saturation (open loop, post-warm-up accounting).
 #[test]
 fn throughput_tracks_offered_load() {
-    let report =
-        Simulation::new(wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 0, 7)).run();
+    let report = Simulation::new(wan(ProtocolChoice::MahiMahi5 { leaders: 2 }, 10, 0, 7)).run();
     let offered = report.offered_load_tps as f64;
     assert!(
         report.throughput_tps > 0.7 * offered,

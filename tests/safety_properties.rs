@@ -181,7 +181,7 @@ fn agreement_survives_an_outage_and_rejoin() {
 /// that commit nothing.
 #[test]
 fn wave_three_remains_safe() {
-    use mahi_mahi::core::{Committer, CommitterOptions, CommitSequencer, CommitDecision};
+    use mahi_mahi::core::{CommitDecision, CommitSequencer, Committer, CommitterOptions};
     use mahi_mahi::dag::DagBuilder;
     use mahi_mahi::types::TestCommittee;
 

@@ -24,9 +24,8 @@ fn four_node_cluster_commits_transactions() {
 fn cluster_tolerates_a_silent_validator() {
     // One of four validators never starts (crash-from-boot): the remaining
     // 2f + 1 = 3 must still commit.
-    let cluster =
-        LocalCluster::start_with(4, 502, CommitterOptions::mahi_mahi_4(2), &[3])
-            .expect("cluster starts");
+    let cluster = LocalCluster::start_with(4, 502, CommitterOptions::mahi_mahi_4(2), &[3])
+        .expect("cluster starts");
     assert_eq!(cluster.running(), 3);
     for id in 0..20u64 {
         cluster.submit((id % 3) as usize, Transaction::benchmark(id));
