@@ -1,0 +1,51 @@
+//! Scenario conformance matrix: protocol × behavior × adversary sweep with
+//! oracle verdicts, emitted as a machine-readable JSON report.
+//!
+//! Runs the full 144-cell matrix (`--quick` runs the 9-cell covering smoke
+//! subset) and writes `bench-results/scenario_matrix.json`. Exits non-zero
+//! if any oracle fails, so the binary doubles as a regression gate.
+
+use mahimahi_scenarios::{full_matrix, report_json, run_scenario, smoke_matrix};
+use std::io::Write;
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::banner(
+        "Scenario conformance matrix",
+        "safety (agreement, one block per slot), bounded commit lag, and \
+         liveness hold for every protocol × behavior × adversary cell",
+    );
+    let scenarios = if quick { smoke_matrix() } else { full_matrix() };
+    let mut results = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let result = run_scenario(scenario);
+        let verdict = if result.pass() { "ok " } else { "FAIL" };
+        println!(
+            "[{verdict}] {:<55} seed={:<6} commits={:<4} skips={:<3} rounds={:<4} lag_bound={}",
+            result.name,
+            result.seed,
+            result.committed_slots,
+            result.skipped_slots,
+            result.highest_round,
+            result.lag_bound_rounds,
+        );
+        for failure in result.failures() {
+            println!("       ↳ {failure}");
+        }
+        results.push(result);
+    }
+
+    let failed = results.iter().filter(|result| !result.pass()).count();
+    let path = bench::results_dir().join("scenario_matrix.json");
+    let mut file = std::fs::File::create(&path).expect("create json report");
+    file.write_all(report_json(&results).as_bytes())
+        .expect("write json report");
+    println!(
+        "\n{} scenarios, {failed} failed → wrote {}",
+        results.len(),
+        path.display()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -92,16 +92,28 @@ pub fn run_sweep(protocol: ProtocolChoice, sweep: &Sweep) -> Vec<SimReport> {
     reports
 }
 
+/// The `bench-results/` output directory at the workspace root, created on
+/// first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created (harness context: fail
+/// loudly).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench-results");
+    std::fs::create_dir_all(&dir).expect("create bench-results directory");
+    dir
+}
+
 /// Writes reports as CSV under `bench-results/<name>.csv`.
 ///
 /// # Panics
 ///
 /// Panics on I/O errors (harness context: fail loudly).
 pub fn write_csv(name: &str, reports: &[SimReport]) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("bench-results");
-    std::fs::create_dir_all(&dir).expect("create bench-results directory");
+    let dir = results_dir();
     let path = dir.join(format!("{name}.csv"));
     let mut file = std::fs::File::create(&path).expect("create csv");
     writeln!(file, "{}", SimReport::csv_header()).expect("write header");

@@ -1,0 +1,63 @@
+//! Property test for the `Adversary::schedule` contract: an asynchronous
+//! adversary may delay a message arbitrarily but must never accelerate it —
+//! the returned delivery time is always ≥ the physical arrival time, for
+//! every adversary, message metadata, and arrival time.
+
+use mahimahi_net::{
+    Adversary, MessageMeta, NoAdversary, PartitionAdversary, RandomSubsetAdversary,
+    RotatingDelayAdversary,
+};
+use proptest::prelude::*;
+
+const NODES: usize = 10;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn no_adversary_never_accelerates(
+        seed in 0u64..1_000,
+        from in 0usize..NODES,
+        to in 0usize..NODES,
+        round in 0u64..200,
+        size in 1usize..100_000,
+        arrival in 0u64..10_000_000,
+        hold in 0u64..2_000_000,
+        prompt in 1usize..=NODES,
+        targets in 0usize..=NODES,
+        period in 1u64..20,
+        minority in 0usize..=NODES / 2,
+        heals_at in 0u64..10_000_000,
+    ) {
+        let meta = MessageMeta { from, to, round, size };
+
+        let mut none = NoAdversary;
+        prop_assert_eq!(none.schedule(meta, arrival), arrival);
+
+        let mut subset = RandomSubsetAdversary::new(NODES, prompt, hold, seed);
+        let scheduled = subset.schedule(meta, arrival);
+        prop_assert!(
+            scheduled >= arrival,
+            "RandomSubset accelerated: {} < {} ({:?})", scheduled, arrival, meta
+        );
+        prop_assert!(scheduled <= arrival + hold, "RandomSubset over-delayed");
+
+        let mut rotating = RotatingDelayAdversary::new(NODES, targets, period, hold);
+        let scheduled = rotating.schedule(meta, arrival);
+        prop_assert!(
+            scheduled >= arrival,
+            "RotatingDelay accelerated: {} < {} ({:?})", scheduled, arrival, meta
+        );
+
+        let mut partition = PartitionAdversary::split_first(NODES, minority, heals_at);
+        let scheduled = partition.schedule(meta, arrival);
+        prop_assert!(
+            scheduled >= arrival,
+            "Partition accelerated: {} < {} ({:?})", scheduled, arrival, meta
+        );
+        // Once healed, the partition is transparent.
+        if arrival >= heals_at {
+            prop_assert_eq!(scheduled, arrival);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Scenario conformance harness: declarative attack scenarios, invariant
+//! oracles, and the cross-protocol matrix sweep.
+//!
+//! The paper states its claims under an *adversarial* asynchronous
+//! scheduler with Byzantine senders (Section 2), but point tests exercise
+//! one fault at a time. This crate systematizes the space:
+//!
+//! - a [`Scenario`] is one fully-specified run — protocol, committee size,
+//!   per-validator behaviors, delivery-schedule adversary, latency model,
+//!   and the seed that makes the whole run reproducible;
+//! - an [`Oracle`] is an invariant checked against the finished run: commit
+//!   sequence agreement across correct validators (Theorem 1 safety),
+//!   at-most-one committed block per slot under equivocation (Lemma 2),
+//!   a commit-frontier lag bound in rounds, and liveness whenever at least
+//!   `2f + 1` validators are correct;
+//! - [`matrix`] sweeps every protocol × behavior × adversary combination
+//!   deterministically, producing machine-checkable [`ScenarioResult`]s
+//!   (and, through the `bench` crate's `scenario_matrix` binary, a JSON
+//!   report).
+//!
+//! # Example
+//!
+//! ```
+//! use mahimahi_scenarios::{matrix, run_scenario};
+//!
+//! // One cell of the matrix: Mahi-Mahi-5 vs a fork-spammer under the
+//! // random network model.
+//! let scenario = matrix::full_matrix()
+//!     .into_iter()
+//!     .find(|s| s.name.contains("fork-spammer") && s.name.contains("random-subset"))
+//!     .expect("matrix covers every combination");
+//! let result = run_scenario(&scenario);
+//! assert!(result.pass(), "{}", result.failures().join("; "));
+//! ```
+//!
+//! Reproducing a failure is mechanical: every result echoes its seed, and
+//! `Scenario::run` is a pure function of the config — rebuild the scenario
+//! with the reported protocol/behavior/adversary/seed and rerun.
+
+pub mod matrix;
+pub mod oracle;
+pub mod scenario;
+
+pub use matrix::{
+    adversaries, attack_behaviors, full_matrix, protocols, report_json, run_scenario, smoke_matrix,
+    OracleOutcome, ScenarioResult,
+};
+pub use oracle::{
+    default_oracles, CommitAgreement, CommitLatencyBound, Liveness, Oracle, UniqueSlotCommit,
+};
+pub use scenario::{Scenario, ScenarioRun};

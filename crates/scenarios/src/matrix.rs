@@ -1,0 +1,390 @@
+//! The deterministic protocol × behavior × adversary matrix sweep.
+
+use mahimahi_net::time;
+use mahimahi_sim::{AdversaryChoice, Behavior, LatencyChoice, ProtocolChoice, SimConfig};
+
+use crate::oracle::{default_oracles, CommitLatencyBound};
+use crate::scenario::Scenario;
+
+/// The four systems under test, in the paper's plotting order.
+pub fn protocols() -> Vec<ProtocolChoice> {
+    vec![
+        ProtocolChoice::MahiMahi5 { leaders: 2 },
+        ProtocolChoice::MahiMahi4 { leaders: 2 },
+        ProtocolChoice::CordialMiners,
+        ProtocolChoice::Tusk,
+    ]
+}
+
+/// Every non-honest behavior the matrix assigns (to the last validator):
+/// the passive faults plus the four active attack strategies.
+pub fn attack_behaviors() -> Vec<Behavior> {
+    vec![
+        Behavior::Crashed { from_round: 0 },
+        Behavior::Offline {
+            from: time::from_millis(1_000),
+            until: time::from_millis(1_800),
+        },
+        Behavior::Mute,
+        Behavior::Equivocator,
+        Behavior::WithholdingLeader,
+        Behavior::SplitBrainEquivocator { minority: 1 },
+        Behavior::SlowProposer {
+            delay: time::from_millis(150),
+        },
+        Behavior::ForkSpammer { forks: 3 },
+    ]
+}
+
+/// The four delivery-schedule adversaries the matrix crosses with.
+pub fn adversaries() -> Vec<(&'static str, AdversaryChoice)> {
+    vec![
+        ("none", AdversaryChoice::None),
+        (
+            "random-subset",
+            AdversaryChoice::RandomSubset {
+                hold: time::from_millis(120),
+            },
+        ),
+        (
+            "rotating-delay",
+            AdversaryChoice::RotatingDelay {
+                targets: 1,
+                period: 3,
+                extra: time::from_millis(250),
+            },
+        ),
+        (
+            "partition",
+            AdversaryChoice::Partition {
+                minority: 1,
+                heals_at: time::from_millis(1_000),
+            },
+        ),
+    ]
+}
+
+/// One matrix cell, fully determined by its coordinates: the seed is a
+/// stable function of `(protocol, behavior, adversary)`, so any cell can be
+/// reproduced from the report alone.
+fn cell(
+    protocol: ProtocolChoice,
+    protocol_index: usize,
+    behavior: Option<Behavior>,
+    behavior_index: usize,
+    adversary_name: &str,
+    adversary: AdversaryChoice,
+    adversary_index: usize,
+) -> Scenario {
+    // Wide strides so the catalogs can grow (more behaviors, adversaries,
+    // protocols) without any two cells ever colliding on a seed.
+    let seed = 0x5eed_0000
+        + (protocol_index as u64) * 1_000_000
+        + (behavior_index as u64) * 1_000
+        + adversary_index as u64;
+    let behaviors = behavior
+        .map(|behavior| vec![(3usize, behavior)])
+        .unwrap_or_default();
+    let behavior_label = behavior.map(|b| b.label()).unwrap_or("honest");
+    // Non-overlapping-wave protocols commit once per wave (Cordial Miners)
+    // or pay three delays per round (Tusk), and a faulty wave leader can
+    // stall decisions until a later anchor commits: give them enough
+    // simulated time for several transaction-carrying waves even under the
+    // harshest schedules.
+    let duration = if protocol.leader_schedule().overlapping {
+        time::from_secs(3)
+    } else {
+        time::from_secs(8)
+    };
+    let config = SimConfig {
+        protocol,
+        committee_size: 4,
+        behaviors,
+        duration,
+        txs_per_second_per_validator: 40,
+        latency: LatencyChoice::Uniform {
+            min: time::from_millis(20),
+            max: time::from_millis(60),
+        },
+        adversary,
+        seed,
+        ..SimConfig::default()
+    };
+    Scenario::new(
+        format!("{}/{}/{}", protocol.name(), behavior_label, adversary_name),
+        config,
+    )
+}
+
+/// The full sweep: every protocol × every behavior (plus an all-honest
+/// baseline) × every adversary — 4 × 9 × 4 = 144 seeded scenarios.
+pub fn full_matrix() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for (protocol_index, &protocol) in protocols().iter().enumerate() {
+        let mut rows: Vec<Option<Behavior>> = vec![None];
+        rows.extend(attack_behaviors().into_iter().map(Some));
+        for (behavior_index, &behavior) in rows.iter().enumerate() {
+            for (adversary_index, &(adversary_name, adversary)) in adversaries().iter().enumerate()
+            {
+                scenarios.push(cell(
+                    protocol,
+                    protocol_index,
+                    behavior,
+                    behavior_index,
+                    adversary_name,
+                    adversary,
+                    adversary_index,
+                ));
+            }
+        }
+    }
+    scenarios
+}
+
+/// A deterministic diagonal subset for quick CI smoke runs: every behavior,
+/// every protocol, and every adversary appears at least once, in 9 cells
+/// instead of 144.
+pub fn smoke_matrix() -> Vec<Scenario> {
+    let protocols = protocols();
+    let adversaries = adversaries();
+    let mut rows: Vec<Option<Behavior>> = vec![None];
+    rows.extend(attack_behaviors().into_iter().map(Some));
+    rows.iter()
+        .enumerate()
+        .map(|(behavior_index, &behavior)| {
+            let protocol_index = behavior_index % protocols.len();
+            let adversary_index = behavior_index % adversaries.len();
+            let (adversary_name, adversary) = adversaries[adversary_index];
+            cell(
+                protocols[protocol_index],
+                protocol_index,
+                behavior,
+                behavior_index,
+                adversary_name,
+                adversary,
+                adversary_index,
+            )
+        })
+        .collect()
+}
+
+/// The verdict of one oracle on one scenario.
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// Oracle name.
+    pub oracle: &'static str,
+    /// Violation description (`None` = pass).
+    pub violation: Option<String>,
+}
+
+/// The machine-checkable outcome of one matrix cell.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The scenario's stable name.
+    pub name: String,
+    /// Seed that reproduces the run.
+    pub seed: u64,
+    /// Committee size.
+    pub committee_size: usize,
+    /// Transactions committed at the observer.
+    pub committed_transactions: u64,
+    /// Committed leader slots at the observer.
+    pub committed_slots: u64,
+    /// Skipped leader slots at the observer.
+    pub skipped_slots: u64,
+    /// Highest DAG round the observer reached.
+    pub highest_round: u64,
+    /// Mean client latency in seconds.
+    pub latency_mean_s: f64,
+    /// The commit-frontier lag bound this cell was held to.
+    pub lag_bound_rounds: u64,
+    /// Every oracle's verdict.
+    pub oracles: Vec<OracleOutcome>,
+}
+
+impl ScenarioResult {
+    /// Whether every oracle passed.
+    pub fn pass(&self) -> bool {
+        self.oracles
+            .iter()
+            .all(|outcome| outcome.violation.is_none())
+    }
+
+    /// The failed oracles as `oracle: detail` strings.
+    pub fn failures(&self) -> Vec<String> {
+        self.oracles
+            .iter()
+            .filter_map(|outcome| {
+                outcome
+                    .violation
+                    .as_ref()
+                    .map(|detail| format!("{}: {detail}", outcome.oracle))
+            })
+            .collect()
+    }
+
+    /// One JSON object (no external serializer: the workspace is offline).
+    pub fn to_json(&self) -> String {
+        let oracles = self
+            .oracles
+            .iter()
+            .map(|outcome| {
+                format!(
+                    "{{\"oracle\":\"{}\",\"pass\":{},\"detail\":\"{}\"}}",
+                    escape(outcome.oracle),
+                    outcome.violation.is_none(),
+                    escape(outcome.violation.as_deref().unwrap_or("")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"name\":\"{}\",\"seed\":{},\"committee_size\":{},\
+             \"committed_transactions\":{},\"committed_slots\":{},\"skipped_slots\":{},\
+             \"highest_round\":{},\"latency_mean_s\":{:.4},\"lag_bound_rounds\":{},\
+             \"pass\":{},\"oracles\":[{}]}}",
+            escape(&self.name),
+            self.seed,
+            self.committee_size,
+            self.committed_transactions,
+            self.committed_slots,
+            self.skipped_slots,
+            self.highest_round,
+            self.latency_mean_s,
+            self.lag_bound_rounds,
+            self.pass(),
+            oracles,
+        )
+    }
+}
+
+/// Runs one scenario and checks the default oracle battery against it.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let run = scenario.run();
+    let oracles = default_oracles()
+        .iter()
+        .map(|oracle| OracleOutcome {
+            oracle: oracle.name(),
+            violation: oracle.check(scenario, &run).err(),
+        })
+        .collect();
+    ScenarioResult {
+        name: scenario.name.clone(),
+        seed: scenario.config.seed,
+        committee_size: scenario.config.committee_size,
+        committed_transactions: run.report.committed_transactions,
+        committed_slots: run.report.committed_slots,
+        skipped_slots: run.report.skipped_slots,
+        highest_round: run.report.highest_round,
+        latency_mean_s: run.report.latency.mean_s(),
+        lag_bound_rounds: CommitLatencyBound::bound(scenario),
+        oracles,
+    }
+}
+
+/// The whole sweep as one JSON document.
+pub fn report_json(results: &[ScenarioResult]) -> String {
+    let failed = results.iter().filter(|result| !result.pass()).count();
+    let rows = results
+        .iter()
+        .map(ScenarioResult::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n  \"suite\": \"scenario-matrix\",\n  \"total\": {},\n  \"failed\": {},\n  \
+         \"scenarios\": [\n    {}\n  ]\n}}\n",
+        results.len(),
+        failed,
+        rows,
+    )
+}
+
+fn escape(input: &str) -> String {
+    input
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_covers_the_whole_space() {
+        let scenarios = full_matrix();
+        assert_eq!(scenarios.len(), 4 * 9 * 4);
+        for protocol in protocols() {
+            assert!(scenarios
+                .iter()
+                .any(|s| s.name.starts_with(&protocol.name())));
+        }
+        for behavior in attack_behaviors() {
+            assert!(scenarios.iter().any(|s| s.name.contains(behavior.label())));
+        }
+        for (adversary, _) in adversaries() {
+            assert!(scenarios.iter().any(|s| s.name.ends_with(adversary)));
+        }
+        // Seeds are unique: every cell is independently reproducible.
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.config.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), scenarios.len());
+    }
+
+    #[test]
+    fn smoke_matrix_is_a_covering_subset() {
+        let smoke = smoke_matrix();
+        assert_eq!(smoke.len(), 9);
+        let full: Vec<String> = full_matrix().iter().map(|s| s.name.clone()).collect();
+        for scenario in &smoke {
+            assert!(
+                full.contains(&scenario.name),
+                "{} not in full",
+                scenario.name
+            );
+        }
+        for behavior in attack_behaviors() {
+            assert!(smoke.iter().any(|s| s.name.contains(behavior.label())));
+        }
+    }
+
+    #[test]
+    fn results_render_as_json() {
+        let result = ScenarioResult {
+            name: "Mahi-Mahi-5 (2L)/fork-spammer/none".into(),
+            seed: 7,
+            committee_size: 4,
+            committed_transactions: 100,
+            committed_slots: 10,
+            skipped_slots: 2,
+            highest_round: 40,
+            latency_mean_s: 0.5,
+            lag_bound_rounds: 38,
+            oracles: vec![
+                OracleOutcome {
+                    oracle: "liveness",
+                    violation: None,
+                },
+                OracleOutcome {
+                    oracle: "commit-agreement",
+                    violation: Some("validators 0 and \"1\" diverged".into()),
+                },
+            ],
+        };
+        assert!(!result.pass());
+        assert_eq!(result.failures().len(), 1);
+        let json = result.to_json();
+        assert!(json.contains("\"pass\":false"));
+        assert!(json.contains("\\\"1\\\""));
+        let report = report_json(&[result]);
+        assert!(report.contains("\"total\": 1"));
+        assert!(report.contains("\"failed\": 1"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Conformance oracles: invariants checked after every scenario run.
+
+use mahimahi_sim::AdversaryChoice;
+use mahimahi_types::{BlockRef, Slot};
+use std::collections::HashMap;
+
+use crate::scenario::{Scenario, ScenarioRun};
+
+/// An invariant over a finished [`ScenarioRun`].
+///
+/// Oracles return `Err(detail)` on violation; the detail string names the
+/// validators/slots involved so a failure can be replayed from the
+/// scenario's seed.
+pub trait Oracle {
+    /// Stable oracle name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant against a finished run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation description.
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String>;
+}
+
+/// The default oracle battery, in reporting order.
+pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(CommitAgreement),
+        Box::new(UniqueSlotCommit),
+        Box::new(CommitLatencyBound),
+        Box::new(Liveness),
+    ]
+}
+
+/// Theorem 1 (Total Order): any two correct validators' committed leader
+/// sequences are pairwise prefix-consistent, whatever the schedule.
+pub struct CommitAgreement;
+
+impl Oracle for CommitAgreement {
+    fn name(&self) -> &'static str {
+        "commit-agreement"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        let correct = scenario.correct_validators();
+        for (position, &i) in correct.iter().enumerate() {
+            for &j in correct.iter().skip(position + 1) {
+                let (a, b) = (&run.logs[i], &run.logs[j]);
+                let len = a.len().min(b.len());
+                if let Some(at) = (0..len).find(|&k| a[k] != b[k]) {
+                    return Err(format!(
+                        "validators {i} and {j} diverged at commit {at}: {:?} vs {:?}",
+                        a[at], b[at]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lemma 2: even under (coordinated) equivocation, at most one block is
+/// ever committed for a slot — across every correct validator's log.
+pub struct UniqueSlotCommit;
+
+impl Oracle for UniqueSlotCommit {
+    fn name(&self) -> &'static str {
+        "one-block-per-slot"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        let mut committed: HashMap<Slot, BlockRef> = HashMap::new();
+        for &validator in &scenario.correct_validators() {
+            for reference in run.logs[validator].iter().flatten() {
+                match committed.get(&reference.slot()) {
+                    Some(existing) if existing != reference => {
+                        return Err(format!(
+                            "slot {:?} committed twice: {existing:?} (earlier) vs {reference:?} \
+                             (validator {validator})",
+                            reference.slot()
+                        ));
+                    }
+                    _ => {
+                        committed.insert(reference.slot(), *reference);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Commit-latency bound under the random network model (and every other
+/// schedule the matrix runs): the commit frontier must track the DAG
+/// frontier to within a protocol- and adversary-dependent number of rounds.
+pub struct CommitLatencyBound;
+
+impl CommitLatencyBound {
+    /// The allowed frontier lag in rounds for `scenario`.
+    ///
+    /// The base term covers the structurally undecidable tail of a run
+    /// (the last wave's coin has not opened, plus one wave of indirect
+    /// resolution); the slack terms cover schedules that stall decisions
+    /// (held-back quorums, rotating targets, partitions) and faults whose
+    /// slots resolve only through later anchors.
+    pub fn bound(scenario: &Scenario) -> u64 {
+        let wave = scenario.config.protocol.leader_schedule().wave_length;
+        let base = 4 * wave + 8;
+        let adversary_slack = match scenario.config.adversary {
+            AdversaryChoice::None => 0,
+            AdversaryChoice::RandomSubset { .. } | AdversaryChoice::RotatingDelay { .. } => {
+                2 * wave
+            }
+            AdversaryChoice::Partition { .. } => 3 * wave,
+        };
+        let fault_slack = if (0..scenario.config.committee_size)
+            .all(|index| scenario.behavior_of(index).is_correct())
+        {
+            0
+        } else {
+            2 * wave
+        };
+        base + adversary_slack + fault_slack
+    }
+}
+
+impl Oracle for CommitLatencyBound {
+    fn name(&self) -> &'static str {
+        "commit-latency-bound"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        let frontier = run
+            .logs
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| scenario.behavior_of(*index).is_correct())
+            .flat_map(|(_, log)| log.iter().flatten())
+            .map(|reference| reference.round)
+            .max();
+        let Some(frontier) = frontier else {
+            return Ok(()); // no commits at all: the liveness oracle decides
+        };
+        let lag = run.report.highest_round.saturating_sub(frontier);
+        let bound = Self::bound(scenario);
+        if lag > bound {
+            return Err(format!(
+                "commit frontier lags the DAG by {lag} rounds (> {bound}): highest round {}, \
+                 last committed leader round {frontier}",
+                run.report.highest_round
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Liveness: whenever at least `2f + 1` validators are correct, the run
+/// must commit leader slots and client transactions.
+pub struct Liveness;
+
+impl Oracle for Liveness {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        if !scenario.expects_liveness() {
+            return Ok(()); // fewer than 2f + 1 correct: only safety applies
+        }
+        if run.report.committed_slots == 0 {
+            return Err("no leader slot committed despite a correct quorum".into());
+        }
+        if run.report.committed_transactions == 0 {
+            return Err("no client transaction committed despite a correct quorum".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_crypto::Digest;
+    use mahimahi_net::time;
+    use mahimahi_sim::{Behavior, LatencyChoice, ProtocolChoice, SimConfig, SimReport};
+    use mahimahi_types::AuthorityIndex;
+
+    fn reference(round: u64, author: u32, tag: u8) -> BlockRef {
+        BlockRef {
+            round,
+            author: AuthorityIndex(author),
+            digest: Digest::new([tag; 32]),
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "oracle-unit",
+            SimConfig {
+                protocol: ProtocolChoice::MahiMahi5 { leaders: 2 },
+                committee_size: 4,
+                duration: time::from_secs(2),
+                latency: LatencyChoice::Uniform { min: 10, max: 20 },
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    fn run_with_logs(logs: Vec<Vec<Option<BlockRef>>>) -> ScenarioRun {
+        ScenarioRun {
+            report: SimReport {
+                committed_slots: 1,
+                committed_transactions: 1,
+                highest_round: 10,
+                ..SimReport::default()
+            },
+            logs,
+        }
+    }
+
+    #[test]
+    fn agreement_catches_divergence() {
+        let a = vec![Some(reference(1, 0, 1)), Some(reference(2, 1, 2))];
+        let b = vec![Some(reference(1, 0, 1)), Some(reference(2, 1, 3))];
+        let run = run_with_logs(vec![a.clone(), b, a.clone(), a]);
+        assert!(CommitAgreement.check(&scenario(), &run).is_err());
+    }
+
+    #[test]
+    fn agreement_accepts_prefixes() {
+        let long = vec![Some(reference(1, 0, 1)), None, Some(reference(3, 2, 2))];
+        let short = long[..2].to_vec();
+        let run = run_with_logs(vec![long.clone(), short, long.clone(), long]);
+        assert!(CommitAgreement.check(&scenario(), &run).is_ok());
+    }
+
+    #[test]
+    fn unique_slot_catches_double_commit() {
+        // Same slot (round 2, author 1), two digests, in different logs at
+        // different positions — prefix consistency alone would miss it.
+        let a = vec![Some(reference(2, 1, 7))];
+        let b = vec![Some(reference(2, 1, 9))];
+        let run = run_with_logs(vec![a.clone(), b, a.clone(), a]);
+        assert!(UniqueSlotCommit.check(&scenario(), &run).is_err());
+    }
+
+    #[test]
+    fn latency_bound_measures_frontier_lag() {
+        let mut run = run_with_logs(vec![vec![Some(reference(1, 0, 1))]; 4]);
+        run.report.highest_round = 1000;
+        let result = CommitLatencyBound.check(&scenario(), &run);
+        assert!(result.is_err(), "{result:?}");
+        run.report.highest_round = 10;
+        assert!(CommitLatencyBound.check(&scenario(), &run).is_ok());
+    }
+
+    #[test]
+    fn liveness_requires_commits_only_with_a_correct_quorum() {
+        let mut run = run_with_logs(vec![Vec::new(); 4]);
+        run.report.committed_slots = 0;
+        run.report.committed_transactions = 0;
+        let live = scenario();
+        assert!(Liveness.check(&live, &run).is_err());
+
+        // Two crashed validators: fewer than 2f + 1 correct, no obligation.
+        let mut dark = scenario();
+        dark.config.behaviors = vec![
+            (2, Behavior::Crashed { from_round: 0 }),
+            (3, Behavior::Crashed { from_round: 0 }),
+        ];
+        assert!(Liveness.check(&dark, &run).is_ok());
+    }
+
+    #[test]
+    fn bounds_scale_with_wave_and_adversary() {
+        let benign = scenario();
+        let mut partitioned = scenario();
+        partitioned.config.adversary = mahimahi_sim::AdversaryChoice::Partition {
+            minority: 1,
+            heals_at: time::from_secs(1),
+        };
+        assert!(CommitLatencyBound::bound(&partitioned) > CommitLatencyBound::bound(&benign));
+    }
+}

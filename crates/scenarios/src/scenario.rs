@@ -1,0 +1,118 @@
+//! The declarative scenario: one fully-specified, reproducible run.
+
+use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation};
+use mahimahi_types::BlockRef;
+
+/// One fully-specified simulation scenario.
+///
+/// Everything that influences the run lives in [`SimConfig`] — protocol,
+/// committee size, per-validator behavior map, adversary, latency model,
+/// and seed — so a scenario is reproducible from its config alone. The
+/// name is a stable `protocol/behavior/adversary` triple used in reports.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable machine-readable name (`protocol/behavior/adversary`).
+    pub name: String,
+    /// The complete run configuration (including the seed).
+    pub config: SimConfig,
+}
+
+/// The observable outcome of a scenario: the metrics report plus every
+/// validator's committed-leader log (`None` entries are skipped slots).
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// Metrics at the observer validator.
+    pub report: SimReport,
+    /// Per-validator committed leader sequences, indexed by authority.
+    pub logs: Vec<Vec<Option<BlockRef>>>,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, config: SimConfig) -> Self {
+        Scenario {
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// Executes the run. Deterministic: same config (and thus seed) ⇒ same
+    /// report and same logs.
+    pub fn run(&self) -> ScenarioRun {
+        let (report, logs) = Simulation::new(self.config.clone()).run_with_logs();
+        ScenarioRun { report, logs }
+    }
+
+    /// The behavior assigned to `authority`.
+    pub fn behavior_of(&self, authority: usize) -> Behavior {
+        self.config.behavior_of(authority)
+    }
+
+    /// Validators held to the agreement invariant: honest, slow-but-honest,
+    /// and temporarily-offline validators (everything but Byzantine senders
+    /// and permanently dark nodes).
+    pub fn correct_validators(&self) -> Vec<usize> {
+        (0..self.config.committee_size)
+            .filter(|&index| self.behavior_of(index).is_correct())
+            .collect()
+    }
+
+    /// The `2f + 1` quorum for this committee size.
+    pub fn quorum(&self) -> usize {
+        let f = (self.config.committee_size - 1) / 3;
+        2 * f + 1
+    }
+
+    /// Whether enough validators are correct for liveness to be required.
+    pub fn expects_liveness(&self) -> bool {
+        self.correct_validators().len() >= self.quorum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_net::time;
+    use mahimahi_sim::{LatencyChoice, ProtocolChoice};
+
+    fn tiny_config() -> SimConfig {
+        SimConfig {
+            protocol: ProtocolChoice::MahiMahi4 { leaders: 2 },
+            committee_size: 4,
+            duration: time::from_secs(2),
+            txs_per_second_per_validator: 40,
+            latency: LatencyChoice::Uniform {
+                min: time::from_millis(20),
+                max: time::from_millis(60),
+            },
+            seed: 11,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let scenario = Scenario::new("determinism-probe", tiny_config());
+        let first = scenario.run();
+        let second = scenario.run();
+        assert_eq!(first.logs, second.logs);
+        assert_eq!(
+            first.report.committed_transactions,
+            second.report.committed_transactions
+        );
+        assert_eq!(first.report.highest_round, second.report.highest_round);
+    }
+
+    #[test]
+    fn correctness_classification_follows_behaviors() {
+        let mut config = tiny_config();
+        config.behaviors = vec![
+            (1, Behavior::ForkSpammer { forks: 2 }),
+            (2, Behavior::SlowProposer { delay: 100 }),
+        ];
+        let scenario = Scenario::new("classification", config);
+        assert_eq!(scenario.correct_validators(), vec![0, 2, 3]);
+        assert_eq!(scenario.quorum(), 3);
+        assert!(scenario.expects_liveness());
+    }
+}

@@ -50,6 +50,34 @@ impl ProtocolChoice {
         matches!(self, ProtocolChoice::Tusk)
     }
 
+    /// The protocol's leader-slot timetable, used by attack strategies that
+    /// target elected leaders (the coin is deterministic per round, so an
+    /// omniscient attacker can precompute every election).
+    pub fn leader_schedule(&self) -> LeaderSchedule {
+        match *self {
+            ProtocolChoice::MahiMahi5 { leaders } => LeaderSchedule {
+                wave_length: 5,
+                leaders,
+                overlapping: true,
+            },
+            ProtocolChoice::MahiMahi4 { leaders } => LeaderSchedule {
+                wave_length: 4,
+                leaders,
+                overlapping: true,
+            },
+            ProtocolChoice::CordialMiners => LeaderSchedule {
+                wave_length: 5,
+                leaders: 1,
+                overlapping: false,
+            },
+            ProtocolChoice::Tusk => LeaderSchedule {
+                wave_length: 3,
+                leaders: 1,
+                overlapping: false,
+            },
+        }
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(&self) -> String {
         match self {
@@ -58,6 +86,31 @@ impl ProtocolChoice {
             ProtocolChoice::CordialMiners => "Cordial-Miners".to_string(),
             ProtocolChoice::Tusk => "Tusk".to_string(),
         }
+    }
+}
+
+/// When each protocol opens leader slots, for attacks that target them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderSchedule {
+    /// Rounds per wave (the coin for a propose round opens `wave_length - 1`
+    /// rounds later).
+    pub wave_length: u64,
+    /// Leader slots per propose round.
+    pub leaders: usize,
+    /// Whether every round proposes (Mahi-Mahi's overlapping waves) or only
+    /// the first round of each wave (Cordial Miners, Tusk).
+    pub overlapping: bool,
+}
+
+impl LeaderSchedule {
+    /// Whether `round` opens leader slots under this schedule.
+    pub fn is_propose_round(&self, round: Round) -> bool {
+        round >= 1 && (self.overlapping || (round - 1).is_multiple_of(self.wave_length))
+    }
+
+    /// The round whose coin elects `propose_round`'s leaders.
+    pub fn certify_round(&self, propose_round: Round) -> Round {
+        propose_round + self.wave_length - 1
     }
 }
 
@@ -86,6 +139,82 @@ pub enum Behavior {
     Equivocator,
     /// Produces blocks but never sends them (its slots appear empty).
     Mute,
+    /// Leader-slot withholding: precomputes the coin elections and, in any
+    /// round where it owns a leader slot, discloses its block (or, under a
+    /// certified DAG, its certificate) to only `f` peers — strictly fewer
+    /// than the `f + 1` validity threshold — so no honest quorum can ever
+    /// certify the slot. Off-slot rounds behave honestly, which makes the
+    /// attack invisible to simple round-level accounting.
+    WithholdingLeader,
+    /// Coordinated split-brain equivocation: produces two variants per round
+    /// and routes them along a partition boundary (peers below `minority`
+    /// get one variant, the rest the other), so each side observes an
+    /// internally consistent but globally conflicting chain. Pair with
+    /// [`AdversaryChoice::Partition`] using the same `minority` to keep the
+    /// halves from comparing notes until the partition heals.
+    SplitBrainEquivocator {
+        /// Number of nodes on the small side of the split (same value as the
+        /// partition adversary's `minority`).
+        minority: usize,
+    },
+    /// Lazy-proposer pacing attack: builds every block on time (so its own
+    /// chain stays valid) but releases it to the network `delay` late,
+    /// pressuring honest inclusion waits and round pacing.
+    SlowProposer {
+        /// How long each produced block is held back before dissemination.
+        delay: Time,
+    },
+    /// DAG-fork spam: produces `forks` equivocating variants per round and
+    /// sprays them round-robin across peers, maximizing store churn and
+    /// synchronizer traffic (disallowed under Tusk's certified DAG).
+    ForkSpammer {
+        /// Number of conflicting variants per round (clamped to ≥ 2).
+        forks: usize,
+    },
+}
+
+impl Behavior {
+    /// Whether the validator follows the protocol faithfully enough to be
+    /// held to the agreement invariant: honest validators, validators that
+    /// only pace their own blocks late, and validators that are temporarily
+    /// down but never lie. Byzantine senders and (fully) crashed or mute
+    /// validators are excluded.
+    pub fn is_correct(&self) -> bool {
+        matches!(
+            self,
+            Behavior::Honest | Behavior::Offline { .. } | Behavior::SlowProposer { .. }
+        )
+    }
+
+    /// Whether the behavior actively deviates (sends conflicting or
+    /// selectively withheld messages), as opposed to merely being slow,
+    /// silent, or down. Mute is *not* Byzantine under this definition: a
+    /// validator that never sends can cost liveness but cannot contradict
+    /// itself.
+    pub fn is_byzantine(&self) -> bool {
+        matches!(
+            self,
+            Behavior::Equivocator
+                | Behavior::WithholdingLeader
+                | Behavior::SplitBrainEquivocator { .. }
+                | Behavior::ForkSpammer { .. }
+        )
+    }
+
+    /// Short machine-readable label for reports and scenario names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Behavior::Honest => "honest",
+            Behavior::Crashed { .. } => "crashed",
+            Behavior::Offline { .. } => "offline",
+            Behavior::Equivocator => "equivocator",
+            Behavior::Mute => "mute",
+            Behavior::WithholdingLeader => "withholding-leader",
+            Behavior::SplitBrainEquivocator { .. } => "split-brain",
+            Behavior::SlowProposer { .. } => "slow-proposer",
+            Behavior::ForkSpammer { .. } => "fork-spammer",
+        }
+    }
 }
 
 /// Network delay model selection.
@@ -287,6 +416,39 @@ mod tests {
         assert_eq!(config.behavior_of(0), Behavior::Honest);
         assert_eq!(config.behavior_of(7), Behavior::Crashed { from_round: 0 });
         assert_eq!(config.behavior_of(9), Behavior::Crashed { from_round: 0 });
+    }
+
+    #[test]
+    fn leader_schedules_match_the_protocols() {
+        let mahi = ProtocolChoice::MahiMahi5 { leaders: 2 }.leader_schedule();
+        assert!(mahi.overlapping);
+        assert!(mahi.is_propose_round(1) && mahi.is_propose_round(2));
+        assert!(!mahi.is_propose_round(0));
+        assert_eq!(mahi.certify_round(3), 7);
+
+        let cordial = ProtocolChoice::CordialMiners.leader_schedule();
+        assert!(!cordial.overlapping);
+        assert!(cordial.is_propose_round(1) && cordial.is_propose_round(6));
+        assert!(!cordial.is_propose_round(2));
+
+        let tusk = ProtocolChoice::Tusk.leader_schedule();
+        assert_eq!(tusk.wave_length, 3);
+        assert!(tusk.is_propose_round(4));
+        assert!(!tusk.is_propose_round(5));
+    }
+
+    #[test]
+    fn behavior_classification() {
+        assert!(Behavior::Honest.is_correct());
+        assert!(Behavior::SlowProposer { delay: 1 }.is_correct());
+        assert!(Behavior::Offline { from: 0, until: 1 }.is_correct());
+        assert!(!Behavior::Crashed { from_round: 0 }.is_correct());
+        assert!(!Behavior::WithholdingLeader.is_correct());
+        assert!(Behavior::ForkSpammer { forks: 3 }.is_byzantine());
+        assert!(Behavior::SplitBrainEquivocator { minority: 1 }.is_byzantine());
+        assert!(!Behavior::SlowProposer { delay: 1 }.is_byzantine());
+        assert!(!Behavior::Mute.is_byzantine(), "silent, not contradictory");
+        assert_eq!(Behavior::WithholdingLeader.label(), "withholding-leader");
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod metrics;
 mod runner;
 mod validator;
 
-pub use config::{AdversaryChoice, Behavior, CpuCosts, LatencyChoice, ProtocolChoice, SimConfig};
+pub use config::{
+    AdversaryChoice, Behavior, CpuCosts, LatencyChoice, LeaderSchedule, ProtocolChoice, SimConfig,
+};
 pub use message::SimMessage;
 pub use metrics::{LatencyStats, SimReport};
 pub use runner::Simulation;

@@ -48,12 +48,22 @@ enum AnyAdversary {
 
 impl Adversary for AnyAdversary {
     fn schedule(&mut self, meta: MessageMeta, arrival: Time) -> Time {
-        match self {
+        let scheduled = match self {
             AnyAdversary::None(adversary) => adversary.schedule(meta, arrival),
             AnyAdversary::RandomSubset(adversary) => adversary.schedule(meta, arrival),
             AnyAdversary::Rotating(adversary) => adversary.schedule(meta, arrival),
             AnyAdversary::Partition(adversary) => adversary.schedule(meta, arrival),
-        }
+        };
+        // The `Adversary::schedule` contract: asynchronous adversaries may
+        // delay messages arbitrarily but never accelerate them (and never
+        // travel back before the physical arrival computed by the latency
+        // model). A violation here would silently break causality in every
+        // downstream experiment, so it fails loudly in debug builds.
+        debug_assert!(
+            scheduled >= arrival,
+            "adversary accelerated a message: {scheduled} < {arrival} (meta {meta:?})"
+        );
+        scheduled
     }
 }
 
@@ -151,6 +161,7 @@ impl Simulation {
                     config.protocol.certified(),
                     config.max_block_transactions,
                     config.inclusion_wait,
+                    config.protocol.leader_schedule(),
                 )
             })
             .collect();
@@ -489,6 +500,54 @@ mod tests {
         let b = Simulation::new(base_config(ProtocolChoice::MahiMahi4 { leaders: 2 })).run();
         assert_eq!(a.committed_transactions, b.committed_transactions);
         assert_eq!(a.highest_round, b.highest_round);
+    }
+
+    #[test]
+    fn active_attacks_do_not_block_commits() {
+        for behavior in [
+            Behavior::WithholdingLeader,
+            Behavior::SplitBrainEquivocator { minority: 1 },
+            Behavior::SlowProposer {
+                delay: time::from_millis(120),
+            },
+            Behavior::ForkSpammer { forks: 3 },
+        ] {
+            let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
+            config.behaviors = vec![(3, behavior)];
+            let report = Simulation::new(config).run();
+            assert!(
+                report.committed_transactions > 0,
+                "{behavior:?}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_brain_with_matching_partition_preserves_agreement() {
+        let mut config = base_config(ProtocolChoice::MahiMahi4 { leaders: 2 });
+        config.behaviors = vec![(3, Behavior::SplitBrainEquivocator { minority: 1 })];
+        config.adversary = AdversaryChoice::Partition {
+            minority: 1,
+            heals_at: time::from_secs(2),
+        };
+        let (report, logs) = Simulation::new(config).run_with_logs();
+        assert!(report.committed_transactions > 0, "{report:?}");
+        // The three correct validators (0 was partitioned, not faulty) must
+        // agree on a common prefix despite the coordinated equivocation.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let len = logs[i].len().min(logs[j].len());
+                assert_eq!(&logs[i][..len], &logs[j][..len], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn withholding_leader_under_tusk_commits() {
+        let mut config = base_config(ProtocolChoice::Tusk);
+        config.behaviors = vec![(3, Behavior::WithholdingLeader)];
+        let report = Simulation::new(config).run();
+        assert!(report.committed_transactions > 0, "{report:?}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use mahimahi_types::{
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use crate::config::Behavior;
+use crate::config::{Behavior, LeaderSchedule};
 use crate::message::SimMessage;
 
 /// An effect a validator asks the runner to carry out.
@@ -52,6 +52,14 @@ pub struct SimValidator {
     inclusion_wait: Time,
     /// When the quorum for advancing past `round` was first observed.
     quorum_since: Option<Time>,
+    /// The protocol's leader timetable (attack strategies precompute the
+    /// deterministic coin with it).
+    leader_schedule: LeaderSchedule,
+    /// Memoized "is this validator an elected leader of round r" answers.
+    election_cache: HashMap<Round, bool>,
+    /// Messages built but deliberately held back (slow-proposer pacing):
+    /// (release time, message), in release order.
+    pending_out: VecDeque<(Time, SimMessage)>,
     setup: TestCommittee,
     store: BlockStore,
     sequencer: CommitSequencer<Box<dyn ProtocolCommitter>>,
@@ -82,6 +90,7 @@ pub struct SimValidator {
 
 impl SimValidator {
     /// Creates the validator for `authority`.
+    #[allow(clippy::too_many_arguments)] // one call site, the runner, builds this from SimConfig
     pub fn new(
         authority: AuthorityIndex,
         setup: TestCommittee,
@@ -90,6 +99,7 @@ impl SimValidator {
         certified: bool,
         max_block_transactions: usize,
         inclusion_wait: Time,
+        leader_schedule: LeaderSchedule,
     ) -> Self {
         let committee = setup.committee();
         let store = BlockStore::new(committee.size(), committee.quorum_threshold());
@@ -104,6 +114,9 @@ impl SimValidator {
             max_block_transactions,
             inclusion_wait,
             quorum_since: None,
+            leader_schedule,
+            election_cache: HashMap::new(),
+            pending_out: VecDeque::new(),
             setup,
             store,
             sequencer: CommitSequencer::new(committer),
@@ -153,6 +166,53 @@ impl SimValidator {
         matches!(self.behavior, Behavior::Crashed { from_round } if round >= from_round)
     }
 
+    /// Whether this validator owns a leader slot of `round`.
+    ///
+    /// The threshold coin is a deterministic function of the round, so an
+    /// attacker holding the dealer's secrets (the strongest rushing
+    /// adversary the paper's after-the-fact election defends against) can
+    /// evaluate every future election. The simulation's [`TestCommittee`]
+    /// carries all coin secrets, which is exactly that power.
+    fn is_elected_leader(&mut self, round: Round) -> bool {
+        if !self.leader_schedule.is_propose_round(round) {
+            return false;
+        }
+        if let Some(&cached) = self.election_cache.get(&round) {
+            return cached;
+        }
+        let committee = self.setup.committee();
+        let certify = self.leader_schedule.certify_round(round);
+        let shares: Vec<_> = (0..committee.quorum_threshold())
+            .map(|index| {
+                self.setup
+                    .coin_secret(AuthorityIndex(index as u32))
+                    .share_for_round(certify)
+            })
+            .collect();
+        let elected = committee
+            .coin_public()
+            .combine(certify, &shares)
+            .map(|value| {
+                (0..self.leader_schedule.leaders).any(|offset| {
+                    value.leader_slot(offset, committee.size()) == self.authority.as_u64()
+                })
+            })
+            .unwrap_or(false);
+        self.election_cache.insert(round, elected);
+        elected
+    }
+
+    /// The first `f` peers other than this validator — the "< f + 1"
+    /// disclosure set of the withholding attack: too few for any honest
+    /// quorum to certify the withheld block.
+    fn withholding_targets(&self) -> Vec<usize> {
+        let committee = self.setup.committee();
+        (0..committee.size())
+            .filter(|&peer| peer != self.authority.as_usize())
+            .take(committee.f())
+            .collect()
+    }
+
     fn is_offline(&self, now: Time) -> bool {
         matches!(self.behavior, Behavior::Offline { from, until }
             if (from..until).contains(&now))
@@ -199,10 +259,24 @@ impl SimValidator {
                     if votes.len() >= self.setup.committee().quorum_threshold() {
                         let signatures = votes.len();
                         self.certified_own.insert(reference);
-                        actions.push(Action::Broadcast(SimMessage::Certificate {
+                        let certificate = SimMessage::Certificate {
                             reference,
                             signatures,
-                        }));
+                        };
+                        if matches!(self.behavior, Behavior::WithholdingLeader)
+                            && self.is_elected_leader(reference.round)
+                        {
+                            // Certified-DAG variant of the withholding
+                            // attack: the proposal was public (acks were
+                            // needed), but the certificate that would let
+                            // peers admit the leader block reaches fewer
+                            // than f + 1 of them.
+                            for peer in self.withholding_targets() {
+                                actions.push(Action::Send(peer, certificate.clone()));
+                            }
+                        } else {
+                            actions.push(Action::Broadcast(certificate));
+                        }
                         // Apply the certificate locally.
                         if let Some(block) = self.pending_proposals.remove(&reference) {
                             self.accept_block(block, from, &mut actions);
@@ -282,6 +356,19 @@ impl SimValidator {
                 actions.push(Action::WakeAt(until));
             }
             return actions;
+        }
+        // Release deliberately-delayed messages that have come due
+        // (slow-proposer pacing), and re-arm the wake-up for the rest.
+        while self
+            .pending_out
+            .front()
+            .is_some_and(|&(release, _)| release <= now)
+        {
+            let (_, message) = self.pending_out.pop_front().expect("checked front");
+            actions.push(Action::Broadcast(message));
+        }
+        if let Some(&(release, _)) = self.pending_out.front() {
+            actions.push(Action::WakeAt(release));
         }
         loop {
             let next = self.round + 1;
@@ -395,11 +482,103 @@ impl SimValidator {
                     actions.push(Action::Send(peer, SimMessage::Block(variant)));
                 }
             }
+            Behavior::SplitBrainEquivocator { minority } if !self.certified => {
+                // Split-brain along the partition boundary: peers below
+                // `minority` see variant A, the rest variant B, so each side
+                // builds on an internally consistent but globally
+                // conflicting chain. Own chain extends this validator's own
+                // side of the split.
+                let variant_a = build(Some(1));
+                let variant_b = build(Some(2));
+                self.own_block_txs
+                    .insert(variant_a.reference(), submits.clone());
+                self.own_block_txs.insert(variant_b.reference(), submits);
+                let own_side_a = self.authority.as_usize() < minority;
+                self.insert_own(if own_side_a {
+                    variant_a.clone()
+                } else {
+                    variant_b.clone()
+                });
+                for peer in 0..committee_size {
+                    if peer == self.authority.as_usize() {
+                        continue;
+                    }
+                    let variant = if peer < minority {
+                        variant_a.clone()
+                    } else {
+                        variant_b.clone()
+                    };
+                    actions.push(Action::Send(peer, SimMessage::Block(variant)));
+                }
+            }
+            Behavior::ForkSpammer { forks } if !self.certified => {
+                // `k` conflicting variants sprayed round-robin: every peer
+                // gets a valid-looking block, but the slot holds `k` forks
+                // that the synchronizer and commit rule must reconcile.
+                let k = forks.clamp(2, committee_size.max(2));
+                let variants: Vec<Arc<Block>> =
+                    (0..k).map(|fork| build(Some(fork as u64 + 1))).collect();
+                for variant in &variants {
+                    self.own_block_txs
+                        .insert(variant.reference(), submits.clone());
+                }
+                self.insert_own(variants[0].clone());
+                for peer in 0..committee_size {
+                    if peer == self.authority.as_usize() {
+                        continue;
+                    }
+                    actions.push(Action::Send(
+                        peer,
+                        SimMessage::Block(variants[peer % k].clone()),
+                    ));
+                }
+            }
+            Behavior::WithholdingLeader if !self.certified => {
+                let block = build(None);
+                self.own_block_txs.insert(block.reference(), submits);
+                self.insert_own(block.clone());
+                if self.is_elected_leader(round) {
+                    // Elected: disclose to fewer than f + 1 peers so the
+                    // slot can never gather a certificate pattern.
+                    for peer in self.withholding_targets() {
+                        actions.push(Action::Send(peer, SimMessage::Block(block.clone())));
+                    }
+                } else {
+                    // Off-slot rounds look perfectly honest.
+                    actions.push(Action::Broadcast(SimMessage::Block(block)));
+                }
+            }
+            Behavior::SlowProposer { delay } if !self.certified => {
+                // Built (and locally inserted) on time, released late.
+                let block = build(None);
+                self.own_block_txs.insert(block.reference(), submits);
+                self.insert_own(block.clone());
+                let release = now + delay;
+                self.pending_out
+                    .push_back((release, SimMessage::Block(block)));
+                actions.push(Action::WakeAt(release));
+            }
             Behavior::Mute => {
                 let block = build(None);
                 self.own_block_txs.insert(block.reference(), submits);
                 self.insert_own(block);
                 // Never sent: the slot looks empty to everyone else.
+            }
+            Behavior::SlowProposer { delay } => {
+                // Certified pipeline, paced late: the proposal itself is
+                // held back, delaying the whole ack/certificate exchange.
+                let block = build(None);
+                let reference = block.reference();
+                self.own_block_txs.insert(reference, submits);
+                self.pending_proposals.insert(reference, block.clone());
+                self.ack_votes
+                    .entry(reference)
+                    .or_default()
+                    .insert(self.authority);
+                let release = now + delay;
+                self.pending_out
+                    .push_back((release, SimMessage::Proposal(block)));
+                actions.push(Action::WakeAt(release));
             }
             _ if self.certified => {
                 let block = build(None);
@@ -420,7 +599,6 @@ impl SimValidator {
                 actions.push(Action::Broadcast(SimMessage::Block(block)));
             }
         }
-        let _ = now;
         actions
     }
 
@@ -486,6 +664,7 @@ mod tests {
             certified,
             100,
             0, // no inclusion wait: unit tests drive rounds explicitly
+            protocol.leader_schedule(),
         )
     }
 
@@ -657,5 +836,120 @@ mod tests {
         // But its own chain advances locally.
         assert_eq!(v.round(), 1);
         assert_eq!(v.store().blocks_at_round(1).len(), 1);
+    }
+
+    #[test]
+    fn split_brain_routes_variants_along_the_partition_boundary() {
+        // minority = 2: peers {0, 1} get variant A, {2, 3} \ self variant B.
+        let mut v = validator(3, Behavior::SplitBrainEquivocator { minority: 2 }, false);
+        let actions = v.maybe_advance(0);
+        let mut sent: HashMap<usize, BlockRef> = HashMap::new();
+        for action in &actions {
+            if let Action::Send(to, SimMessage::Block(block)) = action {
+                sent.insert(*to, block.reference());
+            }
+        }
+        assert_eq!(sent.len(), 3);
+        assert_eq!(sent[&0], sent[&1], "minority side must see one variant");
+        assert_ne!(sent[&0], sent[&2], "sides must see conflicting variants");
+        // Own chain extends the attacker's own (majority) side.
+        let own = v.store().blocks_at_round(1)[0].reference();
+        assert_eq!(own, sent[&2]);
+    }
+
+    #[test]
+    fn fork_spammer_sprays_distinct_variants() {
+        let mut v = validator(0, Behavior::ForkSpammer { forks: 3 }, false);
+        let actions = v.maybe_advance(0);
+        let mut digests = HashSet::new();
+        let mut receivers = HashSet::new();
+        for action in &actions {
+            if let Action::Send(to, SimMessage::Block(block)) = action {
+                receivers.insert(*to);
+                digests.insert(block.reference());
+            }
+        }
+        assert_eq!(receivers.len(), 3, "every peer receives a block");
+        assert!(
+            digests.len() >= 2,
+            "at least two conflicting forks in flight"
+        );
+    }
+
+    #[test]
+    fn withholding_leader_is_honest_off_slot_and_selective_on_slot() {
+        // Probe each authority: whoever the deterministic coin elects for
+        // round 1 must withhold (≤ f sends), everyone else broadcasts.
+        let mut saw_withholding = false;
+        let mut saw_broadcast = false;
+        for authority in 0..4u32 {
+            let mut v = validator(authority, Behavior::WithholdingLeader, false);
+            let elected = v.is_elected_leader(1);
+            let actions = v.maybe_advance(0);
+            let sends = actions
+                .iter()
+                .filter(|a| matches!(a, Action::Send(_, SimMessage::Block(_))))
+                .count();
+            let broadcasts = actions
+                .iter()
+                .filter(|a| matches!(a, Action::Broadcast(SimMessage::Block(_))))
+                .count();
+            if elected {
+                // f = 1 at n = 4: strictly fewer than f + 1 = 2 recipients.
+                assert_eq!((sends, broadcasts), (1, 0), "authority {authority}");
+                saw_withholding = true;
+            } else {
+                assert_eq!((sends, broadcasts), (0, 1), "authority {authority}");
+                saw_broadcast = true;
+            }
+        }
+        // MahiMahi5 with 2 leaders per round: both cases must occur.
+        assert!(saw_withholding && saw_broadcast);
+    }
+
+    #[test]
+    fn slow_proposer_releases_blocks_late() {
+        let mut v = validator(2, Behavior::SlowProposer { delay: 500 }, false);
+        let actions = v.maybe_advance(100);
+        // Produced and stored locally, but only a wake-up goes out.
+        assert_eq!(v.round(), 1);
+        assert_eq!(v.store().blocks_at_round(1).len(), 1);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::Broadcast(_) | Action::Send(..))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::WakeAt(at) if *at == 600)));
+        // At the release time the block finally broadcasts.
+        let released = v.maybe_advance(600);
+        assert!(released
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(SimMessage::Block(b)) if b.round() == 1)));
+    }
+
+    #[test]
+    fn elections_follow_the_schedule() {
+        // Cordial Miners proposes only on rounds 1, 6, 11, …: off-schedule
+        // rounds never elect anyone.
+        let setup = TestCommittee::new(4, 7);
+        let committer = ProtocolChoice::CordialMiners.committer(setup.committee().clone());
+        let mut v = SimValidator::new(
+            AuthorityIndex(0),
+            setup,
+            committer,
+            Behavior::WithholdingLeader,
+            false,
+            100,
+            0,
+            ProtocolChoice::CordialMiners.leader_schedule(),
+        );
+        assert!(!v.is_elected_leader(2));
+        assert!(!v.is_elected_leader(5));
+        // Propose rounds elect exactly one leader among the committee.
+        let elected = (0..4)
+            .map(|a| validator(a, Behavior::WithholdingLeader, false))
+            .filter_map(|mut v| v.is_elected_leader(6).then_some(()))
+            .count();
+        assert_eq!(elected, 2, "MahiMahi5 with 2 leaders elects 2 per round");
     }
 }

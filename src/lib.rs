@@ -18,6 +18,7 @@
 //! | [`baselines`] | `mahimahi-baselines` | Cordial Miners and Tusk committers |
 //! | [`net`] | `mahimahi-net` | deterministic WAN simulator with adversaries |
 //! | [`sim`] | `mahimahi-sim` | whole-protocol simulation harness and metrics |
+//! | [`scenarios`] | `mahimahi-scenarios` | attack scenarios, conformance oracles, matrix sweep |
 //! | [`transport`] | `mahimahi-transport` | length-prefixed TCP transport |
 //! | [`node`] | `mahimahi-node` | networked validator with WAL recovery |
 //! | [`analysis`] | `mahimahi-analysis` | the paper's closed-form latency/commit models |
@@ -62,6 +63,8 @@ pub use mahimahi_dag as dag;
 pub use mahimahi_net as net;
 /// Networked validator node.
 pub use mahimahi_node as node;
+/// Attack scenarios, conformance oracles, and the matrix sweep.
+pub use mahimahi_scenarios as scenarios;
 /// Whole-protocol simulation harness.
 pub use mahimahi_sim as sim;
 /// TCP transport.

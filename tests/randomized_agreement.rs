@@ -1,13 +1,25 @@
-//! Property-based end-to-end agreement: random seeds, loads, fault mixes,
-//! and adversaries — every honest pair of validators must produce
+//! Property-based end-to-end agreement: random seeds, loads, *per-validator
+//! behavior assignments* (passive faults and active attack strategies), and
+//! adversaries — every pair of correct validators must produce
 //! prefix-consistent commit sequences, and runs without excessive faults
 //! must make progress.
+//!
+//! The case count is deliberately higher than the number of simulations we
+//! can afford in the tier-1 budget: each generated case is admitted by a
+//! deterministic seeded sub-sample, so successive widenings of the strategy
+//! space explore more combinations without growing the runtime. Failures
+//! stay reproducible: the shim's generation is a pure function of the case
+//! index, and the failing config's seed is printed in the assertion.
 
 use mahi_mahi::net::time;
 use mahi_mahi::sim::{
     AdversaryChoice, Behavior, LatencyChoice, ProtocolChoice, SimConfig, Simulation,
 };
 use proptest::prelude::*;
+
+/// One in `SUBSAMPLE` generated cases actually simulates (seeded
+/// sub-sampling: deterministic, spread across the generation space).
+const SUBSAMPLE: u64 = 2;
 
 fn protocol_strategy() -> impl Strategy<Value = ProtocolChoice> {
     prop_oneof![
@@ -18,12 +30,25 @@ fn protocol_strategy() -> impl Strategy<Value = ProtocolChoice> {
     ]
 }
 
+/// Any single validator's behavior, honest included — the whole committee
+/// is assigned from this.
 fn behavior_strategy() -> impl Strategy<Value = Behavior> {
     prop_oneof![
-        3 => Just(Behavior::Crashed { from_round: 0 }),
+        12 => Just(Behavior::Honest),
+        2 => Just(Behavior::Crashed { from_round: 0 }),
         2 => (1u64..12).prop_map(|from_round| Behavior::Crashed { from_round }),
-        2 => Just(Behavior::Equivocator),
+        2 => (1u64..3).prop_map(|s| Behavior::Offline {
+            from: time::from_secs(s),
+            until: time::from_secs(s) + time::from_millis(900),
+        }),
         1 => Just(Behavior::Mute),
+        2 => Just(Behavior::Equivocator),
+        1 => Just(Behavior::WithholdingLeader),
+        1 => Just(Behavior::SplitBrainEquivocator { minority: 1 }),
+        1 => (50u64..250).prop_map(|ms| Behavior::SlowProposer {
+            delay: time::from_millis(ms),
+        }),
+        1 => (2usize..4).prop_map(|forks| Behavior::ForkSpammer { forks }),
     ]
 }
 
@@ -38,25 +63,50 @@ fn adversary_strategy() -> impl Strategy<Value = AdversaryChoice> {
             period: 2,
             extra: time::from_millis(ms),
         }),
+        1 => (1u64..3).prop_map(|s| AdversaryChoice::Partition {
+            minority: 1,
+            heals_at: time::from_secs(s),
+        }),
     ]
+}
+
+/// Caps the assignment at one *Byzantine* (actively deviating) validator —
+/// the `f = 1` resilience bound at `n = 4`; extra Byzantine picks degrade
+/// to honest. Passive faults (crashes, outages, slowness) may exceed `f`:
+/// they can cost liveness, never safety.
+fn cap_byzantine(mut behaviors: Vec<Behavior>) -> Vec<Behavior> {
+    let mut byzantine = 0;
+    for behavior in behaviors.iter_mut() {
+        if behavior.is_byzantine() {
+            byzantine += 1;
+            if byzantine > 1 {
+                *behavior = Behavior::Honest;
+            }
+        }
+    }
+    behaviors
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 24, // each case is a full multi-second protocol simulation
+        cases: 96, // sub-sampled: ~96 / SUBSAMPLE = ~48 full protocol simulations
         .. ProptestConfig::default()
     })]
 
     #[test]
-    fn honest_validators_always_agree(
+    fn correct_validators_always_agree(
         protocol in protocol_strategy(),
         seed in 0u64..1_000_000,
         load in 20u64..300,
-        faulty in behavior_strategy(),
+        assignment in proptest::collection::vec(behavior_strategy(), 4),
         adversary in adversary_strategy(),
     ) {
-        // Tusk's certified DAG rejects equivocation by construction; the
-        // simulator models that by running the faulty validator honestly.
+        // Seeded sub-sampling: admit a deterministic fraction of the
+        // generated space so the case count can grow without the runtime.
+        if (seed ^ load) % SUBSAMPLE != 0 {
+            return Ok(());
+        }
+        let assignment = cap_byzantine(assignment);
         let mut config = SimConfig {
             protocol,
             committee_size: 4,
@@ -70,32 +120,40 @@ proptest! {
             seed,
             ..SimConfig::default()
         };
-        config.behaviors = vec![(3, faulty)];
-
-        let honest: Vec<usize> = (0..4)
-            .filter(|&i| matches!(config.behavior_of(i), Behavior::Honest))
+        config.behaviors = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, behavior)| !matches!(behavior, Behavior::Honest))
+            .map(|(index, &behavior)| (index, behavior))
             .collect();
+
+        let correct: Vec<usize> = (0..4)
+            .filter(|&i| config.behavior_of(i).is_correct())
+            .collect();
+        let fully_honest =
+            (0..4).filter(|&i| matches!(config.behavior_of(i), Behavior::Honest)).count();
         let (report, logs) = Simulation::new(config).run_with_logs();
 
-        // Safety: pairwise prefix consistency of honest commit logs.
-        for (position, &i) in honest.iter().enumerate() {
-            for &j in honest.iter().skip(position + 1) {
+        // Safety: pairwise prefix consistency of correct commit logs —
+        // whatever the fault mix or schedule.
+        for (position, &i) in correct.iter().enumerate() {
+            for &j in correct.iter().skip(position + 1) {
                 let (a, b) = (&logs[i], &logs[j]);
                 let len = a.len().min(b.len());
                 prop_assert_eq!(
                     &a[..len], &b[..len],
-                    "validators {} and {} diverged (protocol {:?}, seed {})",
-                    i, j, protocol, seed
+                    "validators {} and {} diverged (protocol {:?}, seed {}, {:?})",
+                    i, j, protocol, seed, assignment
                 );
             }
         }
 
-        // Liveness: with one fault among four (f = 1) and a benign-or-fair
-        // scheduler, transactions must commit.
-        if matches!(adversary, AdversaryChoice::None) {
+        // Liveness: with at most one non-honest validator among four
+        // (f = 1) and a benign scheduler, transactions must commit.
+        if matches!(adversary, AdversaryChoice::None) && fully_honest >= 3 {
             prop_assert!(
                 report.committed_transactions > 0,
-                "no progress (protocol {:?}, seed {})", protocol, seed
+                "no progress (protocol {:?}, seed {}, {:?})", protocol, seed, assignment
             );
         }
     }

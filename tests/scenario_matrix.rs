@@ -1,0 +1,113 @@
+//! The scenario conformance matrix as a test suite: every protocol ×
+//! behavior × adversary cell runs deterministically (seeded) and every
+//! oracle — commit-sequence agreement, one-block-per-slot, bounded commit
+//! lag, liveness — must hold.
+//!
+//! Reproducing a failure: the assertion message carries the scenario name
+//! and seed; rebuild the same cell with
+//! `mahi_mahi::scenarios::full_matrix()` (names are stable) or rerun
+//! `cargo run -p bench --bin scenario_matrix` for the JSON report.
+
+use mahi_mahi::scenarios::{
+    adversaries, attack_behaviors, full_matrix, protocols, run_scenario, smoke_matrix, Scenario,
+};
+
+/// Runs the given scenarios, asserting all oracles pass and reporting every
+/// violation with the scenario's name and seed.
+fn run_cells(cells: Vec<Scenario>) {
+    assert!(!cells.is_empty(), "no matrix cells selected");
+    let mut failures = Vec::new();
+    for scenario in &cells {
+        let result = run_scenario(scenario);
+        if !result.pass() {
+            failures.push(format!(
+                "{} (seed {}): {}",
+                result.name,
+                result.seed,
+                result.failures().join("; ")
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} cells violated an oracle:\n{}",
+        failures.len(),
+        cells.len(),
+        failures.join("\n")
+    );
+}
+
+/// The full-matrix cells for one protocol (split per protocol so the
+/// harness can parallelize).
+fn protocol_cells(prefix: &str) -> Vec<Scenario> {
+    full_matrix()
+        .into_iter()
+        .filter(|scenario| scenario.name.starts_with(prefix))
+        .collect()
+}
+
+#[test]
+fn matrix_covers_the_required_space() {
+    // 4 protocols × (8 attack behaviors + honest baseline) × 4 adversaries.
+    assert_eq!(protocols().len(), 4);
+    assert!(attack_behaviors().len() >= 6);
+    assert_eq!(adversaries().len(), 4);
+    assert_eq!(full_matrix().len(), 4 * 9 * 4);
+    // The four active attack strategies of this harness are all present.
+    for label in [
+        "withholding-leader",
+        "split-brain",
+        "slow-proposer",
+        "fork-spammer",
+    ] {
+        assert!(
+            attack_behaviors().iter().any(|b| b.label() == label),
+            "missing attack strategy {label}"
+        );
+    }
+}
+
+#[test]
+fn matrix_cells_are_reproducible_from_their_seed() {
+    // The same cell run twice yields identical commit logs and metrics —
+    // the property that makes every failure replayable.
+    let scenario = full_matrix()
+        .into_iter()
+        .find(|s| s.name.contains("split-brain") && s.name.ends_with("partition"))
+        .expect("matrix covers split-brain × partition");
+    let first = scenario.run();
+    let second = scenario.run();
+    assert_eq!(first.logs, second.logs);
+    assert_eq!(
+        first.report.committed_transactions,
+        second.report.committed_transactions
+    );
+    assert_eq!(first.report.highest_round, second.report.highest_round);
+}
+
+#[test]
+fn smoke_subset_upholds_all_oracles() {
+    // The covering subset used for quick regression checks: one cell per
+    // behavior, touching every protocol and every adversary at least once.
+    run_cells(smoke_matrix());
+}
+
+#[test]
+fn mahi_mahi_5_cells_uphold_all_oracles() {
+    run_cells(protocol_cells("Mahi-Mahi-5"));
+}
+
+#[test]
+fn mahi_mahi_4_cells_uphold_all_oracles() {
+    run_cells(protocol_cells("Mahi-Mahi-4"));
+}
+
+#[test]
+fn cordial_miners_cells_uphold_all_oracles() {
+    run_cells(protocol_cells("Cordial-Miners"));
+}
+
+#[test]
+fn tusk_cells_uphold_all_oracles() {
+    run_cells(protocol_cells("Tusk"));
+}

@@ -64,6 +64,139 @@ fn all_validators_commit_the_same_leaders() {
     assert_eq!(leaders[0], leaders[1], "commit sequences diverged");
 }
 
+/// Kill one node mid-run, restart it from its `FileWal`, and require it to
+/// catch back up to the exact commit sequence the survivors agreed on.
+#[test]
+fn killed_node_restarts_from_its_wal_and_catches_up() {
+    let dir = std::env::temp_dir().join(format!(
+        "mahimahi-restart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let setup = TestCommittee::new(4, 505);
+
+    // Slow production a little and disable GC so the restarted node can
+    // synchronize arbitrarily far back (this test exercises recovery, not
+    // pruning).
+    let make_config = |id: u32, setup: &TestCommittee| {
+        let mut config = NodeConfig::local(id, setup.clone());
+        config.min_round_interval = Duration::from_millis(10);
+        config.gc_depth = None;
+        if id == 0 {
+            config.wal_path = Some(dir.join("v0.wal"));
+        }
+        config
+    };
+
+    // Full mesh over fixed ephemeral ports (node 0 must rebind the same
+    // address after the restart so the survivors' reconnect loops find it).
+    let transports: Vec<Transport> = (0..4)
+        .map(|id| Transport::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(Transport::local_addr).collect();
+    for t in &transports {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer as u32 != t.id() {
+                t.connect(peer as u32, *addr);
+            }
+        }
+    }
+    let mut handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let config = make_config(id as u32, &setup);
+        handles.push(ValidatorNode::new(config, transport).unwrap().start());
+    }
+
+    // Phase 1: commit a prefix with all four nodes up.
+    let take = 4;
+    for id in 0..40u64 {
+        handles[(id % 4) as usize].submit(Transaction::benchmark(id));
+    }
+    let mut survivor_leaders = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while survivor_leaders.len() < take && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = handles[1]
+            .commits()
+            .recv_timeout(Duration::from_millis(100))
+        {
+            survivor_leaders.push(sub_dag.leader);
+        }
+    }
+    assert_eq!(survivor_leaders.len(), take, "cluster never got going");
+
+    // Phase 2: kill node 0 mid-run; the remaining 2f + 1 keep committing.
+    let node0 = handles.remove(0);
+    let killed_at_round = node0.round();
+    node0.stop();
+    for id in 40..80u64 {
+        handles[(id % 3) as usize].submit(Transaction::benchmark(id));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while survivor_leaders.len() < 2 * take && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = handles[0]
+            .commits()
+            .recv_timeout(Duration::from_millis(100))
+        {
+            survivor_leaders.push(sub_dag.leader);
+        }
+    }
+    assert!(
+        survivor_leaders.len() >= 2 * take,
+        "survivors stalled after the crash"
+    );
+
+    // Phase 3: restart node 0 from its WAL on the same address. Binding can
+    // race the old listener's teardown, so retry briefly.
+    let transport = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match Transport::bind(0, addrs[0]) {
+                Ok(transport) => break transport,
+                Err(error) if std::time::Instant::now() < deadline => {
+                    let _ = error;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(error) => panic!("could not rebind node 0: {error}"),
+            }
+        }
+    };
+    for (peer, addr) in addrs.iter().enumerate().skip(1) {
+        transport.connect(peer as u32, *addr);
+    }
+    let recovered = ValidatorNode::new(make_config(0, &setup), transport).unwrap();
+    assert!(
+        recovered.round() >= killed_at_round,
+        "WAL recovery lost rounds: {} < {killed_at_round}",
+        recovered.round()
+    );
+    let restarted = recovered.start();
+
+    // The restarted node replays its WAL and synchronizes the missed
+    // suffix; its from-scratch commit stream must reproduce the survivors'
+    // sequence exactly.
+    let mut restarted_leaders = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while restarted_leaders.len() < survivor_leaders.len() && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = restarted.commits().recv_timeout(Duration::from_millis(100)) {
+            restarted_leaders.push(sub_dag.leader);
+        }
+    }
+    assert_eq!(
+        restarted_leaders, survivor_leaders,
+        "restarted node diverged from the survivors' commit sequence"
+    );
+
+    restarted.stop();
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn node_recovers_its_dag_from_the_wal_and_rejoins() {
     let dir = std::env::temp_dir().join(format!(
