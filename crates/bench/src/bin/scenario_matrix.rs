@@ -12,16 +12,22 @@ fn main() {
     let quick = bench::quick_flag();
     bench::banner(
         "Scenario conformance matrix",
-        "safety (agreement, one block per slot), bounded commit lag, and \
-         liveness hold for every protocol × behavior × adversary cell",
+        "safety (agreement, one block per slot), bounded commit lag, \
+         liveness, and exact equivocator attribution hold for every \
+         protocol × behavior × adversary cell",
     );
     let scenarios = if quick { smoke_matrix() } else { full_matrix() };
     let mut results = Vec::with_capacity(scenarios.len());
     for scenario in &scenarios {
         let result = run_scenario(scenario);
         let verdict = if result.pass() { "ok " } else { "FAIL" };
+        let culprits = if result.culprits.iter().any(|set| !set.is_empty()) {
+            format!(" culprits={:?}", result.culprits)
+        } else {
+            String::new()
+        };
         println!(
-            "[{verdict}] {:<55} seed={:<6} commits={:<4} skips={:<3} rounds={:<4} lag_bound={}",
+            "[{verdict}] {:<55} seed={:<6} commits={:<4} skips={:<3} rounds={:<4} lag_bound={}{culprits}",
             result.name,
             result.seed,
             result.committed_slots,

@@ -22,6 +22,12 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub(crate) struct CoinCache {
     values: Mutex<HashMap<Round, CoinValue>>,
+    /// Shares already verified per open round, by author index. Until a
+    /// round's coin opens, `coin_for_round` is re-queried on every commit
+    /// attempt; without this memo each query would redo the DLEQ
+    /// verification (group exponentiations) for every share in view.
+    /// Dropped once the round's value is cached.
+    verified: Mutex<HashMap<Round, HashMap<u64, CoinShare>>>,
 }
 
 impl CoinCache {
@@ -37,22 +43,34 @@ impl CoinCache {
         if let Some(value) = self.values.lock().get(&round) {
             return Some(*value);
         }
-        // Deduplicate by author: equivocating blocks carry the same share.
-        let mut shares: HashMap<u64, CoinShare> = HashMap::new();
+        // Deduplicate by author (equivocating blocks carry the same share)
+        // and keep only shares that verify: block validation normally
+        // rejects bad shares upstream, but a stored block is Byzantine
+        // input as far as this reconstruction is concerned — a malformed
+        // share must be skipped, never allowed to panic the node or poison
+        // the combination. Each author's share is verified at most once per
+        // round (memoized across calls).
+        let mut verified = self.verified.lock();
+        let round_verified = verified.entry(round).or_default();
         for block in store.blocks_at_round(round) {
             if let Some(share) = block.coin_share() {
-                shares.insert(share.index(), *share);
+                if !round_verified.contains_key(&share.index())
+                    && committee.coin_public().verify_share(round, share).is_ok()
+                {
+                    round_verified.insert(share.index(), *share);
+                }
             }
         }
-        if shares.len() < committee.coin_public().threshold() {
+        if round_verified.len() < committee.coin_public().threshold() {
             return None;
         }
-        let shares: Vec<CoinShare> = shares.into_values().collect();
-        let value = committee
-            .coin_public()
-            .combine(round, &shares)
-            .expect("stored blocks carry pre-validated shares");
+        let shares: Vec<CoinShare> = round_verified.values().copied().collect();
+        drop(verified);
+        // The shares were verified above, so this cannot fail; if it ever
+        // does, an unopened coin (retry next call) beats a crashed node.
+        let value = committee.coin_public().combine(round, &shares).ok()?;
         self.values.lock().insert(round, value);
+        self.verified.lock().remove(&round);
         Some(value)
     }
 }
@@ -240,6 +258,67 @@ mod tests {
             .coin_for_round(&committee, dag.store(), 2)
             .unwrap();
         assert_eq!(early.as_bytes(), fresh.as_bytes());
+    }
+
+    #[test]
+    fn malformed_coin_share_is_skipped_not_panicked() {
+        use mahimahi_types::{Block, BlockBuilder, TestCommittee};
+
+        let setup = TestCommittee::new(4, 21);
+        let committee = setup.committee().clone();
+        let mut store = BlockStore::new(4, 3);
+        let genesis = Block::all_genesis(4);
+        let parents_for = |author: u32| {
+            let mut parents = vec![genesis[author as usize].reference()];
+            parents.extend(
+                genesis
+                    .iter()
+                    .map(Block::reference)
+                    .filter(|reference| reference.author.0 != author),
+            );
+            parents
+        };
+        for author in 0..2u32 {
+            let block = BlockBuilder::new(AuthorityIndex(author), 1)
+                .parents(parents_for(author))
+                .build(&setup)
+                .into_arc();
+            store.insert(block).unwrap();
+        }
+        // Authority 2 embeds a garbage share (valid for round 99, not 1)
+        // in a correctly *signed* round-1 block — Byzantine input that a
+        // validator may hold in its store (e.g. accepted before
+        // validation-policy hardening, or injected via a buggy peer).
+        let garbage = setup.coin_secret(AuthorityIndex(2)).share_for_round(99);
+        let bad = BlockBuilder::new(AuthorityIndex(2), 1)
+            .parents(parents_for(2))
+            .coin_share(garbage)
+            .build(&setup)
+            .into_arc();
+        assert!(bad.verify(&committee).is_err(), "share must be malformed");
+        store.insert(bad).unwrap();
+
+        let coins = CoinCache::default();
+        // Three round-1 authors but only two *valid* shares: the coin stays
+        // closed — and, the regression, the node does not panic.
+        assert!(coins.coin_for_round(&committee, &store, 1).is_none());
+
+        // A fourth, honest block reaches the threshold of valid shares; the
+        // garbage share is skipped and the coin matches the clean value.
+        let block = BlockBuilder::new(AuthorityIndex(3), 1)
+            .parents(parents_for(3))
+            .build(&setup)
+            .into_arc();
+        store.insert(block).unwrap();
+        let value = coins
+            .coin_for_round(&committee, &store, 1)
+            .expect("threshold of valid shares present");
+        let clean: Vec<CoinShare> = [0u32, 1, 3]
+            .iter()
+            .map(|&author| setup.coin_secret(AuthorityIndex(author)).share_for_round(1))
+            .collect();
+        let expected = committee.coin_public().combine(1, &clean).unwrap();
+        assert_eq!(value.as_bytes(), expected.as_bytes());
     }
 
     #[test]

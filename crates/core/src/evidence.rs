@@ -1,0 +1,294 @@
+//! The evidence pool: verified, deduplicated equivocation proofs plus the
+//! slashing hooks that downstream accountability machinery attaches to.
+//!
+//! The DAG store emits an `EquivocationProof` the instant a second digest
+//! lands in a slot; proofs also arrive over the network from peers. The
+//! [`EvidencePool`] is the single place both streams meet: every submitted
+//! proof is re-verified against the committee (evidence is only as good as
+//! its signatures), at most one conviction is kept per author, and every
+//! *new* conviction is pushed through the registered [`SlashingHook`]s —
+//! the seam where stake slashing, operator alerting, or committee
+//! reconfiguration plugs in without the consensus path knowing about any
+//! of them.
+
+use mahimahi_types::{AuthorityIndex, Committee, EquivocationProof, EvidenceError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A callback fired exactly once per newly convicted authority.
+///
+/// Hooks receive the verified proof; implementations decide what
+/// "slashing" means in their deployment (stake burn, jailing, paging an
+/// operator). Hooks must be infallible — by the time one fires, the
+/// evidence has already been verified and recorded.
+pub trait SlashingHook {
+    /// Called when `proof` convicts an author not previously convicted.
+    fn on_equivocation(&mut self, proof: &EquivocationProof);
+}
+
+/// A [`SlashingHook`] that records convictions in order — the default hook
+/// for tests and the simulator, and a template for real integrations.
+#[derive(Debug, Default)]
+pub struct RecordingSlashingHook {
+    slashed: Vec<AuthorityIndex>,
+}
+
+impl RecordingSlashingHook {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The convicted authorities in conviction order.
+    pub fn slashed(&self) -> &[AuthorityIndex] {
+        &self.slashed
+    }
+}
+
+impl SlashingHook for RecordingSlashingHook {
+    fn on_equivocation(&mut self, proof: &EquivocationProof) {
+        self.slashed.push(proof.author());
+    }
+}
+
+/// Verified equivocation evidence, deduplicated per author.
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_core::EvidencePool;
+/// use mahimahi_dag::{BlockSpec, DagBuilder};
+/// use mahimahi_types::TestCommittee;
+///
+/// let setup = TestCommittee::new(4, 7);
+/// let committee = setup.committee().clone();
+/// let mut dag = DagBuilder::new(setup);
+/// dag.add_full_round();
+/// // Authority 1 equivocates at round 2.
+/// dag.add_round(vec![
+///     BlockSpec::new(0),
+///     BlockSpec::new(1).with_tag(1),
+///     BlockSpec::new(1).with_tag(2),
+///     BlockSpec::new(2),
+///     BlockSpec::new(3),
+/// ]);
+///
+/// let mut pool = EvidencePool::new(committee);
+/// for proof in dag.store_mut().take_equivocation_evidence() {
+///     pool.submit(proof).expect("store evidence verifies");
+/// }
+/// assert_eq!(pool.convicted(), vec![mahimahi_types::AuthorityIndex(1)]);
+/// ```
+pub struct EvidencePool {
+    committee: Committee,
+    /// First verified proof per convicted author (ordered for stable
+    /// reporting).
+    convictions: BTreeMap<AuthorityIndex, EquivocationProof>,
+    hooks: Vec<Box<dyn SlashingHook>>,
+}
+
+impl EvidencePool {
+    /// Creates an empty pool verifying against `committee`.
+    pub fn new(committee: Committee) -> Self {
+        EvidencePool {
+            committee,
+            convictions: BTreeMap::new(),
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Registers a hook fired on every future first-time conviction.
+    /// Authors already convicted do not re-fire.
+    pub fn register_hook(&mut self, hook: Box<dyn SlashingHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Submits a proof: verifies it against the committee, records the
+    /// conviction, and fires the hooks if the author is newly convicted.
+    ///
+    /// Returns `true` if this proof convicted a new author, `false` if the
+    /// author was already convicted (the earlier proof is kept — one
+    /// conviction per author is all slashing needs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EvidenceError`] of an invalid proof without recording
+    /// anything — malformed evidence from an untrusted peer must never
+    /// convict.
+    pub fn submit(&mut self, proof: EquivocationProof) -> Result<bool, EvidenceError> {
+        proof.verify(&self.committee)?;
+        let author = proof.author();
+        if self.convictions.contains_key(&author) {
+            return Ok(false);
+        }
+        for hook in &mut self.hooks {
+            hook.on_equivocation(&proof);
+        }
+        self.convictions.insert(author, proof);
+        Ok(true)
+    }
+
+    /// Whether `author` has a recorded conviction.
+    pub fn is_convicted(&self, author: AuthorityIndex) -> bool {
+        self.convictions.contains_key(&author)
+    }
+
+    /// The convicted authorities in index order.
+    pub fn convicted(&self) -> Vec<AuthorityIndex> {
+        self.convictions.keys().copied().collect()
+    }
+
+    /// The recorded proof against `author`, if convicted.
+    pub fn proof_against(&self, author: AuthorityIndex) -> Option<&EquivocationProof> {
+        self.convictions.get(&author)
+    }
+
+    /// Iterates over `(author, proof)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (AuthorityIndex, &EquivocationProof)> {
+        self.convictions
+            .iter()
+            .map(|(&author, proof)| (author, proof))
+    }
+
+    /// Number of convicted authorities.
+    pub fn len(&self) -> usize {
+        self.convictions.len()
+    }
+
+    /// Whether no authority has been convicted.
+    pub fn is_empty(&self) -> bool {
+        self.convictions.is_empty()
+    }
+}
+
+impl fmt::Debug for EvidencePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EvidencePool({} convicted: {:?}, {} hooks)",
+            self.convictions.len(),
+            self.convicted(),
+            self.hooks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_types::{Block, BlockBuilder, BlockRef, TestCommittee, Transaction};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    fn setup() -> TestCommittee {
+        TestCommittee::new(4, 3)
+    }
+
+    fn tagged_block(setup: &TestCommittee, author: u32, tag: u64) -> Arc<Block> {
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[author as usize].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(Block::reference)
+                .filter(|reference: &BlockRef| reference.author.0 != author),
+        );
+        BlockBuilder::new(mahimahi_types::AuthorityIndex(author), 1)
+            .parents(parents)
+            .transaction(Transaction::benchmark(tag))
+            .build(setup)
+            .into_arc()
+    }
+
+    fn proof(setup: &TestCommittee, author: u32, tags: (u64, u64)) -> EquivocationProof {
+        EquivocationProof::new(
+            tagged_block(setup, author, tags.0),
+            tagged_block(setup, author, tags.1),
+        )
+        .unwrap()
+    }
+
+    /// A hook writing into a shared cell so the test can observe firings
+    /// while the pool owns the hook box.
+    struct SharedHook(Rc<RefCell<Vec<AuthorityIndex>>>);
+
+    impl SlashingHook for SharedHook {
+        fn on_equivocation(&mut self, proof: &EquivocationProof) {
+            self.0.borrow_mut().push(proof.author());
+        }
+    }
+
+    #[test]
+    fn valid_proof_convicts_once_and_fires_hooks() {
+        let setup = setup();
+        let mut pool = EvidencePool::new(setup.committee().clone());
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        pool.register_hook(Box::new(SharedHook(Rc::clone(&fired))));
+
+        assert!(pool.submit(proof(&setup, 2, (1, 2))).unwrap());
+        assert!(pool.is_convicted(mahimahi_types::AuthorityIndex(2)));
+        assert_eq!(pool.len(), 1);
+        // Different conflicting pair, same author: deduplicated, no re-fire.
+        assert!(!pool.submit(proof(&setup, 2, (3, 4))).unwrap());
+        assert_eq!(pool.len(), 1);
+        assert_eq!(*fired.borrow(), vec![mahimahi_types::AuthorityIndex(2)]);
+        // The original proof is kept.
+        let kept = pool
+            .proof_against(mahimahi_types::AuthorityIndex(2))
+            .unwrap();
+        assert_eq!(kept.verify(setup.committee()), Ok(()));
+    }
+
+    #[test]
+    fn invalid_proof_is_rejected_without_conviction() {
+        let setup = setup();
+        let mut pool = EvidencePool::new(setup.committee().clone());
+        // Forge the second block with the wrong keypair: the proof does not
+        // demonstrate misbehavior by authority 1 and must not convict.
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[1].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(Block::reference)
+                .filter(|r| r.author.0 != 1),
+        );
+        let forged = BlockBuilder::new(mahimahi_types::AuthorityIndex(1), 1)
+            .parents(parents)
+            .transaction(Transaction::benchmark(9))
+            .build_with(
+                setup.keypair(mahimahi_types::AuthorityIndex(0)),
+                setup.coin_secret(mahimahi_types::AuthorityIndex(1)),
+            )
+            .into_arc();
+        let bad = EquivocationProof::new(tagged_block(&setup, 1, 1), forged).unwrap();
+        assert!(pool.submit(bad).is_err());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn convictions_report_in_index_order() {
+        let setup = setup();
+        let mut pool = EvidencePool::new(setup.committee().clone());
+        pool.submit(proof(&setup, 3, (1, 2))).unwrap();
+        pool.submit(proof(&setup, 0, (1, 2))).unwrap();
+        assert_eq!(
+            pool.convicted(),
+            vec![
+                mahimahi_types::AuthorityIndex(0),
+                mahimahi_types::AuthorityIndex(3)
+            ]
+        );
+        assert_eq!(pool.iter().count(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn recording_hook_records() {
+        let mut hook = RecordingSlashingHook::new();
+        let setup = setup();
+        hook.on_equivocation(&proof(&setup, 1, (1, 2)));
+        assert_eq!(hook.slashed(), &[mahimahi_types::AuthorityIndex(1)]);
+    }
+}

@@ -41,12 +41,14 @@
 mod committer;
 mod decider;
 mod election;
+mod evidence;
 mod protocol;
 mod sequencer;
 mod status;
 
 pub use committer::{Committer, CommitterOptions};
 pub use election::{CoinElector, FixedElector, LeaderElector};
+pub use evidence::{EvidencePool, RecordingSlashingHook, SlashingHook};
 pub use protocol::ProtocolCommitter;
 pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
 pub use status::LeaderStatus;

@@ -6,8 +6,10 @@
 //! - [`BlockStore`]: an equivocation-aware, causally-complete block store
 //!   with pending-ancestry buffering (the paper's rule that *"honest
 //!   validators only include hashes of blocks once they have downloaded
-//!   their entire causal history"*) and synchronizer hooks
-//!   ([`BlockStore::missing_parents`]);
+//!   their entire causal history"*), synchronizer hooks
+//!   ([`BlockStore::missing_parents`]), and fault attribution at the
+//!   source: the moment a second digest lands in a slot the store emits an
+//!   `EquivocationProof` ([`BlockStore::take_equivocation_evidence`]);
 //! - the traversal helpers of Algorithm 3 — [`BlockStore::voted_block`]
 //!   (`VotedBlock`), [`BlockStore::is_vote`] (`IsVote`),
 //!   [`BlockStore::is_cert`] (`IsCert`), [`BlockStore::is_link`] (`IsLink`),

@@ -1,6 +1,6 @@
 //! The equivocation-aware block store.
 
-use mahimahi_types::{AuthorityIndex, Block, BlockRef, Round, Slot};
+use mahimahi_types::{AuthorityIndex, Block, BlockRef, EquivocationProof, Round, Slot};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::error::Error as StdError;
@@ -83,6 +83,11 @@ pub struct BlockStore {
     /// Memoized `IsCert` results: (certificate block, leader block) → bool.
     /// Sound for the same reason: both blocks' histories are immutable.
     pub(crate) cert_cache: Mutex<HashMap<(BlockIdx, BlockIdx), bool>>,
+    /// Equivocation proofs emitted at admission and not yet collected
+    /// ([`BlockStore::take_equivocation_evidence`]). One proof per slot —
+    /// emitted the moment the *second* digest lands; further forks in the
+    /// same slot add no new proofs (one conviction per author suffices).
+    fresh_evidence: Vec<EquivocationProof>,
 }
 
 impl BlockStore {
@@ -102,6 +107,7 @@ impl BlockStore {
             waiters: HashMap::new(),
             vote_cache: Mutex::new(HashMap::new()),
             cert_cache: Mutex::new(HashMap::new()),
+            fresh_evidence: Vec::new(),
         };
         for genesis in Block::all_genesis(committee_size) {
             store
@@ -178,7 +184,22 @@ impl BlockStore {
             .rounds
             .entry(reference.round)
             .or_insert_with(|| vec![Vec::new(); self.committee_size]);
-        slots[reference.author.as_usize()].push(index);
+        let slot = &mut slots[reference.author.as_usize()];
+        slot.push(index);
+        // Fault attribution at the source: the second digest landing in a
+        // slot is conclusive evidence of equivocation. Emit one proof per
+        // slot (at the 1 → 2 transition); `by_ref` dedup guarantees the two
+        // blocks genuinely differ in digest.
+        if slot.len() == 2 {
+            let first = Arc::clone(&self.blocks[slot[0] as usize].block);
+            let second = Arc::clone(&self.blocks[slot[1] as usize].block);
+            match EquivocationProof::new(first, second) {
+                Ok(proof) => self.fresh_evidence.push(proof),
+                Err(error) => {
+                    debug_assert!(false, "slot-mates must form a proof: {error}");
+                }
+            }
+        }
         self.highest_round = self.highest_round.max(reference.round);
     }
 
@@ -297,6 +318,36 @@ impl BlockStore {
     /// Iterates over every stored block in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<Block>> {
         self.blocks.iter().map(|stored| &stored.block)
+    }
+
+    /// Drains the equivocation proofs emitted since the last call.
+    ///
+    /// [`BlockStore::insert`] emits a proof the moment a second digest lands
+    /// in a slot; callers (the evidence pool, the simulator's gossip)
+    /// collect them here. Proofs reference pre-validated stored blocks, so
+    /// they verify by construction against the store's committee.
+    pub fn take_equivocation_evidence(&mut self) -> Vec<EquivocationProof> {
+        std::mem::take(&mut self.fresh_evidence)
+    }
+
+    /// Number of emitted-but-uncollected equivocation proofs.
+    pub fn pending_evidence_count(&self) -> usize {
+        self.fresh_evidence.len()
+    }
+
+    /// Authorities with more than one stored block in some round — the
+    /// equivocators visible in this store's current (possibly compacted)
+    /// view. Unlike the drained proofs this is recomputed from live state.
+    pub fn equivocators(&self) -> HashSet<AuthorityIndex> {
+        let mut authorities = HashSet::new();
+        for slots in self.rounds.values() {
+            for (author, indexes) in slots.iter().enumerate() {
+                if indexes.len() > 1 {
+                    authorities.insert(AuthorityIndex::from(author));
+                }
+            }
+        }
+        authorities
     }
 
     pub(crate) fn index_of(&self, reference: &BlockRef) -> Option<BlockIdx> {
@@ -565,6 +616,105 @@ mod tests {
         assert_eq!(in_slot.len(), 2);
         assert_eq!(store.blocks_at_round(1).len(), 2);
         assert_eq!(store.authorities_at_round(1), vec![AuthorityIndex(1)]);
+
+        // Detection at the source: the second digest emitted a proof naming
+        // exactly the equivocator.
+        assert_eq!(store.pending_evidence_count(), 1);
+        assert_eq!(
+            store.equivocators(),
+            HashSet::from([AuthorityIndex(1)]),
+            "live view agrees with the emitted evidence"
+        );
+        let evidence = store.take_equivocation_evidence();
+        assert_eq!(evidence.len(), 1);
+        let proof = &evidence[0];
+        assert_eq!(proof.author(), AuthorityIndex(1));
+        assert_eq!(proof.round(), 1);
+        assert_eq!(proof.verify(setup.committee()), Ok(()));
+        let cited: HashSet<BlockRef> = [proof.first().reference(), proof.second().reference()]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            cited,
+            HashSet::from([one.reference(), two.reference()]),
+            "the proof cites the two conflicting blocks"
+        );
+        // Draining is one-shot.
+        assert!(store.take_equivocation_evidence().is_empty());
+    }
+
+    #[test]
+    fn third_fork_adds_no_second_proof() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let genesis = Block::all_genesis(4);
+        let mut parents = vec![genesis[2].reference()];
+        parents.extend(
+            genesis
+                .iter()
+                .map(|b| b.reference())
+                .filter(|r| r.author.0 != 2),
+        );
+        for tag in 1..=3u64 {
+            let fork = BlockBuilder::new(AuthorityIndex(2), 1)
+                .parents(parents.clone())
+                .transaction(Transaction::benchmark(tag))
+                .build(&setup)
+                .into_arc();
+            store.insert(fork).unwrap();
+        }
+        assert_eq!(
+            store.blocks_in_slot(Slot::new(1, AuthorityIndex(2))).len(),
+            3
+        );
+        // One proof per slot: the 1 → 2 transition, not every pair.
+        assert_eq!(store.take_equivocation_evidence().len(), 1);
+    }
+
+    #[test]
+    fn honest_inserts_emit_no_evidence() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        for author in 0..4 {
+            store.insert(round_one_block(&setup, author)).unwrap();
+        }
+        assert_eq!(store.pending_evidence_count(), 0);
+        assert!(store.equivocators().is_empty());
+        assert!(store.take_equivocation_evidence().is_empty());
+    }
+
+    #[test]
+    fn evidence_survives_duplicate_and_pending_paths() {
+        let setup = setup();
+        let mut store = BlockStore::new(4, 3);
+        let r1: Vec<Arc<Block>> = (0..4).map(|a| round_one_block(&setup, a)).collect();
+        // A round-2 equivocation pair arrives *before* its parents: both
+        // variants buffer as pending, then admit together once round 1
+        // lands — the proof must still be emitted on admission.
+        let r1_refs: Vec<BlockRef> = r1.iter().map(|b| b.reference()).collect();
+        let mut parents = vec![r1_refs[0]];
+        parents.extend(r1_refs[1..].iter().copied());
+        let variant = |tag: u64| {
+            BlockBuilder::new(AuthorityIndex(0), 2)
+                .parents(parents.clone())
+                .transaction(Transaction::benchmark(tag))
+                .build(&setup)
+                .into_arc()
+        };
+        let (a, b) = (variant(1), variant(2));
+        assert!(matches!(
+            store.insert(a.clone()).unwrap(),
+            InsertResult::Pending(_)
+        ));
+        assert!(matches!(store.insert(b).unwrap(), InsertResult::Pending(_)));
+        assert_eq!(store.pending_evidence_count(), 0, "nothing admitted yet");
+        for block in &r1 {
+            store.insert(block.clone()).unwrap();
+        }
+        assert_eq!(store.take_equivocation_evidence().len(), 1);
+        // Re-inserting an already-stored variant is a duplicate, no proof.
+        assert_eq!(store.insert(a).unwrap(), InsertResult::Duplicate);
+        assert_eq!(store.pending_evidence_count(), 0);
     }
 
     #[test]

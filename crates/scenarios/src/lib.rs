@@ -11,8 +11,10 @@
 //! - an [`Oracle`] is an invariant checked against the finished run: commit
 //!   sequence agreement across correct validators (Theorem 1 safety),
 //!   at-most-one committed block per slot under equivocation (Lemma 2),
-//!   a commit-frontier lag bound in rounds, and liveness whenever at least
-//!   `2f + 1` validators are correct;
+//!   a commit-frontier lag bound in rounds, liveness whenever at least
+//!   `2f + 1` validators are correct, and exact fault attribution — every
+//!   correct validator's convicted-equivocator set must equal the ground
+//!   truth, with zero false positives ([`EvidenceAttribution`]);
 //! - [`matrix`] sweeps every protocol × behavior × adversary combination
 //!   deterministically, producing machine-checkable [`ScenarioResult`]s
 //!   (and, through the `bench` crate's `scenario_matrix` binary, a JSON
@@ -46,6 +48,7 @@ pub use matrix::{
     OracleOutcome, ScenarioResult,
 };
 pub use oracle::{
-    default_oracles, CommitAgreement, CommitLatencyBound, Liveness, Oracle, UniqueSlotCommit,
+    default_oracles, CommitAgreement, CommitLatencyBound, EvidenceAttribution, Liveness, Oracle,
+    UniqueSlotCommit,
 };
 pub use scenario::{Scenario, ScenarioRun};

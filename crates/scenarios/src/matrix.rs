@@ -198,6 +198,10 @@ pub struct ScenarioResult {
     pub latency_mean_s: f64,
     /// The commit-frontier lag bound this cell was held to.
     pub lag_bound_rounds: u64,
+    /// Per-validator convicted-equivocator sets (authority indexes, index
+    /// order) — the fault-attribution output the `evidence-attribution`
+    /// oracle checks.
+    pub culprits: Vec<Vec<u32>>,
     /// Every oracle's verdict.
     pub oracles: Vec<OracleOutcome>,
 }
@@ -238,11 +242,20 @@ impl ScenarioResult {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let culprits = self
+            .culprits
+            .iter()
+            .map(|set| {
+                let authors = set.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                format!("[{authors}]")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"name\":\"{}\",\"seed\":{},\"committee_size\":{},\
              \"committed_transactions\":{},\"committed_slots\":{},\"skipped_slots\":{},\
              \"highest_round\":{},\"latency_mean_s\":{:.4},\"lag_bound_rounds\":{},\
-             \"pass\":{},\"oracles\":[{}]}}",
+             \"culprits\":[{}],\"pass\":{},\"oracles\":[{}]}}",
             escape(&self.name),
             self.seed,
             self.committee_size,
@@ -252,6 +265,7 @@ impl ScenarioResult {
             self.highest_round,
             self.latency_mean_s,
             self.lag_bound_rounds,
+            culprits,
             self.pass(),
             oracles,
         )
@@ -278,6 +292,11 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
         highest_round: run.report.highest_round,
         latency_mean_s: run.report.latency.mean_s(),
         lag_bound_rounds: CommitLatencyBound::bound(scenario),
+        culprits: run
+            .culprits
+            .iter()
+            .map(|set| set.iter().map(|author| author.0).collect())
+            .collect(),
         oracles,
     }
 }
@@ -367,6 +386,7 @@ mod tests {
             highest_round: 40,
             latency_mean_s: 0.5,
             lag_bound_rounds: 38,
+            culprits: vec![vec![3], vec![3], vec![3], Vec::new()],
             oracles: vec![
                 OracleOutcome {
                     oracle: "liveness",
@@ -383,6 +403,7 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"pass\":false"));
         assert!(json.contains("\\\"1\\\""));
+        assert!(json.contains("\"culprits\":[[3],[3],[3],[]]"));
         let report = report_json(&[result]);
         assert!(report.contains("\"total\": 1"));
         assert!(report.contains("\"failed\": 1"));

@@ -30,6 +30,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(UniqueSlotCommit),
         Box::new(CommitLatencyBound),
         Box::new(Liveness),
+        Box::new(EvidenceAttribution),
     ]
 }
 
@@ -178,6 +179,49 @@ impl Oracle for Liveness {
     }
 }
 
+/// Fault attribution: every correct validator's convicted-equivocator set
+/// must be *exactly* the authorities whose behavior signs conflicting
+/// blocks — complete (each equivocator detected, locally or via gossiped
+/// proofs) and sound (zero false positives on correct validators, whatever
+/// crash faults or delivery-schedule adversaries are in play).
+pub struct EvidenceAttribution;
+
+impl Oracle for EvidenceAttribution {
+    fn name(&self) -> &'static str {
+        "evidence-attribution"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        let expected = scenario.expected_equivocators();
+        for &validator in &scenario.correct_validators() {
+            let Some(convicted) = run.culprits.get(validator) else {
+                return Err(format!("no culprit set recorded for validator {validator}"));
+            };
+            let false_positives: Vec<_> = convicted
+                .iter()
+                .filter(|author| !expected.contains(author))
+                .collect();
+            if !false_positives.is_empty() {
+                return Err(format!(
+                    "validator {validator} falsely convicted {false_positives:?} \
+                     (actual equivocators: {expected:?})"
+                ));
+            }
+            let missed: Vec<_> = expected
+                .iter()
+                .filter(|author| !convicted.contains(author))
+                .collect();
+            if !missed.is_empty() {
+                return Err(format!(
+                    "validator {validator} failed to attribute equivocators {missed:?} \
+                     (convicted only {convicted:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +252,7 @@ mod tests {
     }
 
     fn run_with_logs(logs: Vec<Vec<Option<BlockRef>>>) -> ScenarioRun {
+        let validators = logs.len();
         ScenarioRun {
             report: SimReport {
                 committed_slots: 1,
@@ -216,6 +261,7 @@ mod tests {
                 ..SimReport::default()
             },
             logs,
+            culprits: vec![Vec::new(); validators],
         }
     }
 
@@ -270,6 +316,62 @@ mod tests {
             (3, Behavior::Crashed { from_round: 0 }),
         ];
         assert!(Liveness.check(&dark, &run).is_ok());
+    }
+
+    #[test]
+    fn attribution_requires_exactly_the_equivocators() {
+        let mut equivocating = scenario();
+        equivocating.config.behaviors = vec![(3, Behavior::ForkSpammer { forks: 3 })];
+        let logs = vec![vec![Some(reference(1, 0, 1))]; 4];
+
+        // Complete and sound: every correct validator names exactly v3.
+        let mut run = run_with_logs(logs.clone());
+        run.culprits = vec![vec![AuthorityIndex(3)]; 4];
+        assert!(EvidenceAttribution.check(&equivocating, &run).is_ok());
+
+        // A correct validator that missed the culprit fails the oracle.
+        let mut run = run_with_logs(logs.clone());
+        run.culprits = vec![
+            vec![AuthorityIndex(3)],
+            Vec::new(), // validator 1 never convicted anyone
+            vec![AuthorityIndex(3)],
+            vec![AuthorityIndex(3)],
+        ];
+        let violation = EvidenceAttribution.check(&equivocating, &run);
+        assert!(violation.unwrap_err().contains("failed to attribute"));
+
+        // The Byzantine validator's own (empty) set is not checked.
+        let mut run = run_with_logs(logs.clone());
+        run.culprits = vec![
+            vec![AuthorityIndex(3)],
+            vec![AuthorityIndex(3)],
+            vec![AuthorityIndex(3)],
+            Vec::new(),
+        ];
+        assert!(EvidenceAttribution.check(&equivocating, &run).is_ok());
+
+        // A false positive on a correct author fails, even in an
+        // all-honest scenario.
+        let honest = scenario();
+        let mut run = run_with_logs(logs);
+        run.culprits[2] = vec![AuthorityIndex(0)];
+        let violation = EvidenceAttribution.check(&honest, &run);
+        assert!(violation.unwrap_err().contains("falsely convicted"));
+    }
+
+    #[test]
+    fn certified_protocols_expect_no_equivocators() {
+        // Under Tusk, equivocating behaviors degrade to honest production:
+        // the ground-truth culprit set is empty and any conviction is a
+        // false positive.
+        let mut tusk = scenario();
+        tusk.config.protocol = ProtocolChoice::Tusk;
+        tusk.config.behaviors = vec![(3, Behavior::ForkSpammer { forks: 3 })];
+        assert!(tusk.expected_equivocators().is_empty());
+        let mut run = run_with_logs(vec![vec![Some(reference(1, 0, 1))]; 4]);
+        assert!(EvidenceAttribution.check(&tusk, &run).is_ok());
+        run.culprits[0] = vec![AuthorityIndex(3)];
+        assert!(EvidenceAttribution.check(&tusk, &run).is_err());
     }
 
     #[test]

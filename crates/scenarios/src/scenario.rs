@@ -1,7 +1,7 @@
 //! The declarative scenario: one fully-specified, reproducible run.
 
 use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation};
-use mahimahi_types::BlockRef;
+use mahimahi_types::{AuthorityIndex, BlockRef};
 
 /// One fully-specified simulation scenario.
 ///
@@ -17,14 +17,18 @@ pub struct Scenario {
     pub config: SimConfig,
 }
 
-/// The observable outcome of a scenario: the metrics report plus every
-/// validator's committed-leader log (`None` entries are skipped slots).
+/// The observable outcome of a scenario: the metrics report, every
+/// validator's committed-leader log (`None` entries are skipped slots), and
+/// every validator's convicted-equivocator set.
 #[derive(Debug)]
 pub struct ScenarioRun {
     /// Metrics at the observer validator.
     pub report: SimReport,
     /// Per-validator committed leader sequences, indexed by authority.
     pub logs: Vec<Vec<Option<BlockRef>>>,
+    /// Per-validator convicted-equivocator sets (index order), produced by
+    /// the evidence pools — at-source DAG detection plus gossiped proofs.
+    pub culprits: Vec<Vec<AuthorityIndex>>,
 }
 
 impl Scenario {
@@ -37,10 +41,14 @@ impl Scenario {
     }
 
     /// Executes the run. Deterministic: same config (and thus seed) ⇒ same
-    /// report and same logs.
+    /// report, logs, and culprit sets.
     pub fn run(&self) -> ScenarioRun {
-        let (report, logs) = Simulation::new(self.config.clone()).run_with_logs();
-        ScenarioRun { report, logs }
+        let outcome = Simulation::new(self.config.clone()).run_full();
+        ScenarioRun {
+            report: outcome.report,
+            logs: outcome.logs,
+            culprits: outcome.culprits,
+        }
     }
 
     /// The behavior assigned to `authority`.
@@ -54,6 +62,23 @@ impl Scenario {
     pub fn correct_validators(&self) -> Vec<usize> {
         (0..self.config.committee_size)
             .filter(|&index| self.behavior_of(index).is_correct())
+            .collect()
+    }
+
+    /// The authorities whose assigned behavior actually signs conflicting
+    /// blocks in this scenario — the ground-truth culprit set the
+    /// `evidence-attribution` oracle holds every correct validator to.
+    ///
+    /// Under a certified DAG (Tusk) equivocating behaviors degrade to
+    /// honest production (consistent broadcast forbids the fork before it
+    /// enters any store), so the expected set is empty there.
+    pub fn expected_equivocators(&self) -> Vec<AuthorityIndex> {
+        if self.config.protocol.certified() {
+            return Vec::new();
+        }
+        (0..self.config.committee_size)
+            .filter(|&index| self.behavior_of(index).equivocates())
+            .map(AuthorityIndex::from)
             .collect()
     }
 

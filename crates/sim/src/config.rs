@@ -201,6 +201,20 @@ impl Behavior {
         )
     }
 
+    /// Whether the behavior signs conflicting blocks for the same slot —
+    /// the misbehavior an `EquivocationProof` attributes. A strict subset
+    /// of [`Behavior::is_byzantine`]: a withholding leader deviates but
+    /// never contradicts itself, so no evidence can (or should) ever name
+    /// it.
+    pub fn equivocates(&self) -> bool {
+        matches!(
+            self,
+            Behavior::Equivocator
+                | Behavior::SplitBrainEquivocator { .. }
+                | Behavior::ForkSpammer { .. }
+        )
+    }
+
     /// Short machine-readable label for reports and scenario names.
     pub fn label(&self) -> &'static str {
         match self {

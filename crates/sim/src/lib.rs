@@ -44,5 +44,5 @@ pub use config::{
 };
 pub use message::SimMessage;
 pub use metrics::{LatencyStats, SimReport};
-pub use runner::Simulation;
+pub use runner::{SimOutcome, Simulation};
 pub use validator::{Action, SimValidator};

@@ -1,6 +1,6 @@
 //! Messages exchanged between simulated validators.
 
-use mahimahi_types::{AuthorityIndex, Block, BlockRef};
+use mahimahi_types::{AuthorityIndex, Block, BlockRef, EquivocationProof};
 use std::sync::Arc;
 
 /// The wire messages of the simulation.
@@ -41,6 +41,9 @@ pub enum SimMessage {
     Request(Vec<BlockRef>),
     /// Synchronizer: blocks answering a [`SimMessage::Request`].
     Response(Vec<Arc<Block>>),
+    /// Fault attribution: a self-contained equivocation proof, gossiped so
+    /// every honest validator converges on the same culprit set.
+    Evidence(EquivocationProof),
 }
 
 impl SimMessage {
@@ -63,6 +66,10 @@ impl SimMessage {
                     .map(|block| block_wire_size(block, tx_wire_size))
                     .sum::<usize>()
             }
+            SimMessage::Evidence(proof) => {
+                16 + block_wire_size(proof.first(), tx_wire_size)
+                    + block_wire_size(proof.second(), tx_wire_size)
+            }
         }
     }
 
@@ -75,6 +82,7 @@ impl SimMessage {
                 reference.round
             }
             SimMessage::Request(_) | SimMessage::Response(_) => 0,
+            SimMessage::Evidence(proof) => proof.round(),
         }
     }
 }

@@ -27,12 +27,16 @@ impl LatencyStats {
     }
 
     /// Mean latency in seconds (0 when empty).
+    ///
+    /// Computed entirely in `f64`: averaging in integer [`Time`] first
+    /// truncates (a sub-microsecond-resolved mean collapses toward 0 on
+    /// small samples), which skewed every latency table.
     pub fn mean_s(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        time::as_secs_f64((sum / self.samples.len() as u128) as Time)
+        let sum: f64 = self.samples.iter().map(|&s| s as f64).sum();
+        sum / self.samples.len() as f64 / time::SECOND as f64
     }
 
     fn sort(&mut self) {
@@ -42,7 +46,13 @@ impl LatencyStats {
         }
     }
 
-    /// The `q`-quantile latency in seconds (0 when empty).
+    /// The `q`-quantile latency in seconds (0 when empty), using the ceil
+    /// nearest-rank convention: the smallest sample such that at least
+    /// `q · n` samples are ≤ it (rank `⌈q · n⌉`). The previous
+    /// `round((n − 1) · q)` interpolation underestimates tail quantiles on
+    /// small samples — e.g. p99 of 60 samples picked the 59th sorted value
+    /// instead of the maximum that nearest-rank prescribes — so tail
+    /// latency on sparse runs looked better than it was.
     ///
     /// # Panics
     ///
@@ -53,7 +63,8 @@ impl LatencyStats {
             return 0.0;
         }
         self.sort();
-        let index = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        let rank = (q * self.samples.len() as f64).ceil() as usize;
+        let index = rank.saturating_sub(1).min(self.samples.len() - 1);
         time::as_secs_f64(self.samples[index])
     }
 
@@ -166,6 +177,53 @@ mod tests {
         assert!((stats.max_s() - 0.5).abs() < 1e-9);
         assert!((stats.quantile_s(0.0) - 0.1).abs() < 1e-9);
         assert!((stats.quantile_s(1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_does_not_truncate_sub_unit_values() {
+        // Sub-microsecond means: integer division collapsed these to 0.
+        let mut stats = LatencyStats::default();
+        stats.record(0);
+        stats.record(1); // 1 µs; integer mean of {0, 1} truncated to 0
+        assert!(
+            (stats.mean_s() - 0.5e-6).abs() < 1e-12,
+            "{}",
+            stats.mean_s()
+        );
+        // Fractional microsecond mean on realistic values.
+        let mut stats = LatencyStats::default();
+        for us in [100u64, 101, 101] {
+            stats.record(us);
+        }
+        let expected = (302.0 / 3.0) * 1e-6;
+        assert!((stats.mean_s() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_use_ceil_nearest_rank() {
+        // Known 10-sample vector: 100 ms … 1000 ms.
+        let mut stats = LatencyStats::default();
+        for ms in (1..=10u64).map(|i| i * 100) {
+            stats.record(time::from_millis(ms));
+        }
+        // p99 rank = ⌈0.99 × 10⌉ = 10 → the maximum. (The old rounding
+        // convention also happened to land there for n = 10; the cases
+        // below pin where the conventions differ.)
+        assert!((stats.p99_s() - 1.0).abs() < 1e-9, "{}", stats.p99_s());
+        // Nearest-rank p50 of 10 samples is the 5th sorted value (500 ms);
+        // round((n − 1) · q) picked the 6th (600 ms).
+        assert!((stats.p50_s() - 0.5).abs() < 1e-9, "{}", stats.p50_s());
+        assert!((stats.quantile_s(0.1) - 0.1).abs() < 1e-9);
+        assert!((stats.quantile_s(0.0) - 0.1).abs() < 1e-9);
+        assert!((stats.quantile_s(1.0) - 1.0).abs() < 1e-9);
+
+        // 60 samples: p99 rank = ⌈59.4⌉ = 60 → the maximum; the rounding
+        // convention underestimated with the 59th value.
+        let mut stats = LatencyStats::default();
+        for ms in (1..=60u64).map(|i| i * 10) {
+            stats.record(time::from_millis(ms));
+        }
+        assert!((stats.p99_s() - 0.6).abs() < 1e-9, "{}", stats.p99_s());
     }
 
     #[test]

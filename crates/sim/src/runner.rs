@@ -71,6 +71,20 @@ impl Adversary for AnyAdversary {
 /// (resume time, sequence, from, to, message).
 type DeferredDelivery = (Time, u64, usize, usize, SeqMessage);
 
+/// Everything a finished run exposes per validator, beyond the observer's
+/// metrics: committed-leader logs and convicted-equivocator sets.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Metrics at the observer validator.
+    pub report: SimReport,
+    /// Per-validator committed leader sequences (`None` = skipped slot),
+    /// indexed by authority; crashed validators have empty logs.
+    pub logs: Vec<Vec<Option<mahimahi_types::BlockRef>>>,
+    /// Per-validator convicted-equivocator sets in index order — the
+    /// output of the evidence pools after at-source detection plus gossip.
+    pub culprits: Vec<Vec<mahimahi_types::AuthorityIndex>>,
+}
+
 /// A full simulated deployment: committee, network, clients, clock.
 pub struct Simulation {
     config: SimConfig,
@@ -195,6 +209,15 @@ impl Simulation {
     /// have empty logs). Used by the safety-property tests: all honest
     /// logs must be pairwise prefix-consistent.
     pub fn run_with_logs(self) -> (SimReport, Vec<Vec<Option<mahimahi_types::BlockRef>>>) {
+        let outcome = self.run_full();
+        (outcome.report, outcome.logs)
+    }
+
+    /// Runs to completion, returning every per-validator observable: the
+    /// metrics report, the committed-leader logs, and each validator's
+    /// convicted-equivocator set (fault attribution). The scenario
+    /// harness's oracles consume this richer outcome.
+    pub fn run_full(self) -> SimOutcome {
         let mut simulation = self;
         simulation.run_loop();
         let logs = simulation
@@ -202,7 +225,16 @@ impl Simulation {
             .iter()
             .map(|validator| validator.commit_log().to_vec())
             .collect();
-        (simulation.report(), logs)
+        let culprits = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.convicted())
+            .collect();
+        SimOutcome {
+            logs,
+            culprits,
+            report: simulation.report(),
+        }
     }
 
     /// Runs the simulation to completion and produces the report.
@@ -317,6 +349,17 @@ impl Simulation {
             SimMessage::Certificate { signatures, .. } => cpu.certificate_verify(*signatures),
             SimMessage::Request(_) => 1,
             SimMessage::Response(blocks) => blocks
+                .iter()
+                .map(|block| {
+                    cpu.block_verify(crate::message::block_wire_size(
+                        block,
+                        self.config.tx_wire_size,
+                    ))
+                })
+                .sum(),
+            // A proof is two full block verifications (evidence is only as
+            // good as its signatures).
+            SimMessage::Evidence(proof) => [proof.first(), proof.second()]
                 .iter()
                 .map(|block| {
                     cpu.block_verify(crate::message::block_wire_size(
@@ -518,6 +561,58 @@ mod tests {
             assert!(
                 report.committed_transactions > 0,
                 "{behavior:?}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivocators_are_attributed_and_convictions_converge() {
+        for behavior in [
+            Behavior::Equivocator,
+            Behavior::SplitBrainEquivocator { minority: 1 },
+            Behavior::ForkSpammer { forks: 3 },
+        ] {
+            let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
+            config.behaviors = vec![(3, behavior)];
+            let outcome = Simulation::new(config).run_full();
+            // Every honest validator converges on exactly the culprit.
+            for validator in 0..3 {
+                assert_eq!(
+                    outcome.culprits[validator],
+                    vec![AuthorityIndex(3)],
+                    "{behavior:?}: validator {validator} attribution"
+                );
+            }
+        }
+        // All-honest run: nobody is ever convicted (no false positives).
+        let outcome =
+            Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 })).run_full();
+        assert!(outcome.culprits.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn validator_offline_during_gossip_still_converges_on_culprits() {
+        // Validator 1 is down for the first 4 of 5 seconds — it misses the
+        // flood-once Evidence broadcasts entirely. The synchronizer-driven
+        // evidence catch-up (convictions piggybacked on Request replies)
+        // must still converge it on the culprit set.
+        let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
+        config.behaviors = vec![
+            (
+                1,
+                Behavior::Offline {
+                    from: 0,
+                    until: time::from_secs(4),
+                },
+            ),
+            (3, Behavior::SplitBrainEquivocator { minority: 1 }),
+        ];
+        let outcome = Simulation::new(config).run_full();
+        for validator in [0, 1, 2] {
+            assert_eq!(
+                outcome.culprits[validator],
+                vec![AuthorityIndex(3)],
+                "validator {validator} must attribute v3 despite the outage"
             );
         }
     }

@@ -10,11 +10,12 @@
 //!
 //! [`Simulation`]: crate::runner::Simulation
 
-use mahimahi_core::{CommitDecision, CommitSequencer, ProtocolCommitter};
+use mahimahi_core::{CommitDecision, CommitSequencer, EvidencePool, ProtocolCommitter};
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_net::time::Time;
 use mahimahi_types::{
-    AuthorityIndex, Block, BlockBuilder, BlockRef, Round, TestCommittee, Transaction,
+    AuthorityIndex, Block, BlockBuilder, BlockRef, EquivocationProof, Round, TestCommittee,
+    Transaction,
 };
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -62,6 +63,9 @@ pub struct SimValidator {
     pending_out: VecDeque<(Time, SimMessage)>,
     setup: TestCommittee,
     store: BlockStore,
+    /// Verified equivocation convictions, deduplicated per author. Fed by
+    /// the store's at-source detection and by gossiped proofs from peers.
+    evidence: EvidencePool,
     sequencer: CommitSequencer<Box<dyn ProtocolCommitter>>,
     /// Last round this validator produced a block for.
     round: Round,
@@ -117,6 +121,7 @@ impl SimValidator {
             leader_schedule,
             election_cache: HashMap::new(),
             pending_out: VecDeque::new(),
+            evidence: EvidencePool::new(setup.committee().clone()),
             setup,
             store,
             sequencer: CommitSequencer::new(committer),
@@ -150,6 +155,23 @@ impl SimValidator {
     /// The local DAG.
     pub fn store(&self) -> &BlockStore {
         &self.store
+    }
+
+    /// The evidence pool (verified convictions, slashing hooks).
+    pub fn evidence(&self) -> &EvidencePool {
+        &self.evidence
+    }
+
+    /// Mutable evidence pool access (for registering slashing hooks).
+    pub fn evidence_mut(&mut self) -> &mut EvidencePool {
+        &mut self.evidence
+    }
+
+    /// The authorities this validator has convicted of equivocation, in
+    /// index order. Honest validators converge on this set (the
+    /// `evidence-attribution` oracle of `mahimahi-scenarios` checks it).
+    pub fn convicted(&self) -> Vec<AuthorityIndex> {
+        self.evidence.convicted()
     }
 
     /// Last produced round.
@@ -300,11 +322,22 @@ impl SimValidator {
                 if !blocks.is_empty() {
                     actions.push(Action::Send(from, SimMessage::Response(blocks)));
                 }
+                // Evidence catch-up: a peer driving the synchronizer is
+                // repairing gaps (e.g. restarting after an outage) and may
+                // have missed the one-shot conviction gossip; piggyback
+                // this validator's convictions so culprit sets converge
+                // even for validators that were down when proofs flooded.
+                for (_, proof) in self.evidence.iter() {
+                    actions.push(Action::Send(from, SimMessage::Evidence(proof.clone())));
+                }
             }
             SimMessage::Response(blocks) => {
                 for block in blocks {
                     self.accept_block(block, from, &mut actions);
                 }
+            }
+            SimMessage::Evidence(proof) => {
+                self.ingest_evidence(proof, &mut actions);
             }
         }
         actions.extend(self.maybe_advance(now));
@@ -322,12 +355,31 @@ impl SimValidator {
                 for reference in admitted {
                     self.note_admitted(reference);
                 }
+                self.harvest_evidence(actions);
             }
             Ok(InsertResult::Pending(missing)) => {
                 actions.push(Action::Send(from, SimMessage::Request(missing)));
             }
             Ok(InsertResult::Duplicate) | Ok(InsertResult::BelowGcFloor) => {}
             Err(_) => {}
+        }
+    }
+
+    /// Collects proofs the store emitted at admission, convicting locally
+    /// and gossiping each *new* conviction once.
+    fn harvest_evidence(&mut self, actions: &mut Vec<Action>) {
+        for proof in self.store.take_equivocation_evidence() {
+            self.ingest_evidence(proof, actions);
+        }
+    }
+
+    /// Convicts through the evidence pool; first-time convictions are
+    /// re-broadcast (flood-once gossip), so one detection anywhere reaches
+    /// every honest validator even if only a subset ever stores both
+    /// conflicting blocks. Invalid proofs from untrusted peers are dropped.
+    fn ingest_evidence(&mut self, proof: EquivocationProof, actions: &mut Vec<Action>) {
+        if self.evidence.submit(proof.clone()) == Ok(true) {
+            actions.push(Action::Broadcast(SimMessage::Evidence(proof)));
         }
     }
 
@@ -599,6 +651,9 @@ impl SimValidator {
                 actions.push(Action::Broadcast(SimMessage::Block(block)));
             }
         }
+        // Own inserts can complete a buffered conflicting pair through the
+        // waiter chain; collect whatever the store emitted.
+        self.harvest_evidence(&mut actions);
         actions
     }
 

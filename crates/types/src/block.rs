@@ -424,6 +424,7 @@ pub struct BlockBuilder {
     round: Round,
     parents: Vec<BlockRef>,
     transactions: Vec<Transaction>,
+    coin_share_override: Option<CoinShare>,
 }
 
 impl BlockBuilder {
@@ -434,6 +435,7 @@ impl BlockBuilder {
             round,
             parents: Vec::new(),
             transactions: Vec::new(),
+            coin_share_override: None,
         }
     }
 
@@ -461,6 +463,16 @@ impl BlockBuilder {
         self
     }
 
+    /// Overrides the coin share embedded in the block (instead of deriving
+    /// it from the author's coin secret). The block is still signed over the
+    /// resulting digest, producing a *signature-valid* block whose coin
+    /// share may be garbage — exactly the Byzantine input that
+    /// share-handling code must survive. Test and adversary use.
+    pub fn coin_share(mut self, share: CoinShare) -> Self {
+        self.coin_share_override = Some(share);
+        self
+    }
+
     /// Signs and assembles the block using the authority's secrets from a
     /// [`TestCommittee`].
     ///
@@ -473,7 +485,9 @@ impl BlockBuilder {
 
     /// Signs and assembles the block from explicit secrets.
     pub fn build_with(self, keypair: &Keypair, coin_secret: &CoinSecret) -> Block {
-        let coin_share = coin_secret.share_for_round(self.round);
+        let coin_share = self
+            .coin_share_override
+            .unwrap_or_else(|| coin_secret.share_for_round(self.round));
         let mut block = Block {
             author: self.author,
             round: self.round,

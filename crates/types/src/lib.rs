@@ -9,6 +9,9 @@
 //!   the paper): a signed vertex carrying transactions, parent references,
 //!   and a share of the global perfect coin;
 //! - [`BlockRef`] is the hash reference linking blocks into the DAG;
+//! - [`EquivocationProof`] packages two conflicting signed blocks by the
+//!   same author and round as self-contained, transferable slashing
+//!   evidence;
 //! - [`codec`] provides the deterministic binary wire format used by the
 //!   WAL and the TCP transport.
 //!
@@ -27,11 +30,13 @@
 pub mod block;
 pub mod codec;
 pub mod committee;
+pub mod evidence;
 pub mod ids;
 pub mod transaction;
 
 pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use committee::{Committee, TestCommittee};
+pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};
 pub use transaction::Transaction;

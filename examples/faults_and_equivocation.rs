@@ -41,7 +41,8 @@ fn main() {
     println!("--- 2. one equivocating validator ---");
     let mut config = base();
     config.behaviors = vec![(9, Behavior::Equivocator)];
-    let (report, logs) = Simulation::new(config).run_with_logs();
+    let outcome = Simulation::new(config).run_full();
+    let (report, logs) = (outcome.report, outcome.logs);
     println!("{}", report.table_row());
     // Safety check: every pair of honest logs is prefix-consistent.
     let honest_logs: Vec<_> = logs[..9].to_vec();
@@ -51,7 +52,18 @@ fn main() {
             assert_eq!(&a[..len], &b[..len], "commit sequences diverged!");
         }
     }
-    println!("all 9 honest validators agree on the commit sequence ✔\n");
+    println!("all 9 honest validators agree on the commit sequence ✔");
+    // Fault attribution: the store emits an equivocation proof the moment
+    // a second digest lands in a slot, and flood-once gossip converges
+    // every honest validator on the same culprit set.
+    for (validator, convicted) in outcome.culprits[..9].iter().enumerate() {
+        assert_eq!(
+            convicted.as_slice(),
+            &[mahi_mahi::types::AuthorityIndex(9)],
+            "validator {validator} attribution"
+        );
+    }
+    println!("all 9 honest validators convicted exactly v9 of equivocation ✔\n");
 
     println!("--- 3. asynchronous adversary (rotating targeted delays) ---");
     let mut config = base();

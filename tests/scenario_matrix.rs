@@ -12,8 +12,11 @@ use mahi_mahi::scenarios::{
     adversaries, attack_behaviors, full_matrix, protocols, run_scenario, smoke_matrix, Scenario,
 };
 
-/// Runs the given scenarios, asserting all oracles pass and reporting every
-/// violation with the scenario's name and seed.
+/// Runs the given scenarios, asserting all oracles pass — and that the
+/// JSON-facing per-validator culprit sets of every correct validator equal
+/// the cell's ground-truth equivocator set (exact attribution, zero false
+/// positives) — reporting every violation with the scenario's name and
+/// seed.
 fn run_cells(cells: Vec<Scenario>) {
     assert!(!cells.is_empty(), "no matrix cells selected");
     let mut failures = Vec::new();
@@ -26,6 +29,19 @@ fn run_cells(cells: Vec<Scenario>) {
                 result.seed,
                 result.failures().join("; ")
             ));
+        }
+        let expected: Vec<u32> = scenario
+            .expected_equivocators()
+            .iter()
+            .map(|author| author.0)
+            .collect();
+        for validator in scenario.correct_validators() {
+            if result.culprits[validator] != expected {
+                failures.push(format!(
+                    "{} (seed {}): validator {validator} culprit set {:?} != {expected:?}",
+                    result.name, result.seed, result.culprits[validator]
+                ));
+            }
         }
     }
     assert!(
@@ -44,6 +60,18 @@ fn protocol_cells(prefix: &str) -> Vec<Scenario> {
         .into_iter()
         .filter(|scenario| scenario.name.starts_with(prefix))
         .collect()
+}
+
+#[test]
+fn oracle_battery_includes_evidence_attribution() {
+    let names: Vec<&str> = mahi_mahi::scenarios::default_oracles()
+        .iter()
+        .map(|oracle| oracle.name())
+        .collect();
+    assert!(
+        names.contains(&"evidence-attribution"),
+        "fault attribution must gate every matrix cell: {names:?}"
+    );
 }
 
 #[test]
