@@ -1,0 +1,1467 @@
+//! The sans-I/O validator core: one event-driven state machine shared by
+//! every driver.
+//!
+//! [`ValidatorEngine`] is the paper's validator — receive blocks, advance
+//! rounds, run the commit rule, emit blocks and commits — with every
+//! side-effect reified as data. It owns the local DAG ([`BlockStore`]),
+//! the synchronizer bookkeeping, the [`CommitSequencer`], the
+//! [`EvidencePool`], and Tusk's certified-broadcast ack pipeline, but it
+//! never touches a socket, a clock, a disk, or a thread: drivers feed it
+//! [`Input`]s and carry out the [`Output`]s it returns.
+//!
+//! Three drivers share this core:
+//!
+//! - the **simulator** (`mahimahi-sim`) maps `Broadcast`/`SendTo` onto its
+//!   virtual network, `WakeAt` onto its event heap, and `TxsCommitted`
+//!   onto its latency books;
+//! - the **TCP node** (`mahimahi-node`) maps `Broadcast`/`SendTo` onto the
+//!   length-prefixed transport, `Persist` onto its write-ahead log, and
+//!   `Committed` onto the application channel;
+//! - the **loopback harness** (`mahimahi-node::LoopbackCluster`) maps
+//!   everything onto a deterministic in-memory event queue and records the
+//!   input trace for replay.
+//!
+//! # Determinism contract
+//!
+//! `handle` is a pure function of the engine's construction parameters
+//! (committee provisioning, committer, configuration, strategy) and the
+//! sequence of [`Input`]s handled so far. The engine never reads a wall
+//! clock — time only enters through [`Input::TimerFired`] — and never uses
+//! randomness or iteration over unordered containers to decide an output.
+//! Consequently a recorded input trace replayed into a freshly constructed
+//! engine reproduces the exact output sequence of the original run, byte
+//! for byte; `tests/driver_equivalence.rs` enforces this. Anything that
+//! would break the contract (sockets, `Instant::now`, thread scheduling)
+//! belongs in a driver, not here.
+//!
+//! # Example
+//!
+//! ```
+//! use mahimahi_core::engine::{EngineConfig, Input, Output, ValidatorEngine};
+//! use mahimahi_core::{Committer, CommitterOptions};
+//! use mahimahi_types::{AuthorityIndex, Envelope, TestCommittee};
+//!
+//! let setup = TestCommittee::new(4, 7);
+//! let committer = Committer::new(setup.committee().clone(), CommitterOptions::default());
+//! let mut engine = ValidatorEngine::honest(
+//!     EngineConfig::new(AuthorityIndex(0), setup),
+//!     Box::new(committer),
+//! );
+//! // Genesis already holds a quorum: the first timer produces round 1.
+//! let outputs = engine.handle(Input::TimerFired { now: 0 });
+//! assert!(matches!(&outputs[..], [Output::Persist(_), Output::Broadcast(Envelope::Block(b))]
+//!     if b.round() == 1));
+//! ```
+
+use mahimahi_dag::{BlockStore, InsertResult};
+use mahimahi_types::{
+    AuthorityIndex, Block, BlockBuilder, BlockRef, CodecError, Committee, Decode, Decoder, Encode,
+    Encoder, Envelope, EquivocationProof, Round, Slot, TestCommittee, Transaction,
+};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use crate::evidence::EvidencePool;
+use crate::protocol::ProtocolCommitter;
+use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
+
+/// Engine time in microseconds. The engine is clock-free: this is whatever
+/// monotonic microsecond counter the driver feeds through
+/// [`Input::TimerFired`] (virtual time in the simulator, `Instant`-derived
+/// elapsed time in the node).
+pub type Time = u64;
+
+/// An event fed into the engine by a driver.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// A block arrived (best-effort dissemination).
+    BlockReceived {
+        /// The sending peer (synchronizer requests go back to it).
+        from: usize,
+        /// The received block.
+        block: Arc<Block>,
+    },
+    /// Certified pipeline: a proposal awaiting acknowledgement.
+    ProposalReceived {
+        /// The proposing peer.
+        from: usize,
+        /// The proposed block.
+        block: Arc<Block>,
+    },
+    /// Certified pipeline: an acknowledgement of an own proposal.
+    AckReceived {
+        /// The sending peer.
+        from: usize,
+        /// The acknowledged block.
+        reference: BlockRef,
+        /// The acknowledging validator.
+        voter: AuthorityIndex,
+    },
+    /// Certified pipeline: a certificate releasing a block into the DAG.
+    CertificateReceived {
+        /// The sending peer.
+        from: usize,
+        /// The certified block's reference.
+        reference: BlockRef,
+        /// Signatures aggregated in the certificate.
+        signatures: usize,
+    },
+    /// Synchronizer: a peer asks for the listed blocks.
+    SyncRequest {
+        /// The requesting peer.
+        from: usize,
+        /// The requested block references.
+        references: Vec<BlockRef>,
+    },
+    /// Synchronizer: blocks answering an earlier request.
+    SyncReply {
+        /// The responding peer.
+        from: usize,
+        /// The delivered blocks.
+        blocks: Vec<Arc<Block>>,
+    },
+    /// A gossiped equivocation proof.
+    EvidenceReceived {
+        /// The gossiping peer.
+        from: usize,
+        /// The (untrusted, re-verified) proof.
+        proof: EquivocationProof,
+    },
+    /// A client transaction enters the inclusion queue. `tag` is opaque
+    /// client metadata echoed back through [`Output::TxsCommitted`] when
+    /// the transaction commits in an own block (the simulator stores the
+    /// submission time there). Enqueue-only: inclusion happens at the next
+    /// production, driven by a timer or message input.
+    TxSubmitted {
+        /// The transaction payload.
+        transaction: Transaction,
+        /// Opaque client metadata returned at commit time.
+        tag: u64,
+    },
+    /// The driver's clock advanced to `now`. The only way time enters the
+    /// engine; drivers send it before delivering messages and whenever a
+    /// previously emitted [`Output::WakeAt`] falls due.
+    TimerFired {
+        /// Current driver time (microseconds, monotone).
+        now: Time,
+    },
+}
+
+impl Input {
+    /// Maps a decoded wire message onto the corresponding input.
+    pub fn from_envelope(from: usize, envelope: Envelope) -> Input {
+        match envelope {
+            Envelope::Block(block) => Input::BlockReceived { from, block },
+            Envelope::Proposal(block) => Input::ProposalReceived { from, block },
+            Envelope::Ack { reference, voter } => Input::AckReceived {
+                from,
+                reference,
+                voter,
+            },
+            Envelope::Certificate {
+                reference,
+                signatures,
+            } => Input::CertificateReceived {
+                from,
+                reference,
+                signatures,
+            },
+            Envelope::Request(references) => Input::SyncRequest { from, references },
+            Envelope::Response(blocks) => Input::SyncReply { from, blocks },
+            Envelope::Evidence(proof) => Input::EvidenceReceived { from, proof },
+        }
+    }
+}
+
+/// An effect the engine asks its driver to carry out.
+#[derive(Debug)]
+pub enum Output {
+    /// Send `Envelope` to every other validator.
+    Broadcast(Envelope),
+    /// Send `Envelope` to one peer.
+    SendTo(usize, Envelope),
+    /// A leader slot committed; the sub-DAG extends the total order.
+    Committed(CommittedSubDag),
+    /// Client tags (see [`Input::TxSubmitted`]) of own transactions that
+    /// just committed.
+    TxsCommitted(Vec<u64>),
+    /// Append the record to durable storage. Drivers without persistence
+    /// (the simulator) drop this. The node syncs after own-block and
+    /// evidence records — both must survive a crash (accidental
+    /// equivocation, lost convictions).
+    Persist(WalRecord),
+    /// Call back with [`Input::TimerFired`] no later than the given time.
+    WakeAt(Time),
+    /// A new authority was convicted of equivocation (fired once per
+    /// author, after the proof was verified, recorded, and persisted).
+    Convicted(EquivocationProof),
+}
+
+/// One durable log record, as emitted through [`Output::Persist`] and
+/// replayed through [`ValidatorEngine::restore_block`] /
+/// [`ValidatorEngine::restore_evidence`] at recovery.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// A block that entered (or produced by) this validator.
+    Block(Arc<Block>),
+    /// A verified equivocation conviction.
+    Evidence(EquivocationProof),
+}
+
+const WAL_TAG_BLOCK: u8 = 1;
+const WAL_TAG_EVIDENCE: u8 = 2;
+
+impl Encode for WalRecord {
+    fn encode(&self, encoder: &mut Encoder) {
+        match self {
+            WalRecord::Block(block) => {
+                encoder.put_u8(WAL_TAG_BLOCK);
+                block.as_ref().encode(encoder);
+            }
+            WalRecord::Evidence(proof) => {
+                encoder.put_u8(WAL_TAG_EVIDENCE);
+                proof.encode(encoder);
+            }
+        }
+    }
+}
+
+impl Decode for WalRecord {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match decoder.get_u8()? {
+            WAL_TAG_BLOCK => Ok(WalRecord::Block(Block::decode(decoder)?.into_arc())),
+            WAL_TAG_EVIDENCE => Ok(WalRecord::Evidence(EquivocationProof::decode(decoder)?)),
+            _ => Err(CodecError::InvalidValue("wal record tag")),
+        }
+    }
+}
+
+/// Where a strategy wants a message to go.
+#[derive(Debug)]
+pub enum Route {
+    /// To every other validator, now.
+    Broadcast(Envelope),
+    /// To one peer, now.
+    Send(usize, Envelope),
+    /// To every other validator, but not before `release` (slow-proposer
+    /// pacing; the engine queues the message and emits the wake-up).
+    Delay(Time, Envelope),
+}
+
+/// How produced blocks are built and disseminated.
+///
+/// The engine computes *when* to produce (quorum, pacing, inclusion wait)
+/// and *what goes in* (parents, transactions); the strategy decides how
+/// many variants to build and who receives which. [`HonestProposer`] builds
+/// one block and broadcasts it — the only strategy real deployments run.
+/// The simulator's Byzantine strategies (equivocators, withholding leaders,
+/// slow proposers) live in `mahimahi-sim` and implement this trait, so
+/// attack behavior composes with the shared core instead of forking it.
+pub trait ProposerStrategy: Send {
+    /// Builds and routes the block(s) for the round described by `ctx`.
+    ///
+    /// Implementations must leave the own chain extendable: admit exactly
+    /// one variant locally ([`ProposeCtx::admit_own`]) or, under a
+    /// certified DAG, register exactly one proposal
+    /// ([`ProposeCtx::register_proposal`]).
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>);
+
+    /// Routes a certificate just formed for an own proposal (certified
+    /// DAGs). The default broadcasts it.
+    fn route_certificate(&mut self, certificate: Envelope, reference: BlockRef) -> Vec<Route> {
+        let _ = reference;
+        vec![Route::Broadcast(certificate)]
+    }
+}
+
+/// The protocol-faithful strategy: one block, broadcast to everyone
+/// (proposal first under a certified DAG).
+#[derive(Debug, Default)]
+pub struct HonestProposer;
+
+impl ProposerStrategy for HonestProposer {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let block = ctx.build(None);
+        if ctx.certified() {
+            ctx.register_proposal(block.clone());
+            ctx.broadcast(Envelope::Proposal(block));
+        } else {
+            ctx.admit_own(block.clone());
+            ctx.broadcast(Envelope::Block(block));
+        }
+    }
+}
+
+/// The build-and-route context handed to a [`ProposerStrategy`] for one
+/// production.
+pub struct ProposeCtx<'a> {
+    engine: &'a mut ValidatorEngine,
+    round: Round,
+    parents: Vec<BlockRef>,
+    transactions: Vec<Transaction>,
+    tags: Vec<u64>,
+    routes: Vec<Route>,
+    persists: Vec<WalRecord>,
+}
+
+impl ProposeCtx<'_> {
+    /// The round being produced.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The engine's current time (for pacing strategies).
+    pub fn now(&self) -> Time {
+        self.engine.now
+    }
+
+    /// The producing authority.
+    pub fn authority(&self) -> AuthorityIndex {
+        self.engine.config.authority
+    }
+
+    /// Committee size `n`.
+    pub fn committee_size(&self) -> usize {
+        self.engine.committee.size()
+    }
+
+    /// The committee's fault bound `f`.
+    pub fn f(&self) -> usize {
+        self.engine.committee.f()
+    }
+
+    /// Whether blocks require certification before entering the DAG.
+    pub fn certified(&self) -> bool {
+        self.engine.config.certified
+    }
+
+    /// Builds one signed variant of this round's block over the engine's
+    /// parents and drained transactions. `tag` appends one extra marker
+    /// transaction, letting equivocation strategies mint conflicting
+    /// variants. Every built variant is registered for own-transaction
+    /// commit accounting.
+    pub fn build(&mut self, tag: Option<u64>) -> Arc<Block> {
+        let authority = self.engine.config.authority;
+        let mut builder = BlockBuilder::new(authority, self.round)
+            .parents(self.parents.clone())
+            .transactions(self.transactions.iter().cloned());
+        if let Some(tag) = tag {
+            builder = builder.transaction(Transaction::new(tag.to_le_bytes().to_vec()));
+        }
+        let block = builder
+            .build_with(
+                self.engine.config.setup.keypair(authority),
+                self.engine.config.setup.coin_secret(authority),
+            )
+            .into_arc();
+        self.engine
+            .own_block_txs
+            .insert(block.reference(), self.tags.clone());
+        block
+    }
+
+    /// Admits `block` into the local DAG as this validator's block of the
+    /// round and schedules its persistence.
+    pub fn admit_own(&mut self, block: Arc<Block>) {
+        self.persists.push(WalRecord::Block(block.clone()));
+        self.engine.insert_own(block);
+    }
+
+    /// Registers `block` as a pending own proposal (certified pipeline):
+    /// it enters the DAG only once a certificate forms; the own
+    /// acknowledgement is counted immediately.
+    pub fn register_proposal(&mut self, block: Arc<Block>) {
+        let reference = block.reference();
+        self.engine.pending_proposals.insert(reference, block);
+        self.engine
+            .ack_votes
+            .entry(reference)
+            .or_default()
+            .insert(self.engine.config.authority);
+    }
+
+    /// Routes `envelope` to every other validator.
+    pub fn broadcast(&mut self, envelope: Envelope) {
+        self.routes.push(Route::Broadcast(envelope));
+    }
+
+    /// Routes `envelope` to one peer.
+    pub fn send(&mut self, peer: usize, envelope: Envelope) {
+        self.routes.push(Route::Send(peer, envelope));
+    }
+
+    /// Routes `envelope` to every other validator no earlier than
+    /// `release`.
+    pub fn delay_broadcast(&mut self, release: Time, envelope: Envelope) {
+        self.routes.push(Route::Delay(release, envelope));
+    }
+}
+
+/// Static parameters of a [`ValidatorEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The authority this engine runs as.
+    pub authority: AuthorityIndex,
+    /// Committee provisioning. A production deployment would hand each
+    /// validator only its own secrets; the test committee carries them all
+    /// (the engine uses only its own for signing).
+    pub setup: TestCommittee,
+    /// Whether blocks require certification (consistent broadcast) before
+    /// entering the DAG (Tusk).
+    pub certified: bool,
+    /// Maximum transactions per produced block.
+    pub max_block_transactions: usize,
+    /// How long to keep collecting previous-round blocks after the quorum
+    /// arrived before producing the next round. Real implementations pace
+    /// rounds this way so that far-region blocks stay referenced; advancing
+    /// at the instant of quorum starves the slowest regions and (with short
+    /// waves) skips their leader slots. 0 disables the wait.
+    pub inclusion_wait: Time,
+    /// Minimum spacing between produced rounds (localhost clusters would
+    /// otherwise spin thousands of rounds per second). 0 disables pacing.
+    pub min_round_interval: Time,
+    /// Garbage-collection depth: blocks more than this many rounds below
+    /// the commit frontier are deterministically excluded from commits and
+    /// periodically dropped from memory. `None` disables GC.
+    pub gc_depth: Option<u64>,
+    /// Produce no block with round ≥ this (crash-fault modelling; `None`
+    /// never halts).
+    pub halt_from_round: Option<Round>,
+}
+
+impl EngineConfig {
+    /// An uncertified configuration with no pacing, no GC, and the default
+    /// block capacity — the base both drivers specialize.
+    pub fn new(authority: AuthorityIndex, setup: TestCommittee) -> Self {
+        EngineConfig {
+            authority,
+            setup,
+            certified: false,
+            max_block_transactions: 2_000,
+            inclusion_wait: 0,
+            min_round_interval: 0,
+            gc_depth: None,
+            halt_from_round: None,
+        }
+    }
+}
+
+/// The transport-free, clock-free validator state machine.
+///
+/// See the [module docs](crate::engine) for the driver contract and the
+/// determinism guarantee.
+pub struct ValidatorEngine {
+    config: EngineConfig,
+    committee: Committee,
+    store: BlockStore,
+    evidence: EvidencePool,
+    sequencer: CommitSequencer<Box<dyn ProtocolCommitter>>,
+    strategy: Option<Box<dyn ProposerStrategy>>,
+    /// Driver time, advanced only by [`Input::TimerFired`].
+    now: Time,
+    /// Last round this validator produced a block for.
+    round: Round,
+    /// When the quorum for advancing past `round` was first observed.
+    quorum_since: Option<Time>,
+    /// When the last block was produced (round pacing); `None` before the
+    /// first production so start-up is never delayed.
+    last_production: Option<Time>,
+    /// Messages built but deliberately held back (slow-proposer pacing):
+    /// (release time, message), in release order.
+    pending_out: VecDeque<(Time, Envelope)>,
+    /// Client transactions waiting for inclusion, with their opaque tags.
+    tx_queue: VecDeque<(Transaction, u64)>,
+    /// Blocks in the local DAG that no stored block references yet —
+    /// candidates for the next block's parent list.
+    unreferenced: BTreeSet<BlockRef>,
+    /// Certified pipeline: proposals awaiting a certificate.
+    pending_proposals: HashMap<BlockRef, Arc<Block>>,
+    /// Certified pipeline: acknowledgements collected for own proposals.
+    ack_votes: HashMap<BlockRef, HashSet<AuthorityIndex>>,
+    /// Certified pipeline: own proposals already certified.
+    certified_own: HashSet<BlockRef>,
+    /// Tags of transactions in own blocks, resolved at commit.
+    own_block_txs: HashMap<BlockRef, Vec<u64>>,
+    /// Commit statistics.
+    committed_slots: u64,
+    skipped_slots: u64,
+    sequenced_blocks: u64,
+    committed_transactions: u64,
+    /// The committed leader sequence (`None` = skipped slot), for safety
+    /// checking across validators.
+    commit_log: Vec<Option<BlockRef>>,
+}
+
+impl ValidatorEngine {
+    /// Creates the engine with an explicit [`ProposerStrategy`].
+    pub fn new(
+        config: EngineConfig,
+        committer: Box<dyn ProtocolCommitter>,
+        strategy: Box<dyn ProposerStrategy>,
+    ) -> Self {
+        let committee = config.setup.committee().clone();
+        let store = BlockStore::new(committee.size(), committee.quorum_threshold());
+        let unreferenced = Block::all_genesis(committee.size())
+            .iter()
+            .map(Block::reference)
+            .collect();
+        let mut sequencer = CommitSequencer::new(committer);
+        if let Some(depth) = config.gc_depth {
+            sequencer = sequencer.with_gc_depth(depth);
+        }
+        ValidatorEngine {
+            evidence: EvidencePool::new(committee.clone()),
+            committee,
+            store,
+            sequencer,
+            strategy: Some(strategy),
+            now: 0,
+            round: 0,
+            quorum_since: None,
+            last_production: None,
+            pending_out: VecDeque::new(),
+            tx_queue: VecDeque::new(),
+            unreferenced,
+            pending_proposals: HashMap::new(),
+            ack_votes: HashMap::new(),
+            certified_own: HashSet::new(),
+            own_block_txs: HashMap::new(),
+            committed_slots: 0,
+            skipped_slots: 0,
+            sequenced_blocks: 0,
+            committed_transactions: 0,
+            commit_log: Vec::new(),
+            config,
+        }
+    }
+
+    /// Creates the engine with the protocol-faithful [`HonestProposer`].
+    pub fn honest(config: EngineConfig, committer: Box<dyn ProtocolCommitter>) -> Self {
+        ValidatorEngine::new(config, committer, Box::new(HonestProposer))
+    }
+
+    /// Handles one input, returning the effects for the driver to perform,
+    /// in order. See the module docs for the determinism contract.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let mut outputs = Vec::new();
+        match input {
+            Input::TxSubmitted { transaction, tag } => {
+                // Enqueue-only: inclusion happens at the next production so
+                // batch submissions do not fragment across blocks.
+                self.enqueue_transaction(transaction, tag);
+                return outputs;
+            }
+            Input::TimerFired { now } => {
+                self.now = self.now.max(now);
+            }
+            Input::BlockReceived { from, block } => {
+                self.accept_block(block, from, &mut outputs);
+            }
+            // The certified-pipeline messages exist on the shared wire for
+            // every driver, but an uncertified engine must drop them: a
+            // TCP peer could otherwise grow `pending_proposals`/`ack_votes`
+            // without bound (no certificate ever drains them) or spoof
+            // ack quorums — the acks are voter claims, not signatures, a
+            // simulation-fidelity shortcut acceptable only where the
+            // protocol actually runs certified.
+            Input::ProposalReceived { from, block } => {
+                if !self.config.certified {
+                    return outputs;
+                }
+                let reference = block.reference();
+                self.pending_proposals.insert(reference, block);
+                outputs.push(Output::SendTo(
+                    from,
+                    Envelope::Ack {
+                        reference,
+                        voter: self.config.authority,
+                    },
+                ));
+            }
+            Input::AckReceived {
+                from,
+                reference,
+                voter,
+            } => {
+                if !self.config.certified {
+                    return outputs;
+                }
+                self.on_ack(from, reference, voter, &mut outputs);
+            }
+            Input::CertificateReceived {
+                from, reference, ..
+            } => {
+                if !self.config.certified {
+                    return outputs;
+                }
+                if let Some(block) = self.pending_proposals.remove(&reference) {
+                    self.accept_block(block, from, &mut outputs);
+                } else if !self.store.contains(&reference) {
+                    // Certificate outran the proposal: fetch the block.
+                    outputs.push(Output::SendTo(from, Envelope::Request(vec![reference])));
+                }
+            }
+            Input::SyncRequest { from, references } => {
+                let blocks: Vec<Arc<Block>> = references
+                    .iter()
+                    .filter_map(|reference| self.store.get(reference).cloned())
+                    .collect();
+                if !blocks.is_empty() {
+                    outputs.push(Output::SendTo(from, Envelope::Response(blocks)));
+                }
+                // Evidence catch-up: a peer driving the synchronizer is
+                // repairing gaps (e.g. restarting after an outage) and may
+                // have missed the one-shot conviction gossip; piggyback
+                // this validator's convictions so culprit sets converge
+                // even for validators that were down when proofs flooded.
+                for (_, proof) in self.evidence.iter() {
+                    outputs.push(Output::SendTo(from, Envelope::Evidence(proof.clone())));
+                }
+            }
+            Input::SyncReply { from, blocks } => {
+                for block in blocks {
+                    self.accept_block(block, from, &mut outputs);
+                }
+            }
+            Input::EvidenceReceived { proof, .. } => {
+                self.ingest_evidence(proof, &mut outputs);
+            }
+        }
+        self.advance(&mut outputs);
+        self.commit(&mut outputs);
+        outputs
+    }
+
+    /// Enqueues a client transaction without driving the state machine
+    /// (equivalent to [`Input::TxSubmitted`]).
+    pub fn enqueue_transaction(&mut self, transaction: Transaction, tag: u64) {
+        self.tx_queue.push_back((transaction, tag));
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (used by the node before the first `handle`).
+
+    /// Re-inserts a block from durable storage: no outputs, no gossip.
+    /// Invalid blocks are skipped; own blocks advance the produced-round
+    /// watermark even when their ancestry is still missing (a torn log
+    /// tail must not cause accidental equivocation). Evidence surfaced by
+    /// replayed conflicts is convicted silently.
+    pub fn restore_block(&mut self, block: Arc<Block>) {
+        if block.verify(&self.committee).is_err() {
+            return;
+        }
+        if block.author() == self.config.authority {
+            self.round = self.round.max(block.round());
+        }
+        if let Ok(InsertResult::Inserted(admitted)) = self.store.insert(block) {
+            for reference in admitted {
+                self.note_admitted(reference);
+            }
+        }
+        for proof in self.store.take_equivocation_evidence() {
+            let _ = self.evidence.submit(proof);
+        }
+    }
+
+    /// Re-submits a persisted conviction: no outputs, no re-gossip.
+    pub fn restore_evidence(&mut self, proof: EquivocationProof) {
+        let _ = self.evidence.submit(proof);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The authority this engine runs as.
+    pub fn authority(&self) -> AuthorityIndex {
+        self.config.authority
+    }
+
+    /// The local DAG.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The evidence pool (verified convictions, slashing hooks).
+    pub fn evidence(&self) -> &EvidencePool {
+        &self.evidence
+    }
+
+    /// Mutable evidence pool access (for registering slashing hooks).
+    pub fn evidence_mut(&mut self) -> &mut EvidencePool {
+        &mut self.evidence
+    }
+
+    /// The authorities this engine has convicted of equivocation, in index
+    /// order.
+    pub fn convicted(&self) -> Vec<AuthorityIndex> {
+        self.evidence.convicted()
+    }
+
+    /// Last produced round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The engine's current (driver-fed) time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Transactions waiting for inclusion.
+    pub fn queued_transactions(&self) -> usize {
+        self.tx_queue.len()
+    }
+
+    /// The committed leader sequence so far (`None` entries are skipped
+    /// slots). Any two honest validators' logs must be prefix-consistent —
+    /// the safety property of Lemmas 5–7.
+    pub fn commit_log(&self) -> &[Option<BlockRef>] {
+        &self.commit_log
+    }
+
+    /// Committed leader slots so far.
+    pub fn committed_slots(&self) -> u64 {
+        self.committed_slots
+    }
+
+    /// Skipped leader slots so far.
+    pub fn skipped_slots(&self) -> u64 {
+        self.skipped_slots
+    }
+
+    /// Blocks linearized into the total order so far.
+    pub fn sequenced_blocks(&self) -> u64 {
+        self.sequenced_blocks
+    }
+
+    /// Transactions committed (across all authors) so far.
+    pub fn committed_transactions(&self) -> u64 {
+        self.committed_transactions
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+
+    /// Validates and inserts a block, driving the synchronizer on gaps.
+    fn accept_block(&mut self, block: Arc<Block>, from: usize, outputs: &mut Vec<Output>) {
+        if block.verify(&self.committee).is_err() {
+            return; // invalid blocks are dropped (paper: discarded)
+        }
+        // Persist before acting: recovery must see everything acted on.
+        outputs.push(Output::Persist(WalRecord::Block(block.clone())));
+        match self.store.insert(block) {
+            Ok(InsertResult::Inserted(admitted)) => {
+                for reference in admitted {
+                    self.note_admitted(reference);
+                }
+                self.harvest_evidence(outputs);
+            }
+            Ok(InsertResult::Pending(missing)) => {
+                outputs.push(Output::SendTo(from, Envelope::Request(missing)));
+            }
+            Ok(InsertResult::Duplicate) | Ok(InsertResult::BelowGcFloor) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Certified pipeline: counts an acknowledgement of an own proposal
+    /// and forms the certificate at quorum.
+    fn on_ack(
+        &mut self,
+        from: usize,
+        reference: BlockRef,
+        voter: AuthorityIndex,
+        outputs: &mut Vec<Output>,
+    ) {
+        if reference.author != self.config.authority || self.certified_own.contains(&reference) {
+            return;
+        }
+        let votes = self.ack_votes.entry(reference).or_default();
+        votes.insert(voter);
+        if votes.len() < self.committee.quorum_threshold() {
+            return;
+        }
+        let signatures = votes.len();
+        self.certified_own.insert(reference);
+        let certificate = Envelope::Certificate {
+            reference,
+            signatures,
+        };
+        let mut strategy = self.strategy.take().expect("strategy present");
+        let routes = strategy.route_certificate(certificate, reference);
+        self.strategy = Some(strategy);
+        self.apply_routes(routes, outputs);
+        // Apply the certificate locally.
+        if let Some(block) = self.pending_proposals.remove(&reference) {
+            self.accept_block(block, from, outputs);
+        }
+    }
+
+    /// Collects proofs the store emitted at admission, convicting locally
+    /// and gossiping each *new* conviction once.
+    fn harvest_evidence(&mut self, outputs: &mut Vec<Output>) {
+        for proof in self.store.take_equivocation_evidence() {
+            self.ingest_evidence(proof, outputs);
+        }
+    }
+
+    /// Convicts through the evidence pool; first-time convictions are
+    /// persisted, re-broadcast (flood-once gossip), and surfaced to the
+    /// driver. Invalid proofs from untrusted peers are dropped.
+    fn ingest_evidence(&mut self, proof: EquivocationProof, outputs: &mut Vec<Output>) {
+        if self.evidence.submit(proof.clone()) == Ok(true) {
+            outputs.push(Output::Persist(WalRecord::Evidence(proof.clone())));
+            outputs.push(Output::Broadcast(Envelope::Evidence(proof.clone())));
+            outputs.push(Output::Convicted(proof));
+        }
+    }
+
+    /// Bookkeeping for a block that joined the DAG: maintain the
+    /// unreferenced-tips set.
+    fn note_admitted(&mut self, reference: BlockRef) {
+        let parents: Vec<BlockRef> = self
+            .store
+            .get(&reference)
+            .map(|block| block.parents().to_vec())
+            .unwrap_or_default();
+        for parent in parents {
+            self.unreferenced.remove(&parent);
+        }
+        self.unreferenced.insert(reference);
+    }
+
+    fn insert_own(&mut self, block: Arc<Block>) {
+        if let Ok(InsertResult::Inserted(admitted)) = self.store.insert(block) {
+            for reference in admitted {
+                self.note_admitted(reference);
+            }
+        }
+    }
+
+    /// Produces blocks while the previous round holds a quorum and the
+    /// pacing gates (inclusion wait, round interval) are open; releases
+    /// paced messages that came due.
+    fn advance(&mut self, outputs: &mut Vec<Output>) {
+        // Release deliberately-delayed messages that have come due
+        // (slow-proposer pacing), and re-arm the wake-up for the rest.
+        while self
+            .pending_out
+            .front()
+            .is_some_and(|&(release, _)| release <= self.now)
+        {
+            let (_, envelope) = self.pending_out.pop_front().expect("checked front");
+            outputs.push(Output::Broadcast(envelope));
+        }
+        if let Some(&(release, _)) = self.pending_out.front() {
+            outputs.push(Output::WakeAt(release));
+        }
+        loop {
+            let next = self.round + 1;
+            if self.config.halt_from_round.is_some_and(|halt| next >= halt) {
+                break;
+            }
+            let quorum = self.committee.quorum_threshold();
+            let present = self.store.authorities_at_round(self.round).len();
+            if present < quorum {
+                self.quorum_since = None;
+                break;
+            }
+            // For certified protocols the own previous block must itself be
+            // certified (in store) before extending it; after recovery the
+            // own block may also still be pending missing ancestry.
+            if self.round > 0
+                && self
+                    .store
+                    .blocks_in_slot(Slot::new(self.round, self.config.authority))
+                    .is_empty()
+            {
+                break;
+            }
+            // Round pacing (the node's localhost throttle).
+            if self.config.min_round_interval > 0 {
+                if let Some(last) = self.last_production {
+                    let ready_at = last + self.config.min_round_interval;
+                    if self.now < ready_at {
+                        outputs.push(Output::WakeAt(ready_at));
+                        break;
+                    }
+                }
+            }
+            // Post-quorum inclusion wait — skipped once every validator's
+            // block is already here (nothing left to wait for).
+            if present < self.committee.size() && self.config.inclusion_wait > 0 {
+                let since = *self.quorum_since.get_or_insert(self.now);
+                let ready_at = since + self.config.inclusion_wait;
+                if self.now < ready_at {
+                    outputs.push(Output::WakeAt(ready_at));
+                    break;
+                }
+            }
+            self.quorum_since = None;
+            self.produce(next, outputs);
+            self.round = next;
+            self.last_production = Some(self.now);
+        }
+    }
+
+    /// Builds and disseminates the block for `round` through the strategy.
+    fn produce(&mut self, round: Round, outputs: &mut Vec<Output>) {
+        // Parents: own previous block first, then every block of the
+        // previous round, then older unreferenced tips (straggler
+        // support). Blocks authored by convicted equivocators are shunned
+        // (beyond the mandatory own-chain link): referencing a proven liar
+        // only lends its forks weight. One exception keeps blocks valid —
+        // the parent list must still span a quorum of previous-round
+        // authors (the block-validity rule every peer checks), so when the
+        // only quorum available runs through convicted authors, just
+        // enough of their blocks are re-admitted. Without the floor the
+        // produced block would be dropped by every peer and the DAG would
+        // stall the moment a conviction lands mid-outage.
+        let authority = self.config.authority;
+        let own_previous = self
+            .store
+            .blocks_in_slot(Slot::new(round - 1, authority))
+            .first()
+            .map(|block| block.reference())
+            .expect("own chain extends round by round");
+        let mut parents = vec![own_previous];
+        let mut seen: HashSet<BlockRef> = parents.iter().copied().collect();
+        let mut previous_round_authors: HashSet<AuthorityIndex> =
+            std::iter::once(authority).collect();
+        let mut shunned: Vec<BlockRef> = Vec::new();
+        for block in self.store.blocks_at_round(round - 1) {
+            let reference = block.reference();
+            if reference.author != authority && self.evidence.is_convicted(reference.author) {
+                shunned.push(reference);
+                continue;
+            }
+            if seen.insert(reference) {
+                parents.push(reference);
+                previous_round_authors.insert(reference.author);
+            }
+        }
+        let quorum = self.committee.quorum_threshold();
+        for reference in shunned {
+            if previous_round_authors.len() >= quorum {
+                break;
+            }
+            if previous_round_authors.insert(reference.author) {
+                seen.insert(reference);
+                parents.push(reference);
+            }
+        }
+        for &reference in &self.unreferenced {
+            if reference.author != authority && self.evidence.is_convicted(reference.author) {
+                continue;
+            }
+            if reference.round < round - 1 && seen.insert(reference) {
+                parents.push(reference);
+            }
+        }
+
+        // Pull transactions from the client queue.
+        let take = self.tx_queue.len().min(self.config.max_block_transactions);
+        let mut transactions = Vec::with_capacity(take);
+        let mut tags = Vec::with_capacity(take);
+        for _ in 0..take {
+            let (transaction, tag) = self.tx_queue.pop_front().expect("checked length");
+            transactions.push(transaction);
+            tags.push(tag);
+        }
+
+        let mut strategy = self.strategy.take().expect("strategy present");
+        let mut ctx = ProposeCtx {
+            engine: self,
+            round,
+            parents,
+            transactions,
+            tags,
+            routes: Vec::new(),
+            persists: Vec::new(),
+        };
+        strategy.propose(&mut ctx);
+        let ProposeCtx {
+            routes, persists, ..
+        } = ctx;
+        self.strategy = Some(strategy);
+        // Durability before dissemination (crash recovery resumes from the
+        // produced block, preventing accidental equivocation).
+        for record in persists {
+            outputs.push(Output::Persist(record));
+        }
+        self.apply_routes(routes, outputs);
+        // Own inserts can complete a buffered conflicting pair through the
+        // waiter chain; collect whatever the store emitted.
+        self.harvest_evidence(outputs);
+    }
+
+    fn apply_routes(&mut self, routes: Vec<Route>, outputs: &mut Vec<Output>) {
+        for route in routes {
+            match route {
+                Route::Broadcast(envelope) => outputs.push(Output::Broadcast(envelope)),
+                Route::Send(peer, envelope) => outputs.push(Output::SendTo(peer, envelope)),
+                Route::Delay(release, envelope) => {
+                    self.pending_out.push_back((release, envelope));
+                    outputs.push(Output::WakeAt(release));
+                }
+            }
+        }
+    }
+
+    /// Runs the commit rule, emitting sub-DAGs and own-transaction tags,
+    /// then compacts the store once the GC floor moved far enough.
+    fn commit(&mut self, outputs: &mut Vec<Output>) {
+        for decision in self.sequencer.try_commit(&self.store) {
+            match decision {
+                CommitDecision::Skip(..) => {
+                    self.skipped_slots += 1;
+                    self.commit_log.push(None);
+                }
+                CommitDecision::Commit(sub_dag) => {
+                    self.commit_log.push(Some(sub_dag.leader));
+                    self.committed_slots += 1;
+                    self.sequenced_blocks += sub_dag.blocks.len() as u64;
+                    let mut tags = Vec::new();
+                    for block in &sub_dag.blocks {
+                        self.committed_transactions += block.transactions().len() as u64;
+                        if block.author() == self.config.authority {
+                            if let Some(mine) = self.own_block_txs.remove(&block.reference()) {
+                                tags.extend(mine);
+                            }
+                        }
+                    }
+                    outputs.push(Output::Committed(sub_dag));
+                    if !tags.is_empty() {
+                        outputs.push(Output::TxsCommitted(tags));
+                    }
+                }
+            }
+        }
+        // Periodic garbage collection once the frontier moved far enough
+        // past the last cutoff.
+        if self.config.gc_depth.is_some() {
+            let floor = self.sequencer.gc_floor();
+            if floor >= self.store.gc_cutoff() + 64 {
+                self.store.compact(floor);
+                self.unreferenced
+                    .retain(|reference| reference.round >= floor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committer::{Committer, CommitterOptions};
+    use mahimahi_dag::DagBuilder;
+
+    fn engine(authority: u32, certified: bool) -> ValidatorEngine {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(authority), setup);
+        config.certified = certified;
+        config.max_block_transactions = 100;
+        ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        )
+    }
+
+    fn broadcast_blocks(outputs: &[Output]) -> Vec<Arc<Block>> {
+        outputs
+            .iter()
+            .filter_map(|output| match output {
+                Output::Broadcast(Envelope::Block(block)) => Some(block.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn produces_round_one_at_startup() {
+        let mut engine = engine(0, false);
+        let outputs = engine.handle(Input::TimerFired { now: 0 });
+        assert_eq!(engine.round(), 1);
+        let blocks = broadcast_blocks(&outputs);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].round(), 1);
+        // Durability precedes dissemination.
+        assert!(matches!(
+            &outputs[..],
+            [Output::Persist(WalRecord::Block(_)), Output::Broadcast(_)]
+        ));
+    }
+
+    #[test]
+    fn halted_engine_produces_nothing() {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(0), setup);
+        config.halt_from_round = Some(0);
+        let mut engine = ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::default())),
+        );
+        assert!(engine.handle(Input::TimerFired { now: 0 }).is_empty());
+        assert_eq!(engine.round(), 0);
+    }
+
+    #[test]
+    fn transactions_flow_into_blocks_with_tags_returned_at_commit() {
+        let mut engines: Vec<ValidatorEngine> = (0..4).map(|a| engine(a, false)).collect();
+        engines[0].handle(Input::TxSubmitted {
+            transaction: Transaction::benchmark(9),
+            tag: 555,
+        });
+        assert_eq!(engines[0].queued_transactions(), 1);
+        // Flood-deliver every broadcast block (up to a round horizon) so
+        // validator 0's round-1 block commits; the submission tag must come
+        // back through TxsCommitted on engine 0.
+        let mut tags = Vec::new();
+        let mut inflight: VecDeque<(usize, Arc<Block>)> = VecDeque::new();
+        for engine in engines.iter_mut() {
+            let from = engine.authority().as_usize();
+            let outputs = engine.handle(Input::TimerFired { now: 0 });
+            inflight.extend(broadcast_blocks(&outputs).into_iter().map(|b| (from, b)));
+        }
+        while let Some((from, block)) = inflight.pop_front() {
+            if block.round() > 12 {
+                continue; // bound the lockstep flood
+            }
+            for (to, engine) in engines.iter_mut().enumerate() {
+                if to == from {
+                    continue;
+                }
+                let outputs = engine.handle(Input::BlockReceived {
+                    from,
+                    block: block.clone(),
+                });
+                if to == 0 {
+                    for output in &outputs {
+                        if let Output::TxsCommitted(mine) = output {
+                            tags.extend(mine.iter().copied());
+                        }
+                    }
+                }
+                inflight.extend(broadcast_blocks(&outputs).into_iter().map(|b| (to, b)));
+            }
+        }
+        assert_eq!(engines[0].queued_transactions(), 0, "transaction included");
+        assert!(engines[0].committed_transactions() > 0);
+        assert_eq!(tags, vec![555], "client tag returned exactly once");
+    }
+
+    #[test]
+    fn certified_engine_waits_for_certificate() {
+        let mut engine = engine(0, true);
+        let outputs = engine.handle(Input::TimerFired { now: 0 });
+        let proposal = match &outputs[..] {
+            [Output::Broadcast(Envelope::Proposal(block))] => block.clone(),
+            other => panic!("expected proposal broadcast, got {other:?}"),
+        };
+        // Not in the DAG yet: the round counter advanced but the store has
+        // no round-1 block until the certificate forms.
+        assert_eq!(engine.store().blocks_at_round(1).len(), 0);
+        let reference = proposal.reference();
+        let more = engine.handle(Input::AckReceived {
+            from: 1,
+            reference,
+            voter: AuthorityIndex(1),
+        });
+        assert!(more.is_empty());
+        let more = engine.handle(Input::AckReceived {
+            from: 2,
+            reference,
+            voter: AuthorityIndex(2),
+        });
+        assert!(more
+            .iter()
+            .any(|output| matches!(output, Output::Broadcast(Envelope::Certificate { .. }))));
+        assert_eq!(engine.store().blocks_at_round(1).len(), 1);
+    }
+
+    #[test]
+    fn uncertified_engine_drops_certified_pipeline_messages() {
+        // A TCP peer can always put Proposal/Ack/Certificate frames on the
+        // shared wire; an uncertified engine must not buffer, ack, or act
+        // on them (unbounded pending_proposals / spoofed ack quorums).
+        let mut engine = engine(0, false);
+        engine.handle(Input::TimerFired { now: 0 });
+        let own = engine.store().blocks_at_round(1)[0].clone();
+        let reference = own.reference();
+        assert!(engine
+            .handle(Input::ProposalReceived {
+                from: 1,
+                block: own
+            })
+            .is_empty());
+        assert!(engine
+            .handle(Input::AckReceived {
+                from: 1,
+                reference,
+                voter: AuthorityIndex(1),
+            })
+            .is_empty());
+        assert!(engine
+            .handle(Input::AckReceived {
+                from: 2,
+                reference,
+                voter: AuthorityIndex(2),
+            })
+            .is_empty());
+        assert!(engine
+            .handle(Input::CertificateReceived {
+                from: 1,
+                reference,
+                signatures: 3,
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_ancestry_triggers_synchronizer() {
+        let setup = TestCommittee::new(4, 7);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_round();
+        let r2 = dag.add_full_round();
+        let block = dag.store().get(&r2[1]).unwrap().clone();
+
+        let mut engine = engine(0, false);
+        let outputs = engine.handle(Input::BlockReceived { from: 1, block });
+        assert!(outputs.iter().any(|output| matches!(output,
+            Output::SendTo(1, Envelope::Request(references)) if !references.is_empty())));
+    }
+
+    #[test]
+    fn sync_requests_answered_with_blocks_and_convictions() {
+        let mut engine = engine(0, false);
+        engine.handle(Input::TimerFired { now: 0 });
+        let own = engine
+            .store()
+            .blocks_at_round(1)
+            .first()
+            .map(|block| block.reference())
+            .unwrap();
+        let outputs = engine.handle(Input::SyncRequest {
+            from: 3,
+            references: vec![own],
+        });
+        assert!(
+            matches!(&outputs[..], [Output::SendTo(3, Envelope::Response(blocks))]
+                if blocks.len() == 1)
+        );
+    }
+
+    #[test]
+    fn evidence_is_persisted_gossiped_and_surfaced_once() {
+        let setup = TestCommittee::new(4, 7);
+        let proof = conflicting_pair(&setup, 2);
+        let mut engine = engine(0, false);
+        // Produce round 1 first so the evidence handle emits nothing else.
+        engine.handle(Input::TimerFired { now: 0 });
+        let outputs = engine.handle(Input::EvidenceReceived {
+            from: 1,
+            proof: proof.clone(),
+        });
+        assert!(matches!(
+            &outputs[..],
+            [
+                Output::Persist(WalRecord::Evidence(_)),
+                Output::Broadcast(Envelope::Evidence(_)),
+                Output::Convicted(_),
+            ]
+        ));
+        assert_eq!(engine.convicted(), vec![AuthorityIndex(2)]);
+        // A second proof against the same author is deduplicated silently.
+        let again = engine.handle(Input::EvidenceReceived { from: 3, proof });
+        assert!(again.is_empty());
+    }
+
+    fn conflicting_pair(setup: &TestCommittee, author: u32) -> EquivocationProof {
+        EquivocationProof::synthetic(setup, AuthorityIndex(author))
+    }
+
+    #[test]
+    fn convicted_authors_are_excluded_from_parent_selection() {
+        // Validator 0 convicts authority 2, then sees all four round-1
+        // blocks before producing round 2 (the inclusion wait holds
+        // production open): the convicted author's block must be in the
+        // store yet absent from the parent list.
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let proof = conflicting_pair(&setup, 2);
+        let mut config = EngineConfig::new(AuthorityIndex(0), setup.clone());
+        config.inclusion_wait = 1_000;
+        let mut engine = ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        );
+        // Round 1 production happens before the conviction (genesis is
+        // complete, so the wait does not apply).
+        engine.handle(Input::TimerFired { now: 0 });
+        engine.handle(Input::EvidenceReceived { from: 1, proof });
+        assert_eq!(engine.convicted(), vec![AuthorityIndex(2)]);
+
+        // Deliver the peers' round-1 blocks (including the culprit's).
+        let mut dag = DagBuilder::new(setup.clone());
+        let r1 = dag.add_full_round();
+        let mut produced = Vec::new();
+        for reference in &r1 {
+            if reference.author == AuthorityIndex(0) {
+                continue; // own round-1 block was produced locally
+            }
+            let block = dag.store().get(reference).unwrap().clone();
+            let outputs = engine.handle(Input::BlockReceived {
+                from: reference.author.as_usize(),
+                block,
+            });
+            produced.extend(broadcast_blocks(&outputs));
+        }
+        // All four present: production fired without waiting further…
+        assert_eq!(engine.round(), 2);
+        assert_eq!(produced.len(), 1);
+        let block = &produced[0];
+        assert_eq!(block.round(), 2);
+        // …with a quorum of honest parents and no reference to the
+        // convicted equivocator.
+        assert!(
+            block
+                .parents()
+                .iter()
+                .all(|parent| parent.author != AuthorityIndex(2)),
+            "convicted author referenced: {:?}",
+            block.parents()
+        );
+        assert_eq!(block.parents().len(), 3);
+        assert!(block.verify(setup.committee()).is_ok());
+        // The culprit's block is in the store (admission is unchanged —
+        // only parent selection shuns it).
+        assert_eq!(engine.store().blocks_at_round(1).len(), 4);
+    }
+
+    #[test]
+    fn parent_quorum_floor_readmits_convicted_blocks_when_unavoidable() {
+        // Only the convicted author and one honest peer are present at
+        // round 1: shunning the culprit outright would make the produced
+        // block invalid (parent quorum < 2f + 1) and stall the DAG, so
+        // exactly enough convicted blocks are re-admitted.
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let proof = conflicting_pair(&setup, 2);
+        let mut engine = ValidatorEngine::honest(
+            EngineConfig::new(AuthorityIndex(0), setup.clone()),
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        );
+        engine.handle(Input::TimerFired { now: 0 });
+        engine.handle(Input::EvidenceReceived { from: 1, proof });
+
+        let mut dag = DagBuilder::new(setup.clone());
+        let r1 = dag.add_full_round();
+        let mut produced = Vec::new();
+        for reference in &r1 {
+            // Deliver only authorities 1 and 2 (2 is convicted): quorum
+            // completes with the culprit as its third member.
+            if !matches!(reference.author.0, 1 | 2) {
+                continue;
+            }
+            let block = dag.store().get(reference).unwrap().clone();
+            let outputs = engine.handle(Input::BlockReceived {
+                from: reference.author.as_usize(),
+                block,
+            });
+            produced.extend(broadcast_blocks(&outputs));
+        }
+        assert_eq!(engine.round(), 2, "the floor must keep the DAG live");
+        assert_eq!(produced.len(), 1);
+        let block = &produced[0];
+        assert!(
+            block
+                .parents()
+                .iter()
+                .any(|parent| parent.author == AuthorityIndex(2)),
+            "the validity floor re-admits the convicted parent"
+        );
+        assert!(block.verify(setup.committee()).is_ok());
+    }
+
+    #[test]
+    fn restore_round_trips_blocks_and_evidence() {
+        let setup = TestCommittee::new(4, 7);
+        let proof = conflicting_pair(&setup, 3);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_rounds(2);
+
+        let mut engine = engine(0, false);
+        for block in dag.store().iter() {
+            if block.round() > 0 {
+                engine.restore_block(block.clone());
+            }
+        }
+        engine.restore_evidence(proof);
+        assert_eq!(engine.round(), 2, "own produced round recovered");
+        assert_eq!(engine.store().highest_round(), 2);
+        assert_eq!(engine.convicted(), vec![AuthorityIndex(3)]);
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let setup = TestCommittee::new(4, 7);
+        let block = Block::genesis(AuthorityIndex(1)).into_arc();
+        let records = vec![
+            WalRecord::Block(block.clone()),
+            WalRecord::Evidence(conflicting_pair(&setup, 1)),
+        ];
+        for record in records {
+            let bytes = record.to_bytes_vec();
+            let decoded = WalRecord::from_bytes_exact(&bytes).unwrap();
+            match (&record, &decoded) {
+                (WalRecord::Block(a), WalRecord::Block(b)) => {
+                    assert_eq!(a.reference(), b.reference());
+                }
+                (WalRecord::Evidence(a), WalRecord::Evidence(b)) => assert_eq!(a, b),
+                _ => panic!("record kind changed in round trip"),
+            }
+        }
+        assert!(WalRecord::from_bytes_exact(&[7]).is_err());
+    }
+
+    #[test]
+    fn inclusion_wait_paces_production() {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(0), setup.clone());
+        config.inclusion_wait = 1_000;
+        let mut engine = ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        );
+        // Genesis is complete (all four present): round 1 comes instantly.
+        engine.handle(Input::TimerFired { now: 0 });
+        assert_eq!(engine.round(), 1);
+        // Deliver only a quorum (not all) of round-1 peers: the engine
+        // must wait out the inclusion window before producing round 2.
+        let mut dag = DagBuilder::new(setup);
+        let r1 = dag.add_full_round();
+        let mut outputs = Vec::new();
+        for reference in r1.iter().filter(|r| r.author.0 != 0).take(2) {
+            let block = dag.store().get(reference).unwrap().clone();
+            outputs = engine.handle(Input::BlockReceived {
+                from: reference.author.as_usize(),
+                block,
+            });
+        }
+        assert_eq!(engine.round(), 1, "must wait for the inclusion window");
+        assert!(outputs
+            .iter()
+            .any(|output| matches!(output, Output::WakeAt(1_000))));
+        let outputs = engine.handle(Input::TimerFired { now: 1_000 });
+        assert_eq!(engine.round(), 2);
+        assert_eq!(broadcast_blocks(&outputs).len(), 1);
+    }
+}

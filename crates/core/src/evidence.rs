@@ -20,8 +20,10 @@ use std::fmt;
 /// Hooks receive the verified proof; implementations decide what
 /// "slashing" means in their deployment (stake burn, jailing, paging an
 /// operator). Hooks must be infallible — by the time one fires, the
-/// evidence has already been verified and recorded.
-pub trait SlashingHook {
+/// evidence has already been verified and recorded. `Send` because the
+/// pool lives inside the validator engine, which the node moves onto its
+/// protocol thread.
+pub trait SlashingHook: Send {
     /// Called when `proof` convicts an author not previously convicted.
     fn on_equivocation(&mut self, proof: &EquivocationProof);
 }
@@ -177,9 +179,7 @@ impl fmt::Debug for EvidencePool {
 mod tests {
     use super::*;
     use mahimahi_types::{Block, BlockBuilder, BlockRef, TestCommittee, Transaction};
-    use std::cell::RefCell;
-    use std::rc::Rc;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     fn setup() -> TestCommittee {
         TestCommittee::new(4, 3)
@@ -211,11 +211,11 @@ mod tests {
 
     /// A hook writing into a shared cell so the test can observe firings
     /// while the pool owns the hook box.
-    struct SharedHook(Rc<RefCell<Vec<AuthorityIndex>>>);
+    struct SharedHook(Arc<Mutex<Vec<AuthorityIndex>>>);
 
     impl SlashingHook for SharedHook {
         fn on_equivocation(&mut self, proof: &EquivocationProof) {
-            self.0.borrow_mut().push(proof.author());
+            self.0.lock().unwrap().push(proof.author());
         }
     }
 
@@ -223,8 +223,8 @@ mod tests {
     fn valid_proof_convicts_once_and_fires_hooks() {
         let setup = setup();
         let mut pool = EvidencePool::new(setup.committee().clone());
-        let fired = Rc::new(RefCell::new(Vec::new()));
-        pool.register_hook(Box::new(SharedHook(Rc::clone(&fired))));
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        pool.register_hook(Box::new(SharedHook(Arc::clone(&fired))));
 
         assert!(pool.submit(proof(&setup, 2, (1, 2))).unwrap());
         assert!(pool.is_convicted(mahimahi_types::AuthorityIndex(2)));
@@ -232,7 +232,10 @@ mod tests {
         // Different conflicting pair, same author: deduplicated, no re-fire.
         assert!(!pool.submit(proof(&setup, 2, (3, 4))).unwrap());
         assert_eq!(pool.len(), 1);
-        assert_eq!(*fired.borrow(), vec![mahimahi_types::AuthorityIndex(2)]);
+        assert_eq!(
+            *fired.lock().unwrap(),
+            vec![mahimahi_types::AuthorityIndex(2)]
+        );
         // The original proof is kept.
         let kept = pool
             .proof_against(mahimahi_types::AuthorityIndex(2))

@@ -41,6 +41,7 @@
 mod committer;
 mod decider;
 mod election;
+pub mod engine;
 mod evidence;
 mod protocol;
 mod sequencer;
@@ -48,6 +49,10 @@ mod status;
 
 pub use committer::{Committer, CommitterOptions};
 pub use election::{CoinElector, FixedElector, LeaderElector};
+pub use engine::{
+    EngineConfig, HonestProposer, Input, Output, ProposeCtx, ProposerStrategy, Route,
+    ValidatorEngine, WalRecord,
+};
 pub use evidence::{EvidencePool, RecordingSlashingHook, SlashingHook};
 pub use protocol::ProtocolCommitter;
 pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};

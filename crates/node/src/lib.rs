@@ -11,9 +11,11 @@
 //! and integration tests.
 
 mod cluster;
+mod loopback;
 mod node;
 mod wire;
 
 pub use cluster::LocalCluster;
+pub use loopback::{LoopbackCluster, LoopbackConfig};
 pub use node::{NodeConfig, NodeHandle, ValidatorNode};
 pub use wire::NodeMessage;

@@ -1,17 +1,35 @@
-//! The networked validator: protocol loop, WAL persistence, recovery.
+//! The networked validator: a thin transport/WAL/clock shell over the
+//! shared sans-I/O engine.
+//!
+//! All consensus logic — DAG admission, synchronization, round pacing,
+//! block production, the commit rule, evidence handling — lives in the
+//! shared [`ValidatorEngine`] (`mahimahi-core`), the same state machine
+//! the simulator drives. This shell only maps engine effects onto the
+//! real world:
+//!
+//! - [`Output::Broadcast`]/[`Output::SendTo`] → the length-prefixed TCP
+//!   [`Transport`];
+//! - [`Output::Persist`] → the write-ahead log (own blocks and evidence
+//!   are fsynced before dissemination: crash recovery must never cause
+//!   accidental equivocation or lose a conviction);
+//! - [`Output::Committed`] → the application's commit channel;
+//! - time → [`Input::TimerFired`] from an `Instant`-derived microsecond
+//!   counter, fed once per poll-loop iteration (which bounds every
+//!   [`Output::WakeAt`] request by the 2 ms poll timeout).
+//!
+//! Recovery replays the WAL's [`WalRecord`]s into the engine before the
+//! first input: blocks rebuild the DAG and the produced-round watermark,
+//! evidence records restore convictions.
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mahimahi_core::{
-    CommitDecision, CommitSequencer, CommittedSubDag, Committer, CommitterOptions,
+    engine::{EngineConfig, Input, Time as EngineTime},
+    CommittedSubDag, Committer, CommitterOptions, EvidencePool, Output, ValidatorEngine, WalRecord,
 };
-use mahimahi_dag::{BlockStore, InsertResult};
+use mahimahi_dag::BlockStore;
 use mahimahi_transport::Transport;
-use mahimahi_types::{
-    AuthorityIndex, Block, BlockBuilder, BlockRef, Decode, Encode, Round, TestCommittee,
-    Transaction,
-};
+use mahimahi_types::{AuthorityIndex, Decode, Encode, Round, TestCommittee, Transaction};
 use mahimahi_wal::{FileWal, MemStorage, Wal};
-use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +56,11 @@ pub struct NodeConfig {
     /// Minimum spacing between produced rounds (pacing; localhost clusters
     /// would otherwise spin thousands of rounds per second).
     pub min_round_interval: Duration,
+    /// How long to keep collecting previous-round blocks after the quorum
+    /// arrived before producing the next round — the simulator's
+    /// post-quorum pacing knob, exposed here so both drivers configure the
+    /// engine identically. Zero (the default) advances at quorum.
+    pub inclusion_wait: Duration,
     /// Garbage-collection depth: blocks more than this many rounds below
     /// the commit frontier are deterministically excluded from commits and
     /// periodically dropped from memory. `None` disables GC.
@@ -54,8 +77,20 @@ impl NodeConfig {
             wal_path: None,
             max_block_transactions: 1_000,
             min_round_interval: Duration::from_millis(2),
+            inclusion_wait: Duration::ZERO,
             gc_depth: Some(128),
         }
+    }
+
+    /// The engine configuration both this node and the test harnesses
+    /// derive from these parameters.
+    fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::new(self.authority, self.setup.clone());
+        config.max_block_transactions = self.max_block_transactions;
+        config.min_round_interval = self.min_round_interval.as_micros() as EngineTime;
+        config.inclusion_wait = self.inclusion_wait.as_micros() as EngineTime;
+        config.gc_depth = self.gc_depth;
+        config
     }
 }
 
@@ -133,85 +168,80 @@ impl AnyWal {
 
 /// A networked Mahi-Mahi validator.
 pub struct ValidatorNode {
-    config: NodeConfig,
+    authority: AuthorityIndex,
     transport: Transport,
-    store: BlockStore,
-    sequencer: CommitSequencer<Committer>,
+    engine: ValidatorEngine,
     wal: AnyWal,
-    round: Round,
-    tx_queue: VecDeque<Transaction>,
-    unreferenced: BTreeSet<BlockRef>,
-    last_production: Instant,
 }
 
 impl ValidatorNode {
     /// Creates the node over an already-bound transport, replaying the WAL
-    /// (if any) to recover the DAG.
+    /// (if any) to recover the DAG and the recorded convictions.
     ///
     /// # Errors
     ///
     /// Propagates WAL I/O failures.
     pub fn new(config: NodeConfig, transport: Transport) -> Result<Self, mahimahi_wal::WalError> {
         let committee = config.setup.committee().clone();
-        let mut store = BlockStore::new(committee.size(), committee.quorum_threshold());
-        let mut unreferenced: BTreeSet<BlockRef> = Block::all_genesis(committee.size())
-            .iter()
-            .map(Block::reference)
-            .collect();
+        let committer = Committer::new(committee, config.options);
+        let mut engine = ValidatorEngine::honest(config.engine_config(), Box::new(committer));
 
         let mut wal = match &config.wal_path {
             Some(path) => AnyWal::File(FileWal::open_path(path)?),
             None => AnyWal::Memory(Wal::open(MemStorage::new())?),
         };
 
-        // Recovery: replay every valid block in log order. The pending
-        // buffer tolerates out-of-order records (e.g. after a torn tail
-        // elsewhere in the causal history).
-        let mut own_round = 0;
+        // Recovery: replay every decodable record in log order. The
+        // engine's pending buffer tolerates out-of-order blocks (e.g.
+        // after a torn tail elsewhere in the causal history); evidence
+        // records restore convictions so slashing state survives crashes.
+        // Logs written before the tagged WalRecord framing held raw Block
+        // encodings; fall back to that so an upgraded node never forgets
+        // rounds it already broadcast (re-producing them under different
+        // parents would be accidental equivocation).
         for record in wal.records()? {
-            let Ok(block) = Block::from_bytes_exact(&record.payload) else {
-                continue;
-            };
-            if block.verify(&committee).is_err() {
-                continue;
-            }
-            let block = block.into_arc();
-            if block.author() == config.authority {
-                own_round = own_round.max(block.round());
-            }
-            if let Ok(InsertResult::Inserted(admitted)) = store.insert(block) {
-                for reference in admitted {
-                    note_admitted(&mut unreferenced, &store, reference);
-                }
+            match WalRecord::from_bytes_exact(&record.payload) {
+                Ok(WalRecord::Block(block)) => engine.restore_block(block),
+                Ok(WalRecord::Evidence(proof)) => engine.restore_evidence(proof),
+                Err(_) => match mahimahi_types::Block::from_bytes_exact(&record.payload) {
+                    Ok(block) => engine.restore_block(block.into_arc()),
+                    Err(_) => continue, // corrupt or foreign record: skip
+                },
             }
         }
 
-        let committer = Committer::new(committee, config.options);
-        let mut sequencer = CommitSequencer::new(committer);
-        if let Some(depth) = config.gc_depth {
-            sequencer = sequencer.with_gc_depth(depth);
-        }
         Ok(ValidatorNode {
-            round: own_round,
-            config,
+            authority: config.authority,
             transport,
-            store,
-            sequencer,
+            engine,
             wal,
-            tx_queue: VecDeque::new(),
-            unreferenced,
-            last_production: Instant::now() - Duration::from_secs(1),
         })
     }
 
     /// The node's local DAG (inspection).
     pub fn store(&self) -> &BlockStore {
-        &self.store
+        self.engine.store()
+    }
+
+    /// The shared engine this shell drives (inspection).
+    pub fn engine(&self) -> &ValidatorEngine {
+        &self.engine
+    }
+
+    /// The evidence pool (verified convictions, slashing hooks).
+    pub fn evidence(&self) -> &EvidencePool {
+        self.engine.evidence()
+    }
+
+    /// The authorities this node has convicted of equivocation, in index
+    /// order (restored from the WAL after a restart).
+    pub fn convicted(&self) -> Vec<AuthorityIndex> {
+        self.engine.convicted()
     }
 
     /// The last produced round (0 after a fresh start).
     pub fn round(&self) -> Round {
-        self.round
+        self.engine.round()
     }
 
     /// Spawns the protocol loop, returning the control handle.
@@ -219,10 +249,10 @@ impl ValidatorNode {
         let (commit_tx, commit_rx) = unbounded();
         let (tx_tx, tx_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
-        let round = Arc::new(AtomicU64::new(self.round));
+        let round = Arc::new(AtomicU64::new(self.engine.round()));
         let loop_stop = Arc::clone(&stop);
         let loop_round = Arc::clone(&round);
-        let authority = self.config.authority;
+        let authority = self.authority;
         let join = std::thread::Builder::new()
             .name(format!("validator-{authority}"))
             .spawn(move || self.run(commit_tx, tx_rx, loop_stop, loop_round))
@@ -243,167 +273,110 @@ impl ValidatorNode {
         stop: Arc<AtomicBool>,
         round: Arc<AtomicU64>,
     ) {
+        let started = Instant::now();
         while !stop.load(Ordering::SeqCst) {
-            // Drain client transactions.
+            // Drain client transactions (enqueue-only inputs).
             loop {
                 match transactions.try_recv() {
-                    Ok(tx) => self.tx_queue.push_back(tx),
+                    Ok(transaction) => {
+                        self.engine.handle(Input::TxSubmitted {
+                            transaction,
+                            tag: 0,
+                        });
+                    }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => return,
                 }
             }
-            // Handle one incoming frame (with a short poll timeout).
-            match self
+            // Wait for one incoming frame (with a short poll timeout that
+            // also serves every WakeAt the engine asked for).
+            let frame = match self
                 .transport
                 .incoming()
                 .recv_timeout(Duration::from_millis(2))
             {
-                Ok((peer, frame)) => {
-                    if let Ok(message) = NodeMessage::from_bytes_exact(&frame) {
-                        self.on_message(peer, message);
-                    }
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Ok(frame) => Some(frame),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            };
+            let now = started.elapsed().as_micros() as EngineTime;
+            let outputs = self.engine.handle(Input::TimerFired { now });
+            if self.apply(outputs, &commits).is_err() {
+                return;
             }
-            self.maybe_advance();
-            round.store(self.round, Ordering::SeqCst);
-            for decision in self.sequencer.try_commit(&self.store) {
-                if let CommitDecision::Commit(sub_dag) = decision {
-                    if commits.send(sub_dag).is_err() {
+            if let Some((peer, bytes)) = frame {
+                if let Ok(message) = NodeMessage::from_bytes_exact(&bytes) {
+                    let outputs = self
+                        .engine
+                        .handle(Input::from_envelope(peer as usize, message));
+                    if self.apply(outputs, &commits).is_err() {
                         return;
                     }
                 }
             }
-            // Periodic garbage collection once the frontier moved far
-            // enough past the last cutoff.
-            let floor = self.sequencer.gc_floor();
-            if floor >= self.store.gc_cutoff() + 64 {
-                self.store.compact(floor);
-                self.unreferenced
-                    .retain(|reference| reference.round >= floor);
-            }
+            round.store(self.engine.round(), Ordering::SeqCst);
         }
         self.transport.shutdown();
     }
 
-    fn on_message(&mut self, peer: u32, message: NodeMessage) {
-        match message {
-            NodeMessage::Block(block) => self.accept_block(peer, block),
-            NodeMessage::Request(references) => {
-                let blocks: Vec<Arc<Block>> = references
-                    .iter()
-                    .filter_map(|reference| self.store.get(reference).cloned())
-                    .collect();
-                if !blocks.is_empty() {
-                    self.send(peer, &NodeMessage::Response(blocks));
+    /// Carries out engine effects against the transport, the WAL, and the
+    /// commit channel. Errors only when the application hung up.
+    fn apply(&mut self, outputs: Vec<Output>, commits: &Sender<CommittedSubDag>) -> Result<(), ()> {
+        for output in outputs {
+            match output {
+                Output::Broadcast(envelope) => {
+                    self.transport.broadcast(envelope.to_bytes_vec());
                 }
-            }
-            NodeMessage::Response(blocks) => {
-                for block in blocks {
-                    self.accept_block(peer, block);
+                Output::SendTo(peer, envelope) => {
+                    self.transport.send(peer as u32, envelope.to_bytes_vec());
                 }
-            }
-        }
-    }
-
-    fn accept_block(&mut self, peer: u32, block: Arc<Block>) {
-        if block.verify(self.config.setup.committee()).is_err() {
-            return;
-        }
-        // Persist before acting: recovery must see everything we acted on.
-        let _ = self.wal.append(&block.as_ref().to_bytes_vec());
-        match self.store.insert(block) {
-            Ok(InsertResult::Inserted(admitted)) => {
-                for reference in admitted {
-                    note_admitted(&mut self.unreferenced, &self.store, reference);
+                Output::Persist(record) => {
+                    // Durability before dissemination: own blocks (the
+                    // engine emits their Persist ahead of the Broadcast)
+                    // and convictions are fsynced; peers' blocks can be
+                    // re-fetched, so their records ride the next sync.
+                    let durable = match &record {
+                        WalRecord::Block(block) => block.author() == self.authority,
+                        WalRecord::Evidence(_) => true,
+                    };
+                    let _ = self.wal.append(&record.to_bytes_vec());
+                    if durable {
+                        let _ = self.wal.sync();
+                    }
                 }
-            }
-            Ok(InsertResult::Pending(missing)) => {
-                self.send(peer, &NodeMessage::Request(missing));
-            }
-            _ => {}
-        }
-    }
-
-    fn maybe_advance(&mut self) {
-        let quorum = self.config.setup.committee().quorum_threshold();
-        while self.store.authorities_at_round(self.round).len() >= quorum
-            && self.last_production.elapsed() >= self.config.min_round_interval
-        {
-            let next = self.round + 1;
-            self.produce(next);
-            self.round = next;
-            self.last_production = Instant::now();
-        }
-    }
-
-    fn produce(&mut self, round: Round) {
-        let authority = self.config.authority;
-        let own_previous = self
-            .store
-            .blocks_in_slot(mahimahi_types::Slot::new(round - 1, authority))
-            .first()
-            .map(|block| block.reference())
-            .expect("own chain extends round by round");
-        let mut parents = vec![own_previous];
-        let mut seen: HashSet<BlockRef> = parents.iter().copied().collect();
-        for block in self.store.blocks_at_round(round - 1) {
-            let reference = block.reference();
-            if seen.insert(reference) {
-                parents.push(reference);
+                Output::Committed(sub_dag) => {
+                    if commits.send(sub_dag).is_err() {
+                        return Err(());
+                    }
+                }
+                // The 2 ms poll loop revisits the engine well within any
+                // requested wake-up; client tags and conviction
+                // notifications have no node-side consumer yet.
+                Output::WakeAt(_) | Output::TxsCommitted(_) | Output::Convicted(_) => {}
             }
         }
-        for &reference in &self.unreferenced {
-            if reference.round < round - 1 && seen.insert(reference) {
-                parents.push(reference);
-            }
-        }
-        let take = self.tx_queue.len().min(self.config.max_block_transactions);
-        let transactions: Vec<Transaction> = self.tx_queue.drain(..take).collect();
-        let block = BlockBuilder::new(authority, round)
-            .parents(parents)
-            .transactions(transactions)
-            .build_with(
-                self.config.setup.keypair(authority),
-                self.config.setup.coin_secret(authority),
-            )
-            .into_arc();
-        // Durability before dissemination (crash recovery resumes from the
-        // produced block, preventing accidental equivocation).
-        let _ = self.wal.append(&block.as_ref().to_bytes_vec());
-        let _ = self.wal.sync();
-        if let Ok(InsertResult::Inserted(admitted)) = self.store.insert(block.clone()) {
-            for reference in admitted {
-                note_admitted(&mut self.unreferenced, &self.store, reference);
-            }
-        }
-        self.transport
-            .broadcast(NodeMessage::Block(block).to_bytes_vec());
+        Ok(())
     }
-
-    fn send(&self, peer: u32, message: &NodeMessage) {
-        self.transport.send(peer, message.to_bytes_vec());
-    }
-}
-
-fn note_admitted(unreferenced: &mut BTreeSet<BlockRef>, store: &BlockStore, reference: BlockRef) {
-    if let Some(block) = store.get(&reference) {
-        for parent in block.parents() {
-            unreferenced.remove(parent);
-        }
-    }
-    unreferenced.insert(reference);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mahimahi_types::EquivocationProof;
+
+    fn wal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mahimahi-node-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn conflicting_pair(setup: &TestCommittee, author: u32) -> EquivocationProof {
+        EquivocationProof::synthetic(setup, AuthorityIndex(author))
+    }
 
     #[test]
     fn recovery_restores_rounds_from_wal() {
-        let dir = std::env::temp_dir().join(format!("mahimahi-node-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = wal_dir("rounds");
         let wal_path = dir.join("v0.wal");
         let setup = TestCommittee::new(4, 5);
 
@@ -414,7 +387,8 @@ mod tests {
             let mut wal = FileWal::open_path(&wal_path).unwrap();
             for block in dag.store().iter() {
                 if block.round() > 0 {
-                    wal.append(&block.as_ref().to_bytes_vec()).unwrap();
+                    wal.append(&WalRecord::Block(block.clone()).to_bytes_vec())
+                        .unwrap();
                 }
             }
             wal.sync().unwrap();
@@ -430,6 +404,34 @@ mod tests {
     }
 
     #[test]
+    fn recovery_reads_legacy_raw_block_wals() {
+        // WALs written before the tagged WalRecord framing held raw Block
+        // encodings; an upgraded node must still recover them (forgetting
+        // broadcast rounds would cause accidental equivocation).
+        let dir = wal_dir("legacy");
+        let wal_path = dir.join("v0.wal");
+        let setup = TestCommittee::new(4, 5);
+        {
+            let mut dag = mahimahi_dag::DagBuilder::new(setup.clone());
+            dag.add_full_rounds(2);
+            let mut wal = FileWal::open_path(&wal_path).unwrap();
+            for block in dag.store().iter() {
+                if block.round() > 0 {
+                    wal.append(&block.as_ref().to_bytes_vec()).unwrap();
+                }
+            }
+            wal.sync().unwrap();
+        }
+        let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let mut config = NodeConfig::local(0, setup);
+        config.wal_path = Some(wal_path);
+        let node = ValidatorNode::new(config, transport).unwrap();
+        assert_eq!(node.round(), 2, "legacy own rounds recovered");
+        assert_eq!(node.store().highest_round(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn fresh_node_starts_at_round_zero() {
         let setup = TestCommittee::new(4, 5);
         let transport = Transport::bind(1, "127.0.0.1:0").unwrap();
@@ -441,16 +443,7 @@ mod tests {
     #[test]
     fn corrupt_wal_records_are_skipped() {
         let setup = TestCommittee::new(4, 5);
-        let storage = MemStorage::new();
-        {
-            let mut wal: Wal<MemStorage> = Wal::open(storage.clone()).unwrap();
-            wal.append(b"not a block").unwrap();
-        }
-        // An in-memory WAL cannot be handed to the node directly (it opens
-        // its own), so this exercises the decode-failure path through a
-        // file WAL instead.
-        let dir = std::env::temp_dir().join(format!("mahimahi-node-bad-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = wal_dir("bad");
         let wal_path = dir.join("bad.wal");
         {
             let mut wal = FileWal::open_path(&wal_path).unwrap();
@@ -463,6 +456,56 @@ mod tests {
         let node = ValidatorNode::new(config, transport).unwrap();
         assert_eq!(node.store().highest_round(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
-        drop(storage);
+    }
+
+    #[test]
+    fn evidence_received_on_the_wire_is_persisted_and_survives_restart() {
+        // Feed an Evidence frame through the engine exactly as the run
+        // loop would, applying the Persist outputs to a file WAL; a fresh
+        // node over the same WAL must come up already convinced.
+        let setup = TestCommittee::new(4, 5);
+        let proof = conflicting_pair(&setup, 3);
+        let dir = wal_dir("evidence");
+        let wal_path = dir.join("v0.wal");
+
+        {
+            let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+            let mut config = NodeConfig::local(0, setup.clone());
+            config.wal_path = Some(wal_path.clone());
+            let mut node = ValidatorNode::new(config, transport).unwrap();
+            let (commit_tx, _commit_rx) = unbounded();
+            let outputs = node.engine.handle(Input::from_envelope(
+                1,
+                NodeMessage::Evidence(proof.clone()),
+            ));
+            assert!(
+                outputs
+                    .iter()
+                    .any(|output| matches!(output, Output::Persist(WalRecord::Evidence(_)))),
+                "conviction must be persisted: {outputs:?}"
+            );
+            node.apply(outputs, &commit_tx).unwrap();
+            assert_eq!(node.convicted(), vec![AuthorityIndex(3)]);
+        }
+
+        let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let mut config = NodeConfig::local(0, setup);
+        config.wal_path = Some(wal_path);
+        let recovered = ValidatorNode::new(config, transport).unwrap();
+        assert_eq!(
+            recovered.convicted(),
+            vec![AuthorityIndex(3)],
+            "conviction must survive the restart"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inclusion_wait_is_forwarded_to_the_engine() {
+        let setup = TestCommittee::new(4, 5);
+        let mut config = NodeConfig::local(3, setup);
+        config.inclusion_wait = Duration::from_millis(40);
+        assert_eq!(config.engine_config().inclusion_wait, 40_000);
+        assert_eq!(config.engine_config().min_round_interval, 2_000);
     }
 }

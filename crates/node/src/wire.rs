@@ -1,67 +1,22 @@
 //! Wire messages between networked validators.
+//!
+//! The node frames the workspace-wide [`Envelope`] enum over its TCP
+//! transport — the exact same message vocabulary the simulator passes
+//! by value through its virtual network, with the codec defined next to
+//! the types in `mahimahi-types`. This alias is what the rest of the node
+//! crate (and its tests) speak; nothing node-specific exists on the wire,
+//! which is the point: the drivers cannot drift apart in what they can
+//! say.
 
-use mahimahi_types::{Block, BlockRef, CodecError, Decode, Decoder, Encode, Encoder};
-use std::sync::Arc;
+pub use mahimahi_types::Envelope;
 
-/// Messages exchanged by networked validators (uncertified protocols).
-#[derive(Debug, Clone)]
-pub enum NodeMessage {
-    /// Best-effort block dissemination.
-    Block(Arc<Block>),
-    /// Ask the peer for the listed blocks (synchronizer).
-    Request(Vec<BlockRef>),
-    /// Answer to a [`NodeMessage::Request`].
-    Response(Vec<Arc<Block>>),
-}
-
-const TAG_BLOCK: u8 = 1;
-const TAG_REQUEST: u8 = 2;
-const TAG_RESPONSE: u8 = 3;
-
-impl Encode for NodeMessage {
-    fn encode(&self, encoder: &mut Encoder) {
-        match self {
-            NodeMessage::Block(block) => {
-                encoder.put_u8(TAG_BLOCK);
-                block.as_ref().encode(encoder);
-            }
-            NodeMessage::Request(references) => {
-                encoder.put_u8(TAG_REQUEST);
-                references.encode(encoder);
-            }
-            NodeMessage::Response(blocks) => {
-                encoder.put_u8(TAG_RESPONSE);
-                encoder.put_u32(u32::try_from(blocks.len()).expect("block count fits u32"));
-                for block in blocks {
-                    block.as_ref().encode(encoder);
-                }
-            }
-        }
-    }
-}
-
-impl Decode for NodeMessage {
-    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        match decoder.get_u8()? {
-            TAG_BLOCK => Ok(NodeMessage::Block(Block::decode(decoder)?.into_arc())),
-            TAG_REQUEST => Ok(NodeMessage::Request(Vec::<BlockRef>::decode(decoder)?)),
-            TAG_RESPONSE => {
-                let count = decoder.get_u32()? as usize;
-                let mut blocks = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    blocks.push(Block::decode(decoder)?.into_arc());
-                }
-                Ok(NodeMessage::Response(blocks))
-            }
-            _ => Err(CodecError::InvalidValue("node message tag")),
-        }
-    }
-}
+/// The node's wire message — the shared driver vocabulary.
+pub type NodeMessage = Envelope;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mahimahi_types::AuthorityIndex;
+    use mahimahi_types::{AuthorityIndex, Block, Decode, Encode};
 
     #[test]
     fn messages_round_trip() {

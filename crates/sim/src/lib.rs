@@ -37,12 +37,13 @@ mod config;
 mod message;
 mod metrics;
 mod runner;
+mod strategy;
 mod validator;
 
 pub use config::{
     AdversaryChoice, Behavior, CpuCosts, LatencyChoice, LeaderSchedule, ProtocolChoice, SimConfig,
 };
-pub use message::SimMessage;
+pub use message::{SimMessage, WireModel};
 pub use metrics::{LatencyStats, SimReport};
 pub use runner::{SimOutcome, Simulation};
 pub use validator::{Action, SimValidator};

@@ -1,88 +1,69 @@
-//! Messages exchanged between simulated validators.
+//! Messages exchanged between simulated validators, plus the bandwidth
+//! model that prices them.
+//!
+//! The simulator speaks the workspace-wide wire vocabulary directly:
+//! [`SimMessage`] *is* [`mahimahi_types::Envelope`], the same enum the TCP
+//! node serializes over its transport. The simulator never materializes
+//! bytes — it carries envelopes by value through the virtual network — so
+//! the size and round accounting the network model needs lives here as the
+//! [`WireModel`] extension trait.
+//!
+//! Uncertified protocols (Mahi-Mahi, Cordial Miners) use only
+//! [`Envelope::Block`], [`Envelope::Request`], [`Envelope::Response`], and
+//! [`Envelope::Evidence`]. Tusk's certified pipeline adds the
+//! consistent-broadcast triple [`Envelope::Proposal`] → [`Envelope::Ack`]
+//! → [`Envelope::Certificate`].
 
-use mahimahi_types::{AuthorityIndex, Block, BlockRef, EquivocationProof};
-use std::sync::Arc;
+use mahimahi_types::{Block, Envelope};
 
-/// The wire messages of the simulation.
-///
-/// Uncertified protocols (Mahi-Mahi, Cordial Miners) use only [`Block`],
-/// [`Request`], and [`Response`]. Tusk's certified pipeline adds the
-/// consistent-broadcast triple [`Proposal`] → [`Ack`] → [`Certificate`].
-///
-/// [`Block`]: SimMessage::Block
-/// [`Request`]: SimMessage::Request
-/// [`Response`]: SimMessage::Response
-/// [`Proposal`]: SimMessage::Proposal
-/// [`Ack`]: SimMessage::Ack
-/// [`Certificate`]: SimMessage::Certificate
-#[derive(Debug, Clone)]
-pub enum SimMessage {
-    /// Best-effort block dissemination (uncertified DAGs).
-    Block(Arc<Block>),
-    /// Certified pipeline step 1: a block awaiting acknowledgements.
-    Proposal(Arc<Block>),
-    /// Certified pipeline step 2: a signed acknowledgement back to the
-    /// author.
-    Ack {
-        /// The acknowledged block.
-        reference: BlockRef,
-        /// The acknowledging validator.
-        voter: AuthorityIndex,
-    },
-    /// Certified pipeline step 3: the certificate releasing the block into
-    /// the DAG. Carries the number of aggregated signatures (CPU model).
-    Certificate {
-        /// The certified block's reference (recipients hold the proposal).
-        reference: BlockRef,
-        /// Signatures aggregated in the certificate.
-        signatures: usize,
-    },
-    /// Synchronizer: ask the peer for missing blocks.
-    Request(Vec<BlockRef>),
-    /// Synchronizer: blocks answering a [`SimMessage::Request`].
-    Response(Vec<Arc<Block>>),
-    /// Fault attribution: a self-contained equivocation proof, gossiped so
-    /// every honest validator converges on the same culprit set.
-    Evidence(EquivocationProof),
-}
+/// The wire message of the simulation — the shared driver vocabulary.
+pub type SimMessage = Envelope;
 
-impl SimMessage {
+/// Size/round accounting over [`Envelope`] for the simulated network
+/// (bandwidth model and adversary visibility).
+pub trait WireModel {
     /// Serialized size in bytes, for the bandwidth model.
     ///
     /// Block payloads are accounted at `tx_wire_size` bytes per transaction
     /// (the simulator carries 8-byte synthetic transactions in memory but
     /// charges full wire size — DESIGN.md §3).
-    pub fn wire_size(&self, tx_wire_size: usize) -> usize {
+    fn wire_size(&self, tx_wire_size: usize) -> usize;
+
+    /// The DAG round this message concerns (0 for control traffic) — what
+    /// the adversary is allowed to observe.
+    fn round(&self) -> u64;
+}
+
+impl WireModel for Envelope {
+    fn wire_size(&self, tx_wire_size: usize) -> usize {
         match self {
-            SimMessage::Block(block) | SimMessage::Proposal(block) => {
+            Envelope::Block(block) | Envelope::Proposal(block) => {
                 block_wire_size(block, tx_wire_size)
             }
-            SimMessage::Ack { .. } => 64,
-            SimMessage::Certificate { signatures, .. } => 44 + 16 * signatures,
-            SimMessage::Request(refs) => 16 + 44 * refs.len(),
-            SimMessage::Response(blocks) => {
+            Envelope::Ack { .. } => 64,
+            Envelope::Certificate { signatures, .. } => 44 + 16 * signatures,
+            Envelope::Request(refs) => 16 + 44 * refs.len(),
+            Envelope::Response(blocks) => {
                 16 + blocks
                     .iter()
                     .map(|block| block_wire_size(block, tx_wire_size))
                     .sum::<usize>()
             }
-            SimMessage::Evidence(proof) => {
+            Envelope::Evidence(proof) => {
                 16 + block_wire_size(proof.first(), tx_wire_size)
                     + block_wire_size(proof.second(), tx_wire_size)
             }
         }
     }
 
-    /// The DAG round this message concerns (0 for control traffic) — what
-    /// the adversary is allowed to observe.
-    pub fn round(&self) -> u64 {
+    fn round(&self) -> u64 {
         match self {
-            SimMessage::Block(block) | SimMessage::Proposal(block) => block.round(),
-            SimMessage::Ack { reference, .. } | SimMessage::Certificate { reference, .. } => {
+            Envelope::Block(block) | Envelope::Proposal(block) => block.round(),
+            Envelope::Ack { reference, .. } | Envelope::Certificate { reference, .. } => {
                 reference.round
             }
-            SimMessage::Request(_) | SimMessage::Response(_) => 0,
-            SimMessage::Evidence(proof) => proof.round(),
+            Envelope::Request(_) | Envelope::Response(_) => 0,
+            Envelope::Evidence(proof) => proof.round(),
         }
     }
 }
@@ -120,14 +101,13 @@ mod tests {
     #[test]
     fn rounds_reported_to_adversary() {
         let genesis = Block::genesis(AuthorityIndex(0)).into_arc();
-        assert_eq!(SimMessage::Block(genesis.clone()).round(), 0);
-        assert_eq!(SimMessage::Request(vec![]).round(), 0);
+        assert_eq!(WireModel::round(&SimMessage::Block(genesis.clone())), 0);
+        assert_eq!(WireModel::round(&SimMessage::Request(vec![])), 0);
         assert_eq!(
-            SimMessage::Ack {
+            WireModel::round(&SimMessage::Ack {
                 reference: genesis.reference(),
                 voter: AuthorityIndex(1)
-            }
-            .round(),
+            }),
             0
         );
     }
@@ -146,5 +126,16 @@ mod tests {
         let real = block.serialized_size();
         let billed = block_wire_size(&block, 512);
         assert_eq!(billed, real - 10 * 8 + 10 * 512);
+    }
+
+    #[test]
+    fn sim_messages_are_wire_envelopes() {
+        // The simulator's message type is literally the node's wire enum:
+        // anything the sim can say round-trips through the codec.
+        use mahimahi_types::{Decode, Encode};
+        let genesis = Block::genesis(AuthorityIndex(2)).into_arc();
+        let bytes = SimMessage::Block(genesis.clone()).to_bytes_vec();
+        let decoded = SimMessage::from_bytes_exact(&bytes).unwrap();
+        assert!(matches!(decoded, SimMessage::Block(b) if b.reference() == genesis.reference()));
     }
 }

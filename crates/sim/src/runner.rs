@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::config::{AdversaryChoice, Behavior, LatencyChoice, SimConfig};
-use crate::message::SimMessage;
+use crate::message::{SimMessage, WireModel};
 use crate::metrics::{LatencyStats, SimReport};
 use crate::validator::{Action, SimValidator};
 
@@ -196,6 +196,18 @@ impl Simulation {
         }
     }
 
+    /// Enqueues client transactions `(id, submit time)` at `validator`
+    /// before the run starts — seeded-workload injection for the
+    /// driver-equivalence tests (the open-loop clients use
+    /// `txs_per_second_per_validator` instead).
+    pub fn preload_transactions(
+        &mut self,
+        validator: usize,
+        txs: impl IntoIterator<Item = (u64, Time)>,
+    ) {
+        self.validators[validator].submit_transactions(txs);
+    }
+
     /// The first honest validator (identical commit sequences make any
     /// honest validator a valid observer).
     fn observer(&self) -> usize {
@@ -270,8 +282,7 @@ impl Simulation {
 
             if Some(next) == next_wakeup {
                 let Reverse((_, validator)) = self.wakeups.pop().expect("peeked");
-                let mut actions = self.validators[validator].maybe_advance(self.now);
-                actions.extend(self.validators[validator].try_commit(self.now));
+                let actions = self.validators[validator].maybe_advance(self.now);
                 self.perform(validator, actions);
                 continue;
             }
@@ -423,7 +434,7 @@ impl Simulation {
         // Throughput: committed transactions at the observer over the
         // post-warm-up window, approximated by scaling the total count by
         // the window share (commits are spread evenly in steady state).
-        let committed = observer.committed_transactions;
+        let committed = observer.committed_transactions();
         let throughput = if window_s > 0.0 {
             committed as f64 * (window_s / duration_s) / window_s
         } else {
@@ -445,9 +456,9 @@ impl Simulation {
             throughput_tps: throughput,
             latency: self.latencies,
             highest_round: observer.store().highest_round(),
-            committed_slots: observer.committed_slots,
-            skipped_slots: observer.skipped_slots,
-            sequenced_blocks: observer.sequenced_blocks,
+            committed_slots: observer.committed_slots(),
+            skipped_slots: observer.skipped_slots(),
+            sequenced_blocks: observer.sequenced_blocks(),
             network_bytes: self.network.bytes_sent(),
         }
     }

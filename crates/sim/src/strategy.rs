@@ -1,0 +1,278 @@
+//! Byzantine [`ProposerStrategy`] implementations.
+//!
+//! The sans-I/O [`ValidatorEngine`] owns *when* a block is produced and
+//! *what goes in it*; these strategies own how attack behaviors build and
+//! route the result — conflicting variants, selective disclosure, paced
+//! release. Keeping them here (rather than in `mahimahi-core`) means the
+//! shared engine stays protocol-faithful while the simulator composes any
+//! attack with it.
+//!
+//! [`ValidatorEngine`]: mahimahi_core::ValidatorEngine
+
+use mahimahi_core::{HonestProposer, ProposeCtx, ProposerStrategy, Route};
+use mahimahi_types::{AuthorityIndex, BlockRef, Envelope, Round, TestCommittee};
+use std::collections::HashMap;
+
+use crate::config::{Behavior, LeaderSchedule};
+
+/// Precomputed leader-election answers for attack strategies that target
+/// elected leaders.
+///
+/// The threshold coin is a deterministic function of the round, so an
+/// attacker holding the dealer's secrets (the strongest rushing adversary
+/// the paper's after-the-fact election defends against) can evaluate every
+/// future election. The simulation's [`TestCommittee`] carries all coin
+/// secrets, which is exactly that power.
+pub(crate) struct Elector {
+    authority: AuthorityIndex,
+    setup: TestCommittee,
+    schedule: LeaderSchedule,
+    cache: HashMap<Round, bool>,
+}
+
+impl Elector {
+    pub(crate) fn new(
+        authority: AuthorityIndex,
+        setup: TestCommittee,
+        schedule: LeaderSchedule,
+    ) -> Self {
+        Elector {
+            authority,
+            setup,
+            schedule,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Whether this validator owns a leader slot of `round`.
+    pub(crate) fn is_elected_leader(&mut self, round: Round) -> bool {
+        if !self.schedule.is_propose_round(round) {
+            return false;
+        }
+        if let Some(&cached) = self.cache.get(&round) {
+            return cached;
+        }
+        let committee = self.setup.committee();
+        let certify = self.schedule.certify_round(round);
+        let shares: Vec<_> = (0..committee.quorum_threshold())
+            .map(|index| {
+                self.setup
+                    .coin_secret(AuthorityIndex(index as u32))
+                    .share_for_round(certify)
+            })
+            .collect();
+        let elected = committee
+            .coin_public()
+            .combine(certify, &shares)
+            .map(|value| {
+                (0..self.schedule.leaders).any(|offset| {
+                    value.leader_slot(offset, committee.size()) == self.authority.as_u64()
+                })
+            })
+            .unwrap_or(false);
+        self.cache.insert(round, elected);
+        elected
+    }
+
+    /// The first `f` peers other than this validator — the "< f + 1"
+    /// disclosure set of the withholding attack: too few for any honest
+    /// quorum to certify the withheld block.
+    pub(crate) fn withholding_targets(&self) -> Vec<usize> {
+        let committee = self.setup.committee();
+        (0..committee.size())
+            .filter(|&peer| peer != self.authority.as_usize())
+            .take(committee.f())
+            .collect()
+    }
+}
+
+/// Two equivocating variants per round, one to each half of the committee.
+/// Own chain continues on variant A; the halves sort it out through the
+/// synchronizer.
+struct EquivocatorStrategy;
+
+impl ProposerStrategy for EquivocatorStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let variant_a = ctx.build(Some(1));
+        let variant_b = ctx.build(Some(2));
+        ctx.admit_own(variant_a.clone());
+        let n = ctx.committee_size();
+        let own = ctx.authority().as_usize();
+        for peer in 0..n {
+            if peer == own {
+                continue;
+            }
+            let variant = if peer < n / 2 {
+                variant_a.clone()
+            } else {
+                variant_b.clone()
+            };
+            ctx.send(peer, Envelope::Block(variant));
+        }
+    }
+}
+
+/// Split-brain along the partition boundary: peers below `minority` see
+/// variant A, the rest variant B, so each side builds on an internally
+/// consistent but globally conflicting chain. Own chain extends this
+/// validator's own side of the split.
+struct SplitBrainStrategy {
+    minority: usize,
+}
+
+impl ProposerStrategy for SplitBrainStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let variant_a = ctx.build(Some(1));
+        let variant_b = ctx.build(Some(2));
+        let own = ctx.authority().as_usize();
+        let own_side_a = own < self.minority;
+        ctx.admit_own(if own_side_a {
+            variant_a.clone()
+        } else {
+            variant_b.clone()
+        });
+        for peer in 0..ctx.committee_size() {
+            if peer == own {
+                continue;
+            }
+            let variant = if peer < self.minority {
+                variant_a.clone()
+            } else {
+                variant_b.clone()
+            };
+            ctx.send(peer, Envelope::Block(variant));
+        }
+    }
+}
+
+/// `k` conflicting variants sprayed round-robin: every peer gets a
+/// valid-looking block, but the slot holds `k` forks that the synchronizer
+/// and commit rule must reconcile.
+struct ForkSpammerStrategy {
+    forks: usize,
+}
+
+impl ProposerStrategy for ForkSpammerStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let n = ctx.committee_size();
+        let k = self.forks.clamp(2, n.max(2));
+        let variants: Vec<_> = (0..k)
+            .map(|fork| ctx.build(Some(fork as u64 + 1)))
+            .collect();
+        ctx.admit_own(variants[0].clone());
+        let own = ctx.authority().as_usize();
+        for peer in 0..n {
+            if peer == own {
+                continue;
+            }
+            ctx.send(peer, Envelope::Block(variants[peer % k].clone()));
+        }
+    }
+}
+
+/// Leader-slot withholding: in any round where this validator owns a
+/// leader slot, its block (or, under a certified DAG, its certificate)
+/// reaches only `f` peers — strictly fewer than the `f + 1` validity
+/// threshold — so no honest quorum can ever certify the slot. Off-slot
+/// rounds behave honestly, which makes the attack invisible to simple
+/// round-level accounting.
+struct WithholdingStrategy {
+    elector: Elector,
+}
+
+impl ProposerStrategy for WithholdingStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        if ctx.certified() {
+            // The proposal must be public (acks are needed); the
+            // certificate is what gets withheld, in `route_certificate`.
+            HonestProposer.propose(ctx);
+            return;
+        }
+        let block = ctx.build(None);
+        ctx.admit_own(block.clone());
+        if self.elector.is_elected_leader(ctx.round()) {
+            for peer in self.elector.withholding_targets() {
+                ctx.send(peer, Envelope::Block(block.clone()));
+            }
+        } else {
+            ctx.broadcast(Envelope::Block(block));
+        }
+    }
+
+    fn route_certificate(&mut self, certificate: Envelope, reference: BlockRef) -> Vec<Route> {
+        if self.elector.is_elected_leader(reference.round) {
+            // Certified-DAG variant of the withholding attack: the
+            // certificate that would let peers admit the leader block
+            // reaches fewer than f + 1 of them.
+            self.elector
+                .withholding_targets()
+                .into_iter()
+                .map(|peer| Route::Send(peer, certificate.clone()))
+                .collect()
+        } else {
+            vec![Route::Broadcast(certificate)]
+        }
+    }
+}
+
+/// Lazy-proposer pacing attack: builds every block on time (so its own
+/// chain stays valid) but releases it to the network `delay` late,
+/// pressuring honest inclusion waits and round pacing.
+struct SlowProposerStrategy {
+    delay: u64,
+}
+
+impl ProposerStrategy for SlowProposerStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let block = ctx.build(None);
+        let release = ctx.now() + self.delay;
+        if ctx.certified() {
+            // Certified pipeline, paced late: the proposal itself is held
+            // back, delaying the whole ack/certificate exchange.
+            ctx.register_proposal(block.clone());
+            ctx.delay_broadcast(release, Envelope::Proposal(block));
+        } else {
+            ctx.admit_own(block.clone());
+            ctx.delay_broadcast(release, Envelope::Block(block));
+        }
+    }
+}
+
+/// Produces (and locally stores) blocks but never sends them: the slot
+/// looks empty to everyone else.
+struct MuteStrategy;
+
+impl ProposerStrategy for MuteStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let block = ctx.build(None);
+        ctx.admit_own(block);
+    }
+}
+
+/// Maps a configured [`Behavior`] onto the strategy the engine runs.
+///
+/// Equivocation-based attacks degrade to honest behavior under a certified
+/// DAG: consistent broadcast makes signing two blocks per slot pointless
+/// (no conflicting certificate can form), matching the paper's threat
+/// model for Tusk.
+pub(crate) fn strategy_for(
+    behavior: Behavior,
+    certified: bool,
+    authority: AuthorityIndex,
+    setup: &TestCommittee,
+    schedule: LeaderSchedule,
+) -> Box<dyn ProposerStrategy> {
+    match behavior {
+        Behavior::Equivocator if !certified => Box::new(EquivocatorStrategy),
+        Behavior::SplitBrainEquivocator { minority } if !certified => {
+            Box::new(SplitBrainStrategy { minority })
+        }
+        Behavior::ForkSpammer { forks } if !certified => Box::new(ForkSpammerStrategy { forks }),
+        Behavior::WithholdingLeader => Box::new(WithholdingStrategy {
+            elector: Elector::new(authority, setup.clone(), schedule),
+        }),
+        Behavior::SlowProposer { delay } => Box::new(SlowProposerStrategy { delay }),
+        Behavior::Mute => Box::new(MuteStrategy),
+        _ => Box::new(HonestProposer),
+    }
+}

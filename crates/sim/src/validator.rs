@@ -1,27 +1,34 @@
-//! The simulated validator state machine.
+//! The simulated validator: a thin shell over the shared sans-I/O engine.
 //!
-//! A [`SimValidator`] is one protocol participant: it maintains its local
-//! DAG ([`BlockStore`]), produces blocks when its round can advance,
-//! synchronizes missing ancestry, runs the commit rule through a
-//! [`CommitSequencer`], and books transaction latencies for the blocks it
-//! authored. It is driven by the [`Simulation`] runner, which owns the
-//! network and the clock; handlers return [`Action`]s for the runner to
-//! perform.
+//! A [`SimValidator`] is one protocol participant. All consensus logic —
+//! DAG admission, synchronization, round pacing, block production, the
+//! commit rule, evidence handling — lives in the shared
+//! [`ValidatorEngine`] (`mahimahi-core`), the same state machine the TCP
+//! node drives. This shell only:
 //!
-//! [`Simulation`]: crate::runner::Simulation
+//! - models the *process*: crashed and offline windows drop inputs before
+//!   they reach the engine (a down process loses in-flight messages; the
+//!   synchronizer repairs the gaps after restart);
+//! - selects the [`ProposerStrategy`] matching the configured
+//!   [`Behavior`] (Byzantine attack strategies live in
+//!   [`crate::strategy`]);
+//! - maps engine [`Output`]s onto runner [`Action`]s (virtual network
+//!   sends, wake-ups, latency bookkeeping).
+//!
+//! [`ValidatorEngine`]: mahimahi_core::ValidatorEngine
+//! [`ProposerStrategy`]: mahimahi_core::ProposerStrategy
 
-use mahimahi_core::{CommitDecision, CommitSequencer, EvidencePool, ProtocolCommitter};
-use mahimahi_dag::{BlockStore, InsertResult};
-use mahimahi_net::time::Time;
-use mahimahi_types::{
-    AuthorityIndex, Block, BlockBuilder, BlockRef, EquivocationProof, Round, TestCommittee,
-    Transaction,
+use mahimahi_core::{
+    engine::{EngineConfig, Input},
+    EvidencePool, Output, ProtocolCommitter, ValidatorEngine,
 };
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use mahimahi_dag::BlockStore;
+use mahimahi_net::time::Time;
+use mahimahi_types::{AuthorityIndex, BlockRef, Round, TestCommittee, Transaction};
 
 use crate::config::{Behavior, LeaderSchedule};
 use crate::message::SimMessage;
+use crate::strategy::strategy_for;
 
 /// An effect a validator asks the runner to carry out.
 #[derive(Debug)]
@@ -33,63 +40,15 @@ pub enum Action {
     /// Transactions authored by this validator just committed; each entry
     /// is the client submission time.
     TxsCommitted(Vec<Time>),
-    /// Call `maybe_advance` again no earlier than the given time (the
-    /// post-quorum inclusion wait is pending).
+    /// Call `maybe_advance` again no earlier than the given time (a
+    /// pacing wait is pending).
     WakeAt(Time),
 }
 
 /// One simulated protocol participant.
 pub struct SimValidator {
-    authority: AuthorityIndex,
     behavior: Behavior,
-    /// Whether blocks require certification before entering the DAG (Tusk).
-    certified: bool,
-    max_block_transactions: usize,
-    /// How long to keep collecting previous-round blocks after the quorum
-    /// arrived before producing the next round. Real implementations pace
-    /// rounds this way so that far-region blocks stay referenced; advancing
-    /// at the instant of quorum starves the slowest regions and (with short
-    /// waves) skips their leader slots.
-    inclusion_wait: Time,
-    /// When the quorum for advancing past `round` was first observed.
-    quorum_since: Option<Time>,
-    /// The protocol's leader timetable (attack strategies precompute the
-    /// deterministic coin with it).
-    leader_schedule: LeaderSchedule,
-    /// Memoized "is this validator an elected leader of round r" answers.
-    election_cache: HashMap<Round, bool>,
-    /// Messages built but deliberately held back (slow-proposer pacing):
-    /// (release time, message), in release order.
-    pending_out: VecDeque<(Time, SimMessage)>,
-    setup: TestCommittee,
-    store: BlockStore,
-    /// Verified equivocation convictions, deduplicated per author. Fed by
-    /// the store's at-source detection and by gossiped proofs from peers.
-    evidence: EvidencePool,
-    sequencer: CommitSequencer<Box<dyn ProtocolCommitter>>,
-    /// Last round this validator produced a block for.
-    round: Round,
-    /// Client transactions waiting for inclusion: (id, submit time).
-    tx_queue: VecDeque<(u64, Time)>,
-    /// Blocks in the local DAG that no stored block references yet —
-    /// candidates for the next block's parent list.
-    unreferenced: BTreeSet<BlockRef>,
-    /// Certified pipeline: proposals awaiting a certificate.
-    pending_proposals: HashMap<BlockRef, Arc<Block>>,
-    /// Certified pipeline: acknowledgements collected for own proposals.
-    ack_votes: HashMap<BlockRef, HashSet<AuthorityIndex>>,
-    /// Certified pipeline: own proposals already certified.
-    certified_own: HashSet<BlockRef>,
-    /// Submission times of transactions in own blocks, resolved at commit.
-    own_block_txs: HashMap<BlockRef, Vec<Time>>,
-    /// Commit statistics.
-    pub(crate) committed_slots: u64,
-    pub(crate) skipped_slots: u64,
-    pub(crate) sequenced_blocks: u64,
-    pub(crate) committed_transactions: u64,
-    /// The committed leader sequence (`None` = skipped slot), for safety
-    /// checking across validators.
-    pub(crate) commit_log: Vec<Option<BlockRef>>,
+    engine: ValidatorEngine,
 }
 
 impl SimValidator {
@@ -105,38 +64,17 @@ impl SimValidator {
         inclusion_wait: Time,
         leader_schedule: LeaderSchedule,
     ) -> Self {
-        let committee = setup.committee();
-        let store = BlockStore::new(committee.size(), committee.quorum_threshold());
-        let unreferenced = Block::all_genesis(committee.size())
-            .iter()
-            .map(Block::reference)
-            .collect();
+        let strategy = strategy_for(behavior, certified, authority, &setup, leader_schedule);
+        let mut config = EngineConfig::new(authority, setup);
+        config.certified = certified;
+        config.max_block_transactions = max_block_transactions;
+        config.inclusion_wait = inclusion_wait;
+        if let Behavior::Crashed { from_round } = behavior {
+            config.halt_from_round = Some(from_round);
+        }
         SimValidator {
-            authority,
             behavior,
-            certified,
-            max_block_transactions,
-            inclusion_wait,
-            quorum_since: None,
-            leader_schedule,
-            election_cache: HashMap::new(),
-            pending_out: VecDeque::new(),
-            evidence: EvidencePool::new(setup.committee().clone()),
-            setup,
-            store,
-            sequencer: CommitSequencer::new(committer),
-            round: 0,
-            tx_queue: VecDeque::new(),
-            unreferenced,
-            pending_proposals: HashMap::new(),
-            ack_votes: HashMap::new(),
-            certified_own: HashSet::new(),
-            own_block_txs: HashMap::new(),
-            committed_slots: 0,
-            skipped_slots: 0,
-            sequenced_blocks: 0,
-            committed_transactions: 0,
-            commit_log: Vec::new(),
+            engine: ValidatorEngine::new(config, committer, strategy),
         }
     }
 
@@ -144,95 +82,73 @@ impl SimValidator {
     /// slots). Any two honest validators' logs must be prefix-consistent —
     /// the safety property of Lemmas 5–7.
     pub fn commit_log(&self) -> &[Option<BlockRef>] {
-        &self.commit_log
+        self.engine.commit_log()
     }
 
     /// The authority this validator runs as.
     pub fn authority(&self) -> AuthorityIndex {
-        self.authority
+        self.engine.authority()
     }
 
     /// The local DAG.
     pub fn store(&self) -> &BlockStore {
-        &self.store
+        self.engine.store()
+    }
+
+    /// The shared engine this shell drives (inspection).
+    pub fn engine(&self) -> &ValidatorEngine {
+        &self.engine
     }
 
     /// The evidence pool (verified convictions, slashing hooks).
     pub fn evidence(&self) -> &EvidencePool {
-        &self.evidence
+        self.engine.evidence()
     }
 
     /// Mutable evidence pool access (for registering slashing hooks).
     pub fn evidence_mut(&mut self) -> &mut EvidencePool {
-        &mut self.evidence
+        self.engine.evidence_mut()
     }
 
     /// The authorities this validator has convicted of equivocation, in
     /// index order. Honest validators converge on this set (the
     /// `evidence-attribution` oracle of `mahimahi-scenarios` checks it).
     pub fn convicted(&self) -> Vec<AuthorityIndex> {
-        self.evidence.convicted()
+        self.engine.convicted()
     }
 
     /// Last produced round.
     pub fn round(&self) -> Round {
-        self.round
+        self.engine.round()
     }
 
     /// Transactions waiting for inclusion.
     pub fn queued_transactions(&self) -> usize {
-        self.tx_queue.len()
+        self.engine.queued_transactions()
+    }
+
+    /// Committed leader slots at this validator.
+    pub(crate) fn committed_slots(&self) -> u64 {
+        self.engine.committed_slots()
+    }
+
+    /// Skipped leader slots at this validator.
+    pub(crate) fn skipped_slots(&self) -> u64 {
+        self.engine.skipped_slots()
+    }
+
+    /// Blocks linearized into the total order at this validator.
+    pub(crate) fn sequenced_blocks(&self) -> u64 {
+        self.engine.sequenced_blocks()
+    }
+
+    /// Transactions committed (across all authors) at this validator.
+    pub(crate) fn committed_transactions(&self) -> u64 {
+        self.engine.committed_transactions()
     }
 
     fn is_crashed(&self, round: Round) -> bool {
         matches!(self.behavior, Behavior::Crashed { from_round } if round >= from_round)
-    }
-
-    /// Whether this validator owns a leader slot of `round`.
-    ///
-    /// The threshold coin is a deterministic function of the round, so an
-    /// attacker holding the dealer's secrets (the strongest rushing
-    /// adversary the paper's after-the-fact election defends against) can
-    /// evaluate every future election. The simulation's [`TestCommittee`]
-    /// carries all coin secrets, which is exactly that power.
-    fn is_elected_leader(&mut self, round: Round) -> bool {
-        if !self.leader_schedule.is_propose_round(round) {
-            return false;
-        }
-        if let Some(&cached) = self.election_cache.get(&round) {
-            return cached;
-        }
-        let committee = self.setup.committee();
-        let certify = self.leader_schedule.certify_round(round);
-        let shares: Vec<_> = (0..committee.quorum_threshold())
-            .map(|index| {
-                self.setup
-                    .coin_secret(AuthorityIndex(index as u32))
-                    .share_for_round(certify)
-            })
-            .collect();
-        let elected = committee
-            .coin_public()
-            .combine(certify, &shares)
-            .map(|value| {
-                (0..self.leader_schedule.leaders).any(|offset| {
-                    value.leader_slot(offset, committee.size()) == self.authority.as_u64()
-                })
-            })
-            .unwrap_or(false);
-        self.election_cache.insert(round, elected);
-        elected
-    }
-
-    /// The first `f` peers other than this validator — the "< f + 1"
-    /// disclosure set of the withholding attack: too few for any honest
-    /// quorum to certify the withheld block.
-    fn withholding_targets(&self) -> Vec<usize> {
-        let committee = self.setup.committee();
-        (0..committee.size())
-            .filter(|&peer| peer != self.authority.as_usize())
-            .take(committee.f())
-            .collect()
     }
 
     fn is_offline(&self, now: Time) -> bool {
@@ -242,15 +158,24 @@ impl SimValidator {
 
     /// Enqueues client transactions (id, submission time).
     pub fn submit_transactions(&mut self, txs: impl IntoIterator<Item = (u64, Time)>) {
-        if self.is_crashed(self.round) {
+        if self.is_crashed(self.engine.round()) {
             return;
         }
-        self.tx_queue.extend(txs);
+        for (id, submitted) in txs {
+            // Enqueue-only input: inclusion happens at the next
+            // production, exactly as the runner's follow-up
+            // `maybe_advance` expects.
+            let outputs = self.engine.handle(Input::TxSubmitted {
+                transaction: Transaction::new(id.to_le_bytes().to_vec()),
+                tag: submitted,
+            });
+            debug_assert!(outputs.is_empty());
+        }
     }
 
     /// Handles a delivered message, returning follow-up actions.
     pub fn on_message(&mut self, now: Time, from: usize, message: SimMessage) -> Vec<Action> {
-        if self.is_crashed(self.round + 1) {
+        if self.is_crashed(self.engine.round() + 1) {
             return Vec::new();
         }
         if self.is_offline(now) {
@@ -259,147 +184,16 @@ impl SimValidator {
             return Vec::new();
         }
         let mut actions = Vec::new();
-        match message {
-            SimMessage::Block(block) => {
-                self.accept_block(block, from, &mut actions);
-            }
-            SimMessage::Proposal(block) => {
-                let reference = block.reference();
-                self.pending_proposals.insert(reference, block);
-                actions.push(Action::Send(
-                    from,
-                    SimMessage::Ack {
-                        reference,
-                        voter: self.authority,
-                    },
-                ));
-            }
-            SimMessage::Ack { reference, voter } => {
-                if reference.author == self.authority && !self.certified_own.contains(&reference) {
-                    let votes = self.ack_votes.entry(reference).or_default();
-                    votes.insert(voter);
-                    if votes.len() >= self.setup.committee().quorum_threshold() {
-                        let signatures = votes.len();
-                        self.certified_own.insert(reference);
-                        let certificate = SimMessage::Certificate {
-                            reference,
-                            signatures,
-                        };
-                        if matches!(self.behavior, Behavior::WithholdingLeader)
-                            && self.is_elected_leader(reference.round)
-                        {
-                            // Certified-DAG variant of the withholding
-                            // attack: the proposal was public (acks were
-                            // needed), but the certificate that would let
-                            // peers admit the leader block reaches fewer
-                            // than f + 1 of them.
-                            for peer in self.withholding_targets() {
-                                actions.push(Action::Send(peer, certificate.clone()));
-                            }
-                        } else {
-                            actions.push(Action::Broadcast(certificate));
-                        }
-                        // Apply the certificate locally.
-                        if let Some(block) = self.pending_proposals.remove(&reference) {
-                            self.accept_block(block, from, &mut actions);
-                        }
-                    }
-                }
-            }
-            SimMessage::Certificate { reference, .. } => {
-                if let Some(block) = self.pending_proposals.remove(&reference) {
-                    self.accept_block(block, from, &mut actions);
-                } else if !self.store.contains(&reference) {
-                    // Certificate outran the proposal: fetch the block.
-                    actions.push(Action::Send(from, SimMessage::Request(vec![reference])));
-                }
-            }
-            SimMessage::Request(references) => {
-                let blocks: Vec<Arc<Block>> = references
-                    .iter()
-                    .filter_map(|reference| self.store.get(reference).cloned())
-                    .collect();
-                if !blocks.is_empty() {
-                    actions.push(Action::Send(from, SimMessage::Response(blocks)));
-                }
-                // Evidence catch-up: a peer driving the synchronizer is
-                // repairing gaps (e.g. restarting after an outage) and may
-                // have missed the one-shot conviction gossip; piggyback
-                // this validator's convictions so culprit sets converge
-                // even for validators that were down when proofs flooded.
-                for (_, proof) in self.evidence.iter() {
-                    actions.push(Action::Send(from, SimMessage::Evidence(proof.clone())));
-                }
-            }
-            SimMessage::Response(blocks) => {
-                for block in blocks {
-                    self.accept_block(block, from, &mut actions);
-                }
-            }
-            SimMessage::Evidence(proof) => {
-                self.ingest_evidence(proof, &mut actions);
-            }
-        }
-        actions.extend(self.maybe_advance(now));
-        actions.extend(self.try_commit(now));
+        let outputs = self.engine.handle(Input::TimerFired { now });
+        Self::apply(outputs, &mut actions);
+        let outputs = self.engine.handle(Input::from_envelope(from, message));
+        Self::apply(outputs, &mut actions);
         actions
     }
 
-    /// Validates and inserts a block, driving the synchronizer on gaps.
-    fn accept_block(&mut self, block: Arc<Block>, from: usize, actions: &mut Vec<Action>) {
-        if block.verify(self.setup.committee()).is_err() {
-            return; // invalid blocks are dropped (paper: discarded)
-        }
-        match self.store.insert(block) {
-            Ok(InsertResult::Inserted(admitted)) => {
-                for reference in admitted {
-                    self.note_admitted(reference);
-                }
-                self.harvest_evidence(actions);
-            }
-            Ok(InsertResult::Pending(missing)) => {
-                actions.push(Action::Send(from, SimMessage::Request(missing)));
-            }
-            Ok(InsertResult::Duplicate) | Ok(InsertResult::BelowGcFloor) => {}
-            Err(_) => {}
-        }
-    }
-
-    /// Collects proofs the store emitted at admission, convicting locally
-    /// and gossiping each *new* conviction once.
-    fn harvest_evidence(&mut self, actions: &mut Vec<Action>) {
-        for proof in self.store.take_equivocation_evidence() {
-            self.ingest_evidence(proof, actions);
-        }
-    }
-
-    /// Convicts through the evidence pool; first-time convictions are
-    /// re-broadcast (flood-once gossip), so one detection anywhere reaches
-    /// every honest validator even if only a subset ever stores both
-    /// conflicting blocks. Invalid proofs from untrusted peers are dropped.
-    fn ingest_evidence(&mut self, proof: EquivocationProof, actions: &mut Vec<Action>) {
-        if self.evidence.submit(proof.clone()) == Ok(true) {
-            actions.push(Action::Broadcast(SimMessage::Evidence(proof)));
-        }
-    }
-
-    /// Bookkeeping for a block that joined the DAG: maintain the
-    /// unreferenced-tips set.
-    fn note_admitted(&mut self, reference: BlockRef) {
-        let parents: Vec<BlockRef> = self
-            .store
-            .get(&reference)
-            .map(|block| block.parents().to_vec())
-            .unwrap_or_default();
-        for parent in parents {
-            self.unreferenced.remove(&parent);
-        }
-        self.unreferenced.insert(reference);
-    }
-
-    /// Produces blocks while the previous round holds a quorum (and the
-    /// inclusion wait has elapsed). Called by the runner at start-up, after
-    /// every state change, and on scheduled wake-ups.
+    /// Advances the engine clock: produces blocks when pacing allows,
+    /// releases paced messages, runs the commit rule. Called by the runner
+    /// at start-up, after every state change, and on scheduled wake-ups.
     pub fn maybe_advance(&mut self, now: Time) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.is_offline(now) {
@@ -409,292 +203,24 @@ impl SimValidator {
             }
             return actions;
         }
-        // Release deliberately-delayed messages that have come due
-        // (slow-proposer pacing), and re-arm the wake-up for the rest.
-        while self
-            .pending_out
-            .front()
-            .is_some_and(|&(release, _)| release <= now)
-        {
-            let (_, message) = self.pending_out.pop_front().expect("checked front");
-            actions.push(Action::Broadcast(message));
-        }
-        if let Some(&(release, _)) = self.pending_out.front() {
-            actions.push(Action::WakeAt(release));
-        }
-        loop {
-            let next = self.round + 1;
-            if self.is_crashed(next) {
-                break;
-            }
-            let quorum = self.setup.committee().quorum_threshold();
-            let present = self.store.authorities_at_round(self.round).len();
-            if present < quorum {
-                self.quorum_since = None;
-                break;
-            }
-            // For certified protocols the own previous block must itself be
-            // certified (in store) before extending it.
-            if self.round > 0
-                && self
-                    .store
-                    .blocks_in_slot(mahimahi_types::Slot::new(self.round, self.authority))
-                    .is_empty()
-            {
-                break;
-            }
-            // Post-quorum inclusion wait — skipped once every validator's
-            // block is already here (nothing left to wait for).
-            if present < self.setup.committee().size() && self.inclusion_wait > 0 {
-                let since = *self.quorum_since.get_or_insert(now);
-                let ready_at = since + self.inclusion_wait;
-                if now < ready_at {
-                    actions.push(Action::WakeAt(ready_at));
-                    break;
-                }
-            }
-            self.quorum_since = None;
-            actions.extend(self.produce(next, now));
-            self.round = next;
-        }
+        let outputs = self.engine.handle(Input::TimerFired { now });
+        Self::apply(outputs, &mut actions);
         actions
     }
 
-    /// Builds, stores, and disseminates the block for `round`.
-    fn produce(&mut self, round: Round, now: Time) -> Vec<Action> {
-        let committee_size = self.setup.committee().size();
-        // Parents: own previous block first, then every block of the
-        // previous round, then older unreferenced tips (straggler support).
-        let own_previous = self
-            .store
-            .blocks_in_slot(mahimahi_types::Slot::new(round - 1, self.authority))
-            .first()
-            .map(|block| block.reference())
-            .expect("own chain extends round by round");
-        let mut parents = vec![own_previous];
-        let mut seen: HashSet<BlockRef> = parents.iter().copied().collect();
-        for block in self.store.blocks_at_round(round - 1) {
-            let reference = block.reference();
-            if seen.insert(reference) {
-                parents.push(reference);
+    /// Maps engine outputs onto runner actions. Persistence and commit
+    /// notifications have no simulator-side effect (metrics read the
+    /// engine's counters directly); everything else forwards one-to-one.
+    fn apply(outputs: Vec<Output>, actions: &mut Vec<Action>) {
+        for output in outputs {
+            match output {
+                Output::Broadcast(envelope) => actions.push(Action::Broadcast(envelope)),
+                Output::SendTo(peer, envelope) => actions.push(Action::Send(peer, envelope)),
+                Output::TxsCommitted(submits) => actions.push(Action::TxsCommitted(submits)),
+                Output::WakeAt(time) => actions.push(Action::WakeAt(time)),
+                Output::Committed(_) | Output::Persist(_) | Output::Convicted(_) => {}
             }
         }
-        for &reference in &self.unreferenced {
-            if reference.round < round - 1 && seen.insert(reference) {
-                parents.push(reference);
-            }
-        }
-
-        // Pull transactions from the client queue.
-        let take = self.tx_queue.len().min(self.max_block_transactions);
-        let mut submits = Vec::with_capacity(take);
-        let mut transactions = Vec::with_capacity(take);
-        for _ in 0..take {
-            let (id, submitted) = self.tx_queue.pop_front().expect("checked length");
-            submits.push(submitted);
-            transactions.push(Transaction::new(id.to_le_bytes().to_vec()));
-        }
-
-        let build = |tag: Option<u64>| -> Arc<Block> {
-            let mut builder = BlockBuilder::new(self.authority, round)
-                .parents(parents.clone())
-                .transactions(transactions.iter().cloned());
-            if let Some(tag) = tag {
-                builder = builder.transaction(Transaction::new(tag.to_le_bytes().to_vec()));
-            }
-            builder
-                .build_with(
-                    self.setup.keypair(self.authority),
-                    self.setup.coin_secret(self.authority),
-                )
-                .into_arc()
-        };
-
-        let mut actions = Vec::new();
-        match self.behavior {
-            Behavior::Equivocator if !self.certified => {
-                // Two variants; own chain continues on variant A. Halves of
-                // the committee receive different variants and sort it out
-                // through the synchronizer.
-                let variant_a = build(Some(1));
-                let variant_b = build(Some(2));
-                self.own_block_txs
-                    .insert(variant_a.reference(), submits.clone());
-                self.own_block_txs.insert(variant_b.reference(), submits);
-                self.insert_own(variant_a.clone());
-                for peer in 0..committee_size {
-                    if peer == self.authority.as_usize() {
-                        continue;
-                    }
-                    let variant = if peer < committee_size / 2 {
-                        variant_a.clone()
-                    } else {
-                        variant_b.clone()
-                    };
-                    actions.push(Action::Send(peer, SimMessage::Block(variant)));
-                }
-            }
-            Behavior::SplitBrainEquivocator { minority } if !self.certified => {
-                // Split-brain along the partition boundary: peers below
-                // `minority` see variant A, the rest variant B, so each side
-                // builds on an internally consistent but globally
-                // conflicting chain. Own chain extends this validator's own
-                // side of the split.
-                let variant_a = build(Some(1));
-                let variant_b = build(Some(2));
-                self.own_block_txs
-                    .insert(variant_a.reference(), submits.clone());
-                self.own_block_txs.insert(variant_b.reference(), submits);
-                let own_side_a = self.authority.as_usize() < minority;
-                self.insert_own(if own_side_a {
-                    variant_a.clone()
-                } else {
-                    variant_b.clone()
-                });
-                for peer in 0..committee_size {
-                    if peer == self.authority.as_usize() {
-                        continue;
-                    }
-                    let variant = if peer < minority {
-                        variant_a.clone()
-                    } else {
-                        variant_b.clone()
-                    };
-                    actions.push(Action::Send(peer, SimMessage::Block(variant)));
-                }
-            }
-            Behavior::ForkSpammer { forks } if !self.certified => {
-                // `k` conflicting variants sprayed round-robin: every peer
-                // gets a valid-looking block, but the slot holds `k` forks
-                // that the synchronizer and commit rule must reconcile.
-                let k = forks.clamp(2, committee_size.max(2));
-                let variants: Vec<Arc<Block>> =
-                    (0..k).map(|fork| build(Some(fork as u64 + 1))).collect();
-                for variant in &variants {
-                    self.own_block_txs
-                        .insert(variant.reference(), submits.clone());
-                }
-                self.insert_own(variants[0].clone());
-                for peer in 0..committee_size {
-                    if peer == self.authority.as_usize() {
-                        continue;
-                    }
-                    actions.push(Action::Send(
-                        peer,
-                        SimMessage::Block(variants[peer % k].clone()),
-                    ));
-                }
-            }
-            Behavior::WithholdingLeader if !self.certified => {
-                let block = build(None);
-                self.own_block_txs.insert(block.reference(), submits);
-                self.insert_own(block.clone());
-                if self.is_elected_leader(round) {
-                    // Elected: disclose to fewer than f + 1 peers so the
-                    // slot can never gather a certificate pattern.
-                    for peer in self.withholding_targets() {
-                        actions.push(Action::Send(peer, SimMessage::Block(block.clone())));
-                    }
-                } else {
-                    // Off-slot rounds look perfectly honest.
-                    actions.push(Action::Broadcast(SimMessage::Block(block)));
-                }
-            }
-            Behavior::SlowProposer { delay } if !self.certified => {
-                // Built (and locally inserted) on time, released late.
-                let block = build(None);
-                self.own_block_txs.insert(block.reference(), submits);
-                self.insert_own(block.clone());
-                let release = now + delay;
-                self.pending_out
-                    .push_back((release, SimMessage::Block(block)));
-                actions.push(Action::WakeAt(release));
-            }
-            Behavior::Mute => {
-                let block = build(None);
-                self.own_block_txs.insert(block.reference(), submits);
-                self.insert_own(block);
-                // Never sent: the slot looks empty to everyone else.
-            }
-            Behavior::SlowProposer { delay } => {
-                // Certified pipeline, paced late: the proposal itself is
-                // held back, delaying the whole ack/certificate exchange.
-                let block = build(None);
-                let reference = block.reference();
-                self.own_block_txs.insert(reference, submits);
-                self.pending_proposals.insert(reference, block.clone());
-                self.ack_votes
-                    .entry(reference)
-                    .or_default()
-                    .insert(self.authority);
-                let release = now + delay;
-                self.pending_out
-                    .push_back((release, SimMessage::Proposal(block)));
-                actions.push(Action::WakeAt(release));
-            }
-            _ if self.certified => {
-                let block = build(None);
-                let reference = block.reference();
-                self.own_block_txs.insert(reference, submits);
-                // Certification first: proposal → acks → certificate.
-                self.pending_proposals.insert(reference, block.clone());
-                self.ack_votes
-                    .entry(reference)
-                    .or_default()
-                    .insert(self.authority);
-                actions.push(Action::Broadcast(SimMessage::Proposal(block)));
-            }
-            _ => {
-                let block = build(None);
-                self.own_block_txs.insert(block.reference(), submits);
-                self.insert_own(block.clone());
-                actions.push(Action::Broadcast(SimMessage::Block(block)));
-            }
-        }
-        // Own inserts can complete a buffered conflicting pair through the
-        // waiter chain; collect whatever the store emitted.
-        self.harvest_evidence(&mut actions);
-        actions
-    }
-
-    fn insert_own(&mut self, block: Arc<Block>) {
-        if let Ok(InsertResult::Inserted(admitted)) = self.store.insert(block) {
-            for reference in admitted {
-                self.note_admitted(reference);
-            }
-        }
-    }
-
-    /// Runs the commit rule and books newly committed transactions.
-    pub fn try_commit(&mut self, now: Time) -> Vec<Action> {
-        let mut actions = Vec::new();
-        for decision in self.sequencer.try_commit(&self.store) {
-            match decision {
-                CommitDecision::Skip(..) => {
-                    self.skipped_slots += 1;
-                    self.commit_log.push(None);
-                }
-                CommitDecision::Commit(sub_dag) => {
-                    self.commit_log.push(Some(sub_dag.leader));
-                    self.committed_slots += 1;
-                    self.sequenced_blocks += sub_dag.blocks.len() as u64;
-                    let mut submits = Vec::new();
-                    for block in &sub_dag.blocks {
-                        self.committed_transactions += block.transactions().len() as u64;
-                        if block.author() == self.authority {
-                            if let Some(mine) = self.own_block_txs.remove(&block.reference()) {
-                                submits.extend(mine);
-                            }
-                        }
-                    }
-                    if !submits.is_empty() {
-                        actions.push(Action::TxsCommitted(submits));
-                    }
-                }
-            }
-        }
-        let _ = now;
-        actions
     }
 }
 
@@ -702,6 +228,19 @@ impl SimValidator {
 mod tests {
     use super::*;
     use crate::config::ProtocolChoice;
+    use mahimahi_types::Block;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::Arc;
+
+    /// Election probe mirroring the strategies' internal oracle.
+    fn elected(schedule: crate::config::LeaderSchedule, authority: u32, round: Round) -> bool {
+        crate::strategy::Elector::new(
+            AuthorityIndex(authority),
+            TestCommittee::new(4, 7),
+            schedule,
+        )
+        .is_elected_leader(round)
+    }
 
     fn validator(authority: u32, behavior: Behavior, certified: bool) -> SimValidator {
         let setup = TestCommittee::new(4, 7);
@@ -723,15 +262,21 @@ mod tests {
         )
     }
 
+    /// Broadcast block actions (the production path most tests inspect).
+    fn broadcast_block(actions: &[Action]) -> Option<Arc<Block>> {
+        actions.iter().find_map(|action| match action {
+            Action::Broadcast(SimMessage::Block(block)) => Some(block.clone()),
+            _ => None,
+        })
+    }
+
     #[test]
     fn produces_round_one_at_startup() {
         let mut v = validator(0, Behavior::Honest, false);
         let actions = v.maybe_advance(0);
         assert_eq!(v.round(), 1);
-        assert!(
-            matches!(&actions[..], [Action::Broadcast(SimMessage::Block(b))]
-            if b.round() == 1)
-        );
+        assert_eq!(actions.len(), 1, "one broadcast, nothing else");
+        assert!(broadcast_block(&actions).is_some_and(|b| b.round() == 1));
     }
 
     #[test]
@@ -752,10 +297,9 @@ mod tests {
             .collect();
         let mut round_one = Vec::new();
         for v in validators.iter_mut() {
-            for action in v.maybe_advance(0) {
-                if let Action::Broadcast(SimMessage::Block(block)) = action {
-                    round_one.push((v.authority().as_usize(), block));
-                }
+            let actions = v.maybe_advance(0);
+            if let Some(block) = broadcast_block(&actions) {
+                round_one.push((v.authority().as_usize(), block));
             }
         }
         assert_eq!(round_one.len(), 4);
@@ -776,9 +320,7 @@ mod tests {
         let mut v = validator(2, Behavior::Honest, false);
         v.submit_transactions([(10, 5), (11, 6)]);
         let actions = v.maybe_advance(10);
-        let Action::Broadcast(SimMessage::Block(block)) = &actions[0] else {
-            panic!("expected block broadcast");
-        };
+        let block = broadcast_block(&actions).expect("expected block broadcast");
         assert_eq!(block.transactions().len(), 2);
         assert_eq!(v.queued_transactions(), 0);
     }
@@ -788,9 +330,7 @@ mod tests {
         let mut v = validator(2, Behavior::Honest, false);
         v.submit_transactions((0..500u64).map(|i| (i, 0)));
         let actions = v.maybe_advance(10);
-        let Action::Broadcast(SimMessage::Block(block)) = &actions[0] else {
-            panic!("expected block broadcast");
-        };
+        let block = broadcast_block(&actions).expect("expected block broadcast");
         assert_eq!(block.transactions().len(), 100);
         assert_eq!(v.queued_transactions(), 400);
     }
@@ -799,18 +339,14 @@ mod tests {
     fn certified_validator_waits_for_certificate() {
         let mut v = validator(0, Behavior::Honest, true);
         let actions = v.maybe_advance(0);
-        assert!(matches!(
-            &actions[..],
-            [Action::Broadcast(SimMessage::Proposal(_))]
-        ));
+        let reference = match &actions[..] {
+            [Action::Broadcast(SimMessage::Proposal(block))] => block.reference(),
+            other => panic!("expected proposal broadcast, got {other:?}"),
+        };
         // Not in the DAG yet: the round counter advanced but the store has
         // no round-1 block until the certificate forms.
         assert_eq!(v.store().blocks_at_round(1).len(), 0);
         // Acks from two peers complete the quorum (own ack counts).
-        let reference = match &actions[0] {
-            Action::Broadcast(SimMessage::Proposal(block)) => block.reference(),
-            _ => unreachable!(),
-        };
         let more = v.on_message(
             10,
             1,
@@ -843,9 +379,7 @@ mod tests {
         let block = dag.store().get(&r2[1]).unwrap().clone();
 
         let mut v = validator(0, Behavior::Honest, false);
-        // Deliver a round-2 block whose round-1 parents are unknown (other
-        // than v's own? v produced its own round 1 via a different setup —
-        // all four parents are unknown here).
+        // Deliver a round-2 block whose round-1 parents are unknown.
         let actions = v.on_message(0, 1, SimMessage::Block(block));
         assert!(actions.iter().any(|a| matches!(a,
             Action::Send(1, SimMessage::Request(refs)) if !refs.is_empty())));
@@ -937,9 +471,10 @@ mod tests {
         // round 1 must withhold (≤ f sends), everyone else broadcasts.
         let mut saw_withholding = false;
         let mut saw_broadcast = false;
+        let schedule = ProtocolChoice::MahiMahi5 { leaders: 2 }.leader_schedule();
         for authority in 0..4u32 {
             let mut v = validator(authority, Behavior::WithholdingLeader, false);
-            let elected = v.is_elected_leader(1);
+            let elected = elected(schedule, authority, 1);
             let actions = v.maybe_advance(0);
             let sends = actions
                 .iter()
@@ -986,25 +521,78 @@ mod tests {
     fn elections_follow_the_schedule() {
         // Cordial Miners proposes only on rounds 1, 6, 11, …: off-schedule
         // rounds never elect anyone.
+        let cordial = ProtocolChoice::CordialMiners.leader_schedule();
+        assert!(!elected(cordial, 0, 2));
+        assert!(!elected(cordial, 0, 5));
+        // Propose rounds elect exactly `leaders` among the committee.
+        let mahi = ProtocolChoice::MahiMahi5 { leaders: 2 }.leader_schedule();
+        let count = (0..4).filter(|&a| elected(mahi, a, 6)).count();
+        assert_eq!(count, 2, "MahiMahi5 with 2 leaders elects 2 per round");
+    }
+
+    #[test]
+    fn convicted_equivocator_is_excluded_from_parents() {
+        // Validator 0 convicts v3 through at-source detection, then sees
+        // every round-1 block before producing round 2 (the inclusion wait
+        // holds production open): its later blocks must not reference
+        // v3's chain.
         let setup = TestCommittee::new(4, 7);
-        let committer = ProtocolChoice::CordialMiners.committer(setup.committee().clone());
-        let mut v = SimValidator::new(
-            AuthorityIndex(0),
-            setup,
-            committer,
-            Behavior::WithholdingLeader,
-            false,
-            100,
-            0,
-            ProtocolChoice::CordialMiners.leader_schedule(),
-        );
-        assert!(!v.is_elected_leader(2));
-        assert!(!v.is_elected_leader(5));
-        // Propose rounds elect exactly one leader among the committee.
-        let elected = (0..4)
-            .map(|a| validator(a, Behavior::WithholdingLeader, false))
-            .filter_map(|mut v| v.is_elected_leader(6).then_some(()))
-            .count();
-        assert_eq!(elected, 2, "MahiMahi5 with 2 leaders elects 2 per round");
+        let protocol = ProtocolChoice::MahiMahi5 { leaders: 2 };
+        let mut validators: Vec<SimValidator> = (0..3)
+            .map(|a| {
+                SimValidator::new(
+                    AuthorityIndex(a),
+                    setup.clone(),
+                    protocol.committer(setup.committee().clone()),
+                    Behavior::Honest,
+                    false,
+                    100,
+                    1_000, // hold round 2 open until all of round 1 is here
+                    protocol.leader_schedule(),
+                )
+            })
+            .collect();
+        let mut equivocator = validator(3, Behavior::Equivocator, false);
+
+        // The equivocator sprays two variants; deliver both to validator 0
+        // FIRST so it convicts before its round-1 quorum completes — the
+        // exclusion must then bite on the very next production.
+        let mut round_one: Vec<(usize, Arc<Block>)> = Vec::new();
+        let eq_actions = equivocator.maybe_advance(0);
+        for action in &eq_actions {
+            if let Action::Send(_, SimMessage::Block(block)) = action {
+                round_one.push((3, block.clone()));
+            }
+        }
+        for v in validators.iter_mut() {
+            let actions = v.maybe_advance(0);
+            if let Some(block) = broadcast_block(&actions) {
+                round_one.push((v.authority().as_usize(), block));
+            }
+        }
+        let mut target = validators.remove(0);
+        for (from, block) in &round_one {
+            if *from == 0 {
+                continue;
+            }
+            target.on_message(100, *from, SimMessage::Block(block.clone()));
+        }
+        assert_eq!(target.convicted(), vec![AuthorityIndex(3)]);
+        assert!(target.round() >= 2, "round advanced past the conviction");
+        // Every block produced after the conviction shuns v3's blocks.
+        for round in 2..=target.round() {
+            let own = target
+                .store()
+                .blocks_in_slot(mahimahi_types::Slot::new(round, AuthorityIndex(0)));
+            for block in own {
+                assert!(
+                    block
+                        .parents()
+                        .iter()
+                        .all(|p| p.author != AuthorityIndex(3)),
+                    "round {round} references the convicted equivocator"
+                );
+            }
+        }
     }
 }

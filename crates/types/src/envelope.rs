@@ -1,0 +1,232 @@
+//! The wire-agnostic message vocabulary of the protocol.
+//!
+//! Every validator driver — the deterministic simulator, the TCP node, the
+//! loopback test harness — exchanges exactly these messages. The sans-I/O
+//! validator engine (`mahimahi-core`) consumes and emits [`Envelope`]s
+//! without knowing how they travel: the simulator passes them by value
+//! through its virtual network, the node serializes them with the codec
+//! below and frames them over TCP. Keeping one enum here (rather than a
+//! per-driver message type) is what guarantees the drivers cannot drift
+//! apart in what they can say.
+//!
+//! Uncertified protocols (Mahi-Mahi, Cordial Miners) use only
+//! [`Envelope::Block`], [`Envelope::Request`], [`Envelope::Response`], and
+//! [`Envelope::Evidence`]. Tusk's certified pipeline adds the
+//! consistent-broadcast triple [`Envelope::Proposal`] → [`Envelope::Ack`] →
+//! [`Envelope::Certificate`].
+
+use crate::block::{Block, BlockRef};
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::evidence::EquivocationProof;
+use crate::ids::AuthorityIndex;
+use std::sync::Arc;
+
+/// One protocol message, independent of transport.
+#[derive(Debug, Clone)]
+pub enum Envelope {
+    /// Best-effort block dissemination (uncertified DAGs).
+    Block(Arc<Block>),
+    /// Certified pipeline step 1: a block awaiting acknowledgements.
+    Proposal(Arc<Block>),
+    /// Certified pipeline step 2: a signed acknowledgement back to the
+    /// author.
+    Ack {
+        /// The acknowledged block.
+        reference: BlockRef,
+        /// The acknowledging validator.
+        voter: AuthorityIndex,
+    },
+    /// Certified pipeline step 3: the certificate releasing the block into
+    /// the DAG. Carries the number of aggregated signatures (the
+    /// simulator's CPU model charges per signature).
+    Certificate {
+        /// The certified block's reference (recipients hold the proposal).
+        reference: BlockRef,
+        /// Signatures aggregated in the certificate.
+        signatures: usize,
+    },
+    /// Synchronizer: ask the peer for missing blocks.
+    Request(Vec<BlockRef>),
+    /// Synchronizer: blocks answering an [`Envelope::Request`].
+    Response(Vec<Arc<Block>>),
+    /// Fault attribution: a self-contained equivocation proof, gossiped so
+    /// every honest validator converges on the same culprit set.
+    Evidence(EquivocationProof),
+}
+
+const TAG_BLOCK: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_RESPONSE: u8 = 3;
+const TAG_PROPOSAL: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_CERTIFICATE: u8 = 6;
+const TAG_EVIDENCE: u8 = 7;
+
+impl Encode for Envelope {
+    fn encode(&self, encoder: &mut Encoder) {
+        match self {
+            Envelope::Block(block) => {
+                encoder.put_u8(TAG_BLOCK);
+                block.as_ref().encode(encoder);
+            }
+            Envelope::Proposal(block) => {
+                encoder.put_u8(TAG_PROPOSAL);
+                block.as_ref().encode(encoder);
+            }
+            Envelope::Ack { reference, voter } => {
+                encoder.put_u8(TAG_ACK);
+                reference.encode(encoder);
+                encoder.put_u32(voter.0);
+            }
+            Envelope::Certificate {
+                reference,
+                signatures,
+            } => {
+                encoder.put_u8(TAG_CERTIFICATE);
+                reference.encode(encoder);
+                encoder.put_u32(u32::try_from(*signatures).expect("signature count fits u32"));
+            }
+            Envelope::Request(references) => {
+                encoder.put_u8(TAG_REQUEST);
+                references.encode(encoder);
+            }
+            Envelope::Response(blocks) => {
+                encoder.put_u8(TAG_RESPONSE);
+                encoder.put_u32(u32::try_from(blocks.len()).expect("block count fits u32"));
+                for block in blocks {
+                    block.as_ref().encode(encoder);
+                }
+            }
+            Envelope::Evidence(proof) => {
+                encoder.put_u8(TAG_EVIDENCE);
+                proof.encode(encoder);
+            }
+        }
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match decoder.get_u8()? {
+            TAG_BLOCK => Ok(Envelope::Block(Block::decode(decoder)?.into_arc())),
+            TAG_PROPOSAL => Ok(Envelope::Proposal(Block::decode(decoder)?.into_arc())),
+            TAG_ACK => Ok(Envelope::Ack {
+                reference: BlockRef::decode(decoder)?,
+                voter: AuthorityIndex(decoder.get_u32()?),
+            }),
+            TAG_CERTIFICATE => Ok(Envelope::Certificate {
+                reference: BlockRef::decode(decoder)?,
+                signatures: decoder.get_u32()? as usize,
+            }),
+            TAG_REQUEST => Ok(Envelope::Request(Vec::<BlockRef>::decode(decoder)?)),
+            TAG_RESPONSE => {
+                let count = decoder.get_u32()? as usize;
+                let mut blocks = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    blocks.push(Block::decode(decoder)?.into_arc());
+                }
+                Ok(Envelope::Response(blocks))
+            }
+            TAG_EVIDENCE => Ok(Envelope::Evidence(EquivocationProof::decode(decoder)?)),
+            _ => Err(CodecError::InvalidValue("envelope tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committee::TestCommittee;
+
+    fn conflicting_pair(setup: &TestCommittee, author: u32) -> EquivocationProof {
+        EquivocationProof::synthetic(setup, AuthorityIndex(author))
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let setup = TestCommittee::new(4, 11);
+        let genesis = Block::genesis(AuthorityIndex(1)).into_arc();
+        let messages = vec![
+            Envelope::Block(genesis.clone()),
+            Envelope::Proposal(genesis.clone()),
+            Envelope::Ack {
+                reference: genesis.reference(),
+                voter: AuthorityIndex(2),
+            },
+            Envelope::Certificate {
+                reference: genesis.reference(),
+                signatures: 3,
+            },
+            Envelope::Request(vec![genesis.reference()]),
+            Envelope::Response(vec![genesis.clone()]),
+            Envelope::Evidence(conflicting_pair(&setup, 1)),
+        ];
+        for message in messages {
+            let bytes = message.to_bytes_vec();
+            let decoded = Envelope::from_bytes_exact(&bytes).unwrap();
+            match (&message, &decoded) {
+                (Envelope::Block(a), Envelope::Block(b))
+                | (Envelope::Proposal(a), Envelope::Proposal(b)) => {
+                    assert_eq!(a.reference(), b.reference());
+                }
+                (
+                    Envelope::Ack {
+                        reference: a,
+                        voter: x,
+                    },
+                    Envelope::Ack {
+                        reference: b,
+                        voter: y,
+                    },
+                ) => {
+                    assert_eq!((a, x), (b, y));
+                }
+                (
+                    Envelope::Certificate {
+                        reference: a,
+                        signatures: x,
+                    },
+                    Envelope::Certificate {
+                        reference: b,
+                        signatures: y,
+                    },
+                ) => {
+                    assert_eq!((a, x), (b, y));
+                }
+                (Envelope::Request(a), Envelope::Request(b)) => assert_eq!(a, b),
+                (Envelope::Response(a), Envelope::Response(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    assert_eq!(a[0].reference(), b[0].reference());
+                }
+                (Envelope::Evidence(a), Envelope::Evidence(b)) => assert_eq!(a, b),
+                _ => panic!("variant changed in round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(Envelope::from_bytes_exact(&[9]).is_err());
+    }
+
+    #[test]
+    fn truncated_envelope_rejected() {
+        let genesis = Block::genesis(AuthorityIndex(1)).into_arc();
+        let bytes = Envelope::Block(genesis).to_bytes_vec();
+        assert!(Envelope::from_bytes_exact(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn forged_evidence_is_rejected_at_decode() {
+        // EquivocationProof::decode structurally re-validates: two blocks
+        // that do not conflict must not decode into a proof.
+        let setup = TestCommittee::new(4, 11);
+        let proof = conflicting_pair(&setup, 2);
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_EVIDENCE);
+        // Same block twice: author/round match but digests are equal.
+        proof.first().as_ref().encode(&mut encoder);
+        proof.first().as_ref().encode(&mut encoder);
+        assert!(Envelope::from_bytes_exact(&encoder.into_bytes()).is_err());
+    }
+}

@@ -197,6 +197,32 @@ impl EquivocationProof {
     pub fn serialized_size(&self) -> usize {
         self.encoded_len()
     }
+
+    /// Test support: a genuine conviction — two conflicting, validly
+    /// signed round-1 blocks by `author` over `setup`'s genesis. Used
+    /// across the workspace's test suites to exercise evidence paths
+    /// without hand-rolling the pair in every crate.
+    #[doc(hidden)]
+    pub fn synthetic(setup: &crate::committee::TestCommittee, author: AuthorityIndex) -> Self {
+        use crate::block::BlockBuilder;
+        use crate::transaction::Transaction;
+        let genesis = Block::all_genesis(setup.committee().size());
+        let build = |tag: u64| {
+            let mut parents = vec![genesis[author.as_usize()].reference()];
+            parents.extend(
+                genesis
+                    .iter()
+                    .map(Block::reference)
+                    .filter(|reference| reference.author != author),
+            );
+            BlockBuilder::new(author, 1)
+                .parents(parents)
+                .transaction(Transaction::benchmark(tag))
+                .build(setup)
+                .into_arc()
+        };
+        EquivocationProof::new(build(1), build(2)).expect("distinct tags conflict")
+    }
 }
 
 impl fmt::Display for EquivocationProof {

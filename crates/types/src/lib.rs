@@ -12,6 +12,8 @@
 //! - [`EquivocationProof`] packages two conflicting signed blocks by the
 //!   same author and round as self-contained, transferable slashing
 //!   evidence;
+//! - [`Envelope`] is the transport-agnostic message vocabulary every
+//!   validator driver (simulator, TCP node, test harnesses) speaks;
 //! - [`codec`] provides the deterministic binary wire format used by the
 //!   WAL and the TCP transport.
 //!
@@ -30,6 +32,7 @@
 pub mod block;
 pub mod codec;
 pub mod committee;
+pub mod envelope;
 pub mod evidence;
 pub mod ids;
 pub mod transaction;
@@ -37,6 +40,7 @@ pub mod transaction;
 pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use committee::{Committee, TestCommittee};
+pub use envelope::Envelope;
 pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};
 pub use transaction::Transaction;

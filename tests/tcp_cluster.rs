@@ -1,11 +1,17 @@
 //! Integration tests for the real-TCP validator stack: cluster commits,
 //! fault tolerance, and WAL crash recovery.
 
-use mahi_mahi::core::CommitterOptions;
+use mahi_mahi::core::{CommitterOptions, WalRecord};
 use mahi_mahi::node::{LocalCluster, NodeConfig, ValidatorNode};
 use mahi_mahi::transport::Transport;
-use mahi_mahi::types::{TestCommittee, Transaction};
+use mahi_mahi::types::{AuthorityIndex, Encode, EquivocationProof, TestCommittee, Transaction};
 use std::time::Duration;
+
+/// A signed conflicting round-1 pair by `author` — a genuine conviction to
+/// persist on the wire/WAL paths.
+fn conflicting_pair(setup: &TestCommittee, author: u32) -> EquivocationProof {
+    EquivocationProof::synthetic(setup, AuthorityIndex(author))
+}
 
 #[test]
 fn four_node_cluster_commits_transactions() {
@@ -132,6 +138,15 @@ fn killed_node_restarts_from_its_wal_and_catches_up() {
     let node0 = handles.remove(0);
     let killed_at_round = node0.round();
     node0.stop();
+    // While the node is down, a conviction lands in its WAL (as the
+    // engine's Persist output would have written it had the Evidence
+    // frame arrived before the crash): restart must re-load it.
+    {
+        let mut wal = mahi_mahi::wal::FileWal::open_path(dir.join("v0.wal")).unwrap();
+        wal.append(&WalRecord::Evidence(conflicting_pair(&setup, 3)).to_bytes_vec())
+            .unwrap();
+        wal.sync().unwrap();
+    }
     for id in 40..80u64 {
         handles[(id % 3) as usize].submit(Transaction::benchmark(id));
     }
@@ -172,6 +187,11 @@ fn killed_node_restarts_from_its_wal_and_catches_up() {
         recovered.round() >= killed_at_round,
         "WAL recovery lost rounds: {} < {killed_at_round}",
         recovered.round()
+    );
+    assert_eq!(
+        recovered.convicted(),
+        vec![AuthorityIndex(3)],
+        "persisted conviction must survive the crash-restart"
     );
     let restarted = recovered.start();
 
