@@ -1,0 +1,402 @@
+//! Open-loop load generator for the client-ingress/mempool subsystem.
+//!
+//! Drives a 4-validator cluster at a configurable per-validator
+//! transaction rate and payload size through the *wire* ingestion path
+//! (`Envelope::TxBatch` frames), then reports:
+//!
+//! - sustained committed throughput (tx/s);
+//! - the client-observed commit-latency histogram (p50/p99/max);
+//! - peak mempool occupancy against the configured capacity;
+//! - the transaction-integrity verdict (no loss, no duplication).
+//!
+//! A second, deliberately oversubscribed **saturation phase** pushes a
+//! burst far past the pool capacity and verifies the subsystem answers
+//! with `SubmitResult::Full` rejections and a bounded pool instead of
+//! unbounded memory growth.
+//!
+//! By default the cluster is the deterministic loopback driver (virtual
+//! time, real wire codec, in-memory WALs), so the run is reproducible and
+//! CI-friendly; `--tcp` runs the same workload wall-clock against real
+//! TCP nodes. The binary exits non-zero if any transaction is lost or
+//! duplicated, the latency histogram is empty, occupancy exceeds
+//! capacity, or the saturation phase sees no rejections — CI's
+//! `load-smoke` gate.
+//!
+//! Flags: `--quick` (short run), `--rate <tx/s per validator>`,
+//! `--tx-bytes <n>`, `--duration-s <n>`, `--capacity <txs>`, `--tcp`.
+
+use mahimahi_core::{CommitterOptions, MempoolConfig};
+use mahimahi_net::time::{self, Time};
+use mahimahi_node::{LocalCluster, LoopbackCluster, LoopbackConfig, TxClient};
+use mahimahi_sim::LatencyStats;
+use mahimahi_types::Transaction;
+use std::collections::HashMap;
+use std::io::Write;
+
+const NODES: usize = 4;
+const LINK_DELAY: Time = time::from_millis(30);
+const INCLUSION_WAIT: Time = time::from_millis(20);
+/// Client submission quantum (matches the simulator's batch interval).
+const BATCH_INTERVAL: Time = time::from_millis(5);
+
+struct Args {
+    tcp: bool,
+    rate_per_validator: u64,
+    tx_bytes: usize,
+    duration_s: u64,
+    capacity: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| argv.iter().any(|arg| arg == name);
+    let value = |name: &str| {
+        argv.iter()
+            .position(|arg| arg == name)
+            .and_then(|at| argv.get(at + 1))
+            .and_then(|raw| raw.parse::<u64>().ok())
+    };
+    let quick = flag("--quick");
+    Args {
+        tcp: flag("--tcp"),
+        rate_per_validator: value("--rate").unwrap_or(3_000),
+        tx_bytes: value("--tx-bytes").unwrap_or(Transaction::BENCHMARK_SIZE as u64) as usize,
+        duration_s: value("--duration-s").unwrap_or(if quick { 6 } else { 20 }),
+        capacity: value("--capacity").unwrap_or(50_000) as usize,
+    }
+}
+
+/// A transaction whose prefix encodes a globally unique id, padded to the
+/// configured payload size.
+fn load_tx(id: u64, tx_bytes: usize) -> Transaction {
+    let mut payload = vec![0u8; tx_bytes.max(8)];
+    payload[..8].copy_from_slice(&id.to_le_bytes());
+    Transaction::new(payload)
+}
+
+struct PhaseReport {
+    offered_tps: u64,
+    committed: u64,
+    throughput_tps: f64,
+    latency: LatencyStats,
+    peak_occupancy: u64,
+    capacity: u64,
+    rejected_full: u64,
+    violations: Vec<String>,
+}
+
+impl PhaseReport {
+    fn print(&self, title: &str) {
+        let mut latency = self.latency.clone();
+        println!(
+            "{title}: offered={:>6} tps | committed={:>8} | tput={:>8.0} tps | \
+             lat p50={:>6.3}s p99={:>6.3}s max={:>6.3}s | peak mempool={}/{} | full-rejects={}",
+            self.offered_tps,
+            self.committed,
+            self.throughput_tps,
+            latency.p50_s(),
+            latency.p99_s(),
+            self.latency.max_s(),
+            self.peak_occupancy,
+            self.capacity,
+            self.rejected_full,
+        );
+        for violation in &self.violations {
+            println!("  ✗ {violation}");
+        }
+    }
+
+    fn json(&self, phase: &str) -> String {
+        let mut latency = self.latency.clone();
+        format!(
+            "{{\"phase\":\"{phase}\",\"offered_tps\":{},\"committed\":{},\
+             \"throughput_tps\":{:.1},\"latency_p50_s\":{:.4},\"latency_p99_s\":{:.4},\
+             \"peak_occupancy\":{},\"capacity\":{},\"rejected_full\":{},\"pass\":{}}}",
+            self.offered_tps,
+            self.committed,
+            self.throughput_tps,
+            latency.p50_s(),
+            latency.p99_s(),
+            self.peak_occupancy,
+            self.capacity,
+            self.rejected_full,
+            self.violations.is_empty(),
+        )
+    }
+}
+
+/// The sustained-load phase on the deterministic loopback cluster.
+fn loopback_load_phase(args: &Args) -> PhaseReport {
+    let mut cluster = LoopbackCluster::new(LoopbackConfig {
+        nodes: NODES,
+        seed: 0x10ad,
+        options: CommitterOptions::mahi_mahi_5(2),
+        link_delay: LINK_DELAY,
+        inclusion_wait: INCLUSION_WAIT,
+        mempool: MempoolConfig {
+            capacity_txs: args.capacity,
+            ..MempoolConfig::default()
+        },
+    });
+    let window = time::from_secs(args.duration_s);
+    let drain = time::from_secs(2);
+    let mut next_id = 0u64;
+    let mut submitted_per_validator = 0u64;
+    let mut now = 0;
+    // Open loop: at every batch boundary, each validator receives the
+    // transactions that fell due since the last one (exact-rate clients).
+    while now < window {
+        let due = (now as u128 * args.rate_per_validator as u128 / time::SECOND as u128) as u64;
+        let count = due.saturating_sub(submitted_per_validator);
+        submitted_per_validator = due;
+        for validator in 0..NODES {
+            if count > 0 {
+                let batch: Vec<Transaction> = (0..count)
+                    .map(|_| {
+                        next_id += 1;
+                        load_tx(next_id, args.tx_bytes)
+                    })
+                    .collect();
+                cluster.submit_batch(validator, batch);
+            }
+        }
+        cluster.run_until(now);
+        now += BATCH_INTERVAL;
+    }
+    // Drain: let in-flight payloads commit.
+    cluster.run_until(window + drain);
+
+    let mut latency = LatencyStats::default();
+    let mut committed = 0u64;
+    let mut peak_occupancy = 0u64;
+    let mut rejected_full = 0u64;
+    let mut last_commit: Time = 0;
+    let mut violations = Vec::new();
+    for validator in 0..NODES {
+        for &(at, tag) in cluster.tx_commits(validator) {
+            // Tags are engine receive times; the client submitted one link
+            // delay earlier.
+            latency.record(at - tag + LINK_DELAY);
+            last_commit = last_commit.max(at);
+        }
+        let integrity = cluster.engine(validator).tx_integrity();
+        committed += integrity.own_committed;
+        peak_occupancy = peak_occupancy.max(integrity.peak_occupancy_txs);
+        rejected_full += integrity.rejected_full;
+        violations.extend(
+            integrity
+                .violations()
+                .into_iter()
+                .map(|violation| format!("validator {validator}: {violation}")),
+        );
+    }
+    if latency.is_empty() {
+        violations.push("empty commit-latency histogram".into());
+    }
+    let throughput_tps = if last_commit > 0 {
+        committed as f64 / time::as_secs_f64(last_commit)
+    } else {
+        0.0
+    };
+    let offered = args.rate_per_validator * NODES as u64;
+    if throughput_tps < 0.8 * offered as f64 {
+        violations.push(format!(
+            "sustained throughput {throughput_tps:.0} tps below 80% of the offered {offered} tps"
+        ));
+    }
+    PhaseReport {
+        offered_tps: offered,
+        committed,
+        throughput_tps,
+        latency,
+        peak_occupancy,
+        capacity: args.capacity as u64,
+        rejected_full,
+        violations,
+    }
+}
+
+/// The saturation phase: a burst several times the pool capacity must be
+/// answered with `Full` rejections and a bounded pool.
+fn loopback_saturation_phase() -> PhaseReport {
+    const CAPACITY: usize = 1_000;
+    const BURST: u64 = 5_000;
+    let mut cluster = LoopbackCluster::new(LoopbackConfig {
+        nodes: NODES,
+        seed: 0x5a7,
+        options: CommitterOptions::mahi_mahi_5(2),
+        link_delay: LINK_DELAY,
+        inclusion_wait: INCLUSION_WAIT,
+        mempool: MempoolConfig {
+            capacity_txs: CAPACITY,
+            ..MempoolConfig::default()
+        },
+    });
+    // One burst of 5× capacity, split into codec-sized batches, all
+    // arriving at the same instant at validator 0.
+    let mut offset = 0u64;
+    while offset < BURST {
+        let batch: Vec<Transaction> = (offset..(offset + 2_500).min(BURST))
+            .map(|id| load_tx(0xbeef_0000_0000 + id, 64))
+            .collect();
+        offset += batch.len() as u64;
+        cluster.submit_batch(0, batch);
+    }
+    cluster.run_until(time::from_secs(5));
+
+    let integrity = cluster.engine(0).tx_integrity();
+    let mut latency = LatencyStats::default();
+    for &(at, tag) in cluster.tx_commits(0) {
+        latency.record(at - tag + LINK_DELAY);
+    }
+    let mut violations = integrity.violations();
+    if integrity.rejected_full == 0 {
+        violations.push(format!(
+            "saturation burst of {BURST} into capacity {CAPACITY} produced no Full rejections"
+        ));
+    }
+    if cluster.rejections(0) != integrity.rejected_duplicate + integrity.rejected_full {
+        violations.push(format!(
+            "driver saw {} TxRejected outputs, engine counted {} rejections",
+            cluster.rejections(0),
+            integrity.rejected_duplicate + integrity.rejected_full
+        ));
+    }
+    PhaseReport {
+        offered_tps: 0,
+        committed: integrity.own_committed,
+        throughput_tps: 0.0,
+        latency,
+        peak_occupancy: integrity.peak_occupancy_txs,
+        capacity: CAPACITY as u64,
+        rejected_full: integrity.rejected_full,
+        violations,
+    }
+}
+
+/// Wall-clock load against real TCP nodes through `TxClient` connections.
+fn tcp_load_phase(args: &Args) -> PhaseReport {
+    use std::time::{Duration, Instant};
+    let cluster = LocalCluster::start(NODES, 0x7cb).expect("cluster starts");
+    let mut clients: Vec<TxClient> = (0..NODES)
+        .map(|validator| TxClient::connect(cluster.address(validator)).expect("client connects"))
+        .collect();
+    let started = Instant::now();
+    let window = Duration::from_secs(args.duration_s);
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
+    let mut next_id = 0u64;
+    let mut per_validator_due = 0u64;
+    let mut latency = LatencyStats::default();
+    let mut committed = 0u64;
+    // Observe commits as they land (timestamping at receipt), while
+    // submitting the open-loop schedule.
+    let observe =
+        |latency: &mut LatencyStats, committed: &mut u64, submitted_at: &HashMap<u64, Instant>| {
+            while let Ok(sub_dag) = cluster.commits(0).try_recv() {
+                let now = Instant::now();
+                for block in &sub_dag.blocks {
+                    for tx in block.transactions() {
+                        if let Some(at) = tx.benchmark_id().and_then(|id| submitted_at.get(&id)) {
+                            *committed += 1;
+                            latency.record(now.duration_since(*at).as_micros() as Time);
+                        }
+                    }
+                }
+            }
+        };
+    while started.elapsed() < window {
+        let due = (started.elapsed().as_micros() * args.rate_per_validator as u128 / 1_000_000u128)
+            as u64;
+        let count = due.saturating_sub(per_validator_due);
+        per_validator_due = due;
+        if count > 0 {
+            let now = Instant::now();
+            for client in clients.iter_mut() {
+                let batch: Vec<Transaction> = (0..count)
+                    .map(|_| {
+                        next_id += 1;
+                        submitted_at.insert(next_id, now);
+                        load_tx(next_id, args.tx_bytes)
+                    })
+                    .collect();
+                let _ = client.submit(&batch);
+            }
+        }
+        observe(&mut latency, &mut committed, &submitted_at);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Drain the in-flight tail.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while committed < next_id && Instant::now() < drain_deadline {
+        observe(&mut latency, &mut committed, &submitted_at);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut peak = 0;
+    let mut rejected_full = 0;
+    for validator in 0..NODES {
+        peak = peak.max(cluster.handle(validator).mempool_gauges().peak_occupancy());
+        rejected_full += cluster.handle(validator).mempool_gauges().rejected_full();
+    }
+    cluster.stop();
+    let mut violations = Vec::new();
+    if latency.is_empty() {
+        violations.push("empty commit-latency histogram (tcp)".into());
+    }
+    PhaseReport {
+        offered_tps: args.rate_per_validator * NODES as u64,
+        committed,
+        throughput_tps: committed as f64 / started.elapsed().as_secs_f64(),
+        latency,
+        peak_occupancy: peak,
+        capacity: u64::MAX,
+        rejected_full,
+        violations,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    bench::banner(
+        "Client-ingress load generator",
+        "the bounded mempool sustains the offered load with backpressure \
+         instead of unbounded queues: no transaction lost or duplicated, \
+         occupancy within capacity, Full rejections under saturation",
+    );
+
+    let mut reports = Vec::new();
+    if args.tcp {
+        let report = tcp_load_phase(&args);
+        report.print("tcp-load  ");
+        reports.push(("tcp-load", report));
+    } else {
+        let report = loopback_load_phase(&args);
+        report.print("load      ");
+        reports.push(("load", report));
+        let report = loopback_saturation_phase();
+        report.print("saturation");
+        reports.push(("saturation", report));
+    }
+
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|(phase, report)| report.json(phase))
+        .collect();
+    let path = bench::results_dir().join("load.json");
+    let mut file = std::fs::File::create(&path).expect("create json report");
+    writeln!(
+        file,
+        "{{\n  \"suite\": \"load\",\n  \"phases\": [\n    {}\n  ]\n}}",
+        rows.join(",\n    ")
+    )
+    .expect("write json report");
+    println!("\n→ wrote {}", path.display());
+
+    let failed: usize = reports
+        .iter()
+        .map(|(_, report)| report.violations.len())
+        .sum();
+    if failed > 0 {
+        println!("{failed} violation(s)");
+        std::process::exit(1);
+    }
+}

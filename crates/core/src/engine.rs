@@ -53,6 +53,7 @@
 //!     if b.round() == 1));
 //! ```
 
+use mahimahi_crypto::Digest;
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_types::{
     AuthorityIndex, Block, BlockBuilder, BlockRef, CodecError, Committee, Decode, Decoder, Encode,
@@ -62,6 +63,7 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::evidence::EvidencePool;
+use crate::mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 use crate::protocol::ProtocolCommitter;
 use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
 
@@ -127,16 +129,29 @@ pub enum Input {
         /// The (untrusted, re-verified) proof.
         proof: EquivocationProof,
     },
-    /// A client transaction enters the inclusion queue. `tag` is opaque
+    /// A client transaction enters the bounded mempool. `tag` is opaque
     /// client metadata echoed back through [`Output::TxsCommitted`] when
     /// the transaction commits in an own block (the simulator stores the
     /// submission time there). Enqueue-only: inclusion happens at the next
-    /// production, driven by a timer or message input.
+    /// production, driven by a timer or message input; rejections surface
+    /// as [`Output::TxRejected`].
     TxSubmitted {
         /// The transaction payload.
         transaction: Transaction,
         /// Opaque client metadata returned at commit time.
         tag: u64,
+    },
+    /// A client transaction batch arrived on the wire
+    /// ([`Envelope::TxBatch`] — the client-ingress frame). Every
+    /// transaction is submitted to the mempool tagged with the engine's
+    /// current time, so [`Output::TxsCommitted`] doubles as a
+    /// client-observed commit-latency probe. Enqueue-only, like
+    /// [`Input::TxSubmitted`].
+    TxBatchReceived {
+        /// The submitting peer or client connection.
+        from: usize,
+        /// The batched transaction payloads.
+        transactions: Vec<Transaction>,
     },
     /// The driver's clock advanced to `now`. The only way time enters the
     /// engine; drivers send it before delivering messages and whenever a
@@ -169,6 +184,7 @@ impl Input {
             Envelope::Request(references) => Input::SyncRequest { from, references },
             Envelope::Response(blocks) => Input::SyncReply { from, blocks },
             Envelope::Evidence(proof) => Input::EvidenceReceived { from, proof },
+            Envelope::TxBatch(transactions) => Input::TxBatchReceived { from, transactions },
         }
     }
 }
@@ -195,6 +211,16 @@ pub enum Output {
     /// A new authority was convicted of equivocation (fired once per
     /// author, after the proof was verified, recorded, and persisted).
     Convicted(EquivocationProof),
+    /// Backpressure: a submitted transaction was rejected by the mempool
+    /// (duplicate or pool at capacity). `tag` is the submission's client
+    /// tag (the engine's receive time for wire batches). Drivers relay
+    /// this to the submitting client or count it in their load books.
+    TxRejected {
+        /// The rejected submission's client tag.
+        tag: u64,
+        /// Why the mempool refused it.
+        reason: SubmitResult,
+    },
 }
 
 /// One durable log record, as emitted through [`Output::Persist`] and
@@ -409,8 +435,17 @@ pub struct EngineConfig {
     /// Whether blocks require certification (consistent broadcast) before
     /// entering the DAG (Tusk).
     pub certified: bool,
-    /// Maximum transactions per produced block.
-    pub max_block_transactions: usize,
+    /// Mempool bounds and per-block payload budget: pool capacity in
+    /// transactions and bytes, and the `max_block_txs`/`max_block_bytes`
+    /// drained into each produced block. See [`MempoolConfig`].
+    pub mempool: MempoolConfig,
+    /// Whether the engine keeps the committed-transaction digest set that
+    /// backs [`ValidatorEngine::tx_integrity`]'s duplicate-commit counter.
+    /// On by default (the scenario harness gates on it); long
+    /// multi-million-transaction sweeps turn it off to halve digest-set
+    /// growth. (The mempool's own accepted-digest ledger stays regardless
+    /// — retention *is* the dedup/replay protection.)
+    pub track_tx_integrity: bool,
     /// How long to keep collecting previous-round blocks after the quorum
     /// arrived before producing the next round. Real implementations pace
     /// rounds this way so that far-region blocks stay referenced; advancing
@@ -437,7 +472,8 @@ impl EngineConfig {
             authority,
             setup,
             certified: false,
-            max_block_transactions: 2_000,
+            mempool: MempoolConfig::default(),
+            track_tx_integrity: true,
             inclusion_wait: 0,
             min_round_interval: 0,
             gc_depth: None,
@@ -469,8 +505,8 @@ pub struct ValidatorEngine {
     /// Messages built but deliberately held back (slow-proposer pacing):
     /// (release time, message), in release order.
     pending_out: VecDeque<(Time, Envelope)>,
-    /// Client transactions waiting for inclusion, with their opaque tags.
-    tx_queue: VecDeque<(Transaction, u64)>,
+    /// The bounded client-transaction pool feeding block production.
+    mempool: Mempool,
     /// Blocks in the local DAG that no stored block references yet —
     /// candidates for the next block's parent list.
     unreferenced: BTreeSet<BlockRef>,
@@ -487,6 +523,19 @@ pub struct ValidatorEngine {
     skipped_slots: u64,
     sequenced_blocks: u64,
     committed_transactions: u64,
+    /// Own accepted transactions that committed (tags returned).
+    own_committed_txs: u64,
+    /// Digests of transactions committed in *own* blocks — the
+    /// exactly-once ledger behind `duplicate_committed`. Scoped to own
+    /// blocks because they are the unforgeable image of this validator's
+    /// mempool drains: a Byzantine peer can always copy an observed
+    /// payload into its own blocks (and an equivocator can get its spam
+    /// linearized under two conflicting digests), but it cannot sign a
+    /// block as this authority. Kept only when
+    /// [`EngineConfig::track_tx_integrity`] is on.
+    committed_tx_digests: HashSet<Digest>,
+    /// Accepted transactions that committed twice across own blocks.
+    duplicate_committed: u64,
     /// The committed leader sequence (`None` = skipped slot), for safety
     /// checking across validators.
     commit_log: Vec<Option<BlockRef>>,
@@ -520,7 +569,7 @@ impl ValidatorEngine {
             quorum_since: None,
             last_production: None,
             pending_out: VecDeque::new(),
-            tx_queue: VecDeque::new(),
+            mempool: Mempool::new(config.mempool),
             unreferenced,
             pending_proposals: HashMap::new(),
             ack_votes: HashMap::new(),
@@ -530,6 +579,9 @@ impl ValidatorEngine {
             skipped_slots: 0,
             sequenced_blocks: 0,
             committed_transactions: 0,
+            own_committed_txs: 0,
+            committed_tx_digests: HashSet::new(),
+            duplicate_committed: 0,
             commit_log: Vec::new(),
             config,
         }
@@ -548,7 +600,29 @@ impl ValidatorEngine {
             Input::TxSubmitted { transaction, tag } => {
                 // Enqueue-only: inclusion happens at the next production so
                 // batch submissions do not fragment across blocks.
-                self.enqueue_transaction(transaction, tag);
+                let result = self.submit_transaction(transaction, tag);
+                if !result.is_accepted() {
+                    outputs.push(Output::TxRejected {
+                        tag,
+                        reason: result,
+                    });
+                }
+                return outputs;
+            }
+            Input::TxBatchReceived { transactions, .. } => {
+                // Wire batches carry no per-transaction tag; the engine's
+                // receive time stands in, turning the returned
+                // TxsCommitted tags into client-observed commit latencies.
+                let tag = self.now;
+                for transaction in transactions {
+                    let result = self.submit_transaction(transaction, tag);
+                    if !result.is_accepted() {
+                        outputs.push(Output::TxRejected {
+                            tag,
+                            reason: result,
+                        });
+                    }
+                }
                 return outputs;
             }
             Input::TimerFired { now } => {
@@ -632,10 +706,11 @@ impl ValidatorEngine {
         outputs
     }
 
-    /// Enqueues a client transaction without driving the state machine
-    /// (equivalent to [`Input::TxSubmitted`]).
-    pub fn enqueue_transaction(&mut self, transaction: Transaction, tag: u64) {
-        self.tx_queue.push_back((transaction, tag));
+    /// Submits a client transaction to the mempool without driving the
+    /// state machine (equivalent to [`Input::TxSubmitted`]), returning the
+    /// backpressure signal directly.
+    pub fn submit_transaction(&mut self, transaction: Transaction, tag: u64) -> SubmitResult {
+        self.mempool.submit(transaction, tag)
     }
 
     // ------------------------------------------------------------------
@@ -714,7 +789,39 @@ impl ValidatorEngine {
 
     /// Transactions waiting for inclusion.
     pub fn queued_transactions(&self) -> usize {
-        self.tx_queue.len()
+        self.mempool.len()
+    }
+
+    /// The bounded client-transaction pool (occupancy, rejection counters).
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// A point-in-time accounting of the transaction pipeline: accepted vs
+    /// pending vs in-flight vs committed, rejection counters, duplicate
+    /// commits, and peak pool occupancy. The `tx-integrity` scenario
+    /// oracle holds every correct validator to
+    /// [`TxIntegrityReport::conserves_transactions`],
+    /// [`TxIntegrityReport::occupancy_bounded`], and a zero
+    /// `duplicate_committed` count.
+    pub fn tx_integrity(&self) -> TxIntegrityReport {
+        TxIntegrityReport {
+            accepted: self.mempool.accepted(),
+            rejected_duplicate: self.mempool.rejected_duplicate(),
+            rejected_full: self.mempool.rejected_full(),
+            pending: self.mempool.len() as u64,
+            in_flight: self
+                .own_block_txs
+                .values()
+                .map(|tags| tags.len() as u64)
+                .sum(),
+            own_committed: self.own_committed_txs,
+            duplicate_committed: self.duplicate_committed,
+            peak_occupancy_txs: self.mempool.peak_txs() as u64,
+            peak_occupancy_bytes: self.mempool.peak_bytes() as u64,
+            capacity_txs: self.config.mempool.capacity_txs as u64,
+            capacity_bytes: self.config.mempool.capacity_bytes as u64,
+        }
     }
 
     /// The committed leader sequence so far (`None` entries are skipped
@@ -964,15 +1071,9 @@ impl ValidatorEngine {
             }
         }
 
-        // Pull transactions from the client queue.
-        let take = self.tx_queue.len().min(self.config.max_block_transactions);
-        let mut transactions = Vec::with_capacity(take);
-        let mut tags = Vec::with_capacity(take);
-        for _ in 0..take {
-            let (transaction, tag) = self.tx_queue.pop_front().expect("checked length");
-            transactions.push(transaction);
-            tags.push(tag);
-        }
+        // Pull the next budgeted payload from the mempool (FIFO, bounded
+        // in transactions and bytes).
+        let (transactions, tags) = self.mempool.next_payload();
 
         let mut strategy = self.strategy.take().expect("strategy present");
         let mut ctx = ProposeCtx {
@@ -1030,11 +1131,19 @@ impl ValidatorEngine {
                     for block in &sub_dag.blocks {
                         self.committed_transactions += block.transactions().len() as u64;
                         if block.author() == self.config.authority {
+                            if self.config.track_tx_integrity {
+                                for transaction in block.transactions() {
+                                    if !self.committed_tx_digests.insert(transaction.digest()) {
+                                        self.duplicate_committed += 1;
+                                    }
+                                }
+                            }
                             if let Some(mine) = self.own_block_txs.remove(&block.reference()) {
                                 tags.extend(mine);
                             }
                         }
                     }
+                    self.own_committed_txs += tags.len() as u64;
                     outputs.push(Output::Committed(sub_dag));
                     if !tags.is_empty() {
                         outputs.push(Output::TxsCommitted(tags));
@@ -1066,7 +1175,7 @@ mod tests {
         let committee = setup.committee().clone();
         let mut config = EngineConfig::new(AuthorityIndex(authority), setup);
         config.certified = certified;
-        config.max_block_transactions = 100;
+        config.mempool = MempoolConfig::test(10_000, 100);
         ValidatorEngine::honest(
             config,
             Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
@@ -1155,6 +1264,88 @@ mod tests {
         assert_eq!(engines[0].queued_transactions(), 0, "transaction included");
         assert!(engines[0].committed_transactions() > 0);
         assert_eq!(tags, vec![555], "client tag returned exactly once");
+        // The transaction pipeline conserved the submission: accepted 1,
+        // committed 1, nothing pending or in flight, no duplicate commits.
+        let integrity = engines[0].tx_integrity();
+        assert_eq!(integrity.accepted, 1);
+        assert_eq!(integrity.own_committed, 1);
+        assert!(integrity.conserves_transactions(), "{integrity:?}");
+        assert_eq!(integrity.duplicate_committed, 0);
+        assert!(integrity.occupancy_bounded());
+    }
+
+    #[test]
+    fn mempool_backpressure_surfaces_as_outputs() {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(0), setup);
+        config.mempool = MempoolConfig::test(2, 100);
+        let mut engine = ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        );
+        // First two submissions are accepted silently.
+        for id in 0..2 {
+            assert!(engine
+                .handle(Input::TxSubmitted {
+                    transaction: Transaction::benchmark(id),
+                    tag: id,
+                })
+                .is_empty());
+        }
+        // A digest resubmission is a Duplicate, a fresh one overflows.
+        let outputs = engine.handle(Input::TxSubmitted {
+            transaction: Transaction::benchmark(0),
+            tag: 9,
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxRejected {
+                tag: 9,
+                reason: SubmitResult::Duplicate
+            }]
+        ));
+        let outputs = engine.handle(Input::TxSubmitted {
+            transaction: Transaction::benchmark(2),
+            tag: 10,
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxRejected {
+                tag: 10,
+                reason: SubmitResult::Full
+            }]
+        ));
+        let integrity = engine.tx_integrity();
+        assert_eq!(integrity.accepted, 2);
+        assert_eq!(integrity.rejected_duplicate, 1);
+        assert_eq!(integrity.rejected_full, 1);
+        assert_eq!(integrity.peak_occupancy_txs, 2);
+    }
+
+    #[test]
+    fn wire_batches_enter_the_mempool_tagged_with_receive_time() {
+        let mut engine = engine(0, false);
+        engine.handle(Input::TimerFired { now: 42 });
+        let outputs = engine.handle(Input::TxBatchReceived {
+            from: 7,
+            transactions: vec![Transaction::benchmark(1), Transaction::benchmark(2)],
+        });
+        assert!(outputs.is_empty(), "accepted batches are silent");
+        assert_eq!(engine.queued_transactions(), 2);
+        // A duplicate inside a later batch is rejected with the engine's
+        // receive time as the tag.
+        let outputs = engine.handle(Input::TxBatchReceived {
+            from: 7,
+            transactions: vec![Transaction::benchmark(2)],
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxRejected {
+                tag: 42,
+                reason: SubmitResult::Duplicate
+            }]
+        ));
     }
 
     #[test]

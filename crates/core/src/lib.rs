@@ -43,6 +43,7 @@ mod decider;
 mod election;
 pub mod engine;
 mod evidence;
+pub mod mempool;
 mod protocol;
 mod sequencer;
 mod status;
@@ -54,6 +55,7 @@ pub use engine::{
     ValidatorEngine, WalRecord,
 };
 pub use evidence::{EvidencePool, RecordingSlashingHook, SlashingHook};
+pub use mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 pub use protocol::ProtocolCommitter;
 pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
 pub use status::LeaderStatus;

@@ -1,0 +1,460 @@
+//! The bounded client-transaction mempool.
+//!
+//! Production DAG systems treat payload ingestion as a first-class
+//! subsystem: Narwhal batches transactions into a certified mempool that
+//! Bullshark orders by reference, while Mysticeti includes payloads
+//! directly in uncertified DAG blocks under an explicit per-block budget.
+//! This reproduction follows the Mysticeti shape — transactions ride in
+//! the blocks themselves — so the mempool's job is admission control, not
+//! dissemination:
+//!
+//! - **bounded occupancy**: capacities in transactions *and* bytes
+//!   ([`MempoolConfig::capacity_txs`], [`MempoolConfig::capacity_bytes`]);
+//!   a full pool rejects with [`SubmitResult::Full`] instead of growing —
+//!   the backpressure signal clients and load generators key off;
+//! - **digest-based dedup**: every accepted transaction's content digest is
+//!   remembered; resubmissions (client retries, duplicate gossip) come back
+//!   as [`SubmitResult::Duplicate`] and are never included twice;
+//! - **per-block payload budget**: [`Mempool::next_payload`] drains at most
+//!   [`MempoolConfig::max_block_txs`] transactions and
+//!   [`MempoolConfig::max_block_bytes`] payload bytes per produced block,
+//!   FIFO, so one burst cannot monopolize a block or blow up its wire size.
+//!
+//! The pool is transport-free and clock-free, like the engine that owns
+//! it: determinism (same submissions ⇒ same payloads) is what lets the
+//! recorded-trace replay and driver-equivalence tests cover the ingestion
+//! path end to end.
+
+use mahimahi_crypto::Digest;
+use mahimahi_types::Transaction;
+use std::collections::{HashSet, VecDeque};
+
+/// The outcome of one transaction submission — the backpressure signal
+/// surfaced to clients (and, through `Output::TxRejected`, to drivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// The transaction entered the pool and will be included in a future
+    /// own block.
+    Accepted,
+    /// A transaction with the same content digest was already accepted
+    /// (pending, in flight, or committed); the submission is dropped.
+    Duplicate,
+    /// The pool is at capacity (in transactions or bytes); the client
+    /// should back off and retry. One case is permanent: a single
+    /// transaction larger than [`MempoolConfig::capacity_bytes`] can
+    /// never be admitted, so a client seeing `Full` for the same
+    /// transaction across an otherwise-draining pool should give up
+    /// rather than retry forever.
+    Full,
+}
+
+impl SubmitResult {
+    /// Whether the submission was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitResult::Accepted)
+    }
+}
+
+/// Capacity and per-block budget knobs of a [`Mempool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MempoolConfig {
+    /// Maximum transactions held pending. Submissions past this bound are
+    /// rejected with [`SubmitResult::Full`].
+    pub capacity_txs: usize,
+    /// Maximum pending payload bytes. Submissions that would exceed it are
+    /// rejected with [`SubmitResult::Full`].
+    pub capacity_bytes: usize,
+    /// Maximum transactions drained into one produced block.
+    pub max_block_txs: usize,
+    /// Maximum payload bytes drained into one produced block. A single
+    /// transaction larger than the budget is still included alone (the
+    /// budget bounds batching, it must not wedge the queue).
+    pub max_block_bytes: usize,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            capacity_txs: 100_000,
+            capacity_bytes: 128 * 1024 * 1024,
+            max_block_txs: 2_000,
+            max_block_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl MempoolConfig {
+    /// A small pool for unit tests: `capacity` transactions, generous byte
+    /// bounds, blocks of at most `max_block_txs` transactions.
+    pub fn test(capacity: usize, max_block_txs: usize) -> Self {
+        MempoolConfig {
+            capacity_txs: capacity,
+            capacity_bytes: usize::MAX / 2,
+            max_block_txs,
+            max_block_bytes: usize::MAX / 2,
+        }
+    }
+}
+
+/// A bounded FIFO transaction pool with digest dedup and per-block payload
+/// budgeting. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct Mempool {
+    config: MempoolConfig,
+    /// Pending transactions with their opaque client tags, FIFO.
+    queue: VecDeque<(Transaction, u64)>,
+    /// Pending payload bytes (sum over `queue`).
+    bytes: usize,
+    /// Digests of every transaction ever accepted (pending, in flight, or
+    /// committed). Grows with the accepted set — replay protection is
+    /// retention, exactly like a nonce ledger.
+    seen: HashSet<Digest>,
+    accepted: u64,
+    rejected_duplicate: u64,
+    rejected_full: u64,
+    peak_txs: usize,
+    peak_bytes: usize,
+}
+
+impl Mempool {
+    /// An empty pool with the given bounds.
+    pub fn new(config: MempoolConfig) -> Self {
+        Mempool {
+            config,
+            queue: VecDeque::new(),
+            bytes: 0,
+            seen: HashSet::new(),
+            accepted: 0,
+            rejected_duplicate: 0,
+            rejected_full: 0,
+            peak_txs: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &MempoolConfig {
+        &self.config
+    }
+
+    /// Whether a transaction with this digest was ever accepted here —
+    /// the scope of the exactly-once commit guarantee (an equivocating
+    /// *peer* can get its own spam payload linearized under two block
+    /// digests; transactions accepted by this validator cannot).
+    pub fn was_accepted(&self, digest: &Digest) -> bool {
+        self.seen.contains(digest)
+    }
+
+    /// Admits one transaction. `tag` is opaque client metadata carried
+    /// alongside (submission time, client id) and returned with the
+    /// payload at inclusion.
+    pub fn submit(&mut self, transaction: Transaction, tag: u64) -> SubmitResult {
+        let digest = transaction.digest();
+        if self.seen.contains(&digest) {
+            self.rejected_duplicate += 1;
+            return SubmitResult::Duplicate;
+        }
+        if self.queue.len() >= self.config.capacity_txs
+            || self.bytes + transaction.len() > self.config.capacity_bytes
+        {
+            self.rejected_full += 1;
+            return SubmitResult::Full;
+        }
+        self.seen.insert(digest);
+        self.bytes += transaction.len();
+        self.queue.push_back((transaction, tag));
+        self.accepted += 1;
+        self.peak_txs = self.peak_txs.max(self.queue.len());
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        SubmitResult::Accepted
+    }
+
+    /// Drains the next block payload: FIFO, at most
+    /// [`MempoolConfig::max_block_txs`] transactions and
+    /// [`MempoolConfig::max_block_bytes`] bytes (always at least one
+    /// transaction when the pool is non-empty). Returns the transactions
+    /// and their tags, index-parallel.
+    pub fn next_payload(&mut self) -> (Vec<Transaction>, Vec<u64>) {
+        let mut transactions = Vec::new();
+        let mut tags = Vec::new();
+        let mut payload_bytes = 0usize;
+        while transactions.len() < self.config.max_block_txs {
+            let Some((transaction, _)) = self.queue.front() else {
+                break;
+            };
+            if !transactions.is_empty()
+                && payload_bytes + transaction.len() > self.config.max_block_bytes
+            {
+                break;
+            }
+            let (transaction, tag) = self.queue.pop_front().expect("peeked front");
+            payload_bytes += transaction.len();
+            self.bytes -= transaction.len();
+            transactions.push(transaction);
+            tags.push(tag);
+        }
+        (transactions, tags)
+    }
+
+    /// Pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pending payload bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Highest pending-transaction count ever observed.
+    pub fn peak_txs(&self) -> usize {
+        self.peak_txs
+    }
+
+    /// Highest pending-byte count ever observed.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Transactions accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Submissions rejected as duplicates so far.
+    pub fn rejected_duplicate(&self) -> u64 {
+        self.rejected_duplicate
+    }
+
+    /// Submissions rejected for capacity so far.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
+    }
+}
+
+/// A point-in-time accounting of one validator's transaction pipeline,
+/// produced by `ValidatorEngine::tx_integrity`.
+///
+/// For a correct (honest-proposing) validator the pipeline conserves
+/// transactions: everything accepted is either still pending in the pool,
+/// in flight inside a produced-but-uncommitted own block, or committed —
+/// [`TxIntegrityReport::conserves_transactions`]. The `tx-integrity`
+/// scenario oracle holds every correct validator to that conservation law,
+/// to a zero duplicate-commit count, and to bounded pool occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxIntegrityReport {
+    /// Transactions accepted into the pool.
+    pub accepted: u64,
+    /// Submissions rejected as digest duplicates.
+    pub rejected_duplicate: u64,
+    /// Submissions rejected for capacity ([`SubmitResult::Full`]).
+    pub rejected_full: u64,
+    /// Transactions still pending in the pool.
+    pub pending: u64,
+    /// Transactions drained into own blocks that have not committed yet.
+    pub in_flight: u64,
+    /// Own accepted transactions that committed.
+    pub own_committed: u64,
+    /// Transactions committed twice across this validator's *own* blocks
+    /// — the exactly-once guarantee of the local pipeline (accept → drain
+    /// once → include once → commit once); must be zero everywhere,
+    /// always. Scoped to own blocks because they are unforgeable: a
+    /// Byzantine peer can copy any observed payload into blocks it signs
+    /// itself, which is its misbehavior (attributed by the evidence
+    /// subsystem), not a defect of this validator's pipeline.
+    pub duplicate_committed: u64,
+    /// Peak pool occupancy in transactions.
+    pub peak_occupancy_txs: u64,
+    /// Peak pool occupancy in bytes.
+    pub peak_occupancy_bytes: u64,
+    /// Configured pool capacity in transactions.
+    pub capacity_txs: u64,
+    /// Configured pool capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl TxIntegrityReport {
+    /// No accepted transaction was lost: accepted = pending + in flight +
+    /// committed. Holds for every honest-proposing validator (Byzantine
+    /// strategies deliberately build several block variants over one drain,
+    /// which double-counts their in-flight tags).
+    pub fn conserves_transactions(&self) -> bool {
+        self.accepted == self.pending + self.in_flight + self.own_committed
+    }
+
+    /// The pool never outgrew its configured bounds.
+    pub fn occupancy_bounded(&self) -> bool {
+        self.peak_occupancy_txs <= self.capacity_txs
+            && self.peak_occupancy_bytes <= self.capacity_bytes
+    }
+
+    /// Every integrity violation in this report, as human-readable
+    /// descriptions (empty when the pipeline is sound). One shared
+    /// definition of "sound" — the `tx-integrity` scenario oracle and the
+    /// load generator's gates both build on this, so the checks cannot
+    /// drift apart.
+    pub fn violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.duplicate_committed != 0 {
+            violations.push(format!(
+                "{} accepted transaction(s) committed more than once across own blocks",
+                self.duplicate_committed
+            ));
+        }
+        if !self.conserves_transactions() {
+            violations.push(format!(
+                "transactions lost: accepted {} != pending {} + in-flight {} + committed {}",
+                self.accepted, self.pending, self.in_flight, self.own_committed
+            ));
+        }
+        if !self.occupancy_bounded() {
+            violations.push(format!(
+                "mempool outgrew its bounds: peak {}txs/{}B over capacity {}txs/{}B",
+                self.peak_occupancy_txs,
+                self.peak_occupancy_bytes,
+                self.capacity_txs,
+                self.capacity_bytes
+            ));
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::new(id.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn fifo_order_and_tags_are_preserved() {
+        let mut pool = Mempool::new(MempoolConfig::test(10, 2));
+        for id in 0..3u64 {
+            assert_eq!(pool.submit(tx(id), 100 + id), SubmitResult::Accepted);
+        }
+        let (txs, tags) = pool.next_payload();
+        assert_eq!(txs, vec![tx(0), tx(1)]);
+        assert_eq!(tags, vec![100, 101]);
+        let (txs, tags) = pool.next_payload();
+        assert_eq!(txs, vec![tx(2)]);
+        assert_eq!(tags, vec![102]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_rejected_even_after_inclusion() {
+        let mut pool = Mempool::new(MempoolConfig::test(10, 10));
+        assert_eq!(pool.submit(tx(7), 0), SubmitResult::Accepted);
+        assert_eq!(pool.submit(tx(7), 1), SubmitResult::Duplicate);
+        let _ = pool.next_payload();
+        // Drained into a block: a retry must still be deduplicated, or the
+        // transaction would commit twice.
+        assert_eq!(pool.submit(tx(7), 2), SubmitResult::Duplicate);
+        assert_eq!(pool.rejected_duplicate(), 2);
+    }
+
+    #[test]
+    fn tx_capacity_bounds_occupancy() {
+        let mut pool = Mempool::new(MempoolConfig::test(2, 10));
+        assert_eq!(pool.submit(tx(0), 0), SubmitResult::Accepted);
+        assert_eq!(pool.submit(tx(1), 0), SubmitResult::Accepted);
+        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Full);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.peak_txs(), 2);
+        assert_eq!(pool.rejected_full(), 1);
+        // Draining frees capacity.
+        let _ = pool.next_payload();
+        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Accepted);
+    }
+
+    #[test]
+    fn byte_capacity_bounds_occupancy() {
+        let config = MempoolConfig {
+            capacity_txs: 100,
+            capacity_bytes: 20,
+            max_block_txs: 100,
+            max_block_bytes: 1_000,
+        };
+        let mut pool = Mempool::new(config);
+        assert_eq!(pool.submit(tx(0), 0), SubmitResult::Accepted); // 8 bytes
+        assert_eq!(pool.submit(tx(1), 0), SubmitResult::Accepted); // 16 bytes
+        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Full); // would be 24
+        assert_eq!(pool.pending_bytes(), 16);
+        assert_eq!(pool.peak_bytes(), 16);
+    }
+
+    #[test]
+    fn block_byte_budget_splits_payloads() {
+        let config = MempoolConfig {
+            capacity_txs: 100,
+            capacity_bytes: 10_000,
+            max_block_txs: 100,
+            max_block_bytes: 20,
+        };
+        let mut pool = Mempool::new(config);
+        for id in 0..4u64 {
+            pool.submit(tx(id), id);
+        }
+        // 8-byte transactions, 20-byte budget: two per block.
+        let (txs, _) = pool.next_payload();
+        assert_eq!(txs.len(), 2);
+        let (txs, _) = pool.next_payload();
+        assert_eq!(txs.len(), 2);
+    }
+
+    #[test]
+    fn oversized_transaction_is_included_alone() {
+        let config = MempoolConfig {
+            capacity_txs: 100,
+            capacity_bytes: 10_000,
+            max_block_txs: 100,
+            max_block_bytes: 10,
+        };
+        let mut pool = Mempool::new(config);
+        pool.submit(Transaction::new(vec![1; 64]), 0);
+        pool.submit(tx(1), 1);
+        // Larger than the whole block budget: still drained (alone), never
+        // wedged at the head of the queue.
+        let (txs, _) = pool.next_payload();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].len(), 64);
+        let (txs, _) = pool.next_payload();
+        assert_eq!(txs, vec![tx(1)]);
+    }
+
+    #[test]
+    fn integrity_report_checks() {
+        let report = TxIntegrityReport {
+            accepted: 10,
+            rejected_duplicate: 1,
+            rejected_full: 2,
+            pending: 3,
+            in_flight: 4,
+            own_committed: 3,
+            duplicate_committed: 0,
+            peak_occupancy_txs: 5,
+            peak_occupancy_bytes: 100,
+            capacity_txs: 8,
+            capacity_bytes: 1_000,
+        };
+        assert!(report.conserves_transactions());
+        assert!(report.occupancy_bounded());
+        let lossy = TxIntegrityReport {
+            own_committed: 2,
+            ..report
+        };
+        assert!(!lossy.conserves_transactions());
+        let overgrown = TxIntegrityReport {
+            peak_occupancy_txs: 9,
+            ..report
+        };
+        assert!(!overgrown.occupancy_bounded());
+    }
+}

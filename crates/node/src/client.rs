@@ -1,0 +1,111 @@
+//! The client-submission wire path.
+//!
+//! Clients are not validators: they hold no committee slot and speak
+//! exactly one frame, [`Envelope::TxBatch`]. A [`TxClient`] connects to a
+//! validator's transport listener like any peer — hello frame carrying its
+//! peer id, then length-prefixed frames — but identifies itself with the
+//! reserved [`CLIENT_PEER`] id, far outside any committee's authority
+//! range. The validator's event loop decodes the batch through the shared
+//! codec (structural validation included) and submits every transaction to
+//! its bounded mempool; rejected submissions are dropped there
+//! (fire-and-forget ingress — production systems would add an ack frame,
+//! which the `Envelope` vocabulary has room for).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mahimahi_node::TxClient;
+//! use mahimahi_types::Transaction;
+//!
+//! let mut client = TxClient::connect("127.0.0.1:9000".parse().unwrap()).unwrap();
+//! client.submit(&[Transaction::benchmark(1), Transaction::benchmark(2)]).unwrap();
+//! ```
+
+use mahimahi_types::{Encode, Envelope, Transaction};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+/// The reserved peer id client connections present in their hello frame.
+/// Committee authority indexes are small (`n ≤` a few hundred), so the
+/// maximum `u32` can never collide with a validator id.
+pub const CLIENT_PEER: u32 = u32::MAX;
+
+/// A TCP client submitting transaction batches to one validator.
+pub struct TxClient {
+    stream: TcpStream,
+}
+
+impl TxClient {
+    /// Connects to a validator's listener and sends the client hello.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &CLIENT_PEER.to_le_bytes())?;
+        Ok(TxClient { stream })
+    }
+
+    /// Submits one transaction batch as an [`Envelope::TxBatch`] frame.
+    /// Empty batches are skipped (the codec rejects them structurally).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; the connection should be re-established
+    /// on failure.
+    pub fn submit(&mut self, batch: &[Transaction]) -> std::io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let frame = Envelope::TxBatch(batch.to_vec()).to_bytes_vec();
+        write_frame(&mut self.stream, &frame)
+    }
+}
+
+/// Writes one length-prefixed frame (the transport's framing).
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_transport::Transport;
+    use std::time::Duration;
+
+    #[test]
+    fn client_frames_arrive_tagged_with_the_client_peer_id() {
+        // A TxClient connecting straight to a validator's transport: the
+        // batch must surface on the incoming channel from CLIENT_PEER and
+        // decode back into the same transactions.
+        let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let mut client = TxClient::connect(transport.local_addr()).unwrap();
+        let batch = vec![Transaction::benchmark(7), Transaction::new(vec![1, 2, 3])];
+        client.submit(&batch).unwrap();
+        let (peer, bytes) = transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(peer, CLIENT_PEER);
+        let decoded = mahimahi_types::Decode::from_bytes_exact(&bytes);
+        let Ok(Envelope::TxBatch(transactions)) = decoded else {
+            panic!("expected a TxBatch frame, got {decoded:?}");
+        };
+        assert_eq!(transactions, batch);
+    }
+
+    #[test]
+    fn empty_batches_are_not_sent() {
+        let transport = Transport::bind(1, "127.0.0.1:0").unwrap();
+        let mut client = TxClient::connect(transport.local_addr()).unwrap();
+        client.submit(&[]).unwrap();
+        assert!(transport
+            .incoming()
+            .recv_timeout(Duration::from_millis(300))
+            .is_err());
+    }
+}

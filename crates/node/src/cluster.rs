@@ -24,6 +24,9 @@ use crate::node::{NodeConfig, NodeHandle, ValidatorNode};
 /// ```
 pub struct LocalCluster {
     handles: Vec<NodeHandle>,
+    /// Listener addresses by authority index (including silent slots) —
+    /// where `TxClient`s connect to submit transaction batches.
+    addresses: Vec<SocketAddr>,
 }
 
 impl LocalCluster {
@@ -74,12 +77,38 @@ impl LocalCluster {
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             handles.push(node.start());
         }
-        Ok(LocalCluster { handles })
+        Ok(LocalCluster { handles, addresses })
     }
 
     /// Number of running validators.
     pub fn running(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The listener address of the validator with `authority` index —
+    /// where a `TxClient` connects to submit batches over the wire.
+    ///
+    /// Indexed by **authority**, unlike [`Self::handle`]/[`Self::submit`],
+    /// which index the *running* validators only: when clusters start with
+    /// silent slots the two numberings differ, and a silent authority's
+    /// address belongs to a dropped transport (connections there fail or
+    /// submissions go nowhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `authority` is out of range.
+    pub fn address(&self, authority: usize) -> SocketAddr {
+        self.addresses[authority]
+    }
+
+    /// The handle of the `index`-th *running* validator (silent slots are
+    /// skipped — see [`Self::address`] for the authority-indexed view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn handle(&self, index: usize) -> &NodeHandle {
+        &self.handles[index]
     }
 
     /// Submits a transaction to the `index`-th *running* validator.
@@ -89,6 +118,16 @@ impl LocalCluster {
     /// Panics if `index` is out of range.
     pub fn submit(&self, index: usize, transaction: Transaction) {
         self.handles[index].submit(transaction);
+    }
+
+    /// Submits a transaction batch to the `index`-th *running* validator
+    /// (the in-process twin of the `TxClient` wire path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn submit_batch(&self, index: usize, batch: Vec<Transaction>) {
+        self.handles[index].submit_batch(batch);
     }
 
     /// The commit stream of the `index`-th running validator.

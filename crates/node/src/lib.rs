@@ -10,12 +10,14 @@
 //! [`LocalCluster`] assembles an `n`-node cluster on localhost for examples
 //! and integration tests.
 
+mod client;
 mod cluster;
 mod loopback;
 mod node;
 mod wire;
 
+pub use client::{TxClient, CLIENT_PEER};
 pub use cluster::LocalCluster;
 pub use loopback::{LoopbackCluster, LoopbackConfig};
-pub use node::{NodeConfig, NodeHandle, ValidatorNode};
+pub use node::{MempoolGauges, NodeConfig, NodeHandle, RecordedStep, ValidatorNode};
 pub use wire::NodeMessage;

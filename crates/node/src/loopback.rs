@@ -19,9 +19,10 @@
 
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time},
-    CommittedSubDag, Committer, CommitterOptions, Output, ValidatorEngine, WalRecord,
+    CommittedSubDag, Committer, CommitterOptions, MempoolConfig, Output, ValidatorEngine,
+    WalRecord,
 };
-use mahimahi_types::{AuthorityIndex, Decode, Encode, TestCommittee, Transaction};
+use mahimahi_types::{AuthorityIndex, Decode, Encode, Envelope, TestCommittee, Transaction};
 use mahimahi_wal::{MemStorage, Wal};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -54,8 +55,9 @@ pub struct LoopbackConfig {
     pub link_delay: Time,
     /// Engine inclusion wait (post-quorum pacing).
     pub inclusion_wait: Time,
-    /// Maximum transactions per block.
-    pub max_block_transactions: usize,
+    /// Mempool bounds and per-block payload budget (must match the
+    /// simulator's for equivalence runs).
+    pub mempool: MempoolConfig,
 }
 
 /// An `n`-engine cluster over a deterministic loopback fabric.
@@ -77,6 +79,11 @@ pub struct LoopbackCluster {
     rendered: Vec<Vec<String>>,
     /// Per-validator committed sub-DAGs, in commit order.
     commits: Vec<Vec<CommittedSubDag>>,
+    /// Per-validator `(commit time, tag)` pairs from `TxsCommitted` — the
+    /// client-observed commit-latency samples of the load generator.
+    tx_commits: Vec<Vec<(Time, u64)>>,
+    /// Per-validator mempool rejections observed (`TxRejected` outputs).
+    rejections: Vec<u64>,
 }
 
 impl LoopbackCluster {
@@ -101,6 +108,8 @@ impl LoopbackCluster {
             traces: vec![Vec::new(); config.nodes],
             rendered: vec![Vec::new(); config.nodes],
             commits: vec![Vec::new(); config.nodes],
+            tx_commits: vec![Vec::new(); config.nodes],
+            rejections: vec![0; config.nodes],
             config,
         }
     }
@@ -113,7 +122,7 @@ impl LoopbackCluster {
         let committer = Committer::new(setup.committee().clone(), config.options);
         let mut engine_config = EngineConfig::new(authority, setup.clone());
         engine_config.inclusion_wait = config.inclusion_wait;
-        engine_config.max_block_transactions = config.max_block_transactions;
+        engine_config.mempool = config.mempool;
         ValidatorEngine::honest(engine_config, Box::new(committer))
     }
 
@@ -131,6 +140,18 @@ impl LoopbackCluster {
     /// called before the run; the current virtual time otherwise).
     pub fn submit(&mut self, validator: usize, transaction: Transaction, tag: u64) {
         self.feed(validator, Input::TxSubmitted { transaction, tag });
+    }
+
+    /// Submits a client batch to `validator` through the real wire codec —
+    /// an [`Envelope::TxBatch`] frame enqueued on the fabric, delivered
+    /// one link delay later and tagged by the engine with its receive
+    /// time, exactly as the TCP node's client listener behaves.
+    pub fn submit_batch(&mut self, validator: usize, transactions: Vec<Transaction>) {
+        if transactions.is_empty() {
+            return;
+        }
+        let bytes = Envelope::TxBatch(transactions).to_bytes_vec();
+        self.enqueue_frame(validator, validator, bytes);
     }
 
     /// Runs the event loop up to (and including) virtual time `horizon`.
@@ -207,7 +228,14 @@ impl LoopbackCluster {
                 Output::Committed(sub_dag) => {
                     self.commits[validator].push(sub_dag);
                 }
-                Output::TxsCommitted(_) | Output::Convicted(_) => {}
+                Output::TxsCommitted(tags) => {
+                    let now = self.now;
+                    self.tx_commits[validator].extend(tags.into_iter().map(|tag| (now, tag)));
+                }
+                Output::TxRejected { .. } => {
+                    self.rejections[validator] += 1;
+                }
+                Output::Convicted(_) => {}
             }
         }
     }
@@ -242,6 +270,24 @@ impl LoopbackCluster {
         &self.commits[validator]
     }
 
+    /// `(commit time, tag)` pairs for `validator`'s own committed
+    /// transactions — with time-valued tags (wire batches, or `submit`
+    /// tagged with the submission time), each pair is one client-observed
+    /// commit-latency sample.
+    pub fn tx_commits(&self, validator: usize) -> &[(Time, u64)] {
+        &self.tx_commits[validator]
+    }
+
+    /// Mempool rejections (`TxRejected` outputs) observed at `validator`.
+    pub fn rejections(&self, validator: usize) -> u64 {
+        self.rejections[validator]
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
     /// Replays `validator`'s WAL into a fresh engine (recovery check).
     pub fn recover_from_wal(&mut self, validator: usize) -> ValidatorEngine {
         let mut engine = self.fresh_engine(validator);
@@ -267,7 +313,7 @@ mod tests {
             options: CommitterOptions::mahi_mahi_5(2),
             link_delay: 30_000,
             inclusion_wait: 20_000,
-            max_block_transactions: 100,
+            mempool: MempoolConfig::test(10_000, 100),
         }
     }
 
@@ -292,6 +338,33 @@ mod tests {
         for validator in 1..4 {
             assert_eq!(cluster.engine(validator).commit_log(), &log[..]);
         }
+    }
+
+    #[test]
+    fn wire_batches_commit_and_yield_latency_samples() {
+        let mut cluster = LoopbackCluster::new(config());
+        cluster.run_until(200_000); // warm up a few rounds
+        let submitted_at = cluster.now();
+        cluster.submit_batch(
+            0,
+            vec![Transaction::benchmark(1), Transaction::benchmark(2)],
+        );
+        cluster.run_until(3_000_000);
+        let samples = cluster.tx_commits(0);
+        assert_eq!(samples.len(), 2, "both batched transactions committed");
+        for &(committed, tag) in samples {
+            assert!(tag >= submitted_at, "tag is the engine receive time");
+            assert!(committed > tag, "commit strictly after submission");
+        }
+        let integrity = cluster.engine(0).tx_integrity();
+        assert_eq!(integrity.accepted, 2);
+        assert_eq!(integrity.own_committed, 2);
+        assert!(integrity.conserves_transactions());
+        assert_eq!(cluster.rejections(0), 0);
+        // A duplicate batch after the fact is rejected, visibly.
+        cluster.submit_batch(0, vec![Transaction::benchmark(1)]);
+        cluster.run_until(3_200_000);
+        assert_eq!(cluster.rejections(0), 1);
     }
 
     #[test]

@@ -24,12 +24,14 @@
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time as EngineTime},
-    CommittedSubDag, Committer, CommitterOptions, EvidencePool, Output, ValidatorEngine, WalRecord,
+    CommittedSubDag, Committer, CommitterOptions, EvidencePool, MempoolConfig, Output,
+    TxIntegrityReport, ValidatorEngine, WalRecord,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_transport::Transport;
 use mahimahi_types::{AuthorityIndex, Decode, Encode, Round, TestCommittee, Transaction};
 use mahimahi_wal::{FileWal, MemStorage, Wal};
+use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,6 +39,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::wire::NodeMessage;
+
+/// Upper bound on frames handled per event-loop iteration, so a flooding
+/// peer cannot starve the timer tick (production pacing, wake-ups).
+const MAX_FRAMES_PER_ITERATION: usize = 128;
+
+/// A recorded engine interaction: the input handled and the `Debug`
+/// rendering of the outputs it produced — the exact artifact the
+/// trace-replay test compares against a fresh engine.
+pub type RecordedStep = (Input, String);
 
 /// Configuration of one networked validator.
 #[derive(Debug, Clone)]
@@ -51,8 +62,17 @@ pub struct NodeConfig {
     pub options: CommitterOptions,
     /// Write-ahead log path; `None` uses a volatile in-memory log.
     pub wal_path: Option<PathBuf>,
-    /// Maximum transactions per block.
-    pub max_block_transactions: usize,
+    /// Mempool bounds and per-block payload budget: pool capacity in
+    /// transactions and bytes, plus the `max_block_txs`/`max_block_bytes`
+    /// drained into each produced block (see
+    /// [`MempoolConfig`]). Submissions past the capacity are rejected with
+    /// `SubmitResult::Full` instead of growing the queue.
+    pub mempool: MempoolConfig,
+    /// Record every engine [`Input`] and the `Debug` rendering of its
+    /// outputs while the node runs (retrieved with
+    /// [`NodeHandle::stop_into_trace`]). Off by default — the buffer grows
+    /// with the run; it exists for the determinism-contract replay tests.
+    pub record_trace: bool,
     /// Minimum spacing between produced rounds (pacing; localhost clusters
     /// would otherwise spin thousands of rounds per second).
     pub min_round_interval: Duration,
@@ -75,7 +95,11 @@ impl NodeConfig {
             setup,
             options: CommitterOptions::default(),
             wal_path: None,
-            max_block_transactions: 1_000,
+            mempool: MempoolConfig {
+                max_block_txs: 1_000,
+                ..MempoolConfig::default()
+            },
+            record_trace: false,
             min_round_interval: Duration::from_millis(2),
             inclusion_wait: Duration::ZERO,
             gc_depth: Some(128),
@@ -83,10 +107,11 @@ impl NodeConfig {
     }
 
     /// The engine configuration both this node and the test harnesses
-    /// derive from these parameters.
-    fn engine_config(&self) -> EngineConfig {
+    /// derive from these parameters — public so replay tests can construct
+    /// a fresh engine identical to the one a recorded node ran.
+    pub fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig::new(self.authority, self.setup.clone());
-        config.max_block_transactions = self.max_block_transactions;
+        config.mempool = self.mempool;
         config.min_round_interval = self.min_round_interval.as_micros() as EngineTime;
         config.inclusion_wait = self.inclusion_wait.as_micros() as EngineTime;
         config.gc_depth = self.gc_depth;
@@ -94,13 +119,65 @@ impl NodeConfig {
     }
 }
 
+/// Mempool/ingress gauges exported by a running node, updated once per
+/// event-loop iteration (lock-free reads for load generators and
+/// monitoring).
+#[derive(Debug, Default)]
+pub struct MempoolGauges {
+    accepted: AtomicU64,
+    rejected_duplicate: AtomicU64,
+    rejected_full: AtomicU64,
+    pending: AtomicU64,
+    peak_occupancy: AtomicU64,
+}
+
+impl MempoolGauges {
+    fn update(&self, report: &TxIntegrityReport) {
+        self.accepted.store(report.accepted, Ordering::Relaxed);
+        self.rejected_duplicate
+            .store(report.rejected_duplicate, Ordering::Relaxed);
+        self.rejected_full
+            .store(report.rejected_full, Ordering::Relaxed);
+        self.pending.store(report.pending, Ordering::Relaxed);
+        self.peak_occupancy
+            .store(report.peak_occupancy_txs, Ordering::Relaxed);
+    }
+
+    /// Transactions accepted into the pool so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected as digest duplicates so far.
+    pub fn rejected_duplicate(&self) -> u64 {
+        self.rejected_duplicate.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected for capacity (`SubmitResult::Full`) so far.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// Transactions currently pending inclusion.
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Peak pool occupancy (transactions) observed so far.
+    pub fn peak_occupancy(&self) -> u64 {
+        self.peak_occupancy.load(Ordering::Relaxed)
+    }
+}
+
 /// Handle to a running [`ValidatorNode`].
 pub struct NodeHandle {
     /// Committed sub-DAGs, in commit order.
     commits: Receiver<CommittedSubDag>,
-    transactions: Sender<Transaction>,
+    transactions: Sender<Vec<Transaction>>,
     stop: Arc<AtomicBool>,
     round: Arc<AtomicU64>,
+    gauges: Arc<MempoolGauges>,
+    trace: Option<Arc<Mutex<Vec<RecordedStep>>>>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -112,12 +189,28 @@ impl NodeHandle {
 
     /// Submits a client transaction to this validator.
     pub fn submit(&self, transaction: Transaction) {
-        let _ = self.transactions.send(transaction);
+        self.submit_batch(vec![transaction]);
+    }
+
+    /// Submits a client transaction batch to this validator — the same
+    /// ingestion vocabulary as the wire's `Envelope::TxBatch` frame (the
+    /// run loop feeds both through `Input::TxBatchReceived`).
+    pub fn submit_batch(&self, batch: Vec<Transaction>) {
+        if batch.is_empty() {
+            return;
+        }
+        let _ = self.transactions.send(batch);
     }
 
     /// The node's current round (last produced).
     pub fn round(&self) -> Round {
         self.round.load(Ordering::SeqCst)
+    }
+
+    /// Mempool/ingress gauges (occupancy, acceptance and rejection
+    /// counters), refreshed once per event-loop iteration.
+    pub fn mempool_gauges(&self) -> &MempoolGauges {
+        &self.gauges
     }
 
     /// Stops the node and waits for its thread to exit.
@@ -126,6 +219,19 @@ impl NodeHandle {
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
+    }
+
+    /// Stops the node and returns the recorded engine trace (every
+    /// [`Input`] handled, with the `Debug` rendering of its outputs), if
+    /// the node was started with [`NodeConfig::record_trace`].
+    pub fn stop_into_trace(mut self) -> Option<Vec<RecordedStep>> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        let trace = self.trace.take()?;
+        let steps = std::mem::take(&mut *trace.lock());
+        Some(steps)
     }
 }
 
@@ -172,6 +278,12 @@ pub struct ValidatorNode {
     transport: Transport,
     engine: ValidatorEngine,
     wal: AnyWal,
+    /// Deferred WAL fsync: set by a durable Persist, flushed before the
+    /// next network send (durability-before-dissemination) or at the end
+    /// of the batch.
+    pending_sync: bool,
+    /// Input/output recording (determinism-contract replay tests).
+    trace: Option<Arc<Mutex<Vec<RecordedStep>>>>,
 }
 
 impl ValidatorNode {
@@ -215,6 +327,10 @@ impl ValidatorNode {
             transport,
             engine,
             wal,
+            pending_sync: false,
+            trace: config
+                .record_trace
+                .then(|| Arc::new(Mutex::new(Vec::new()))),
         })
     }
 
@@ -250,47 +366,49 @@ impl ValidatorNode {
         let (tx_tx, tx_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let round = Arc::new(AtomicU64::new(self.engine.round()));
+        let gauges = Arc::new(MempoolGauges::default());
+        let trace = self.trace.clone();
         let loop_stop = Arc::clone(&stop);
         let loop_round = Arc::clone(&round);
+        let loop_gauges = Arc::clone(&gauges);
         let authority = self.authority;
         let join = std::thread::Builder::new()
             .name(format!("validator-{authority}"))
-            .spawn(move || self.run(commit_tx, tx_rx, loop_stop, loop_round))
+            .spawn(move || self.run(commit_tx, tx_rx, loop_stop, loop_round, loop_gauges))
             .expect("spawn validator thread");
         NodeHandle {
             commits: commit_rx,
             transactions: tx_tx,
             stop,
             round,
+            gauges,
+            trace,
             join: Some(join),
         }
     }
 
+    /// The event loop: per iteration, drain *all* ready inputs — one timer
+    /// tick, every queued client batch, and every frame already received
+    /// (bounded by [`MAX_FRAMES_PER_ITERATION`]) — into one output batch,
+    /// then render that batch against the transport/WAL/commit channel
+    /// once. Batching amortizes WAL fsyncs across the inputs of an
+    /// iteration (the sync is still forced before any network send, so
+    /// durability-before-dissemination holds) instead of paying one fsync
+    /// and one channel round per frame.
     fn run(
         mut self,
         commits: Sender<CommittedSubDag>,
-        transactions: Receiver<Transaction>,
+        transactions: Receiver<Vec<Transaction>>,
         stop: Arc<AtomicBool>,
         round: Arc<AtomicU64>,
+        gauges: Arc<MempoolGauges>,
     ) {
         let started = Instant::now();
+        let client_from = self.authority.as_usize();
         while !stop.load(Ordering::SeqCst) {
-            // Drain client transactions (enqueue-only inputs).
-            loop {
-                match transactions.try_recv() {
-                    Ok(transaction) => {
-                        self.engine.handle(Input::TxSubmitted {
-                            transaction,
-                            tag: 0,
-                        });
-                    }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => return,
-                }
-            }
             // Wait for one incoming frame (with a short poll timeout that
             // also serves every WakeAt the engine asked for).
-            let frame = match self
+            let first = match self
                 .transport
                 .incoming()
                 .recv_timeout(Duration::from_millis(2))
@@ -300,49 +418,84 @@ impl ValidatorNode {
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             };
             let now = started.elapsed().as_micros() as EngineTime;
-            let outputs = self.engine.handle(Input::TimerFired { now });
+            let mut outputs = Vec::new();
+            self.handle_input(Input::TimerFired { now }, &mut outputs);
+            // Drain client batches (enqueue-only inputs).
+            loop {
+                match transactions.try_recv() {
+                    Ok(batch) => self.handle_input(
+                        Input::TxBatchReceived {
+                            from: client_from,
+                            transactions: batch,
+                        },
+                        &mut outputs,
+                    ),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return,
+                }
+            }
+            // The blocking frame plus everything else already queued.
+            let mut frame = first;
+            let mut drained = 0;
+            while let Some((peer, bytes)) = frame.take() {
+                if let Ok(message) = NodeMessage::from_bytes_exact(&bytes) {
+                    self.handle_input(Input::from_envelope(peer as usize, message), &mut outputs);
+                }
+                drained += 1;
+                if drained < MAX_FRAMES_PER_ITERATION {
+                    frame = self.transport.incoming().try_recv().ok();
+                }
+            }
+            // Render the whole iteration's outputs once.
             if self.apply(outputs, &commits).is_err() {
                 return;
             }
-            if let Some((peer, bytes)) = frame {
-                if let Ok(message) = NodeMessage::from_bytes_exact(&bytes) {
-                    let outputs = self
-                        .engine
-                        .handle(Input::from_envelope(peer as usize, message));
-                    if self.apply(outputs, &commits).is_err() {
-                        return;
-                    }
-                }
-            }
             round.store(self.engine.round(), Ordering::SeqCst);
+            gauges.update(&self.engine.tx_integrity());
         }
         self.transport.shutdown();
     }
 
+    /// Feeds one input to the engine, recording the step when tracing.
+    fn handle_input(&mut self, input: Input, outputs: &mut Vec<Output>) {
+        if let Some(trace) = &self.trace {
+            let produced = self.engine.handle(input.clone());
+            trace.lock().push((input, format!("{produced:?}")));
+            outputs.extend(produced);
+        } else {
+            outputs.extend(self.engine.handle(input));
+        }
+    }
+
     /// Carries out engine effects against the transport, the WAL, and the
-    /// commit channel. Errors only when the application hung up.
+    /// commit channel. Durable WAL records (own blocks, convictions) defer
+    /// their fsync until just before the next network send — or the end of
+    /// the batch — so consecutive records share one sync without ever
+    /// disseminating an unsynced own block. Errors only when the
+    /// application hung up.
     fn apply(&mut self, outputs: Vec<Output>, commits: &Sender<CommittedSubDag>) -> Result<(), ()> {
         for output in outputs {
             match output {
                 Output::Broadcast(envelope) => {
+                    self.flush_wal();
                     self.transport.broadcast(envelope.to_bytes_vec());
                 }
                 Output::SendTo(peer, envelope) => {
+                    self.flush_wal();
                     self.transport.send(peer as u32, envelope.to_bytes_vec());
                 }
                 Output::Persist(record) => {
                     // Durability before dissemination: own blocks (the
                     // engine emits their Persist ahead of the Broadcast)
-                    // and convictions are fsynced; peers' blocks can be
-                    // re-fetched, so their records ride the next sync.
+                    // and convictions are fsynced before anything else
+                    // leaves this node; peers' blocks can be re-fetched,
+                    // so their records ride the next sync.
                     let durable = match &record {
                         WalRecord::Block(block) => block.author() == self.authority,
                         WalRecord::Evidence(_) => true,
                     };
                     let _ = self.wal.append(&record.to_bytes_vec());
-                    if durable {
-                        let _ = self.wal.sync();
-                    }
+                    self.pending_sync |= durable;
                 }
                 Output::Committed(sub_dag) => {
                     if commits.send(sub_dag).is_err() {
@@ -350,12 +503,25 @@ impl ValidatorNode {
                     }
                 }
                 // The 2 ms poll loop revisits the engine well within any
-                // requested wake-up; client tags and conviction
-                // notifications have no node-side consumer yet.
-                Output::WakeAt(_) | Output::TxsCommitted(_) | Output::Convicted(_) => {}
+                // requested wake-up; client tags, conviction, and
+                // backpressure notifications have no node-side consumer
+                // beyond the gauges.
+                Output::WakeAt(_)
+                | Output::TxsCommitted(_)
+                | Output::Convicted(_)
+                | Output::TxRejected { .. } => {}
             }
         }
+        self.flush_wal();
         Ok(())
+    }
+
+    /// Performs the deferred WAL fsync, if one is pending.
+    fn flush_wal(&mut self) {
+        if self.pending_sync {
+            let _ = self.wal.sync();
+            self.pending_sync = false;
+        }
     }
 }
 

@@ -45,10 +45,10 @@ pub mod scenario;
 
 pub use matrix::{
     adversaries, attack_behaviors, full_matrix, protocols, report_json, run_scenario, smoke_matrix,
-    OracleOutcome, ScenarioResult,
+    OracleOutcome, ScenarioResult, SCALE_COMMITTEE,
 };
 pub use oracle::{
     default_oracles, CommitAgreement, CommitLatencyBound, EvidenceAttribution, Liveness, Oracle,
-    UniqueSlotCommit,
+    TxIntegrity, UniqueSlotCommit,
 };
 pub use scenario::{Scenario, ScenarioRun};

@@ -64,9 +64,17 @@ pub fn adversaries() -> Vec<(&'static str, AdversaryChoice)> {
     ]
 }
 
+/// The committee size of the base matrix (the paper's smallest deployment).
+const BASE_COMMITTEE: usize = 4;
+
+/// The larger committee exercised by the scale row (`f = 3`).
+pub const SCALE_COMMITTEE: usize = 10;
+
 /// One matrix cell, fully determined by its coordinates: the seed is a
-/// stable function of `(protocol, behavior, adversary)`, so any cell can be
-/// reproduced from the report alone.
+/// stable function of `(protocol, behavior, adversary, committee)`, so any
+/// cell can be reproduced from the report alone. The (single) non-honest
+/// behavior is always assigned to the last authority.
+#[allow(clippy::too_many_arguments)] // one coordinate per dimension, called from the sweep builders only
 fn cell(
     protocol: ProtocolChoice,
     protocol_index: usize,
@@ -75,15 +83,22 @@ fn cell(
     adversary_name: &str,
     adversary: AdversaryChoice,
     adversary_index: usize,
+    committee_size: usize,
 ) -> Scenario {
     // Wide strides so the catalogs can grow (more behaviors, adversaries,
-    // protocols) without any two cells ever colliding on a seed.
+    // protocols, committees) without any two cells ever colliding on a
+    // seed; the base-committee seeds are unchanged from earlier revisions.
     let seed = 0x5eed_0000
+        + if committee_size == BASE_COMMITTEE {
+            0
+        } else {
+            committee_size as u64 * 100_000_000
+        }
         + (protocol_index as u64) * 1_000_000
         + (behavior_index as u64) * 1_000
         + adversary_index as u64;
     let behaviors = behavior
-        .map(|behavior| vec![(3usize, behavior)])
+        .map(|behavior| vec![(committee_size - 1, behavior)])
         .unwrap_or_default();
     let behavior_label = behavior.map(|b| b.label()).unwrap_or("honest");
     // Non-overlapping-wave protocols commit once per wave (Cordial Miners)
@@ -98,7 +113,7 @@ fn cell(
     };
     let config = SimConfig {
         protocol,
-        committee_size: 4,
+        committee_size,
         behaviors,
         duration,
         txs_per_second_per_validator: 40,
@@ -110,14 +125,29 @@ fn cell(
         seed,
         ..SimConfig::default()
     };
+    let committee_label = if committee_size == BASE_COMMITTEE {
+        String::new()
+    } else {
+        format!("@n{committee_size}")
+    };
     Scenario::new(
-        format!("{}/{}/{}", protocol.name(), behavior_label, adversary_name),
+        format!(
+            "{}/{}{}/{}",
+            protocol.name(),
+            behavior_label,
+            committee_label,
+            adversary_name
+        ),
         config,
     )
 }
 
 /// The full sweep: every protocol × every behavior (plus an all-honest
-/// baseline) × every adversary — 4 × 9 × 4 = 144 seeded scenarios.
+/// baseline) × every adversary at `n = 4` — 4 × 9 × 4 = 144 seeded
+/// scenarios — plus the `n = 10` scale row: every protocol × every
+/// adversary with an equivocator in the last slot (16 more cells), so
+/// commit agreement, fault attribution, and transaction integrity are all
+/// exercised at a committee with `f = 3`.
 pub fn full_matrix() -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for (protocol_index, &protocol) in protocols().iter().enumerate() {
@@ -134,22 +164,38 @@ pub fn full_matrix() -> Vec<Scenario> {
                     adversary_name,
                     adversary,
                     adversary_index,
+                    BASE_COMMITTEE,
                 ));
             }
+        }
+        // The n = 10 scale row (behavior index past the n = 4 rows keeps
+        // the seed lattice regular).
+        for (adversary_index, &(adversary_name, adversary)) in adversaries().iter().enumerate() {
+            scenarios.push(cell(
+                protocol,
+                protocol_index,
+                Some(Behavior::Equivocator),
+                9,
+                adversary_name,
+                adversary,
+                adversary_index,
+                SCALE_COMMITTEE,
+            ));
         }
     }
     scenarios
 }
 
 /// A deterministic diagonal subset for quick CI smoke runs: every behavior,
-/// every protocol, and every adversary appears at least once, in 9 cells
-/// instead of 144.
+/// every protocol, every adversary, and both committee sizes appear at
+/// least once, in 10 cells instead of 160.
 pub fn smoke_matrix() -> Vec<Scenario> {
     let protocols = protocols();
     let adversaries = adversaries();
     let mut rows: Vec<Option<Behavior>> = vec![None];
     rows.extend(attack_behaviors().into_iter().map(Some));
-    rows.iter()
+    let mut scenarios: Vec<Scenario> = rows
+        .iter()
         .enumerate()
         .map(|(behavior_index, &behavior)| {
             let protocol_index = behavior_index % protocols.len();
@@ -163,9 +209,23 @@ pub fn smoke_matrix() -> Vec<Scenario> {
                 adversary_name,
                 adversary,
                 adversary_index,
+                BASE_COMMITTEE,
             )
         })
-        .collect()
+        .collect();
+    // One n = 10 scale cell (same coordinates as its full-matrix twin).
+    let (adversary_name, adversary) = adversaries[0];
+    scenarios.push(cell(
+        protocols[0],
+        0,
+        Some(Behavior::Equivocator),
+        9,
+        adversary_name,
+        adversary,
+        0,
+        SCALE_COMMITTEE,
+    ));
+    scenarios
 }
 
 /// The verdict of one oracle on one scenario.
@@ -338,7 +398,8 @@ mod tests {
     #[test]
     fn full_matrix_covers_the_whole_space() {
         let scenarios = full_matrix();
-        assert_eq!(scenarios.len(), 4 * 9 * 4);
+        // 144 n = 4 cells plus the 16-cell n = 10 scale row.
+        assert_eq!(scenarios.len(), 4 * 9 * 4 + 4 * 4);
         for protocol in protocols() {
             assert!(scenarios
                 .iter()
@@ -350,6 +411,20 @@ mod tests {
         for (adversary, _) in adversaries() {
             assert!(scenarios.iter().any(|s| s.name.ends_with(adversary)));
         }
+        // The scale row: every protocol × every adversary at n = 10, with
+        // the Byzantine slot at the last authority.
+        let scale: Vec<&Scenario> = scenarios
+            .iter()
+            .filter(|s| s.name.contains("@n10"))
+            .collect();
+        assert_eq!(scale.len(), 4 * 4);
+        for scenario in &scale {
+            assert_eq!(scenario.config.committee_size, 10);
+            assert_eq!(
+                scenario.config.behavior_of(9),
+                mahimahi_sim::Behavior::Equivocator
+            );
+        }
         // Seeds are unique: every cell is independently reproducible.
         let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.config.seed).collect();
         seeds.sort_unstable();
@@ -360,7 +435,7 @@ mod tests {
     #[test]
     fn smoke_matrix_is_a_covering_subset() {
         let smoke = smoke_matrix();
-        assert_eq!(smoke.len(), 9);
+        assert_eq!(smoke.len(), 10);
         let full: Vec<String> = full_matrix().iter().map(|s| s.name.clone()).collect();
         for scenario in &smoke {
             assert!(
@@ -372,6 +447,7 @@ mod tests {
         for behavior in attack_behaviors() {
             assert!(smoke.iter().any(|s| s.name.contains(behavior.label())));
         }
+        assert!(smoke.iter().any(|s| s.config.committee_size == 10));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(CommitLatencyBound),
         Box::new(Liveness),
         Box::new(EvidenceAttribution),
+        Box::new(TxIntegrity),
     ]
 }
 
@@ -222,12 +223,52 @@ impl Oracle for EvidenceAttribution {
     }
 }
 
+/// Transaction integrity: at every correct validator, the client pipeline
+/// neither loses nor duplicates transactions, and the mempool honors its
+/// configured bounds:
+///
+/// - **conservation** — every accepted transaction is pending, in flight
+///   in a produced-but-uncommitted own block, or committed (no loss);
+/// - **exactly-once** — no accepted transaction ever commits twice across
+///   the validator's own (unforgeably signed) blocks, whatever Byzantine
+///   behavior or delivery schedule is in play. A Byzantine peer copying
+///   observed payloads into blocks *it* signs is that peer's misbehavior
+///   (attributed by the evidence subsystem) and does not violate the
+///   correct validator's pipeline;
+/// - **bounded occupancy** — peak pool occupancy never exceeds the
+///   configured capacity (backpressure instead of unbounded growth).
+pub struct TxIntegrity;
+
+impl Oracle for TxIntegrity {
+    fn name(&self) -> &'static str {
+        "tx-integrity"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        for &validator in &scenario.correct_validators() {
+            let Some(report) = run.tx_integrity.get(validator) else {
+                return Err(format!(
+                    "no tx-integrity report recorded for validator {validator}"
+                ));
+            };
+            // One shared definition of "sound" (TxIntegrityReport) keeps
+            // this oracle and the load generator's gates in lockstep.
+            if let Some(violation) = report.violations().into_iter().next() {
+                return Err(format!("validator {validator}: {violation}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mahimahi_crypto::Digest;
     use mahimahi_net::time;
-    use mahimahi_sim::{Behavior, LatencyChoice, ProtocolChoice, SimConfig, SimReport};
+    use mahimahi_sim::{
+        Behavior, LatencyChoice, ProtocolChoice, SimConfig, SimReport, TxIntegrityReport,
+    };
     use mahimahi_types::AuthorityIndex;
 
     fn reference(round: u64, author: u32, tag: u8) -> BlockRef {
@@ -262,6 +303,7 @@ mod tests {
             },
             logs,
             culprits: vec![Vec::new(); validators],
+            tx_integrity: vec![TxIntegrityReport::default(); validators],
         }
     }
 
@@ -357,6 +399,56 @@ mod tests {
         run.culprits[2] = vec![AuthorityIndex(0)];
         let violation = EvidenceAttribution.check(&honest, &run);
         assert!(violation.unwrap_err().contains("falsely convicted"));
+    }
+
+    #[test]
+    fn tx_integrity_catches_loss_duplication_and_overgrowth() {
+        let scenario = scenario();
+        let logs = vec![vec![Some(reference(1, 0, 1))]; 4];
+        let sound = TxIntegrityReport {
+            accepted: 10,
+            pending: 2,
+            in_flight: 3,
+            own_committed: 5,
+            peak_occupancy_txs: 6,
+            peak_occupancy_bytes: 600,
+            capacity_txs: 8,
+            capacity_bytes: 1_000,
+            ..TxIntegrityReport::default()
+        };
+        let mut run = run_with_logs(logs.clone());
+        run.tx_integrity = vec![sound; 4];
+        assert!(TxIntegrity.check(&scenario, &run).is_ok());
+
+        // A lost transaction (conservation violated) fails.
+        let mut run = run_with_logs(logs.clone());
+        run.tx_integrity = vec![sound; 4];
+        run.tx_integrity[1].own_committed = 4;
+        let violation = TxIntegrity.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("transactions lost"));
+
+        // A duplicate commit fails.
+        let mut run = run_with_logs(logs.clone());
+        run.tx_integrity = vec![sound; 4];
+        run.tx_integrity[2].duplicate_committed = 1;
+        let violation = TxIntegrity.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("committed more than once"));
+
+        // Occupancy beyond the configured capacity fails.
+        let mut run = run_with_logs(logs.clone());
+        run.tx_integrity = vec![sound; 4];
+        run.tx_integrity[0].peak_occupancy_txs = 9;
+        let violation = TxIntegrity.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("outgrew"));
+
+        // A Byzantine validator's report is not checked (its multi-variant
+        // builds legitimately double-count in-flight tags).
+        let mut byzantine = scenario;
+        byzantine.config.behaviors = vec![(3, Behavior::ForkSpammer { forks: 3 })];
+        let mut run = run_with_logs(logs);
+        run.tx_integrity = vec![sound; 4];
+        run.tx_integrity[3].own_committed = 0;
+        assert!(TxIntegrity.check(&byzantine, &run).is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The declarative scenario: one fully-specified, reproducible run.
 
-use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation};
+use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation, TxIntegrityReport};
 use mahimahi_types::{AuthorityIndex, BlockRef};
 
 /// One fully-specified simulation scenario.
@@ -29,6 +29,10 @@ pub struct ScenarioRun {
     /// Per-validator convicted-equivocator sets (index order), produced by
     /// the evidence pools — at-source DAG detection plus gossiped proofs.
     pub culprits: Vec<Vec<AuthorityIndex>>,
+    /// Per-validator transaction-pipeline accounting (mempool occupancy,
+    /// rejections, conservation, duplicate commits) — what the
+    /// `tx-integrity` oracle checks.
+    pub tx_integrity: Vec<TxIntegrityReport>,
 }
 
 impl Scenario {
@@ -48,6 +52,7 @@ impl Scenario {
             report: outcome.report,
             logs: outcome.logs,
             culprits: outcome.culprits,
+            tx_integrity: outcome.tx_integrity,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use mahimahi_baselines::{CordialMinersCommitter, CordialMinersOptions, TuskCommitter};
-use mahimahi_core::{Committer, CommitterOptions, ProtocolCommitter};
+use mahimahi_core::{Committer, CommitterOptions, MempoolConfig, ProtocolCommitter};
 use mahimahi_net::time::{self, Time};
 use mahimahi_types::{Committee, Round};
 
@@ -332,8 +332,16 @@ pub struct SimConfig {
     pub txs_per_second_per_validator: u64,
     /// Wire size of one transaction (the paper uses 512 bytes).
     pub tx_wire_size: usize,
-    /// Maximum transactions included in one block.
-    pub max_block_transactions: usize,
+    /// Mempool bounds and per-block payload budget applied at every
+    /// validator: pool capacity in transactions and bytes, plus the
+    /// `max_block_txs`/`max_block_bytes` drained into each produced block.
+    pub mempool: MempoolConfig,
+    /// Whether validators keep the committed-digest set behind the
+    /// `tx-integrity` accounting (duplicate-commit detection). On by
+    /// default; the multi-million-transaction figure sweeps turn it off to
+    /// halve digest-set growth (the mempool's accepted-digest dedup ledger
+    /// remains either way — retention is the replay protection).
+    pub track_tx_integrity: bool,
     /// Delay model.
     pub latency: LatencyChoice,
     /// Adversary model.
@@ -360,7 +368,8 @@ impl Default for SimConfig {
             duration: time::from_secs(10),
             txs_per_second_per_validator: 100,
             tx_wire_size: 512,
-            max_block_transactions: 2_000,
+            mempool: MempoolConfig::default(),
+            track_tx_integrity: true,
             latency: LatencyChoice::AwsWan,
             adversary: AdversaryChoice::None,
             cpu: CpuCosts::default(),

@@ -43,6 +43,7 @@ mod validator;
 pub use config::{
     AdversaryChoice, Behavior, CpuCosts, LatencyChoice, LeaderSchedule, ProtocolChoice, SimConfig,
 };
+pub use mahimahi_core::{MempoolConfig, SubmitResult, TxIntegrityReport};
 pub use message::{SimMessage, WireModel};
 pub use metrics::{LatencyStats, SimReport};
 pub use runner::{SimOutcome, Simulation};

@@ -53,6 +53,7 @@ impl WireModel for Envelope {
                 16 + block_wire_size(proof.first(), tx_wire_size)
                     + block_wire_size(proof.second(), tx_wire_size)
             }
+            Envelope::TxBatch(transactions) => 16 + transactions.len() * tx_wire_size,
         }
     }
 
@@ -62,7 +63,7 @@ impl WireModel for Envelope {
             Envelope::Ack { reference, .. } | Envelope::Certificate { reference, .. } => {
                 reference.round
             }
-            Envelope::Request(_) | Envelope::Response(_) => 0,
+            Envelope::Request(_) | Envelope::Response(_) | Envelope::TxBatch(_) => 0,
             Envelope::Evidence(proof) => proof.round(),
         }
     }

@@ -83,6 +83,10 @@ pub struct SimOutcome {
     /// Per-validator convicted-equivocator sets in index order — the
     /// output of the evidence pools after at-source detection plus gossip.
     pub culprits: Vec<Vec<mahimahi_types::AuthorityIndex>>,
+    /// Per-validator transaction-pipeline accounting (mempool occupancy,
+    /// rejections, conservation, duplicate commits), indexed by authority —
+    /// what the `tx-integrity` scenario oracle checks.
+    pub tx_integrity: Vec<mahimahi_core::TxIntegrityReport>,
 }
 
 /// A full simulated deployment: committee, network, clients, clock.
@@ -173,7 +177,8 @@ impl Simulation {
                     config.protocol.committer(setup.committee().clone()),
                     config.behavior_of(index),
                     config.protocol.certified(),
-                    config.max_block_transactions,
+                    config.mempool,
+                    config.track_tx_integrity,
                     config.inclusion_wait,
                     config.protocol.leader_schedule(),
                 )
@@ -242,9 +247,15 @@ impl Simulation {
             .iter()
             .map(|validator| validator.convicted())
             .collect();
+        let tx_integrity = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.tx_integrity())
+            .collect();
         SimOutcome {
             logs,
             culprits,
+            tx_integrity,
             report: simulation.report(),
         }
     }
@@ -379,6 +390,11 @@ impl Simulation {
                     ))
                 })
                 .sum(),
+            // Client batches cost their ingest hashing (digest dedup).
+            SimMessage::TxBatch(transactions) => {
+                1 + cpu.hash_per_kb
+                    * ((transactions.len() * self.config.tx_wire_size) as Time / 1024)
+            }
         };
         self.cpu_busy_until[to] = self.now + cost;
         let actions = self.validators[to].on_message(self.now, from, message);

@@ -20,7 +20,7 @@
 
 use mahimahi_core::{
     engine::{EngineConfig, Input},
-    EvidencePool, Output, ProtocolCommitter, ValidatorEngine,
+    EvidencePool, MempoolConfig, Output, ProtocolCommitter, TxIntegrityReport, ValidatorEngine,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_net::time::Time;
@@ -60,14 +60,16 @@ impl SimValidator {
         committer: Box<dyn ProtocolCommitter>,
         behavior: Behavior,
         certified: bool,
-        max_block_transactions: usize,
+        mempool: MempoolConfig,
+        track_tx_integrity: bool,
         inclusion_wait: Time,
         leader_schedule: LeaderSchedule,
     ) -> Self {
         let strategy = strategy_for(behavior, certified, authority, &setup, leader_schedule);
         let mut config = EngineConfig::new(authority, setup);
         config.certified = certified;
-        config.max_block_transactions = max_block_transactions;
+        config.mempool = mempool;
+        config.track_tx_integrity = track_tx_integrity;
         config.inclusion_wait = inclusion_wait;
         if let Behavior::Crashed { from_round } = behavior {
             config.halt_from_round = Some(from_round);
@@ -156,7 +158,11 @@ impl SimValidator {
             if (from..until).contains(&now))
     }
 
-    /// Enqueues client transactions (id, submission time).
+    /// Enqueues client transactions (id, submission time) through the
+    /// bounded mempool. Rejections (duplicates, a full pool) surface as
+    /// `Output::TxRejected` and are absorbed here — open-loop clients do
+    /// not retry; the rejection counters stay visible through
+    /// [`Self::tx_integrity`].
     pub fn submit_transactions(&mut self, txs: impl IntoIterator<Item = (u64, Time)>) {
         if self.is_crashed(self.engine.round()) {
             return;
@@ -169,8 +175,28 @@ impl SimValidator {
                 transaction: Transaction::new(id.to_le_bytes().to_vec()),
                 tag: submitted,
             });
-            debug_assert!(outputs.is_empty());
+            debug_assert!(outputs
+                .iter()
+                .all(|output| matches!(output, Output::TxRejected { .. })));
         }
+    }
+
+    /// Submits a client batch through the shared wire vocabulary
+    /// ([`SimMessage::TxBatch`]) — the same ingestion path the TCP node's
+    /// client listener and the loopback cluster use.
+    pub fn submit_batch(
+        &mut self,
+        now: Time,
+        from: usize,
+        transactions: Vec<Transaction>,
+    ) -> Vec<Action> {
+        self.on_message(now, from, SimMessage::TxBatch(transactions))
+    }
+
+    /// The transaction-pipeline accounting at this validator (mempool
+    /// occupancy, rejections, conservation, duplicate commits).
+    pub fn tx_integrity(&self) -> TxIntegrityReport {
+        self.engine.tx_integrity()
     }
 
     /// Handles a delivered message, returning follow-up actions.
@@ -208,9 +234,10 @@ impl SimValidator {
         actions
     }
 
-    /// Maps engine outputs onto runner actions. Persistence and commit
-    /// notifications have no simulator-side effect (metrics read the
-    /// engine's counters directly); everything else forwards one-to-one.
+    /// Maps engine outputs onto runner actions. Persistence, commit, and
+    /// backpressure notifications have no simulator-side effect (metrics
+    /// read the engine's counters directly); everything else forwards
+    /// one-to-one.
     fn apply(outputs: Vec<Output>, actions: &mut Vec<Action>) {
         for output in outputs {
             match output {
@@ -218,7 +245,10 @@ impl SimValidator {
                 Output::SendTo(peer, envelope) => actions.push(Action::Send(peer, envelope)),
                 Output::TxsCommitted(submits) => actions.push(Action::TxsCommitted(submits)),
                 Output::WakeAt(time) => actions.push(Action::WakeAt(time)),
-                Output::Committed(_) | Output::Persist(_) | Output::Convicted(_) => {}
+                Output::Committed(_)
+                | Output::Persist(_)
+                | Output::Convicted(_)
+                | Output::TxRejected { .. } => {}
             }
         }
     }
@@ -256,7 +286,8 @@ mod tests {
             committer,
             behavior,
             certified,
-            100,
+            MempoolConfig::test(10_000, 100),
+            true,
             0, // no inclusion wait: unit tests drive rounds explicitly
             protocol.leader_schedule(),
         )
@@ -333,6 +364,30 @@ mod tests {
         let block = broadcast_block(&actions).expect("expected block broadcast");
         assert_eq!(block.transactions().len(), 100);
         assert_eq!(v.queued_transactions(), 400);
+    }
+
+    #[test]
+    fn wire_batches_share_the_mempool_with_local_submissions() {
+        let mut v = validator(1, Behavior::Honest, false);
+        // A batch through the wire vocabulary lands in the same pool…
+        let actions = v.submit_batch(
+            5,
+            0,
+            vec![Transaction::benchmark(1), Transaction::benchmark(2)],
+        );
+        assert_eq!(v.queued_transactions(), 2);
+        // …and the same digests submitted locally afterwards deduplicate.
+        v.submit_transactions([(0, 0)]);
+        assert_eq!(v.queued_transactions(), 3);
+        let integrity = v.tx_integrity();
+        assert_eq!(integrity.accepted, 3);
+        let _ = actions;
+        let again = v.submit_batch(6, 2, vec![Transaction::benchmark(2)]);
+        assert_eq!(v.queued_transactions(), 3, "duplicate digest rejected");
+        assert_eq!(v.tx_integrity().rejected_duplicate, 1);
+        assert!(again
+            .iter()
+            .all(|action| !matches!(action, Action::Broadcast(_))));
     }
 
     #[test]
@@ -546,7 +601,8 @@ mod tests {
                     protocol.committer(setup.committee().clone()),
                     Behavior::Honest,
                     false,
-                    100,
+                    MempoolConfig::test(10_000, 100),
+                    true,
                     1_000, // hold round 2 open until all of round 1 is here
                     protocol.leader_schedule(),
                 )

@@ -19,7 +19,17 @@ use crate::block::{Block, BlockRef};
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::evidence::EquivocationProof;
 use crate::ids::AuthorityIndex;
+use crate::transaction::Transaction;
 use std::sync::Arc;
+
+/// Maximum transactions accepted in one [`Envelope::TxBatch`] frame.
+/// Larger batches are rejected structurally at decode, before any copy of
+/// their payload reaches the mempool.
+pub const MAX_BATCH_TXS: usize = 16_384;
+
+/// Maximum wire size of a single transaction payload (1 MiB). A frame
+/// carrying a larger transaction is rejected at decode.
+pub const MAX_TX_WIRE_BYTES: usize = 1024 * 1024;
 
 /// One protocol message, independent of transport.
 #[derive(Debug, Clone)]
@@ -52,6 +62,12 @@ pub enum Envelope {
     /// Fault attribution: a self-contained equivocation proof, gossiped so
     /// every honest validator converges on the same culprit set.
     Evidence(EquivocationProof),
+    /// Client ingress: a batch of transactions submitted for inclusion.
+    /// Structurally validated at decode — non-empty, at most
+    /// [`MAX_BATCH_TXS`] transactions, each at most [`MAX_TX_WIRE_BYTES`]
+    /// bytes. The receiving validator's mempool applies admission control
+    /// (dedup, capacity) on top.
+    TxBatch(Vec<Transaction>),
 }
 
 const TAG_BLOCK: u8 = 1;
@@ -61,6 +77,7 @@ const TAG_PROPOSAL: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_CERTIFICATE: u8 = 6;
 const TAG_EVIDENCE: u8 = 7;
+const TAG_TX_BATCH: u8 = 8;
 
 impl Encode for Envelope {
     fn encode(&self, encoder: &mut Encoder) {
@@ -101,6 +118,13 @@ impl Encode for Envelope {
                 encoder.put_u8(TAG_EVIDENCE);
                 proof.encode(encoder);
             }
+            Envelope::TxBatch(transactions) => {
+                encoder.put_u8(TAG_TX_BATCH);
+                encoder.put_u32(u32::try_from(transactions.len()).expect("batch count fits u32"));
+                for transaction in transactions {
+                    encoder.put_var_bytes(transaction.as_bytes());
+                }
+            }
         }
     }
 }
@@ -128,6 +152,24 @@ impl Decode for Envelope {
                 Ok(Envelope::Response(blocks))
             }
             TAG_EVIDENCE => Ok(Envelope::Evidence(EquivocationProof::decode(decoder)?)),
+            TAG_TX_BATCH => {
+                let count = decoder.get_u32()? as usize;
+                if count == 0 {
+                    return Err(CodecError::InvalidValue("empty tx batch"));
+                }
+                if count > MAX_BATCH_TXS {
+                    return Err(CodecError::LengthOverflow(count as u64));
+                }
+                let mut transactions = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let payload = decoder.get_var_bytes()?;
+                    if payload.len() > MAX_TX_WIRE_BYTES {
+                        return Err(CodecError::LengthOverflow(payload.len() as u64));
+                    }
+                    transactions.push(Transaction::new(payload.to_vec()));
+                }
+                Ok(Envelope::TxBatch(transactions))
+            }
             _ => Err(CodecError::InvalidValue("envelope tag")),
         }
     }
@@ -160,6 +202,10 @@ mod tests {
             Envelope::Request(vec![genesis.reference()]),
             Envelope::Response(vec![genesis.clone()]),
             Envelope::Evidence(conflicting_pair(&setup, 1)),
+            Envelope::TxBatch(vec![
+                Transaction::benchmark(1),
+                Transaction::new(vec![9; 3]),
+            ]),
         ];
         for message in messages {
             let bytes = message.to_bytes_vec();
@@ -199,6 +245,7 @@ mod tests {
                     assert_eq!(a[0].reference(), b[0].reference());
                 }
                 (Envelope::Evidence(a), Envelope::Evidence(b)) => assert_eq!(a, b),
+                (Envelope::TxBatch(a), Envelope::TxBatch(b)) => assert_eq!(a, b),
                 _ => panic!("variant changed in round trip"),
             }
         }
@@ -214,6 +261,41 @@ mod tests {
         let genesis = Block::genesis(AuthorityIndex(1)).into_arc();
         let bytes = Envelope::Block(genesis).to_bytes_vec();
         assert!(Envelope::from_bytes_exact(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn tx_batch_structural_validation_at_decode() {
+        // Empty batches are rejected: the tag must not be usable as a
+        // zero-cost keep-alive that still walks the ingress path.
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_TX_BATCH);
+        encoder.put_u32(0);
+        assert!(matches!(
+            Envelope::from_bytes_exact(&encoder.into_bytes()),
+            Err(CodecError::InvalidValue("empty tx batch"))
+        ));
+        // Oversized batch counts are rejected before any allocation of
+        // that magnitude.
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_TX_BATCH);
+        encoder.put_u32(MAX_BATCH_TXS as u32 + 1);
+        assert!(matches!(
+            Envelope::from_bytes_exact(&encoder.into_bytes()),
+            Err(CodecError::LengthOverflow(_)) | Err(CodecError::UnexpectedEnd)
+        ));
+        // A single transaction above the wire cap is rejected.
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_TX_BATCH);
+        encoder.put_u32(1);
+        encoder.put_var_bytes(&vec![0u8; MAX_TX_WIRE_BYTES + 1]);
+        assert!(matches!(
+            Envelope::from_bytes_exact(&encoder.into_bytes()),
+            Err(CodecError::LengthOverflow(_))
+        ));
+        // The boundary case passes.
+        let batch = Envelope::TxBatch(vec![Transaction::new(vec![7; 128])]);
+        let decoded = Envelope::from_bytes_exact(&batch.to_bytes_vec()).unwrap();
+        assert!(matches!(decoded, Envelope::TxBatch(txs) if txs.len() == 1));
     }
 
     #[test]

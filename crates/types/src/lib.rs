@@ -40,7 +40,7 @@ pub mod transaction;
 pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use committee::{Committee, TestCommittee};
-pub use envelope::Envelope;
+pub use envelope::{Envelope, MAX_BATCH_TXS, MAX_TX_WIRE_BYTES};
 pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};
 pub use transaction::Transaction;

@@ -15,13 +15,15 @@
 //! recorded input trace fed into a freshly constructed engine reproduces
 //! the recorded output sequence exactly.
 
-use mahi_mahi::core::{CommitterOptions, Input};
-use mahi_mahi::node::{LoopbackCluster, LoopbackConfig};
+use mahi_mahi::core::{CommitterOptions, Input, MempoolConfig, ValidatorEngine};
+use mahi_mahi::node::{LoopbackCluster, LoopbackConfig, NodeConfig, ValidatorNode};
 use mahi_mahi::sim::{
     AdversaryChoice, CpuCosts, LatencyChoice, ProtocolChoice, SimConfig, Simulation,
 };
-use mahi_mahi::types::{BlockRef, Encode, Transaction};
+use mahi_mahi::transport::Transport;
+use mahi_mahi::types::{BlockRef, Encode, TestCommittee, Transaction};
 use mahimahi_net::time;
+use std::time::Duration;
 
 const SEED: u64 = 77;
 const LINK_DELAY: u64 = time::from_millis(30);
@@ -91,7 +93,7 @@ fn run_loopback() -> LoopbackCluster {
         options: CommitterOptions::mahi_mahi_5(2),
         link_delay: LINK_DELAY,
         inclusion_wait: INCLUSION_WAIT,
-        max_block_transactions: 2_000, // the simulator's default
+        mempool: MempoolConfig::default(), // the simulator's default
     });
     for validator in 0..4 {
         for id in workload(validator) {
@@ -157,6 +159,77 @@ fn sim_and_loopback_node_drivers_commit_identically() {
         .any(|input| matches!(input, Input::TxSubmitted { .. })));
 }
 
+/// The determinism contract against a *live* TCP run: four real nodes run
+/// over real sockets with `record_trace` on; afterwards, each node's
+/// recorded `Input` trace is fed into a freshly constructed engine with
+/// the same configuration, which must reproduce the recorded output
+/// renderings byte for byte. The TCP schedule itself is nondeterministic —
+/// every run records a different trace — but any single recorded trace
+/// must replay exactly; the threaded shell may not leak nondeterminism
+/// into the engine.
+#[test]
+fn live_tcp_node_traces_replay_exactly() {
+    let setup = TestCommittee::new(4, 909);
+    let transports: Vec<Transport> = (0..4)
+        .map(|id| Transport::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(Transport::local_addr).collect();
+    for transport in &transports {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer as u32 != transport.id() {
+                transport.connect(peer as u32, *addr);
+            }
+        }
+    }
+    let mut configs = Vec::new();
+    let mut handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let mut config = NodeConfig::local(id as u32, setup.clone());
+        config.record_trace = true;
+        config.min_round_interval = Duration::from_millis(5);
+        configs.push(config.clone());
+        handles.push(ValidatorNode::new(config, transport).unwrap().start());
+    }
+    // A real workload: batches submitted mid-run on every node.
+    for id in 0..40u64 {
+        handles[(id % 4) as usize].submit_batch(vec![Transaction::benchmark(id)]);
+    }
+    // Let the cluster commit something before stopping (and keep running
+    // briefly past that, so every node's trace has a healthy tail of
+    // timer and block inputs).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while handles[0].round() < 16 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(handles[0].round() >= 16, "cluster made no progress");
+    std::thread::sleep(Duration::from_millis(300));
+
+    for (validator, handle) in handles.into_iter().enumerate() {
+        let trace = handle.stop_into_trace().expect("record_trace was enabled");
+        assert!(
+            trace.len() > 60,
+            "validator {validator} recorded a suspiciously short trace ({})",
+            trace.len()
+        );
+        // The live run exercised the client-ingress path.
+        assert!(trace
+            .iter()
+            .any(|(input, _)| matches!(input, Input::TxBatchReceived { .. })));
+        let committer =
+            mahi_mahi::core::Committer::new(setup.committee().clone(), configs[validator].options);
+        let mut replay =
+            ValidatorEngine::honest(configs[validator].engine_config(), Box::new(committer));
+        for (step, (input, expected)) in trace.iter().enumerate() {
+            let outputs = replay.handle(input.clone());
+            assert_eq!(
+                &format!("{outputs:?}"),
+                expected,
+                "validator {validator} diverged from its live run at step {step} ({input:?})"
+            );
+        }
+    }
+}
+
 #[test]
 fn recorded_input_trace_replays_to_identical_outputs() {
     let cluster = {
@@ -166,7 +239,7 @@ fn recorded_input_trace_replays_to_identical_outputs() {
             options: CommitterOptions::mahi_mahi_5(2),
             link_delay: LINK_DELAY,
             inclusion_wait: INCLUSION_WAIT,
-            max_block_transactions: 100,
+            mempool: MempoolConfig::test(10_000, 100),
         });
         for validator in 0..4 {
             cluster.submit(validator, Transaction::benchmark(validator as u64), 7);

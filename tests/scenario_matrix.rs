@@ -72,15 +72,27 @@ fn oracle_battery_includes_evidence_attribution() {
         names.contains(&"evidence-attribution"),
         "fault attribution must gate every matrix cell: {names:?}"
     );
+    assert!(
+        names.contains(&"tx-integrity"),
+        "transaction integrity must gate every matrix cell: {names:?}"
+    );
 }
 
 #[test]
 fn matrix_covers_the_required_space() {
-    // 4 protocols × (8 attack behaviors + honest baseline) × 4 adversaries.
+    // 4 protocols × (8 attack behaviors + honest baseline) × 4 adversaries,
+    // plus the n = 10 scale row (every protocol × adversary).
     assert_eq!(protocols().len(), 4);
     assert!(attack_behaviors().len() >= 6);
     assert_eq!(adversaries().len(), 4);
-    assert_eq!(full_matrix().len(), 4 * 9 * 4);
+    assert_eq!(full_matrix().len(), 4 * 9 * 4 + 4 * 4);
+    assert_eq!(
+        full_matrix()
+            .iter()
+            .filter(|s| s.config.committee_size == mahi_mahi::scenarios::SCALE_COMMITTEE)
+            .count(),
+        4 * 4
+    );
     // The four active attack strategies of this harness are all present.
     for label in [
         "withholding-leader",

@@ -2,7 +2,7 @@
 //! fault tolerance, and WAL crash recovery.
 
 use mahi_mahi::core::{CommitterOptions, WalRecord};
-use mahi_mahi::node::{LocalCluster, NodeConfig, ValidatorNode};
+use mahi_mahi::node::{LocalCluster, NodeConfig, TxClient, ValidatorNode};
 use mahi_mahi::transport::Transport;
 use mahi_mahi::types::{AuthorityIndex, Encode, EquivocationProof, TestCommittee, Transaction};
 use std::time::Duration;
@@ -23,6 +23,40 @@ fn four_node_cluster_commits_transactions() {
         .wait_for_commit(0, Duration::from_secs(30))
         .expect("a commit with transactions");
     assert!(sub_dag.blocks.iter().any(|b| !b.transactions().is_empty()));
+    cluster.stop();
+}
+
+#[test]
+fn wire_clients_submit_batches_that_commit() {
+    // The client-ingress path end to end: an external TcpStream speaking
+    // only the hello + Envelope::TxBatch framing submits a batch to a
+    // validator, and those exact transactions commit.
+    let cluster = LocalCluster::start(4, 506).expect("cluster starts");
+    let mut client = TxClient::connect(cluster.address(1)).expect("client connects");
+    let batch: Vec<Transaction> = (100..108u64).map(Transaction::benchmark).collect();
+    client.submit(&batch).expect("batch sent");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut committed = std::collections::HashSet::new();
+    while committed.len() < batch.len() && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = cluster.commits(0).recv_timeout(Duration::from_millis(100)) {
+            for block in &sub_dag.blocks {
+                for tx in block.transactions() {
+                    if let Some(id) = tx.benchmark_id() {
+                        committed.insert(id);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(
+        committed,
+        (100..108u64).collect(),
+        "every batched transaction must commit exactly once"
+    );
+    // The receiving validator's gauges saw the batch.
+    assert_eq!(cluster.handle(1).mempool_gauges().accepted(), 8);
+    assert_eq!(cluster.handle(1).mempool_gauges().rejected_full(), 0);
     cluster.stop();
 }
 
