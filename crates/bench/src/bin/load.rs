@@ -4,10 +4,17 @@
 //! transaction rate and payload size through the *wire* ingestion path
 //! (`Envelope::TxBatch` frames), then reports:
 //!
-//! - sustained committed throughput (tx/s);
+//! - sustained committed throughput (tx/s), gated at ≥100k tx/s with
+//!   p99 commit latency ≤500 ms when the offered load reaches 100k;
 //! - the client-observed commit-latency histogram (p50/p99/max);
 //! - peak mempool occupancy against the configured capacity;
 //! - the transaction-integrity verdict (no loss, no duplication).
+//!
+//! A **verify-stage phase** additionally pushes signed block frames
+//! through the admission pipeline (the node's parallel verify stage) and
+//! reports its frame throughput, peak queue depth, and the
+//! verified/rejected split — the depth gauge for sizing
+//! `verify_workers`/`verify_queue_bound`.
 //!
 //! A second, deliberately oversubscribed **saturation phase** pushes a
 //! burst far past the pool capacity and verifies the subsystem answers
@@ -25,11 +32,14 @@
 //! Flags: `--quick` (short run), `--rate <tx/s per validator>`,
 //! `--tx-bytes <n>`, `--duration-s <n>`, `--capacity <txs>`, `--tcp`.
 
-use mahimahi_core::{CommitterOptions, MempoolConfig};
+use mahimahi_core::{
+    engine::Input, AdmissionConfig, AdmissionPipeline, CommitterOptions, MempoolConfig,
+};
+use mahimahi_dag::DagBuilder;
 use mahimahi_net::time::{self, Time};
 use mahimahi_node::{LocalCluster, LoopbackCluster, LoopbackConfig, TxClient};
 use mahimahi_sim::LatencyStats;
-use mahimahi_types::Transaction;
+use mahimahi_types::{Decode, Encode, Envelope, TestCommittee, Transaction};
 use std::collections::HashMap;
 use std::io::Write;
 
@@ -41,6 +51,7 @@ const BATCH_INTERVAL: Time = time::from_millis(5);
 
 struct Args {
     tcp: bool,
+    quick: bool,
     rate_per_validator: u64,
     tx_bytes: usize,
     duration_s: u64,
@@ -59,7 +70,8 @@ fn parse_args() -> Args {
     let quick = flag("--quick");
     Args {
         tcp: flag("--tcp"),
-        rate_per_validator: value("--rate").unwrap_or(3_000),
+        quick,
+        rate_per_validator: value("--rate").unwrap_or(27_000),
         tx_bytes: value("--tx-bytes").unwrap_or(Transaction::BENCHMARK_SIZE as u64) as usize,
         duration_s: value("--duration-s").unwrap_or(if quick { 6 } else { 20 }),
         capacity: value("--capacity").unwrap_or(50_000) as usize,
@@ -204,6 +216,21 @@ fn loopback_load_phase(args: &Args) -> PhaseReport {
             "sustained throughput {throughput_tps:.0} tps below 80% of the offered {offered} tps"
         ));
     }
+    // The verify/apply-split throughput gate: at 100k offered, the
+    // cluster must sustain six figures with a bounded tail.
+    if offered >= 100_000 {
+        if throughput_tps < 100_000.0 {
+            violations.push(format!(
+                "sustained throughput {throughput_tps:.0} tps below the 100k gate"
+            ));
+        }
+        let p99 = latency.p99_s();
+        if p99 > 0.5 {
+            violations.push(format!(
+                "commit-latency p99 {p99:.3}s above the 500 ms gate"
+            ));
+        }
+    }
     PhaseReport {
         offered_tps: offered,
         committed,
@@ -274,6 +301,127 @@ fn loopback_saturation_phase() -> PhaseReport {
     }
 }
 
+/// Verify-stage report: the admission pipeline driven standalone over
+/// signed block frames (wall-clock, parallel workers).
+struct VerifyReport {
+    frames: u64,
+    verified: u64,
+    rejected: u64,
+    peak_depth: u64,
+    throughput_fps: f64,
+    violations: Vec<String>,
+}
+
+impl VerifyReport {
+    fn print(&self) {
+        println!(
+            "verify    : frames={:>7} | verified={:>7} | rejected={:>5} | \
+             peak depth={:>5} | tput={:>8.0} frames/s",
+            self.frames, self.verified, self.rejected, self.peak_depth, self.throughput_fps,
+        );
+        for violation in &self.violations {
+            println!("  ✗ {violation}");
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"phase\":\"verify\",\"frames\":{},\"verified\":{},\"rejected\":{},\
+             \"peak_depth\":{},\"throughput_fps\":{:.1},\"pass\":{}}}",
+            self.frames,
+            self.verified,
+            self.rejected,
+            self.peak_depth,
+            self.throughput_fps,
+            self.violations.is_empty(),
+        )
+    }
+}
+
+/// Pushes signed block frames (every 16th one tampered) through a
+/// parallel [`AdmissionPipeline`] and measures frame throughput and the
+/// queue-depth high-water mark. The pipeline must keep submission order,
+/// admit exactly the valid frames, and attribute every tampered one.
+fn verify_stage_phase(quick: bool) -> VerifyReport {
+    const WORKERS: usize = 4;
+    let rounds = if quick { 64 } else { 256 };
+    let setup = TestCommittee::new(NODES, 0xfee1);
+    let mut dag = DagBuilder::new(setup.clone());
+    dag.add_full_rounds(rounds);
+    let blocks: Vec<_> = dag
+        .store()
+        .iter()
+        .filter(|block| block.round() > 0)
+        .cloned()
+        .collect();
+    let frames: Vec<(bool, Vec<u8>)> = blocks
+        .iter()
+        .enumerate()
+        .map(|(index, block)| {
+            let mut bytes = Envelope::Block(block.clone()).to_bytes_vec();
+            let tampered = index % 16 == 3;
+            if tampered {
+                // Flip a parent-digest byte: the frame still decodes, but
+                // the signature no longer covers the content.
+                bytes[31] ^= 0xff;
+            }
+            (tampered, bytes)
+        })
+        .collect();
+    let expected_rejected = frames.iter().filter(|(tampered, _)| *tampered).count() as u64;
+
+    let mut pipeline = AdmissionPipeline::new(
+        AdmissionConfig {
+            verify_workers: WORKERS,
+            queue_bound: 4096,
+        },
+        setup.committee().clone(),
+    );
+    let started = std::time::Instant::now();
+    for (_, bytes) in &frames {
+        pipeline.submit_frame(0, bytes.clone());
+    }
+    let admitted = pipeline.flush();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut violations = Vec::new();
+    let expected_order: Vec<_> = frames
+        .iter()
+        .filter(|(tampered, _)| !tampered)
+        .map(|(_, bytes)| match Envelope::from_bytes_exact(bytes) {
+            Ok(Envelope::Block(block)) => block.digest(),
+            _ => unreachable!("untampered frames decode"),
+        })
+        .collect();
+    let admitted_order: Vec<_> = admitted
+        .iter()
+        .filter_map(|input| match &**input {
+            Input::BlockReceived { block, .. } => Some(block.digest()),
+            _ => None,
+        })
+        .collect();
+    if admitted_order != expected_order {
+        violations.push("verified frames did not emerge in submission order".into());
+    }
+    if pipeline.rejected() != expected_rejected {
+        violations.push(format!(
+            "expected {expected_rejected} rejected frames, pipeline counted {}",
+            pipeline.rejected()
+        ));
+    }
+    if pipeline.peak_depth() == 0 {
+        violations.push("verify queue depth gauge never moved".into());
+    }
+    VerifyReport {
+        frames: frames.len() as u64,
+        verified: pipeline.verified(),
+        rejected: pipeline.rejected(),
+        peak_depth: pipeline.peak_depth() as u64,
+        throughput_fps: frames.len() as f64 / elapsed,
+        violations,
+    }
+}
+
 /// Wall-clock load against real TCP nodes through `TxClient` connections.
 fn tcp_load_phase(args: &Args) -> PhaseReport {
     use std::time::{Duration, Instant};
@@ -333,14 +481,33 @@ fn tcp_load_phase(args: &Args) -> PhaseReport {
     }
     let mut peak = 0;
     let mut rejected_full = 0;
+    let mut verify_peak_depth = 0;
+    let mut verify_verified = 0;
+    let mut verify_rejected = 0;
     for validator in 0..NODES {
         peak = peak.max(cluster.handle(validator).mempool_gauges().peak_occupancy());
         rejected_full += cluster.handle(validator).mempool_gauges().rejected_full();
+        let verify = cluster.handle(validator).verify_gauges();
+        verify_peak_depth = verify_peak_depth.max(verify.peak_depth());
+        verify_verified += verify.verified();
+        verify_rejected += verify.rejected();
     }
     cluster.stop();
+    println!(
+        "tcp verify: verified={verify_verified} | rejected={verify_rejected} | \
+         peak depth={verify_peak_depth}"
+    );
     let mut violations = Vec::new();
     if latency.is_empty() {
         violations.push("empty commit-latency histogram (tcp)".into());
+    }
+    if verify_verified == 0 {
+        violations.push("verify stage admitted no inputs (tcp)".into());
+    }
+    if verify_rejected > 0 {
+        violations.push(format!(
+            "verify stage rejected {verify_rejected} inputs from honest peers (tcp)"
+        ));
     }
     PhaseReport {
         offered_tps: args.rate_per_validator * NODES as u64,
@@ -364,6 +531,7 @@ fn main() {
     );
 
     let mut reports = Vec::new();
+    let mut verify_report = None;
     if args.tcp {
         let report = tcp_load_phase(&args);
         report.print("tcp-load  ");
@@ -375,12 +543,18 @@ fn main() {
         let report = loopback_saturation_phase();
         report.print("saturation");
         reports.push(("saturation", report));
+        let report = verify_stage_phase(args.quick);
+        report.print();
+        verify_report = Some(report);
     }
 
-    let rows: Vec<String> = reports
+    let mut rows: Vec<String> = reports
         .iter()
         .map(|(phase, report)| report.json(phase))
         .collect();
+    if let Some(report) = &verify_report {
+        rows.push(report.json());
+    }
     let path = bench::results_dir().join("load.json");
     let mut file = std::fs::File::create(&path).expect("create json report");
     writeln!(
@@ -394,7 +568,10 @@ fn main() {
     let failed: usize = reports
         .iter()
         .map(|(_, report)| report.violations.len())
-        .sum();
+        .sum::<usize>()
+        + verify_report
+            .as_ref()
+            .map_or(0, |report| report.violations.len());
     if failed > 0 {
         println!("{failed} violation(s)");
         std::process::exit(1);

@@ -1,0 +1,570 @@
+//! The admission pipeline: a parallel verify stage in front of the
+//! sequential engine core.
+//!
+//! Everything expensive about admitting an input — decoding wire bytes,
+//! Schnorr signature checks, coin-share DLEQ proofs, structural block
+//! validation — is stateless: it depends only on the input bytes and the
+//! (fixed) committee. [`AdmissionPipeline`] exploits that by fanning
+//! submissions out to a pool of verify workers and re-sequencing the
+//! results, so verified inputs emerge in exact submission order no matter
+//! how the workers interleave. The sequential apply stage
+//! ([`ValidatorEngine::handle_verified`]) stays deterministic because it
+//! only ever sees that re-sequenced stream.
+//!
+//! Invalid inputs — undecodable frames, blocks with bad signatures or coin
+//! shares, unverifiable evidence — are dropped by the verify stage and
+//! never reach the core. Dropping them is output-equivalent to the serial
+//! path: [`ValidatorEngine::handle`] rejects the same inputs with no
+//! outputs and no state change.
+//!
+//! # Determinism contract
+//!
+//! Drivers record the *verified* inputs in sequenced order; replaying such
+//! a trace through plain [`ValidatorEngine::handle`] reproduces the live
+//! outputs byte for byte (the engine re-verifies deterministically, and a
+//! verification that succeeds changes nothing).
+//!
+//! [`ValidatorEngine::handle`]: crate::engine::ValidatorEngine::handle
+//! [`ValidatorEngine::handle_verified`]: crate::engine::ValidatorEngine::handle_verified
+
+use crossbeam::channel::{self, Receiver, Sender};
+use mahimahi_crypto::coin::CoinShare;
+use mahimahi_crypto::schnorr::{self, PublicKey, Signature};
+use mahimahi_types::{Block, Committee, Decode, Envelope, Verified};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::Input;
+
+/// Configuration for the verify stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Number of verify worker threads.
+    ///
+    /// `0` (the default) verifies synchronously inside
+    /// [`AdmissionPipeline::submit`] — no threads, same observable
+    /// behavior; this is what deterministic harnesses use. Values around
+    /// the physical core count are sensible for a TCP node.
+    pub verify_workers: usize,
+    /// Bound on in-flight submissions (submitted but not yet drained).
+    ///
+    /// The pipeline itself never blocks; callers consult
+    /// [`AdmissionPipeline::has_capacity`] before submitting more work and
+    /// leave the excess wherever it currently queues (e.g. the transport's
+    /// incoming channel), which is the backpressure path.
+    pub queue_bound: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            verify_workers: 0,
+            queue_bound: 1024,
+        }
+    }
+}
+
+/// One unit of verify work.
+enum Job {
+    /// A raw wire frame: decoded *and* verified off the hot path.
+    Frame { from: usize, bytes: Vec<u8> },
+    /// An already-typed input (timers, client batches, test traffic).
+    Typed(Input),
+}
+
+struct Workers {
+    job_tx: Sender<(u64, Job)>,
+    result_rx: Receiver<(u64, Option<Input>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The verify stage: parallel workers plus a deterministic re-sequencer.
+///
+/// Inputs are verified in parallel (when `verify_workers > 0`) but
+/// [`AdmissionPipeline::drain_ready`] releases them strictly in submission
+/// order, each wrapped in a [`Verified`] witness for
+/// [`ValidatorEngine::handle_verified`](crate::engine::ValidatorEngine::handle_verified).
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_core::admission::{AdmissionConfig, AdmissionPipeline};
+/// use mahimahi_core::engine::Input;
+/// use mahimahi_types::TestCommittee;
+///
+/// let setup = TestCommittee::new(4, 7);
+/// let mut pipeline = AdmissionPipeline::new(
+///     AdmissionConfig::default(),
+///     setup.committee().clone(),
+/// );
+/// pipeline.submit(Input::TimerFired { now: 5 });
+/// let ready = pipeline.drain_ready();
+/// assert_eq!(ready.len(), 1);
+/// assert!(matches!(*ready[0], Input::TimerFired { now: 5 }));
+/// ```
+pub struct AdmissionPipeline {
+    committee: Arc<Committee>,
+    queue_bound: usize,
+    workers: Option<Workers>,
+    /// Out-of-order results parked until their predecessors arrive.
+    /// `None` marks a rejected input (counted, never released).
+    resequence: BTreeMap<u64, Option<Input>>,
+    /// Sequence number of the next submission.
+    next_seq: u64,
+    /// Sequence number of the next input to release.
+    next_out: u64,
+    peak_depth: usize,
+    verified: u64,
+    rejected: u64,
+}
+
+impl AdmissionPipeline {
+    /// Creates the pipeline and spawns `config.verify_workers` threads
+    /// (none when zero: verification then runs inline in `submit`).
+    pub fn new(config: AdmissionConfig, committee: Committee) -> Self {
+        let committee = Arc::new(committee);
+        let workers = (config.verify_workers > 0).then(|| {
+            let (job_tx, job_rx) = channel::unbounded::<(u64, Job)>();
+            let (result_tx, result_rx) = channel::unbounded();
+            let handles = (0..config.verify_workers)
+                .map(|worker| {
+                    let job_rx = job_rx.clone();
+                    let result_tx = result_tx.clone();
+                    let committee = committee.clone();
+                    std::thread::Builder::new()
+                        .name(format!("verify-{worker}"))
+                        .spawn(move || {
+                            while let Ok((seq, job)) = job_rx.recv() {
+                                let outcome = verify_job(&committee, job);
+                                if result_tx.send((seq, outcome)).is_err() {
+                                    return;
+                                }
+                            }
+                        })
+                        .expect("spawn verify worker")
+                })
+                .collect();
+            Workers {
+                job_tx,
+                result_rx,
+                handles,
+            }
+        });
+        AdmissionPipeline {
+            committee,
+            queue_bound: config.queue_bound.max(1),
+            workers,
+            resequence: BTreeMap::new(),
+            next_seq: 0,
+            next_out: 0,
+            peak_depth: 0,
+            verified: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Submits an already-typed input (timers, client batches).
+    pub fn submit(&mut self, input: Input) {
+        self.enqueue(Job::Typed(input));
+    }
+
+    /// Submits a raw wire frame from `from`; decoding happens in the
+    /// verify stage. Undecodable frames are rejected.
+    pub fn submit_frame(&mut self, from: usize, bytes: Vec<u8>) {
+        self.enqueue(Job::Frame { from, bytes });
+    }
+
+    /// Whether another submission fits under the queue bound. Callers that
+    /// get `false` should stop pulling from their source — that is the
+    /// backpressure mechanism.
+    pub fn has_capacity(&self) -> bool {
+        self.depth() < self.queue_bound
+    }
+
+    /// Inputs submitted but not yet drained.
+    pub fn depth(&self) -> usize {
+        (self.next_seq - self.next_out) as usize
+    }
+
+    /// High-water mark of [`AdmissionPipeline::depth`].
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Inputs that passed verification and were released.
+    pub fn verified(&self) -> u64 {
+        self.verified
+    }
+
+    /// Inputs dropped by the verify stage (undecodable frame, invalid
+    /// signature/proof).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Releases every verified input whose predecessors have all been
+    /// resolved, in submission order. Never blocks.
+    pub fn drain_ready(&mut self) -> Vec<Verified<Input>> {
+        if let Some(workers) = &self.workers {
+            while let Ok((seq, outcome)) = workers.result_rx.try_recv() {
+                self.resequence.insert(seq, outcome);
+            }
+        }
+        self.pop_in_order()
+    }
+
+    /// Blocks until every in-flight submission is resolved and returns the
+    /// remaining verified inputs in submission order. Used at shutdown and
+    /// by tests; the event loop uses [`AdmissionPipeline::drain_ready`].
+    pub fn flush(&mut self) -> Vec<Verified<Input>> {
+        let mut ready = self.drain_ready();
+        while self.next_out < self.next_seq {
+            let received = match &self.workers {
+                Some(workers) => workers.result_rx.recv().ok(),
+                None => None,
+            };
+            let Some((seq, outcome)) = received else {
+                break;
+            };
+            self.resequence.insert(seq, outcome);
+            ready.extend(self.pop_in_order());
+        }
+        ready
+    }
+
+    fn enqueue(&mut self, job: Job) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &self.workers {
+            Some(workers) => {
+                let _ = workers.job_tx.send((seq, job));
+            }
+            None => {
+                let outcome = verify_job(&self.committee, job);
+                self.resequence.insert(seq, outcome);
+            }
+        }
+        self.peak_depth = self.peak_depth.max(self.depth());
+    }
+
+    fn pop_in_order(&mut self) -> Vec<Verified<Input>> {
+        let mut ready = Vec::new();
+        while let Some(outcome) = self.resequence.remove(&self.next_out) {
+            self.next_out += 1;
+            match outcome {
+                Some(input) => {
+                    self.verified += 1;
+                    ready.push(Verified::vouch(input));
+                }
+                None => self.rejected += 1,
+            }
+        }
+        ready
+    }
+}
+
+impl Drop for AdmissionPipeline {
+    fn drop(&mut self) {
+        if let Some(workers) = self.workers.take() {
+            // Dropping the job sender disconnects the workers' recv loop.
+            drop(workers.job_tx);
+            drop(workers.result_rx);
+            for handle in workers.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn verify_job(committee: &Committee, job: Job) -> Option<Input> {
+    match job {
+        Job::Frame { from, bytes } => {
+            let envelope = Envelope::from_bytes_exact(&bytes).ok()?;
+            verify_input(committee, Input::from_envelope(from, envelope))
+        }
+        Job::Typed(input) => verify_input(committee, input),
+    }
+}
+
+/// The verify-stage policy: which checks each input kind needs before it
+/// may reach the core. Inputs that carry no cryptographic claims (timers,
+/// client transactions, acks, sync requests) pass through untouched.
+fn verify_input(committee: &Committee, input: Input) -> Option<Input> {
+    match input {
+        Input::BlockReceived { from, block } => verify_blocks(committee, vec![block])
+            .pop()
+            .map(|block| Input::BlockReceived { from, block }),
+        Input::ProposalReceived { from, block } => verify_blocks(committee, vec![block])
+            .pop()
+            .map(|block| Input::ProposalReceived { from, block }),
+        Input::SyncReply { from, blocks } => {
+            // Invalid blocks are filtered, valid ones kept: exactly what the
+            // serial path's per-block accept loop converges to.
+            let blocks = verify_blocks(committee, blocks);
+            (!blocks.is_empty()).then_some(Input::SyncReply { from, blocks })
+        }
+        Input::EvidenceReceived { from, proof } => proof
+            .verify(committee)
+            .is_ok()
+            .then_some(Input::EvidenceReceived { from, proof }),
+        other => Some(other),
+    }
+}
+
+/// Verifies a batch of blocks, returning the valid ones in input order.
+///
+/// Structure is checked per block; the two expensive cryptographic
+/// conditions are then checked across the whole batch — Schnorr signatures
+/// through the multi-scalar combined equation, coin-share proofs with the
+/// per-round base derived once per round — with failures attributed to and
+/// dropped from the specific offending blocks.
+fn verify_blocks(committee: &Committee, blocks: Vec<Arc<Block>>) -> Vec<Arc<Block>> {
+    let mut alive: Vec<bool> = blocks
+        .iter()
+        .map(|block| block.verify_structure(committee).is_ok())
+        .collect();
+
+    // Signatures, batched. Genesis blocks (round 0) are unsigned: the
+    // structural pass fully validated them.
+    let signed: Vec<usize> = blocks
+        .iter()
+        .enumerate()
+        .filter(|(index, block)| alive[*index] && block.round() > 0)
+        .map(|(index, _)| index)
+        .collect();
+    let messages: Vec<Vec<u8>> = signed.iter().map(|&i| blocks[i].signed_bytes()).collect();
+    let items: Vec<(&[u8], PublicKey, Signature)> = signed
+        .iter()
+        .zip(&messages)
+        .map(|(&i, message)| {
+            let block = &blocks[i];
+            let public = committee
+                .public_key(block.author())
+                .expect("membership checked structurally");
+            (message.as_slice(), *public, *block.signature())
+        })
+        .collect();
+    if let Err(culprits) = schnorr::batch_verify_attributed(&items) {
+        for culprit in culprits {
+            alive[signed[culprit]] = false;
+        }
+    }
+
+    // Coin-share proofs, batched per round (one base derivation per round).
+    let mut by_round: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (index, block) in blocks.iter().enumerate() {
+        if alive[index] && block.round() > 0 {
+            by_round.entry(block.round()).or_default().push(index);
+        }
+    }
+    for (round, indices) in by_round {
+        let shares: Vec<CoinShare> = indices
+            .iter()
+            .map(|&i| {
+                *blocks[i]
+                    .coin_share()
+                    .expect("presence checked structurally")
+            })
+            .collect();
+        if let Err(culprits) = committee.coin_public().verify_shares(round, &shares) {
+            for culprit in culprits {
+                alive[indices[culprit]] = false;
+            }
+        }
+    }
+
+    blocks
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(block, keep)| keep.then_some(block))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahimahi_dag::DagBuilder;
+    use mahimahi_types::{AuthorityIndex, Encode, TestCommittee, Transaction};
+
+    fn peer_blocks(setup: &TestCommittee, rounds: usize) -> Vec<Arc<Block>> {
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(rounds);
+        dag.store()
+            .iter()
+            .filter(|block| block.round() > 0)
+            .cloned()
+            .collect()
+    }
+
+    fn tamper(block: &Block) -> Arc<Block> {
+        // Flip a parent-digest byte: still decodes, signature now stale.
+        let mut bytes = block.to_bytes_vec();
+        bytes[30] ^= 0xff;
+        Block::from_bytes_exact(&bytes).unwrap().into_arc()
+    }
+
+    #[test]
+    fn batched_block_verification_matches_serial() {
+        let setup = TestCommittee::new(4, 11);
+        let committee = setup.committee();
+        let mut blocks = peer_blocks(&setup, 3);
+        blocks[1] = tamper(&blocks[1]);
+        blocks[5] = tamper(&blocks[5]);
+        let kept = verify_blocks(committee, blocks.clone());
+        let expected: Vec<Arc<Block>> = blocks
+            .iter()
+            .filter(|block| block.verify(committee).is_ok())
+            .cloned()
+            .collect();
+        assert_eq!(kept.len(), blocks.len() - 2);
+        assert_eq!(kept, expected);
+    }
+
+    #[test]
+    fn synchronous_pipeline_preserves_submission_order_and_rejects() {
+        let setup = TestCommittee::new(4, 11);
+        let mut pipeline =
+            AdmissionPipeline::new(AdmissionConfig::default(), setup.committee().clone());
+        let blocks = peer_blocks(&setup, 2);
+
+        pipeline.submit(Input::TimerFired { now: 1 });
+        pipeline.submit(Input::BlockReceived {
+            from: 1,
+            block: tamper(&blocks[0]),
+        });
+        pipeline.submit(Input::BlockReceived {
+            from: 1,
+            block: blocks[0].clone(),
+        });
+        pipeline.submit_frame(2, b"not an envelope".to_vec());
+        pipeline.submit_frame(2, Envelope::Block(blocks[1].clone()).to_bytes_vec());
+
+        let ready = pipeline.drain_ready();
+        assert_eq!(ready.len(), 3);
+        assert!(matches!(*ready[0], Input::TimerFired { now: 1 }));
+        assert!(matches!(&*ready[1], Input::BlockReceived { block, .. } if *block == blocks[0]));
+        assert!(matches!(&*ready[2], Input::BlockReceived { block, .. } if *block == blocks[1]));
+        assert_eq!(pipeline.rejected(), 2);
+        assert_eq!(pipeline.verified(), 3);
+        assert_eq!(pipeline.depth(), 0);
+    }
+
+    #[test]
+    fn worker_pipeline_resequences_to_submission_order() {
+        let setup = TestCommittee::new(4, 11);
+        let committee = setup.committee().clone();
+        let blocks = peer_blocks(&setup, 4);
+
+        // Serial reference: the synchronous pipeline.
+        let mut serial = AdmissionPipeline::new(AdmissionConfig::default(), committee.clone());
+        let mut parallel = AdmissionPipeline::new(
+            AdmissionConfig {
+                verify_workers: 3,
+                queue_bound: 4096,
+            },
+            committee,
+        );
+        for (index, block) in blocks.iter().enumerate() {
+            for pipeline in [&mut serial, &mut parallel] {
+                pipeline.submit(Input::TimerFired { now: index as u64 });
+                pipeline.submit(Input::BlockReceived {
+                    from: index % 4,
+                    block: block.clone(),
+                });
+                if index % 3 == 0 {
+                    pipeline.submit(Input::BlockReceived {
+                        from: 1,
+                        block: tamper(block),
+                    });
+                }
+            }
+        }
+        let serial_out = serial.flush();
+        let parallel_out = parallel.flush();
+        assert_eq!(serial_out.len(), parallel_out.len());
+        for (a, b) in serial_out.iter().zip(&parallel_out) {
+            assert_eq!(format!("{:?}", **a), format!("{:?}", **b));
+        }
+        assert_eq!(serial.rejected(), parallel.rejected());
+        assert_eq!(parallel.depth(), 0);
+    }
+
+    #[test]
+    fn queue_bound_signals_backpressure() {
+        let setup = TestCommittee::new(4, 11);
+        let mut pipeline = AdmissionPipeline::new(
+            AdmissionConfig {
+                // Workers that never drain fast enough to matter here: the
+                // depth counts submissions until *drained*, so capacity
+                // reports full until the caller drains.
+                verify_workers: 1,
+                queue_bound: 2,
+            },
+            setup.committee().clone(),
+        );
+        assert!(pipeline.has_capacity());
+        pipeline.submit(Input::TimerFired { now: 1 });
+        assert!(pipeline.has_capacity());
+        pipeline.submit(Input::TimerFired { now: 2 });
+        assert!(!pipeline.has_capacity(), "at the bound");
+        assert!(pipeline.peak_depth() >= 2);
+        let drained = pipeline.flush();
+        assert_eq!(drained.len(), 2);
+        assert!(pipeline.has_capacity());
+    }
+
+    #[test]
+    fn sync_reply_filters_invalid_blocks_but_keeps_valid_ones() {
+        let setup = TestCommittee::new(4, 11);
+        let committee = setup.committee();
+        let blocks = peer_blocks(&setup, 2);
+        let reply = Input::SyncReply {
+            from: 3,
+            blocks: vec![blocks[0].clone(), tamper(&blocks[1]), blocks[2].clone()],
+        };
+        match verify_input(committee, reply) {
+            Some(Input::SyncReply { blocks: kept, .. }) => {
+                assert_eq!(kept, vec![blocks[0].clone(), blocks[2].clone()]);
+            }
+            other => panic!("unexpected verify outcome: {other:?}"),
+        }
+        // An all-invalid reply is dropped outright.
+        let reply = Input::SyncReply {
+            from: 3,
+            blocks: vec![tamper(&blocks[0])],
+        };
+        assert!(verify_input(committee, reply).is_none());
+    }
+
+    #[test]
+    fn pass_through_inputs_are_untouched() {
+        let setup = TestCommittee::new(4, 11);
+        let committee = setup.committee();
+        let inputs = [
+            Input::TimerFired { now: 9 },
+            Input::TxSubmitted {
+                transaction: Transaction::benchmark(1),
+                tag: 4,
+            },
+            Input::TxBatchReceived {
+                from: 0,
+                transactions: vec![Transaction::benchmark(2)],
+            },
+            Input::SyncRequest {
+                from: 1,
+                references: Vec::new(),
+            },
+            Input::AckReceived {
+                from: 1,
+                reference: Block::genesis(AuthorityIndex(0)).reference(),
+                voter: AuthorityIndex(1),
+            },
+        ];
+        for input in inputs {
+            let rendered = format!("{input:?}");
+            let out = verify_input(committee, input).expect("pass-through");
+            assert_eq!(format!("{out:?}"), rendered);
+        }
+    }
+}

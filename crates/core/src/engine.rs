@@ -57,9 +57,9 @@ use mahimahi_crypto::Digest;
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_types::{
     AuthorityIndex, Block, BlockBuilder, BlockRef, CodecError, Committee, Decode, Decoder, Encode,
-    Encoder, Envelope, EquivocationProof, Round, Slot, TestCommittee, Transaction,
+    Encoder, Envelope, EquivocationProof, Round, Slot, TestCommittee, Transaction, Verified,
 };
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::evidence::EvidencePool;
@@ -539,6 +539,14 @@ pub struct ValidatorEngine {
     /// The committed leader sequence (`None` = skipped slot), for safety
     /// checking across validators.
     commit_log: Vec<Option<BlockRef>>,
+    /// Digests of blocks whose signature and coin share already verified,
+    /// keyed by round so GC can prune them with the store. The digest
+    /// covers the entire content, so a same-digest block is byte-identical
+    /// to the one that passed — re-verifying it can only succeed again.
+    /// Only successes are cached; failures always re-verify.
+    verified_blocks: BTreeMap<Round, HashSet<Digest>>,
+    /// Full block verifications actually performed (cache misses).
+    signature_checks: u64,
 }
 
 impl ValidatorEngine {
@@ -583,6 +591,8 @@ impl ValidatorEngine {
             committed_tx_digests: HashSet::new(),
             duplicate_committed: 0,
             commit_log: Vec::new(),
+            verified_blocks: BTreeMap::new(),
+            signature_checks: 0,
             config,
         }
     }
@@ -706,6 +716,31 @@ impl ValidatorEngine {
         outputs
     }
 
+    /// Handles an input whose expensive checks already ran in a verify
+    /// stage (see [`AdmissionPipeline`](crate::admission::AdmissionPipeline)):
+    /// blocks carried by the input are marked verified, so the apply path
+    /// skips their signature and coin-share checks.
+    ///
+    /// Outputs are byte-identical to [`ValidatorEngine::handle`] on the
+    /// same input — skipping a verification that would have succeeded
+    /// changes no output and no protocol state — so traces recorded from
+    /// this entry point replay exactly through plain `handle`.
+    pub fn handle_verified(&mut self, input: Verified<Input>) -> Vec<Output> {
+        let input = input.into_inner();
+        match &input {
+            Input::BlockReceived { block, .. } | Input::ProposalReceived { block, .. } => {
+                self.mark_verified(block);
+            }
+            Input::SyncReply { blocks, .. } => {
+                for block in blocks {
+                    self.mark_verified(block);
+                }
+            }
+            _ => {}
+        }
+        self.handle(input)
+    }
+
     /// Submits a client transaction to the mempool without driving the
     /// state machine (equivalent to [`Input::TxSubmitted`]), returning the
     /// backpressure signal directly.
@@ -722,7 +757,7 @@ impl ValidatorEngine {
     /// tail must not cause accidental equivocation). Evidence surfaced by
     /// replayed conflicts is convicted silently.
     pub fn restore_block(&mut self, block: Arc<Block>) {
-        if block.verify(&self.committee).is_err() {
+        if !self.check_block(&block) {
             return;
         }
         if block.author() == self.config.authority {
@@ -851,12 +886,53 @@ impl ValidatorEngine {
         self.committed_transactions
     }
 
+    /// Full block verifications performed so far (verified-set cache
+    /// misses). A block arriving through several admission paths counts
+    /// once.
+    pub fn signature_checks(&self) -> u64 {
+        self.signature_checks
+    }
+
     // ------------------------------------------------------------------
     // Internals.
 
+    /// Verifies `block` unless a byte-identical one (same content digest)
+    /// already passed. A block can arrive through several admission paths —
+    /// broadcast, a sync reply, a certified proposal, WAL recovery — and
+    /// each used to pay the full signature + coin-share check; now the
+    /// first success is cached and later arrivals hit the digest set.
+    fn check_block(&mut self, block: &Block) -> bool {
+        let digest = block.digest();
+        if self
+            .verified_blocks
+            .get(&block.round())
+            .is_some_and(|digests| digests.contains(&digest))
+        {
+            return true;
+        }
+        self.signature_checks += 1;
+        if block.verify(&self.committee).is_err() {
+            return false;
+        }
+        self.verified_blocks
+            .entry(block.round())
+            .or_default()
+            .insert(digest);
+        true
+    }
+
+    /// Records that `block` passed an external verify stage (the caller's
+    /// [`Verified`] witness is the promise).
+    fn mark_verified(&mut self, block: &Block) {
+        self.verified_blocks
+            .entry(block.round())
+            .or_default()
+            .insert(block.digest());
+    }
+
     /// Validates and inserts a block, driving the synchronizer on gaps.
     fn accept_block(&mut self, block: Arc<Block>, from: usize, outputs: &mut Vec<Output>) {
-        if block.verify(&self.committee).is_err() {
+        if !self.check_block(&block) {
             return; // invalid blocks are dropped (paper: discarded)
         }
         // Persist before acting: recovery must see everything acted on.
@@ -1159,6 +1235,7 @@ impl ValidatorEngine {
                 self.store.compact(floor);
                 self.unreferenced
                     .retain(|reference| reference.round >= floor);
+                self.verified_blocks = self.verified_blocks.split_off(&floor);
             }
         }
     }
@@ -1219,6 +1296,63 @@ mod tests {
         );
         assert!(engine.handle(Input::TimerFired { now: 0 }).is_empty());
         assert_eq!(engine.round(), 0);
+    }
+
+    #[test]
+    fn redundant_arrivals_verify_signatures_at_most_once() {
+        let mut engine = engine(0, false);
+        let mut dag = DagBuilder::new(TestCommittee::new(4, 7));
+        dag.add_full_rounds(1);
+        let block = dag
+            .store()
+            .iter()
+            .find(|block| block.round() == 1 && block.author() == AuthorityIndex(1))
+            .cloned()
+            .unwrap();
+
+        // First arrival (broadcast) pays the full verification...
+        let before = engine.signature_checks();
+        engine.handle(Input::BlockReceived {
+            from: 1,
+            block: block.clone(),
+        });
+        let after_first = engine.signature_checks();
+        assert_eq!(after_first, before + 1);
+
+        // ...the same block arriving again — re-broadcast or sync reply —
+        // hits the digest-keyed verified set.
+        engine.handle(Input::BlockReceived {
+            from: 2,
+            block: block.clone(),
+        });
+        engine.handle(Input::SyncReply {
+            from: 3,
+            blocks: vec![block.clone()],
+        });
+        assert_eq!(engine.signature_checks(), after_first);
+
+        // A pre-verified input is never re-checked either.
+        engine.handle_verified(mahimahi_types::Verified::vouch(Input::SyncReply {
+            from: 2,
+            blocks: vec![block.clone()],
+        }));
+        assert_eq!(engine.signature_checks(), after_first);
+
+        // Failures are never cached: a tampered block (flipped parent
+        // digest byte, signature now stale) re-verifies on every arrival.
+        let mut bytes = block.to_bytes_vec();
+        bytes[30] ^= 0xff;
+        let tampered = Block::from_bytes_exact(&bytes).unwrap().into_arc();
+        assert_ne!(tampered.digest(), block.digest());
+        let before_tampered = engine.signature_checks();
+        for _ in 0..2 {
+            engine.handle(Input::BlockReceived {
+                from: 1,
+                block: tampered.clone(),
+            });
+        }
+        assert_eq!(engine.signature_checks(), before_tampered + 2);
+        assert!(!engine.store().contains(&tampered.reference()));
     }
 
     #[test]

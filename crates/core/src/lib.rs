@@ -38,6 +38,7 @@
 //! assert!(!decisions.is_empty());
 //! ```
 
+pub mod admission;
 mod committer;
 mod decider;
 mod election;
@@ -48,6 +49,7 @@ mod protocol;
 mod sequencer;
 mod status;
 
+pub use admission::{AdmissionConfig, AdmissionPipeline};
 pub use committer::{Committer, CommitterOptions};
 pub use election::{CoinElector, FixedElector, LeaderElector};
 pub use engine::{

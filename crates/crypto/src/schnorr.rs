@@ -237,7 +237,10 @@ pub fn batch_verify(items: &[(&[u8], PublicKey, Signature)]) -> Result<(), Crypt
     }
     // Deterministic weights derived from the whole batch; an adversary
     // cannot choose signatures as a function of the weights because the
-    // weights depend on the signatures.
+    // weights depend on the signatures. The transcript is compressed to
+    // one digest first so deriving n weights hashes the batch once, not n
+    // times (the seed is O(n) bytes — hashing it per index made large
+    // batches quadratic).
     let mut weight_seed = Vec::new();
     for (message, public, signature) in items {
         weight_seed.extend_from_slice(&signature.to_bytes());
@@ -245,13 +248,14 @@ pub fn batch_verify(items: &[(&[u8], PublicKey, Signature)]) -> Result<(), Crypt
         weight_seed.extend_from_slice(&(message.len() as u64).to_le_bytes());
         weight_seed.extend_from_slice(message);
     }
+    let transcript = crate::blake2b::blake2b_256(&weight_seed);
 
     let mut response_sum = Scalar::ZERO;
     let mut rhs = GroupElement::IDENTITY;
     for (index, (message, public, signature)) in items.iter().enumerate() {
         let weight = Scalar::hash_to_scalar(&[
             b"mahimahi-batch-weight",
-            &weight_seed,
+            transcript.as_bytes(),
             &(index as u64).to_le_bytes(),
         ]);
         let e = challenge(&signature.commitment, public, message);
@@ -264,6 +268,42 @@ pub fn batch_verify(items: &[(&[u8], PublicKey, Signature)]) -> Result<(), Crypt
         Ok(())
     } else {
         Err(CryptoError::InvalidSignature)
+    }
+}
+
+/// Verifies a batch of `(message, public key, signature)` triples and, on
+/// failure, names the offenders.
+///
+/// The fast path is the multi-scalar [`batch_verify`] check: one combined
+/// equation for the whole batch. Only when that rejects does the function
+/// fall back to per-item verification, attributing the failure to the
+/// specific indices whose signatures do not verify. A valid batch therefore
+/// pays a single combined check; a poisoned batch pays one combined check
+/// plus one serial pass.
+///
+/// # Errors
+///
+/// Returns the sorted indices of every item that fails individual
+/// verification. The list is never empty: if the combined check rejects but
+/// every item verifies individually (a weight collision, astronomically
+/// unlikely), the per-item result is authoritative and the batch is
+/// accepted.
+pub fn batch_verify_attributed(items: &[(&[u8], PublicKey, Signature)]) -> Result<(), Vec<usize>> {
+    if batch_verify(items).is_ok() {
+        return Ok(());
+    }
+    let culprits: Vec<usize> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, (message, public, signature))| public.verify(message, signature).is_err())
+        .map(|(index, _)| index)
+        .collect();
+    if culprits.is_empty() {
+        // The combined equation rejected but every item verifies serially:
+        // the serial pass is ground truth.
+        Ok(())
+    } else {
+        Err(culprits)
     }
 }
 
@@ -378,6 +418,43 @@ mod tests {
     #[test]
     fn batch_verify_empty_is_ok() {
         assert!(batch_verify(&[]).is_ok());
+        assert!(batch_verify_attributed(&[]).is_ok());
+    }
+
+    #[test]
+    fn attributed_batch_accepts_valid_batch() {
+        let keypairs: Vec<_> = (0..8).map(Keypair::from_seed).collect();
+        let messages: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 10]).collect();
+        let items: Vec<(&[u8], PublicKey, Signature)> = keypairs
+            .iter()
+            .zip(&messages)
+            .map(|(kp, m)| (m.as_slice(), *kp.public(), kp.sign(m)))
+            .collect();
+        assert!(batch_verify_attributed(&items).is_ok());
+    }
+
+    #[test]
+    fn attributed_batch_names_the_culprits() {
+        let keypairs: Vec<_> = (0..8).map(Keypair::from_seed).collect();
+        let messages: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 10]).collect();
+        let mut items: Vec<(&[u8], PublicKey, Signature)> = keypairs
+            .iter()
+            .zip(&messages)
+            .map(|(kp, m)| (m.as_slice(), *kp.public(), kp.sign(m)))
+            .collect();
+        items[2].2 = keypairs[2].sign(b"tampered");
+        items[6].2 = keypairs[0].sign(&messages[6]); // wrong signer
+        assert_eq!(batch_verify_attributed(&items), Err(vec![2, 6]));
+    }
+
+    #[test]
+    fn attributed_batch_rejects_all_invalid() {
+        let keypairs: Vec<_> = (0..4).map(Keypair::from_seed).collect();
+        let items: Vec<(&[u8], PublicKey, Signature)> = keypairs
+            .iter()
+            .map(|kp| (b"claimed".as_slice(), *kp.public(), kp.sign(b"actual")))
+            .collect();
+        assert_eq!(batch_verify_attributed(&items), Err(vec![0, 1, 2, 3]));
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Property tests for the batched verification paths.
+//!
+//! The admission pipeline's whole soundness argument is that the batched
+//! verifiers agree with per-item verification — same accept/reject
+//! decision for every item, exact culprit attribution on mixed batches.
+//! These properties drive both verifiers over arbitrary mixed batches
+//! (including the exactly-one-invalid and all-invalid corners) and demand
+//! exact agreement.
+
+use mahimahi_crypto::coin::{CoinDealer, CoinShare};
+use mahimahi_crypto::schnorr::{self, Keypair, PublicKey, Signature};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// How an item in a batch is made invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Corruption {
+    /// The signature is honest.
+    None,
+    /// Signature over a different message.
+    WrongMessage,
+    /// Signature by a different keypair.
+    WrongSigner,
+}
+
+/// Decodes one generated word into a batch item: the low bit picks
+/// validity, the next bits pick the corruption flavor, the signer, and the
+/// message. `force` overrides the validity choice when set.
+fn decode_item(word: u64, force: Option<bool>) -> (u64, u64, Corruption) {
+    let valid = force.unwrap_or(word & 1 == 0);
+    let corruption = if valid {
+        Corruption::None
+    } else if word & 2 == 0 {
+        Corruption::WrongMessage
+    } else {
+        Corruption::WrongSigner
+    };
+    let signer_seed = (word >> 2) % 64;
+    let message_id = (word >> 8) % 1_000;
+    (message_id, signer_seed, corruption)
+}
+
+/// Materializes one item as `(message, public key, signature)`.
+fn materialize(word: u64, force: Option<bool>) -> (Vec<u8>, PublicKey, Signature) {
+    let (message_id, signer_seed, corruption) = decode_item(word, force);
+    let keypair = Keypair::from_seed(signer_seed);
+    let message = format!("message-{message_id}").into_bytes();
+    let signature = match corruption {
+        Corruption::None => keypair.sign(&message),
+        Corruption::WrongMessage => keypair.sign(b"a different message"),
+        Corruption::WrongSigner => Keypair::from_seed(signer_seed ^ 0xdead_beef).sign(&message),
+    };
+    (message, *keypair.public(), signature)
+}
+
+fn borrow(batch: &[(Vec<u8>, PublicKey, Signature)]) -> Vec<(&[u8], PublicKey, Signature)> {
+    batch
+        .iter()
+        .map(|(message, public, signature)| (message.as_slice(), *public, *signature))
+        .collect()
+}
+
+/// Per-item ground truth: the indices the batch verifier must attribute.
+fn expected_culprits(batch: &[(Vec<u8>, PublicKey, Signature)]) -> Vec<usize> {
+    batch
+        .iter()
+        .enumerate()
+        .filter(|(_, (message, public, signature))| public.verify(message, signature).is_err())
+        .map(|(index, _)| index)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Batched Schnorr verification agrees with per-item verification on
+    /// arbitrary mixed batches, with exact culprit attribution.
+    #[test]
+    fn schnorr_batch_agrees_with_per_item(words in vec(any::<u64>(), 0..=24)) {
+        let batch: Vec<_> = words.iter().map(|&word| materialize(word, None)).collect();
+        let culprits = expected_culprits(&batch);
+        match schnorr::batch_verify_attributed(&borrow(&batch)) {
+            Ok(()) => prop_assert!(culprits.is_empty(), "batch accepted {:?}", culprits),
+            Err(attributed) => prop_assert_eq!(attributed, culprits),
+        }
+        // The pass/fail-only combined equation agrees on the verdict.
+        prop_assert_eq!(
+            schnorr::batch_verify(&borrow(&batch)).is_ok(),
+            expected_culprits(&batch).is_empty()
+        );
+    }
+
+    /// Exactly one invalid item in an otherwise valid batch is always
+    /// attributed — the multi-scalar fast path must never mask it.
+    #[test]
+    fn schnorr_single_culprit_is_always_found(
+        valid_words in vec(any::<u64>(), 1..16),
+        bad_word in any::<u64>(),
+        position_word in any::<u64>(),
+    ) {
+        let position = (position_word % (valid_words.len() as u64 + 1)) as usize;
+        let mut batch: Vec<_> = valid_words
+            .iter()
+            .map(|&word| materialize(word, Some(true)))
+            .collect();
+        batch.insert(position, materialize(bad_word, Some(false)));
+        prop_assert_eq!(
+            schnorr::batch_verify_attributed(&borrow(&batch)),
+            Err(vec![position])
+        );
+    }
+
+    /// All-invalid batches are rejected with every index attributed.
+    #[test]
+    fn schnorr_all_invalid_attributes_everything(words in vec(any::<u64>(), 1..16)) {
+        let batch: Vec<_> = words
+            .iter()
+            .map(|&word| materialize(word, Some(false)))
+            .collect();
+        prop_assert_eq!(
+            schnorr::batch_verify_attributed(&borrow(&batch)),
+            Err((0..batch.len()).collect::<Vec<_>>())
+        );
+    }
+
+    /// Batched coin-share (DLEQ) verification agrees with per-share
+    /// verification on arbitrary mixed batches: shares may be honest, come
+    /// from the wrong round, or carry an unknown holder index.
+    #[test]
+    fn coin_share_batch_agrees_with_per_share(
+        round in 1u64..1_000,
+        picks in vec(any::<u64>(), 0..12),
+    ) {
+        let (secrets, coin) = CoinDealer::deal_seeded(4, 3, 0xc01);
+        let shares: Vec<CoinShare> = picks
+            .iter()
+            .map(|&word| {
+                let holder = (word % 4) as usize;
+                match (word >> 8) % 3 {
+                    // Honest share for this round.
+                    0 => secrets[holder].share_for_round(round),
+                    // Share for a different round: its proof verifies
+                    // against the wrong base.
+                    1 => secrets[holder].share_for_round(round + 1),
+                    // Index spliced to an unknown holder via the codec.
+                    _ => {
+                        let mut bytes = secrets[holder].share_for_round(round).to_bytes();
+                        bytes[..8].copy_from_slice(&17u64.to_le_bytes());
+                        CoinShare::from_bytes(&bytes).expect("spliced share decodes")
+                    }
+                }
+            })
+            .collect();
+        let expected: Vec<usize> = shares
+            .iter()
+            .enumerate()
+            .filter(|(_, share)| coin.verify_share(round, share).is_err())
+            .map(|(index, _)| index)
+            .collect();
+        match coin.verify_shares(round, &shares) {
+            Ok(()) => prop_assert!(expected.is_empty(), "batch accepted {:?}", expected),
+            Err(culprits) => prop_assert_eq!(culprits, expected),
+        }
+    }
+}

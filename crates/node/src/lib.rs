@@ -19,5 +19,5 @@ mod wire;
 pub use client::{TxClient, CLIENT_PEER};
 pub use cluster::LocalCluster;
 pub use loopback::{LoopbackCluster, LoopbackConfig};
-pub use node::{MempoolGauges, NodeConfig, NodeHandle, RecordedStep, ValidatorNode};
+pub use node::{MempoolGauges, NodeConfig, NodeHandle, RecordedStep, ValidatorNode, VerifyGauges};
 pub use wire::NodeMessage;

@@ -24,12 +24,14 @@
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time as EngineTime},
-    CommittedSubDag, Committer, CommitterOptions, EvidencePool, MempoolConfig, Output,
-    TxIntegrityReport, ValidatorEngine, WalRecord,
+    AdmissionConfig, AdmissionPipeline, CommittedSubDag, Committer, CommitterOptions, EvidencePool,
+    MempoolConfig, Output, TxIntegrityReport, ValidatorEngine, WalRecord,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_transport::Transport;
-use mahimahi_types::{AuthorityIndex, Decode, Encode, Round, TestCommittee, Transaction};
+use mahimahi_types::{
+    AuthorityIndex, Committee, Decode, Encode, Round, TestCommittee, Transaction, Verified,
+};
 use mahimahi_wal::{FileWal, MemStorage, Wal};
 use parking_lot::Mutex;
 use std::path::PathBuf;
@@ -37,8 +39,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crate::wire::NodeMessage;
 
 /// Upper bound on frames handled per event-loop iteration, so a flooding
 /// peer cannot starve the timer tick (production pacing, wake-ups).
@@ -85,6 +85,16 @@ pub struct NodeConfig {
     /// the commit frontier are deterministically excluded from commits and
     /// periodically dropped from memory. `None` disables GC.
     pub gc_depth: Option<u64>,
+    /// Verify-stage worker threads for the admission pipeline. `0` checks
+    /// signatures and proofs inline on the event-loop thread (the pre-split
+    /// behavior); higher values decode and verify incoming frames in
+    /// parallel while the apply stage stays sequential and deterministic.
+    pub verify_workers: usize,
+    /// Bound on inputs in flight inside the verify stage. When the bound is
+    /// reached the event loop stops pulling frames from the transport —
+    /// backpressure propagates to the peer's TCP connection rather than
+    /// growing an unbounded local queue.
+    pub verify_queue_bound: usize,
 }
 
 impl NodeConfig {
@@ -103,6 +113,8 @@ impl NodeConfig {
             min_round_interval: Duration::from_millis(2),
             inclusion_wait: Duration::ZERO,
             gc_depth: Some(128),
+            verify_workers: 2,
+            verify_queue_bound: 1024,
         }
     }
 
@@ -169,6 +181,48 @@ impl MempoolGauges {
     }
 }
 
+/// Verify-stage gauges exported by a running node, updated once per
+/// event-loop iteration (lock-free reads for load generators and
+/// monitoring).
+#[derive(Debug, Default)]
+pub struct VerifyGauges {
+    depth: AtomicU64,
+    peak_depth: AtomicU64,
+    verified: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl VerifyGauges {
+    fn update(&self, pipeline: &AdmissionPipeline) {
+        self.depth.store(pipeline.depth() as u64, Ordering::Relaxed);
+        self.peak_depth
+            .store(pipeline.peak_depth() as u64, Ordering::Relaxed);
+        self.verified.store(pipeline.verified(), Ordering::Relaxed);
+        self.rejected.store(pipeline.rejected(), Ordering::Relaxed);
+    }
+
+    /// Inputs currently in flight inside the verify stage.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the verify-stage depth.
+    pub fn peak_depth(&self) -> u64 {
+        self.peak_depth.load(Ordering::Relaxed)
+    }
+
+    /// Inputs that passed verification and reached the engine.
+    pub fn verified(&self) -> u64 {
+        self.verified.load(Ordering::Relaxed)
+    }
+
+    /// Inputs the verify stage dropped (undecodable frames, invalid
+    /// signatures or proofs).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
 /// Handle to a running [`ValidatorNode`].
 pub struct NodeHandle {
     /// Committed sub-DAGs, in commit order.
@@ -177,6 +231,7 @@ pub struct NodeHandle {
     stop: Arc<AtomicBool>,
     round: Arc<AtomicU64>,
     gauges: Arc<MempoolGauges>,
+    verify: Arc<VerifyGauges>,
     trace: Option<Arc<Mutex<Vec<RecordedStep>>>>,
     join: Option<JoinHandle<()>>,
 }
@@ -211,6 +266,12 @@ impl NodeHandle {
     /// counters), refreshed once per event-loop iteration.
     pub fn mempool_gauges(&self) -> &MempoolGauges {
         &self.gauges
+    }
+
+    /// Verify-stage gauges (pipeline depth, peak depth, verified/rejected
+    /// counters), refreshed once per event-loop iteration.
+    pub fn verify_gauges(&self) -> &VerifyGauges {
+        &self.verify
     }
 
     /// Stops the node and waits for its thread to exit.
@@ -277,6 +338,10 @@ pub struct ValidatorNode {
     authority: AuthorityIndex,
     transport: Transport,
     engine: ValidatorEngine,
+    /// Committee copy for the verify workers (stateless checks only).
+    committee: Committee,
+    /// Verify-stage sizing, forwarded to the [`AdmissionPipeline`].
+    admission: AdmissionConfig,
     wal: AnyWal,
     /// Deferred WAL fsync: set by a durable Persist, flushed before the
     /// next network send (durability-before-dissemination) or at the end
@@ -326,6 +391,11 @@ impl ValidatorNode {
             authority: config.authority,
             transport,
             engine,
+            committee: config.setup.committee().clone(),
+            admission: AdmissionConfig {
+                verify_workers: config.verify_workers,
+                queue_bound: config.verify_queue_bound,
+            },
             wal,
             pending_sync: false,
             trace: config
@@ -367,14 +437,25 @@ impl ValidatorNode {
         let stop = Arc::new(AtomicBool::new(false));
         let round = Arc::new(AtomicU64::new(self.engine.round()));
         let gauges = Arc::new(MempoolGauges::default());
+        let verify = Arc::new(VerifyGauges::default());
         let trace = self.trace.clone();
         let loop_stop = Arc::clone(&stop);
         let loop_round = Arc::clone(&round);
         let loop_gauges = Arc::clone(&gauges);
+        let loop_verify = Arc::clone(&verify);
         let authority = self.authority;
         let join = std::thread::Builder::new()
             .name(format!("validator-{authority}"))
-            .spawn(move || self.run(commit_tx, tx_rx, loop_stop, loop_round, loop_gauges))
+            .spawn(move || {
+                self.run(
+                    commit_tx,
+                    tx_rx,
+                    loop_stop,
+                    loop_round,
+                    loop_gauges,
+                    loop_verify,
+                )
+            })
             .expect("spawn validator thread");
         NodeHandle {
             commits: commit_rx,
@@ -382,19 +463,28 @@ impl ValidatorNode {
             stop,
             round,
             gauges,
+            verify,
             trace,
             join: Some(join),
         }
     }
 
-    /// The event loop: per iteration, drain *all* ready inputs — one timer
+    /// The event loop: per iteration, feed *all* ready inputs — one timer
     /// tick, every queued client batch, and every frame already received
-    /// (bounded by [`MAX_FRAMES_PER_ITERATION`]) — into one output batch,
-    /// then render that batch against the transport/WAL/commit channel
-    /// once. Batching amortizes WAL fsyncs across the inputs of an
-    /// iteration (the sync is still forced before any network send, so
-    /// durability-before-dissemination holds) instead of paying one fsync
-    /// and one channel round per frame.
+    /// (bounded by [`MAX_FRAMES_PER_ITERATION`] and the verify queue
+    /// bound) — through the admission pipeline, apply whatever verified
+    /// inputs it releases (in submission order) as one output batch, then
+    /// render that batch against the transport/WAL/commit channel once.
+    ///
+    /// The pipeline is the verify stage of the verify/apply split: frame
+    /// decoding, signature checks, and coin-share proofs run on its worker
+    /// threads ([`NodeConfig::verify_workers`]) while the engine — the
+    /// apply stage — stays single-threaded and deterministic. Because the
+    /// pipeline re-sequences results into submission order, the engine
+    /// observes the same input stream a serial node would, minus the
+    /// invalid inputs the verify stage drops. Batching also amortizes WAL
+    /// fsyncs across the inputs of an iteration (the sync is still forced
+    /// before any network send, so durability-before-dissemination holds).
     fn run(
         mut self,
         commits: Sender<CommittedSubDag>,
@@ -402,7 +492,9 @@ impl ValidatorNode {
         stop: Arc<AtomicBool>,
         round: Arc<AtomicU64>,
         gauges: Arc<MempoolGauges>,
+        verify: Arc<VerifyGauges>,
     ) {
+        let mut pipeline = AdmissionPipeline::new(self.admission, self.committee.clone());
         let started = Instant::now();
         let client_from = self.authority.as_usize();
         while !stop.load(Ordering::SeqCst) {
@@ -418,52 +510,61 @@ impl ValidatorNode {
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             };
             let now = started.elapsed().as_micros() as EngineTime;
-            let mut outputs = Vec::new();
-            self.handle_input(Input::TimerFired { now }, &mut outputs);
+            pipeline.submit(Input::TimerFired { now });
             // Drain client batches (enqueue-only inputs).
             loop {
                 match transactions.try_recv() {
-                    Ok(batch) => self.handle_input(
-                        Input::TxBatchReceived {
-                            from: client_from,
-                            transactions: batch,
-                        },
-                        &mut outputs,
-                    ),
+                    Ok(batch) => pipeline.submit(Input::TxBatchReceived {
+                        from: client_from,
+                        transactions: batch,
+                    }),
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => return,
                 }
             }
             // The blocking frame plus everything else already queued.
+            // Decoding happens in the verify stage; when the pipeline is
+            // at its bound, leave the rest in the transport channel —
+            // that is the backpressure path toward the peer.
             let mut frame = first;
             let mut drained = 0;
             while let Some((peer, bytes)) = frame.take() {
-                if let Ok(message) = NodeMessage::from_bytes_exact(&bytes) {
-                    self.handle_input(Input::from_envelope(peer as usize, message), &mut outputs);
-                }
+                pipeline.submit_frame(peer as usize, bytes);
                 drained += 1;
-                if drained < MAX_FRAMES_PER_ITERATION {
+                if drained < MAX_FRAMES_PER_ITERATION && pipeline.has_capacity() {
                     frame = self.transport.incoming().try_recv().ok();
                 }
             }
-            // Render the whole iteration's outputs once.
+            // Apply every verified input the pipeline has released, in
+            // submission order, and render the outputs once.
+            let mut outputs = Vec::new();
+            for input in pipeline.drain_ready() {
+                self.handle_verified(input, &mut outputs);
+            }
             if self.apply(outputs, &commits).is_err() {
                 return;
             }
             round.store(self.engine.round(), Ordering::SeqCst);
             gauges.update(&self.engine.tx_integrity());
+            verify.update(&pipeline);
         }
+        // Inputs still in flight inside the verify stage are dropped with
+        // the pipeline: never applied, never traced.
         self.transport.shutdown();
     }
 
-    /// Feeds one input to the engine, recording the step when tracing.
-    fn handle_input(&mut self, input: Input, outputs: &mut Vec<Output>) {
+    /// Applies one verified input to the engine, recording the step when
+    /// tracing. The trace records the *verified* inputs in sequenced
+    /// order, so replaying it through the plain [`ValidatorEngine::handle`]
+    /// path reproduces these outputs byte for byte.
+    fn handle_verified(&mut self, input: Verified<Input>, outputs: &mut Vec<Output>) {
         if let Some(trace) = &self.trace {
-            let produced = self.engine.handle(input.clone());
-            trace.lock().push((input, format!("{produced:?}")));
+            let recorded = input.get().clone();
+            let produced = self.engine.handle_verified(input);
+            trace.lock().push((recorded, format!("{produced:?}")));
             outputs.extend(produced);
         } else {
-            outputs.extend(self.engine.handle(input));
+            outputs.extend(self.engine.handle_verified(input));
         }
     }
 
@@ -528,6 +629,7 @@ impl ValidatorNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::NodeMessage;
     use mahimahi_types::EquivocationProof;
 
     fn wal_dir(tag: &str) -> PathBuf {

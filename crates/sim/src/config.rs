@@ -314,6 +314,23 @@ impl CpuCosts {
     pub fn certificate_verify(&self, signatures: usize) -> Time {
         self.signature_verify * signatures as Time * self.batch_discount_percent / 100
     }
+
+    /// Cost of verifying `blocks` uncertified blocks totalling
+    /// `total_bytes` together, through the admission pipeline's batched
+    /// crypto path: the first block pays full price, every further block
+    /// pays the batch-discounted signature and coin-share cost (the
+    /// multi-scalar Schnorr combination and the shared per-round coin
+    /// base), and hashing remains proportional to the bytes.
+    pub fn block_verify_batched(&self, total_bytes: usize, blocks: usize) -> Time {
+        if blocks == 0 {
+            return 0;
+        }
+        let per_block_crypto = self.signature_verify + self.coin_share_verify;
+        let discounted = per_block_crypto * self.batch_discount_percent / 100;
+        per_block_crypto
+            + discounted * (blocks as Time - 1)
+            + self.hash_per_kb * (total_bytes as Time / 1024)
+    }
 }
 
 /// Full configuration of one simulation run.
@@ -405,6 +422,33 @@ impl SimConfig {
 mod tests {
     use super::*;
     use mahimahi_types::TestCommittee;
+
+    #[test]
+    fn batched_block_verify_discounts_every_block_after_the_first() {
+        let cpu = CpuCosts::default();
+        // One block batched costs exactly one serial verification.
+        assert_eq!(cpu.block_verify_batched(2048, 1), cpu.block_verify(2048));
+        // Empty batches are free; the zero cost model stays zero.
+        assert_eq!(cpu.block_verify_batched(4096, 0), 0);
+        let free = CpuCosts {
+            signature_verify: 0,
+            coin_share_verify: 0,
+            block_creation: 0,
+            hash_per_kb: 0,
+            batch_discount_percent: 50,
+        };
+        assert_eq!(free.block_verify_batched(10_000, 8), 0);
+        // Eight blocks: first at full price, seven discounted — strictly
+        // cheaper than eight serial verifications, hashing unchanged.
+        let serial: Time = (0..8).map(|_| cpu.block_verify(1024)).sum();
+        let batched = cpu.block_verify_batched(8 * 1024, 8);
+        assert!(batched < serial, "{batched} vs {serial}");
+        let crypto = cpu.signature_verify + cpu.coin_share_verify;
+        assert_eq!(
+            batched,
+            crypto + crypto * cpu.batch_discount_percent / 100 * 7 + cpu.hash_per_kb * 8
+        );
+    }
 
     #[test]
     fn protocol_names_and_certification() {

@@ -370,26 +370,25 @@ impl Simulation {
             SimMessage::Ack { .. } => cpu.signature_verify,
             SimMessage::Certificate { signatures, .. } => cpu.certificate_verify(*signatures),
             SimMessage::Request(_) => 1,
-            SimMessage::Response(blocks) => blocks
-                .iter()
-                .map(|block| {
-                    cpu.block_verify(crate::message::block_wire_size(
-                        block,
-                        self.config.tx_wire_size,
-                    ))
-                })
-                .sum(),
-            // A proof is two full block verifications (evidence is only as
-            // good as its signatures).
-            SimMessage::Evidence(proof) => [proof.first(), proof.second()]
-                .iter()
-                .map(|block| {
-                    cpu.block_verify(crate::message::block_wire_size(
-                        block,
-                        self.config.tx_wire_size,
-                    ))
-                })
-                .sum(),
+            // Sync replies go through the admission pipeline's batched
+            // crypto path: one multi-scalar signature check and a shared
+            // per-round coin base across the whole reply.
+            SimMessage::Response(blocks) => {
+                let total_bytes: usize = blocks
+                    .iter()
+                    .map(|block| crate::message::block_wire_size(block, self.config.tx_wire_size))
+                    .sum();
+                cpu.block_verify_batched(total_bytes, blocks.len())
+            }
+            // A proof is two block verifications, batched the same way
+            // (evidence is only as good as its signatures).
+            SimMessage::Evidence(proof) => {
+                let total_bytes: usize = [proof.first(), proof.second()]
+                    .iter()
+                    .map(|block| crate::message::block_wire_size(block, self.config.tx_wire_size))
+                    .sum();
+                cpu.block_verify_batched(total_bytes, 2)
+            }
             // Client batches cost their ingest hashing (digest dedup).
             SimMessage::TxBatch(transactions) => {
                 1 + cpu.hash_per_kb

@@ -10,7 +10,7 @@
 //! following the reference order, starting from the author's own previous
 //! block.
 
-use mahimahi_crypto::blake2b::blake2b_256;
+use mahimahi_crypto::blake2b::{blake2b_256, Blake2b};
 use mahimahi_crypto::coin::{CoinSecret, CoinShare};
 use mahimahi_crypto::schnorr::{Keypair, Signature};
 use mahimahi_crypto::Digest;
@@ -201,6 +201,13 @@ impl Block {
         message
     }
 
+    /// The exact bytes the author signed: domain separator ‖ content
+    /// digest. Batch verifiers pair this with [`Block::signature`] and the
+    /// author's public key.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::signing_message(&self.reference.digest)
+    }
+
     fn compute_digest(&self) -> Digest {
         let mut encoder = Encoder::new();
         encoder.put_bytes(DIGEST_DOMAIN);
@@ -229,6 +236,58 @@ impl Block {
     ///
     /// Returns the first violated condition as a [`ValidationError`].
     pub fn verify(&self, committee: &Committee) -> Result<(), ValidationError> {
+        if self.verify_prelude(committee)? {
+            return Ok(()); // genesis: fixed by convention, nothing signed
+        }
+
+        let public_key = committee
+            .public_key(self.author)
+            .expect("author existence checked in the prelude");
+        let message = Self::signing_message(&self.reference.digest);
+        if public_key.verify(&message, &self.signature).is_err() {
+            return Err(ValidationError::InvalidSignature);
+        }
+
+        self.verify_parents(committee)?;
+
+        // Coin share: present, owned by the author, valid for this round.
+        let share = self.coin_share_checked()?;
+        if committee
+            .coin_public()
+            .verify_share(self.round, share)
+            .is_err()
+        {
+            return Err(ValidationError::InvalidCoinShare);
+        }
+        Ok(())
+    }
+
+    /// The cheap, structural subset of [`Block::verify`]: committee
+    /// membership, the genesis convention, parent rules, and coin-share
+    /// presence/ownership — everything except the signature and the
+    /// coin-share proof.
+    ///
+    /// The admission pipeline runs this per block and then checks the two
+    /// expensive cryptographic conditions across a whole batch at once
+    /// (`schnorr::batch_verify_attributed`, `CoinPublic::verify_shares`);
+    /// a block passing both this and the batched checks satisfies exactly
+    /// the conditions of [`Block::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural condition.
+    pub fn verify_structure(&self, committee: &Committee) -> Result<(), ValidationError> {
+        if self.verify_prelude(committee)? {
+            return Ok(());
+        }
+        self.verify_parents(committee)?;
+        self.coin_share_checked()?;
+        Ok(())
+    }
+
+    /// Membership and genesis checks; `Ok(true)` means the block is a
+    /// (valid) genesis block with nothing further to verify.
+    fn verify_prelude(&self, committee: &Committee) -> Result<bool, ValidationError> {
         if !committee.exists(self.author) {
             return Err(ValidationError::UnknownAuthority(self.author));
         }
@@ -237,19 +296,14 @@ impl Block {
             if *self != Block::genesis(self.author) {
                 return Err(ValidationError::MalformedGenesis);
             }
-            return Ok(());
+            return Ok(true);
         }
+        Ok(false)
+    }
 
-        let public_key = committee
-            .public_key(self.author)
-            .expect("author existence checked above");
-        let message = Self::signing_message(&self.reference.digest);
-        if public_key.verify(&message, &self.signature).is_err() {
-            return Err(ValidationError::InvalidSignature);
-        }
-
-        // Parent structure: own previous block first, no duplicates, all
-        // older than this block, quorum of distinct authors at round - 1.
+    /// Parent structure: own previous block first, no duplicates, all
+    /// older than this block, quorum of distinct authors at round - 1.
+    fn verify_parents(&self, committee: &Committee) -> Result<(), ValidationError> {
         let Some(first) = self.parents.first() else {
             return Err(ValidationError::MissingParents);
         };
@@ -278,22 +332,18 @@ impl Block {
                 needed: committee.quorum_threshold(),
             });
         }
+        Ok(())
+    }
 
-        // Coin share: present, owned by the author, valid for this round.
+    /// Coin-share presence and ownership (not the proof).
+    fn coin_share_checked(&self) -> Result<&CoinShare, ValidationError> {
         let Some(share) = &self.coin_share else {
             return Err(ValidationError::MissingCoinShare);
         };
         if share.index() != self.author.as_u64() {
             return Err(ValidationError::ForeignCoinShare);
         }
-        if committee
-            .coin_public()
-            .verify_share(self.round, share)
-            .is_err()
-        {
-            return Err(ValidationError::InvalidCoinShare);
-        }
-        Ok(())
+        Ok(share)
     }
 
     /// Total serialized size in bytes (used by the bandwidth model).
@@ -360,6 +410,7 @@ impl Encode for Block {
 
 impl Decode for Block {
     fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let content_start = decoder.position();
         let author = AuthorityIndex(decoder.get_u32()?);
         let round = decoder.get_u64()?;
         let parents = Vec::<BlockRef>::decode(decoder)?;
@@ -376,9 +427,19 @@ impl Decode for Block {
             ),
             _ => return Err(CodecError::InvalidValue("coin share discriminant")),
         };
+        // Zero-copy digest: the wire layout of the content fields (everything
+        // up to the signature) is byte-identical to what `compute_digest`
+        // re-encodes, so hashing the consumed span in place gives the same
+        // content-addressed digest without a second serialization pass.
+        let digest = {
+            let mut hasher = Blake2b::new(Digest::LENGTH);
+            hasher.update(DIGEST_DOMAIN);
+            hasher.update(decoder.consumed_since(content_start));
+            Digest::from_slice(&hasher.finalize()).expect("blake2b-256 output is 32 bytes")
+        };
         let signature = Signature::from_bytes(&decoder.get_array::<16>()?)
             .ok_or(CodecError::InvalidValue("signature"))?;
-        let mut block = Block {
+        Ok(Block {
             author,
             round,
             parents,
@@ -388,13 +449,9 @@ impl Decode for Block {
             reference: BlockRef {
                 round,
                 author,
-                digest: Digest::ZERO,
+                digest,
             },
-        };
-        // The digest is recomputed from content, so a decoded block is
-        // always self-consistent (content-addressed).
-        block.reference.digest = block.compute_digest();
-        Ok(block)
+        })
     }
 }
 
@@ -777,6 +834,27 @@ mod tests {
         assert_eq!(decoded, block);
         assert_eq!(decoded.reference(), block.reference());
         assert_eq!(decoded.verify(setup.committee()), Ok(()));
+    }
+
+    #[test]
+    fn decoded_digest_matches_reencoded_digest() {
+        // The decode path hashes the consumed wire span in place; this pins
+        // it to the canonical re-encoding digest, including the no-tx /
+        // no-coin-share genesis layout and a multi-transaction block.
+        let setup = setup();
+        let blocks = [
+            Block::genesis(AuthorityIndex(1)),
+            valid_block(&setup, 2),
+            BlockBuilder::new(AuthorityIndex(0), 1)
+                .parents(genesis_parents(AuthorityIndex(0)))
+                .transactions((0..5).map(Transaction::benchmark))
+                .build(&setup),
+        ];
+        for block in blocks {
+            let decoded = Block::from_bytes_exact(&block.to_bytes_vec()).unwrap();
+            assert_eq!(decoded.digest(), block.compute_digest());
+            assert_eq!(decoded.digest(), decoded.compute_digest());
+        }
     }
 
     #[test]

@@ -115,6 +115,25 @@ impl<'a> Decoder<'a> {
         self.input.len() - self.position
     }
 
+    /// Number of bytes consumed so far.
+    ///
+    /// Pair with [`Decoder::consumed_since`] to recover the exact byte span
+    /// a nested value was decoded from — e.g. to hash content in place
+    /// instead of re-encoding it.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The input bytes consumed between `start` (a prior [`Decoder::position`])
+    /// and the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is beyond the current position.
+    pub fn consumed_since(&self, start: usize) -> &'a [u8] {
+        &self.input[start..self.position]
+    }
+
     /// Fails unless every input byte was consumed.
     pub fn finish(self) -> Result<(), CodecError> {
         if self.remaining() == 0 {
@@ -326,6 +345,24 @@ mod tests {
             let mut decoder = Decoder::new(&bytes[..cut]);
             assert_eq!(decoder.get_u64(), Err(CodecError::UnexpectedEnd));
         }
+    }
+
+    #[test]
+    fn position_and_consumed_span_track_reads() {
+        let mut encoder = Encoder::new();
+        encoder.put_u32(7);
+        encoder.put_u64(11);
+        encoder.put_u8(13);
+        let bytes = encoder.into_bytes();
+
+        let mut decoder = Decoder::new(&bytes);
+        assert_eq!(decoder.position(), 0);
+        let _ = decoder.get_u32().unwrap();
+        let start = decoder.position();
+        assert_eq!(start, 4);
+        let _ = decoder.get_u64().unwrap();
+        assert_eq!(decoder.consumed_since(start), &bytes[4..12]);
+        assert_eq!(decoder.consumed_since(decoder.position()), &[] as &[u8]);
     }
 
     #[test]

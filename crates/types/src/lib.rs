@@ -36,6 +36,7 @@ pub mod envelope;
 pub mod evidence;
 pub mod ids;
 pub mod transaction;
+pub mod verified;
 
 pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
@@ -44,3 +45,4 @@ pub use envelope::{Envelope, MAX_BATCH_TXS, MAX_TX_WIRE_BYTES};
 pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};
 pub use transaction::Transaction;
+pub use verified::Verified;

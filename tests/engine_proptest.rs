@@ -14,10 +14,11 @@
 //! failing case is reproducible from its printed inputs alone.
 
 use mahi_mahi::core::{
-    Committer, CommitterOptions, EngineConfig, Input, MempoolConfig, ValidatorEngine,
+    AdmissionConfig, AdmissionPipeline, Committer, CommitterOptions, EngineConfig, Input,
+    MempoolConfig, ValidatorEngine,
 };
 use mahi_mahi::dag::DagBuilder;
-use mahi_mahi::types::{AuthorityIndex, Block, TestCommittee, Transaction};
+use mahi_mahi::types::{AuthorityIndex, Block, Decode, Encode, TestCommittee, Transaction};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -139,5 +140,92 @@ proptest! {
             second.store().highest_round()
         );
         prop_assert_eq!(first.tx_integrity(), second.tx_integrity());
+    }
+
+    /// The verify/apply split preserves the determinism contract: a trace
+    /// pushed through a parallel [`AdmissionPipeline`] (workers reorder
+    /// internally, the resequencer restores submission order) and applied
+    /// with `handle_verified` admits exactly the inputs that pass
+    /// verification, in submission order, and produces byte-identical
+    /// outputs and end state to replaying that same verified sequence
+    /// through the serial `handle` path — the exact artifact drivers
+    /// record and the replay tests compare.
+    #[test]
+    fn pipeline_resequenced_traces_replay_byte_identically(
+        committee_seed in 0u64..500,
+        script_seed in 0u64..u64::MAX,
+        steps in 20usize..80,
+        workers in 1usize..4,
+    ) {
+        let setup = TestCommittee::new(4, committee_seed);
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(4);
+        let valid: Vec<Arc<Block>> = dag
+            .store()
+            .iter()
+            .filter(|block| block.round() > 0 && block.author() != AuthorityIndex(0))
+            .cloned()
+            .collect();
+        // Salt the block pool with tampered copies (a flipped parent-digest
+        // byte: still decodes, signature now stale) so traces exercise the
+        // verify stage's reject path.
+        let mut pool = valid.clone();
+        for block in valid.iter().step_by(5) {
+            let mut bytes = block.to_bytes_vec();
+            bytes[30] ^= 0xff;
+            pool.push(Block::from_bytes_exact(&bytes).unwrap().into_arc());
+        }
+        let trace = random_trace(script_seed, steps, &pool);
+
+        // The reference path is the replay contract itself: the trace a
+        // driver records contains exactly the inputs that survive the
+        // verify stage, in submission order, and replaying it through
+        // plain `handle` on a fresh engine is byte-identical. Filter the
+        // trace the way the verify stage does, then run it serially.
+        let committee = setup.committee();
+        let filtered: Vec<&Input> = trace
+            .iter()
+            .filter(|input| !matches!(
+                input,
+                Input::BlockReceived { block, .. } if block.verify(committee).is_err()
+            ))
+            .collect();
+        let mut serial = fresh_engine(&setup);
+        let mut kept = Vec::with_capacity(filtered.len());
+        for input in &filtered {
+            let outputs = serial.handle((*input).clone());
+            kept.push(format!("{outputs:?}"));
+        }
+
+        // Pipelined path: parallel verify, resequenced apply.
+        let mut pipeline = AdmissionPipeline::new(
+            AdmissionConfig {
+                verify_workers: workers,
+                queue_bound: 4096,
+            },
+            committee.clone(),
+        );
+        for input in &trace {
+            pipeline.submit(input.clone());
+        }
+        let admitted = pipeline.flush();
+        prop_assert_eq!(admitted.len(), kept.len());
+        let mut piped = fresh_engine(&setup);
+        for (step, input) in admitted.into_iter().enumerate() {
+            let outputs = piped.handle_verified(input);
+            prop_assert_eq!(
+                &format!("{outputs:?}"),
+                &kept[step],
+                "diverged at admitted step {}",
+                step
+            );
+        }
+        prop_assert_eq!(serial.round(), piped.round());
+        prop_assert_eq!(serial.commit_log(), piped.commit_log());
+        prop_assert_eq!(
+            serial.store().highest_round(),
+            piped.store().highest_round()
+        );
+        prop_assert_eq!(serial.tx_integrity(), piped.tx_integrity());
     }
 }
