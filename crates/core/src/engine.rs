@@ -53,19 +53,22 @@
 //!     if b.round() == 1));
 //! ```
 
+use mahimahi_crypto::blake2b::blake2b_256;
 use mahimahi_crypto::Digest;
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_types::{
-    AuthorityIndex, Block, BlockBuilder, BlockRef, CodecError, Committee, Decode, Decoder, Encode,
-    Encoder, Envelope, EquivocationProof, Round, Slot, TestCommittee, Transaction, Verified,
+    AuthorityIndex, Block, BlockBuilder, BlockRef, Checkpoint, CodecError, Committee, Decode,
+    Decoder, Encode, Encoder, Envelope, EquivocationProof, Round, Slot, StateRoot, TestCommittee,
+    Transaction, Verified,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::evidence::EvidencePool;
+use crate::execution::{BalanceLedger, ExecutionState};
 use crate::mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 use crate::protocol::ProtocolCommitter;
-use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
+use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};
 
 /// Engine time in microseconds. The engine is clock-free: this is whatever
 /// monotonic microsecond counter the driver feeds through
@@ -153,6 +156,34 @@ pub enum Input {
         /// The batched transaction payloads.
         transactions: Vec<Transaction>,
     },
+    /// A peer's signed execution checkpoint arrived (broadcast at every
+    /// checkpoint boundary). The signature is verified inline; matching
+    /// attestations accumulate toward quorum certification.
+    CheckpointReceived {
+        /// The sending peer.
+        from: usize,
+        /// The (untrusted, re-verified) checkpoint.
+        checkpoint: Checkpoint,
+    },
+    /// State-sync: a peer asks for the latest quorum-certified checkpoint
+    /// plus the snapshots it certifies.
+    CheckpointRequested {
+        /// The requesting peer.
+        from: usize,
+    },
+    /// State-sync: a checkpoint payload answering an earlier request — a
+    /// quorum of matching checkpoints plus the execution and sequencer
+    /// snapshots they certify. Adopted only after full verification.
+    CheckpointSyncReceived {
+        /// The responding peer.
+        from: usize,
+        /// The claimed quorum of matching attestations.
+        checkpoints: Vec<Checkpoint>,
+        /// Execution snapshot hashing to the certified state root.
+        execution: Vec<u8>,
+        /// Sequencer snapshot hashing to the certified resume digest.
+        resume: Vec<u8>,
+    },
     /// The driver's clock advanced to `now`. The only way time enters the
     /// engine; drivers send it before delivering messages and whenever a
     /// previously emitted [`Output::WakeAt`] falls due.
@@ -185,6 +216,18 @@ impl Input {
             Envelope::Response(blocks) => Input::SyncReply { from, blocks },
             Envelope::Evidence(proof) => Input::EvidenceReceived { from, proof },
             Envelope::TxBatch(transactions) => Input::TxBatchReceived { from, transactions },
+            Envelope::Checkpoint(checkpoint) => Input::CheckpointReceived { from, checkpoint },
+            Envelope::CheckpointRequest => Input::CheckpointRequested { from },
+            Envelope::CheckpointResponse {
+                checkpoints,
+                execution,
+                resume,
+            } => Input::CheckpointSyncReceived {
+                from,
+                checkpoints,
+                execution,
+                resume,
+            },
         }
     }
 }
@@ -221,6 +264,10 @@ pub enum Output {
         /// Why the mempool refused it.
         reason: SubmitResult,
     },
+    /// A checkpoint boundary was crossed: the engine signed and broadcast
+    /// the attestation (and persisted it with its snapshots). Surfaced so
+    /// drivers can gauge checkpoint progress; no action required.
+    CheckpointProduced(Checkpoint),
 }
 
 /// One durable log record, as emitted through [`Output::Persist`] and
@@ -232,10 +279,25 @@ pub enum WalRecord {
     Block(Arc<Block>),
     /// A verified equivocation conviction.
     Evidence(EquivocationProof),
+    /// A checkpoint with the snapshots it attests — the recovery cut.
+    /// Once this record is durable, every block *below* the snapshot's GC
+    /// floor is redundant for recovery: restart restores the snapshots
+    /// and re-sequences only the trailing rounds, which is what makes WAL
+    /// truncation below the checkpointed frontier safe (see
+    /// `mahimahi-node`).
+    Checkpoint {
+        /// The signed attestation of the cut.
+        checkpoint: Checkpoint,
+        /// Execution snapshot hashing to the checkpoint's state root.
+        execution: Vec<u8>,
+        /// Sequencer snapshot hashing to the checkpoint's resume digest.
+        resume: Vec<u8>,
+    },
 }
 
 const WAL_TAG_BLOCK: u8 = 1;
 const WAL_TAG_EVIDENCE: u8 = 2;
+const WAL_TAG_CHECKPOINT: u8 = 3;
 
 impl Encode for WalRecord {
     fn encode(&self, encoder: &mut Encoder) {
@@ -248,6 +310,16 @@ impl Encode for WalRecord {
                 encoder.put_u8(WAL_TAG_EVIDENCE);
                 proof.encode(encoder);
             }
+            WalRecord::Checkpoint {
+                checkpoint,
+                execution,
+                resume,
+            } => {
+                encoder.put_u8(WAL_TAG_CHECKPOINT);
+                checkpoint.encode(encoder);
+                encoder.put_var_bytes(execution);
+                encoder.put_var_bytes(resume);
+            }
         }
     }
 }
@@ -257,6 +329,11 @@ impl Decode for WalRecord {
         match decoder.get_u8()? {
             WAL_TAG_BLOCK => Ok(WalRecord::Block(Block::decode(decoder)?.into_arc())),
             WAL_TAG_EVIDENCE => Ok(WalRecord::Evidence(EquivocationProof::decode(decoder)?)),
+            WAL_TAG_CHECKPOINT => Ok(WalRecord::Checkpoint {
+                checkpoint: Checkpoint::decode(decoder)?,
+                execution: decoder.get_var_bytes()?.to_vec(),
+                resume: decoder.get_var_bytes()?.to_vec(),
+            }),
             _ => Err(CodecError::InvalidValue("wal record tag")),
         }
     }
@@ -462,6 +539,18 @@ pub struct EngineConfig {
     /// Produce no block with round ≥ this (crash-fault modelling; `None`
     /// never halts).
     pub halt_from_round: Option<Round>,
+    /// Sign and emit a `Checkpoint` every this many sequencing decisions
+    /// (commits *and* skips); 0 disables checkpointing.
+    ///
+    /// The boundary is pinned to the decision count — which every correct
+    /// validator agrees on — so all of them checkpoint the same cuts and
+    /// their attestations aggregate into quorum certificates. Each
+    /// boundary also persists a [`WalRecord::Checkpoint`] carrying the
+    /// execution and sequencer snapshots: once that record is durable, the
+    /// write-ahead log may be truncated below the snapshot's GC floor
+    /// (recovery restores the snapshots and re-sequences only the trailing
+    /// rounds).
+    pub checkpoint_interval: u64,
 }
 
 impl EngineConfig {
@@ -478,6 +567,7 @@ impl EngineConfig {
             min_round_interval: 0,
             gc_depth: None,
             halt_from_round: None,
+            checkpoint_interval: 32,
         }
     }
 }
@@ -532,8 +622,15 @@ pub struct ValidatorEngine {
     /// payload into its own blocks (and an equivocator can get its spam
     /// linearized under two conflicting digests), but it cannot sign a
     /// block as this authority. Kept only when
-    /// [`EngineConfig::track_tx_integrity`] is on.
+    /// [`EngineConfig::track_tx_integrity`] is on, and GC'd against the
+    /// commit frontier (the same floor as `verified_blocks`) through the
+    /// round-keyed index below — floored linearization guarantees nothing
+    /// below the floor can commit again, so pruning is exact within the
+    /// GC window. With GC off the ledger is retained in full.
     committed_tx_digests: HashSet<Digest>,
+    /// Round-keyed index into `committed_tx_digests` (the round of the own
+    /// block that committed each digest), enabling frontier GC.
+    committed_digests_by_round: BTreeMap<Round, Vec<Digest>>,
     /// Accepted transactions that committed twice across own blocks.
     duplicate_committed: u64,
     /// The committed leader sequence (`None` = skipped slot), for safety
@@ -547,7 +644,30 @@ pub struct ValidatorEngine {
     verified_blocks: BTreeMap<Round, HashSet<Digest>>,
     /// Full block verifications actually performed (cache misses).
     signature_checks: u64,
+    /// The deterministic state machine folded over the commit stream.
+    execution: Box<dyn ExecutionState>,
+    /// The last committed leader (genesis-zero sentinel before the first
+    /// commit) — recorded in every checkpoint as the commit frontier.
+    last_committed_leader: BlockRef,
+    /// Own (or adopted) checkpoints with the snapshots they attest, keyed
+    /// by position: the material served to state-syncing peers. Pruned to
+    /// [`CHECKPOINT_RETENTION`] entries.
+    checkpoint_archive: BTreeMap<u64, (Checkpoint, Vec<u8>, Vec<u8>)>,
+    /// Verified attestations collected per position per authority (own
+    /// included). Pruned alongside the archive.
+    peer_checkpoints: BTreeMap<u64, BTreeMap<AuthorityIndex, Checkpoint>>,
+    /// Highest position with a quorum of matching attestations *and* an
+    /// archived snapshot — what `CheckpointRequest` is answered with.
+    latest_certified: Option<u64>,
+    /// Position of `commit_log[0]` (non-zero after a state-sync adoption:
+    /// the log then covers only post-checkpoint decisions).
+    commit_log_base: u64,
 }
+
+/// How many checkpoint positions the engine retains attestations and
+/// snapshots for. Old entries can never certify once a newer one has, so
+/// a small window bounds memory without losing safety.
+const CHECKPOINT_RETENTION: usize = 8;
 
 impl ValidatorEngine {
     /// Creates the engine with an explicit [`ProposerStrategy`].
@@ -566,6 +686,7 @@ impl ValidatorEngine {
         if let Some(depth) = config.gc_depth {
             sequencer = sequencer.with_gc_depth(depth);
         }
+        sequencer.set_checkpoint_interval(config.checkpoint_interval);
         ValidatorEngine {
             evidence: EvidencePool::new(committee.clone()),
             committee,
@@ -589,12 +710,31 @@ impl ValidatorEngine {
             committed_transactions: 0,
             own_committed_txs: 0,
             committed_tx_digests: HashSet::new(),
+            committed_digests_by_round: BTreeMap::new(),
             duplicate_committed: 0,
             commit_log: Vec::new(),
             verified_blocks: BTreeMap::new(),
             signature_checks: 0,
+            execution: Box::new(BalanceLedger::new()),
+            last_committed_leader: BlockRef {
+                round: 0,
+                author: AuthorityIndex(0),
+                digest: Digest::ZERO,
+            },
+            checkpoint_archive: BTreeMap::new(),
+            peer_checkpoints: BTreeMap::new(),
+            latest_certified: None,
+            commit_log_base: 0,
             config,
         }
+    }
+
+    /// Replaces the execution state machine (default: [`BalanceLedger`]).
+    /// Must be called before the first input — swapping mid-run would
+    /// desync the state root from the committed prefix.
+    pub fn with_execution(mut self, execution: Box<dyn ExecutionState>) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Creates the engine with the protocol-faithful [`HonestProposer`].
@@ -709,6 +849,25 @@ impl ValidatorEngine {
             }
             Input::EvidenceReceived { proof, .. } => {
                 self.ingest_evidence(proof, &mut outputs);
+            }
+            // Checkpoint signatures are verified inline on both entry
+            // points (never delegated to the admission verify stage), so
+            // `handle_verified` stays byte-identical to `handle`.
+            Input::CheckpointReceived { checkpoint, .. } => {
+                self.ingest_checkpoint(checkpoint);
+            }
+            Input::CheckpointRequested { from } => {
+                if let Some(envelope) = self.checkpoint_response() {
+                    outputs.push(Output::SendTo(from, envelope));
+                }
+            }
+            Input::CheckpointSyncReceived {
+                checkpoints,
+                execution,
+                resume,
+                ..
+            } => {
+                self.adopt_checkpoint(checkpoints, execution, resume, &mut outputs);
             }
         }
         self.advance(&mut outputs);
@@ -844,18 +1003,18 @@ impl ValidatorEngine {
             accepted: self.mempool.accepted(),
             rejected_duplicate: self.mempool.rejected_duplicate(),
             rejected_full: self.mempool.rejected_full(),
-            pending: self.mempool.len() as u64,
+            pending: usize_gauge(self.mempool.len()),
             in_flight: self
                 .own_block_txs
                 .values()
-                .map(|tags| tags.len() as u64)
+                .map(|tags| usize_gauge(tags.len()))
                 .sum(),
             own_committed: self.own_committed_txs,
             duplicate_committed: self.duplicate_committed,
-            peak_occupancy_txs: self.mempool.peak_txs() as u64,
-            peak_occupancy_bytes: self.mempool.peak_bytes() as u64,
-            capacity_txs: self.config.mempool.capacity_txs as u64,
-            capacity_bytes: self.config.mempool.capacity_bytes as u64,
+            peak_occupancy_txs: usize_gauge(self.mempool.peak_txs()),
+            peak_occupancy_bytes: usize_gauge(self.mempool.peak_bytes()),
+            capacity_txs: usize_gauge(self.config.mempool.capacity_txs),
+            capacity_bytes: usize_gauge(self.config.mempool.capacity_bytes),
         }
     }
 
@@ -891,6 +1050,45 @@ impl ValidatorEngine {
     /// once.
     pub fn signature_checks(&self) -> u64 {
         self.signature_checks
+    }
+
+    /// The execution state root after every sub-DAG committed so far. Two
+    /// correct validators with equal commit logs report equal roots — the
+    /// `state-root-agreement` oracle's invariant.
+    pub fn state_root(&self) -> StateRoot {
+        self.execution.state_root()
+    }
+
+    /// The execution state machine (read-only).
+    pub fn execution(&self) -> &dyn ExecutionState {
+        self.execution.as_ref()
+    }
+
+    /// The highest checkpoint position this engine has both a quorum of
+    /// matching attestations and archived snapshots for — what it serves
+    /// to state-syncing peers.
+    pub fn latest_certified_checkpoint(&self) -> Option<u64> {
+        self.latest_certified
+    }
+
+    /// The engine's own latest signed (or adopted) checkpoint, if any.
+    pub fn latest_checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoint_archive
+            .last_key_value()
+            .map(|(_, (checkpoint, _, _))| checkpoint)
+    }
+
+    /// The sequence position of `commit_log()[0]`: zero normally, the
+    /// checkpoint position after a state-sync adoption (the log then
+    /// covers only post-checkpoint decisions).
+    pub fn commit_log_base(&self) -> u64 {
+        self.commit_log_base
+    }
+
+    /// Current size of the committed-digest exactly-once ledger (bounded
+    /// by frontier GC when `gc_depth` is set; see `tests/engine_proptest`).
+    pub fn committed_digest_ledger_len(&self) -> usize {
+        self.committed_tx_digests.len()
     }
 
     // ------------------------------------------------------------------
@@ -1002,6 +1200,278 @@ impl ValidatorEngine {
             outputs.push(Output::Broadcast(Envelope::Evidence(proof.clone())));
             outputs.push(Output::Convicted(proof));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints and state-sync.
+
+    /// Collects a verified peer attestation and re-checks certification.
+    /// Invalid signatures are dropped; a second (conflicting) attestation
+    /// from the same authority at the same position is ignored —
+    /// first-write-wins keeps quorum counting per-authority, and `f`
+    /// double-signers can never complete two conflicting quorums.
+    fn ingest_checkpoint(&mut self, checkpoint: Checkpoint) {
+        if checkpoint.verify(&self.committee).is_err() {
+            return;
+        }
+        // Positions already pruned (older than anything retained) are not
+        // worth collecting for.
+        if let Some((&oldest, _)) = self.checkpoint_archive.first_key_value() {
+            if checkpoint.position() < oldest {
+                return;
+            }
+        }
+        self.peer_checkpoints
+            .entry(checkpoint.position())
+            .or_default()
+            .entry(checkpoint.authority())
+            .or_insert(checkpoint);
+        self.refresh_certification();
+    }
+
+    /// Recomputes the latest certified position: the highest archived
+    /// position where a quorum of distinct authorities attests the same
+    /// `(state_root, resume_digest)` as the archived checkpoint.
+    fn refresh_certification(&mut self) {
+        let quorum = self.committee.quorum_threshold();
+        let certified = self
+            .checkpoint_archive
+            .iter()
+            .rev()
+            .find(|(position, (own, _, _))| {
+                self.peer_checkpoints.get(*position).is_some_and(|votes| {
+                    votes.values().filter(|vote| vote.attests_same(own)).count() >= quorum
+                })
+            })
+            .map(|(&position, _)| position);
+        if let Some(position) = certified {
+            self.latest_certified =
+                Some(self.latest_certified.map_or(position, |p| p.max(position)));
+        }
+        self.prune_checkpoints();
+    }
+
+    /// Bounds checkpoint memory: keep the latest certified position and at
+    /// most [`CHECKPOINT_RETENTION`] of the newest positions.
+    fn prune_checkpoints(&mut self) {
+        while self.checkpoint_archive.len() > CHECKPOINT_RETENTION {
+            let Some((&oldest, _)) = self.checkpoint_archive.first_key_value() else {
+                break;
+            };
+            if Some(oldest) == self.latest_certified {
+                break;
+            }
+            self.checkpoint_archive.remove(&oldest);
+        }
+        let floor = self
+            .checkpoint_archive
+            .first_key_value()
+            .map(|(&position, _)| position)
+            .unwrap_or(0);
+        self.peer_checkpoints = self.peer_checkpoints.split_off(&floor);
+    }
+
+    /// Builds the state-sync payload for the latest certified checkpoint:
+    /// the matching attestations (authority order — deterministic) plus
+    /// the archived snapshots.
+    fn checkpoint_response(&self) -> Option<Envelope> {
+        let position = self.latest_certified?;
+        let (own, execution, resume) = self.checkpoint_archive.get(&position)?;
+        let votes = self.peer_checkpoints.get(&position)?;
+        let checkpoints: Vec<Checkpoint> = votes
+            .values()
+            .filter(|vote| vote.attests_same(own))
+            .cloned()
+            .collect();
+        if checkpoints.len() < self.committee.quorum_threshold() {
+            return None;
+        }
+        Some(Envelope::CheckpointResponse {
+            checkpoints,
+            execution: execution.clone(),
+            resume: resume.clone(),
+        })
+    }
+
+    /// Verifies and adopts a state-sync payload: quorum of matching valid
+    /// attestations, snapshots hashing to the certified roots, and a
+    /// position strictly ahead of the local sequence. On success the
+    /// execution and sequencer state jump to the cut, the store is
+    /// compacted below its floor, and the checkpoint is persisted so a
+    /// later restart recovers from it instead of genesis.
+    fn adopt_checkpoint(
+        &mut self,
+        checkpoints: Vec<Checkpoint>,
+        execution: Vec<u8>,
+        resume: Vec<u8>,
+        outputs: &mut Vec<Output>,
+    ) {
+        let Some(first) = checkpoints.first().cloned() else {
+            return;
+        };
+        if first.position() <= self.sequencer.sequenced_slots() {
+            return; // not ahead of us — nothing to adopt
+        }
+        if !checkpoints.iter().all(|c| c.attests_same(&first)) {
+            return;
+        }
+        if checkpoints
+            .iter()
+            .any(|c| c.verify(&self.committee).is_err())
+        {
+            return;
+        }
+        let authorities: HashSet<AuthorityIndex> =
+            checkpoints.iter().map(Checkpoint::authority).collect();
+        if authorities.len() < self.committee.quorum_threshold() {
+            return;
+        }
+        if blake2b_256(&execution) != first.state_root().digest()
+            || blake2b_256(&resume) != first.resume_digest()
+        {
+            return;
+        }
+        let Ok(snapshot) = SequencerSnapshot::from_bytes_exact(&resume) else {
+            return;
+        };
+        if snapshot.position != first.position() {
+            return;
+        }
+        if !self.install_checkpoint(&first, &execution, &snapshot) {
+            return;
+        }
+        // Collect the quorum so this validator can serve the same payload.
+        for checkpoint in checkpoints {
+            self.peer_checkpoints
+                .entry(checkpoint.position())
+                .or_default()
+                .entry(checkpoint.authority())
+                .or_insert(checkpoint);
+        }
+        self.checkpoint_archive.insert(
+            first.position(),
+            (first.clone(), execution.clone(), resume.clone()),
+        );
+        self.refresh_certification();
+        outputs.push(Output::Persist(WalRecord::Checkpoint {
+            checkpoint: first,
+            execution,
+            resume,
+        }));
+    }
+
+    /// Jumps the execution and sequencer state to a verified cut (shared
+    /// by state-sync adoption and WAL recovery). The snapshots must
+    /// already hash to the checkpoint's roots.
+    fn install_checkpoint(
+        &mut self,
+        checkpoint: &Checkpoint,
+        execution: &[u8],
+        snapshot: &SequencerSnapshot,
+    ) -> bool {
+        if self.execution.restore(execution).is_err() {
+            return false;
+        }
+        if self.sequencer.restore(snapshot).is_err() {
+            return false;
+        }
+        self.last_committed_leader = checkpoint.leader();
+        self.commit_log_base = checkpoint.position();
+        self.commit_log.clear();
+        // Everything below the snapshot's floor is outside any future
+        // sub-DAG: compact it away.
+        if let Some(depth) = self.config.gc_depth {
+            let floor = snapshot.next_round.saturating_sub(depth);
+            if floor > 0 {
+                self.store.compact(floor);
+                self.unreferenced
+                    .retain(|reference| reference.round >= floor);
+                self.verified_blocks = self.verified_blocks.split_off(&floor);
+                self.prune_digest_ledger(floor);
+            }
+        }
+        true
+    }
+
+    /// Restores a persisted checkpoint at recovery (the WAL replay path):
+    /// snapshots are re-hashed against the signed roots, then installed if
+    /// they advance the local sequence. No quorum is required — the record
+    /// came from this validator's own durable log. Returns whether the
+    /// checkpoint was installed.
+    pub fn restore_checkpoint(
+        &mut self,
+        checkpoint: Checkpoint,
+        execution: Vec<u8>,
+        resume: Vec<u8>,
+    ) -> bool {
+        if blake2b_256(&execution) != checkpoint.state_root().digest()
+            || blake2b_256(&resume) != checkpoint.resume_digest()
+        {
+            return false;
+        }
+        let Ok(snapshot) = SequencerSnapshot::from_bytes_exact(&resume) else {
+            return false;
+        };
+        if snapshot.position != checkpoint.position()
+            || checkpoint.position() <= self.sequencer.sequenced_slots()
+        {
+            return false;
+        }
+        if !self.install_checkpoint(&checkpoint, &execution, &snapshot) {
+            return false;
+        }
+        self.checkpoint_archive
+            .insert(checkpoint.position(), (checkpoint, execution, resume));
+        self.prune_checkpoints();
+        true
+    }
+
+    /// Signs, persists, broadcasts, and archives the checkpoint for a
+    /// boundary the sequencer just crossed. Called from `commit` with the
+    /// execution state exactly at the boundary.
+    fn emit_checkpoint(&mut self, snapshot: SequencerSnapshot, outputs: &mut Vec<Output>) {
+        let authority = self.config.authority;
+        let state_root = self.execution.state_root();
+        let execution = self.execution.snapshot();
+        let resume = snapshot.to_bytes_vec();
+        debug_assert_eq!(blake2b_256(&resume), snapshot.digest());
+        let checkpoint = Checkpoint::sign(
+            authority,
+            snapshot.position,
+            self.last_committed_leader,
+            state_root,
+            snapshot.digest(),
+            self.config.setup.keypair(authority),
+        );
+        self.checkpoint_archive.insert(
+            snapshot.position,
+            (checkpoint.clone(), execution.clone(), resume.clone()),
+        );
+        self.peer_checkpoints
+            .entry(snapshot.position)
+            .or_default()
+            .entry(authority)
+            .or_insert_with(|| checkpoint.clone());
+        self.refresh_certification();
+        // Durability before dissemination, like blocks and evidence.
+        outputs.push(Output::Persist(WalRecord::Checkpoint {
+            checkpoint: checkpoint.clone(),
+            execution,
+            resume,
+        }));
+        outputs.push(Output::Broadcast(Envelope::Checkpoint(checkpoint.clone())));
+        outputs.push(Output::CheckpointProduced(checkpoint));
+    }
+
+    /// Drops digest-ledger entries for own blocks below the GC floor.
+    fn prune_digest_ledger(&mut self, floor: Round) {
+        let keep = self.committed_digests_by_round.split_off(&floor);
+        for digests in self.committed_digests_by_round.values() {
+            for digest in digests {
+                self.committed_tx_digests.remove(digest);
+            }
+        }
+        self.committed_digests_by_round = keep;
     }
 
     /// Bookkeeping for a block that joined the DAG: maintain the
@@ -1191,9 +1661,22 @@ impl ValidatorEngine {
     }
 
     /// Runs the commit rule, emitting sub-DAGs and own-transaction tags,
-    /// then compacts the store once the GC floor moved far enough.
+    /// folding every commit into the execution state, signing checkpoints
+    /// at boundary crossings, then compacting the store once the GC floor
+    /// moved far enough.
     fn commit(&mut self, outputs: &mut Vec<Output>) {
-        for decision in self.sequencer.try_commit(&self.store) {
+        let decisions = self.sequencer.try_commit(&self.store);
+        // Boundary snapshots captured during try_commit, oldest first; the
+        // snapshot at position `p` is emitted after the decision at
+        // `p − 1` has been executed, so the signed state root describes
+        // exactly the cut the snapshot does.
+        let mut boundaries = self
+            .sequencer
+            .take_boundary_snapshots()
+            .into_iter()
+            .peekable();
+        for decision in decisions {
+            let position = decision.position();
             match decision {
                 CommitDecision::Skip(..) => {
                     self.skipped_slots += 1;
@@ -1201,15 +1684,22 @@ impl ValidatorEngine {
                 }
                 CommitDecision::Commit(sub_dag) => {
                     self.commit_log.push(Some(sub_dag.leader));
+                    self.last_committed_leader = sub_dag.leader;
                     self.committed_slots += 1;
-                    self.sequenced_blocks += sub_dag.blocks.len() as u64;
+                    self.sequenced_blocks += usize_gauge(sub_dag.blocks.len());
+                    self.execution.apply(&sub_dag);
                     let mut tags = Vec::new();
                     for block in &sub_dag.blocks {
-                        self.committed_transactions += block.transactions().len() as u64;
+                        self.committed_transactions += usize_gauge(block.transactions().len());
                         if block.author() == self.config.authority {
                             if self.config.track_tx_integrity {
                                 for transaction in block.transactions() {
-                                    if !self.committed_tx_digests.insert(transaction.digest()) {
+                                    if self.committed_tx_digests.insert(transaction.digest()) {
+                                        self.committed_digests_by_round
+                                            .entry(block.round())
+                                            .or_default()
+                                            .push(transaction.digest());
+                                    } else {
                                         self.duplicate_committed += 1;
                                     }
                                 }
@@ -1219,14 +1709,22 @@ impl ValidatorEngine {
                             }
                         }
                     }
-                    self.own_committed_txs += tags.len() as u64;
+                    self.own_committed_txs += usize_gauge(tags.len());
                     outputs.push(Output::Committed(sub_dag));
                     if !tags.is_empty() {
                         outputs.push(Output::TxsCommitted(tags));
                     }
                 }
             }
+            while boundaries
+                .peek()
+                .is_some_and(|snapshot| snapshot.position.checked_sub(1) == Some(position))
+            {
+                let snapshot = boundaries.next().expect("peeked");
+                self.emit_checkpoint(snapshot, outputs);
+            }
         }
+        debug_assert!(boundaries.peek().is_none(), "unpaired boundary snapshot");
         // Periodic garbage collection once the frontier moved far enough
         // past the last cutoff.
         if self.config.gc_depth.is_some() {
@@ -1236,9 +1734,17 @@ impl ValidatorEngine {
                 self.unreferenced
                     .retain(|reference| reference.round >= floor);
                 self.verified_blocks = self.verified_blocks.split_off(&floor);
+                self.prune_digest_ledger(floor);
             }
         }
     }
+}
+
+/// Checked `usize → u64` for the engine's gauges: lossless on every
+/// supported platform, and a compile-visible assertion (instead of a
+/// silent `as` wraparound) anywhere that ever stops being true.
+fn usize_gauge(value: usize) -> u64 {
+    u64::try_from(value).expect("usize gauge fits u64")
 }
 
 #[cfg(test)]
@@ -1788,5 +2294,235 @@ mod tests {
         let outputs = engine.handle(Input::TimerFired { now: 1_000 });
         assert_eq!(engine.round(), 2);
         assert_eq!(broadcast_blocks(&outputs).len(), 1);
+    }
+
+    fn engine_with_interval(authority: u32, interval: u64) -> ValidatorEngine {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(authority), setup);
+        config.mempool = MempoolConfig::test(10_000, 100);
+        config.checkpoint_interval = interval;
+        ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        )
+    }
+
+    /// Flood-delivers every broadcast envelope (blocks, checkpoints,
+    /// evidence) between the engines until quiescent, bounding block
+    /// production at `round_horizon`. Returns every `CheckpointProduced`
+    /// per engine, in order.
+    fn flood(engines: &mut [ValidatorEngine], round_horizon: Round) -> Vec<Vec<Checkpoint>> {
+        let mut produced: Vec<Vec<Checkpoint>> = vec![Vec::new(); engines.len()];
+        let mut inflight: VecDeque<(usize, Envelope)> = VecDeque::new();
+        for engine in engines.iter_mut() {
+            let from = engine.authority().as_usize();
+            let outputs = engine.handle(Input::TimerFired { now: 0 });
+            for output in outputs {
+                if let Output::Broadcast(envelope) = output {
+                    inflight.push_back((from, envelope));
+                }
+            }
+        }
+        while let Some((from, envelope)) = inflight.pop_front() {
+            if let Envelope::Block(block) = &envelope {
+                if block.round() > round_horizon {
+                    continue;
+                }
+            }
+            for to in 0..engines.len() {
+                if to == from {
+                    continue;
+                }
+                let outputs = engines[to].handle(Input::from_envelope(from, envelope.clone()));
+                for output in outputs {
+                    match output {
+                        Output::Broadcast(envelope) => inflight.push_back((to, envelope)),
+                        Output::CheckpointProduced(checkpoint) => produced[to].push(checkpoint),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        produced
+    }
+
+    #[test]
+    fn checkpoints_are_emitted_certified_and_agree() {
+        let setup = TestCommittee::new(4, 7);
+        let mut engines: Vec<ValidatorEngine> =
+            (0..4).map(|a| engine_with_interval(a, 4)).collect();
+        let produced = flood(&mut engines, 12);
+
+        // Every validator reached at least one boundary, every signature
+        // verifies, and positions land exactly on multiples of the
+        // interval.
+        let mut by_position: HashMap<u64, Checkpoint> = HashMap::new();
+        for (validator, checkpoints) in produced.iter().enumerate() {
+            assert!(
+                !checkpoints.is_empty(),
+                "validator {validator} produced no checkpoint"
+            );
+            for checkpoint in checkpoints {
+                assert_eq!(checkpoint.authority(), AuthorityIndex(validator as u32));
+                assert_eq!(checkpoint.position() % 4, 0);
+                assert!(checkpoint.verify(setup.committee()).is_ok());
+                // Execution determinism: any two validators' checkpoints
+                // at the same position attest the same cut and root.
+                match by_position.get(&checkpoint.position()) {
+                    Some(existing) => assert!(
+                        existing.attests_same(checkpoint),
+                        "diverging checkpoints at position {}",
+                        checkpoint.position()
+                    ),
+                    None => {
+                        by_position.insert(checkpoint.position(), checkpoint.clone());
+                    }
+                }
+            }
+        }
+        // Gossiped attestations certified a quorum at every engine.
+        for engine in &engines {
+            assert!(
+                engine.latest_certified_checkpoint().is_some(),
+                "no certified checkpoint at {:?}",
+                engine.authority()
+            );
+            assert_ne!(engine.state_root(), StateRoot::genesis());
+        }
+    }
+
+    #[test]
+    fn checkpoint_response_bootstraps_a_fresh_engine() {
+        let mut engines: Vec<ValidatorEngine> =
+            (0..4).map(|a| engine_with_interval(a, 4)).collect();
+        flood(&mut engines, 12);
+        let certified = engines[0]
+            .latest_certified_checkpoint()
+            .expect("flood certified a checkpoint");
+
+        // A joiner asks; the synced engine answers with the certified cut
+        // plus the quorum of attestations and both snapshots.
+        let outputs = engines[0].handle(Input::CheckpointRequested { from: 3 });
+        let response = outputs
+            .iter()
+            .find_map(|output| match output {
+                Output::SendTo(3, envelope @ Envelope::CheckpointResponse { .. }) => {
+                    Some(envelope.clone())
+                }
+                _ => None,
+            })
+            .expect("expected a checkpoint response");
+
+        let mut joiner = engine_with_interval(3, 4);
+        let outputs = joiner.handle(Input::from_envelope(0, response));
+        assert!(
+            outputs
+                .iter()
+                .any(|output| matches!(output, Output::Persist(WalRecord::Checkpoint { .. }))),
+            "adoption must persist the checkpoint for crash recovery"
+        );
+        assert_eq!(joiner.commit_log_base(), certified);
+        assert!(joiner.commit_log().is_empty(), "no replayed prefix");
+        let checkpoint = joiner.latest_checkpoint().expect("adopted");
+        assert_eq!(checkpoint.position(), certified);
+        assert_eq!(joiner.state_root(), checkpoint.state_root());
+    }
+
+    #[test]
+    fn checkpoint_adoption_rejects_tampered_or_underquorum_responses() {
+        let mut engines: Vec<ValidatorEngine> =
+            (0..4).map(|a| engine_with_interval(a, 4)).collect();
+        flood(&mut engines, 12);
+        let outputs = engines[0].handle(Input::CheckpointRequested { from: 3 });
+        let (checkpoints, execution, resume) = outputs
+            .iter()
+            .find_map(|output| match output {
+                Output::SendTo(
+                    3,
+                    Envelope::CheckpointResponse {
+                        checkpoints,
+                        execution,
+                        resume,
+                    },
+                ) => Some((checkpoints.clone(), execution.clone(), resume.clone())),
+                _ => None,
+            })
+            .expect("expected a checkpoint response");
+
+        // Under-quorum: a single attestation must not be adopted.
+        let mut joiner = engine_with_interval(3, 4);
+        joiner.handle(Input::CheckpointSyncReceived {
+            from: 0,
+            checkpoints: checkpoints[..1].to_vec(),
+            execution: execution.clone(),
+            resume: resume.clone(),
+        });
+        assert!(joiner.latest_checkpoint().is_none());
+
+        // Tampered execution snapshot: hash no longer matches the
+        // quorum-certified root.
+        let mut tampered = execution.clone();
+        tampered[0] ^= 0xff;
+        joiner.handle(Input::CheckpointSyncReceived {
+            from: 0,
+            checkpoints: checkpoints.clone(),
+            execution: tampered,
+            resume: resume.clone(),
+        });
+        assert!(joiner.latest_checkpoint().is_none());
+        assert_eq!(joiner.commit_log_base(), 0);
+
+        // The untampered response is adopted by the same engine.
+        joiner.handle(Input::CheckpointSyncReceived {
+            from: 0,
+            checkpoints,
+            execution,
+            resume,
+        });
+        assert!(joiner.latest_checkpoint().is_some());
+    }
+
+    #[test]
+    fn restore_checkpoint_round_trips_through_the_wal_record() {
+        let mut engines: Vec<ValidatorEngine> =
+            (0..4).map(|a| engine_with_interval(a, 4)).collect();
+        flood(&mut engines, 12);
+        let record = engines[0]
+            .handle(Input::CheckpointRequested { from: 2 })
+            .into_iter()
+            .find_map(|output| match output {
+                Output::SendTo(
+                    2,
+                    Envelope::CheckpointResponse {
+                        checkpoints,
+                        execution,
+                        resume,
+                    },
+                ) => Some((checkpoints[0].clone(), execution, resume)),
+                _ => None,
+            })
+            .expect("expected a checkpoint response");
+        let (checkpoint, execution, resume) = record;
+
+        // Own-WAL restore: no quorum needed, but the snapshots must hash
+        // to the signed roots.
+        let mut recovered = engine_with_interval(0, 4);
+        assert!(recovered.restore_checkpoint(
+            checkpoint.clone(),
+            execution.clone(),
+            resume.clone()
+        ));
+        assert_eq!(recovered.state_root(), checkpoint.state_root());
+        assert_eq!(recovered.commit_log_base(), checkpoint.position());
+
+        let mut fresh = engine_with_interval(0, 4);
+        let mut bad = execution.clone();
+        bad[0] ^= 0xff;
+        assert!(!fresh.restore_checkpoint(checkpoint.clone(), bad, resume.clone()));
+        let mut bad_resume = resume.clone();
+        bad_resume[0] ^= 0xff;
+        assert!(!fresh.restore_checkpoint(checkpoint, execution, bad_resume));
+        assert_eq!(fresh.commit_log_base(), 0, "rejected restores are no-ops");
     }
 }

@@ -44,6 +44,7 @@ mod decider;
 mod election;
 pub mod engine;
 mod evidence;
+pub mod execution;
 pub mod mempool;
 mod protocol;
 mod sequencer;
@@ -57,7 +58,8 @@ pub use engine::{
     ValidatorEngine, WalRecord,
 };
 pub use evidence::{EvidencePool, RecordingSlashingHook, SlashingHook};
+pub use execution::{BalanceLedger, ExecutionState, BLOCK_REWARD};
 pub use mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 pub use protocol::ProtocolCommitter;
-pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag};
+pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};
 pub use status::LeaderStatus;

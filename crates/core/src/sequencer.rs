@@ -1,7 +1,10 @@
 //! `ExtendCommitSequence` (Algorithm 1 lines 3–10) plus the DagRider-style
 //! sub-DAG linearization (Section 3.2 steps 4–5).
 
+use mahimahi_crypto::blake2b::blake2b_256;
+use mahimahi_crypto::Digest;
 use mahimahi_dag::BlockStore;
+use mahimahi_types::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use mahimahi_types::{Block, BlockRef, Round, Slot, Transaction};
 use std::collections::HashSet;
 use std::fmt;
@@ -61,6 +64,67 @@ impl CommitDecision {
     }
 }
 
+/// A resumable cut of the sequencer's state, captured at a checkpoint
+/// boundary.
+///
+/// Because the sequence of decisions (commits *and* skips) is identical at
+/// every correct validator, the snapshot after any fixed `position` is
+/// identical too: same resume round/offset, same emitted set (pruned to
+/// the GC floor — older blocks can never be linearized again, so dropping
+/// them from the snapshot is exact, not lossy). Its [`digest`] is what a
+/// `Checkpoint` signs as `resume_digest`.
+///
+/// [`digest`]: SequencerSnapshot::digest
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequencerSnapshot {
+    /// Decisions sequenced so far (the snapshot describes the state after
+    /// decisions `0..position`).
+    pub position: u64,
+    /// The round sequencing resumes from.
+    pub next_round: Round,
+    /// How many statuses of `next_round` were already consumed.
+    pub consumed_in_round: u64,
+    /// Blocks already emitted with round ≥ the GC floor at capture time,
+    /// in ascending `(round, author, digest)` order.
+    pub emitted: Vec<BlockRef>,
+}
+
+impl SequencerSnapshot {
+    /// BLAKE2b-256 over the canonical encoding — the value checkpoints
+    /// sign, binding *where* to resume alongside the execution root.
+    pub fn digest(&self) -> Digest {
+        blake2b_256(&self.to_bytes_vec())
+    }
+}
+
+impl Encode for SequencerSnapshot {
+    fn encode(&self, encoder: &mut Encoder) {
+        encoder.put_u64(self.position);
+        encoder.put_u64(self.next_round);
+        encoder.put_u64(self.consumed_in_round);
+        self.emitted.encode(encoder);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 8 + self.emitted.encoded_len()
+    }
+}
+
+impl Decode for SequencerSnapshot {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let position = decoder.get_u64()?;
+        let next_round = decoder.get_u64()?;
+        let consumed_in_round = decoder.get_u64()?;
+        let emitted = Vec::<BlockRef>::decode(decoder)?;
+        Ok(SequencerSnapshot {
+            position,
+            next_round,
+            consumed_in_round,
+            emitted,
+        })
+    }
+}
+
 /// Stateful wrapper turning slot classifications into the totally-ordered
 /// commit sequence.
 ///
@@ -85,6 +149,12 @@ pub struct CommitSequencer<C> {
     /// only blocks with round ≥ `r − gc_depth`. `None` disables GC
     /// (everything reachable is linearized, memory grows unboundedly).
     gc_depth: Option<u64>,
+    /// Capture a [`SequencerSnapshot`] every this many decisions (0
+    /// disables capture).
+    checkpoint_interval: u64,
+    /// Snapshots captured at boundary crossings since the last
+    /// [`CommitSequencer::take_boundary_snapshots`] call, oldest first.
+    pending_snapshots: Vec<SequencerSnapshot>,
 }
 
 impl<C: ProtocolCommitter> CommitSequencer<C> {
@@ -97,6 +167,8 @@ impl<C: ProtocolCommitter> CommitSequencer<C> {
             consumed_in_round: 0,
             position: 0,
             gc_depth: None,
+            checkpoint_interval: 0,
+            pending_snapshots: Vec::new(),
         }
     }
 
@@ -124,6 +196,63 @@ impl<C: ProtocolCommitter> CommitSequencer<C> {
             Some(depth) => self.next_round.saturating_sub(depth),
             None => 0,
         }
+    }
+
+    /// Captures a [`SequencerSnapshot`] every `interval` decisions (0
+    /// disables capture). Because `position` counts decisions — which are
+    /// agreed across correct validators — the boundaries are agreed too,
+    /// regardless of how decisions batch into individual `try_commit`
+    /// calls.
+    pub fn set_checkpoint_interval(&mut self, interval: u64) {
+        self.checkpoint_interval = interval;
+    }
+
+    /// Drains the snapshots captured at checkpoint boundaries since the
+    /// last call, oldest first.
+    pub fn take_boundary_snapshots(&mut self) -> Vec<SequencerSnapshot> {
+        std::mem::take(&mut self.pending_snapshots)
+    }
+
+    /// The current resumable state (what a boundary capture would record
+    /// right now).
+    pub fn snapshot(&self) -> SequencerSnapshot {
+        let floor = self.gc_floor();
+        let mut emitted: Vec<BlockRef> = self
+            .emitted
+            .iter()
+            .filter(|reference| reference.round >= floor)
+            .copied()
+            .collect();
+        emitted.sort_unstable();
+        SequencerSnapshot {
+            position: self.position,
+            next_round: self.next_round,
+            consumed_in_round: u64::try_from(self.consumed_in_round)
+                .expect("consumed count fits u64"),
+            emitted,
+        }
+    }
+
+    /// Resumes sequencing from a snapshot, discarding the current state.
+    ///
+    /// Used by state-sync: after verifying a quorum-certified checkpoint,
+    /// a joining validator restores the snapshot whose digest the
+    /// checkpoint signed and continues the sequence from decision
+    /// `snapshot.position` — without replaying history from genesis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot's resume offset does not fit this platform's
+    /// `usize`.
+    pub fn restore(&mut self, snapshot: &SequencerSnapshot) -> Result<(), CodecError> {
+        let consumed_in_round = usize::try_from(snapshot.consumed_in_round)
+            .map_err(|_| CodecError::InvalidValue("sequencer resume offset"))?;
+        self.position = snapshot.position;
+        self.next_round = snapshot.next_round;
+        self.consumed_in_round = consumed_in_round;
+        self.emitted = snapshot.emitted.iter().copied().collect();
+        self.pending_snapshots.clear();
+        Ok(())
     }
 
     /// The committer driving the decisions.
@@ -196,9 +325,25 @@ impl<C: ProtocolCommitter> CommitSequencer<C> {
             self.next_round = round;
             self.consumed_in_round = 0;
         }
-        self.consumed_in_round += 1;
-        self.position += 1;
+        // Checked, not wrapping: a silent wraparound here would desync the
+        // total order across validators, which is strictly worse than a
+        // crash.
+        self.consumed_in_round = self
+            .consumed_in_round
+            .checked_add(1)
+            .expect("consumed-in-round overflow");
+        self.position = self
+            .position
+            .checked_add(1)
+            .expect("sequencer position overflow");
         *index_in_round += 1;
+        // A boundary crossing: by now the decision at `position - 1` has
+        // been pushed and (for commits) its sub-DAG folded into `emitted`,
+        // so the snapshot describes exactly the state after `position`
+        // decisions.
+        if self.checkpoint_interval != 0 && self.position.is_multiple_of(self.checkpoint_interval) {
+            self.pending_snapshots.push(self.snapshot());
+        }
     }
 }
 
@@ -345,6 +490,120 @@ mod tests {
 
         assert!(long.len() >= short.len());
         assert_eq!(&long[..short.len()], &short[..]);
+    }
+
+    #[test]
+    fn boundary_snapshots_are_identical_across_batchings() {
+        // One sequencer sees the DAG grow in four steps, the other sees it
+        // all at once: the snapshots captured at each checkpoint boundary
+        // must be byte-identical — the boundary is pinned to the decision
+        // count, not to try_commit call batching.
+        let setup = TestCommittee::new(4, 13);
+        let mut incremental = sequencer(&setup, 5, 2);
+        incremental.set_checkpoint_interval(3);
+        let mut oneshot = sequencer(&setup, 5, 2);
+        oneshot.set_checkpoint_interval(3);
+        let mut dag = DagBuilder::new(setup);
+
+        let mut stepped = Vec::new();
+        for _ in 0..4 {
+            dag.add_full_rounds(3);
+            incremental.try_commit(dag.store());
+            stepped.extend(incremental.take_boundary_snapshots());
+        }
+        oneshot.try_commit(dag.store());
+        let all_at_once = oneshot.take_boundary_snapshots();
+        assert!(!stepped.is_empty());
+        assert_eq!(stepped, all_at_once);
+        for (index, snapshot) in stepped.iter().enumerate() {
+            assert_eq!(snapshot.position, 3 * (index as u64 + 1));
+            assert_eq!(snapshot.digest(), all_at_once[index].digest());
+        }
+    }
+
+    #[test]
+    fn restored_sequencer_continues_the_exact_sequence() {
+        let setup = TestCommittee::new(4, 13);
+        let mut reference = sequencer(&setup, 5, 2);
+        reference.set_checkpoint_interval(4);
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(12);
+        let full = reference.try_commit(dag.store());
+        let snapshot = reference
+            .take_boundary_snapshots()
+            .into_iter()
+            .next()
+            .expect("at least one boundary");
+
+        // A fresh sequencer restored from the snapshot must produce
+        // exactly the decisions after the cut.
+        let mut resumed = sequencer(&setup, 5, 2);
+        resumed.restore(&snapshot).unwrap();
+        let tail = resumed.try_commit(dag.store());
+        let expected: Vec<_> = full
+            .iter()
+            .filter(|d| d.position() >= snapshot.position)
+            .collect();
+        assert_eq!(tail.len(), expected.len());
+        for (a, b) in tail.iter().zip(expected) {
+            assert_eq!(a.position(), b.position());
+            match (a, b) {
+                (CommitDecision::Commit(x), CommitDecision::Commit(y)) => {
+                    assert_eq!(x.leader, y.leader);
+                    let x_refs: Vec<BlockRef> = x.blocks.iter().map(|b| b.reference()).collect();
+                    let y_refs: Vec<BlockRef> = y.blocks.iter().map(|b| b.reference()).collect();
+                    assert_eq!(x_refs, y_refs, "sub-DAG diverged at {}", x.position);
+                }
+                (CommitDecision::Skip(_, x), CommitDecision::Skip(_, y)) => assert_eq!(x, y),
+                _ => panic!("decision kind mismatch at {}", a.position()),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_codec_and_digest_round_trip() {
+        let setup = TestCommittee::new(4, 13);
+        let mut seq = sequencer(&setup, 5, 2).with_gc_depth(3);
+        seq.set_checkpoint_interval(2);
+        let mut dag = DagBuilder::new(setup);
+        dag.add_full_rounds(10);
+        seq.try_commit(dag.store());
+        let snapshots = seq.take_boundary_snapshots();
+        assert!(!snapshots.is_empty());
+        for snapshot in snapshots {
+            let bytes = snapshot.to_bytes_vec();
+            assert_eq!(bytes.len(), snapshot.encoded_len());
+            let decoded = SequencerSnapshot::from_bytes_exact(&bytes).unwrap();
+            assert_eq!(decoded, snapshot);
+            assert_eq!(decoded.digest(), snapshot.digest());
+            // Emitted references are sorted and pruned to the GC floor.
+            assert!(snapshot.emitted.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn high_round_positions_do_not_wrap() {
+        // Regression for the cast/overflow audit: restoring near the top
+        // of the u64 range must keep position accounting and the GC floor
+        // exact instead of silently wrapping.
+        let setup = TestCommittee::new(4, 13);
+        let mut seq = sequencer(&setup, 5, 2).with_gc_depth(64);
+        let snapshot = SequencerSnapshot {
+            position: u64::MAX - 8,
+            next_round: u64::MAX - 4,
+            consumed_in_round: 1,
+            emitted: Vec::new(),
+        };
+        seq.restore(&snapshot).unwrap();
+        assert_eq!(seq.sequenced_slots(), u64::MAX - 8);
+        assert_eq!(seq.gc_floor(), u64::MAX - 4 - 64);
+        assert_eq!(seq.next_round(), u64::MAX - 4);
+        // The snapshot of the restored state round-trips losslessly.
+        assert_eq!(seq.snapshot().position, u64::MAX - 8);
+        // An empty store decides nothing at astronomical rounds — but must
+        // not panic or wrap while probing.
+        let dag = DagBuilder::new(TestCommittee::new(4, 13));
+        assert!(seq.try_commit(dag.store()).is_empty());
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl LoopbackCluster {
                 Output::TxRejected { .. } => {
                     self.rejections[validator] += 1;
                 }
-                Output::Convicted(_) => {}
+                Output::Convicted(_) | Output::CheckpointProduced(_) => {}
             }
         }
     }
@@ -295,6 +295,13 @@ impl LoopbackCluster {
             match WalRecord::from_bytes_exact(&record.payload) {
                 Ok(WalRecord::Block(block)) => engine.restore_block(block),
                 Ok(WalRecord::Evidence(proof)) => engine.restore_evidence(proof),
+                Ok(WalRecord::Checkpoint {
+                    checkpoint,
+                    execution,
+                    resume,
+                }) => {
+                    engine.restore_checkpoint(checkpoint, execution, resume);
+                }
                 Err(_) => continue,
             }
         }

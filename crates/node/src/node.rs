@@ -25,12 +25,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time as EngineTime},
     AdmissionConfig, AdmissionPipeline, CommittedSubDag, Committer, CommitterOptions, EvidencePool,
-    MempoolConfig, Output, TxIntegrityReport, ValidatorEngine, WalRecord,
+    MempoolConfig, Output, SequencerSnapshot, TxIntegrityReport, ValidatorEngine, WalRecord,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_transport::Transport;
 use mahimahi_types::{
-    AuthorityIndex, Committee, Decode, Encode, Round, TestCommittee, Transaction, Verified,
+    AuthorityIndex, Committee, Decode, Encode, Envelope, Round, TestCommittee, Transaction,
+    Verified,
 };
 use mahimahi_wal::{FileWal, MemStorage, Wal};
 use parking_lot::Mutex;
@@ -85,6 +86,12 @@ pub struct NodeConfig {
     /// the commit frontier are deterministically excluded from commits and
     /// periodically dropped from memory. `None` disables GC.
     pub gc_depth: Option<u64>,
+    /// Sequencing decisions between signed checkpoints (`0` disables
+    /// checkpointing). Each checkpoint is persisted durably and, when
+    /// `gc_depth` is set, triggers WAL compaction below the checkpointed
+    /// frontier — see [`EngineConfig::checkpoint_interval`] for the safety
+    /// contract.
+    pub checkpoint_interval: u64,
     /// Verify-stage worker threads for the admission pipeline. `0` checks
     /// signatures and proofs inline on the event-loop thread (the pre-split
     /// behavior); higher values decode and verify incoming frames in
@@ -113,6 +120,7 @@ impl NodeConfig {
             min_round_interval: Duration::from_millis(2),
             inclusion_wait: Duration::ZERO,
             gc_depth: Some(128),
+            checkpoint_interval: 32,
             verify_workers: 2,
             verify_queue_bound: 1024,
         }
@@ -127,6 +135,7 @@ impl NodeConfig {
         config.min_round_interval = self.min_round_interval.as_micros() as EngineTime;
         config.inclusion_wait = self.inclusion_wait.as_micros() as EngineTime;
         config.gc_depth = self.gc_depth;
+        config.checkpoint_interval = self.checkpoint_interval;
         config
     }
 }
@@ -331,6 +340,25 @@ impl AnyWal {
             AnyWal::Memory(wal) => wal.records(),
         }
     }
+
+    /// Replaces the whole log with `payloads` — crash-atomically for file
+    /// logs (temp file + rename + directory fsync), in place for memory
+    /// logs (which have no crash to survive).
+    fn rewrite(&mut self, payloads: &[Vec<u8>]) -> Result<(), mahimahi_wal::WalError> {
+        match self {
+            AnyWal::File(wal) => wal.rewrite_atomic(payloads),
+            AnyWal::Memory(wal) => wal.rewrite(payloads),
+        }
+    }
+}
+
+/// The store-compaction floor a persisted checkpoint implies: decodes the
+/// record's sequencer snapshot and applies the GC depth. `None` if the
+/// snapshot does not decode (never truncate on a parse failure).
+fn checkpoint_floor(resume: &[u8], gc_depth: u64) -> Option<Round> {
+    let snapshot = SequencerSnapshot::from_bytes_exact(resume).ok()?;
+    let floor = snapshot.next_round.saturating_sub(gc_depth);
+    (floor > 0).then_some(floor)
 }
 
 /// A networked Mahi-Mahi validator.
@@ -380,6 +408,16 @@ impl ValidatorNode {
             match WalRecord::from_bytes_exact(&record.payload) {
                 Ok(WalRecord::Block(block)) => engine.restore_block(block),
                 Ok(WalRecord::Evidence(proof)) => engine.restore_evidence(proof),
+                // A checkpoint record jumps the execution and sequencer
+                // state to its cut: the blocks the compacted log no longer
+                // holds are never needed again.
+                Ok(WalRecord::Checkpoint {
+                    checkpoint,
+                    execution,
+                    resume,
+                }) => {
+                    engine.restore_checkpoint(checkpoint, execution, resume);
+                }
                 Err(_) => match mahimahi_types::Block::from_bytes_exact(&record.payload) {
                     Ok(block) => engine.restore_block(block.into_arc()),
                     Err(_) => continue, // corrupt or foreign record: skip
@@ -497,6 +535,13 @@ impl ValidatorNode {
         let mut pipeline = AdmissionPipeline::new(self.admission, self.committee.clone());
         let started = Instant::now();
         let client_from = self.authority.as_usize();
+        // State-sync: ask the committee for its latest quorum-certified
+        // checkpoint. A fresh or long-offline validator adopts any cut
+        // ahead of its own frontier instead of replaying from genesis;
+        // responses at or below the local frontier are simply rejected by
+        // the engine, so the request is safe to send unconditionally.
+        self.transport
+            .broadcast(Envelope::CheckpointRequest.to_bytes_vec());
         while !stop.load(Ordering::SeqCst) {
             // Wait for one incoming frame (with a short poll timeout that
             // also serves every WakeAt the engine asked for).
@@ -590,13 +635,28 @@ impl ValidatorNode {
                     // engine emits their Persist ahead of the Broadcast)
                     // and convictions are fsynced before anything else
                     // leaves this node; peers' blocks can be re-fetched,
-                    // so their records ride the next sync.
+                    // so their records ride the next sync. Checkpoints are
+                    // durable too — the subsequent log truncation is only
+                    // safe once the cut they carry is on disk.
                     let durable = match &record {
                         WalRecord::Block(block) => block.author() == self.authority,
                         WalRecord::Evidence(_) => true,
+                        WalRecord::Checkpoint { .. } => true,
+                    };
+                    let compact_floor = match &record {
+                        WalRecord::Checkpoint { resume, .. } => self
+                            .engine
+                            .config()
+                            .gc_depth
+                            .and_then(|depth| checkpoint_floor(resume, depth)),
+                        _ => None,
                     };
                     let _ = self.wal.append(&record.to_bytes_vec());
                     self.pending_sync |= durable;
+                    if let Some(floor) = compact_floor {
+                        self.flush_wal();
+                        self.compact_wal(floor);
+                    }
                 }
                 Output::Committed(sub_dag) => {
                     if commits.send(sub_dag).is_err() {
@@ -610,7 +670,8 @@ impl ValidatorNode {
                 Output::WakeAt(_)
                 | Output::TxsCommitted(_)
                 | Output::Convicted(_)
-                | Output::TxRejected { .. } => {}
+                | Output::TxRejected { .. }
+                | Output::CheckpointProduced(_) => {}
             }
         }
         self.flush_wal();
@@ -623,6 +684,47 @@ impl ValidatorNode {
             let _ = self.wal.sync();
             self.pending_sync = false;
         }
+    }
+
+    /// Truncates the WAL below a checkpointed commit frontier.
+    ///
+    /// Safe only because the checkpoint record that triggered it is
+    /// already fsynced: recovery restores the checkpoint first and then
+    /// replays the surviving records on top of it. The rewrite keeps
+    ///
+    /// - the *latest* checkpoint record (earlier ones are subsumed),
+    /// - every evidence record (convictions must never expire),
+    /// - every own-authored block (the produced-round watermark is the
+    ///   equivocation guard and must survive any number of compactions),
+    /// - peers' blocks at `round >= floor` (still referenced by the
+    ///   post-checkpoint DAG), and
+    /// - any record that fails to decode (never drop what we cannot
+    ///   classify).
+    fn compact_wal(&mut self, floor: Round) {
+        let Ok(records) = self.wal.records() else {
+            return;
+        };
+        let mut kept: Vec<Vec<u8>> = Vec::with_capacity(records.len());
+        let mut last_checkpoint: Option<Vec<u8>> = None;
+        for record in records {
+            match WalRecord::from_bytes_exact(&record.payload) {
+                Ok(WalRecord::Checkpoint { .. }) => {
+                    last_checkpoint = Some(record.payload);
+                }
+                Ok(WalRecord::Block(block)) => {
+                    if block.author() == self.authority || block.round() >= floor {
+                        kept.push(record.payload);
+                    }
+                }
+                Ok(WalRecord::Evidence(_)) | Err(_) => kept.push(record.payload),
+            }
+        }
+        // The checkpoint leads the rewritten log so recovery installs it
+        // before replaying the retained records.
+        let mut payloads = Vec::with_capacity(kept.len() + 1);
+        payloads.extend(last_checkpoint);
+        payloads.extend(kept);
+        let _ = self.wal.rewrite(&payloads);
     }
 }
 

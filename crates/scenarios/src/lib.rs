@@ -49,6 +49,6 @@ pub use matrix::{
 };
 pub use oracle::{
     default_oracles, CommitAgreement, CommitLatencyBound, EvidenceAttribution, Liveness, Oracle,
-    TxIntegrity, UniqueSlotCommit,
+    StateRootAgreement, TxIntegrity, UniqueSlotCommit,
 };
 pub use scenario::{Scenario, ScenarioRun};

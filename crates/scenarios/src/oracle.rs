@@ -1,7 +1,7 @@
 //! Conformance oracles: invariants checked after every scenario run.
 
 use mahimahi_sim::AdversaryChoice;
-use mahimahi_types::{BlockRef, Slot};
+use mahimahi_types::{BlockRef, Checkpoint, Slot};
 use std::collections::HashMap;
 
 use crate::scenario::{Scenario, ScenarioRun};
@@ -32,6 +32,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(Liveness),
         Box::new(EvidenceAttribution),
         Box::new(TxIntegrity),
+        Box::new(StateRootAgreement),
     ]
 }
 
@@ -261,6 +262,70 @@ impl Oracle for TxIntegrity {
     }
 }
 
+/// Execution determinism: every correct validator folds the agreed commit
+/// sequence into the same state.
+///
+/// Two complementary comparisons:
+///
+/// - **checkpoints** — signed `(position, leader, state_root)` attestations
+///   emitted every `checkpoint_interval` decisions compare roots at
+///   *identical* commit positions, so validators that finish at different
+///   frontiers are still held to agreement over their shared prefix;
+/// - **final roots** — validators whose commit logs ended at the same
+///   length must hold byte-identical state (equal roots), catching
+///   divergence in the tail after the last checkpoint boundary.
+pub struct StateRootAgreement;
+
+impl Oracle for StateRootAgreement {
+    fn name(&self) -> &'static str {
+        "state-root-agreement"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        let correct = scenario.correct_validators();
+        // Checkpoint agreement at identical commit positions.
+        let mut by_position: HashMap<u64, (usize, &Checkpoint)> = HashMap::new();
+        for &validator in &correct {
+            let Some(checkpoints) = run.checkpoints.get(validator) else {
+                return Err(format!("no checkpoints recorded for validator {validator}"));
+            };
+            for checkpoint in checkpoints {
+                match by_position.get(&checkpoint.position()) {
+                    Some((earlier, existing)) if !existing.attests_same(checkpoint) => {
+                        return Err(format!(
+                            "validators {earlier} and {validator} attest different states at \
+                             commit position {}: {:?} vs {:?}",
+                            checkpoint.position(),
+                            existing.state_root(),
+                            checkpoint.state_root()
+                        ));
+                    }
+                    _ => {
+                        by_position.insert(checkpoint.position(), (validator, checkpoint));
+                    }
+                }
+            }
+        }
+        // Final-root agreement between validators at the same frontier.
+        for (index, &i) in correct.iter().enumerate() {
+            for &j in correct.iter().skip(index + 1) {
+                if run.logs[i].len() == run.logs[j].len()
+                    && run.state_roots[i] != run.state_roots[j]
+                {
+                    return Err(format!(
+                        "validators {i} and {j} reached the same commit position ({}) with \
+                         different state roots: {:?} vs {:?}",
+                        run.logs[i].len(),
+                        run.state_roots[i],
+                        run.state_roots[j]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,7 +334,7 @@ mod tests {
     use mahimahi_sim::{
         Behavior, LatencyChoice, ProtocolChoice, SimConfig, SimReport, TxIntegrityReport,
     };
-    use mahimahi_types::AuthorityIndex;
+    use mahimahi_types::{AuthorityIndex, StateRoot, TestCommittee};
 
     fn reference(round: u64, author: u32, tag: u8) -> BlockRef {
         BlockRef {
@@ -304,6 +369,8 @@ mod tests {
             logs,
             culprits: vec![Vec::new(); validators],
             tx_integrity: vec![TxIntegrityReport::default(); validators],
+            state_roots: vec![StateRoot::genesis(); validators],
+            checkpoints: vec![Vec::new(); validators],
         }
     }
 
@@ -475,5 +542,69 @@ mod tests {
             heals_at: time::from_secs(1),
         };
         assert!(CommitLatencyBound::bound(&partitioned) > CommitLatencyBound::bound(&benign));
+    }
+
+    fn signed_checkpoint(
+        authority: u32,
+        position: u64,
+        root_tag: u8,
+    ) -> mahimahi_types::Checkpoint {
+        let setup = TestCommittee::new(4, 7);
+        mahimahi_types::Checkpoint::sign(
+            AuthorityIndex(authority),
+            position,
+            reference(1, 0, 1),
+            StateRoot(Digest::new([root_tag; 32])),
+            Digest::new([9; 32]),
+            setup.keypair(AuthorityIndex(authority)),
+        )
+    }
+
+    #[test]
+    fn state_root_agreement_accepts_matching_checkpoints_and_roots() {
+        let logs = vec![vec![Some(reference(1, 0, 1))]; 4];
+        let mut run = run_with_logs(logs);
+        run.checkpoints = (0..4).map(|a| vec![signed_checkpoint(a, 32, 5)]).collect();
+        assert!(StateRootAgreement.check(&scenario(), &run).is_ok());
+    }
+
+    #[test]
+    fn state_root_agreement_catches_checkpoint_divergence() {
+        // Same position, different roots: execution diverged inside the
+        // shared committed prefix — even though final roots (sampled at
+        // different frontiers) are not comparable.
+        let mut logs = vec![vec![Some(reference(1, 0, 1))]; 4];
+        logs[2].push(Some(reference(3, 1, 2))); // validator 2 ran ahead
+        let mut run = run_with_logs(logs);
+        run.checkpoints = (0..4)
+            .map(|a| vec![signed_checkpoint(a, 32, if a == 2 { 6 } else { 5 })])
+            .collect();
+        let violation = StateRootAgreement.check(&scenario(), &run);
+        assert!(violation.unwrap_err().contains("commit position 32"));
+    }
+
+    #[test]
+    fn state_root_agreement_catches_final_root_divergence() {
+        // Equal log lengths but different final roots: the tail past the
+        // last checkpoint boundary diverged.
+        let mut run = run_with_logs(vec![vec![Some(reference(1, 0, 1))]; 4]);
+        run.state_roots[1] = StateRoot(Digest::new([7; 32]));
+        let violation = StateRootAgreement.check(&scenario(), &run);
+        assert!(violation.unwrap_err().contains("different state roots"));
+    }
+
+    #[test]
+    fn state_root_agreement_ignores_byzantine_and_crashed_validators() {
+        let mut faulty = scenario();
+        faulty.config.behaviors = vec![
+            (2, Behavior::ForkSpammer { forks: 3 }),
+            (3, Behavior::Crashed { from_round: 0 }),
+        ];
+        let mut run = run_with_logs(vec![vec![Some(reference(1, 0, 1))]; 4]);
+        run.state_roots[2] = StateRoot(Digest::new([8; 32]));
+        run.checkpoints[3] = vec![signed_checkpoint(3, 32, 9)];
+        run.checkpoints[0] = vec![signed_checkpoint(0, 32, 5)];
+        run.checkpoints[1] = vec![signed_checkpoint(1, 32, 5)];
+        assert!(StateRootAgreement.check(&faulty, &run).is_ok());
     }
 }

@@ -1,7 +1,7 @@
 //! The declarative scenario: one fully-specified, reproducible run.
 
 use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation, TxIntegrityReport};
-use mahimahi_types::{AuthorityIndex, BlockRef};
+use mahimahi_types::{AuthorityIndex, BlockRef, Checkpoint, StateRoot};
 
 /// One fully-specified simulation scenario.
 ///
@@ -33,6 +33,13 @@ pub struct ScenarioRun {
     /// rejections, conservation, duplicate commits) — what the
     /// `tx-integrity` oracle checks.
     pub tx_integrity: Vec<TxIntegrityReport>,
+    /// Per-validator final execution-state root — what the
+    /// `state-root-agreement` oracle compares across correct validators.
+    pub state_roots: Vec<StateRoot>,
+    /// Per-validator signed checkpoints in position order: execution roots
+    /// at identical commit positions, comparable even when validators
+    /// finish at different frontiers.
+    pub checkpoints: Vec<Vec<Checkpoint>>,
 }
 
 impl Scenario {
@@ -53,6 +60,8 @@ impl Scenario {
             logs: outcome.logs,
             culprits: outcome.culprits,
             tx_integrity: outcome.tx_integrity,
+            state_roots: outcome.state_roots,
+            checkpoints: outcome.checkpoints,
         }
     }
 

@@ -14,7 +14,7 @@
 //! consistent-broadcast triple [`Envelope::Proposal`] → [`Envelope::Ack`]
 //! → [`Envelope::Certificate`].
 
-use mahimahi_types::{Block, Envelope};
+use mahimahi_types::{Block, Encode, Envelope};
 
 /// The wire message of the simulation — the shared driver vocabulary.
 pub type SimMessage = Envelope;
@@ -54,6 +54,18 @@ impl WireModel for Envelope {
                     + block_wire_size(proof.second(), tx_wire_size)
             }
             Envelope::TxBatch(transactions) => 16 + transactions.len() * tx_wire_size,
+            // Checkpoint attestation: encoded size (no transactions).
+            Envelope::Checkpoint(checkpoint) => checkpoint.encoded_len(),
+            Envelope::CheckpointRequest => 16,
+            Envelope::CheckpointResponse {
+                checkpoints,
+                execution,
+                resume,
+            } => {
+                16 + checkpoints.iter().map(Encode::encoded_len).sum::<usize>()
+                    + execution.len()
+                    + resume.len()
+            }
         }
     }
 
@@ -63,7 +75,12 @@ impl WireModel for Envelope {
             Envelope::Ack { reference, .. } | Envelope::Certificate { reference, .. } => {
                 reference.round
             }
-            Envelope::Request(_) | Envelope::Response(_) | Envelope::TxBatch(_) => 0,
+            Envelope::Request(_)
+            | Envelope::Response(_)
+            | Envelope::TxBatch(_)
+            | Envelope::Checkpoint(_)
+            | Envelope::CheckpointRequest
+            | Envelope::CheckpointResponse { .. } => 0,
             Envelope::Evidence(proof) => proof.round(),
         }
     }

@@ -87,6 +87,13 @@ pub struct SimOutcome {
     /// rejections, conservation, duplicate commits), indexed by authority —
     /// what the `tx-integrity` scenario oracle checks.
     pub tx_integrity: Vec<mahimahi_core::TxIntegrityReport>,
+    /// Per-validator final execution-state root, indexed by authority —
+    /// what the `state-root-agreement` scenario oracle compares.
+    pub state_roots: Vec<mahimahi_types::StateRoot>,
+    /// Per-validator signed checkpoints in position order — roots at
+    /// *identical* commit positions, comparable even when validators
+    /// finish at different frontiers.
+    pub checkpoints: Vec<Vec<mahimahi_types::Checkpoint>>,
 }
 
 /// A full simulated deployment: committee, network, clients, clock.
@@ -252,10 +259,22 @@ impl Simulation {
             .iter()
             .map(|validator| validator.tx_integrity())
             .collect();
+        let state_roots = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.state_root())
+            .collect();
+        let checkpoints = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.checkpoints().to_vec())
+            .collect();
         SimOutcome {
             logs,
             culprits,
             tx_integrity,
+            state_roots,
+            checkpoints,
             report: simulation.report(),
         }
     }
@@ -393,6 +412,12 @@ impl Simulation {
             SimMessage::TxBatch(transactions) => {
                 1 + cpu.hash_per_kb
                     * ((transactions.len() * self.config.tx_wire_size) as Time / 1024)
+            }
+            // One signature check per checkpoint attestation.
+            SimMessage::Checkpoint(_) => cpu.signature_verify,
+            SimMessage::CheckpointRequest => 1,
+            SimMessage::CheckpointResponse { checkpoints, .. } => {
+                cpu.signature_verify * checkpoints.len() as Time
             }
         };
         self.cpu_busy_until[to] = self.now + cost;

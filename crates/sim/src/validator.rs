@@ -24,7 +24,9 @@ use mahimahi_core::{
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_net::time::Time;
-use mahimahi_types::{AuthorityIndex, BlockRef, Round, TestCommittee, Transaction};
+use mahimahi_types::{
+    AuthorityIndex, BlockRef, Checkpoint, Round, StateRoot, TestCommittee, Transaction,
+};
 
 use crate::config::{Behavior, LeaderSchedule};
 use crate::message::SimMessage;
@@ -49,6 +51,9 @@ pub enum Action {
 pub struct SimValidator {
     behavior: Behavior,
     engine: ValidatorEngine,
+    /// Every signed checkpoint this validator produced, in position order
+    /// (the `state-root-agreement` oracle compares them across validators).
+    checkpoints: Vec<Checkpoint>,
 }
 
 impl SimValidator {
@@ -77,6 +82,7 @@ impl SimValidator {
         SimValidator {
             behavior,
             engine: ValidatorEngine::new(config, committer, strategy),
+            checkpoints: Vec::new(),
         }
     }
 
@@ -199,6 +205,16 @@ impl SimValidator {
         self.engine.tx_integrity()
     }
 
+    /// The execution-state root after every sub-DAG applied so far.
+    pub fn state_root(&self) -> StateRoot {
+        self.engine.state_root()
+    }
+
+    /// Every checkpoint this validator signed, in position order.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
     /// Handles a delivered message, returning follow-up actions.
     pub fn on_message(&mut self, now: Time, from: usize, message: SimMessage) -> Vec<Action> {
         if self.is_crashed(self.engine.round() + 1) {
@@ -211,9 +227,9 @@ impl SimValidator {
         }
         let mut actions = Vec::new();
         let outputs = self.engine.handle(Input::TimerFired { now });
-        Self::apply(outputs, &mut actions);
+        self.apply(outputs, &mut actions);
         let outputs = self.engine.handle(Input::from_envelope(from, message));
-        Self::apply(outputs, &mut actions);
+        self.apply(outputs, &mut actions);
         actions
     }
 
@@ -230,21 +246,23 @@ impl SimValidator {
             return actions;
         }
         let outputs = self.engine.handle(Input::TimerFired { now });
-        Self::apply(outputs, &mut actions);
+        self.apply(outputs, &mut actions);
         actions
     }
 
     /// Maps engine outputs onto runner actions. Persistence, commit, and
     /// backpressure notifications have no simulator-side effect (metrics
-    /// read the engine's counters directly); everything else forwards
+    /// read the engine's counters directly); checkpoints are recorded for
+    /// the `state-root-agreement` oracle; everything else forwards
     /// one-to-one.
-    fn apply(outputs: Vec<Output>, actions: &mut Vec<Action>) {
+    fn apply(&mut self, outputs: Vec<Output>, actions: &mut Vec<Action>) {
         for output in outputs {
             match output {
                 Output::Broadcast(envelope) => actions.push(Action::Broadcast(envelope)),
                 Output::SendTo(peer, envelope) => actions.push(Action::Send(peer, envelope)),
                 Output::TxsCommitted(submits) => actions.push(Action::TxsCommitted(submits)),
                 Output::WakeAt(time) => actions.push(Action::WakeAt(time)),
+                Output::CheckpointProduced(checkpoint) => self.checkpoints.push(checkpoint),
                 Output::Committed(_)
                 | Output::Persist(_)
                 | Output::Convicted(_)

@@ -1,0 +1,389 @@
+//! Signed execution checkpoints.
+//!
+//! The execution layer (`mahimahi-core::execution`) folds every committed
+//! sub-DAG into a deterministic state machine. Because the commit sequence
+//! — including skips — is identical at every correct validator, the state
+//! after any fixed number of sequencing decisions is identical too. Every
+//! `checkpoint_interval` decisions a validator signs a [`Checkpoint`]
+//! binding that agreed cut: the sequencer position, the last committed
+//! leader, the execution [`StateRoot`], and a digest of the sequencer
+//! resume snapshot.
+//!
+//! A quorum of matching checkpoints at the same position is a transferable
+//! proof of the state at that cut: a joining or long-offline validator
+//! verifies the quorum signatures, checks the accompanying snapshots hash
+//! to the certified roots, and resumes from the cut instead of replaying
+//! history from genesis. The same quorum also makes write-ahead-log
+//! truncation below the checkpointed frontier safe (see
+//! `mahimahi-node`).
+
+use crate::block::BlockRef;
+use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use crate::committee::Committee;
+use crate::ids::AuthorityIndex;
+use mahimahi_crypto::schnorr::{Keypair, Signature};
+use mahimahi_crypto::Digest;
+use std::fmt;
+
+/// Domain separator for checkpoint signatures, so a checkpoint signature
+/// can never be replayed as a block signature (or vice versa).
+const CHECKPOINT_DOMAIN: &[u8] = b"mahimahi-checkpoint-v1";
+
+/// The root of the execution state: a hash of the state machine's
+/// canonical snapshot encoding. Two validators with equal roots hold
+/// byte-identical state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateRoot(pub Digest);
+
+impl StateRoot {
+    /// The root of the empty (genesis) state snapshot.
+    pub fn genesis() -> Self {
+        StateRoot(Digest::ZERO)
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+impl fmt::Debug for StateRoot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateRoot({})", self.0)
+    }
+}
+
+impl fmt::Display for StateRoot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Encode for StateRoot {
+    fn encode(&self, encoder: &mut Encoder) {
+        encoder.put_bytes(self.0.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        Digest::LENGTH
+    }
+}
+
+impl Decode for StateRoot {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StateRoot(Digest::new(decoder.get_array::<32>()?)))
+    }
+}
+
+/// One validator's signed attestation of the execution state at an agreed
+/// cut of the commit sequence.
+///
+/// The signature covers `(position, leader, state_root, resume_digest)`
+/// under a checkpoint-specific domain separator; the signing authority is
+/// carried alongside so receivers can look up the verification key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The attesting validator.
+    authority: AuthorityIndex,
+    /// Number of sequencing decisions (commits and skips) covered: the
+    /// checkpoint describes the state after decisions `0..position`.
+    position: u64,
+    /// The last committed leader at or before the cut (genesis-zero if the
+    /// prefix committed nothing).
+    leader: BlockRef,
+    /// Root of the execution state after applying the covered prefix.
+    state_root: StateRoot,
+    /// Digest of the sequencer resume snapshot at the cut (emitted set,
+    /// resume round/offset) — binds *where* to resume, not just the state.
+    resume_digest: Digest,
+    /// Schnorr signature over the domain-separated fields above.
+    signature: Signature,
+}
+
+impl Checkpoint {
+    /// Signs a checkpoint over the given cut.
+    pub fn sign(
+        authority: AuthorityIndex,
+        position: u64,
+        leader: BlockRef,
+        state_root: StateRoot,
+        resume_digest: Digest,
+        keypair: &Keypair,
+    ) -> Self {
+        let message = Self::signing_message(position, &leader, &state_root, &resume_digest);
+        Checkpoint {
+            authority,
+            position,
+            leader,
+            state_root,
+            resume_digest,
+            signature: keypair.sign(&message),
+        }
+    }
+
+    /// The attesting validator.
+    pub fn authority(&self) -> AuthorityIndex {
+        self.authority
+    }
+
+    /// Number of sequencing decisions covered by this checkpoint.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// The last committed leader at or before the cut.
+    pub fn leader(&self) -> BlockRef {
+        self.leader
+    }
+
+    /// Root of the execution state at the cut.
+    pub fn state_root(&self) -> StateRoot {
+        self.state_root
+    }
+
+    /// Digest of the sequencer resume snapshot at the cut.
+    pub fn resume_digest(&self) -> Digest {
+        self.resume_digest
+    }
+
+    /// Whether two checkpoints attest the same cut and state (everything
+    /// except the attesting authority and its signature).
+    pub fn attests_same(&self, other: &Checkpoint) -> bool {
+        self.position == other.position
+            && self.leader == other.leader
+            && self.state_root == other.state_root
+            && self.resume_digest == other.resume_digest
+    }
+
+    /// Verifies the signature against the authority's key in `committee`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the authority is unknown or the signature does not verify.
+    pub fn verify(&self, committee: &Committee) -> Result<(), CheckpointError> {
+        let public_key = committee
+            .public_key(self.authority)
+            .ok_or(CheckpointError::UnknownAuthority(self.authority))?;
+        let message = Self::signing_message(
+            self.position,
+            &self.leader,
+            &self.state_root,
+            &self.resume_digest,
+        );
+        public_key
+            .verify(&message, &self.signature)
+            .map_err(|_| CheckpointError::InvalidSignature)
+    }
+
+    fn signing_message(
+        position: u64,
+        leader: &BlockRef,
+        state_root: &StateRoot,
+        resume_digest: &Digest,
+    ) -> Vec<u8> {
+        let mut encoder = Encoder::new();
+        encoder.put_bytes(CHECKPOINT_DOMAIN);
+        encoder.put_u64(position);
+        leader.encode(&mut encoder);
+        state_root.encode(&mut encoder);
+        encoder.put_bytes(resume_digest.as_bytes());
+        encoder.into_bytes()
+    }
+}
+
+impl fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Checkpoint(#{} by {} root={} leader={})",
+            self.position, self.authority, self.state_root, self.leader
+        )
+    }
+}
+
+impl Encode for Checkpoint {
+    fn encode(&self, encoder: &mut Encoder) {
+        encoder.put_u32(self.authority.0);
+        encoder.put_u64(self.position);
+        self.leader.encode(encoder);
+        self.state_root.encode(encoder);
+        encoder.put_bytes(self.resume_digest.as_bytes());
+        encoder.put_bytes(&self.signature.to_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8 + self.leader.encoded_len() + Digest::LENGTH * 2 + Signature::LENGTH
+    }
+}
+
+impl Decode for Checkpoint {
+    fn decode(decoder: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let authority = AuthorityIndex(decoder.get_u32()?);
+        let position = decoder.get_u64()?;
+        let leader = BlockRef::decode(decoder)?;
+        let state_root = StateRoot::decode(decoder)?;
+        let resume_digest = Digest::new(decoder.get_array::<32>()?);
+        let signature = Signature::from_bytes(&decoder.get_array::<16>()?)
+            .ok_or(CodecError::InvalidValue("checkpoint signature"))?;
+        Ok(Checkpoint {
+            authority,
+            position,
+            leader,
+            state_root,
+            resume_digest,
+            signature,
+        })
+    }
+}
+
+/// Errors from checkpoint verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The attesting authority is not in the committee.
+    UnknownAuthority(AuthorityIndex),
+    /// The signature does not verify against the authority's key.
+    InvalidSignature,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::UnknownAuthority(authority) => {
+                write!(f, "checkpoint from unknown authority {authority}")
+            }
+            CheckpointError::InvalidSignature => write!(f, "invalid checkpoint signature"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::committee::TestCommittee;
+    use mahimahi_crypto::blake2b::blake2b_256;
+
+    fn sample(setup: &TestCommittee, authority: u32, position: u64) -> Checkpoint {
+        let authority = AuthorityIndex(authority);
+        Checkpoint::sign(
+            authority,
+            position,
+            crate::block::Block::genesis(AuthorityIndex(0)).reference(),
+            StateRoot(blake2b_256(b"state")),
+            blake2b_256(b"resume"),
+            setup.keypair(authority),
+        )
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let setup = TestCommittee::new(4, 3);
+        let checkpoint = sample(&setup, 1, 32);
+        assert!(checkpoint.verify(setup.committee()).is_ok());
+        let bytes = checkpoint.to_bytes_vec();
+        assert_eq!(bytes.len(), checkpoint.encoded_len());
+        let decoded = Checkpoint::from_bytes_exact(&bytes).unwrap();
+        assert_eq!(decoded, checkpoint);
+        assert!(decoded.verify(setup.committee()).is_ok());
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let setup = TestCommittee::new(4, 3);
+        let authority = AuthorityIndex(2);
+        // Signed with authority 1's key but claiming authority 2.
+        let forged = Checkpoint::sign(
+            authority,
+            7,
+            crate::block::Block::genesis(AuthorityIndex(0)).reference(),
+            StateRoot(blake2b_256(b"state")),
+            blake2b_256(b"resume"),
+            setup.keypair(AuthorityIndex(1)),
+        );
+        assert_eq!(
+            forged.verify(setup.committee()),
+            Err(CheckpointError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn unknown_authority_rejected() {
+        let setup = TestCommittee::new(4, 3);
+        let checkpoint = Checkpoint::sign(
+            AuthorityIndex(99),
+            7,
+            crate::block::Block::genesis(AuthorityIndex(0)).reference(),
+            StateRoot(blake2b_256(b"state")),
+            blake2b_256(b"resume"),
+            setup.keypair(AuthorityIndex(0)),
+        );
+        assert!(matches!(
+            checkpoint.verify(setup.committee()),
+            Err(CheckpointError::UnknownAuthority(_))
+        ));
+    }
+
+    #[test]
+    fn attests_same_ignores_signer() {
+        let setup = TestCommittee::new(4, 3);
+        let a = sample(&setup, 0, 32);
+        let b = sample(&setup, 1, 32);
+        assert!(a.attests_same(&b));
+        let c = sample(&setup, 1, 64);
+        assert!(!a.attests_same(&c));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_checkpoint_codec_round_trips(
+            authority in 0u32..4,
+            position in any::<u64>(),
+            state_seed in any::<u64>(),
+            resume_seed in any::<u64>(),
+        ) {
+            let setup = TestCommittee::new(4, 3);
+            let checkpoint = Checkpoint::sign(
+                AuthorityIndex(authority),
+                position,
+                crate::block::Block::genesis(AuthorityIndex(0)).reference(),
+                StateRoot(blake2b_256(&state_seed.to_le_bytes())),
+                blake2b_256(&resume_seed.to_le_bytes()),
+                setup.keypair(AuthorityIndex(authority)),
+            );
+            let bytes = checkpoint.to_bytes_vec();
+            prop_assert_eq!(bytes.len(), checkpoint.encoded_len());
+            let decoded = Checkpoint::from_bytes_exact(&bytes).unwrap();
+            prop_assert_eq!(&decoded, &checkpoint);
+            prop_assert!(decoded.verify(setup.committee()).is_ok());
+        }
+
+        #[test]
+        fn prop_tampered_checkpoints_are_rejected(
+            position in any::<u64>(),
+            index in 0usize..136,
+            flip in 1u8..=255,
+        ) {
+            // Flipping any byte of the encoding — authority, position,
+            // leader, state root, resume digest, or signature — must leave
+            // a checkpoint that fails to decode or fails verification.
+            // (Every field is either signature-covered or the signer's
+            // committee identity itself.)
+            let setup = TestCommittee::new(4, 3);
+            let checkpoint = sample(&setup, 1, position);
+            let mut bytes = checkpoint.to_bytes_vec();
+            prop_assert_eq!(bytes.len(), 136);
+            bytes[index] ^= flip;
+            // A torn encoding is rejected at decode; anything that still
+            // decodes must fail verification.
+            if let Ok(tampered) = Checkpoint::from_bytes_exact(&bytes) {
+                prop_assert!(
+                    tampered.verify(setup.committee()).is_err(),
+                    "tampered byte {} accepted", index
+                );
+            }
+        }
+    }
+}

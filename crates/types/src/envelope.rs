@@ -16,6 +16,7 @@
 //! [`Envelope::Certificate`].
 
 use crate::block::{Block, BlockRef};
+use crate::checkpoint::Checkpoint;
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::evidence::EquivocationProof;
 use crate::ids::AuthorityIndex;
@@ -30,6 +31,11 @@ pub const MAX_BATCH_TXS: usize = 16_384;
 /// Maximum wire size of a single transaction payload (1 MiB). A frame
 /// carrying a larger transaction is rejected at decode.
 pub const MAX_TX_WIRE_BYTES: usize = 1024 * 1024;
+
+/// Maximum checkpoints accepted in one [`Envelope::CheckpointResponse`]
+/// frame — a full quorum never needs more than the committee size, and no
+/// supported committee exceeds this.
+pub const MAX_RESPONSE_CHECKPOINTS: usize = 1024;
 
 /// One protocol message, independent of transport.
 #[derive(Debug, Clone)]
@@ -68,6 +74,27 @@ pub enum Envelope {
     /// bytes. The receiving validator's mempool applies admission control
     /// (dedup, capacity) on top.
     TxBatch(Vec<Transaction>),
+    /// Checkpointing: one validator's signed attestation of the execution
+    /// state at an agreed cut of the commit sequence, gossiped every
+    /// `checkpoint_interval` sequencing decisions. Receivers collect these
+    /// per position; a quorum of matching attestations certifies the cut.
+    Checkpoint(Checkpoint),
+    /// State-sync step 1: ask a peer for its latest quorum-certified
+    /// checkpoint (a joining or long-offline validator's first message).
+    CheckpointRequest,
+    /// State-sync step 2: the latest certified cut — a quorum of matching
+    /// [`Envelope::Checkpoint`] attestations plus the execution and
+    /// sequencer-resume snapshots whose hashes they certify. The receiver
+    /// verifies every signature and both hashes before adopting.
+    CheckpointResponse {
+        /// Quorum of checkpoints attesting the same cut.
+        checkpoints: Vec<Checkpoint>,
+        /// Canonical execution-state snapshot (hashes to the state root).
+        execution: Vec<u8>,
+        /// Canonical sequencer resume snapshot (hashes to the resume
+        /// digest).
+        resume: Vec<u8>,
+    },
 }
 
 const TAG_BLOCK: u8 = 1;
@@ -78,6 +105,9 @@ const TAG_ACK: u8 = 5;
 const TAG_CERTIFICATE: u8 = 6;
 const TAG_EVIDENCE: u8 = 7;
 const TAG_TX_BATCH: u8 = 8;
+const TAG_CHECKPOINT: u8 = 9;
+const TAG_CHECKPOINT_REQUEST: u8 = 10;
+const TAG_CHECKPOINT_RESPONSE: u8 = 11;
 
 impl Encode for Envelope {
     fn encode(&self, encoder: &mut Encoder) {
@@ -125,6 +155,23 @@ impl Encode for Envelope {
                     encoder.put_var_bytes(transaction.as_bytes());
                 }
             }
+            Envelope::Checkpoint(checkpoint) => {
+                encoder.put_u8(TAG_CHECKPOINT);
+                checkpoint.encode(encoder);
+            }
+            Envelope::CheckpointRequest => {
+                encoder.put_u8(TAG_CHECKPOINT_REQUEST);
+            }
+            Envelope::CheckpointResponse {
+                checkpoints,
+                execution,
+                resume,
+            } => {
+                encoder.put_u8(TAG_CHECKPOINT_RESPONSE);
+                checkpoints.encode(encoder);
+                encoder.put_var_bytes(execution);
+                encoder.put_var_bytes(resume);
+            }
         }
     }
 }
@@ -170,6 +217,21 @@ impl Decode for Envelope {
                 }
                 Ok(Envelope::TxBatch(transactions))
             }
+            TAG_CHECKPOINT => Ok(Envelope::Checkpoint(Checkpoint::decode(decoder)?)),
+            TAG_CHECKPOINT_REQUEST => Ok(Envelope::CheckpointRequest),
+            TAG_CHECKPOINT_RESPONSE => {
+                let checkpoints = Vec::<Checkpoint>::decode(decoder)?;
+                if checkpoints.len() > MAX_RESPONSE_CHECKPOINTS {
+                    return Err(CodecError::LengthOverflow(checkpoints.len() as u64));
+                }
+                let execution = decoder.get_var_bytes()?.to_vec();
+                let resume = decoder.get_var_bytes()?.to_vec();
+                Ok(Envelope::CheckpointResponse {
+                    checkpoints,
+                    execution,
+                    resume,
+                })
+            }
             _ => Err(CodecError::InvalidValue("envelope tag")),
         }
     }
@@ -182,6 +244,20 @@ mod tests {
 
     fn conflicting_pair(setup: &TestCommittee, author: u32) -> EquivocationProof {
         EquivocationProof::synthetic(setup, AuthorityIndex(author))
+    }
+
+    fn sample_checkpoint(setup: &TestCommittee, authority: u32) -> Checkpoint {
+        use crate::checkpoint::StateRoot;
+        use mahimahi_crypto::blake2b::blake2b_256;
+        let authority = AuthorityIndex(authority);
+        Checkpoint::sign(
+            authority,
+            32,
+            Block::genesis(AuthorityIndex(0)).reference(),
+            StateRoot(blake2b_256(b"state")),
+            blake2b_256(b"resume"),
+            setup.keypair(authority),
+        )
     }
 
     #[test]
@@ -206,6 +282,17 @@ mod tests {
                 Transaction::benchmark(1),
                 Transaction::new(vec![9; 3]),
             ]),
+            Envelope::Checkpoint(sample_checkpoint(&setup, 0)),
+            Envelope::CheckpointRequest,
+            Envelope::CheckpointResponse {
+                checkpoints: vec![
+                    sample_checkpoint(&setup, 0),
+                    sample_checkpoint(&setup, 1),
+                    sample_checkpoint(&setup, 2),
+                ],
+                execution: vec![1, 2, 3],
+                resume: vec![4, 5],
+            },
         ];
         for message in messages {
             let bytes = message.to_bytes_vec();
@@ -246,6 +333,22 @@ mod tests {
                 }
                 (Envelope::Evidence(a), Envelope::Evidence(b)) => assert_eq!(a, b),
                 (Envelope::TxBatch(a), Envelope::TxBatch(b)) => assert_eq!(a, b),
+                (Envelope::Checkpoint(a), Envelope::Checkpoint(b)) => assert_eq!(a, b),
+                (Envelope::CheckpointRequest, Envelope::CheckpointRequest) => {}
+                (
+                    Envelope::CheckpointResponse {
+                        checkpoints: a,
+                        execution: x,
+                        resume: p,
+                    },
+                    Envelope::CheckpointResponse {
+                        checkpoints: b,
+                        execution: y,
+                        resume: q,
+                    },
+                ) => {
+                    assert_eq!((a, x, p), (b, y, q));
+                }
                 _ => panic!("variant changed in round trip"),
             }
         }
@@ -253,7 +356,9 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert!(Envelope::from_bytes_exact(&[9]).is_err());
+        assert!(Envelope::from_bytes_exact(&[0]).is_err());
+        assert!(Envelope::from_bytes_exact(&[12]).is_err());
+        assert!(Envelope::from_bytes_exact(&[255]).is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod block;
+pub mod checkpoint;
 pub mod codec;
 pub mod committee;
 pub mod envelope;
@@ -39,6 +40,7 @@ pub mod transaction;
 pub mod verified;
 
 pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
+pub use checkpoint::{Checkpoint, CheckpointError, StateRoot};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use committee::{Committee, TestCommittee};
 pub use envelope::{Envelope, MAX_BATCH_TXS, MAX_TX_WIRE_BYTES};

@@ -29,7 +29,8 @@ use std::error::Error as StdError;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crc32::crc32;
@@ -104,6 +105,20 @@ pub trait Storage: Send {
 #[derive(Debug)]
 pub struct FileStorage {
     file: File,
+    /// The file's path when known (opened via [`FileWal::open_path`]);
+    /// enables the crash-atomic [`FileWal::rewrite_atomic`].
+    path: Option<PathBuf>,
+}
+
+/// Forces the directory entry for `path` to disk, so a freshly created or
+/// renamed file cannot vanish from its directory after a crash.
+fn sync_parent_dir(path: &Path) -> Result<(), WalError> {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
 }
 
 impl Storage for FileStorage {
@@ -130,7 +145,11 @@ impl Storage for FileStorage {
     }
 
     fn truncate(&mut self, offset: u64) -> Result<(), WalError> {
+        // `sync_all`, not `sync_data`: the shrunk length is metadata, and a
+        // recovery truncation that is not itself durable would let a
+        // second crash resurrect the torn bytes it discarded.
         self.file.set_len(offset)?;
+        self.file.sync_all()?;
         Ok(())
     }
 
@@ -145,6 +164,10 @@ impl Storage for FileStorage {
 #[derive(Debug, Clone, Default)]
 pub struct MemStorage {
     buffer: Arc<Mutex<Vec<u8>>>,
+    /// Count of [`Storage::sync`] calls, shared across clones — lets
+    /// crash-consistency tests assert that recovery actions were made
+    /// durable, not merely performed.
+    syncs: Arc<AtomicU64>,
 }
 
 impl MemStorage {
@@ -161,6 +184,11 @@ impl MemStorage {
     /// Overwrites the raw bytes (test corruption injection).
     pub fn replace(&self, bytes: Vec<u8>) {
         *self.buffer.lock() = bytes;
+    }
+
+    /// Number of [`Storage::sync`] calls observed so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
     }
 }
 
@@ -188,6 +216,7 @@ impl Storage for MemStorage {
     }
 
     fn sync(&mut self) -> Result<(), WalError> {
+        self.syncs.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 }
@@ -236,25 +265,86 @@ impl FileWal {
     ///
     /// Propagates I/O failures.
     pub fn open_path<P: AsRef<Path>>(path: P) -> Result<Self, WalError> {
+        let path = path.as_ref();
+        let existed = path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
-        Wal::open(FileStorage { file })
+        if !existed {
+            // A crash right after creation must not lose the directory
+            // entry — the log's existence is part of the durability
+            // contract from the first append onward.
+            sync_parent_dir(path)?;
+        }
+        Wal::open(FileStorage {
+            file,
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Atomically replaces the log's contents with `payloads` (compaction).
+    ///
+    /// The surviving records are written to a sibling temporary file,
+    /// fsynced, renamed over the log, and the parent directory is fsynced —
+    /// so a crash at any point leaves either the complete old log or the
+    /// complete new one, never a mix. Requires the log to have been opened
+    /// through [`FileWal::open_path`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; fails if the log was opened without a path.
+    pub fn rewrite_atomic(&mut self, payloads: &[Vec<u8>]) -> Result<(), WalError> {
+        let path = self
+            .storage
+            .path
+            .clone()
+            .ok_or_else(|| WalError::Io(std::io::Error::other("wal path unknown")))?;
+        for payload in payloads {
+            if payload.len() > MAX_RECORD_BYTES {
+                return Err(WalError::RecordTooLarge(payload.len()));
+            }
+        }
+        let mut temp_path = path.clone().into_os_string();
+        temp_path.push(".compact");
+        let temp_path = PathBuf::from(temp_path);
+        let mut temp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&temp_path)?;
+        let mut tail = 0u64;
+        for payload in payloads {
+            let frame = frame_record(payload);
+            temp.write_all(&frame)?;
+            tail += frame.len() as u64;
+        }
+        temp.sync_all()?;
+        std::fs::rename(&temp_path, &path)?;
+        sync_parent_dir(&path)?;
+        self.storage.file = temp;
+        self.tail = tail;
+        Ok(())
     }
 }
 
 impl<S: Storage> Wal<S> {
     /// Opens a log over `storage`, validating existing contents and
     /// truncating everything after the last valid record.
+    ///
+    /// The truncation is synced before the log is handed out: recovery's
+    /// discard of a torn tail must itself be durable, or a second crash
+    /// could resurrect bytes that appends after reopen assume are gone.
     pub fn open(mut storage: S) -> Result<Self, WalError> {
         let tail = scan_valid_prefix(&mut storage)?.last().map_or(0, |record| {
             record.offset + HEADER_BYTES as u64 + record.payload.len() as u64
         });
         if storage.len()? > tail {
             storage.truncate(tail)?;
+            storage.sync()?;
         }
         Ok(Wal { storage, tail })
     }
@@ -272,14 +362,33 @@ impl<S: Storage> Wal<S> {
             return Err(WalError::RecordTooLarge(payload.len()));
         }
         let offset = self.tail;
-        let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
-        frame.extend_from_slice(&MAGIC.to_le_bytes());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        let frame = frame_record(payload);
         self.storage.append(&frame)?;
         self.tail += frame.len() as u64;
         Ok(offset)
+    }
+
+    /// Replaces the log's contents with `payloads` (compaction), in place:
+    /// truncate to zero, re-append, sync. **Not crash-atomic** — a crash
+    /// mid-rewrite loses records. File-backed logs should use
+    /// [`FileWal::rewrite_atomic`] instead; this variant serves in-memory
+    /// logs and tests, where there is no crash window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any payload exceeds [`MAX_RECORD_BYTES`] or on I/O error.
+    pub fn rewrite(&mut self, payloads: &[Vec<u8>]) -> Result<(), WalError> {
+        for payload in payloads {
+            if payload.len() > MAX_RECORD_BYTES {
+                return Err(WalError::RecordTooLarge(payload.len()));
+            }
+        }
+        self.storage.truncate(0)?;
+        self.tail = 0;
+        for payload in payloads {
+            self.append(payload)?;
+        }
+        self.sync()
     }
 
     /// Forces durability of all appended records.
@@ -301,6 +410,21 @@ impl<S: Storage> Wal<S> {
     pub fn into_storage(self) -> S {
         self.storage
     }
+}
+
+/// Builds the on-disk frame for one payload: header (magic, length, CRC)
+/// followed by the payload bytes.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload length checked against MAX_RECORD_BYTES")
+            .to_le_bytes(),
+    );
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
 }
 
 /// Scans storage from the start, returning every record up to (excluding)
@@ -396,13 +520,33 @@ mod tests {
         let mut bytes = storage.snapshot();
         bytes.truncate(bytes.len() - 5);
         storage.replace(bytes);
+        let syncs_before = storage.sync_count();
         let mut reopened = Wal::open(storage.clone()).unwrap();
         let records = reopened.records().unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].payload, b"durable");
+        // The truncation itself was synced: a crash immediately after
+        // recovery must not resurrect the discarded tail.
+        assert!(
+            storage.sync_count() > syncs_before,
+            "recovery truncation must be made durable"
+        );
         // The torn bytes were discarded; new appends start clean.
         reopened.append(b"fresh").unwrap();
         assert_eq!(reopened.records().unwrap().len(), 2);
+        drop(reopened);
+        // Reopen-after-recovery: a second open sees exactly the recovered
+        // prefix plus the new append, and truncates nothing further.
+        let syncs_before = storage.sync_count();
+        let mut second = Wal::open(storage.clone()).unwrap();
+        let records = second.records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].payload, b"fresh");
+        assert_eq!(
+            storage.sync_count(),
+            syncs_before,
+            "a clean log needs no recovery truncation (and no sync)"
+        );
     }
 
     #[test]
@@ -465,6 +609,50 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_replaces_contents_in_place() {
+        let (mut wal, storage) = mem_wal();
+        wal.append(b"old-one").unwrap();
+        wal.append(b"old-two").unwrap();
+        wal.append(b"keep").unwrap();
+        wal.rewrite(&[b"keep".to_vec(), b"new".to_vec()]).unwrap();
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].payload, b"keep");
+        assert_eq!(records[1].payload, b"new");
+        // Appends continue from the rewritten tail, and a reopen agrees.
+        wal.append(b"after").unwrap();
+        let mut reopened = Wal::open(storage).unwrap();
+        assert_eq!(reopened.records().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn file_rewrite_atomic_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mahimahi-wal-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.wal");
+        {
+            let mut wal = FileWal::open_path(&path).unwrap();
+            for i in 0..8u8 {
+                wal.append(&[i; 16]).unwrap();
+            }
+            wal.sync().unwrap();
+            wal.rewrite_atomic(&[vec![6; 16], vec![7; 16]]).unwrap();
+            // The handle stays usable after the rename.
+            wal.append(b"appended-after-compaction").unwrap();
+            wal.sync().unwrap();
+        }
+        // No temporary file left behind, and the compacted log reopens.
+        assert!(!dir.join("compact.wal.compact").exists());
+        let mut reopened = FileWal::open_path(&path).unwrap();
+        let records = reopened.records().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].payload, vec![6; 16]);
+        assert_eq!(records[1].payload, vec![7; 16]);
+        assert_eq!(records[2].payload, b"appended-after-compaction");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn errors_display() {
         let io = WalError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("i/o"));
@@ -493,7 +681,7 @@ mod tests {
             bytes.truncate(cut);
             storage.replace(bytes);
 
-            let mut reopened = Wal::open(storage).unwrap();
+            let mut reopened = Wal::open(storage.clone()).unwrap();
             let records = reopened.records().unwrap();
             // Every surviving record must be an exact prefix.
             let expected = ends.iter().take_while(|&&end| end <= cut as u64).count();
@@ -501,6 +689,17 @@ mod tests {
             for (record, payload) in records.iter().zip(&payloads) {
                 prop_assert_eq!(&record.payload, payload);
             }
+            // If a tail was discarded, the truncation was synced, and a
+            // second open (a crash right after recovery) sees the
+            // identical prefix with nothing left to truncate.
+            if cut as u64 > ends.get(expected.wrapping_sub(1)).copied().unwrap_or(0) {
+                prop_assert!(storage.sync_count() > 0);
+            }
+            drop(reopened);
+            let syncs_after_first = storage.sync_count();
+            let mut again = Wal::open(storage.clone()).unwrap();
+            prop_assert_eq!(again.records().unwrap().len(), expected);
+            prop_assert_eq!(storage.sync_count(), syncs_after_first);
         }
 
         /// Recovery never panics on arbitrary garbage.

@@ -15,11 +15,14 @@
 
 use mahi_mahi::core::{
     AdmissionConfig, AdmissionPipeline, Committer, CommitterOptions, EngineConfig, Input,
-    MempoolConfig, ValidatorEngine,
+    MempoolConfig, Output, ValidatorEngine,
 };
 use mahi_mahi::dag::DagBuilder;
-use mahi_mahi::types::{AuthorityIndex, Block, Decode, Encode, TestCommittee, Transaction};
+use mahi_mahi::types::{
+    AuthorityIndex, Block, Decode, Encode, Envelope, TestCommittee, Transaction,
+};
 use proptest::prelude::*;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 const MEMPOOL_CAPACITY: usize = 16;
@@ -227,5 +230,101 @@ proptest! {
             piped.store().highest_round()
         );
         prop_assert_eq!(serial.tx_integrity(), piped.tx_integrity());
+    }
+}
+
+proptest! {
+    // Few cases: each one floods a 4-validator cluster through 160 rounds.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The committed-digest ledger (the `track_tx_integrity` duplicate
+    /// detector) is GC'd against the commit frontier: a validator that
+    /// commits its own transactions for thousands of rounds must not hold
+    /// every digest it ever committed. Before the GC fix the ledger grew
+    /// with `own_committed` forever.
+    #[test]
+    fn committed_digest_ledger_is_bounded_by_the_gc_window(
+        committee_seed in 0u64..500,
+        tx_seed in 0u64..u64::MAX,
+    ) {
+        let setup = TestCommittee::new(4, committee_seed);
+        let mut engines: Vec<ValidatorEngine> = (0..4u32)
+            .map(|authority| {
+                let committer = Committer::new(
+                    setup.committee().clone(),
+                    CommitterOptions::mahi_mahi_5(2),
+                );
+                let mut config = EngineConfig::new(AuthorityIndex(authority), setup.clone());
+                config.mempool = MempoolConfig {
+                    capacity_txs: 4_096,
+                    capacity_bytes: usize::MAX,
+                    max_block_txs: 4,
+                    max_block_bytes: 4_096,
+                };
+                config.gc_depth = Some(8); // tight window, GC fires often
+                ValidatorEngine::honest(config, Box::new(committer))
+            })
+            .collect();
+        // Preload every validator with enough distinct transactions that
+        // own blocks keep carrying payloads across the whole run.
+        let mut rng = tx_seed;
+        for engine in engines.iter_mut() {
+            for _ in 0..1_000 {
+                engine.handle(Input::TxSubmitted {
+                    transaction: Transaction::new(splitmix(&mut rng).to_le_bytes().to_vec()),
+                    tag: 0,
+                });
+            }
+        }
+        // Lockstep flood: deliver every broadcast envelope until the DAG
+        // reaches the horizon. 160 rounds crosses the engine's 64-round GC
+        // hysteresis at least twice with an 8-round window.
+        let mut inflight: VecDeque<(usize, Envelope)> = VecDeque::new();
+        for engine in engines.iter_mut() {
+            let from = engine.authority().as_usize();
+            for output in engine.handle(Input::TimerFired { now: 0 }) {
+                if let Output::Broadcast(envelope) = output {
+                    inflight.push_back((from, envelope));
+                }
+            }
+        }
+        while let Some((from, envelope)) = inflight.pop_front() {
+            if let Envelope::Block(block) = &envelope {
+                if block.round() > 160 {
+                    continue;
+                }
+            }
+            for (to, engine) in engines.iter_mut().enumerate() {
+                if to == from {
+                    continue;
+                }
+                for output in engine.handle(Input::from_envelope(from, envelope.clone())) {
+                    if let Output::Broadcast(envelope) = output {
+                        inflight.push_back((to, envelope));
+                    }
+                }
+            }
+        }
+        for engine in &engines {
+            let integrity = engine.tx_integrity();
+            prop_assert!(
+                integrity.own_committed > 100,
+                "flood committed too little to exercise GC: {integrity:?}"
+            );
+            let ledger = engine.committed_digest_ledger_len();
+            // Bounded: the frontier GC dropped digests below the floor, so
+            // the ledger holds strictly fewer digests than were committed
+            // over the run's lifetime...
+            prop_assert!(
+                (ledger as u64) < integrity.own_committed,
+                "digest ledger was never pruned: {} entries for {} own commits",
+                ledger,
+                integrity.own_committed
+            );
+            // ...and the integrity report still balances (pruning must not
+            // disturb the conservation counters).
+            prop_assert!(integrity.conserves_transactions(), "{integrity:?}");
+            prop_assert_eq!(integrity.duplicate_committed, 0, "{:?}", integrity);
+        }
     }
 }

@@ -4,7 +4,9 @@
 use mahi_mahi::core::{CommitterOptions, WalRecord};
 use mahi_mahi::node::{LocalCluster, NodeConfig, TxClient, ValidatorNode};
 use mahi_mahi::transport::Transport;
-use mahi_mahi::types::{AuthorityIndex, Encode, EquivocationProof, TestCommittee, Transaction};
+use mahi_mahi::types::{
+    AuthorityIndex, Decode, Encode, EquivocationProof, TestCommittee, Transaction,
+};
 use std::time::Duration;
 
 /// A signed conflicting round-1 pair by `author` — a genuine conviction to
@@ -243,6 +245,193 @@ fn killed_node_restarts_from_its_wal_and_catches_up() {
         restarted_leaders, survivor_leaders,
         "restarted node diverged from the survivors' commit sequence"
     );
+
+    restarted.stop();
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill a node whose WAL has already been compacted below a certified
+/// checkpoint, then restart it: recovery must come up from the checkpoint
+/// cut (not genesis), and the node must still converge onto the exact
+/// commit sequence the survivors agreed on via state-sync.
+#[test]
+fn restarted_node_resumes_from_a_checkpoint_with_a_truncated_wal() {
+    let dir = std::env::temp_dir().join(format!(
+        "mahimahi-checkpoint-restart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let setup = TestCommittee::new(4, 507);
+
+    // Tight checkpoint cadence and a shallow GC window so node 0 certifies
+    // checkpoints and truncates its WAL within a few dozen rounds. The
+    // survivors prune old blocks just as aggressively, which forces the
+    // restarted node through the checkpoint/state-sync path: the genesis-era
+    // DAG is no longer fetchable from anyone.
+    let make_config = |id: u32, setup: &TestCommittee| {
+        let mut config = NodeConfig::local(id, setup.clone());
+        config.min_round_interval = Duration::from_millis(10);
+        config.checkpoint_interval = 4;
+        config.gc_depth = Some(16);
+        if id == 0 {
+            config.wal_path = Some(dir.join("v0.wal"));
+        }
+        config
+    };
+
+    let transports: Vec<Transport> = (0..4)
+        .map(|id| Transport::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(Transport::local_addr).collect();
+    for t in &transports {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer as u32 != t.id() {
+                t.connect(peer as u32, *addr);
+            }
+        }
+    }
+    let mut handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let config = make_config(id as u32, &setup);
+        handles.push(ValidatorNode::new(config, transport).unwrap().start());
+    }
+
+    // Phase 1: run far enough past the GC depth that node 0 has persisted a
+    // checkpoint and compacted its WAL below the frontier. Track validator
+    // 1's commits by position as the reference sequence.
+    let mut reference = std::collections::BTreeMap::new();
+    for id in 0..40u64 {
+        handles[(id % 4) as usize].submit(Transaction::benchmark(id));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while handles[0].round() < 32 && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = handles[1]
+            .commits()
+            .recv_timeout(Duration::from_millis(100))
+        {
+            reference.insert(sub_dag.position, sub_dag.leader);
+        }
+    }
+    assert!(handles[0].round() >= 32, "cluster never got going");
+
+    // Phase 2: kill node 0; the survivors keep committing well past more
+    // checkpoint boundaries so its WAL checkpoint falls behind the frontier.
+    let node0 = handles.remove(0);
+    node0.stop();
+    let resume_target = reference.keys().next_back().copied().unwrap_or(0) + 12;
+    for id in 40..80u64 {
+        handles[(id % 3) as usize].submit(Transaction::benchmark(id));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while reference.keys().next_back().copied().unwrap_or(0) < resume_target
+        && std::time::Instant::now() < deadline
+    {
+        if let Ok(sub_dag) = handles[0]
+            .commits()
+            .recv_timeout(Duration::from_millis(100))
+        {
+            reference.insert(sub_dag.position, sub_dag.leader);
+        }
+    }
+    assert!(
+        reference.keys().next_back().copied().unwrap_or(0) >= resume_target,
+        "survivors stalled after the crash"
+    );
+
+    // The dead node's WAL must actually have been truncated: compaction
+    // rewrites the log to lead with the latest checkpoint record, and every
+    // retained peer block must sit at or above the checkpointed GC floor.
+    {
+        let mut wal = mahi_mahi::wal::FileWal::open_path(dir.join("v0.wal")).unwrap();
+        let records = wal.records().unwrap();
+        assert!(!records.is_empty(), "compacted WAL cannot be empty");
+        let floor = match WalRecord::from_bytes_exact(&records[0].payload) {
+            Ok(WalRecord::Checkpoint { resume, .. }) => {
+                let snapshot =
+                    mahi_mahi::core::SequencerSnapshot::from_bytes_exact(&resume).unwrap();
+                snapshot.next_round.saturating_sub(16)
+            }
+            other => panic!("compacted WAL must lead with a checkpoint, got {other:?}"),
+        };
+        assert!(floor > 0, "checkpoint cut never cleared the GC depth");
+        for record in &records[1..] {
+            if let Ok(WalRecord::Block(block)) = WalRecord::from_bytes_exact(&record.payload) {
+                assert!(
+                    block.author() == AuthorityIndex(0) || block.round() >= floor,
+                    "peer block from round {} survived compaction below floor {floor}",
+                    block.round()
+                );
+            }
+        }
+    }
+
+    // Phase 3: restart node 0 from the truncated WAL on the same address.
+    let transport = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match Transport::bind(0, addrs[0]) {
+                Ok(transport) => break transport,
+                Err(error) if std::time::Instant::now() < deadline => {
+                    let _ = error;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(error) => panic!("could not rebind node 0: {error}"),
+            }
+        }
+    };
+    for (peer, addr) in addrs.iter().enumerate().skip(1) {
+        transport.connect(peer as u32, *addr);
+    }
+    let recovered = ValidatorNode::new(make_config(0, &setup), transport).unwrap();
+    let base = recovered.engine().commit_log_base();
+    assert!(
+        base > 0,
+        "recovery must resume from a checkpoint, not genesis"
+    );
+    assert!(
+        recovered.engine().latest_checkpoint().is_some(),
+        "the compacted WAL's checkpoint must be restored"
+    );
+    let restarted = recovered.start();
+
+    // The restarted node replays only the checkpoint suffix, then state-syncs
+    // the rest: every position it emits must match the reference sequence,
+    // its first position must be the checkpoint base (nothing before it is
+    // replayed), and it must reach the survivors' frontier.
+    let target = reference.keys().next_back().copied().unwrap();
+    let mut resumed = std::collections::BTreeMap::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while resumed.keys().next_back().copied().unwrap_or(0) < target
+        && std::time::Instant::now() < deadline
+    {
+        if let Ok(sub_dag) = restarted.commits().recv_timeout(Duration::from_millis(100)) {
+            resumed.insert(sub_dag.position, sub_dag.leader);
+        }
+    }
+    let first = resumed.keys().next().copied().unwrap_or(0);
+    assert!(
+        first >= base,
+        "restart re-emitted position {first} below its checkpoint base {base}"
+    );
+    assert!(
+        resumed.keys().next_back().copied().unwrap_or(0) >= target,
+        "restarted node never caught up to position {target}"
+    );
+    for (position, leader) in &resumed {
+        if let Some(expected) = reference.get(position) {
+            assert_eq!(
+                leader, expected,
+                "restarted node diverged from the survivors at position {position}"
+            );
+        }
+    }
 
     restarted.stop();
     for handle in handles {
