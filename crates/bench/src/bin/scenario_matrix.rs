@@ -1,7 +1,7 @@
 //! Scenario conformance matrix: protocol × behavior × adversary sweep with
 //! oracle verdicts, emitted as a machine-readable JSON report.
 //!
-//! Runs the full 144-cell matrix (`--quick` runs the 9-cell covering smoke
+//! Runs the full 192-cell matrix (`--quick` runs the 12-cell covering smoke
 //! subset) and writes `bench-results/scenario_matrix.json`. Exits non-zero
 //! if any oracle fails, so the binary doubles as a regression gate.
 
@@ -27,13 +27,16 @@ fn main() {
             String::new()
         };
         println!(
-            "[{verdict}] {:<55} seed={:<6} commits={:<4} skips={:<3} rounds={:<4} lag_bound={}{culprits}",
+            "[{verdict}] {:<55} seed={:<6} commits={:<4} skips={:<3} rounds={:<4} \
+             lag_bound={} p99={:.2}s/{:.2}s{culprits}",
             result.name,
             result.seed,
             result.committed_slots,
             result.skipped_slots,
             result.highest_round,
             result.lag_bound_rounds,
+            result.latency_p99_s,
+            result.p99_bound_s,
         );
         for failure in result.failures() {
             println!("       ↳ {failure}");

@@ -14,6 +14,8 @@
 //! workspace root (`bench-results/`). Pass `--quick` for a fast smoke sweep
 //! (shorter simulated durations, fewer load points).
 
+pub mod scale;
+
 use mahimahi_net::time::{self, Time};
 use mahimahi_sim::{ProtocolChoice, SimConfig, SimReport, Simulation};
 use std::io::Write;

@@ -57,9 +57,9 @@ use mahimahi_crypto::blake2b::blake2b_256;
 use mahimahi_crypto::Digest;
 use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_types::{
-    AuthorityIndex, Block, BlockBuilder, BlockRef, Checkpoint, CodecError, Committee, Decode,
-    Decoder, Encode, Encoder, Envelope, EquivocationProof, Round, Slot, StateRoot, TestCommittee,
-    Transaction, Verified,
+    AuthorityIndex, AuthoritySet, Block, BlockBuilder, BlockRef, Checkpoint, CodecError, Committee,
+    CommitteeMap, Decode, Decoder, Encode, Encoder, Envelope, EquivocationProof, Round, Slot,
+    StateRoot, TestCommittee, Transaction, Verified,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -483,6 +483,33 @@ impl ProposeCtx<'_> {
             .insert(self.engine.config.authority);
     }
 
+    // --------------------------------------------------------------
+    // Read-only views of the live consensus state, for adaptive
+    // strategies that pick victims from what the DAG actually shows
+    // instead of a precomputed schedule.
+
+    /// Authorities with a block at `round` in the local DAG (allocation-free
+    /// bitset copy).
+    pub fn authorities_at_round(&self, round: Round) -> AuthoritySet {
+        self.engine.store.authorities_at_round(round)
+    }
+
+    /// Authorities this validator has observed equivocating (live store
+    /// view).
+    pub fn observed_equivocators(&self) -> AuthoritySet {
+        self.engine.store.equivocators()
+    }
+
+    /// Authorities convicted through the evidence pool.
+    pub fn convicted(&self) -> AuthoritySet {
+        self.engine.evidence.convicted_set()
+    }
+
+    /// The quorum threshold `2f + 1`.
+    pub fn quorum_threshold(&self) -> usize {
+        self.engine.committee.quorum_threshold()
+    }
+
     /// Routes `envelope` to every other validator.
     pub fn broadcast(&mut self, envelope: Envelope) {
         self.routes.push(Route::Broadcast(envelope));
@@ -603,7 +630,9 @@ pub struct ValidatorEngine {
     /// Certified pipeline: proposals awaiting a certificate.
     pending_proposals: HashMap<BlockRef, Arc<Block>>,
     /// Certified pipeline: acknowledgements collected for own proposals.
-    ack_votes: HashMap<BlockRef, HashSet<AuthorityIndex>>,
+    /// Per-proposal voter tallies are dense bitsets — quorum checks are
+    /// popcounts, not hash-set cardinalities.
+    ack_votes: HashMap<BlockRef, AuthoritySet>,
     /// Certified pipeline: own proposals already certified.
     certified_own: HashSet<BlockRef>,
     /// Tags of transactions in own blocks, resolved at commit.
@@ -654,8 +683,9 @@ pub struct ValidatorEngine {
     /// [`CHECKPOINT_RETENTION`] entries.
     checkpoint_archive: BTreeMap<u64, (Checkpoint, Vec<u8>, Vec<u8>)>,
     /// Verified attestations collected per position per authority (own
-    /// included). Pruned alongside the archive.
-    peer_checkpoints: BTreeMap<u64, BTreeMap<AuthorityIndex, Checkpoint>>,
+    /// included), committee-dense per position. Iteration is in authority
+    /// order by construction. Pruned alongside the archive.
+    peer_checkpoints: BTreeMap<u64, CommitteeMap<Checkpoint>>,
     /// Highest position with a quorum of matching attestations *and* an
     /// archived snapshot — what `CheckpointRequest` is answered with.
     latest_certified: Option<u64>,
@@ -1221,12 +1251,22 @@ impl ValidatorEngine {
                 return;
             }
         }
-        self.peer_checkpoints
-            .entry(checkpoint.position())
-            .or_default()
-            .entry(checkpoint.authority())
-            .or_insert(checkpoint);
+        self.record_attestation(checkpoint);
         self.refresh_certification();
+    }
+
+    /// First-write-wins collection of a verified attestation: the first
+    /// checkpoint an authority signs for a position is the one counted.
+    fn record_attestation(&mut self, checkpoint: Checkpoint) {
+        let committee_size = self.committee.size();
+        let votes = self
+            .peer_checkpoints
+            .entry(checkpoint.position())
+            .or_insert_with(|| CommitteeMap::new(committee_size));
+        let authority = checkpoint.authority();
+        if !votes.contains_key(authority) {
+            votes.insert(authority, checkpoint);
+        }
     }
 
     /// Recomputes the latest certified position: the highest archived
@@ -1321,8 +1361,7 @@ impl ValidatorEngine {
         {
             return;
         }
-        let authorities: HashSet<AuthorityIndex> =
-            checkpoints.iter().map(Checkpoint::authority).collect();
+        let authorities: AuthoritySet = checkpoints.iter().map(Checkpoint::authority).collect();
         if authorities.len() < self.committee.quorum_threshold() {
             return;
         }
@@ -1342,11 +1381,7 @@ impl ValidatorEngine {
         }
         // Collect the quorum so this validator can serve the same payload.
         for checkpoint in checkpoints {
-            self.peer_checkpoints
-                .entry(checkpoint.position())
-                .or_default()
-                .entry(checkpoint.authority())
-                .or_insert(checkpoint);
+            self.record_attestation(checkpoint);
         }
         self.checkpoint_archive.insert(
             first.position(),
@@ -1447,11 +1482,7 @@ impl ValidatorEngine {
             snapshot.position,
             (checkpoint.clone(), execution.clone(), resume.clone()),
         );
-        self.peer_checkpoints
-            .entry(snapshot.position)
-            .or_default()
-            .entry(authority)
-            .or_insert_with(|| checkpoint.clone());
+        self.record_attestation(checkpoint.clone());
         self.refresh_certification();
         // Durability before dissemination, like blocks and evidence.
         outputs.push(Output::Persist(WalRecord::Checkpoint {
@@ -1584,8 +1615,8 @@ impl ValidatorEngine {
             .expect("own chain extends round by round");
         let mut parents = vec![own_previous];
         let mut seen: HashSet<BlockRef> = parents.iter().copied().collect();
-        let mut previous_round_authors: HashSet<AuthorityIndex> =
-            std::iter::once(authority).collect();
+        let mut previous_round_authors = AuthoritySet::new();
+        previous_round_authors.insert(authority);
         let mut shunned: Vec<BlockRef> = Vec::new();
         for block in self.store.blocks_at_round(round - 1) {
             let reference = block.reference();

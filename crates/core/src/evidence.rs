@@ -11,7 +11,7 @@
 //! reconfiguration plugs in without the consensus path knowing about any
 //! of them.
 
-use mahimahi_types::{AuthorityIndex, Committee, EquivocationProof, EvidenceError};
+use mahimahi_types::{AuthorityIndex, AuthoritySet, Committee, EquivocationProof, EvidenceError};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -86,6 +86,10 @@ pub struct EvidencePool {
     /// First verified proof per convicted author (ordered for stable
     /// reporting).
     convictions: BTreeMap<AuthorityIndex, EquivocationProof>,
+    /// Bitset mirror of `convictions` — the parent-selection loop asks
+    /// [`EvidencePool::is_convicted`] once per candidate parent per round,
+    /// and a bit test beats a tree probe on that path.
+    convicted_set: AuthoritySet,
     hooks: Vec<Box<dyn SlashingHook>>,
 }
 
@@ -95,6 +99,7 @@ impl EvidencePool {
         EvidencePool {
             committee,
             convictions: BTreeMap::new(),
+            convicted_set: AuthoritySet::new(),
             hooks: Vec::new(),
         }
     }
@@ -120,19 +125,25 @@ impl EvidencePool {
     pub fn submit(&mut self, proof: EquivocationProof) -> Result<bool, EvidenceError> {
         proof.verify(&self.committee)?;
         let author = proof.author();
-        if self.convictions.contains_key(&author) {
+        if self.convicted_set.contains(author) {
             return Ok(false);
         }
         for hook in &mut self.hooks {
             hook.on_equivocation(&proof);
         }
+        self.convicted_set.insert(author);
         self.convictions.insert(author, proof);
         Ok(true)
     }
 
-    /// Whether `author` has a recorded conviction.
+    /// Whether `author` has a recorded conviction (a single bit test).
     pub fn is_convicted(&self, author: AuthorityIndex) -> bool {
-        self.convictions.contains_key(&author)
+        self.convicted_set.contains(author)
+    }
+
+    /// The convicted authorities as an allocation-free bitset.
+    pub fn convicted_set(&self) -> AuthoritySet {
+        self.convicted_set
     }
 
     /// The convicted authorities in index order.

@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(refs.len(), 3);
         assert_eq!(dag.store().blocks_at_round(2).len(), 3);
         assert_eq!(
-            dag.store().authorities_at_round(2),
+            dag.store()
+                .authorities_at_round(2)
+                .iter()
+                .collect::<Vec<_>>(),
             vec![AuthorityIndex(0), AuthorityIndex(1), AuthorityIndex(2)]
         );
     }

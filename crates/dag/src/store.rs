@@ -1,8 +1,10 @@
 //! The equivocation-aware block store.
 
-use mahimahi_types::{AuthorityIndex, Block, BlockRef, EquivocationProof, Round, Slot};
+use mahimahi_types::{
+    AuthorityIndex, AuthoritySet, Block, BlockRef, DigestKeyed, EquivocationProof, Round, Slot,
+};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error as StdError;
 use std::fmt;
 use std::sync::Arc;
@@ -52,6 +54,28 @@ pub(crate) struct StoredBlock {
     pub parents: Vec<BlockIdx>,
 }
 
+/// Per-round block index, dense in the committee.
+///
+/// `present` mirrors which slots are non-empty so quorum tallies
+/// ([`BlockStore::authorities_at_round`]) are an O(1) bitset copy instead of
+/// an O(n) scan allocating a vector per call — the tally runs once per
+/// engine input on the hot path.
+struct RoundSlots {
+    /// author → equivocating block indexes (insertion order).
+    slots: Vec<Vec<BlockIdx>>,
+    /// Authorities with at least one block this round.
+    present: AuthoritySet,
+}
+
+impl RoundSlots {
+    fn new(committee_size: usize) -> Self {
+        RoundSlots {
+            slots: vec![Vec::new(); committee_size],
+            present: AuthoritySet::new(),
+        }
+    }
+}
+
 /// A validator's local DAG: every causally-complete block it has accepted.
 ///
 /// The store is *equivocation-aware*: `DAG[r, v]` may hold several blocks
@@ -66,23 +90,26 @@ pub struct BlockStore {
     committee_size: usize,
     quorum_threshold: usize,
     pub(crate) blocks: Vec<StoredBlock>,
-    pub(crate) by_ref: HashMap<BlockRef, BlockIdx>,
-    /// round → author → equivocating block indexes (insertion order).
-    rounds: BTreeMap<Round, Vec<Vec<BlockIdx>>>,
+    pub(crate) by_ref: HashMap<BlockRef, BlockIdx, DigestKeyed>,
+    /// round → dense per-author slot index with its presence bitset.
+    rounds: BTreeMap<Round, RoundSlots>,
+    /// Authorities with more than one block in some live round, maintained
+    /// incrementally at admission and rebuilt on [`BlockStore::compact`].
+    equivocators: AuthoritySet,
     highest_round: Round,
     /// Rounds below this have been garbage-collected ([`BlockStore::compact`]).
     gc_cutoff: Round,
     /// Blocks waiting for ancestors: own ref → block.
-    pending: HashMap<BlockRef, Arc<Block>>,
+    pending: HashMap<BlockRef, Arc<Block>, DigestKeyed>,
     /// missing parent → dependents waiting on it.
-    waiters: HashMap<BlockRef, Vec<BlockRef>>,
+    waiters: HashMap<BlockRef, Vec<BlockRef>, DigestKeyed>,
     /// Memoized `VotedBlock` results: (vote block, target slot) → voted
     /// block (if any). Sound because a stored block's causal history is
     /// immutable. Interior mutability keeps traversals `&self`.
-    pub(crate) vote_cache: Mutex<HashMap<(BlockIdx, Slot), Option<BlockIdx>>>,
+    pub(crate) vote_cache: Mutex<HashMap<(BlockIdx, Slot), Option<BlockIdx>, DigestKeyed>>,
     /// Memoized `IsCert` results: (certificate block, leader block) → bool.
     /// Sound for the same reason: both blocks' histories are immutable.
-    pub(crate) cert_cache: Mutex<HashMap<(BlockIdx, BlockIdx), bool>>,
+    pub(crate) cert_cache: Mutex<HashMap<(BlockIdx, BlockIdx), bool, DigestKeyed>>,
     /// Equivocation proofs emitted at admission and not yet collected
     /// ([`BlockStore::take_equivocation_evidence`]). One proof per slot —
     /// emitted the moment the *second* digest lands; further forks in the
@@ -99,14 +126,15 @@ impl BlockStore {
             committee_size,
             quorum_threshold,
             blocks: Vec::new(),
-            by_ref: HashMap::new(),
+            by_ref: HashMap::default(),
             rounds: BTreeMap::new(),
+            equivocators: AuthoritySet::new(),
             highest_round: 0,
             gc_cutoff: 0,
-            pending: HashMap::new(),
-            waiters: HashMap::new(),
-            vote_cache: Mutex::new(HashMap::new()),
-            cert_cache: Mutex::new(HashMap::new()),
+            pending: HashMap::default(),
+            waiters: HashMap::default(),
+            vote_cache: Mutex::new(HashMap::default()),
+            cert_cache: Mutex::new(HashMap::default()),
             fresh_evidence: Vec::new(),
         };
         for genesis in Block::all_genesis(committee_size) {
@@ -147,14 +175,20 @@ impl BlockStore {
         if self.by_ref.contains_key(&reference) || self.pending.contains_key(&reference) {
             return Ok(InsertResult::Duplicate);
         }
-        // Parents below the GC cutoff are treated as present: their slots
-        // were decided and dropped; floored linearization never reads them.
-        let missing: Vec<BlockRef> = block
-            .parents()
-            .iter()
-            .filter(|parent| parent.round >= self.gc_cutoff && !self.by_ref.contains_key(parent))
-            .copied()
-            .collect();
+        // Single pass over the parents: resolve each one exactly once, so
+        // the complete-block fast path pays one hash lookup per edge (the
+        // resolved indexes feed `admit_resolved` directly). Parents below
+        // the GC cutoff are treated as present: their slots were decided
+        // and dropped; floored linearization never reads them.
+        let mut resolved = Vec::with_capacity(block.parents().len());
+        let mut missing = Vec::new();
+        for parent in block.parents() {
+            match self.by_ref.get(parent) {
+                Some(&index) => resolved.push(index),
+                None if parent.round >= self.gc_cutoff => missing.push(*parent),
+                None => {}
+            }
+        }
         if !missing.is_empty() {
             for parent in &missing {
                 self.waiters.entry(*parent).or_default().push(reference);
@@ -163,28 +197,26 @@ impl BlockStore {
             return Ok(InsertResult::Pending(missing));
         }
         let mut admitted = vec![reference];
-        self.admit(block);
+        self.admit_resolved(block, resolved);
         self.drain_waiters(reference, &mut admitted);
         Ok(InsertResult::Inserted(admitted))
     }
 
-    /// Links a now-complete block into the DAG. All parents must be present
-    /// (or garbage-collected, in which case the edge is pruned).
-    fn admit(&mut self, block: Arc<Block>) {
+    /// Links a now-complete block into the DAG given its already-resolved
+    /// parent indexes (garbage-collected parents are pruned edges). Callers
+    /// resolve parents while proving completeness, so no edge is looked up
+    /// twice.
+    fn admit_resolved(&mut self, block: Arc<Block>, parents: Vec<BlockIdx>) {
         let reference = block.reference();
-        let parents = block
-            .parents()
-            .iter()
-            .filter_map(|parent| self.by_ref.get(parent).copied())
-            .collect();
         let index = self.blocks.len() as BlockIdx;
         self.blocks.push(StoredBlock { block, parents });
         self.by_ref.insert(reference, index);
-        let slots = self
+        let round_slots = self
             .rounds
             .entry(reference.round)
-            .or_insert_with(|| vec![Vec::new(); self.committee_size]);
-        let slot = &mut slots[reference.author.as_usize()];
+            .or_insert_with(|| RoundSlots::new(self.committee_size));
+        round_slots.present.insert(reference.author);
+        let slot = &mut round_slots.slots[reference.author.as_usize()];
         slot.push(index);
         // Fault attribution at the source: the second digest landing in a
         // slot is conclusive evidence of equivocation. Emit one proof per
@@ -199,6 +231,9 @@ impl BlockStore {
                     debug_assert!(false, "slot-mates must form a proof: {error}");
                 }
             }
+        }
+        if slot.len() > 1 {
+            self.equivocators.insert(reference.author);
         }
         self.highest_round = self.highest_round.max(reference.round);
     }
@@ -215,12 +250,22 @@ impl BlockStore {
                 let Some(block) = self.pending.get(&dependent) else {
                     continue; // already admitted via another parent
                 };
-                let complete = block.parents().iter().all(|reference| {
-                    reference.round < self.gc_cutoff || self.by_ref.contains_key(reference)
-                });
+                // Resolve while proving completeness: one lookup per edge.
+                let mut resolved = Vec::with_capacity(block.parents().len());
+                let mut complete = true;
+                for reference in block.parents() {
+                    match self.by_ref.get(reference) {
+                        Some(&index) => resolved.push(index),
+                        None if reference.round < self.gc_cutoff => {}
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
                 if complete {
                     let block = self.pending.remove(&dependent).expect("present");
-                    self.admit(block);
+                    self.admit_resolved(block, resolved);
                     admitted.push(dependent);
                     frontier.push(dependent);
                 }
@@ -243,10 +288,11 @@ impl BlockStore {
     /// All blocks of `round`, across every authority and equivocation
     /// (`DAG[r, *]`).
     pub fn blocks_at_round(&self, round: Round) -> Vec<&Arc<Block>> {
-        let Some(slots) = self.rounds.get(&round) else {
+        let Some(round_slots) = self.rounds.get(&round) else {
             return Vec::new();
         };
-        slots
+        round_slots
+            .slots
             .iter()
             .flatten()
             .map(|&index| &self.blocks[index as usize].block)
@@ -256,26 +302,24 @@ impl BlockStore {
     /// All blocks occupying `slot` (`DAG[r, v]`; more than one only under
     /// equivocation).
     pub fn blocks_in_slot(&self, slot: Slot) -> Vec<&Arc<Block>> {
-        let Some(slots) = self.rounds.get(&slot.round) else {
+        let Some(round_slots) = self.rounds.get(&slot.round) else {
             return Vec::new();
         };
-        slots[slot.authority.as_usize()]
+        round_slots.slots[slot.authority.as_usize()]
             .iter()
             .map(|&index| &self.blocks[index as usize].block)
             .collect()
     }
 
     /// Distinct authorities with at least one block at `round`.
-    pub fn authorities_at_round(&self, round: Round) -> Vec<AuthorityIndex> {
-        let Some(slots) = self.rounds.get(&round) else {
-            return Vec::new();
-        };
-        slots
-            .iter()
-            .enumerate()
-            .filter(|(_, blocks)| !blocks.is_empty())
-            .map(|(author, _)| AuthorityIndex::from(author))
-            .collect()
+    ///
+    /// An O(1) copy of the round's maintained presence bitset — the quorum
+    /// tally the engine runs once per input allocates nothing.
+    pub fn authorities_at_round(&self, round: Round) -> AuthoritySet {
+        self.rounds
+            .get(&round)
+            .map(|round_slots| round_slots.present)
+            .unwrap_or_default()
     }
 
     /// The highest round with any stored block.
@@ -337,17 +381,10 @@ impl BlockStore {
 
     /// Authorities with more than one stored block in some round — the
     /// equivocators visible in this store's current (possibly compacted)
-    /// view. Unlike the drained proofs this is recomputed from live state.
-    pub fn equivocators(&self) -> HashSet<AuthorityIndex> {
-        let mut authorities = HashSet::new();
-        for slots in self.rounds.values() {
-            for (author, indexes) in slots.iter().enumerate() {
-                if indexes.len() > 1 {
-                    authorities.insert(AuthorityIndex::from(author));
-                }
-            }
-        }
-        authorities
+    /// view. Maintained incrementally at admission (and rebuilt by
+    /// [`BlockStore::compact`]), so this is an O(1) bitset copy.
+    pub fn equivocators(&self) -> AuthoritySet {
+        self.equivocators
     }
 
     pub(crate) fn index_of(&self, reference: &BlockRef) -> Option<BlockIdx> {
@@ -404,10 +441,14 @@ impl BlockStore {
             }
         });
         self.rounds.retain(|&round, _| round >= cutoff);
-        for slots in self.rounds.values_mut() {
-            for indexes in slots.iter_mut() {
+        self.equivocators.clear();
+        for round_slots in self.rounds.values_mut() {
+            for (author, indexes) in round_slots.slots.iter_mut().enumerate() {
                 for index in indexes.iter_mut() {
                     *index = remap[index];
+                }
+                if indexes.len() > 1 {
+                    self.equivocators.insert(AuthorityIndex::from(author));
                 }
             }
         }
@@ -433,16 +474,17 @@ impl BlockStore {
 
     /// Distinct authorities of round `round` satisfying `predicate` on at
     /// least one of their blocks (equivocation-tolerant counting used by the
-    /// decision rules).
-    pub fn authorities_with<F>(&self, round: Round, predicate: F) -> HashSet<AuthorityIndex>
+    /// decision rules). Returned as an allocation-free bitset; cardinality
+    /// checks against the quorum thresholds are popcounts.
+    pub fn authorities_with<F>(&self, round: Round, predicate: F) -> AuthoritySet
     where
         F: Fn(&Arc<Block>) -> bool,
     {
-        let mut authorities = HashSet::new();
-        let Some(slots) = self.rounds.get(&round) else {
+        let mut authorities = AuthoritySet::new();
+        let Some(round_slots) = self.rounds.get(&round) else {
             return authorities;
         };
-        for (author, indexes) in slots.iter().enumerate() {
+        for (author, indexes) in round_slots.slots.iter().enumerate() {
             for &index in indexes {
                 if predicate(&self.blocks[index as usize].block) {
                     authorities.insert(AuthorityIndex::from(author));
@@ -470,6 +512,7 @@ impl fmt::Debug for BlockStore {
 mod tests {
     use super::*;
     use mahimahi_types::{BlockBuilder, TestCommittee, Transaction};
+    use std::collections::HashSet;
 
     fn setup() -> TestCommittee {
         TestCommittee::new(4, 11)
@@ -615,14 +658,17 @@ mod tests {
         let in_slot = store.blocks_in_slot(slot);
         assert_eq!(in_slot.len(), 2);
         assert_eq!(store.blocks_at_round(1).len(), 2);
-        assert_eq!(store.authorities_at_round(1), vec![AuthorityIndex(1)]);
+        assert_eq!(
+            store.authorities_at_round(1).iter().collect::<Vec<_>>(),
+            vec![AuthorityIndex(1)]
+        );
 
         // Detection at the source: the second digest emitted a proof naming
         // exactly the equivocator.
         assert_eq!(store.pending_evidence_count(), 1);
         assert_eq!(
             store.equivocators(),
-            HashSet::from([AuthorityIndex(1)]),
+            AuthoritySet::from_iter([AuthorityIndex(1)]),
             "live view agrees with the emitted evidence"
         );
         let evidence = store.take_equivocation_evidence();

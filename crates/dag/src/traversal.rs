@@ -11,7 +11,7 @@
 //! - `LinearizeSubDags`: the commit-sequence expansion of DagRider used in
 //!   Step 5 of the decision rule.
 
-use mahimahi_types::{Block, BlockRef, Slot};
+use mahimahi_types::{AuthoritySet, Block, BlockRef, Slot};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -81,7 +81,7 @@ impl BlockStore {
             _ => None,
         };
         let mut result = false;
-        let mut vote_authors = HashSet::new();
+        let mut vote_authors = AuthoritySet::new();
         for parent in certificate.parents() {
             if self.is_vote(parent, leader) {
                 vote_authors.insert(parent.author);

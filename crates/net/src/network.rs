@@ -71,8 +71,10 @@ pub struct SimNetwork<P, L, A> {
     rng: ChaCha8Rng,
     /// Per-node egress NIC availability (serialization queueing).
     egress_busy_until: Vec<Time>,
-    /// Per-link last delivery time (TCP FIFO).
-    link_last_delivery: HashMap<(usize, usize), Time>,
+    /// Per-link last delivery time (TCP FIFO), dense over the `n × n`
+    /// routing table at `from * nodes + to` — every message consults this
+    /// on the send path, and at n = 50 an index beats a hash of the pair.
+    link_last_delivery: Vec<Time>,
     /// In-flight messages keyed by (time, sequence) for deterministic order.
     queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
     /// Payload storage parallel to queue entries.
@@ -90,7 +92,7 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
         SimNetwork {
             rng: ChaCha8Rng::seed_from_u64(config.seed),
             egress_busy_until: vec![0; config.nodes],
-            link_last_delivery: HashMap::new(),
+            link_last_delivery: vec![0; config.nodes * config.nodes],
             queue: BinaryHeap::new(),
             payloads: HashMap::new(),
             sequence: 0,
@@ -145,13 +147,9 @@ impl<P, L: LatencyModel, A: Adversary> SimNetwork<P, L, A> {
             "adversary accelerated a message"
         );
         // Per-link FIFO (TCP): never deliver before an earlier send.
-        let fifo_floor = self
-            .link_last_delivery
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(0);
-        let deliver_at = scheduled.max(fifo_floor);
-        self.link_last_delivery.insert((from, to), deliver_at);
+        let link = from * self.config.nodes + to;
+        let deliver_at = scheduled.max(self.link_last_delivery[link]);
+        self.link_last_delivery[link] = deliver_at;
 
         self.sequence += 1;
         self.bytes_sent += size as u64;

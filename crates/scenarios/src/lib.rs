@@ -45,10 +45,10 @@ pub mod scenario;
 
 pub use matrix::{
     adversaries, attack_behaviors, full_matrix, protocols, report_json, run_scenario, smoke_matrix,
-    OracleOutcome, ScenarioResult, SCALE_COMMITTEE,
+    OracleOutcome, ScenarioResult, LARGE_COMMITTEE, SCALE_COMMITTEE,
 };
 pub use oracle::{
-    default_oracles, CommitAgreement, CommitLatencyBound, EvidenceAttribution, Liveness, Oracle,
-    StateRootAgreement, TxIntegrity, UniqueSlotCommit,
+    default_oracles, CommitAgreement, CommitLatencyBound, CommitLatencyP99, EvidenceAttribution,
+    Liveness, Oracle, StateRootAgreement, TxIntegrity, UniqueSlotCommit,
 };
 pub use scenario::{Scenario, ScenarioRun};

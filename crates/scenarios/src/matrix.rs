@@ -3,7 +3,7 @@
 use mahimahi_net::time;
 use mahimahi_sim::{AdversaryChoice, Behavior, LatencyChoice, ProtocolChoice, SimConfig};
 
-use crate::oracle::{default_oracles, CommitLatencyBound};
+use crate::oracle::{default_oracles, CommitLatencyBound, CommitLatencyP99};
 use crate::scenario::Scenario;
 
 /// The four systems under test, in the paper's plotting order.
@@ -33,6 +33,7 @@ pub fn attack_behaviors() -> Vec<Behavior> {
             delay: time::from_millis(150),
         },
         Behavior::ForkSpammer { forks: 3 },
+        Behavior::Adaptive,
     ]
 }
 
@@ -69,6 +70,12 @@ const BASE_COMMITTEE: usize = 4;
 
 /// The larger committee exercised by the scale row (`f = 3`).
 pub const SCALE_COMMITTEE: usize = 10;
+
+/// The committee-scale row (`f = 16`, the paper's largest deployment).
+/// These cells run on the geo-replicated WAN latency model with per-link
+/// jitter, so the dense-indexing hot paths are exercised under realistic
+/// message schedules rather than the uniform lab model.
+pub const LARGE_COMMITTEE: usize = 50;
 
 /// One matrix cell, fully determined by its coordinates: the seed is a
 /// stable function of `(protocol, behavior, adversary, committee)`, so any
@@ -111,16 +118,30 @@ fn cell(
     } else {
         time::from_secs(8)
     };
+    // The committee-scale row runs on the geo-replicated WAN model (real
+    // inter-region latencies plus per-link jitter): dense-indexing hot
+    // paths only face realistic message schedules there. Smaller cells keep
+    // the uniform lab model so their seeds and outcomes stay byte-stable
+    // across revisions. Per-validator load is scaled down at n = 50 to keep
+    // the offered load (and the debug-mode sweep runtime) comparable.
+    let (latency, txs_per_second_per_validator) = if committee_size >= LARGE_COMMITTEE {
+        (LatencyChoice::aws_wan(), 8)
+    } else {
+        (
+            LatencyChoice::Uniform {
+                min: time::from_millis(20),
+                max: time::from_millis(60),
+            },
+            40,
+        )
+    };
     let config = SimConfig {
         protocol,
         committee_size,
         behaviors,
         duration,
-        txs_per_second_per_validator: 40,
-        latency: LatencyChoice::Uniform {
-            min: time::from_millis(20),
-            max: time::from_millis(60),
-        },
+        txs_per_second_per_validator,
+        latency,
         adversary,
         seed,
         ..SimConfig::default()
@@ -143,11 +164,16 @@ fn cell(
 }
 
 /// The full sweep: every protocol × every behavior (plus an all-honest
-/// baseline) × every adversary at `n = 4` — 4 × 9 × 4 = 144 seeded
-/// scenarios — plus the `n = 10` scale row: every protocol × every
-/// adversary with an equivocator in the last slot (16 more cells), so
-/// commit agreement, fault attribution, and transaction integrity are all
-/// exercised at a committee with `f = 3`.
+/// baseline) × every adversary at `n = 4` — 4 × 10 × 4 = 160 seeded
+/// scenarios — plus two scale rows:
+///
+/// - the `n = 10` row: every protocol × every adversary with an
+///   equivocator in the last slot (16 cells), exercising commit agreement,
+///   fault attribution, and transaction integrity at `f = 3`;
+/// - the `n = 50` row: every protocol × every adversary with the
+///   *adaptive* adversary in the last slot (16 cells) on the geo-jitter
+///   WAN model, exercising the dense-indexing hot paths and the p99
+///   commit-latency oracle at `f = 16`.
 pub fn full_matrix() -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for (protocol_index, &protocol) in protocols().iter().enumerate() {
@@ -168,8 +194,8 @@ pub fn full_matrix() -> Vec<Scenario> {
                 ));
             }
         }
-        // The n = 10 scale row (behavior index past the n = 4 rows keeps
-        // the seed lattice regular).
+        // The scale rows (behavior indexes past the n = 4 rows keep the
+        // seed lattice regular; the committee term disambiguates).
         for (adversary_index, &(adversary_name, adversary)) in adversaries().iter().enumerate() {
             scenarios.push(cell(
                 protocol,
@@ -182,13 +208,25 @@ pub fn full_matrix() -> Vec<Scenario> {
                 SCALE_COMMITTEE,
             ));
         }
+        for (adversary_index, &(adversary_name, adversary)) in adversaries().iter().enumerate() {
+            scenarios.push(cell(
+                protocol,
+                protocol_index,
+                Some(Behavior::Adaptive),
+                10,
+                adversary_name,
+                adversary,
+                adversary_index,
+                LARGE_COMMITTEE,
+            ));
+        }
     }
     scenarios
 }
 
 /// A deterministic diagonal subset for quick CI smoke runs: every behavior,
-/// every protocol, every adversary, and both committee sizes appear at
-/// least once, in 10 cells instead of 160.
+/// every protocol, every adversary, and all three committee sizes appear
+/// at least once, in 12 cells instead of 192.
 pub fn smoke_matrix() -> Vec<Scenario> {
     let protocols = protocols();
     let adversaries = adversaries();
@@ -213,7 +251,8 @@ pub fn smoke_matrix() -> Vec<Scenario> {
             )
         })
         .collect();
-    // One n = 10 scale cell (same coordinates as its full-matrix twin).
+    // One cell per scale row (same coordinates as their full-matrix
+    // twins, so the smoke names are a strict subset of the full sweep).
     let (adversary_name, adversary) = adversaries[0];
     scenarios.push(cell(
         protocols[0],
@@ -224,6 +263,17 @@ pub fn smoke_matrix() -> Vec<Scenario> {
         adversary,
         0,
         SCALE_COMMITTEE,
+    ));
+    let (adversary_name, adversary) = adversaries[1];
+    scenarios.push(cell(
+        protocols[1],
+        1,
+        Some(Behavior::Adaptive),
+        10,
+        adversary_name,
+        adversary,
+        1,
+        LARGE_COMMITTEE,
     ));
     scenarios
 }
@@ -256,8 +306,12 @@ pub struct ScenarioResult {
     pub highest_round: u64,
     /// Mean client latency in seconds.
     pub latency_mean_s: f64,
+    /// p99 client latency in seconds (0 when nothing committed).
+    pub latency_p99_s: f64,
     /// The commit-frontier lag bound this cell was held to.
     pub lag_bound_rounds: u64,
+    /// The wall-clock p99 commit-latency budget this cell was held to.
+    pub p99_bound_s: f64,
     /// Per-validator convicted-equivocator sets (authority indexes, index
     /// order) — the fault-attribution output the `evidence-attribution`
     /// oracle checks.
@@ -314,7 +368,8 @@ impl ScenarioResult {
         format!(
             "{{\"name\":\"{}\",\"seed\":{},\"committee_size\":{},\
              \"committed_transactions\":{},\"committed_slots\":{},\"skipped_slots\":{},\
-             \"highest_round\":{},\"latency_mean_s\":{:.4},\"lag_bound_rounds\":{},\
+             \"highest_round\":{},\"latency_mean_s\":{:.4},\"latency_p99_s\":{:.4},\
+             \"lag_bound_rounds\":{},\"p99_bound_s\":{:.4},\
              \"culprits\":[{}],\"pass\":{},\"oracles\":[{}]}}",
             escape(&self.name),
             self.seed,
@@ -324,7 +379,9 @@ impl ScenarioResult {
             self.skipped_slots,
             self.highest_round,
             self.latency_mean_s,
+            self.latency_p99_s,
             self.lag_bound_rounds,
+            self.p99_bound_s,
             culprits,
             self.pass(),
             oracles,
@@ -351,7 +408,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
         skipped_slots: run.report.skipped_slots,
         highest_round: run.report.highest_round,
         latency_mean_s: run.report.latency.mean_s(),
+        latency_p99_s: if run.report.latency.is_empty() {
+            0.0
+        } else {
+            run.report.latency.clone().p99_s()
+        },
         lag_bound_rounds: CommitLatencyBound::bound(scenario),
+        p99_bound_s: CommitLatencyP99::bound_s(scenario),
         culprits: run
             .culprits
             .iter()
@@ -398,8 +461,8 @@ mod tests {
     #[test]
     fn full_matrix_covers_the_whole_space() {
         let scenarios = full_matrix();
-        // 144 n = 4 cells plus the 16-cell n = 10 scale row.
-        assert_eq!(scenarios.len(), 4 * 9 * 4 + 4 * 4);
+        // 160 n = 4 cells plus the 16-cell n = 10 and n = 50 scale rows.
+        assert_eq!(scenarios.len(), 4 * 10 * 4 + 4 * 4 + 4 * 4);
         for protocol in protocols() {
             assert!(scenarios
                 .iter()
@@ -411,8 +474,8 @@ mod tests {
         for (adversary, _) in adversaries() {
             assert!(scenarios.iter().any(|s| s.name.ends_with(adversary)));
         }
-        // The scale row: every protocol × every adversary at n = 10, with
-        // the Byzantine slot at the last authority.
+        // The scale rows: every protocol × every adversary at n = 10 and
+        // n = 50, with the Byzantine slot at the last authority.
         let scale: Vec<&Scenario> = scenarios
             .iter()
             .filter(|s| s.name.contains("@n10"))
@@ -425,6 +488,20 @@ mod tests {
                 mahimahi_sim::Behavior::Equivocator
             );
         }
+        let large: Vec<&Scenario> = scenarios
+            .iter()
+            .filter(|s| s.name.contains("@n50"))
+            .collect();
+        assert_eq!(large.len(), 4 * 4);
+        for scenario in &large {
+            assert_eq!(scenario.config.committee_size, LARGE_COMMITTEE);
+            assert_eq!(
+                scenario.config.behavior_of(LARGE_COMMITTEE - 1),
+                mahimahi_sim::Behavior::Adaptive
+            );
+            // The committee-scale row runs on the geo-jitter WAN model.
+            assert_eq!(scenario.config.latency, LatencyChoice::aws_wan());
+        }
         // Seeds are unique: every cell is independently reproducible.
         let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.config.seed).collect();
         seeds.sort_unstable();
@@ -435,7 +512,7 @@ mod tests {
     #[test]
     fn smoke_matrix_is_a_covering_subset() {
         let smoke = smoke_matrix();
-        assert_eq!(smoke.len(), 10);
+        assert_eq!(smoke.len(), 12);
         let full: Vec<String> = full_matrix().iter().map(|s| s.name.clone()).collect();
         for scenario in &smoke {
             assert!(
@@ -448,6 +525,9 @@ mod tests {
             assert!(smoke.iter().any(|s| s.name.contains(behavior.label())));
         }
         assert!(smoke.iter().any(|s| s.config.committee_size == 10));
+        assert!(smoke
+            .iter()
+            .any(|s| s.config.committee_size == LARGE_COMMITTEE));
     }
 
     #[test]
@@ -461,7 +541,9 @@ mod tests {
             skipped_slots: 2,
             highest_round: 40,
             latency_mean_s: 0.5,
+            latency_p99_s: 0.9,
             lag_bound_rounds: 38,
+            p99_bound_s: 2.5,
             culprits: vec![vec![3], vec![3], vec![3], Vec::new()],
             oracles: vec![
                 OracleOutcome {

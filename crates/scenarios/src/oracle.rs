@@ -1,6 +1,7 @@
 //! Conformance oracles: invariants checked after every scenario run.
 
-use mahimahi_sim::AdversaryChoice;
+use mahimahi_net::time;
+use mahimahi_sim::{AdversaryChoice, LatencyChoice, SimConfig};
 use mahimahi_types::{BlockRef, Checkpoint, Slot};
 use std::collections::HashMap;
 
@@ -29,6 +30,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(CommitAgreement),
         Box::new(UniqueSlotCommit),
         Box::new(CommitLatencyBound),
+        Box::new(CommitLatencyP99),
         Box::new(Liveness),
         Box::new(EvidenceAttribution),
         Box::new(TxIntegrity),
@@ -152,6 +154,103 @@ impl Oracle for CommitLatencyBound {
                 "commit frontier lags the DAG by {lag} rounds (> {bound}): highest round {}, \
                  last committed leader round {frontier}",
                 run.report.highest_round
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Commit-latency *distribution* bound: the p99 client latency (submission
+/// → commit at the observer) must stay under a budget derived from the
+/// scenario's wave structure, network model, adversary, and fault
+/// configuration. Complements [`CommitLatencyBound`]: a run can keep its
+/// commit frontier within the round-lag bound while still serving an
+/// unbounded latency tail to clients (transactions stuck behind a stalled
+/// anchor, a healed partition, or a held-back quorum), and the paper's
+/// headline claim is about end-to-end latency, not frontier geometry.
+pub struct CommitLatencyP99;
+
+impl CommitLatencyP99 {
+    /// Worst-case one-way network delay of the configured model, seconds.
+    fn worst_one_way_s(config: &SimConfig) -> f64 {
+        match config.latency {
+            LatencyChoice::Uniform { max, .. } => time::as_secs_f64(max),
+            // Worst inter-region mean (Oregon ↔ Cape Town, 138 ms) plus
+            // the multiplicative jitter ceiling and a generous allowance
+            // for the exponential tail (P(tail > 5·mean) < 1%).
+            LatencyChoice::AwsWan {
+                jitter_percent,
+                tail_mean,
+            } => 0.138 * (1.0 + jitter_percent as f64 / 100.0) + 5.0 * time::as_secs_f64(tail_mean),
+        }
+    }
+
+    /// The p99 latency budget in seconds for `scenario`.
+    ///
+    /// Structure mirrors [`CommitLatencyBound::bound`], converted from
+    /// rounds into wall-clock: a round costs one message delay on an
+    /// uncertified DAG and three on a certified one (proposal → acks →
+    /// certificate), plus the configured inclusion wait. The base term
+    /// covers inclusion into a block, the wave itself with its coin
+    /// opening, and a wave of indirect resolution; slack terms cover
+    /// decision-stalling schedules and faulty slots resolved through later
+    /// anchors.
+    pub fn bound_s(scenario: &Scenario) -> f64 {
+        let config = &scenario.config;
+        let schedule = config.protocol.leader_schedule();
+        let wave = schedule.wave_length as f64;
+        let hops = if config.protocol.certified() {
+            3.0
+        } else {
+            1.0
+        };
+        let per_round =
+            hops * Self::worst_one_way_s(config) + time::as_secs_f64(config.inclusion_wait);
+        // Non-overlapping schedules propose once per wave, so a freshly
+        // submitted transaction can wait a whole extra wave for a
+        // transaction-carrying anchor.
+        let waves = if schedule.overlapping { 3.0 } else { 4.0 };
+        let base = waves * wave * per_round;
+        let adversary_slack = match config.adversary {
+            AdversaryChoice::None => 0.0,
+            AdversaryChoice::RandomSubset { hold } => 2.0 * wave * time::as_secs_f64(hold),
+            AdversaryChoice::RotatingDelay { extra, .. } => 2.0 * wave * time::as_secs_f64(extra),
+            // A transaction submitted as the partition forms can wait out
+            // the entire split, then needs fresh waves to commit.
+            AdversaryChoice::Partition { heals_at, .. } => {
+                time::as_secs_f64(heals_at) + 2.0 * wave * per_round
+            }
+        };
+        // Three waves, not two: a faulty leader's slot resolves through a
+        // later anchor, and under a delivery adversary that rescuing anchor
+        // can itself slip a wave before its support quorum assembles.
+        let fault_slack =
+            if (0..config.committee_size).all(|index| scenario.behavior_of(index).is_correct()) {
+                0.0
+            } else {
+                3.0 * wave * per_round
+            };
+        base + adversary_slack + fault_slack
+    }
+}
+
+impl Oracle for CommitLatencyP99 {
+    fn name(&self) -> &'static str {
+        "commit-latency-p99"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        if run.report.latency.is_empty() {
+            return Ok(()); // no commits at all: the liveness oracle decides
+        }
+        let p99 = run.report.latency.clone().p99_s();
+        let bound = Self::bound_s(scenario);
+        if p99 > bound {
+            return Err(format!(
+                "p99 commit latency {p99:.3}s exceeds the {bound:.3}s budget \
+                 (mean {:.3}s over {} samples)",
+                run.report.latency.mean_s(),
+                run.report.latency.len()
             ));
         }
         Ok(())
@@ -531,6 +630,52 @@ mod tests {
         assert!(EvidenceAttribution.check(&tusk, &run).is_ok());
         run.culprits[0] = vec![AuthorityIndex(3)];
         assert!(EvidenceAttribution.check(&tusk, &run).is_err());
+    }
+
+    #[test]
+    fn p99_bound_catches_heavy_latency_tails() {
+        let scenario = scenario();
+        let mut run = run_with_logs(vec![vec![Some(reference(1, 0, 1))]; 4]);
+        // Empty stats: liveness decides, not this oracle.
+        assert!(CommitLatencyP99.check(&scenario, &run).is_ok());
+        // A healthy distribution under the ~0.75 s budget of this config.
+        for _ in 0..50 {
+            run.report.latency.record(time::from_millis(200));
+        }
+        assert!(CommitLatencyP99.check(&scenario, &run).is_ok());
+        // A 5-second straggler in the top percentile blows the p99.
+        run.report.latency.record(time::from_secs(5));
+        let violation = CommitLatencyP99.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("p99 commit latency"));
+    }
+
+    #[test]
+    fn p99_budgets_scale_with_protocol_adversary_and_faults() {
+        // Wire latency must be non-negligible for hop counts to register.
+        let wan = || {
+            let mut scenario = scenario();
+            scenario.config.latency = LatencyChoice::Uniform {
+                min: time::from_millis(20),
+                max: time::from_millis(60),
+            };
+            scenario
+        };
+        let benign = wan();
+        // Certified rounds cost three hops instead of one.
+        let mut tusk = wan();
+        tusk.config.protocol = ProtocolChoice::Tusk;
+        assert!(CommitLatencyP99::bound_s(&tusk) > CommitLatencyP99::bound_s(&benign));
+        // A partition adds its full healing time to the budget.
+        let mut partitioned = wan();
+        partitioned.config.adversary = mahimahi_sim::AdversaryChoice::Partition {
+            minority: 1,
+            heals_at: time::from_secs(1),
+        };
+        assert!(CommitLatencyP99::bound_s(&partitioned) > CommitLatencyP99::bound_s(&benign) + 1.0);
+        // Faulty slots resolved through later anchors widen the tail.
+        let mut faulty = wan();
+        faulty.config.behaviors = vec![(3, Behavior::Adaptive)];
+        assert!(CommitLatencyP99::bound_s(&faulty) > CommitLatencyP99::bound_s(&benign));
     }
 
     #[test]

@@ -171,6 +171,17 @@ pub enum Behavior {
         /// Number of conflicting variants per round (clamped to ≥ 2).
         forks: usize,
     },
+    /// Adaptive attacker: instead of following a static schedule, it reads
+    /// its own live DAG every propose round and picks victims from what it
+    /// sees. On rounds where it owns a leader slot it withholds its block,
+    /// disclosing it to only `f` peers — preferring the *laggards* (peers
+    /// whose previous-round block has not arrived), the peers least able
+    /// to relay the disclosure onward. On every other round it equivocates
+    /// and routes the conflicting variant at those same laggards, who
+    /// cannot immediately cross-check it against what the caught-up
+    /// majority holds. Degrades to honest behavior under Tusk's certified
+    /// DAG (consistent broadcast makes both halves of the attack moot).
+    Adaptive,
 }
 
 impl Behavior {
@@ -198,6 +209,7 @@ impl Behavior {
                 | Behavior::WithholdingLeader
                 | Behavior::SplitBrainEquivocator { .. }
                 | Behavior::ForkSpammer { .. }
+                | Behavior::Adaptive
         )
     }
 
@@ -212,6 +224,7 @@ impl Behavior {
             Behavior::Equivocator
                 | Behavior::SplitBrainEquivocator { .. }
                 | Behavior::ForkSpammer { .. }
+                | Behavior::Adaptive
         )
     }
 
@@ -227,15 +240,26 @@ impl Behavior {
             Behavior::SplitBrainEquivocator { .. } => "split-brain",
             Behavior::SlowProposer { .. } => "slow-proposer",
             Behavior::ForkSpammer { .. } => "fork-spammer",
+            Behavior::Adaptive => "adaptive",
         }
     }
 }
 
 /// Network delay model selection.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatencyChoice {
-    /// The paper's five-region AWS WAN.
-    AwsWan,
+    /// The paper's five-region AWS WAN (Ohio / Oregon / Cape Town /
+    /// Hong Kong / Milan, real inter-region RTT matrix, validators
+    /// assigned round-robin), with tunable per-link jitter.
+    AwsWan {
+        /// Multiplicative per-link jitter half-width in percent
+        /// (5 → each sample scaled by a uniform factor in ±5%).
+        jitter_percent: u64,
+        /// Mean of the additive exponential-tail jitter (occasional slow
+        /// packets; keeps the delay distribution right-skewed like a real
+        /// WAN).
+        tail_mean: Time,
+    },
     /// Uniform delay in `[min, max]` (unit tests, controlled experiments).
     Uniform {
         /// Minimum one-way delay.
@@ -243,6 +267,17 @@ pub enum LatencyChoice {
         /// Maximum one-way delay.
         max: Time,
     },
+}
+
+impl LatencyChoice {
+    /// The paper's WAN with its default jitter (±5% multiplicative, 2 ms
+    /// exponential tail).
+    pub fn aws_wan() -> Self {
+        LatencyChoice::AwsWan {
+            jitter_percent: 5,
+            tail_mean: time::from_millis(2),
+        }
+    }
 }
 
 /// Delivery-schedule adversary selection (see `mahimahi-net`).
@@ -387,7 +422,7 @@ impl Default for SimConfig {
             tx_wire_size: 512,
             mempool: MempoolConfig::default(),
             track_tx_integrity: true,
-            latency: LatencyChoice::AwsWan,
+            latency: LatencyChoice::aws_wan(),
             adversary: AdversaryChoice::None,
             cpu: CpuCosts::default(),
             inclusion_wait: time::from_millis(50),

@@ -104,8 +104,12 @@ pub struct Simulation {
     /// Deliveries deferred because the recipient's CPU was busy.
     deferred: BinaryHeap<Reverse<DeferredDelivery>>,
     deferred_sequence: u64,
-    /// Scheduled `maybe_advance` wake-ups: (time, validator).
-    wakeups: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Scheduled `maybe_advance` wake-ups: (time, sequence, validator).
+    /// The sequence makes equal-timestamp pops FIFO — `BinaryHeap` is not
+    /// stable, so without it the pop order of colliding wake-ups would
+    /// depend on heap insertion history rather than on the seed.
+    wakeups: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    wakeup_sequence: u64,
     /// Per-validator CPU availability.
     cpu_busy_until: Vec<Time>,
     now: Time,
@@ -151,7 +155,12 @@ impl Simulation {
         let setup = TestCommittee::new(config.committee_size, config.seed);
         let nodes = config.committee_size;
         let latency = match config.latency {
-            LatencyChoice::AwsWan => AnyLatency::Geo(GeoLatency::aws(nodes)),
+            LatencyChoice::AwsWan {
+                jitter_percent,
+                tail_mean,
+            } => AnyLatency::Geo(
+                GeoLatency::aws(nodes).with_jitter(jitter_percent as f64 / 100.0, tail_mean),
+            ),
             LatencyChoice::Uniform { min, max } => {
                 AnyLatency::Uniform(UniformLatency::new(min, max))
             }
@@ -197,6 +206,7 @@ impl Simulation {
             deferred: BinaryHeap::new(),
             deferred_sequence: 0,
             wakeups: BinaryHeap::new(),
+            wakeup_sequence: 0,
             cpu_busy_until: vec![0; nodes],
             now: 0,
             next_batch_at: 0,
@@ -295,7 +305,7 @@ impl Simulation {
         loop {
             let next_network = self.network.next_delivery_time();
             let next_deferred = self.deferred.peek().map(|Reverse((time, ..))| *time);
-            let next_wakeup = self.wakeups.peek().map(|Reverse((time, _))| *time);
+            let next_wakeup = self.wakeups.peek().map(|Reverse((time, ..))| *time);
             let next_batch =
                 (self.next_batch_at <= self.config.duration).then_some(self.next_batch_at);
             let Some(next) = [next_network, next_deferred, next_wakeup, next_batch]
@@ -311,7 +321,7 @@ impl Simulation {
             self.now = next;
 
             if Some(next) == next_wakeup {
-                let Reverse((_, validator)) = self.wakeups.pop().expect("peeked");
+                let Reverse((_, _, validator)) = self.wakeups.pop().expect("peeked");
                 let actions = self.validators[validator].maybe_advance(self.now);
                 self.perform(validator, actions);
                 continue;
@@ -458,7 +468,9 @@ impl Simulation {
                     let _ = observer;
                 }
                 Action::WakeAt(time) => {
-                    self.wakeups.push(Reverse((time.max(self.now), origin)));
+                    self.wakeup_sequence += 1;
+                    self.wakeups
+                        .push(Reverse((time.max(self.now), self.wakeup_sequence, origin)));
                 }
             }
         }
@@ -622,6 +634,7 @@ mod tests {
             Behavior::Equivocator,
             Behavior::SplitBrainEquivocator { minority: 1 },
             Behavior::ForkSpammer { forks: 3 },
+            Behavior::Adaptive,
         ] {
             let mut config = base_config(ProtocolChoice::MahiMahi5 { leaders: 2 });
             config.behaviors = vec![(3, behavior)];
@@ -694,6 +707,41 @@ mod tests {
         config.behaviors = vec![(3, Behavior::WithholdingLeader)];
         let report = Simulation::new(config).run();
         assert!(report.committed_transactions > 0, "{report:?}");
+    }
+
+    #[test]
+    fn colliding_wakeups_pop_in_insertion_order() {
+        // Wake-ups scheduled for the identical instant must pop FIFO
+        // regardless of the heap shape at push time — `BinaryHeap` alone is
+        // not stable, and an insertion-history-dependent pop order at equal
+        // timestamps would break seed reproducibility. The interleaved
+        // later entry perturbs the heap exactly the way a live run does.
+        let mut sim = Simulation::new(base_config(ProtocolChoice::MahiMahi5 { leaders: 2 }));
+        let collide = time::from_millis(500);
+        let later = time::from_millis(700);
+        for (validator, at) in [
+            (3, collide),
+            (0, later),
+            (1, collide),
+            (2, collide),
+            (0, collide),
+        ] {
+            sim.perform(validator, vec![Action::WakeAt(at)]);
+        }
+        let mut popped = Vec::new();
+        while let Some(Reverse((at, _, validator))) = sim.wakeups.pop() {
+            popped.push((at, validator));
+        }
+        assert_eq!(
+            popped,
+            vec![
+                (collide, 3),
+                (collide, 1),
+                (collide, 2),
+                (collide, 0),
+                (later, 0)
+            ]
+        );
     }
 
     #[test]

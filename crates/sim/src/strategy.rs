@@ -249,6 +249,100 @@ impl ProposerStrategy for MuteStrategy {
     }
 }
 
+/// The adaptive attacker: reads its live DAG each propose round and picks
+/// victims from what it actually sees, instead of following a static
+/// schedule like the other strategies.
+///
+/// Victim selection: the *laggards* — peers whose previous-round block has
+/// not reached this validator's store (read through
+/// [`ProposeCtx::authorities_at_round`]). A laggard is the most valuable
+/// target on both halves of the attack: it cannot immediately cross-check
+/// a conflicting variant against what the caught-up majority holds, and a
+/// withheld disclosure handed to it is the least likely to be relayed
+/// onward in time. Already-convicted peers are skipped
+/// ([`ProposeCtx::convicted`]) — evidence against them is circulating, so
+/// confusing them buys nothing.
+///
+/// - On rounds where the attacker owns a leader slot it withholds: the
+///   block reaches only `f` peers (fewer than the `f + 1` validity
+///   threshold), laggards first.
+/// - On every other round it equivocates: variant B at the victims,
+///   variant A everywhere else, own chain continuing on A.
+struct AdaptiveStrategy {
+    elector: Elector,
+}
+
+impl AdaptiveStrategy {
+    /// The victims this round, in ascending authority order. Always a
+    /// proper, non-empty subset of the peers: if the live view offers no
+    /// usable laggard split (nobody lags, or everybody does), fall back to
+    /// the peers past the quorum boundary.
+    fn victims(&self, ctx: &ProposeCtx<'_>) -> Vec<usize> {
+        let n = ctx.committee_size();
+        let own = ctx.authority().as_usize();
+        let present = ctx.authorities_at_round(ctx.round().saturating_sub(1));
+        let convicted = ctx.convicted();
+        let lagging: Vec<usize> = (0..n)
+            .filter(|&peer| peer != own)
+            .filter(|&peer| {
+                let authority = AuthorityIndex::from(peer);
+                !present.contains(authority) && !convicted.contains(authority)
+            })
+            .collect();
+        if !lagging.is_empty() && lagging.len() < n - 1 {
+            return lagging;
+        }
+        let past_quorum: Vec<usize> = (ctx.quorum_threshold()..n)
+            .filter(|&peer| peer != own)
+            .collect();
+        if past_quorum.is_empty() {
+            vec![(own + 1) % n]
+        } else {
+            past_quorum
+        }
+    }
+}
+
+impl ProposerStrategy for AdaptiveStrategy {
+    fn propose(&mut self, ctx: &mut ProposeCtx<'_>) {
+        let n = ctx.committee_size();
+        let own = ctx.authority().as_usize();
+        let victims = self.victims(ctx);
+        if self.elector.is_elected_leader(ctx.round()) {
+            // Leader slot: withhold. Disclose to exactly `f` peers —
+            // victims (laggards) first, padded with the lowest-indexed
+            // other peers if the DAG shows fewer than `f` laggards.
+            let block = ctx.build(None);
+            ctx.admit_own(block.clone());
+            let f = n - ctx.quorum_threshold();
+            let mut disclose: Vec<usize> = victims.iter().copied().take(f).collect();
+            for peer in (0..n).filter(|&peer| peer != own) {
+                if disclose.len() >= f {
+                    break;
+                }
+                if !disclose.contains(&peer) {
+                    disclose.push(peer);
+                }
+            }
+            for peer in disclose {
+                ctx.send(peer, Envelope::Block(block.clone()));
+            }
+            return;
+        }
+        let variant_a = ctx.build(Some(1));
+        let variant_b = ctx.build(Some(2));
+        ctx.admit_own(variant_a.clone());
+        for peer in (0..n).filter(|&peer| peer != own) {
+            let variant = if victims.contains(&peer) {
+                variant_b.clone()
+            } else {
+                variant_a.clone()
+            };
+            ctx.send(peer, Envelope::Block(variant));
+        }
+    }
+}
+
 /// Maps a configured [`Behavior`] onto the strategy the engine runs.
 ///
 /// Equivocation-based attacks degrade to honest behavior under a certified
@@ -268,6 +362,9 @@ pub(crate) fn strategy_for(
             Box::new(SplitBrainStrategy { minority })
         }
         Behavior::ForkSpammer { forks } if !certified => Box::new(ForkSpammerStrategy { forks }),
+        Behavior::Adaptive if !certified => Box::new(AdaptiveStrategy {
+            elector: Elector::new(authority, setup.clone(), schedule),
+        }),
         Behavior::WithholdingLeader => Box::new(WithholdingStrategy {
             elector: Elector::new(authority, setup.clone(), schedule),
         }),

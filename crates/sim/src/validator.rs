@@ -539,6 +539,38 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_attacker_withholds_on_slot_and_equivocates_off_slot() {
+        // Round 1 with an empty round-0 view: the laggard split is
+        // degenerate, so victims fall back to the past-quorum peers. The
+        // observable contract: on a leader slot the block reaches exactly
+        // f peers and only one variant exists; off slot, two conflicting
+        // variants go out and the victims get the minority one.
+        let schedule = ProtocolChoice::MahiMahi5 { leaders: 2 }.leader_schedule();
+        for authority in 0..4u32 {
+            let mut v = validator(authority, Behavior::Adaptive, false);
+            let actions = v.maybe_advance(0);
+            let mut sent: HashMap<usize, BlockRef> = HashMap::new();
+            for action in &actions {
+                if let Action::Send(to, SimMessage::Block(block)) = action {
+                    sent.insert(*to, block.reference());
+                }
+            }
+            let variants: HashSet<BlockRef> = sent.values().copied().collect();
+            if elected(schedule, authority, 1) {
+                // f = 1 at n = 4: one recipient, one variant, no broadcast.
+                assert_eq!(sent.len(), 1, "authority {authority}");
+                assert_eq!(variants.len(), 1, "authority {authority}");
+            } else {
+                assert_eq!(sent.len(), 3, "authority {authority}");
+                assert_eq!(variants.len(), 2, "authority {authority} equivocates");
+            }
+            assert!(actions
+                .iter()
+                .all(|a| !matches!(a, Action::Broadcast(SimMessage::Block(_)))));
+        }
+    }
+
+    #[test]
     fn withholding_leader_is_honest_off_slot_and_selective_on_slot() {
         // Probe each authority: whoever the deterministic coin elects for
         // round 1 must withhold (≤ f sends), everyone else broadcasts.

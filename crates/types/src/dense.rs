@@ -1,0 +1,552 @@
+//! Committee-dense containers for hot-path authority bookkeeping.
+//!
+//! The consensus hot path tallies quorums, tracks which authorities voted,
+//! and routes per-authority state on every message. Generic hash containers
+//! (`HashMap<AuthorityIndex, T>`, `HashSet<AuthorityIndex>`) pay hashing and
+//! per-insert allocation for keys that are small dense integers bounded by
+//! the committee size. The two types here exploit that density:
+//!
+//! - [`CommitteeMap<T>`] is a map keyed by [`AuthorityIndex`] backed by a
+//!   dense `Vec<Option<T>>` of exactly committee size: O(1) access with no
+//!   hashing, and iteration in authority order (which keeps every consumer
+//!   deterministic by construction).
+//! - [`AuthoritySet`] is a fixed-width bitset over authority indexes:
+//!   `Copy`, allocation-free, O(1) insert/remove/contains, popcount
+//!   cardinality, and iteration in ascending index order.
+//!
+//! Both are drop-in replacements on the paths that used to rebuild hash
+//! containers per round or per message; the proptest suite in
+//! `tests/dense_proptest.rs` pins their behavior to the `HashMap`/`HashSet`
+//! semantics they replace.
+
+use crate::ids::AuthorityIndex;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The widest committee the dense containers support.
+///
+/// [`AuthoritySet`] is a fixed `[u64; 4]` bitset so it stays `Copy` and
+/// allocation-free on the hot path; 256 authorities is more than 5× the
+/// paper's largest evaluated committee (n = 50).
+pub const MAX_DENSE_AUTHORITIES: usize = 256;
+
+const WORDS: usize = MAX_DENSE_AUTHORITIES / 64;
+
+/// An authority index outside the committee, rejected at construction by
+/// [`AuthorityIndex::checked`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct InvalidAuthority {
+    /// The rejected raw index.
+    pub index: u64,
+    /// The committee size it was validated against.
+    pub committee_size: usize,
+}
+
+impl fmt::Display for InvalidAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "authority index {} out of committee bounds (n = {})",
+            self.index, self.committee_size
+        )
+    }
+}
+
+impl fmt::Debug for InvalidAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for InvalidAuthority {}
+
+/// A set of authorities as a fixed-width bitset.
+///
+/// `Copy` and allocation-free: 32 bytes cover committees up to
+/// [`MAX_DENSE_AUTHORITIES`]. Cardinality is a popcount, membership a single
+/// bit test, and iteration yields members in ascending index order — so any
+/// consumer that iterates a quorum tally is deterministic without sorting.
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_types::{AuthorityIndex, AuthoritySet};
+///
+/// let mut voters = AuthoritySet::new();
+/// voters.insert(AuthorityIndex(2));
+/// voters.insert(AuthorityIndex(0));
+/// voters.insert(AuthorityIndex(2));
+/// assert_eq!(voters.len(), 2);
+/// assert!(voters.contains(AuthorityIndex(0)));
+/// let in_order: Vec<_> = voters.iter().collect();
+/// assert_eq!(in_order, vec![AuthorityIndex(0), AuthorityIndex(2)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct AuthoritySet {
+    words: [u64; WORDS],
+}
+
+impl AuthoritySet {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        AuthoritySet { words: [0; WORDS] }
+    }
+
+    /// Adds `authority`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is ≥ [`MAX_DENSE_AUTHORITIES`].
+    pub fn insert(&mut self, authority: AuthorityIndex) -> bool {
+        let (word, bit) = Self::position(authority);
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        fresh
+    }
+
+    /// Removes `authority`; returns `true` if it was present.
+    pub fn remove(&mut self, authority: AuthorityIndex) -> bool {
+        let (word, bit) = Self::position(authority);
+        let present = self.words[word] & bit != 0;
+        self.words[word] &= !bit;
+        present
+    }
+
+    /// Whether `authority` is a member.
+    pub fn contains(&self, authority: AuthorityIndex) -> bool {
+        let (word, bit) = Self::position(authority);
+        self.words[word] & bit != 0
+    }
+
+    /// The number of members (a popcount — no iteration).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words = [0; WORDS];
+    }
+
+    /// Iterates members in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = AuthorityIndex> + '_ {
+        self.words.iter().enumerate().flat_map(|(word, &bits)| {
+            BitIter { bits }.map(move |bit| AuthorityIndex((word * 64 + bit) as u32))
+        })
+    }
+
+    /// The union of two sets.
+    pub fn union(&self, other: &AuthoritySet) -> AuthoritySet {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+        AuthoritySet { words }
+    }
+
+    /// The intersection of two sets.
+    pub fn intersection(&self, other: &AuthoritySet) -> AuthoritySet {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+        AuthoritySet { words }
+    }
+
+    /// Accumulates the total stake of the members.
+    ///
+    /// The reproduction's committees are unit-stake (`n = 3f + 1` counting),
+    /// where this equals [`AuthoritySet::len`]; stake-weighted deployments
+    /// pass their per-authority stake lookup.
+    pub fn stake_weight<F: Fn(AuthorityIndex) -> u64>(&self, stake: F) -> u64 {
+        self.iter().map(stake).sum()
+    }
+
+    fn position(authority: AuthorityIndex) -> (usize, u64) {
+        let index = authority.as_usize();
+        assert!(
+            index < MAX_DENSE_AUTHORITIES,
+            "authority index {index} exceeds the dense-set width {MAX_DENSE_AUTHORITIES}"
+        );
+        (index / 64, 1u64 << (index % 64))
+    }
+}
+
+impl FromIterator<AuthorityIndex> for AuthoritySet {
+    fn from_iter<I: IntoIterator<Item = AuthorityIndex>>(iter: I) -> Self {
+        let mut set = AuthoritySet::new();
+        for authority in iter {
+            set.insert(authority);
+        }
+        set
+    }
+}
+
+impl fmt::Debug for AuthoritySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+struct BitIter {
+    bits: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let bit = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(bit)
+    }
+}
+
+/// A multiply-xor table hasher for keys that already contain a
+/// collision-resistant content digest (block references, slots).
+///
+/// The std `HashMap` default (SipHash with random keying) defends against
+/// attacker-chosen keys; DAG references are keyed by a BLAKE-style digest
+/// that the attacker cannot shape without breaking the hash function, so
+/// the table hash only needs cheap mixing. This is the FxHash construction:
+/// one rotate-xor-multiply per 8-byte word, roughly 5× cheaper than SipHash
+/// on a 44-byte `BlockRef` — which is the dominant per-parent cost of block
+/// admission at `n = 50` (every block carries ~n parent references).
+///
+/// Hashing is also *deterministic* (no per-process random state), which the
+/// replay-exactness contract prefers: table layout, and therefore any
+/// capacity-dependent behavior, is identical across runs.
+#[derive(Clone, Copy, Default)]
+pub struct DigestKeyHasher {
+    hash: u64,
+}
+
+/// `BuildHasher` for [`DigestKeyHasher`]; plug into `HashMap`/`HashSet`
+/// holding digest-keyed entries: `HashMap<BlockRef, T, DigestKeyed>`.
+pub type DigestKeyed = BuildHasherDefault<DigestKeyHasher>;
+
+const MIX: u64 = 0x517c_c1b7_2722_0a95;
+
+impl DigestKeyHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(MIX);
+    }
+}
+
+impl Hasher for DigestKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.mix(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.mix(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.mix(value as u64);
+    }
+}
+
+/// A map keyed by [`AuthorityIndex`], backed by a dense vector of exactly
+/// committee size.
+///
+/// Access is a bounds-checked vector index — no hashing — and iteration is
+/// in ascending authority order, so consumers are deterministic without
+/// collecting and sorting. Occupancy is tracked so [`CommitteeMap::len`]
+/// stays O(1).
+///
+/// # Example
+///
+/// ```
+/// use mahimahi_types::{AuthorityIndex, CommitteeMap};
+///
+/// let mut latest: CommitteeMap<u64> = CommitteeMap::new(4);
+/// latest.insert(AuthorityIndex(3), 7);
+/// latest.insert(AuthorityIndex(1), 5);
+/// assert_eq!(latest.len(), 2);
+/// assert_eq!(latest.get(AuthorityIndex(3)), Some(&7));
+/// let keys: Vec<_> = latest.iter().map(|(a, _)| a).collect();
+/// assert_eq!(keys, vec![AuthorityIndex(1), AuthorityIndex(3)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CommitteeMap<T> {
+    slots: Vec<Option<T>>,
+    occupied: usize,
+}
+
+impl<T> CommitteeMap<T> {
+    /// Creates an empty map for a committee of `committee_size` authorities.
+    pub fn new(committee_size: usize) -> Self {
+        let mut slots = Vec::with_capacity(committee_size);
+        slots.resize_with(committee_size, || None);
+        CommitteeMap { slots, occupied: 0 }
+    }
+
+    /// The committee size the map was created for (its key capacity).
+    pub fn committee_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The number of occupied entries (O(1)).
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether no entry is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Inserts `value` for `authority`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `authority` is outside the committee the map was created
+    /// for — dense maps do not grow.
+    pub fn insert(&mut self, authority: AuthorityIndex, value: T) -> Option<T> {
+        let slot = self.slot_mut(authority);
+        let previous = slot.replace(value);
+        if previous.is_none() {
+            self.occupied += 1;
+        }
+        previous
+    }
+
+    /// Removes and returns the value for `authority`.
+    pub fn remove(&mut self, authority: AuthorityIndex) -> Option<T> {
+        let removed = self.slot_mut(authority).take();
+        if removed.is_some() {
+            self.occupied -= 1;
+        }
+        removed
+    }
+
+    /// The value for `authority`, if occupied.
+    pub fn get(&self, authority: AuthorityIndex) -> Option<&T> {
+        self.slots
+            .get(authority.as_usize())
+            .and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the value for `authority`, if occupied.
+    pub fn get_mut(&mut self, authority: AuthorityIndex) -> Option<&mut T> {
+        self.slots
+            .get_mut(authority.as_usize())
+            .and_then(Option::as_mut)
+    }
+
+    /// Whether `authority` has an entry.
+    pub fn contains_key(&self, authority: AuthorityIndex) -> bool {
+        self.get(authority).is_some()
+    }
+
+    /// Returns the entry for `authority`, inserting `default()` first if it
+    /// is vacant (the `HashMap::entry(..).or_insert_with(..)` idiom).
+    pub fn get_or_insert_with<F: FnOnce() -> T>(
+        &mut self,
+        authority: AuthorityIndex,
+        default: F,
+    ) -> &mut T {
+        let slot = self.slot_mut(authority);
+        if slot.is_none() {
+            *slot = Some(default());
+            self.occupied += 1;
+        }
+        self.slots[authority.as_usize()]
+            .as_mut()
+            .expect("slot populated above")
+    }
+
+    /// Removes every entry, keeping the committee-sized backing storage.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.occupied = 0;
+    }
+
+    /// Iterates occupied entries in ascending authority order.
+    pub fn iter(&self) -> impl Iterator<Item = (AuthorityIndex, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (AuthorityIndex(i as u32), v)))
+    }
+
+    /// Iterates occupied values in ascending authority order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates occupied values mutably, in ascending authority order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> + '_ {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+
+    /// The occupied keys as an [`AuthoritySet`].
+    pub fn keys(&self) -> AuthoritySet {
+        self.iter().map(|(a, _)| a).collect()
+    }
+
+    fn slot_mut(&mut self, authority: AuthorityIndex) -> &mut Option<T> {
+        let size = self.slots.len();
+        self.slots.get_mut(authority.as_usize()).unwrap_or_else(|| {
+            panic!(
+                "authority {authority} outside the committee (n = {size}); \
+                 dense maps do not grow"
+            )
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CommitteeMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_remove_contains_len() {
+        let mut set = AuthoritySet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(AuthorityIndex(5)));
+        assert!(!set.insert(AuthorityIndex(5)), "reinsert reports stale");
+        assert!(set.insert(AuthorityIndex(63)));
+        assert!(set.insert(AuthorityIndex(64)), "crosses the word boundary");
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(AuthorityIndex(64)));
+        assert!(!set.contains(AuthorityIndex(6)));
+        assert!(set.remove(AuthorityIndex(63)));
+        assert!(!set.remove(AuthorityIndex(63)));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn set_iterates_in_ascending_order_regardless_of_insertion() {
+        let set: AuthoritySet = [49u32, 0, 17, 3].into_iter().map(AuthorityIndex).collect();
+        let order: Vec<u32> = set.iter().map(|a| a.0).collect();
+        assert_eq!(order, vec![0, 3, 17, 49]);
+    }
+
+    #[test]
+    fn set_union_intersection_and_stake() {
+        let a: AuthoritySet = [0u32, 1, 2].into_iter().map(AuthorityIndex).collect();
+        let b: AuthoritySet = [2u32, 3].into_iter().map(AuthorityIndex).collect();
+        assert_eq!(a.union(&b).len(), 4);
+        let both = a.intersection(&b);
+        assert_eq!(both.iter().collect::<Vec<_>>(), vec![AuthorityIndex(2)]);
+        // Unit stake: weight is the popcount. Weighted: sum of the lookup.
+        assert_eq!(a.stake_weight(|_| 1), 3);
+        assert_eq!(a.stake_weight(|v| v.as_u64() * 10), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense-set width")]
+    fn set_rejects_out_of_width_indexes() {
+        let mut set = AuthoritySet::new();
+        set.insert(AuthorityIndex(MAX_DENSE_AUTHORITIES as u32));
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut map: CommitteeMap<&str> = CommitteeMap::new(4);
+        assert_eq!(map.committee_size(), 4);
+        assert_eq!(map.insert(AuthorityIndex(2), "b"), None);
+        assert_eq!(map.insert(AuthorityIndex(2), "c"), Some("b"));
+        map.insert(AuthorityIndex(0), "a");
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key(AuthorityIndex(0)));
+        assert_eq!(map.get(AuthorityIndex(2)), Some(&"c"));
+        assert_eq!(map.remove(AuthorityIndex(2)), Some("c"));
+        assert_eq!(map.remove(AuthorityIndex(2)), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn map_iterates_in_authority_order() {
+        let mut map: CommitteeMap<u64> = CommitteeMap::new(10);
+        map.insert(AuthorityIndex(7), 70);
+        map.insert(AuthorityIndex(1), 10);
+        map.insert(AuthorityIndex(4), 40);
+        let entries: Vec<_> = map.iter().map(|(a, &v)| (a.0, v)).collect();
+        assert_eq!(entries, vec![(1, 10), (4, 40), (7, 70)]);
+        assert_eq!(map.keys().len(), 3);
+        assert!(map.keys().contains(AuthorityIndex(4)));
+    }
+
+    #[test]
+    fn map_entry_or_insert_idiom() {
+        let mut map: CommitteeMap<Vec<u64>> = CommitteeMap::new(4);
+        map.get_or_insert_with(AuthorityIndex(1), Vec::new).push(9);
+        map.get_or_insert_with(AuthorityIndex(1), Vec::new).push(8);
+        assert_eq!(map.get(AuthorityIndex(1)), Some(&vec![9, 8]));
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.committee_size(), 4, "clear keeps the backing storage");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the committee")]
+    fn map_rejects_out_of_committee_keys() {
+        let mut map: CommitteeMap<u8> = CommitteeMap::new(4);
+        map.insert(AuthorityIndex(4), 0);
+    }
+
+    #[test]
+    fn digest_key_hasher_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let build = DigestKeyed::default();
+        let hash = |bytes: &[u8]| build.hash_one(bytes);
+        // Same input, same hash — across hasher instances (no random state).
+        assert_eq!(hash(b"block-reference"), hash(b"block-reference"));
+        // Different inputs (same length, one bit apart) diverge.
+        assert_ne!(hash(&[0u8; 32]), hash(&[1u8; 32]));
+        // Tail bytes beyond the last full word still contribute.
+        assert_ne!(hash(&[7u8; 9]), hash(&[7u8; 10]));
+        // Usable as a HashMap hasher.
+        let mut map: std::collections::HashMap<u64, u64, DigestKeyed> =
+            std::collections::HashMap::default();
+        map.insert(3, 30);
+        assert_eq!(map.get(&3), Some(&30));
+    }
+}

@@ -29,6 +29,35 @@ pub type Round = u64;
 pub struct AuthorityIndex(pub u32);
 
 impl AuthorityIndex {
+    /// Validated construction: the index must fall inside a committee of
+    /// `committee_size` authorities.
+    ///
+    /// Wire-facing ingestion paths use this instead of the unchecked `From`
+    /// conversions so an out-of-committee id is rejected at the boundary,
+    /// before it can index any committee-dense structure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mahimahi_types::AuthorityIndex;
+    ///
+    /// assert_eq!(AuthorityIndex::checked(3, 4), Ok(AuthorityIndex(3)));
+    /// assert!(AuthorityIndex::checked(4, 4).is_err());
+    /// ```
+    pub fn checked(
+        index: u64,
+        committee_size: usize,
+    ) -> Result<Self, crate::dense::InvalidAuthority> {
+        if index < committee_size as u64 {
+            Ok(AuthorityIndex(index as u32))
+        } else {
+            Err(crate::dense::InvalidAuthority {
+                index,
+                committee_size,
+            })
+        }
+    }
+
     /// Returns the index as a `usize` for vector indexing.
     pub fn as_usize(self) -> usize {
         self.0 as usize

@@ -33,6 +33,7 @@ pub mod block;
 pub mod checkpoint;
 pub mod codec;
 pub mod committee;
+pub mod dense;
 pub mod envelope;
 pub mod evidence;
 pub mod ids;
@@ -43,6 +44,10 @@ pub use block::{Block, BlockBuilder, BlockRef, ValidationError};
 pub use checkpoint::{Checkpoint, CheckpointError, StateRoot};
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use committee::{Committee, TestCommittee};
+pub use dense::{
+    AuthoritySet, CommitteeMap, DigestKeyHasher, DigestKeyed, InvalidAuthority,
+    MAX_DENSE_AUTHORITIES,
+};
 pub use envelope::{Envelope, MAX_BATCH_TXS, MAX_TX_WIRE_BYTES};
 pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};

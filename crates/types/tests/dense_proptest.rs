@@ -1,0 +1,120 @@
+//! Property tests pinning the committee-dense containers to the
+//! `HashMap`/`HashSet` semantics they replaced on the hot path: random
+//! operation sequences must produce identical observable state (membership,
+//! cardinality, values, and sorted-order iteration), and validated index
+//! construction must reject exactly the out-of-committee ids.
+
+use mahimahi_types::{AuthorityIndex, AuthoritySet, CommitteeMap, MAX_DENSE_AUTHORITIES};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// The paper's largest evaluated committee — and the matrix scale row.
+const COMMITTEE: u64 = 50;
+
+/// Decodes one packed op: low bits select the authority, middle bits the
+/// operation, high bits carry a payload value for map inserts.
+fn decode(op: u64) -> (AuthorityIndex, u64, u64) {
+    (
+        AuthorityIndex((op % COMMITTEE) as u32),
+        (op / COMMITTEE) % 4,
+        op >> 32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn authority_set_matches_hash_set_semantics(ops in vec(0u64..u64::MAX, 0..200)) {
+        let mut dense = AuthoritySet::new();
+        let mut model: HashSet<AuthorityIndex> = HashSet::new();
+        for op in ops {
+            let (authority, action, _) = decode(op);
+            match action {
+                0 | 3 => prop_assert_eq!(dense.insert(authority), model.insert(authority)),
+                1 => prop_assert_eq!(dense.remove(authority), model.remove(&authority)),
+                _ => prop_assert_eq!(dense.contains(authority), model.contains(&authority)),
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // Iteration is exactly the model in ascending index order.
+        let mut expected: Vec<AuthorityIndex> = model.iter().copied().collect();
+        expected.sort();
+        prop_assert_eq!(dense.iter().collect::<Vec<_>>(), expected);
+        // A round-trip through FromIterator is the identity.
+        prop_assert_eq!(dense.iter().collect::<AuthoritySet>(), dense);
+    }
+
+    #[test]
+    fn set_algebra_matches_hash_set_semantics(
+        left in vec(0u64..COMMITTEE, 0..60),
+        right in vec(0u64..COMMITTEE, 0..60),
+    ) {
+        let a: AuthoritySet = left.iter().map(|&i| AuthorityIndex(i as u32)).collect();
+        let b: AuthoritySet = right.iter().map(|&i| AuthorityIndex(i as u32)).collect();
+        let model_a: HashSet<AuthorityIndex> = a.iter().collect();
+        let model_b: HashSet<AuthorityIndex> = b.iter().collect();
+        let union: HashSet<AuthorityIndex> = a.union(&b).iter().collect();
+        let intersection: HashSet<AuthorityIndex> = a.intersection(&b).iter().collect();
+        prop_assert_eq!(&union, &model_a.union(&model_b).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(
+            &intersection,
+            &model_a.intersection(&model_b).copied().collect::<HashSet<_>>()
+        );
+        // Unit stake (the reproduction's committees) is the popcount.
+        prop_assert_eq!(a.stake_weight(|_| 1), a.len() as u64);
+    }
+
+    #[test]
+    fn committee_map_matches_hash_map_semantics(ops in vec(0u64..u64::MAX, 0..200)) {
+        let mut dense: CommitteeMap<u64> = CommitteeMap::new(COMMITTEE as usize);
+        let mut model: HashMap<AuthorityIndex, u64> = HashMap::new();
+        for op in ops {
+            let (authority, action, value) = decode(op);
+            match action {
+                0 => prop_assert_eq!(
+                    dense.insert(authority, value),
+                    model.insert(authority, value)
+                ),
+                1 => prop_assert_eq!(dense.remove(authority), model.remove(&authority)),
+                2 => prop_assert_eq!(dense.get(authority), model.get(&authority)),
+                _ => prop_assert_eq!(
+                    *dense.get_or_insert_with(authority, || value),
+                    *model.entry(authority).or_insert(value)
+                ),
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+            prop_assert_eq!(dense.contains_key(authority), model.contains_key(&authority));
+        }
+        // Iteration is exactly the model in ascending authority order.
+        let mut expected: Vec<(AuthorityIndex, u64)> =
+            model.iter().map(|(&k, &v)| (k, v)).collect();
+        expected.sort();
+        let entries: Vec<(AuthorityIndex, u64)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+        prop_assert_eq!(entries, expected);
+        // The dense key view agrees with the model's key set.
+        let keys: HashSet<AuthorityIndex> = dense.keys().iter().collect();
+        prop_assert_eq!(&keys, &model.keys().copied().collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn checked_construction_rejects_exactly_out_of_committee_ids(
+        index in 0u64..(2 * MAX_DENSE_AUTHORITIES as u64),
+        committee_size in 1usize..MAX_DENSE_AUTHORITIES,
+    ) {
+        match AuthorityIndex::checked(index, committee_size) {
+            Ok(authority) => {
+                prop_assert!((index as usize) < committee_size);
+                prop_assert_eq!(authority, AuthorityIndex(index as u32));
+            }
+            Err(rejected) => {
+                prop_assert!(index as usize >= committee_size);
+                prop_assert_eq!(rejected.index, index);
+                prop_assert_eq!(rejected.committee_size, committee_size);
+            }
+        }
+    }
+}

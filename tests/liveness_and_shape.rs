@@ -13,7 +13,7 @@ fn wan(protocol: ProtocolChoice, committee_size: usize, crashed: usize, seed: u6
         committee_size,
         duration: time::from_secs(8),
         txs_per_second_per_validator: 300,
-        latency: LatencyChoice::AwsWan,
+        latency: LatencyChoice::aws_wan(),
         seed,
         ..SimConfig::default()
     }

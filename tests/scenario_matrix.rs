@@ -80,12 +80,12 @@ fn oracle_battery_includes_evidence_attribution() {
 
 #[test]
 fn matrix_covers_the_required_space() {
-    // 4 protocols × (8 attack behaviors + honest baseline) × 4 adversaries,
-    // plus the n = 10 scale row (every protocol × adversary).
+    // 4 protocols × (9 attack behaviors + honest baseline) × 4 adversaries,
+    // plus the n = 10 and n = 50 scale rows (every protocol × adversary).
     assert_eq!(protocols().len(), 4);
     assert!(attack_behaviors().len() >= 6);
     assert_eq!(adversaries().len(), 4);
-    assert_eq!(full_matrix().len(), 4 * 9 * 4 + 4 * 4);
+    assert_eq!(full_matrix().len(), 4 * 10 * 4 + 4 * 4 + 4 * 4);
     assert_eq!(
         full_matrix()
             .iter()
@@ -93,12 +93,20 @@ fn matrix_covers_the_required_space() {
             .count(),
         4 * 4
     );
-    // The four active attack strategies of this harness are all present.
+    assert_eq!(
+        full_matrix()
+            .iter()
+            .filter(|s| s.config.committee_size == mahi_mahi::scenarios::LARGE_COMMITTEE)
+            .count(),
+        4 * 4
+    );
+    // The five active attack strategies of this harness are all present.
     for label in [
         "withholding-leader",
         "split-brain",
         "slow-proposer",
         "fork-spammer",
+        "adaptive",
     ] {
         assert!(
             attack_behaviors().iter().any(|b| b.label() == label),
@@ -118,6 +126,26 @@ fn matrix_cells_are_reproducible_from_their_seed() {
     let first = scenario.run();
     let second = scenario.run();
     assert_eq!(first.logs, second.logs);
+    assert_eq!(
+        first.report.committed_transactions,
+        second.report.committed_transactions
+    );
+    assert_eq!(first.report.highest_round, second.report.highest_round);
+}
+
+#[test]
+fn n50_cells_are_bit_reproducible() {
+    // The committee-scale row runs on the geo-jitter WAN model with the
+    // adaptive adversary — the configuration most sensitive to event-queue
+    // tie-breaking. Two seeded runs must agree byte-for-byte.
+    let scenario = full_matrix()
+        .into_iter()
+        .find(|s| s.name.contains("@n50") && s.name.ends_with("none"))
+        .expect("matrix covers the n = 50 row");
+    let first = scenario.run();
+    let second = scenario.run();
+    assert_eq!(first.logs, second.logs);
+    assert_eq!(first.culprits, second.culprits);
     assert_eq!(
         first.report.committed_transactions,
         second.report.committed_transactions
