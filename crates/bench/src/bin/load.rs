@@ -21,6 +21,13 @@
 //! with `SubmitResult::Full` rejections and a bounded pool instead of
 //! unbounded memory growth.
 //!
+//! A **fairness phase** aims hundreds of Zipf-skewed clients at a single
+//! validator with per-client rate limiting on, and gates on the ingress
+//! subsystem's two promises: every batch is answered with an admission
+//! receipt (zero receipt loss), and no compliant client — one whose
+//! offered rate is within the limit — is starved relative to another
+//! (min/max accepted-throughput ratio ≥ 0.5 among compliant clients).
+//!
 //! By default the cluster is the deterministic loopback driver (virtual
 //! time, real wire codec, in-memory WALs), so the run is reproducible and
 //! CI-friendly; `--tcp` runs the same workload wall-clock against real
@@ -33,13 +40,14 @@
 //! `--tx-bytes <n>`, `--duration-s <n>`, `--capacity <txs>`, `--tcp`.
 
 use mahimahi_core::{
-    engine::Input, AdmissionConfig, AdmissionPipeline, CommitterOptions, MempoolConfig,
+    engine::Input, AdmissionConfig, AdmissionPipeline, CommitterOptions, IngressConfig,
+    MempoolConfig,
 };
 use mahimahi_dag::DagBuilder;
 use mahimahi_net::time::{self, Time};
 use mahimahi_node::{LocalCluster, LoopbackCluster, LoopbackConfig, TxClient};
 use mahimahi_sim::LatencyStats;
-use mahimahi_types::{Decode, Encode, Envelope, TestCommittee, Transaction};
+use mahimahi_types::{Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt, TxVerdict};
 use std::collections::HashMap;
 use std::io::Write;
 
@@ -149,6 +157,7 @@ fn loopback_load_phase(args: &Args) -> PhaseReport {
             capacity_txs: args.capacity,
             ..MempoolConfig::default()
         },
+        ingress: IngressConfig::default(),
     });
     let window = time::from_secs(args.duration_s);
     let drain = time::from_secs(2);
@@ -258,6 +267,7 @@ fn loopback_saturation_phase() -> PhaseReport {
             capacity_txs: CAPACITY,
             ..MempoolConfig::default()
         },
+        ingress: IngressConfig::default(),
     });
     // One burst of 5× capacity, split into codec-sized batches, all
     // arriving at the same instant at validator 0.
@@ -282,13 +292,20 @@ fn loopback_saturation_phase() -> PhaseReport {
             "saturation burst of {BURST} into capacity {CAPACITY} produced no Full rejections"
         ));
     }
-    if cluster.rejections(0) != integrity.rejected_duplicate + integrity.rejected_full {
+    let engine_rejections =
+        integrity.rejected_duplicate + integrity.rejected_full + integrity.rejected_rate_limited;
+    if cluster.rejections(0) != engine_rejections {
         violations.push(format!(
-            "driver saw {} TxRejected outputs, engine counted {} rejections",
+            "driver saw {} rejections (TxRejected outputs + receipt verdicts), \
+             engine counted {engine_rejections}",
             cluster.rejections(0),
-            integrity.rejected_duplicate + integrity.rejected_full
         ));
     }
+    // Receipt coverage under saturation: the bursts arrived as wire
+    // batches, so every one of them owes the client an admission receipt
+    // even when the pool sheds its payload.
+    let ingress = cluster.ingress_report(0);
+    violations.extend(ingress.violations());
     PhaseReport {
         offered_tps: 0,
         committed: integrity.own_committed,
@@ -297,6 +314,186 @@ fn loopback_saturation_phase() -> PhaseReport {
         peak_occupancy: integrity.peak_occupancy_txs,
         capacity: CAPACITY as u64,
         rejected_full: integrity.rejected_full,
+        violations,
+    }
+}
+
+/// Fairness report: hundreds of rate-limited Zipf clients against one
+/// validator.
+struct FairnessReport {
+    clients: u64,
+    compliant: u64,
+    batches: u64,
+    admissions: u64,
+    accepted: u64,
+    rate_limited: u64,
+    fairness_ratio: f64,
+    violations: Vec<String>,
+}
+
+impl FairnessReport {
+    fn print(&self) {
+        println!(
+            "fairness  : clients={:>4} ({} compliant) | batches={:>6} | receipts={:>6} | \
+             accepted={:>6} | rate-limited={:>6} | min/max ratio={:.3}",
+            self.clients,
+            self.compliant,
+            self.batches,
+            self.admissions,
+            self.accepted,
+            self.rate_limited,
+            self.fairness_ratio,
+        );
+        for violation in &self.violations {
+            println!("  ✗ {violation}");
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"phase\":\"fairness\",\"clients\":{},\"compliant\":{},\"batches\":{},\
+             \"admission_receipts\":{},\"accepted\":{},\"rate_limited\":{},\
+             \"fairness_ratio\":{:.4},\"pass\":{}}}",
+            self.clients,
+            self.compliant,
+            self.batches,
+            self.admissions,
+            self.accepted,
+            self.rate_limited,
+            self.fairness_ratio,
+            self.violations.is_empty(),
+        )
+    }
+}
+
+/// The multi-client fairness phase: ≥500 concurrent clients with
+/// Zipf-skewed offered load (client `i` demands `∝ 1/(i+1)`) all hitting
+/// validator 0 with per-client rate limiting on. Hard gates:
+///
+/// - **zero receipt loss** — every submitted batch is answered by exactly
+///   one admission receipt, and the engine's ingress ledger agrees;
+/// - **fairness** — among *compliant* clients (offered rate within the
+///   limit), the min/max ratio of per-client accepted throughput
+///   (normalized by each client's offered load) is ≥ 0.5: the limiter
+///   sheds the heavy hitters, never the well-behaved tail.
+fn loopback_fairness_phase(quick: bool) -> FairnessReport {
+    const CLIENTS: usize = 600;
+    /// Per-client sustained admission limit (tx/s of engine time).
+    const RATE_LIMIT: u64 = 10;
+    const BURST: u64 = 20;
+    /// The heaviest client's demand; client `i` demands `TOP / (i+1)`.
+    const TOP_DEMAND: f64 = 800.0;
+    let window = time::from_secs(if quick { 3 } else { 6 });
+    let interval = time::from_millis(50);
+
+    let mut cluster = LoopbackCluster::new(LoopbackConfig {
+        nodes: NODES,
+        seed: 0xfa17,
+        options: CommitterOptions::mahi_mahi_5(2),
+        link_delay: LINK_DELAY,
+        inclusion_wait: INCLUSION_WAIT,
+        mempool: MempoolConfig {
+            capacity_txs: 50_000,
+            ..MempoolConfig::default()
+        },
+        ingress: IngressConfig {
+            rate_limit_per_client: RATE_LIMIT,
+            burst_per_client: BURST,
+            ..IngressConfig::default()
+        },
+    });
+    // Client ids start above the committee: external, rate-limited range.
+    let client_id = |client: usize| NODES + client;
+    let demand = |client: usize| TOP_DEMAND / (client + 1) as f64;
+    let mut submitted_txs = vec![0u64; CLIENTS];
+    let mut submitted_batches = vec![0u64; CLIENTS];
+    let mut next_id = 0u64;
+    let mut now = 0;
+    while now < window {
+        for client in 0..CLIENTS {
+            let due = (demand(client) * time::as_secs_f64(now)) as u64;
+            let count = due.saturating_sub(submitted_txs[client]);
+            if count == 0 {
+                continue;
+            }
+            submitted_txs[client] += count;
+            submitted_batches[client] += 1;
+            let batch: Vec<Transaction> = (0..count)
+                .map(|_| {
+                    next_id += 1;
+                    load_tx(0xfa17_0000_0000 + next_id, 64)
+                })
+                .collect();
+            cluster.submit_batch_as(0, client_id(client), batch);
+        }
+        cluster.run_until(now);
+        now += interval;
+    }
+    cluster.run_until(window + time::from_secs(2));
+
+    // Tally the receipts validator 0 addressed to each client.
+    let mut admissions = vec![0u64; CLIENTS];
+    let mut accepted = vec![0u64; CLIENTS];
+    for (peer, receipt) in cluster.receipts(0) {
+        let Some(client) = peer.checked_sub(NODES).filter(|&c| c < CLIENTS) else {
+            continue;
+        };
+        if let TxReceipt::Admission { verdicts, .. } = receipt {
+            admissions[client] += 1;
+            accepted[client] += verdicts
+                .iter()
+                .filter(|verdict| matches!(verdict, TxVerdict::Accepted))
+                .count() as u64;
+        }
+    }
+
+    let mut violations = Vec::new();
+    // Gate 1: zero receipt loss, per client and in the engine's ledger.
+    for client in 0..CLIENTS {
+        if admissions[client] != submitted_batches[client] {
+            violations.push(format!(
+                "client {client}: {} batches submitted but {} admission receipts",
+                submitted_batches[client], admissions[client]
+            ));
+        }
+    }
+    let report = cluster.ingress_report(0);
+    violations.extend(report.violations());
+    // Gate 2: fairness among compliant clients — accepted throughput
+    // normalized by offered load, min/max ≥ 0.5.
+    let compliant: Vec<usize> = (0..CLIENTS)
+        .filter(|&client| demand(client) <= RATE_LIMIT as f64 && submitted_txs[client] > 0)
+        .collect();
+    let fractions: Vec<f64> = compliant
+        .iter()
+        .map(|&client| accepted[client] as f64 / submitted_txs[client] as f64)
+        .collect();
+    let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = fractions.iter().cloned().fold(0.0, f64::max);
+    let fairness_ratio = if max > 0.0 { min / max } else { 0.0 };
+    if compliant.len() < 500 {
+        violations.push(format!(
+            "only {} compliant clients active; the gate requires ≥500 concurrent clients",
+            compliant.len()
+        ));
+    }
+    if fairness_ratio < 0.5 {
+        violations.push(format!(
+            "fairness ratio {fairness_ratio:.3} below the 0.5 gate \
+             (a compliant client was starved)"
+        ));
+    }
+    if report.rate_limited == 0 {
+        violations.push("rate limiter never engaged — the phase offered no overload".into());
+    }
+    FairnessReport {
+        clients: CLIENTS as u64,
+        compliant: compliant.len() as u64,
+        batches: submitted_batches.iter().sum(),
+        admissions: admissions.iter().sum(),
+        accepted: accepted.iter().sum(),
+        rate_limited: report.rate_limited,
+        fairness_ratio,
         violations,
     }
 }
@@ -532,6 +729,7 @@ fn main() {
 
     let mut reports = Vec::new();
     let mut verify_report = None;
+    let mut fairness_report = None;
     if args.tcp {
         let report = tcp_load_phase(&args);
         report.print("tcp-load  ");
@@ -543,6 +741,9 @@ fn main() {
         let report = loopback_saturation_phase();
         report.print("saturation");
         reports.push(("saturation", report));
+        let report = loopback_fairness_phase(args.quick);
+        report.print();
+        fairness_report = Some(report);
         let report = verify_stage_phase(args.quick);
         report.print();
         verify_report = Some(report);
@@ -552,6 +753,9 @@ fn main() {
         .iter()
         .map(|(phase, report)| report.json(phase))
         .collect();
+    if let Some(report) = &fairness_report {
+        rows.push(report.json());
+    }
     if let Some(report) = &verify_report {
         rows.push(report.json());
     }
@@ -569,6 +773,9 @@ fn main() {
         .iter()
         .map(|(_, report)| report.violations.len())
         .sum::<usize>()
+        + fairness_report
+            .as_ref()
+            .map_or(0, |report| report.violations.len())
         + verify_report
             .as_ref()
             .map_or(0, |report| report.violations.len());

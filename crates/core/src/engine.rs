@@ -59,13 +59,14 @@ use mahimahi_dag::{BlockStore, InsertResult};
 use mahimahi_types::{
     AuthorityIndex, AuthoritySet, Block, BlockBuilder, BlockRef, Checkpoint, CodecError, Committee,
     CommitteeMap, Decode, Decoder, Encode, Encoder, Envelope, EquivocationProof, Round, Slot,
-    StateRoot, TestCommittee, Transaction, Verified,
+    StateRoot, TestCommittee, Transaction, TxReceipt, TxVerdict, Verified,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::evidence::EvidencePool;
 use crate::execution::{BalanceLedger, ExecutionState};
+use crate::ingress::{IngressConfig, IngressPolicy, IngressReport};
 use crate::mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 use crate::protocol::ProtocolCommitter;
 use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};
@@ -156,6 +157,27 @@ pub enum Input {
         /// The batched transaction payloads.
         transactions: Vec<Transaction>,
     },
+    /// A peer forwarded transactions that sat unproposed in its pool past
+    /// its forwarding age ([`Envelope::TxForward`]). Plain mempool
+    /// admission — digest dedup and capacity apply, the rate limiter does
+    /// not (the sender is a committee member), and no receipt is emitted
+    /// (the forwarding pool keeps the client relationship). Forwarded
+    /// transactions are never forwarded a second hop.
+    TxForwardReceived {
+        /// The forwarding peer.
+        from: usize,
+        /// The moved transaction payloads.
+        transactions: Vec<Transaction>,
+    },
+    /// A receipt frame observed on the wire ([`Envelope::TxReceipt`]).
+    /// Receipts address clients, not validators — the engine ignores the
+    /// input; it exists so [`Input::from_envelope`] stays total.
+    TxReceiptReceived {
+        /// The sending peer.
+        from: usize,
+        /// The receipt payload.
+        receipt: TxReceipt,
+    },
     /// A peer's signed execution checkpoint arrived (broadcast at every
     /// checkpoint boundary). The signature is verified inline; matching
     /// attestations accumulate toward quorum certification.
@@ -216,6 +238,8 @@ impl Input {
             Envelope::Response(blocks) => Input::SyncReply { from, blocks },
             Envelope::Evidence(proof) => Input::EvidenceReceived { from, proof },
             Envelope::TxBatch(transactions) => Input::TxBatchReceived { from, transactions },
+            Envelope::TxForward(transactions) => Input::TxForwardReceived { from, transactions },
+            Envelope::TxReceipt(receipt) => Input::TxReceiptReceived { from, receipt },
             Envelope::Checkpoint(checkpoint) => Input::CheckpointReceived { from, checkpoint },
             Envelope::CheckpointRequest => Input::CheckpointRequested { from },
             Envelope::CheckpointResponse {
@@ -263,6 +287,18 @@ pub enum Output {
         tag: u64,
         /// Why the mempool refused it.
         reason: SubmitResult,
+    },
+    /// A client-ingress receipt to render back to the submitting
+    /// connection: per-transaction admission verdicts for every received
+    /// wire batch ([`Input::TxBatchReceived`]), and later the commit
+    /// notification once all accepted transactions of a batch are
+    /// sequenced. The TCP node frames it down the client's connection;
+    /// the simulator and loopback drivers record it in their books.
+    TxReceipt {
+        /// The client/peer id the receipt addresses (the batch's `from`).
+        peer: usize,
+        /// The receipt payload.
+        receipt: TxReceipt,
     },
     /// A checkpoint boundary was crossed: the engine signed and broadcast
     /// the attestation (and persisted it with its snapshots). Surfaced so
@@ -402,7 +438,7 @@ pub struct ProposeCtx<'a> {
     round: Round,
     parents: Vec<BlockRef>,
     transactions: Vec<Transaction>,
-    tags: Vec<u64>,
+    tags: Vec<(u64, usize)>,
     routes: Vec<Route>,
     persists: Vec<WalRecord>,
 }
@@ -543,6 +579,10 @@ pub struct EngineConfig {
     /// transactions and bytes, and the `max_block_txs`/`max_block_bytes`
     /// drained into each produced block. See [`MempoolConfig`].
     pub mempool: MempoolConfig,
+    /// Client-ingress policy: per-client token-bucket rate limiting and
+    /// age-based mempool forwarding. Fully permissive by default. See
+    /// [`IngressConfig`].
+    pub ingress: IngressConfig,
     /// Whether the engine keeps the committed-transaction digest set that
     /// backs [`ValidatorEngine::tx_integrity`]'s duplicate-commit counter.
     /// On by default (the scenario harness gates on it); long
@@ -589,6 +629,7 @@ impl EngineConfig {
             setup,
             certified: false,
             mempool: MempoolConfig::default(),
+            ingress: IngressConfig::default(),
             track_tx_integrity: true,
             inclusion_wait: 0,
             min_round_interval: 0,
@@ -624,6 +665,27 @@ pub struct ValidatorEngine {
     pending_out: VecDeque<(Time, Envelope)>,
     /// The bounded client-transaction pool feeding block production.
     mempool: Mempool,
+    /// Per-client token buckets (external clients only; committee peers
+    /// are exempt by construction).
+    ingress: IngressPolicy,
+    /// Receipt/forwarding ledger (the `forwarded`/`rate_limited` fields
+    /// are filled from the mempool at report time).
+    ingress_counters: IngressReport,
+    /// Commit notifications owed to clients: `(batch tag, client)` → how
+    /// many accepted transactions of that batch are still unsequenced.
+    /// Keys are time-ordered (tags are engine receive times), so stale
+    /// entries — batches whose transactions will never all commit here,
+    /// e.g. after an equivocating peer got one linearized first — are
+    /// pruned from the front by retention.
+    pending_commit_notes: BTreeMap<(u64, usize), u64>,
+    /// Digests of transactions forwarded to a peer, with the batch
+    /// bookkeeping needed to close their commit notes when any sequenced
+    /// block carries them.
+    forwarded_out: HashMap<Digest, (u64, usize)>,
+    /// Engine time of the last commit-note retention sweep.
+    last_note_gc: Time,
+    /// Round-robin cursor over peers for forwarding frames.
+    forward_cursor: usize,
     /// Blocks in the local DAG that no stored block references yet —
     /// candidates for the next block's parent list.
     unreferenced: BTreeSet<BlockRef>,
@@ -635,8 +697,10 @@ pub struct ValidatorEngine {
     ack_votes: HashMap<BlockRef, AuthoritySet>,
     /// Certified pipeline: own proposals already certified.
     certified_own: HashSet<BlockRef>,
-    /// Tags of transactions in own blocks, resolved at commit.
-    own_block_txs: HashMap<BlockRef, Vec<u64>>,
+    /// `(tag, client)` pairs of transactions in own blocks, resolved at
+    /// commit (tags echoed through [`Output::TxsCommitted`], clients used
+    /// to close their batches' commit notes).
+    own_block_txs: HashMap<BlockRef, Vec<(u64, usize)>>,
     /// Commit statistics.
     committed_slots: u64,
     skipped_slots: u64,
@@ -699,6 +763,12 @@ pub struct ValidatorEngine {
 /// a small window bounds memory without losing safety.
 const CHECKPOINT_RETENTION: usize = 8;
 
+/// How long (engine microseconds) unresolved commit notes and forwarded
+/// digests are retained before the periodic sweep drops them — ten
+/// minutes, orders of magnitude past any commit latency this repo
+/// measures.
+const NOTE_RETENTION: Time = 600_000_000;
+
 impl ValidatorEngine {
     /// Creates the engine with an explicit [`ProposerStrategy`].
     pub fn new(
@@ -729,6 +799,12 @@ impl ValidatorEngine {
             last_production: None,
             pending_out: VecDeque::new(),
             mempool: Mempool::new(config.mempool),
+            ingress: IngressPolicy::new(config.ingress),
+            ingress_counters: IngressReport::default(),
+            pending_commit_notes: BTreeMap::new(),
+            forwarded_out: HashMap::new(),
+            last_note_gc: 0,
+            forward_cursor: config.authority.as_usize() + 1,
             unreferenced,
             pending_proposals: HashMap::new(),
             ack_votes: HashMap::new(),
@@ -781,7 +857,9 @@ impl ValidatorEngine {
                 // Enqueue-only: inclusion happens at the next production so
                 // batch submissions do not fragment across blocks.
                 let result = self.submit_transaction(transaction, tag);
-                if !result.is_accepted() {
+                if result.is_accepted() {
+                    self.arm_forward_timer(&mut outputs);
+                } else {
                     outputs.push(Output::TxRejected {
                         tag,
                         reason: result,
@@ -789,20 +867,62 @@ impl ValidatorEngine {
                 }
                 return outputs;
             }
-            Input::TxBatchReceived { transactions, .. } => {
+            Input::TxBatchReceived { from, transactions } => {
                 // Wire batches carry no per-transaction tag; the engine's
-                // receive time stands in, turning the returned
-                // TxsCommitted tags into client-observed commit latencies.
+                // receive time stands in, turning the receipt tag (and the
+                // TxsCommitted tags) into client-observed commit latencies.
+                if transactions.is_empty() {
+                    return outputs; // cannot arrive via the wire codec
+                }
+                let tag = self.now;
+                self.ingress_counters.batches_received += 1;
+                // Committee members (forwarding peers, the node's own
+                // submission channel) are never rate-limited; only
+                // external client connections pay the token bucket.
+                let external = from >= self.committee.size();
+                let mut verdicts = Vec::with_capacity(transactions.len());
+                for transaction in transactions {
+                    let verdict = if external && !self.ingress.admit(from, tag) {
+                        self.mempool.note_rate_limited();
+                        TxVerdict::RateLimited
+                    } else {
+                        match self.mempool.submit(transaction, tag, from, tag) {
+                            SubmitResult::Accepted => TxVerdict::Accepted,
+                            SubmitResult::Duplicate => TxVerdict::Duplicate,
+                            SubmitResult::Full => TxVerdict::Full,
+                        }
+                    };
+                    verdicts.push(verdict);
+                }
+                let accepted = usize_gauge(verdicts.iter().filter(|v| v.is_accepted()).count());
+                if accepted > 0 {
+                    // Open the commit note: the Committed receipt fires
+                    // once every accepted transaction of the batch is
+                    // sequenced (locally or at a forwarding target).
+                    *self.pending_commit_notes.entry((tag, from)).or_insert(0) += accepted;
+                    self.ingress_counters.notes_opened += 1;
+                    self.arm_forward_timer(&mut outputs);
+                }
+                self.ingress_counters.receipts_emitted += 1;
+                outputs.push(Output::TxReceipt {
+                    peer: from,
+                    receipt: TxReceipt::Admission { tag, verdicts },
+                });
+                return outputs;
+            }
+            Input::TxForwardReceived { from, transactions } => {
+                // A peer moved these out of its pool: plain admission
+                // (dedup + capacity), no receipt, no rate limit, no
+                // second forwarding hop.
                 let tag = self.now;
                 for transaction in transactions {
-                    let result = self.submit_transaction(transaction, tag);
-                    if !result.is_accepted() {
-                        outputs.push(Output::TxRejected {
-                            tag,
-                            reason: result,
-                        });
-                    }
+                    let _ = self.mempool.submit_forwarded(transaction, tag, from, tag);
                 }
+                return outputs;
+            }
+            Input::TxReceiptReceived { .. } => {
+                // Receipts address clients; a validator observing one on
+                // its wire ignores it.
                 return outputs;
             }
             Input::TimerFired { now } => {
@@ -901,6 +1021,10 @@ impl ValidatorEngine {
             }
         }
         self.advance(&mut outputs);
+        // Forwarding runs after advance: anything production could drain
+        // into an own block stays local; only what this validator cannot
+        // propose (halted, paced out) moves to a peer.
+        self.forward_aged(&mut outputs);
         self.commit(&mut outputs);
         outputs
     }
@@ -934,7 +1058,10 @@ impl ValidatorEngine {
     /// state machine (equivalent to [`Input::TxSubmitted`]), returning the
     /// backpressure signal directly.
     pub fn submit_transaction(&mut self, transaction: Transaction, tag: u64) -> SubmitResult {
-        self.mempool.submit(transaction, tag)
+        // Locally submitted transactions belong to this validator's own
+        // client id (a committee member — never rate-limited).
+        let client = self.config.authority.as_usize();
+        self.mempool.submit(transaction, tag, client, self.now)
     }
 
     // ------------------------------------------------------------------
@@ -1033,6 +1160,8 @@ impl ValidatorEngine {
             accepted: self.mempool.accepted(),
             rejected_duplicate: self.mempool.rejected_duplicate(),
             rejected_full: self.mempool.rejected_full(),
+            rejected_rate_limited: self.mempool.rejected_rate_limited(),
+            forwarded: self.mempool.forwarded(),
             pending: usize_gauge(self.mempool.len()),
             in_flight: self
                 .own_block_txs
@@ -1045,6 +1174,19 @@ impl ValidatorEngine {
             peak_occupancy_bytes: usize_gauge(self.mempool.peak_bytes()),
             capacity_txs: usize_gauge(self.config.mempool.capacity_txs),
             capacity_bytes: usize_gauge(self.config.mempool.capacity_bytes),
+        }
+    }
+
+    /// A point-in-time accounting of the client-ingress subsystem:
+    /// receipts emitted per batch received, commit notices against opened
+    /// notes, and forwarding counters. The `receipt-integrity` scenario
+    /// oracle holds every correct validator to
+    /// [`IngressReport::violations`] being empty.
+    pub fn ingress_report(&self) -> IngressReport {
+        IngressReport {
+            forwarded: self.mempool.forwarded(),
+            rate_limited: self.mempool.rejected_rate_limited(),
+            ..self.ingress_counters
         }
     }
 
@@ -1527,6 +1669,65 @@ impl ValidatorEngine {
         }
     }
 
+    /// Schedules the forwarding timer for the oldest pending forwardable
+    /// transaction (no-op when forwarding is disabled or nothing is
+    /// pending).
+    fn arm_forward_timer(&mut self, outputs: &mut Vec<Output>) {
+        let Some(age) = self.config.ingress.forward_age else {
+            return;
+        };
+        if let Some(oldest) = self.mempool.oldest_enqueued() {
+            outputs.push(Output::WakeAt(oldest.saturating_add(age)));
+        }
+    }
+
+    /// Moves transactions that sat unproposed past the configured age to
+    /// a peer's pool ([`Envelope::TxForward`]): pop from pending (digests
+    /// stay in the dedup set), remember each digest so the client's
+    /// commit note can close when *any* sequenced block carries it, and
+    /// rotate the target peer (skipping self and convicted authorities).
+    /// One hop, no retry: exactly one pool owns a transaction at a time,
+    /// which is what keeps the global commit count at one.
+    fn forward_aged(&mut self, outputs: &mut Vec<Output>) {
+        let Some(age) = self.config.ingress.forward_age else {
+            return;
+        };
+        let cutoff = self.now.saturating_sub(age);
+        if self.mempool.oldest_enqueued().is_some_and(|t| t <= cutoff) {
+            if let Some(peer) = self.next_forward_peer() {
+                let aged = self
+                    .mempool
+                    .take_aged(cutoff, self.config.ingress.forward_max);
+                let mut transactions = Vec::with_capacity(aged.len());
+                for (transaction, tag, client) in aged {
+                    self.forwarded_out
+                        .insert(transaction.digest(), (tag, client));
+                    transactions.push(transaction);
+                }
+                if !transactions.is_empty() {
+                    outputs.push(Output::SendTo(peer, Envelope::TxForward(transactions)));
+                }
+            }
+        }
+        self.arm_forward_timer(outputs);
+    }
+
+    /// The next forwarding target: round-robin over the committee,
+    /// skipping this validator and convicted equivocators. `None` only in
+    /// a degenerate single-validator committee.
+    fn next_forward_peer(&mut self) -> Option<usize> {
+        let n = self.committee.size();
+        let me = self.config.authority.as_usize();
+        for _ in 0..n {
+            let candidate = self.forward_cursor % n;
+            self.forward_cursor = self.forward_cursor.wrapping_add(1);
+            if candidate != me && !self.evidence.is_convicted(AuthorityIndex(candidate as u32)) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
     /// Produces blocks while the previous round holds a quorum and the
     /// pacing gates (inclusion wait, round interval) are open; releases
     /// paced messages that came due.
@@ -1695,8 +1896,28 @@ impl ValidatorEngine {
     /// folding every commit into the execution state, signing checkpoints
     /// at boundary crossings, then compacting the store once the GC floor
     /// moved far enough.
+    /// Decrements the commit note for `(tag, client)`; a note reaching
+    /// zero closes and its tag joins the client's `Committed` receipt.
+    fn close_note(
+        notes: &mut BTreeMap<(u64, usize), u64>,
+        tag: u64,
+        client: usize,
+        closed: &mut BTreeMap<usize, Vec<u64>>,
+    ) {
+        if let Some(remaining) = notes.get_mut(&(tag, client)) {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                notes.remove(&(tag, client));
+                closed.entry(client).or_default().push(tag);
+            }
+        }
+    }
+
     fn commit(&mut self, outputs: &mut Vec<Output>) {
         let decisions = self.sequencer.try_commit(&self.store);
+        // Commit notes closed by this sweep, per client (BTreeMap: the
+        // receipt emission order is deterministic).
+        let mut closed: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         // Boundary snapshots captured during try_commit, oldest first; the
         // snapshot at position `p` is emitted after the decision at
         // `p − 1` has been executed, so the signed state root describes
@@ -1722,6 +1943,26 @@ impl ValidatorEngine {
                     let mut tags = Vec::new();
                     for block in &sub_dag.blocks {
                         self.committed_transactions += usize_gauge(block.transactions().len());
+                        // Transactions this validator forwarded commit in
+                        // *other* authors' blocks; spot them by digest to
+                        // close their batches' commit notes. Gated on the
+                        // map being non-empty — the digest per committed
+                        // transaction is only paid when forwarding is live.
+                        if !self.forwarded_out.is_empty() {
+                            for transaction in block.transactions() {
+                                if let Some((tag, client)) =
+                                    self.forwarded_out.remove(&transaction.digest())
+                                {
+                                    self.ingress_counters.forwarded_committed += 1;
+                                    Self::close_note(
+                                        &mut self.pending_commit_notes,
+                                        tag,
+                                        client,
+                                        &mut closed,
+                                    );
+                                }
+                            }
+                        }
                         if block.author() == self.config.authority {
                             if self.config.track_tx_integrity {
                                 for transaction in block.transactions() {
@@ -1736,7 +1977,15 @@ impl ValidatorEngine {
                                 }
                             }
                             if let Some(mine) = self.own_block_txs.remove(&block.reference()) {
-                                tags.extend(mine);
+                                for &(tag, client) in &mine {
+                                    Self::close_note(
+                                        &mut self.pending_commit_notes,
+                                        tag,
+                                        client,
+                                        &mut closed,
+                                    );
+                                }
+                                tags.extend(mine.iter().map(|&(tag, _)| tag));
                             }
                         }
                     }
@@ -1756,6 +2005,31 @@ impl ValidatorEngine {
             }
         }
         debug_assert!(boundaries.peek().is_none(), "unpaired boundary snapshot");
+        // Deliver the commit notifications closed by this sweep, chunked
+        // under the wire frame's tag bound.
+        for (client, tags) in closed {
+            self.ingress_counters.commit_notices += usize_gauge(tags.len());
+            for chunk in tags.chunks(mahimahi_types::MAX_RECEIPT_TAGS) {
+                outputs.push(Output::TxReceipt {
+                    peer: client,
+                    receipt: TxReceipt::Committed {
+                        tags: chunk.to_vec(),
+                    },
+                });
+            }
+        }
+        // Retention sweep for commit notes and forwarded digests: a batch
+        // whose transactions can never all commit here (e.g. a forwarded
+        // transaction dropped by a crashing peer) must not pin its note
+        // forever. Tags are engine times, so age prunes from the front.
+        if self.now.saturating_sub(self.last_note_gc) >= NOTE_RETENTION / 10 {
+            self.last_note_gc = self.now;
+            let floor = self.now.saturating_sub(NOTE_RETENTION);
+            if floor > 0 {
+                self.pending_commit_notes = self.pending_commit_notes.split_off(&(floor, 0));
+                self.forwarded_out.retain(|_, &mut (tag, _)| tag >= floor);
+            }
+        }
         // Periodic garbage collection once the frontier moved far enough
         // past the last cutoff.
         if self.config.gc_depth.is_some() {
@@ -2002,21 +2276,179 @@ mod tests {
             from: 7,
             transactions: vec![Transaction::benchmark(1), Transaction::benchmark(2)],
         });
-        assert!(outputs.is_empty(), "accepted batches are silent");
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxReceipt {
+                peer: 7,
+                receipt: TxReceipt::Admission { tag: 42, verdicts },
+            }] if verdicts[..] == [TxVerdict::Accepted, TxVerdict::Accepted]
+        ));
         assert_eq!(engine.queued_transactions(), 2);
-        // A duplicate inside a later batch is rejected with the engine's
-        // receive time as the tag.
+        // A duplicate inside a later batch earns a Duplicate verdict under
+        // the engine's receive time.
         let outputs = engine.handle(Input::TxBatchReceived {
             from: 7,
             transactions: vec![Transaction::benchmark(2)],
         });
         assert!(matches!(
             &outputs[..],
-            [Output::TxRejected {
-                tag: 42,
-                reason: SubmitResult::Duplicate
-            }]
+            [Output::TxReceipt {
+                peer: 7,
+                receipt: TxReceipt::Admission { tag: 42, verdicts },
+            }] if verdicts[..] == [TxVerdict::Duplicate]
         ));
+        // Exactly one admission receipt per batch; only the first batch
+        // opened a commit note (the second accepted nothing).
+        let report = engine.ingress_report();
+        assert_eq!(report.batches_received, 2);
+        assert_eq!(report.receipts_emitted, 2);
+        assert_eq!(report.notes_opened, 1);
+        assert!(report.violations().is_empty());
+    }
+
+    #[test]
+    fn external_clients_pay_the_token_bucket_but_committee_peers_do_not() {
+        let setup = TestCommittee::new(4, 7);
+        let committee = setup.committee().clone();
+        let mut config = EngineConfig::new(AuthorityIndex(0), setup);
+        config.mempool = MempoolConfig::test(10_000, 100);
+        config.ingress.rate_limit_per_client = 1;
+        config.ingress.burst_per_client = 1;
+        let mut engine = ValidatorEngine::honest(
+            config,
+            Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+        );
+        // An external client (id past the committee) gets one burst token;
+        // the second transaction of the same instant is shed.
+        let outputs = engine.handle(Input::TxBatchReceived {
+            from: 9,
+            transactions: vec![Transaction::benchmark(1), Transaction::benchmark(2)],
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxReceipt {
+                peer: 9,
+                receipt: TxReceipt::Admission { verdicts, .. },
+            }] if verdicts[..] == [TxVerdict::Accepted, TxVerdict::RateLimited]
+        ));
+        // Another client's bucket is independent...
+        let outputs = engine.handle(Input::TxBatchReceived {
+            from: 10,
+            transactions: vec![Transaction::benchmark(3)],
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxReceipt { receipt: TxReceipt::Admission { verdicts, .. }, .. }]
+                if verdicts[..] == [TxVerdict::Accepted]
+        ));
+        // ...and committee peers are exempt entirely, whatever the volume.
+        let outputs = engine.handle(Input::TxBatchReceived {
+            from: 1,
+            transactions: (10u64..20).map(Transaction::benchmark).collect(),
+        });
+        assert!(matches!(
+            &outputs[..],
+            [Output::TxReceipt { receipt: TxReceipt::Admission { verdicts, .. }, .. }]
+                if verdicts.iter().all(|v| v.is_accepted())
+        ));
+        let integrity = engine.tx_integrity();
+        assert_eq!(integrity.rejected_rate_limited, 1);
+        assert_eq!(engine.ingress_report().rate_limited, 1);
+        assert!(integrity.conserves_transactions(), "{integrity:?}");
+    }
+
+    #[test]
+    fn aged_transactions_forward_and_commit_notes_close_remotely() {
+        let setup = TestCommittee::new(4, 7);
+        let mut engines: Vec<ValidatorEngine> = (0..4)
+            .map(|a| {
+                let committee = setup.committee().clone();
+                let mut config = EngineConfig::new(AuthorityIndex(a), setup.clone());
+                config.mempool = MempoolConfig::test(10_000, 100);
+                config.ingress.forward_age = Some(1_000);
+                if a == 0 {
+                    // The withholding entry point: listens and sequences
+                    // but never produces a block of its own.
+                    config.halt_from_round = Some(1);
+                }
+                ValidatorEngine::honest(
+                    config,
+                    Box::new(Committer::new(committee, CommitterOptions::mahi_mahi_5(2))),
+                )
+            })
+            .collect();
+
+        // A client batch lands on the withholding validator: the wake-up
+        // for the forwarding window precedes the admission receipt.
+        let outputs = engines[0].handle(Input::TxBatchReceived {
+            from: 9,
+            transactions: vec![Transaction::benchmark(1)],
+        });
+        assert!(matches!(
+            outputs[..],
+            [Output::WakeAt(1_000), Output::TxReceipt { peer: 9, .. }]
+        ));
+
+        // Past the window the transaction moves to a peer's pool.
+        let outputs = engines[0].handle(Input::TimerFired { now: 2_000 });
+        let (peer, forward) = outputs
+            .iter()
+            .find_map(|output| match output {
+                Output::SendTo(peer, envelope @ Envelope::TxForward(_)) => {
+                    Some((*peer, envelope.clone()))
+                }
+                _ => None,
+            })
+            .expect("aged transaction forwards");
+        let integrity = engines[0].tx_integrity();
+        assert_eq!(integrity.forwarded, 1);
+        assert!(integrity.conserves_transactions(), "{integrity:?}");
+        engines[peer].handle(Input::from_envelope(0, forward));
+
+        // Flood the DAG: validators 1..3 drive rounds (0 only listens).
+        let mut receipts = Vec::new();
+        let mut inflight: VecDeque<(usize, Envelope)> = VecDeque::new();
+        for engine in engines.iter_mut() {
+            let from = engine.authority().as_usize();
+            for output in engine.handle(Input::TimerFired { now: 2_000 }) {
+                if let Output::Broadcast(envelope) = output {
+                    inflight.push_back((from, envelope));
+                }
+            }
+        }
+        while let Some((from, envelope)) = inflight.pop_front() {
+            if let Envelope::Block(block) = &envelope {
+                if block.round() > 14 {
+                    continue;
+                }
+            }
+            for (to, engine) in engines.iter_mut().enumerate() {
+                if to == from {
+                    continue;
+                }
+                for output in engine.handle(Input::from_envelope(from, envelope.clone())) {
+                    match output {
+                        Output::Broadcast(envelope) => inflight.push_back((to, envelope)),
+                        Output::TxReceipt { peer, receipt } if to == 0 => {
+                            receipts.push((peer, receipt));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // The withholding validator observed the forwarded transaction
+        // commit in a peer's block and closed the client's note: the
+        // Committed receipt carries the original batch tag.
+        assert!(
+            receipts.iter().any(|(peer, receipt)| *peer == 9
+                && matches!(receipt, TxReceipt::Committed { tags } if tags[..] == [0])),
+            "no commit notice for the forwarded batch: {receipts:?}"
+        );
+        let report = engines[0].ingress_report();
+        assert_eq!(report.forwarded_committed, 1);
+        assert_eq!(report.commit_notices, 1);
+        assert!(report.violations().is_empty(), "{report:?}");
     }
 
     #[test]

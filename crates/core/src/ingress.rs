@@ -1,0 +1,262 @@
+//! Client-ingress policy: per-client rate limiting and the ingress
+//! accounting ledger.
+//!
+//! Admission control lives *inside* the sans-I/O engine, not in the
+//! drivers, for one reason: determinism. The simulator, the loopback
+//! harness, and the TCP node all feed the same `Input::TxBatchReceived`
+//! events; because the token buckets tick on the engine's virtual time
+//! (never a wall clock), all three drivers enforce byte-identical policy
+//! and a recorded trace replays the exact same verdicts.
+//!
+//! Two mechanisms share this module:
+//!
+//! - [`IngressPolicy`] — a token bucket per client id, refilled from
+//!   engine time at [`IngressConfig::rate_limit_per_client`] transactions
+//!   per second up to [`IngressConfig::burst_per_client`]. Committee
+//!   members are exempt (the engine checks `from < committee_size` before
+//!   consulting the bucket): validator-to-validator traffic — forwarded
+//!   transactions, the node's own submission channel — must never be shed
+//!   at the edge.
+//! - [`IngressReport`] — the receipt/forwarding ledger the
+//!   `receipt-integrity` scenario oracle gates on: every received batch
+//!   produced exactly one admission receipt, no commit notice fired
+//!   without an opened note, and no forwarded transaction was observed
+//!   committed more often than it was forwarded.
+//!
+//! The deficit-round-robin fair queue — the other half of the ingress
+//! policy — lives in the [`Mempool`](crate::mempool::Mempool) itself,
+//! where the per-client queues are.
+
+use crate::engine::Time;
+use std::collections::BTreeMap;
+
+/// Micro-tokens per transaction: integer token-bucket accounting with
+/// microsecond refill granularity and no floating point (floats would
+/// threaten cross-platform replay determinism).
+const TOKEN_SCALE: u64 = 1_000_000;
+
+/// Client-ingress policy knobs of a validator engine. The default is
+/// fully permissive — no rate limit, no forwarding — so existing drivers
+/// and benchmarks are unaffected until they opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressConfig {
+    /// Sustained admission rate per external client, in transactions per
+    /// second of engine time. `0` disables rate limiting entirely.
+    /// Committee members (peer ids below the committee size) are always
+    /// exempt.
+    pub rate_limit_per_client: u64,
+    /// Token-bucket depth per client, in transactions: the burst a client
+    /// may submit instantly before the sustained rate applies. Clamped to
+    /// at least 1 when rate limiting is enabled (a zero-depth bucket
+    /// would shed everything).
+    pub burst_per_client: u64,
+    /// Age (microseconds of engine time) after which a transaction still
+    /// pending in the mempool is forwarded to a peer's pool
+    /// (`Envelope::TxForward`), so a submission to a slow or withholding
+    /// validator still reaches a block. `None` disables forwarding.
+    pub forward_age: Option<Time>,
+    /// Maximum transactions moved per forward frame (bounds the frame
+    /// size; the remainder forwards on the next timer).
+    pub forward_max: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            rate_limit_per_client: 0,
+            burst_per_client: 0,
+            forward_age: None,
+            forward_max: 512,
+        }
+    }
+}
+
+/// One client's token bucket.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    /// Available credit, in micro-tokens ([`TOKEN_SCALE`] per
+    /// transaction).
+    credit: u64,
+    /// Engine time of the last refill.
+    refilled: Time,
+}
+
+/// Per-client token buckets over engine time. Deterministic by
+/// construction: state advances only on [`IngressPolicy::admit`] calls,
+/// whose `now` comes from the engine's virtual clock.
+#[derive(Debug)]
+pub struct IngressPolicy {
+    config: IngressConfig,
+    buckets: BTreeMap<usize, TokenBucket>,
+}
+
+impl IngressPolicy {
+    /// A policy with the given knobs and no per-client state yet.
+    pub fn new(config: IngressConfig) -> Self {
+        IngressPolicy {
+            config,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Charges one transaction from `client`'s bucket at engine time
+    /// `now`. Returns whether the transaction may proceed to admission.
+    /// With rate limiting disabled this is always true and allocates
+    /// nothing.
+    pub fn admit(&mut self, client: usize, now: Time) -> bool {
+        let rate = self.config.rate_limit_per_client;
+        if rate == 0 {
+            return true;
+        }
+        let depth = self
+            .config
+            .burst_per_client
+            .max(1)
+            .saturating_mul(TOKEN_SCALE);
+        let bucket = self.buckets.entry(client).or_insert(TokenBucket {
+            credit: depth,
+            refilled: now,
+        });
+        // rate is tx/s and time is µs, so micro-tokens accrue at exactly
+        // `rate` per microsecond: elapsed × rate, capped at the depth.
+        let elapsed = now.saturating_sub(bucket.refilled);
+        bucket.refilled = now;
+        bucket.credit = bucket
+            .credit
+            .saturating_add(elapsed.saturating_mul(rate))
+            .min(depth);
+        if bucket.credit >= TOKEN_SCALE {
+            bucket.credit -= TOKEN_SCALE;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The ingress ledger of one validator: receipts, commit notices, and
+/// forwarding, as counted by the engine (`ValidatorEngine::ingress_report`).
+/// The `receipt-integrity` oracle holds every correct validator to
+/// [`IngressReport::violations`] being empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressReport {
+    /// Wire transaction batches received (`Input::TxBatchReceived`).
+    pub batches_received: u64,
+    /// Admission receipts emitted — must equal `batches_received`: zero
+    /// receipt loss is the subsystem's core guarantee.
+    pub receipts_emitted: u64,
+    /// Batches with at least one accepted transaction, i.e. commit
+    /// notifications opened and owed to a client.
+    pub notes_opened: u64,
+    /// Commit notifications delivered (`TxReceipt::Committed` tags).
+    pub commit_notices: u64,
+    /// Transactions moved to a peer's pool by age-based forwarding.
+    pub forwarded: u64,
+    /// Forwarded transactions later observed committed in the sequenced
+    /// order (any author's block).
+    pub forwarded_committed: u64,
+    /// Transactions shed by the per-client token bucket.
+    pub rate_limited: u64,
+}
+
+impl IngressReport {
+    /// Every ingress-ledger violation, as human-readable descriptions
+    /// (empty when the subsystem is sound). Shared by the
+    /// `receipt-integrity` oracle and the load generator's gates.
+    pub fn violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.receipts_emitted != self.batches_received {
+            violations.push(format!(
+                "receipt loss: {} batches received but {} admission receipts emitted",
+                self.batches_received, self.receipts_emitted
+            ));
+        }
+        if self.commit_notices > self.notes_opened {
+            violations.push(format!(
+                "{} commit notices delivered but only {} notes opened",
+                self.commit_notices, self.notes_opened
+            ));
+        }
+        if self.forwarded_committed > self.forwarded {
+            violations.push(format!(
+                "{} forwarded transactions observed committed but only {} forwarded",
+                self.forwarded_committed, self.forwarded
+            ));
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limited(rate: u64, burst: u64) -> IngressPolicy {
+        IngressPolicy::new(IngressConfig {
+            rate_limit_per_client: rate,
+            burst_per_client: burst,
+            ..IngressConfig::default()
+        })
+    }
+
+    #[test]
+    fn disabled_policy_admits_everything() {
+        let mut policy = IngressPolicy::new(IngressConfig::default());
+        for i in 0..10_000 {
+            assert!(policy.admit(7, i));
+        }
+    }
+
+    #[test]
+    fn burst_then_refill_at_the_sustained_rate() {
+        // 10 tx/s, burst of 3: three instant admissions, then one more
+        // every 100 ms of engine time.
+        let mut policy = limited(10, 3);
+        for _ in 0..3 {
+            assert!(policy.admit(1, 0));
+        }
+        assert!(!policy.admit(1, 0));
+        assert!(!policy.admit(1, 50_000), "half a refill is not a token");
+        assert!(policy.admit(1, 100_000));
+        assert!(!policy.admit(1, 100_000));
+        // A long idle period refills at most the burst depth.
+        for _ in 0..3 {
+            assert!(policy.admit(1, 60_000_000));
+        }
+        assert!(!policy.admit(1, 60_000_000));
+    }
+
+    #[test]
+    fn buckets_are_independent_per_client() {
+        let mut policy = limited(10, 1);
+        assert!(policy.admit(1, 0));
+        assert!(!policy.admit(1, 0));
+        // Client 2's bucket is untouched by client 1's exhaustion.
+        assert!(policy.admit(2, 0));
+    }
+
+    #[test]
+    fn report_violations_catch_receipt_loss_and_overcounting() {
+        let sound = IngressReport {
+            batches_received: 5,
+            receipts_emitted: 5,
+            notes_opened: 4,
+            commit_notices: 4,
+            forwarded: 2,
+            forwarded_committed: 2,
+            rate_limited: 1,
+        };
+        assert!(sound.violations().is_empty());
+        let lossy = IngressReport {
+            receipts_emitted: 4,
+            ..sound
+        };
+        assert_eq!(lossy.violations().len(), 1);
+        let phantom = IngressReport {
+            commit_notices: 9,
+            forwarded_committed: 3,
+            ..sound
+        };
+        assert_eq!(phantom.violations().len(), 2);
+    }
+}

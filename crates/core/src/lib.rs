@@ -45,6 +45,7 @@ mod election;
 pub mod engine;
 mod evidence;
 pub mod execution;
+pub mod ingress;
 pub mod mempool;
 mod protocol;
 mod sequencer;
@@ -59,6 +60,7 @@ pub use engine::{
 };
 pub use evidence::{EvidencePool, RecordingSlashingHook, SlashingHook};
 pub use execution::{BalanceLedger, ExecutionState, BLOCK_REWARD};
+pub use ingress::{IngressConfig, IngressPolicy, IngressReport};
 pub use mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 pub use protocol::ProtocolCommitter;
 pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};

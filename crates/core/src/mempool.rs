@@ -18,19 +18,31 @@
 //! - **per-block payload budget**: [`Mempool::next_payload`] drains at most
 //!   [`MempoolConfig::max_block_txs`] transactions and
 //!   [`MempoolConfig::max_block_bytes`] payload bytes per produced block,
-//!   FIFO, so one burst cannot monopolize a block or blow up its wire size.
+//!   so one burst cannot monopolize a block or blow up its wire size;
+//! - **per-client fairness**: pending transactions are held in one FIFO
+//!   queue *per client id*, and [`Mempool::next_payload`] drains them with
+//!   deficit round-robin (quantum = the block byte budget): each active
+//!   client is served in rotation, so a single greedy connection cannot
+//!   starve every other client out of block inclusion;
+//! - **age-based forwarding**: [`Mempool::take_aged`] pops transactions
+//!   that sat unproposed past a cutoff so the engine can hand them to a
+//!   peer ([`Envelope::TxForward`]); the digests stay in the dedup set, so
+//!   the forwarded transaction can never re-enter this pool and be
+//!   proposed as "own" by two validators at once.
 //!
 //! The pool is transport-free and clock-free, like the engine that owns
-//! it: determinism (same submissions ⇒ same payloads) is what lets the
-//! recorded-trace replay and driver-equivalence tests cover the ingestion
-//! path end to end.
+//! it (callers pass in the engine's virtual time): determinism (same
+//! submissions ⇒ same payloads) is what lets the recorded-trace replay and
+//! driver-equivalence tests cover the ingestion path end to end.
+//!
+//! [`Envelope::TxForward`]: mahimahi_types::Envelope::TxForward
 
 use mahimahi_crypto::Digest;
 use mahimahi_types::Transaction;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// The outcome of one transaction submission — the backpressure signal
-/// surfaced to clients (and, through `Output::TxRejected`, to drivers).
+/// surfaced to clients (and, through `Output::TxReceipt`, to drivers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitResult {
     /// The transaction entered the pool and will be included in a future
@@ -68,7 +80,8 @@ pub struct MempoolConfig {
     pub max_block_txs: usize,
     /// Maximum payload bytes drained into one produced block. A single
     /// transaction larger than the budget is still included alone (the
-    /// budget bounds batching, it must not wedge the queue).
+    /// budget bounds batching, it must not wedge the queue). Doubles as
+    /// the deficit-round-robin quantum of the per-client fair drain.
     pub max_block_bytes: usize,
 }
 
@@ -96,22 +109,50 @@ impl MempoolConfig {
     }
 }
 
-/// A bounded FIFO transaction pool with digest dedup and per-block payload
-/// budgeting. See the [module docs](self) for the design.
+/// One pending transaction with its admission metadata.
+#[derive(Debug)]
+struct PoolTx {
+    transaction: Transaction,
+    /// Opaque client tag (submission/receive time) returned at inclusion.
+    tag: u64,
+    /// The submitting client id, threaded through to inclusion so commit
+    /// notifications can find their way back.
+    client: usize,
+    /// Engine time at admission — what age-based forwarding keys off.
+    enqueued: u64,
+    /// Whether [`Mempool::take_aged`] may move this transaction to a peer.
+    /// False for transactions that were themselves forwarded here: exactly
+    /// one pool owns a transaction at a time, and a second hop could route
+    /// it back to its origin, whose dedup set would silently drop it.
+    forwardable: bool,
+}
+
+/// A bounded transaction pool with digest dedup, per-block payload
+/// budgeting, and a deficit-round-robin fair drain across client queues.
+/// See the [module docs](self) for the design.
 #[derive(Debug)]
 pub struct Mempool {
     config: MempoolConfig,
-    /// Pending transactions with their opaque client tags, FIFO.
-    queue: VecDeque<(Transaction, u64)>,
-    /// Pending payload bytes (sum over `queue`).
+    /// Pending transactions, one FIFO queue per client id.
+    queues: BTreeMap<usize, VecDeque<PoolTx>>,
+    /// Deficit-round-robin service order over clients with pending
+    /// transactions.
+    rotation: VecDeque<usize>,
+    /// Per-client byte deficits carried between service turns.
+    deficits: BTreeMap<usize, usize>,
+    /// Total pending transactions (sum over `queues`).
+    txs: usize,
+    /// Total pending payload bytes (sum over `queues`).
     bytes: usize,
-    /// Digests of every transaction ever accepted (pending, in flight, or
-    /// committed). Grows with the accepted set — replay protection is
-    /// retention, exactly like a nonce ledger.
+    /// Digests of every transaction ever accepted (pending, in flight,
+    /// forwarded, or committed). Grows with the accepted set — replay
+    /// protection is retention, exactly like a nonce ledger.
     seen: HashSet<Digest>,
     accepted: u64,
     rejected_duplicate: u64,
     rejected_full: u64,
+    rejected_rate_limited: u64,
+    forwarded: u64,
     peak_txs: usize,
     peak_bytes: usize,
 }
@@ -121,12 +162,17 @@ impl Mempool {
     pub fn new(config: MempoolConfig) -> Self {
         Mempool {
             config,
-            queue: VecDeque::new(),
+            queues: BTreeMap::new(),
+            rotation: VecDeque::new(),
+            deficits: BTreeMap::new(),
+            txs: 0,
             bytes: 0,
             seen: HashSet::new(),
             accepted: 0,
             rejected_duplicate: 0,
             rejected_full: 0,
+            rejected_rate_limited: 0,
+            forwarded: 0,
             peak_txs: 0,
             peak_bytes: 0,
         }
@@ -145,16 +191,49 @@ impl Mempool {
         self.seen.contains(digest)
     }
 
-    /// Admits one transaction. `tag` is opaque client metadata carried
-    /// alongside (submission time, client id) and returned with the
-    /// payload at inclusion.
-    pub fn submit(&mut self, transaction: Transaction, tag: u64) -> SubmitResult {
+    /// Admits one transaction from `client`. `tag` is opaque client
+    /// metadata carried alongside (submission time) and returned with the
+    /// payload at inclusion; `now` is the engine's virtual time, recorded
+    /// for age-based forwarding.
+    pub fn submit(
+        &mut self,
+        transaction: Transaction,
+        tag: u64,
+        client: usize,
+        now: u64,
+    ) -> SubmitResult {
+        self.admit(transaction, tag, client, now, true)
+    }
+
+    /// Admits a transaction forwarded from a peer's pool
+    /// (`Envelope::TxForward`). Identical to [`Mempool::submit`] except
+    /// the transaction is never forwarded again — one hop only, so
+    /// exactly one pool owns it and it cannot bounce back into its
+    /// origin's dedup set.
+    pub fn submit_forwarded(
+        &mut self,
+        transaction: Transaction,
+        tag: u64,
+        client: usize,
+        now: u64,
+    ) -> SubmitResult {
+        self.admit(transaction, tag, client, now, false)
+    }
+
+    fn admit(
+        &mut self,
+        transaction: Transaction,
+        tag: u64,
+        client: usize,
+        now: u64,
+        forwardable: bool,
+    ) -> SubmitResult {
         let digest = transaction.digest();
         if self.seen.contains(&digest) {
             self.rejected_duplicate += 1;
             return SubmitResult::Duplicate;
         }
-        if self.queue.len() >= self.config.capacity_txs
+        if self.txs >= self.config.capacity_txs
             || self.bytes + transaction.len() > self.config.capacity_bytes
         {
             self.rejected_full += 1;
@@ -162,48 +241,189 @@ impl Mempool {
         }
         self.seen.insert(digest);
         self.bytes += transaction.len();
-        self.queue.push_back((transaction, tag));
+        self.txs += 1;
+        let queue = self.queues.entry(client).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(client);
+        }
+        queue.push_back(PoolTx {
+            transaction,
+            tag,
+            client,
+            enqueued: now,
+            forwardable,
+        });
         self.accepted += 1;
-        self.peak_txs = self.peak_txs.max(self.queue.len());
+        self.peak_txs = self.peak_txs.max(self.txs);
         self.peak_bytes = self.peak_bytes.max(self.bytes);
         SubmitResult::Accepted
     }
 
-    /// Drains the next block payload: FIFO, at most
-    /// [`MempoolConfig::max_block_txs`] transactions and
-    /// [`MempoolConfig::max_block_bytes`] bytes (always at least one
-    /// transaction when the pool is non-empty). Returns the transactions
-    /// and their tags, index-parallel.
-    pub fn next_payload(&mut self) -> (Vec<Transaction>, Vec<u64>) {
+    /// Counts a submission the engine's ingress policy turned away before
+    /// it reached admission (per-client token bucket exhausted).
+    pub fn note_rate_limited(&mut self) {
+        self.rejected_rate_limited += 1;
+    }
+
+    /// Drains the next block payload with deficit round-robin across the
+    /// active client queues: at most [`MempoolConfig::max_block_txs`]
+    /// transactions and [`MempoolConfig::max_block_bytes`] bytes (always
+    /// at least one transaction when the pool is non-empty). Each active
+    /// client is served at most one quantum (= the block byte budget) per
+    /// call and the rotation persists across calls, so sustained load from
+    /// one client cannot starve the others. Returns the transactions and
+    /// their `(tag, client)` pairs, index-parallel.
+    pub fn next_payload(&mut self) -> (Vec<Transaction>, Vec<(u64, usize)>) {
         let mut transactions = Vec::new();
         let mut tags = Vec::new();
         let mut payload_bytes = 0usize;
-        while transactions.len() < self.config.max_block_txs {
-            let Some((transaction, _)) = self.queue.front() else {
-                break;
-            };
-            if !transactions.is_empty()
-                && payload_bytes + transaction.len() > self.config.max_block_bytes
+        let active = self.rotation.len();
+        if active == 0 {
+            return (transactions, tags);
+        }
+        // Each service visit grants one quantum of bytes and one equal
+        // share of the block's transaction budget; with a single active
+        // client this degenerates to the plain FIFO drain.
+        let quantum = (self.config.max_block_bytes / active).max(1);
+        let tx_share = (self.config.max_block_txs / active).max(1);
+        loop {
+            let mut took_this_cycle = false;
+            let mut turns = self.rotation.len();
+            while turns > 0 && transactions.len() < self.config.max_block_txs {
+                turns -= 1;
+                let Some(client) = self.rotation.pop_front() else {
+                    break;
+                };
+                // Deficits carry over uncapped while the client stays
+                // backlogged, so a transaction larger than one quantum is
+                // eventually served instead of starving behind smaller
+                // clients; an emptied queue drops its credit (classic
+                // DRR: nothing accrues while inactive).
+                let mut deficit = self
+                    .deficits
+                    .remove(&client)
+                    .unwrap_or(0)
+                    .saturating_add(quantum);
+                let mut block_full = false;
+                let mut took = 0usize;
+                let queue = self
+                    .queues
+                    .get_mut(&client)
+                    .expect("rotation entries have queues");
+                while transactions.len() < self.config.max_block_txs {
+                    let Some(front) = queue.front() else {
+                        break;
+                    };
+                    let len = front.transaction.len();
+                    // The budgets never wedge the queue: the block's first
+                    // transaction is always included, whatever its size.
+                    if !transactions.is_empty() && payload_bytes + len > self.config.max_block_bytes
+                    {
+                        block_full = true;
+                        break;
+                    }
+                    if !transactions.is_empty() && (deficit < len || took >= tx_share) {
+                        break;
+                    }
+                    let entry = queue.pop_front().expect("peeked front");
+                    deficit = deficit.saturating_sub(len);
+                    payload_bytes += len;
+                    self.bytes -= len;
+                    self.txs -= 1;
+                    transactions.push(entry.transaction);
+                    tags.push((entry.tag, entry.client));
+                    took += 1;
+                    took_this_cycle = true;
+                }
+                if self.queues.get(&client).is_some_and(VecDeque::is_empty) {
+                    self.queues.remove(&client);
+                    self.deficits.remove(&client);
+                } else {
+                    self.rotation.push_back(client);
+                    self.deficits.insert(client, deficit);
+                }
+                if block_full {
+                    return (transactions, tags);
+                }
+            }
+            // Keep cycling while the block has room and progress is being
+            // made (leftover budget redistributes to still-backlogged
+            // clients); a barren cycle ends the drain.
+            if !took_this_cycle
+                || transactions.len() >= self.config.max_block_txs
+                || self.rotation.is_empty()
             {
+                return (transactions, tags);
+            }
+        }
+    }
+
+    /// Pops every pending transaction enqueued at or before `cutoff`, up
+    /// to `max`, marking them forwarded. The digests remain in the dedup
+    /// set — a forwarded transaction can never be re-admitted here, which
+    /// is the exactly-once half of the forwarding contract. Returns
+    /// `(transaction, tag, client)` triples in client-id order.
+    pub fn take_aged(&mut self, cutoff: u64, max: usize) -> Vec<(Transaction, u64, usize)> {
+        let mut taken = Vec::new();
+        let clients: Vec<usize> = self.queues.keys().copied().collect();
+        for client in clients {
+            if taken.len() >= max {
                 break;
             }
-            let (transaction, tag) = self.queue.pop_front().expect("peeked front");
-            payload_bytes += transaction.len();
-            self.bytes -= transaction.len();
-            transactions.push(transaction);
-            tags.push(tag);
+            let queue = self.queues.get_mut(&client).expect("listed client");
+            while taken.len() < max {
+                // Per-client FIFO + monotone engine time: the front entry
+                // is the oldest of its queue. A non-forwardable front
+                // (itself forwarded here) ends the queue's scan — FIFO
+                // order is preserved even for the forwarding path.
+                match queue.front() {
+                    Some(entry) if entry.enqueued <= cutoff && entry.forwardable => {
+                        let entry = queue.pop_front().expect("peeked front");
+                        self.bytes -= entry.transaction.len();
+                        self.txs -= 1;
+                        self.forwarded += 1;
+                        taken.push((entry.transaction, entry.tag, entry.client));
+                    }
+                    _ => break,
+                }
+            }
+            if queue.is_empty() {
+                self.queues.remove(&client);
+                self.rotation.retain(|&active| active != client);
+                self.deficits.remove(&client);
+            }
         }
-        (transactions, tags)
+        taken
+    }
+
+    /// The enqueue time of the oldest pending *forwardable* transaction,
+    /// if any — what the engine schedules its next forwarding wake-up
+    /// from.
+    pub fn oldest_enqueued(&self) -> Option<u64> {
+        self.queues
+            .values()
+            .filter_map(|queue| {
+                queue
+                    .front()
+                    .filter(|entry| entry.forwardable)
+                    .map(|entry| entry.enqueued)
+            })
+            .min()
+    }
+
+    /// Pending transactions for one client id.
+    pub fn pending_for(&self, client: usize) -> usize {
+        self.queues.get(&client).map_or(0, VecDeque::len)
     }
 
     /// Pending transactions.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.txs
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.txs == 0
     }
 
     /// Pending payload bytes.
@@ -235,6 +455,16 @@ impl Mempool {
     pub fn rejected_full(&self) -> u64 {
         self.rejected_full
     }
+
+    /// Submissions turned away by the per-client rate limit so far.
+    pub fn rejected_rate_limited(&self) -> u64 {
+        self.rejected_rate_limited
+    }
+
+    /// Transactions handed to a peer by age-based forwarding so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
 }
 
 /// A point-in-time accounting of one validator's transaction pipeline,
@@ -242,7 +472,8 @@ impl Mempool {
 ///
 /// For a correct (honest-proposing) validator the pipeline conserves
 /// transactions: everything accepted is either still pending in the pool,
-/// in flight inside a produced-but-uncommitted own block, or committed —
+/// in flight inside a produced-but-uncommitted own block, forwarded to a
+/// peer's pool, or committed —
 /// [`TxIntegrityReport::conserves_transactions`]. The `tx-integrity`
 /// scenario oracle holds every correct validator to that conservation law,
 /// to a zero duplicate-commit count, and to bounded pool occupancy.
@@ -254,12 +485,20 @@ pub struct TxIntegrityReport {
     pub rejected_duplicate: u64,
     /// Submissions rejected for capacity ([`SubmitResult::Full`]).
     pub rejected_full: u64,
+    /// Submissions turned away by the per-client token bucket before
+    /// admission (`TxVerdict::RateLimited`).
+    pub rejected_rate_limited: u64,
     /// Transactions still pending in the pool.
     pub pending: u64,
     /// Transactions drained into own blocks that have not committed yet.
     pub in_flight: u64,
     /// Own accepted transactions that committed.
     pub own_committed: u64,
+    /// Accepted transactions handed to a peer by age-based forwarding —
+    /// the peer's pool owns their inclusion from then on, so they leave
+    /// this validator's pending/in-flight/committed accounting but stay in
+    /// the conservation law.
+    pub forwarded: u64,
     /// Transactions committed twice across this validator's *own* blocks
     /// — the exactly-once guarantee of the local pipeline (accept → drain
     /// once → include once → commit once); must be zero everywhere,
@@ -280,11 +519,11 @@ pub struct TxIntegrityReport {
 
 impl TxIntegrityReport {
     /// No accepted transaction was lost: accepted = pending + in flight +
-    /// committed. Holds for every honest-proposing validator (Byzantine
-    /// strategies deliberately build several block variants over one drain,
-    /// which double-counts their in-flight tags).
+    /// committed + forwarded. Holds for every honest-proposing validator
+    /// (Byzantine strategies deliberately build several block variants
+    /// over one drain, which double-counts their in-flight tags).
     pub fn conserves_transactions(&self) -> bool {
-        self.accepted == self.pending + self.in_flight + self.own_committed
+        self.accepted == self.pending + self.in_flight + self.own_committed + self.forwarded
     }
 
     /// The pool never outgrew its configured bounds.
@@ -308,8 +547,9 @@ impl TxIntegrityReport {
         }
         if !self.conserves_transactions() {
             violations.push(format!(
-                "transactions lost: accepted {} != pending {} + in-flight {} + committed {}",
-                self.accepted, self.pending, self.in_flight, self.own_committed
+                "transactions lost: accepted {} != pending {} + in-flight {} + committed {} \
+                 + forwarded {}",
+                self.accepted, self.pending, self.in_flight, self.own_committed, self.forwarded
             ));
         }
         if !self.occupancy_bounded() {
@@ -333,45 +573,50 @@ mod tests {
         Transaction::new(id.to_le_bytes().to_vec())
     }
 
+    /// Single-client submission shorthand (client 0, enqueued at `tag`).
+    fn put(pool: &mut Mempool, transaction: Transaction, tag: u64) -> SubmitResult {
+        pool.submit(transaction, tag, 0, tag)
+    }
+
     #[test]
     fn fifo_order_and_tags_are_preserved() {
         let mut pool = Mempool::new(MempoolConfig::test(10, 2));
         for id in 0..3u64 {
-            assert_eq!(pool.submit(tx(id), 100 + id), SubmitResult::Accepted);
+            assert_eq!(put(&mut pool, tx(id), 100 + id), SubmitResult::Accepted);
         }
         let (txs, tags) = pool.next_payload();
         assert_eq!(txs, vec![tx(0), tx(1)]);
-        assert_eq!(tags, vec![100, 101]);
+        assert_eq!(tags, vec![(100, 0), (101, 0)]);
         let (txs, tags) = pool.next_payload();
         assert_eq!(txs, vec![tx(2)]);
-        assert_eq!(tags, vec![102]);
+        assert_eq!(tags, vec![(102, 0)]);
         assert!(pool.is_empty());
     }
 
     #[test]
     fn duplicates_are_rejected_even_after_inclusion() {
         let mut pool = Mempool::new(MempoolConfig::test(10, 10));
-        assert_eq!(pool.submit(tx(7), 0), SubmitResult::Accepted);
-        assert_eq!(pool.submit(tx(7), 1), SubmitResult::Duplicate);
+        assert_eq!(put(&mut pool, tx(7), 0), SubmitResult::Accepted);
+        assert_eq!(put(&mut pool, tx(7), 1), SubmitResult::Duplicate);
         let _ = pool.next_payload();
         // Drained into a block: a retry must still be deduplicated, or the
         // transaction would commit twice.
-        assert_eq!(pool.submit(tx(7), 2), SubmitResult::Duplicate);
+        assert_eq!(put(&mut pool, tx(7), 2), SubmitResult::Duplicate);
         assert_eq!(pool.rejected_duplicate(), 2);
     }
 
     #[test]
     fn tx_capacity_bounds_occupancy() {
         let mut pool = Mempool::new(MempoolConfig::test(2, 10));
-        assert_eq!(pool.submit(tx(0), 0), SubmitResult::Accepted);
-        assert_eq!(pool.submit(tx(1), 0), SubmitResult::Accepted);
-        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Full);
+        assert_eq!(put(&mut pool, tx(0), 0), SubmitResult::Accepted);
+        assert_eq!(put(&mut pool, tx(1), 0), SubmitResult::Accepted);
+        assert_eq!(put(&mut pool, tx(2), 0), SubmitResult::Full);
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.peak_txs(), 2);
         assert_eq!(pool.rejected_full(), 1);
         // Draining frees capacity.
         let _ = pool.next_payload();
-        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Accepted);
+        assert_eq!(put(&mut pool, tx(2), 0), SubmitResult::Accepted);
     }
 
     #[test]
@@ -383,9 +628,9 @@ mod tests {
             max_block_bytes: 1_000,
         };
         let mut pool = Mempool::new(config);
-        assert_eq!(pool.submit(tx(0), 0), SubmitResult::Accepted); // 8 bytes
-        assert_eq!(pool.submit(tx(1), 0), SubmitResult::Accepted); // 16 bytes
-        assert_eq!(pool.submit(tx(2), 0), SubmitResult::Full); // would be 24
+        assert_eq!(put(&mut pool, tx(0), 0), SubmitResult::Accepted); // 8 bytes
+        assert_eq!(put(&mut pool, tx(1), 0), SubmitResult::Accepted); // 16 bytes
+        assert_eq!(put(&mut pool, tx(2), 0), SubmitResult::Full); // would be 24
         assert_eq!(pool.pending_bytes(), 16);
         assert_eq!(pool.peak_bytes(), 16);
     }
@@ -400,7 +645,7 @@ mod tests {
         };
         let mut pool = Mempool::new(config);
         for id in 0..4u64 {
-            pool.submit(tx(id), id);
+            put(&mut pool, tx(id), id);
         }
         // 8-byte transactions, 20-byte budget: two per block.
         let (txs, _) = pool.next_payload();
@@ -418,8 +663,8 @@ mod tests {
             max_block_bytes: 10,
         };
         let mut pool = Mempool::new(config);
-        pool.submit(Transaction::new(vec![1; 64]), 0);
-        pool.submit(tx(1), 1);
+        put(&mut pool, Transaction::new(vec![1; 64]), 0);
+        put(&mut pool, tx(1), 1);
         // Larger than the whole block budget: still drained (alone), never
         // wedged at the head of the queue.
         let (txs, _) = pool.next_payload();
@@ -430,19 +675,94 @@ mod tests {
     }
 
     #[test]
+    fn drain_round_robins_across_clients() {
+        // Client 9 floods 50 transactions before clients 1 and 2 submit
+        // one each; a 4-transaction block must still include both of the
+        // small clients' transactions, not four of the flooder's.
+        let mut pool = Mempool::new(MempoolConfig::test(100, 4));
+        for id in 0..50u64 {
+            pool.submit(tx(id), id, 9, 0);
+        }
+        pool.submit(tx(100), 100, 1, 0);
+        pool.submit(tx(200), 200, 2, 0);
+        let (txs, tags) = pool.next_payload();
+        assert_eq!(txs.len(), 4);
+        let clients: Vec<usize> = tags.iter().map(|&(_, client)| client).collect();
+        assert!(clients.contains(&1), "client 1 starved: {clients:?}");
+        assert!(clients.contains(&2), "client 2 starved: {clients:?}");
+    }
+
+    #[test]
+    fn rotation_persists_across_payloads() {
+        // Two clients with two transactions each, one-transaction blocks:
+        // service alternates instead of draining one client first.
+        let mut pool = Mempool::new(MempoolConfig::test(100, 1));
+        for id in 0..2u64 {
+            pool.submit(tx(id), id, 5, 0);
+            pool.submit(tx(10 + id), 10 + id, 6, 0);
+        }
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            let (_, tags) = pool.next_payload();
+            served.push(tags[0].1);
+        }
+        assert_eq!(served, vec![5, 6, 5, 6]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn take_aged_pops_only_old_transactions_and_keeps_dedup() {
+        let mut pool = Mempool::new(MempoolConfig::test(100, 10));
+        pool.submit(tx(1), 1, 0, 1_000);
+        pool.submit(tx(2), 2, 3, 2_000);
+        pool.submit(tx(3), 3, 3, 9_000);
+        let aged = pool.take_aged(2_000, 16);
+        assert_eq!(aged.len(), 2);
+        assert_eq!(aged[0].0, tx(1));
+        assert_eq!((aged[0].1, aged[0].2), (1, 0));
+        assert_eq!((aged[1].1, aged[1].2), (2, 3));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.forwarded(), 2);
+        // Forwarded digests stay seen: re-submission is a duplicate, so
+        // the transaction can never be proposed by two pools as "own".
+        assert_eq!(pool.submit(tx(1), 9, 7, 9_500), SubmitResult::Duplicate);
+        assert_eq!(pool.oldest_enqueued(), Some(9_000));
+        // Conservation bookkeeping: accepted = pending + forwarded here.
+        assert_eq!(pool.accepted(), 3);
+        assert_eq!(pool.len() as u64 + pool.forwarded(), 3);
+    }
+
+    #[test]
+    fn forwarded_in_transactions_never_forward_again() {
+        let mut pool = Mempool::new(MempoolConfig::test(100, 10));
+        pool.submit_forwarded(tx(1), 1, 2, 0);
+        // One hop only: however stale, a forwarded-in transaction is never
+        // moved to yet another pool.
+        assert!(pool.take_aged(u64::MAX / 2, 16).is_empty());
+        assert_eq!(pool.oldest_enqueued(), None);
+        assert_eq!(pool.forwarded(), 0);
+        // It is still included in blocks normally.
+        let (txs, tags) = pool.next_payload();
+        assert_eq!(txs, vec![tx(1)]);
+        assert_eq!(tags, vec![(1, 2)]);
+    }
+
+    #[test]
     fn integrity_report_checks() {
         let report = TxIntegrityReport {
             accepted: 10,
             rejected_duplicate: 1,
             rejected_full: 2,
             pending: 3,
-            in_flight: 4,
+            in_flight: 3,
             own_committed: 3,
+            forwarded: 1,
             duplicate_committed: 0,
             peak_occupancy_txs: 5,
             peak_occupancy_bytes: 100,
             capacity_txs: 8,
             capacity_bytes: 1_000,
+            ..TxIntegrityReport::default()
         };
         assert!(report.conserves_transactions());
         assert!(report.occupancy_bounded());

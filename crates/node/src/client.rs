@@ -1,37 +1,89 @@
 //! The client-submission wire path.
 //!
-//! Clients are not validators: they hold no committee slot and speak
-//! exactly one frame, [`Envelope::TxBatch`]. A [`TxClient`] connects to a
-//! validator's transport listener like any peer — hello frame carrying its
-//! peer id, then length-prefixed frames — but identifies itself with the
-//! reserved [`CLIENT_PEER`] id, far outside any committee's authority
-//! range. The validator's event loop decodes the batch through the shared
-//! codec (structural validation included) and submits every transaction to
-//! its bounded mempool; rejected submissions are dropped there
-//! (fire-and-forget ingress — production systems would add an ack frame,
-//! which the `Envelope` vocabulary has room for).
+//! Clients are not validators: they hold no committee slot and speak the
+//! transaction-ingress vocabulary only — [`Envelope::TxBatch`] up,
+//! [`Envelope::TxReceipt`] down. A [`TxClient`] connects to a validator's
+//! transport listener like any peer — hello frame, then length-prefixed
+//! frames — but identifies itself with the reserved [`CLIENT_PEER`] id.
+//! The transport assigns the connection a fresh id from its client range
+//! and uses the socket duplex: batches flow up tagged with that id, and
+//! the validator's receipts come back down the same connection.
+//!
+//! Every batch is answered: an `Admission` receipt carries one verdict
+//! per transaction (accepted, duplicate, pool full, or rate limited), and
+//! `Committed` notices follow as the accepted transactions are sequenced.
+//! [`TxClient::submit_and_wait`] bundles the round trip;
+//! [`TxClient::wait_committed`] blocks until a batch's commit notice
+//! arrives. All waits are [`Duration`]-bounded and a lost connection is
+//! recoverable with [`TxClient::reconnect`].
 //!
 //! # Example
 //!
 //! ```no_run
 //! use mahimahi_node::TxClient;
 //! use mahimahi_types::Transaction;
+//! use std::time::Duration;
 //!
 //! let mut client = TxClient::connect("127.0.0.1:9000".parse().unwrap()).unwrap();
-//! client.submit(&[Transaction::benchmark(1), Transaction::benchmark(2)]).unwrap();
+//! let receipt = client
+//!     .submit_and_wait(
+//!         &[Transaction::benchmark(1), Transaction::benchmark(2)],
+//!         Duration::from_secs(5),
+//!     )
+//!     .unwrap();
+//! println!("admitted under tag(s) {receipt:?}");
 //! ```
 
-use mahimahi_types::{Encode, Envelope, Transaction};
-use std::io::Write;
+use mahimahi_types::{Decode, Encode, Envelope, Transaction, TxReceipt, TxVerdict};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
-/// The reserved peer id client connections present in their hello frame.
-/// Committee authority indexes are small (`n ≤` a few hundred), so the
-/// maximum `u32` can never collide with a validator id.
+/// The reserved hello id client connections present. Committee authority
+/// indexes are small (`n ≤` a few hundred), so the maximum `u32` can never
+/// collide with a validator id; the transport answers by assigning the
+/// connection its own id from the client range.
 pub const CLIENT_PEER: u32 = u32::MAX;
 
-/// A TCP client submitting transaction batches to one validator.
+/// Why a client operation did not produce a receipt.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The deadline passed before the expected receipt arrived. The
+    /// submission may still land — timeouts are about the wait, not the
+    /// batch. After a mid-frame timeout the stream may be desynchronized;
+    /// [`TxClient::reconnect`] restores a clean framing boundary.
+    Timeout,
+    /// The validator answered, but admitted none of the batch: every
+    /// verdict is a rejection (duplicate, pool full, or rate limited).
+    Rejected(Vec<TxVerdict>),
+    /// The connection failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout => write!(f, "timed out waiting for a receipt"),
+            ClientError::Rejected(verdicts) => {
+                write!(f, "batch fully rejected: {verdicts:?}")
+            }
+            ClientError::Io(error) => write!(f, "connection error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(error: std::io::Error) -> Self {
+        ClientError::Io(error)
+    }
+}
+
+/// A TCP client submitting transaction batches to one validator and
+/// reading the receipts it sends back.
 pub struct TxClient {
+    addr: SocketAddr,
     stream: TcpStream,
 }
 
@@ -42,25 +94,124 @@ impl TxClient {
     ///
     /// Propagates socket errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        write_frame(&mut stream, &CLIENT_PEER.to_le_bytes())?;
-        Ok(TxClient { stream })
+        let stream = Self::open(addr)?;
+        Ok(TxClient { addr, stream })
     }
 
-    /// Submits one transaction batch as an [`Envelope::TxBatch`] frame.
-    /// Empty batches are skipped (the codec rejects them structurally).
+    /// Drops the current connection and dials the validator again (fresh
+    /// hello, fresh client id on the validator side). Receipts for batches
+    /// submitted on the old connection are lost — resubmitting is safe,
+    /// the validator's duplicate detection sheds the copies.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors; the connection should be re-established
-    /// on failure.
+    /// Propagates socket errors.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = Self::open(self.addr)?;
+        Ok(())
+    }
+
+    fn open(addr: SocketAddr) -> std::io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &CLIENT_PEER.to_le_bytes())?;
+        Ok(stream)
+    }
+
+    /// Submits one transaction batch as an [`Envelope::TxBatch`] frame,
+    /// without waiting for its receipt (collect it later with
+    /// [`Self::next_receipt`]). Empty batches are skipped (the codec
+    /// rejects them structurally).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; re-establish with [`Self::reconnect`] on
+    /// failure.
     pub fn submit(&mut self, batch: &[Transaction]) -> std::io::Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
         let frame = Envelope::TxBatch(batch.to_vec()).to_bytes_vec();
         write_frame(&mut self.stream, &frame)
+    }
+
+    /// Submits `batch` and blocks until its `Admission` receipt arrives
+    /// (skipping any `Committed` notices for earlier batches), up to
+    /// `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] when no transaction in the batch was
+    /// accepted, [`ClientError::Timeout`] when the receipt did not arrive
+    /// in time, [`ClientError::Io`] on connection failures (including an
+    /// empty batch, which can never be answered).
+    pub fn submit_and_wait(
+        &mut self,
+        batch: &[Transaction],
+        timeout: Duration,
+    ) -> Result<TxReceipt, ClientError> {
+        if batch.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "empty batches are not submitted and get no receipt",
+            )));
+        }
+        let deadline = Instant::now() + timeout;
+        self.submit(batch)?;
+        loop {
+            match self.receipt_by(deadline)? {
+                TxReceipt::Admission { tag, verdicts } => {
+                    if verdicts
+                        .iter()
+                        .all(|verdict| !matches!(verdict, TxVerdict::Accepted))
+                    {
+                        return Err(ClientError::Rejected(verdicts));
+                    }
+                    return Ok(TxReceipt::Admission { tag, verdicts });
+                }
+                TxReceipt::Committed { .. } => continue,
+            }
+        }
+    }
+
+    /// Blocks for the next receipt frame from the validator (admission or
+    /// commit notice), up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] or [`ClientError::Io`].
+    pub fn next_receipt(&mut self, timeout: Duration) -> Result<TxReceipt, ClientError> {
+        self.receipt_by(Instant::now() + timeout)
+    }
+
+    /// Blocks until a `Committed` notice covering `tag` arrives, up to
+    /// `timeout`. Receipts for other batches read along the way are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] or [`ClientError::Io`].
+    pub fn wait_committed(&mut self, tag: u64, timeout: Duration) -> Result<(), ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let TxReceipt::Committed { tags } = self.receipt_by(deadline)? {
+                if tags.contains(&tag) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Reads frames until a receipt decodes, bounded by `deadline`.
+    /// Non-receipt frames (nothing a validator currently sends to clients)
+    /// are skipped.
+    fn receipt_by(&mut self, deadline: Instant) -> Result<TxReceipt, ClientError> {
+        loop {
+            let frame = read_frame_by(&mut self.stream, deadline)?;
+            if let Ok(Envelope::TxReceipt(receipt)) = Envelope::from_bytes_exact(&frame) {
+                return Ok(receipt);
+            }
+        }
     }
 }
 
@@ -71,17 +222,66 @@ fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
     stream.flush()
 }
 
+/// Reads one length-prefixed frame, giving up at `deadline`. A timeout
+/// mid-frame leaves the stream desynchronized (documented on
+/// [`ClientError::Timeout`]).
+fn read_frame_by(stream: &mut TcpStream, deadline: Instant) -> Result<Vec<u8>, ClientError> {
+    let mut header = [0u8; 4];
+    read_exact_by(stream, &mut header, deadline)?;
+    let length = u32::from_le_bytes(header);
+    if length > mahimahi_transport::MAX_FRAME_BYTES {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized frame from validator",
+        )));
+    }
+    let mut frame = vec![0u8; length as usize];
+    read_exact_by(stream, &mut frame, deadline)?;
+    Ok(frame)
+}
+
+/// `read_exact` against a deadline: short poll timeouts on the socket,
+/// re-checked until the buffer fills or the deadline passes.
+fn read_exact_by(
+    stream: &mut TcpStream,
+    buffer: &mut [u8],
+    deadline: Instant,
+) -> Result<(), ClientError> {
+    let mut filled = 0;
+    while filled < buffer.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(ClientError::Timeout)?;
+        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(100))))?;
+        match stream.read(&mut buffer[filled..]) {
+            Ok(0) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "validator closed the connection",
+                )))
+            }
+            Ok(read) => filled += read,
+            Err(ref error)
+                if error.kind() == std::io::ErrorKind::WouldBlock
+                    || error.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(error) => return Err(ClientError::Io(error)),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mahimahi_transport::Transport;
+    use mahimahi_transport::{Transport, FIRST_CLIENT_ID};
     use std::time::Duration;
 
     #[test]
-    fn client_frames_arrive_tagged_with_the_client_peer_id() {
+    fn client_frames_arrive_tagged_with_a_client_range_id() {
         // A TxClient connecting straight to a validator's transport: the
-        // batch must surface on the incoming channel from CLIENT_PEER and
-        // decode back into the same transactions.
+        // batch must surface on the incoming channel tagged with an id the
+        // transport assigned from the client range, and decode back into
+        // the same transactions.
         let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
         let mut client = TxClient::connect(transport.local_addr()).unwrap();
         let batch = vec![Transaction::benchmark(7), Transaction::new(vec![1, 2, 3])];
@@ -90,7 +290,7 @@ mod tests {
             .incoming()
             .recv_timeout(Duration::from_secs(5))
             .unwrap();
-        assert_eq!(peer, CLIENT_PEER);
+        assert!(peer >= FIRST_CLIENT_ID, "client id out of range: {peer}");
         let decoded = mahimahi_types::Decode::from_bytes_exact(&bytes);
         let Ok(Envelope::TxBatch(transactions)) = decoded else {
             panic!("expected a TxBatch frame, got {decoded:?}");
@@ -107,5 +307,98 @@ mod tests {
             .incoming()
             .recv_timeout(Duration::from_millis(300))
             .is_err());
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips_a_receipt() {
+        // A fake validator over a bare transport: read the tagged batch,
+        // answer with an Admission receipt addressed to the client id.
+        let transport = Transport::bind(2, "127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+        let server = std::thread::spawn(move || {
+            let (peer, _bytes) = transport
+                .incoming()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap();
+            let receipt = TxReceipt::Admission {
+                tag: 42,
+                verdicts: vec![TxVerdict::Accepted, TxVerdict::Duplicate],
+            };
+            transport.send(peer, Envelope::TxReceipt(receipt).to_bytes_vec());
+            // Keep the transport alive until the client has read the reply.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let mut client = TxClient::connect(addr).unwrap();
+        let receipt = client
+            .submit_and_wait(
+                &[Transaction::benchmark(1), Transaction::benchmark(1)],
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        let TxReceipt::Admission { tag, verdicts } = receipt else {
+            panic!("expected an admission receipt, got {receipt:?}");
+        };
+        assert_eq!(tag, 42);
+        assert_eq!(verdicts, vec![TxVerdict::Accepted, TxVerdict::Duplicate]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fully_rejected_batches_surface_as_rejections() {
+        let transport = Transport::bind(3, "127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+        let server = std::thread::spawn(move || {
+            let (peer, _bytes) = transport
+                .incoming()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap();
+            let receipt = TxReceipt::Admission {
+                tag: 7,
+                verdicts: vec![TxVerdict::RateLimited],
+            };
+            transport.send(peer, Envelope::TxReceipt(receipt).to_bytes_vec());
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let mut client = TxClient::connect(addr).unwrap();
+        let result = client.submit_and_wait(&[Transaction::benchmark(9)], Duration::from_secs(5));
+        let Err(ClientError::Rejected(verdicts)) = result else {
+            panic!("expected a rejection, got {result:?}");
+        };
+        assert_eq!(verdicts, vec![TxVerdict::RateLimited]);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn waits_are_deadline_bounded() {
+        // A validator that never answers: the wait must come back as a
+        // Timeout in bounded time, not hang.
+        let transport = Transport::bind(4, "127.0.0.1:0").unwrap();
+        let mut client = TxClient::connect(transport.local_addr()).unwrap();
+        let started = Instant::now();
+        let result =
+            client.submit_and_wait(&[Transaction::benchmark(1)], Duration::from_millis(300));
+        assert!(matches!(result, Err(ClientError::Timeout)), "{result:?}");
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn reconnect_restores_a_usable_connection() {
+        let transport = Transport::bind(5, "127.0.0.1:0").unwrap();
+        let mut client = TxClient::connect(transport.local_addr()).unwrap();
+        // First connection works.
+        client.submit(&[Transaction::benchmark(1)]).unwrap();
+        transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        // After a reconnect the fresh connection carries frames again (the
+        // validator side sees a new client id; resubmission is safe).
+        client.reconnect().unwrap();
+        client.submit(&[Transaction::benchmark(2)]).unwrap();
+        let (peer, _) = transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert!(peer >= FIRST_CLIENT_ID);
     }
 }

@@ -16,7 +16,7 @@ mod loopback;
 mod node;
 mod wire;
 
-pub use client::{TxClient, CLIENT_PEER};
+pub use client::{ClientError, TxClient, CLIENT_PEER};
 pub use cluster::LocalCluster;
 pub use loopback::{LoopbackCluster, LoopbackConfig};
 pub use node::{MempoolGauges, NodeConfig, NodeHandle, RecordedStep, ValidatorNode, VerifyGauges};

@@ -19,10 +19,12 @@
 
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time},
-    CommittedSubDag, Committer, CommitterOptions, MempoolConfig, Output, ValidatorEngine,
-    WalRecord,
+    CommittedSubDag, Committer, CommitterOptions, IngressConfig, IngressReport, MempoolConfig,
+    Output, ValidatorEngine, WalRecord,
 };
-use mahimahi_types::{AuthorityIndex, Decode, Encode, Envelope, TestCommittee, Transaction};
+use mahimahi_types::{
+    AuthorityIndex, Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt, TxVerdict,
+};
 use mahimahi_wal::{MemStorage, Wal};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -58,6 +60,9 @@ pub struct LoopbackConfig {
     /// Mempool bounds and per-block payload budget (must match the
     /// simulator's for equivalence runs).
     pub mempool: MempoolConfig,
+    /// Client-ingress policy: per-client token buckets, fair-queue
+    /// admission, and age-based forwarding. Default permissive.
+    pub ingress: IngressConfig,
 }
 
 /// An `n`-engine cluster over a deterministic loopback fabric.
@@ -82,8 +87,13 @@ pub struct LoopbackCluster {
     /// Per-validator `(commit time, tag)` pairs from `TxsCommitted` — the
     /// client-observed commit-latency samples of the load generator.
     tx_commits: Vec<Vec<(Time, u64)>>,
-    /// Per-validator mempool rejections observed (`TxRejected` outputs).
+    /// Per-validator mempool rejections observed: `TxRejected` outputs
+    /// plus non-`Accepted` verdicts in emitted `Admission` receipts.
     rejections: Vec<u64>,
+    /// Per-validator emitted receipts, `(destination peer, receipt)` in
+    /// emission order — what the TCP node would frame down the client's
+    /// connection (or the local handle's channel).
+    receipts: Vec<Vec<(usize, TxReceipt)>>,
 }
 
 impl LoopbackCluster {
@@ -110,6 +120,7 @@ impl LoopbackCluster {
             commits: vec![Vec::new(); config.nodes],
             tx_commits: vec![Vec::new(); config.nodes],
             rejections: vec![0; config.nodes],
+            receipts: vec![Vec::new(); config.nodes],
             config,
         }
     }
@@ -123,6 +134,7 @@ impl LoopbackCluster {
         let mut engine_config = EngineConfig::new(authority, setup.clone());
         engine_config.inclusion_wait = config.inclusion_wait;
         engine_config.mempool = config.mempool;
+        engine_config.ingress = config.ingress;
         ValidatorEngine::honest(engine_config, Box::new(committer))
     }
 
@@ -147,11 +159,26 @@ impl LoopbackCluster {
     /// one link delay later and tagged by the engine with its receive
     /// time, exactly as the TCP node's client listener behaves.
     pub fn submit_batch(&mut self, validator: usize, transactions: Vec<Transaction>) {
+        self.submit_batch_as(validator, validator, transactions);
+    }
+
+    /// Submits a client batch to `validator` under an explicit `client`
+    /// identity — the id the engine's per-client rate limiter and fair
+    /// queue key on. Ids at or above the committee size model external
+    /// clients (subject to rate limiting, like the TCP transport's
+    /// client-range connection ids); `submit_batch` uses the validator's
+    /// own index (exempt, like the local `NodeHandle` path).
+    pub fn submit_batch_as(
+        &mut self,
+        validator: usize,
+        client: usize,
+        transactions: Vec<Transaction>,
+    ) {
         if transactions.is_empty() {
             return;
         }
         let bytes = Envelope::TxBatch(transactions).to_bytes_vec();
-        self.enqueue_frame(validator, validator, bytes);
+        self.enqueue_frame(client, validator, bytes);
     }
 
     /// Runs the event loop up to (and including) virtual time `horizon`.
@@ -235,6 +262,18 @@ impl LoopbackCluster {
                 Output::TxRejected { .. } => {
                     self.rejections[validator] += 1;
                 }
+                Output::TxReceipt { peer, receipt } => {
+                    // Clients live outside the fabric (like the TCP node's
+                    // client connections): receipts are recorded at the
+                    // emitting validator, never re-enqueued as frames.
+                    if let TxReceipt::Admission { verdicts, .. } = &receipt {
+                        self.rejections[validator] += verdicts
+                            .iter()
+                            .filter(|verdict| !matches!(verdict, TxVerdict::Accepted))
+                            .count() as u64;
+                    }
+                    self.receipts[validator].push((peer, receipt));
+                }
                 Output::Convicted(_) | Output::CheckpointProduced(_) => {}
             }
         }
@@ -278,9 +317,22 @@ impl LoopbackCluster {
         &self.tx_commits[validator]
     }
 
-    /// Mempool rejections (`TxRejected` outputs) observed at `validator`.
+    /// Mempool rejections observed at `validator`: `TxRejected` outputs
+    /// plus non-`Accepted` verdicts in its `Admission` receipts.
     pub fn rejections(&self, validator: usize) -> u64 {
         self.rejections[validator]
+    }
+
+    /// Every receipt `validator` emitted, as `(destination peer, receipt)`
+    /// pairs in emission order.
+    pub fn receipts(&self, validator: usize) -> &[(usize, TxReceipt)] {
+        &self.receipts[validator]
+    }
+
+    /// The ingress conservation ledger of `validator`'s engine — what the
+    /// receipt-integrity oracle and the fairness bench gate on.
+    pub fn ingress_report(&self, validator: usize) -> IngressReport {
+        self.engines[validator].ingress_report()
     }
 
     /// The current virtual time.
@@ -321,6 +373,7 @@ mod tests {
             link_delay: 30_000,
             inclusion_wait: 20_000,
             mempool: MempoolConfig::test(10_000, 100),
+            ingress: IngressConfig::default(),
         }
     }
 
@@ -372,6 +425,48 @@ mod tests {
         cluster.submit_batch(0, vec![Transaction::benchmark(1)]);
         cluster.run_until(3_200_000);
         assert_eq!(cluster.rejections(0), 1);
+    }
+
+    #[test]
+    fn external_clients_are_rate_limited_and_every_batch_is_receipted() {
+        let mut limited = config();
+        limited.ingress.rate_limit_per_client = 10;
+        limited.ingress.burst_per_client = 2;
+        let mut cluster = LoopbackCluster::new(limited);
+        cluster.run_until(200_000);
+        // External client 9 bursts four single-tx batches at one instant:
+        // the bucket admits two and sheds two, but all four batches get
+        // admission receipts.
+        for i in 0..4u64 {
+            cluster.submit_batch_as(0, 9, vec![Transaction::benchmark(100 + i)]);
+        }
+        cluster.run_until(3_000_000);
+        let to_client: Vec<_> = cluster
+            .receipts(0)
+            .iter()
+            .filter(|(peer, _)| *peer == 9)
+            .collect();
+        let admissions = to_client
+            .iter()
+            .filter(|(_, receipt)| matches!(receipt, TxReceipt::Admission { .. }))
+            .count();
+        assert_eq!(admissions, 4, "one admission receipt per batch");
+        assert!(
+            to_client
+                .iter()
+                .any(|(_, receipt)| matches!(receipt, TxReceipt::Committed { .. })),
+            "accepted transactions owe the client a commit notice"
+        );
+        let report = cluster.ingress_report(0);
+        assert_eq!(report.batches_received, 4);
+        assert_eq!(report.rate_limited, 2);
+        assert!(report.violations().is_empty(), "{report:?}");
+        // The committee-id path (`submit_batch`) stays exempt: a batch
+        // from the validator's own index is never rate limited.
+        let before = cluster.ingress_report(0).rate_limited;
+        cluster.submit_batch(0, (0..8).map(|i| Transaction::benchmark(900 + i)).collect());
+        cluster.run_until(3_400_000);
+        assert_eq!(cluster.ingress_report(0).rate_limited, before);
     }
 
     #[test]

@@ -25,13 +25,14 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mahimahi_core::{
     engine::{EngineConfig, Input, Time as EngineTime},
     AdmissionConfig, AdmissionPipeline, CommittedSubDag, Committer, CommitterOptions, EvidencePool,
-    MempoolConfig, Output, SequencerSnapshot, TxIntegrityReport, ValidatorEngine, WalRecord,
+    IngressConfig, MempoolConfig, Output, SequencerSnapshot, TxIntegrityReport, ValidatorEngine,
+    WalRecord,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_transport::Transport;
 use mahimahi_types::{
     AuthorityIndex, Committee, Decode, Encode, Envelope, Round, TestCommittee, Transaction,
-    Verified,
+    TxReceipt, Verified,
 };
 use mahimahi_wal::{FileWal, MemStorage, Wal};
 use parking_lot::Mutex;
@@ -69,6 +70,11 @@ pub struct NodeConfig {
     /// [`MempoolConfig`]). Submissions past the capacity are rejected with
     /// `SubmitResult::Full` instead of growing the queue.
     pub mempool: MempoolConfig,
+    /// Client-ingress policy: per-client token buckets, the fair-queue
+    /// admission order, and age-based mempool forwarding (see
+    /// [`IngressConfig`]). The default is fully permissive — no rate
+    /// limit, no forwarding — matching the pre-ingress behavior.
+    pub ingress: IngressConfig,
     /// Record every engine [`Input`] and the `Debug` rendering of its
     /// outputs while the node runs (retrieved with
     /// [`NodeHandle::stop_into_trace`]). Off by default — the buffer grows
@@ -116,6 +122,7 @@ impl NodeConfig {
                 max_block_txs: 1_000,
                 ..MempoolConfig::default()
             },
+            ingress: IngressConfig::default(),
             record_trace: false,
             min_round_interval: Duration::from_millis(2),
             inclusion_wait: Duration::ZERO,
@@ -132,6 +139,7 @@ impl NodeConfig {
     pub fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig::new(self.authority, self.setup.clone());
         config.mempool = self.mempool;
+        config.ingress = self.ingress;
         config.min_round_interval = self.min_round_interval.as_micros() as EngineTime;
         config.inclusion_wait = self.inclusion_wait.as_micros() as EngineTime;
         config.gc_depth = self.gc_depth;
@@ -148,6 +156,8 @@ pub struct MempoolGauges {
     accepted: AtomicU64,
     rejected_duplicate: AtomicU64,
     rejected_full: AtomicU64,
+    rejected_rate_limited: AtomicU64,
+    forwarded: AtomicU64,
     pending: AtomicU64,
     peak_occupancy: AtomicU64,
 }
@@ -159,6 +169,9 @@ impl MempoolGauges {
             .store(report.rejected_duplicate, Ordering::Relaxed);
         self.rejected_full
             .store(report.rejected_full, Ordering::Relaxed);
+        self.rejected_rate_limited
+            .store(report.rejected_rate_limited, Ordering::Relaxed);
+        self.forwarded.store(report.forwarded, Ordering::Relaxed);
         self.pending.store(report.pending, Ordering::Relaxed);
         self.peak_occupancy
             .store(report.peak_occupancy_txs, Ordering::Relaxed);
@@ -177,6 +190,16 @@ impl MempoolGauges {
     /// Submissions rejected for capacity (`SubmitResult::Full`) so far.
     pub fn rejected_full(&self) -> u64 {
         self.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// Submissions bounced by the per-client rate limiter so far.
+    pub fn rejected_rate_limited(&self) -> u64 {
+        self.rejected_rate_limited.load(Ordering::Relaxed)
+    }
+
+    /// Transactions handed to a peer by age-based mempool forwarding.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
     }
 
     /// Transactions currently pending inclusion.
@@ -236,6 +259,9 @@ impl VerifyGauges {
 pub struct NodeHandle {
     /// Committed sub-DAGs, in commit order.
     commits: Receiver<CommittedSubDag>,
+    /// Receipts for batches submitted through this handle (the local twin
+    /// of the receipt frames wire clients receive).
+    receipts: Receiver<TxReceipt>,
     transactions: Sender<Vec<Transaction>>,
     stop: Arc<AtomicBool>,
     round: Arc<AtomicU64>,
@@ -249,6 +275,14 @@ impl NodeHandle {
     /// The stream of committed sub-DAGs.
     pub fn commits(&self) -> &Receiver<CommittedSubDag> {
         &self.commits
+    }
+
+    /// The stream of receipts for batches submitted through this handle:
+    /// one `Admission` receipt per [`Self::submit_batch`], then `Committed`
+    /// notices as the accepted transactions are sequenced — the exact
+    /// frames a wire client would receive.
+    pub fn receipts(&self) -> &Receiver<TxReceipt> {
+        &self.receipts
     }
 
     /// Submits a client transaction to this validator.
@@ -471,6 +505,7 @@ impl ValidatorNode {
     /// Spawns the protocol loop, returning the control handle.
     pub fn start(self) -> NodeHandle {
         let (commit_tx, commit_rx) = unbounded();
+        let (receipt_tx, receipt_rx) = unbounded();
         let (tx_tx, tx_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let round = Arc::new(AtomicU64::new(self.engine.round()));
@@ -487,6 +522,7 @@ impl ValidatorNode {
             .spawn(move || {
                 self.run(
                     commit_tx,
+                    receipt_tx,
                     tx_rx,
                     loop_stop,
                     loop_round,
@@ -497,6 +533,7 @@ impl ValidatorNode {
             .expect("spawn validator thread");
         NodeHandle {
             commits: commit_rx,
+            receipts: receipt_rx,
             transactions: tx_tx,
             stop,
             round,
@@ -523,9 +560,11 @@ impl ValidatorNode {
     /// invalid inputs the verify stage drops. Batching also amortizes WAL
     /// fsyncs across the inputs of an iteration (the sync is still forced
     /// before any network send, so durability-before-dissemination holds).
+    #[allow(clippy::too_many_arguments)]
     fn run(
         mut self,
         commits: Sender<CommittedSubDag>,
+        receipts: Sender<TxReceipt>,
         transactions: Receiver<Vec<Transaction>>,
         stop: Arc<AtomicBool>,
         round: Arc<AtomicU64>,
@@ -586,7 +625,7 @@ impl ValidatorNode {
             for input in pipeline.drain_ready() {
                 self.handle_verified(input, &mut outputs);
             }
-            if self.apply(outputs, &commits).is_err() {
+            if self.apply(outputs, &commits, &receipts).is_err() {
                 return;
             }
             round.store(self.engine.round(), Ordering::SeqCst);
@@ -619,7 +658,12 @@ impl ValidatorNode {
     /// the batch — so consecutive records share one sync without ever
     /// disseminating an unsynced own block. Errors only when the
     /// application hung up.
-    fn apply(&mut self, outputs: Vec<Output>, commits: &Sender<CommittedSubDag>) -> Result<(), ()> {
+    fn apply(
+        &mut self,
+        outputs: Vec<Output>,
+        commits: &Sender<CommittedSubDag>,
+        receipts: &Sender<TxReceipt>,
+    ) -> Result<(), ()> {
         for output in outputs {
             match output {
                 Output::Broadcast(envelope) => {
@@ -663,10 +707,30 @@ impl ValidatorNode {
                         return Err(());
                     }
                 }
+                Output::TxReceipt { peer, receipt } => {
+                    if peer == self.authority.as_usize() {
+                        // A batch submitted through the local NodeHandle
+                        // (the run loop stamps those with this node's own
+                        // index): the receipt goes to the handle's channel.
+                        // A closed receiver means the application does not
+                        // care — drop it, receipts are advisory.
+                        let _ = receipts.send(receipt);
+                    } else {
+                        // A wire client's batch: the transport routes ids
+                        // in the client range down the client's own
+                        // connection (gone connections drop the frame).
+                        self.flush_wal();
+                        self.transport
+                            .send(peer as u32, Envelope::TxReceipt(receipt).to_bytes_vec());
+                    }
+                }
                 // The 2 ms poll loop revisits the engine well within any
-                // requested wake-up; client tags, conviction, and
-                // backpressure notifications have no node-side consumer
-                // beyond the gauges.
+                // requested wake-up; commit tags and conviction notices
+                // have no node-side consumer beyond the gauges.
+                // `TxRejected` is only produced by the `TxSubmitted` input
+                // path, which this driver never feeds — both the local
+                // handle and the wire submit batches, and batches answer
+                // with `TxReceipt` verdicts instead.
                 Output::WakeAt(_)
                 | Output::TxsCommitted(_)
                 | Output::Convicted(_)
@@ -844,6 +908,7 @@ mod tests {
             config.wal_path = Some(wal_path.clone());
             let mut node = ValidatorNode::new(config, transport).unwrap();
             let (commit_tx, _commit_rx) = unbounded();
+            let (receipt_tx, _receipt_rx) = unbounded();
             let outputs = node.engine.handle(Input::from_envelope(
                 1,
                 NodeMessage::Evidence(proof.clone()),
@@ -854,7 +919,7 @@ mod tests {
                     .any(|output| matches!(output, Output::Persist(WalRecord::Evidence(_)))),
                 "conviction must be persisted: {outputs:?}"
             );
-            node.apply(outputs, &commit_tx).unwrap();
+            node.apply(outputs, &commit_tx, &receipt_tx).unwrap();
             assert_eq!(node.convicted(), vec![AuthorityIndex(3)]);
         }
 

@@ -1,7 +1,9 @@
 //! The deterministic protocol × behavior × adversary matrix sweep.
 
 use mahimahi_net::time;
-use mahimahi_sim::{AdversaryChoice, Behavior, LatencyChoice, ProtocolChoice, SimConfig};
+use mahimahi_sim::{
+    AdversaryChoice, Behavior, IngressConfig, LatencyChoice, ProtocolChoice, SimConfig,
+};
 
 use crate::oracle::{default_oracles, CommitLatencyBound, CommitLatencyP99};
 use crate::scenario::Scenario;
@@ -135,6 +137,17 @@ fn cell(
             40,
         )
     };
+    // Every cell runs with age-based mempool forwarding armed: a faulty or
+    // stalled validator's aging transactions get re-broadcast to its peers,
+    // so the `receipt-integrity` oracle audits a live forwarding ledger
+    // (forwarded vs. forwarded-committed) in all 192 cells rather than a
+    // vacuously-zero one. One second is ~2× the healthy commit latency of
+    // the lab cells: forwarding engages under faults without adding wire
+    // traffic to the steady state.
+    let ingress = IngressConfig {
+        forward_age: Some(time::from_secs(1)),
+        ..IngressConfig::default()
+    };
     let config = SimConfig {
         protocol,
         committee_size,
@@ -144,6 +157,7 @@ fn cell(
         latency,
         adversary,
         seed,
+        ingress,
         ..SimConfig::default()
     };
     let committee_label = if committee_size == BASE_COMMITTEE {

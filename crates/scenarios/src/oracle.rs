@@ -34,6 +34,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(Liveness),
         Box::new(EvidenceAttribution),
         Box::new(TxIntegrity),
+        Box::new(ReceiptIntegrity),
         Box::new(StateRootAgreement),
     ]
 }
@@ -361,6 +362,40 @@ impl Oracle for TxIntegrity {
     }
 }
 
+/// Client-ingress accounting: at every correct validator the receipt
+/// ledger balances — one admission receipt per batch received on the
+/// wire, no commit notice without an open receipt note, and no forwarded
+/// batch reported committed more often than it was forwarded.
+///
+/// Zero receipt loss is the property the client protocol leans on: a
+/// client that saw `Admission` for every submission and waits for
+/// `Committed` notices can rely on exactly-once reporting without
+/// polling.
+pub struct ReceiptIntegrity;
+
+impl Oracle for ReceiptIntegrity {
+    fn name(&self) -> &'static str {
+        "receipt-integrity"
+    }
+
+    fn check(&self, scenario: &Scenario, run: &ScenarioRun) -> Result<(), String> {
+        for &validator in &scenario.correct_validators() {
+            let Some(report) = run.ingress.get(validator) else {
+                return Err(format!(
+                    "no ingress report recorded for validator {validator}"
+                ));
+            };
+            // `IngressReport::violations` is the shared definition of a
+            // balanced receipt ledger — the load generator gates on the
+            // same method, so the bench and the matrix cannot drift.
+            if let Some(violation) = report.violations().into_iter().next() {
+                return Err(format!("validator {validator}: {violation}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Execution determinism: every correct validator folds the agreed commit
 /// sequence into the same state.
 ///
@@ -431,7 +466,8 @@ mod tests {
     use mahimahi_crypto::Digest;
     use mahimahi_net::time;
     use mahimahi_sim::{
-        Behavior, LatencyChoice, ProtocolChoice, SimConfig, SimReport, TxIntegrityReport,
+        Behavior, IngressReport, LatencyChoice, ProtocolChoice, SimConfig, SimReport,
+        TxIntegrityReport,
     };
     use mahimahi_types::{AuthorityIndex, StateRoot, TestCommittee};
 
@@ -468,6 +504,7 @@ mod tests {
             logs,
             culprits: vec![Vec::new(); validators],
             tx_integrity: vec![TxIntegrityReport::default(); validators],
+            ingress: vec![IngressReport::default(); validators],
             state_roots: vec![StateRoot::genesis(); validators],
             checkpoints: vec![Vec::new(); validators],
         }
@@ -615,6 +652,46 @@ mod tests {
         run.tx_integrity = vec![sound; 4];
         run.tx_integrity[3].own_committed = 0;
         assert!(TxIntegrity.check(&byzantine, &run).is_ok());
+    }
+
+    #[test]
+    fn receipt_integrity_catches_loss_and_phantom_notices() {
+        let scenario = scenario();
+        let logs = vec![vec![Some(reference(1, 0, 1))]; 4];
+        let sound = IngressReport {
+            batches_received: 10,
+            receipts_emitted: 10,
+            notes_opened: 10,
+            commit_notices: 7,
+            forwarded: 3,
+            forwarded_committed: 2,
+            rate_limited: 1,
+        };
+        let mut run = run_with_logs(logs.clone());
+        run.ingress = vec![sound; 4];
+        assert!(ReceiptIntegrity.check(&scenario, &run).is_ok());
+
+        // A batch that never got an admission receipt fails.
+        let mut run = run_with_logs(logs.clone());
+        run.ingress = vec![sound; 4];
+        run.ingress[1].receipts_emitted = 9;
+        let violation = ReceiptIntegrity.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("receipt loss"));
+
+        // A commit notice for a note that was never opened fails.
+        let mut run = run_with_logs(logs.clone());
+        run.ingress = vec![sound; 4];
+        run.ingress[2].commit_notices = 11;
+        let violation = ReceiptIntegrity.check(&scenario, &run);
+        assert!(violation.unwrap_err().contains("notes opened"));
+
+        // A Byzantine validator's ledger is not checked.
+        let mut byzantine = scenario;
+        byzantine.config.behaviors = vec![(3, Behavior::ForkSpammer { forks: 3 })];
+        let mut run = run_with_logs(logs);
+        run.ingress = vec![sound; 4];
+        run.ingress[3].receipts_emitted = 0;
+        assert!(ReceiptIntegrity.check(&byzantine, &run).is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The declarative scenario: one fully-specified, reproducible run.
 
-use mahimahi_sim::{Behavior, SimConfig, SimReport, Simulation, TxIntegrityReport};
+use mahimahi_sim::{Behavior, IngressReport, SimConfig, SimReport, Simulation, TxIntegrityReport};
 use mahimahi_types::{AuthorityIndex, BlockRef, Checkpoint, StateRoot};
 
 /// One fully-specified simulation scenario.
@@ -33,6 +33,9 @@ pub struct ScenarioRun {
     /// rejections, conservation, duplicate commits) — what the
     /// `tx-integrity` oracle checks.
     pub tx_integrity: Vec<TxIntegrityReport>,
+    /// Per-validator ingress ledger (receipts, commit notices, forwarding)
+    /// — what the `receipt-integrity` oracle checks.
+    pub ingress: Vec<IngressReport>,
     /// Per-validator final execution-state root — what the
     /// `state-root-agreement` oracle compares across correct validators.
     pub state_roots: Vec<StateRoot>,
@@ -60,6 +63,7 @@ impl Scenario {
             logs: outcome.logs,
             culprits: outcome.culprits,
             tx_integrity: outcome.tx_integrity,
+            ingress: outcome.ingress,
             state_roots: outcome.state_roots,
             checkpoints: outcome.checkpoints,
         }

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use mahimahi_baselines::{CordialMinersCommitter, CordialMinersOptions, TuskCommitter};
-use mahimahi_core::{Committer, CommitterOptions, MempoolConfig, ProtocolCommitter};
+use mahimahi_core::{Committer, CommitterOptions, IngressConfig, MempoolConfig, ProtocolCommitter};
 use mahimahi_net::time::{self, Time};
 use mahimahi_types::{Committee, Round};
 
@@ -388,6 +388,11 @@ pub struct SimConfig {
     /// validator: pool capacity in transactions and bytes, plus the
     /// `max_block_txs`/`max_block_bytes` drained into each produced block.
     pub mempool: MempoolConfig,
+    /// Client-ingress policy applied at every validator: per-client token
+    /// buckets and age-based mempool forwarding. The default is fully
+    /// permissive (no rate limit, no forwarding), matching the paper's
+    /// open-loop load experiments.
+    pub ingress: IngressConfig,
     /// Whether validators keep the committed-digest set behind the
     /// `tx-integrity` accounting (duplicate-commit detection). On by
     /// default; the multi-million-transaction figure sweeps turn it off to
@@ -421,6 +426,7 @@ impl Default for SimConfig {
             txs_per_second_per_validator: 100,
             tx_wire_size: 512,
             mempool: MempoolConfig::default(),
+            ingress: IngressConfig::default(),
             track_tx_integrity: true,
             latency: LatencyChoice::aws_wan(),
             adversary: AdversaryChoice::None,

@@ -43,7 +43,9 @@ mod validator;
 pub use config::{
     AdversaryChoice, Behavior, CpuCosts, LatencyChoice, LeaderSchedule, ProtocolChoice, SimConfig,
 };
-pub use mahimahi_core::{MempoolConfig, SubmitResult, TxIntegrityReport};
+pub use mahimahi_core::{
+    IngressConfig, IngressReport, MempoolConfig, SubmitResult, TxIntegrityReport,
+};
 pub use message::{SimMessage, WireModel};
 pub use metrics::{LatencyStats, SimReport};
 pub use runner::{SimOutcome, Simulation};

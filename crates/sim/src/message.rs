@@ -53,7 +53,12 @@ impl WireModel for Envelope {
                 16 + block_wire_size(proof.first(), tx_wire_size)
                     + block_wire_size(proof.second(), tx_wire_size)
             }
-            Envelope::TxBatch(transactions) => 16 + transactions.len() * tx_wire_size,
+            Envelope::TxBatch(transactions) | Envelope::TxForward(transactions) => {
+                16 + transactions.len() * tx_wire_size
+            }
+            // Receipt frames are tiny: a kind byte, a tag or two, and one
+            // verdict byte per transaction.
+            Envelope::TxReceipt(receipt) => 16 + receipt.encoded_len(),
             // Checkpoint attestation: encoded size (no transactions).
             Envelope::Checkpoint(checkpoint) => checkpoint.encoded_len(),
             Envelope::CheckpointRequest => 16,
@@ -78,6 +83,8 @@ impl WireModel for Envelope {
             Envelope::Request(_)
             | Envelope::Response(_)
             | Envelope::TxBatch(_)
+            | Envelope::TxForward(_)
+            | Envelope::TxReceipt(_)
             | Envelope::Checkpoint(_)
             | Envelope::CheckpointRequest
             | Envelope::CheckpointResponse { .. } => 0,

@@ -87,6 +87,10 @@ pub struct SimOutcome {
     /// rejections, conservation, duplicate commits), indexed by authority —
     /// what the `tx-integrity` scenario oracle checks.
     pub tx_integrity: Vec<mahimahi_core::TxIntegrityReport>,
+    /// Per-validator ingress ledgers (receipts, commit notices,
+    /// forwarding, rate limiting), indexed by authority — what the
+    /// `receipt-integrity` scenario oracle checks.
+    pub ingress: Vec<mahimahi_core::IngressReport>,
     /// Per-validator final execution-state root, indexed by authority —
     /// what the `state-root-agreement` scenario oracle compares.
     pub state_roots: Vec<mahimahi_types::StateRoot>,
@@ -194,6 +198,7 @@ impl Simulation {
                     config.behavior_of(index),
                     config.protocol.certified(),
                     config.mempool,
+                    config.ingress,
                     config.track_tx_integrity,
                     config.inclusion_wait,
                     config.protocol.leader_schedule(),
@@ -269,6 +274,11 @@ impl Simulation {
             .iter()
             .map(|validator| validator.tx_integrity())
             .collect();
+        let ingress = simulation
+            .validators
+            .iter()
+            .map(|validator| validator.ingress_report())
+            .collect();
         let state_roots = simulation
             .validators
             .iter()
@@ -283,6 +293,7 @@ impl Simulation {
             logs,
             culprits,
             tx_integrity,
+            ingress,
             state_roots,
             checkpoints,
             report: simulation.report(),
@@ -418,11 +429,14 @@ impl Simulation {
                     .sum();
                 cpu.block_verify_batched(total_bytes, 2)
             }
-            // Client batches cost their ingest hashing (digest dedup).
-            SimMessage::TxBatch(transactions) => {
+            // Client batches and forwarded mempool frames cost their
+            // ingest hashing (digest dedup).
+            SimMessage::TxBatch(transactions) | SimMessage::TxForward(transactions) => {
                 1 + cpu.hash_per_kb
                     * ((transactions.len() * self.config.tx_wire_size) as Time / 1024)
             }
+            // Receipts carry no signatures; parsing is the only cost.
+            SimMessage::TxReceipt(_) => 1,
             // One signature check per checkpoint attestation.
             SimMessage::Checkpoint(_) => cpu.signature_verify,
             SimMessage::CheckpointRequest => 1,
@@ -452,6 +466,13 @@ impl Simulation {
                         .broadcast(self.now, origin, size, round, message);
                 }
                 Action::Send(to, message) => {
+                    if to >= self.validators.len() {
+                        // A receipt addressed to an external client: the
+                        // simulator's open-loop clients have no inbox, so
+                        // the frame is dropped at the network edge (the
+                        // engine-side ingress ledger already counted it).
+                        continue;
+                    }
                     let size = message.wire_size(self.config.tx_wire_size);
                     let round = message.round();
                     self.network

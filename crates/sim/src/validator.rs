@@ -20,7 +20,8 @@
 
 use mahimahi_core::{
     engine::{EngineConfig, Input},
-    EvidencePool, MempoolConfig, Output, ProtocolCommitter, TxIntegrityReport, ValidatorEngine,
+    EvidencePool, IngressConfig, IngressReport, MempoolConfig, Output, ProtocolCommitter,
+    TxIntegrityReport, ValidatorEngine,
 };
 use mahimahi_dag::BlockStore;
 use mahimahi_net::time::Time;
@@ -66,6 +67,7 @@ impl SimValidator {
         behavior: Behavior,
         certified: bool,
         mempool: MempoolConfig,
+        ingress: IngressConfig,
         track_tx_integrity: bool,
         inclusion_wait: Time,
         leader_schedule: LeaderSchedule,
@@ -74,6 +76,7 @@ impl SimValidator {
         let mut config = EngineConfig::new(authority, setup);
         config.certified = certified;
         config.mempool = mempool;
+        config.ingress = ingress;
         config.track_tx_integrity = track_tx_integrity;
         config.inclusion_wait = inclusion_wait;
         if let Behavior::Crashed { from_round } = behavior {
@@ -181,9 +184,12 @@ impl SimValidator {
                 transaction: Transaction::new(id.to_le_bytes().to_vec()),
                 tag: submitted,
             });
+            // An accepted submission may also arm the forward timer; the
+            // wake-up is safe to drop here because the caller's follow-up
+            // `maybe_advance` re-arms it through the engine's timer path.
             debug_assert!(outputs
                 .iter()
-                .all(|output| matches!(output, Output::TxRejected { .. })));
+                .all(|output| matches!(output, Output::TxRejected { .. } | Output::WakeAt(_))));
         }
     }
 
@@ -203,6 +209,13 @@ impl SimValidator {
     /// occupancy, rejections, conservation, duplicate commits).
     pub fn tx_integrity(&self) -> TxIntegrityReport {
         self.engine.tx_integrity()
+    }
+
+    /// The ingress ledger at this validator (receipts, commit notices,
+    /// forwarding, rate limiting) — what the `receipt-integrity` scenario
+    /// oracle checks.
+    pub fn ingress_report(&self) -> IngressReport {
+        self.engine.ingress_report()
     }
 
     /// The execution-state root after every sub-DAG applied so far.
@@ -263,6 +276,9 @@ impl SimValidator {
                 Output::TxsCommitted(submits) => actions.push(Action::TxsCommitted(submits)),
                 Output::WakeAt(time) => actions.push(Action::WakeAt(time)),
                 Output::CheckpointProduced(checkpoint) => self.checkpoints.push(checkpoint),
+                Output::TxReceipt { peer, receipt } => {
+                    actions.push(Action::Send(peer, SimMessage::TxReceipt(receipt)))
+                }
                 Output::Committed(_)
                 | Output::Persist(_)
                 | Output::Convicted(_)
@@ -305,6 +321,7 @@ mod tests {
             behavior,
             certified,
             MempoolConfig::test(10_000, 100),
+            IngressConfig::default(),
             true,
             0, // no inclusion wait: unit tests drive rounds explicitly
             protocol.leader_schedule(),
@@ -652,6 +669,7 @@ mod tests {
                     Behavior::Honest,
                     false,
                     MempoolConfig::test(10_000, 100),
+                    IngressConfig::default(),
                     true,
                     1_000, // hold round 2 open until all of round 1 is here
                     protocol.leader_schedule(),

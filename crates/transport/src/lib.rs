@@ -12,6 +12,13 @@
 //! its own outbound connection (two simplex connections per pair), which
 //! keeps connection management trivial and preserves per-link FIFO.
 //!
+//! Client connections are the exception to the simplex rule: a client
+//! (hello id [`CLIENT_HELLO`]) holds no listener to dial back, so its one
+//! inbound connection is used duplex — the acceptor assigns it a fresh
+//! id from the client range (starting at [`FIRST_CLIENT_ID`]), tags its
+//! frames with that id, and spawns a writer over the same socket so
+//! [`Transport::send`] to that id reaches the client (receipt frames).
+//!
 //! # Example
 //!
 //! ```
@@ -32,7 +39,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -40,7 +47,18 @@ use std::time::Duration;
 /// Maximum accepted frame size (64 MiB), mirroring the codec limit.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Identifies a peer (the validator's authority index).
+/// The hello id client connections present: "I am not a validator,
+/// assign me a connection id". Committee authority indexes are small, so
+/// the maximum `u32` can never collide with one.
+pub const CLIENT_HELLO: u32 = u32::MAX;
+
+/// First id of the per-connection client range. Ids at or above this value
+/// name accepted client connections (assigned in accept order); ids below
+/// it name committee peers. `1 << 31` leaves room for two billion of each.
+pub const FIRST_CLIENT_ID: u32 = 1 << 31;
+
+/// Identifies a peer: the validator's authority index, or an assigned
+/// client-connection id (`>=` [`FIRST_CLIENT_ID`]).
 pub type PeerId = u32;
 
 /// A node's TCP endpoint: listener plus outbound peer connections.
@@ -51,6 +69,10 @@ pub struct Transport {
     /// Kept alive so reader threads can clone it for new connections.
     _incoming_tx: Sender<(PeerId, Vec<u8>)>,
     peers: Arc<Mutex<HashMap<PeerId, Sender<Vec<u8>>>>>,
+    /// Writer queues of accepted client connections, keyed by their
+    /// assigned ids — entries appear at client hello and vanish when the
+    /// connection's reader exits.
+    clients: Arc<Mutex<HashMap<PeerId, Sender<Vec<u8>>>>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -67,12 +89,14 @@ impl Transport {
         let local_addr = listener.local_addr()?;
         let (incoming_tx, incoming_rx) = unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let clients = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_tx = incoming_tx.clone();
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_clients = Arc::clone(&clients);
         thread::Builder::new()
             .name(format!("accept-{id}"))
-            .spawn(move || accept_loop(listener, accept_tx, accept_shutdown))
+            .spawn(move || accept_loop(listener, accept_tx, accept_clients, accept_shutdown))
             .expect("spawn accept thread");
 
         Ok(Transport {
@@ -81,6 +105,7 @@ impl Transport {
             incoming_rx,
             _incoming_tx: incoming_tx,
             peers: Arc::new(Mutex::new(HashMap::new())),
+            clients,
             shutdown,
         })
     }
@@ -113,15 +138,22 @@ impl Transport {
             .expect("spawn sender thread");
     }
 
-    /// Queues `frame` for `peer`. Silently ignores unknown peers (callers
-    /// connect the full mesh at start-up).
+    /// Queues `frame` for `peer` — a committee peer connected at start-up,
+    /// or (ids `>=` [`FIRST_CLIENT_ID`]) an accepted client connection.
+    /// Silently ignores unknown peers and clients that already hung up.
     pub fn send(&self, peer: PeerId, frame: Vec<u8>) {
-        if let Some(tx) = self.peers.lock().get(&peer) {
+        let registry = if peer >= FIRST_CLIENT_ID {
+            &self.clients
+        } else {
+            &self.peers
+        };
+        if let Some(tx) = registry.lock().get(&peer) {
             let _ = tx.send(frame);
         }
     }
 
-    /// Queues `frame` for every connected peer.
+    /// Queues `frame` for every connected peer (committee only — client
+    /// connections never receive consensus traffic).
     pub fn broadcast(&self, frame: Vec<u8>) {
         let peers = self.peers.lock();
         for tx in peers.values() {
@@ -133,6 +165,7 @@ impl Transport {
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.peers.lock().clear();
+        self.clients.lock().clear();
     }
 }
 
@@ -145,16 +178,21 @@ impl Drop for Transport {
 fn accept_loop(
     listener: TcpListener,
     incoming: Sender<(PeerId, Vec<u8>)>,
+    clients: Arc<Mutex<HashMap<PeerId, Sender<Vec<u8>>>>>,
     shutdown: Arc<AtomicBool>,
 ) {
+    // Client-connection ids are assigned in accept order, per transport.
+    let next_client = AtomicU32::new(FIRST_CLIENT_ID);
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let incoming = incoming.clone();
+                let clients = Arc::clone(&clients);
                 let shutdown = Arc::clone(&shutdown);
+                let id = next_client.fetch_add(1, Ordering::Relaxed);
                 thread::Builder::new()
                     .name("reader".into())
-                    .spawn(move || reader_loop(stream, incoming, shutdown))
+                    .spawn(move || reader_loop(stream, incoming, clients, id, shutdown))
                     .expect("spawn reader thread");
             }
             Err(ref error) if error.kind() == std::io::ErrorKind::WouldBlock => {
@@ -165,10 +203,18 @@ fn accept_loop(
     }
 }
 
-/// Reads the peer's hello (its id), then frames, forwarding them upstream.
+/// Reads the peer's hello, then frames, forwarding them upstream.
+///
+/// A committee peer's hello carries its authority index, which tags every
+/// subsequent frame. A [`CLIENT_HELLO`] instead claims `client_id`: the
+/// frames are tagged with that assigned id, and a writer thread over the
+/// same socket drains a registered queue so `send(client_id, ..)` reaches
+/// the client — deregistered when the connection drops.
 fn reader_loop(
     mut stream: TcpStream,
     incoming: Sender<(PeerId, Vec<u8>)>,
+    clients: Arc<Mutex<HashMap<PeerId, Sender<Vec<u8>>>>>,
+    client_id: PeerId,
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -179,13 +225,52 @@ fn reader_loop(
     if hello.len() != 4 {
         return;
     }
-    let peer = PeerId::from_le_bytes(hello.try_into().expect("4 bytes"));
+    let mut peer = PeerId::from_le_bytes(hello.try_into().expect("4 bytes"));
+    let mut registered = false;
+    if peer == CLIENT_HELLO {
+        peer = client_id;
+        if let Ok(write_half) = stream.try_clone() {
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            clients.lock().insert(client_id, tx);
+            registered = true;
+            let writer_shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("client-writer".into())
+                .spawn(move || client_writer_loop(write_half, rx, writer_shutdown))
+                .expect("spawn client writer thread");
+        }
+    }
     while !shutdown.load(Ordering::SeqCst) {
         let Some(frame) = read_frame_blocking(&mut stream, &shutdown) else {
-            return;
+            break;
         };
         if incoming.send((peer, frame)).is_err() {
-            return;
+            break;
+        }
+    }
+    if registered {
+        // Dropping the queue sender disconnects the writer's receiver,
+        // which exits the writer thread.
+        clients.lock().remove(&client_id);
+    }
+}
+
+/// Drains a client connection's send queue onto its socket (the duplex
+/// write half). Exits on write failure, queue disconnect, or shutdown.
+fn client_writer_loop(mut stream: TcpStream, frames: Receiver<Vec<u8>>, shutdown: Arc<AtomicBool>) {
+    loop {
+        match frames.recv_timeout(Duration::from_millis(200)) {
+            Ok(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -340,6 +425,56 @@ mod tests {
         a.send(1, vec![42]);
         let (_, frame) = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(frame, vec![42]);
+    }
+
+    #[test]
+    fn client_connections_get_ids_and_duplex_replies() {
+        // A "client" dials in with the CLIENT_HELLO id: its frames arrive
+        // tagged with an assigned id from the client range, and send() to
+        // that id travels back down the same socket.
+        let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(transport.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        write_frame(&mut stream, &CLIENT_HELLO.to_le_bytes()).unwrap();
+        write_frame(&mut stream, &[7, 8, 9]).unwrap();
+        let (from, frame) = transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert!(from >= FIRST_CLIENT_ID, "client id out of range: {from}");
+        assert_eq!(frame, vec![7, 8, 9]);
+
+        transport.send(from, vec![42; 3]);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).unwrap();
+        assert_eq!(u32::from_le_bytes(header), 3);
+        let mut reply = [0u8; 3];
+        stream.read_exact(&mut reply).unwrap();
+        assert_eq!(reply, [42; 3]);
+    }
+
+    #[test]
+    fn distinct_client_connections_get_distinct_ids() {
+        let transport = Transport::bind(0, "127.0.0.1:0").unwrap();
+        let mut first = TcpStream::connect(transport.local_addr()).unwrap();
+        let mut second = TcpStream::connect(transport.local_addr()).unwrap();
+        for stream in [&mut first, &mut second] {
+            write_frame(stream, &CLIENT_HELLO.to_le_bytes()).unwrap();
+            write_frame(stream, &[1]).unwrap();
+        }
+        let (a, _) = transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        let (b, _) = transport
+            .incoming()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(a >= FIRST_CLIENT_ID && b >= FIRST_CLIENT_ID);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::checkpoint::Checkpoint;
 use crate::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use crate::evidence::EquivocationProof;
 use crate::ids::AuthorityIndex;
+use crate::receipt::TxReceipt;
 use crate::transaction::Transaction;
 use std::sync::Arc;
 
@@ -95,6 +96,19 @@ pub enum Envelope {
         /// digest).
         resume: Vec<u8>,
     },
+    /// Client ingress acknowledgement: per-transaction admission verdicts
+    /// for a received [`Envelope::TxBatch`], or the later notification that
+    /// a batch's accepted transactions all committed. Sent from a validator
+    /// back down the submitting client's connection.
+    TxReceipt(TxReceipt),
+    /// Validator→validator mempool forwarding: transactions that sat
+    /// unproposed past the configured age at the sender, handed to a peer
+    /// so any entry point eventually reaches a block. Digest-deduplicated
+    /// at the receiver exactly like a client batch, and *removed* from the
+    /// sender's pending pool, so a forwarded transaction is never proposed
+    /// as "own" by two pools at once. Structurally validated at decode with
+    /// the same bounds as [`Envelope::TxBatch`].
+    TxForward(Vec<Transaction>),
 }
 
 const TAG_BLOCK: u8 = 1;
@@ -108,6 +122,8 @@ const TAG_TX_BATCH: u8 = 8;
 const TAG_CHECKPOINT: u8 = 9;
 const TAG_CHECKPOINT_REQUEST: u8 = 10;
 const TAG_CHECKPOINT_RESPONSE: u8 = 11;
+const TAG_TX_RECEIPT: u8 = 12;
+const TAG_TX_FORWARD: u8 = 13;
 
 impl Encode for Envelope {
     fn encode(&self, encoder: &mut Encoder) {
@@ -172,6 +188,17 @@ impl Encode for Envelope {
                 encoder.put_var_bytes(execution);
                 encoder.put_var_bytes(resume);
             }
+            Envelope::TxReceipt(receipt) => {
+                encoder.put_u8(TAG_TX_RECEIPT);
+                receipt.encode(encoder);
+            }
+            Envelope::TxForward(transactions) => {
+                encoder.put_u8(TAG_TX_FORWARD);
+                encoder.put_u32(u32::try_from(transactions.len()).expect("batch count fits u32"));
+                for transaction in transactions {
+                    encoder.put_var_bytes(transaction.as_bytes());
+                }
+            }
         }
     }
 }
@@ -199,24 +226,7 @@ impl Decode for Envelope {
                 Ok(Envelope::Response(blocks))
             }
             TAG_EVIDENCE => Ok(Envelope::Evidence(EquivocationProof::decode(decoder)?)),
-            TAG_TX_BATCH => {
-                let count = decoder.get_u32()? as usize;
-                if count == 0 {
-                    return Err(CodecError::InvalidValue("empty tx batch"));
-                }
-                if count > MAX_BATCH_TXS {
-                    return Err(CodecError::LengthOverflow(count as u64));
-                }
-                let mut transactions = Vec::with_capacity(count.min(4096));
-                for _ in 0..count {
-                    let payload = decoder.get_var_bytes()?;
-                    if payload.len() > MAX_TX_WIRE_BYTES {
-                        return Err(CodecError::LengthOverflow(payload.len() as u64));
-                    }
-                    transactions.push(Transaction::new(payload.to_vec()));
-                }
-                Ok(Envelope::TxBatch(transactions))
-            }
+            TAG_TX_BATCH => Ok(Envelope::TxBatch(decode_tx_list(decoder)?)),
             TAG_CHECKPOINT => Ok(Envelope::Checkpoint(Checkpoint::decode(decoder)?)),
             TAG_CHECKPOINT_REQUEST => Ok(Envelope::CheckpointRequest),
             TAG_CHECKPOINT_RESPONSE => {
@@ -232,9 +242,34 @@ impl Decode for Envelope {
                     resume,
                 })
             }
+            TAG_TX_RECEIPT => Ok(Envelope::TxReceipt(TxReceipt::decode(decoder)?)),
+            TAG_TX_FORWARD => Ok(Envelope::TxForward(decode_tx_list(decoder)?)),
             _ => Err(CodecError::InvalidValue("envelope tag")),
         }
     }
+}
+
+/// Decodes the shared transaction-list body of [`Envelope::TxBatch`] and
+/// [`Envelope::TxForward`] with full structural validation: non-empty, at
+/// most [`MAX_BATCH_TXS`] transactions, each at most [`MAX_TX_WIRE_BYTES`]
+/// bytes.
+fn decode_tx_list(decoder: &mut Decoder<'_>) -> Result<Vec<Transaction>, CodecError> {
+    let count = decoder.get_u32()? as usize;
+    if count == 0 {
+        return Err(CodecError::InvalidValue("empty tx batch"));
+    }
+    if count > MAX_BATCH_TXS {
+        return Err(CodecError::LengthOverflow(count as u64));
+    }
+    let mut transactions = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let payload = decoder.get_var_bytes()?;
+        if payload.len() > MAX_TX_WIRE_BYTES {
+            return Err(CodecError::LengthOverflow(payload.len() as u64));
+        }
+        transactions.push(Transaction::new(payload.to_vec()));
+    }
+    Ok(transactions)
 }
 
 #[cfg(test)]
@@ -293,6 +328,18 @@ mod tests {
                 execution: vec![1, 2, 3],
                 resume: vec![4, 5],
             },
+            Envelope::TxReceipt(TxReceipt::Admission {
+                tag: 77,
+                verdicts: vec![
+                    crate::receipt::TxVerdict::Accepted,
+                    crate::receipt::TxVerdict::RateLimited,
+                ],
+            }),
+            Envelope::TxReceipt(TxReceipt::Committed { tags: vec![77, 91] }),
+            Envelope::TxForward(vec![
+                Transaction::benchmark(3),
+                Transaction::new(vec![8; 5]),
+            ]),
         ];
         for message in messages {
             let bytes = message.to_bytes_vec();
@@ -332,7 +379,9 @@ mod tests {
                     assert_eq!(a[0].reference(), b[0].reference());
                 }
                 (Envelope::Evidence(a), Envelope::Evidence(b)) => assert_eq!(a, b),
-                (Envelope::TxBatch(a), Envelope::TxBatch(b)) => assert_eq!(a, b),
+                (Envelope::TxBatch(a), Envelope::TxBatch(b))
+                | (Envelope::TxForward(a), Envelope::TxForward(b)) => assert_eq!(a, b),
+                (Envelope::TxReceipt(a), Envelope::TxReceipt(b)) => assert_eq!(a, b),
                 (Envelope::Checkpoint(a), Envelope::Checkpoint(b)) => assert_eq!(a, b),
                 (Envelope::CheckpointRequest, Envelope::CheckpointRequest) => {}
                 (
@@ -357,8 +406,29 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         assert!(Envelope::from_bytes_exact(&[0]).is_err());
-        assert!(Envelope::from_bytes_exact(&[12]).is_err());
+        assert!(Envelope::from_bytes_exact(&[14]).is_err());
         assert!(Envelope::from_bytes_exact(&[255]).is_err());
+    }
+
+    #[test]
+    fn tx_forward_shares_tx_batch_structural_validation() {
+        // Empty forward frames are rejected like empty batches.
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_TX_FORWARD);
+        encoder.put_u32(0);
+        assert!(matches!(
+            Envelope::from_bytes_exact(&encoder.into_bytes()),
+            Err(CodecError::InvalidValue("empty tx batch"))
+        ));
+        // An oversized forwarded transaction is rejected at decode.
+        let mut encoder = Encoder::new();
+        encoder.put_u8(TAG_TX_FORWARD);
+        encoder.put_u32(1);
+        encoder.put_var_bytes(&vec![0u8; MAX_TX_WIRE_BYTES + 1]);
+        assert!(matches!(
+            Envelope::from_bytes_exact(&encoder.into_bytes()),
+            Err(CodecError::LengthOverflow(_))
+        ));
     }
 
     #[test]

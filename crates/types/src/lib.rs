@@ -37,6 +37,7 @@ pub mod dense;
 pub mod envelope;
 pub mod evidence;
 pub mod ids;
+pub mod receipt;
 pub mod transaction;
 pub mod verified;
 
@@ -51,5 +52,6 @@ pub use dense::{
 pub use envelope::{Envelope, MAX_BATCH_TXS, MAX_TX_WIRE_BYTES};
 pub use evidence::{EquivocationProof, EvidenceError};
 pub use ids::{AuthorityIndex, Round, Slot};
+pub use receipt::{TxReceipt, TxVerdict, MAX_RECEIPT_TAGS};
 pub use transaction::Transaction;
 pub use verified::Verified;

@@ -94,6 +94,7 @@ fn run_loopback() -> LoopbackCluster {
         link_delay: LINK_DELAY,
         inclusion_wait: INCLUSION_WAIT,
         mempool: MempoolConfig::default(), // the simulator's default
+        ingress: mahi_mahi::core::IngressConfig::default(),
     });
     for validator in 0..4 {
         for id in workload(validator) {
@@ -240,6 +241,7 @@ fn recorded_input_trace_replays_to_identical_outputs() {
             link_delay: LINK_DELAY,
             inclusion_wait: INCLUSION_WAIT,
             mempool: MempoolConfig::test(10_000, 100),
+            ingress: mahi_mahi::core::IngressConfig::default(),
         });
         for validator in 0..4 {
             cluster.submit(validator, Transaction::benchmark(validator as u64), 7);

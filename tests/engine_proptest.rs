@@ -14,12 +14,13 @@
 //! failing case is reproducible from its printed inputs alone.
 
 use mahi_mahi::core::{
-    AdmissionConfig, AdmissionPipeline, Committer, CommitterOptions, EngineConfig, Input,
-    MempoolConfig, Output, ValidatorEngine,
+    AdmissionConfig, AdmissionPipeline, Committer, CommitterOptions, EngineConfig, IngressConfig,
+    Input, MempoolConfig, Output, ValidatorEngine,
 };
 use mahi_mahi::dag::DagBuilder;
 use mahi_mahi::types::{
-    AuthorityIndex, Block, Decode, Encode, Envelope, TestCommittee, Transaction,
+    AuthorityIndex, Block, Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt,
+    TxVerdict,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -36,6 +37,10 @@ fn splitmix(state: &mut u64) -> u64 {
 }
 
 fn fresh_engine(setup: &TestCommittee) -> ValidatorEngine {
+    engine_with_ingress(setup, IngressConfig::default())
+}
+
+fn engine_with_ingress(setup: &TestCommittee, ingress: IngressConfig) -> ValidatorEngine {
     let committer = Committer::new(setup.committee().clone(), CommitterOptions::mahi_mahi_5(2));
     let mut config = EngineConfig::new(AuthorityIndex(0), setup.clone());
     config.mempool = MempoolConfig {
@@ -44,6 +49,7 @@ fn fresh_engine(setup: &TestCommittee) -> ValidatorEngine {
         max_block_txs: 4,
         max_block_bytes: 256,
     };
+    config.ingress = ingress;
     ValidatorEngine::honest(config, Box::new(committer))
 }
 
@@ -69,6 +75,64 @@ fn random_trace(script_seed: u64, steps: usize, pool: &[Arc<Block>]) -> Vec<Inpu
             // Deliberately non-monotone: the engine clamps internally.
             2 => Input::TimerFired {
                 now: splitmix(&mut rng) % 5_000,
+            },
+            _ => {
+                let block = pool[(splitmix(&mut rng) as usize) % pool.len()].clone();
+                Input::BlockReceived {
+                    from: (splitmix(&mut rng) % 4) as usize,
+                    block,
+                }
+            }
+        };
+        trace.push(input);
+    }
+    trace
+}
+
+/// Builds a client-ingress trace: wire batches from `clients` external ids
+/// (all past the committee range, so the rate limiter applies), forwarded
+/// batches from committee peers, ignored receipt frames, local
+/// submissions, peer blocks, and non-monotone timers. The tiny transaction
+/// id range makes duplicates common, so all four admission verdicts fire.
+fn random_ingress_trace(
+    script_seed: u64,
+    steps: usize,
+    clients: usize,
+    pool: &[Arc<Block>],
+) -> Vec<Input> {
+    let mut rng = script_seed;
+    let mut trace = Vec::with_capacity(steps);
+    let tiny_tx = |rng: &mut u64| Transaction::new((splitmix(rng) % 24).to_le_bytes().to_vec());
+    for _ in 0..steps {
+        let input = match splitmix(&mut rng) % 8 {
+            // Wire batches dominate: the receipt ledger must see traffic.
+            0..=2 => Input::TxBatchReceived {
+                from: 4 + (splitmix(&mut rng) as usize) % clients,
+                transactions: (0..1 + splitmix(&mut rng) % 3)
+                    .map(|_| tiny_tx(&mut rng))
+                    .collect(),
+            },
+            3 => Input::TxForwardReceived {
+                from: (splitmix(&mut rng) % 4) as usize,
+                transactions: (0..1 + splitmix(&mut rng) % 3)
+                    .map(|_| tiny_tx(&mut rng))
+                    .collect(),
+            },
+            // A stray receipt frame on a validator's wire: ignored, but
+            // the trace must stay deterministic through it.
+            4 => Input::TxReceiptReceived {
+                from: 4 + (splitmix(&mut rng) as usize) % clients,
+                receipt: TxReceipt::Admission {
+                    tag: splitmix(&mut rng) % 1_000,
+                    verdicts: vec![TxVerdict::Accepted],
+                },
+            },
+            5 => Input::TxSubmitted {
+                transaction: tiny_tx(&mut rng),
+                tag: splitmix(&mut rng) % 1_000,
+            },
+            6 => Input::TimerFired {
+                now: splitmix(&mut rng) % 5_000_000,
             },
             _ => {
                 let block = pool[(splitmix(&mut rng) as usize) % pool.len()].clone();
@@ -143,6 +207,70 @@ proptest! {
             second.store().highest_round()
         );
         prop_assert_eq!(first.tx_integrity(), second.tx_integrity());
+    }
+
+    /// Client-ingress traces — wire batches from a handful of external
+    /// client ids racing a strict rate limit, forwarded batches from
+    /// committee peers, stray receipt frames, and non-monotone timers —
+    /// replay byte-identically on a fresh engine, and at every end state
+    /// the receipt ledger balances (one admission receipt per wire batch,
+    /// no phantom commit notices) while the transaction ledger conserves.
+    #[test]
+    fn ingress_traces_replay_identically_and_balance_the_receipt_ledger(
+        committee_seed in 0u64..500,
+        script_seed in 0u64..u64::MAX,
+        steps in 20usize..80,
+        clients in 2usize..5,
+    ) {
+        let setup = TestCommittee::new(4, committee_seed);
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(4);
+        let pool: Vec<Arc<Block>> = dag
+            .store()
+            .iter()
+            .filter(|block| block.round() > 0 && block.author() != AuthorityIndex(0))
+            .cloned()
+            .collect();
+        // A tight policy so every verdict arm fires: 2 tx/s with a burst
+        // of 2 makes `RateLimited` common, the 16-slot pool makes `Full`
+        // reachable, the tiny id range makes `Duplicate` common, and a
+        // 500 µs forward age (far below the timer range) arms forwarding.
+        let ingress = IngressConfig {
+            rate_limit_per_client: 2,
+            burst_per_client: 2,
+            forward_age: Some(500),
+            forward_max: 8,
+        };
+        let trace = random_ingress_trace(script_seed, steps, clients, &pool);
+
+        let mut first = engine_with_ingress(&setup, ingress);
+        let mut rendered = Vec::with_capacity(trace.len());
+        for input in &trace {
+            let outputs = first.handle(input.clone());
+            rendered.push(format!("{outputs:?}"));
+            prop_assert!(first.mempool().len() <= MEMPOOL_CAPACITY);
+        }
+        let integrity = first.tx_integrity();
+        prop_assert!(integrity.conserves_transactions(), "{integrity:?}");
+        let ledger = first.ingress_report();
+        prop_assert!(ledger.violations().is_empty(), "{:?}", ledger.violations());
+        // The trace is wire-batch heavy; the ledger must show traffic.
+        prop_assert!(ledger.batches_received > 0, "{ledger:?}");
+
+        let mut second = engine_with_ingress(&setup, ingress);
+        for (step, input) in trace.iter().enumerate() {
+            let outputs = second.handle(input.clone());
+            prop_assert_eq!(
+                &format!("{outputs:?}"),
+                &rendered[step],
+                "diverged at step {} ({:?})",
+                step,
+                input
+            );
+        }
+        prop_assert_eq!(first.tx_integrity(), second.tx_integrity());
+        prop_assert_eq!(first.ingress_report(), second.ingress_report());
+        prop_assert_eq!(first.commit_log(), second.commit_log());
     }
 
     /// The verify/apply split preserves the determinism contract: a trace

@@ -76,6 +76,24 @@ fn oracle_battery_includes_evidence_attribution() {
         names.contains(&"tx-integrity"),
         "transaction integrity must gate every matrix cell: {names:?}"
     );
+    assert!(
+        names.contains(&"receipt-integrity"),
+        "receipt accounting must gate every matrix cell: {names:?}"
+    );
+}
+
+#[test]
+fn matrix_cells_arm_mempool_forwarding() {
+    // Every cell runs with age-based forwarding enabled so the
+    // receipt-integrity oracle audits a live forwarding ledger, not a
+    // vacuously-zero one.
+    for scenario in full_matrix() {
+        assert!(
+            scenario.config.ingress.forward_age.is_some(),
+            "{}: forwarding disabled",
+            scenario.name
+        );
+    }
 }
 
 #[test]
@@ -178,4 +196,25 @@ fn cordial_miners_cells_uphold_all_oracles() {
 #[test]
 fn tusk_cells_uphold_all_oracles() {
     run_cells(protocol_cells("Tusk"));
+}
+
+#[test]
+fn partition_cells_exercise_mempool_forwarding() {
+    // Non-vacuity for the receipt-integrity oracle: under a partition,
+    // the minority validator's transactions outlive the 1 s forward age
+    // and get re-broadcast — the forwarding ledger the oracle audits must
+    // show real traffic, and some forwarded transactions must later be
+    // observed committed (the trigger for client `Committed` notices).
+    let scenario = full_matrix()
+        .into_iter()
+        .find(|s| s.name == "Tusk/mute/partition")
+        .expect("matrix covers Tusk × mute × partition");
+    let run = scenario.run();
+    let forwarded: u64 = run.ingress.iter().map(|r| r.forwarded).sum();
+    let forwarded_committed: u64 = run.ingress.iter().map(|r| r.forwarded_committed).sum();
+    assert!(forwarded > 0, "no transactions were forwarded");
+    assert!(
+        forwarded_committed > 0,
+        "no forwarded transaction was observed committed"
+    );
 }

@@ -1,11 +1,12 @@
 //! Integration tests for the real-TCP validator stack: cluster commits,
 //! fault tolerance, and WAL crash recovery.
 
-use mahi_mahi::core::{CommitterOptions, WalRecord};
+use mahi_mahi::core::{CommitterOptions, IngressConfig, WalRecord};
 use mahi_mahi::node::{LocalCluster, NodeConfig, TxClient, ValidatorNode};
 use mahi_mahi::transport::Transport;
 use mahi_mahi::types::{
-    AuthorityIndex, Decode, Encode, EquivocationProof, TestCommittee, Transaction,
+    AuthorityIndex, Decode, Encode, EquivocationProof, TestCommittee, Transaction, TxReceipt,
+    TxVerdict,
 };
 use std::time::Duration;
 
@@ -60,6 +61,100 @@ fn wire_clients_submit_batches_that_commit() {
     assert_eq!(cluster.handle(1).mempool_gauges().accepted(), 8);
     assert_eq!(cluster.handle(1).mempool_gauges().rejected_full(), 0);
     cluster.stop();
+}
+
+/// Mempool forwarding rescues a batch stuck at a withholding validator:
+/// the client submits to a node whose block production is stalled, the
+/// aged batch is re-broadcast to a live peer, commits there, and the
+/// *original* validator still closes the loop with a `Committed` receipt
+/// to the client that never learned anything went wrong.
+#[test]
+fn batches_to_a_withholding_validator_commit_via_forwarding() {
+    let setup = TestCommittee::new(4, 508);
+    let make_config = |id: u32, setup: &TestCommittee| {
+        let mut config = NodeConfig::local(id, setup.clone());
+        if id == 3 {
+            // Withholding: production is paced out of the test's lifetime,
+            // so nothing this node accepts can commit through its own
+            // blocks. Forwarding (timer-driven, independent of production)
+            // is the only way out of its pool.
+            config.min_round_interval = Duration::from_secs(3_600);
+            config.ingress = IngressConfig {
+                forward_age: Some(200_000), // 200 ms, in engine µs
+                ..IngressConfig::default()
+            };
+        }
+        config
+    };
+    let transports: Vec<Transport> = (0..4)
+        .map(|id| Transport::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = transports.iter().map(Transport::local_addr).collect();
+    for t in &transports {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer as u32 != t.id() {
+                t.connect(peer as u32, *addr);
+            }
+        }
+    }
+    let mut handles = Vec::new();
+    for (id, transport) in transports.into_iter().enumerate() {
+        let config = make_config(id as u32, &setup);
+        handles.push(ValidatorNode::new(config, transport).unwrap().start());
+    }
+    // Background load at the live validators keeps rounds (and commits)
+    // flowing so the forwarded batch has blocks to ride in.
+    for id in 0..30u64 {
+        handles[(id % 3) as usize].submit(Transaction::benchmark(id));
+    }
+
+    let mut client = TxClient::connect(addrs[3]).expect("client connects");
+    let batch: Vec<Transaction> = (900..904u64).map(Transaction::benchmark).collect();
+    let receipt = client
+        .submit_and_wait(&batch, Duration::from_secs(10))
+        .expect("admission receipt");
+    let TxReceipt::Admission { tag, verdicts } = receipt else {
+        panic!("expected an admission receipt, got {receipt:?}");
+    };
+    assert!(
+        verdicts.iter().all(|v| matches!(v, TxVerdict::Accepted)),
+        "withholding validator rejected the batch: {verdicts:?}"
+    );
+
+    // The commit notice must arrive even though validator 3 never produces:
+    // it observes the forwarded digests in a peer's sequenced block.
+    client
+        .wait_committed(tag, Duration::from_secs(30))
+        .expect("committed notice via forwarding");
+    assert!(
+        handles[3].mempool_gauges().forwarded() > 0,
+        "the batch left validator 3's pool some other way than forwarding"
+    );
+
+    // And the transactions really did commit at a live validator.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut committed = std::collections::HashSet::new();
+    while !(900..904u64).all(|id| committed.contains(&id)) && std::time::Instant::now() < deadline {
+        if let Ok(sub_dag) = handles[0]
+            .commits()
+            .recv_timeout(Duration::from_millis(100))
+        {
+            for block in &sub_dag.blocks {
+                for tx in block.transactions() {
+                    if let Some(id) = tx.benchmark_id() {
+                        committed.insert(id);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        (900..904u64).all(|id| committed.contains(&id)),
+        "forwarded transactions missing from the commit sequence: {committed:?}"
+    );
+    for handle in handles {
+        handle.stop();
+    }
 }
 
 #[test]
