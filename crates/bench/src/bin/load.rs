@@ -47,6 +47,7 @@ use mahimahi_dag::DagBuilder;
 use mahimahi_net::time::{self, Time};
 use mahimahi_node::{LocalCluster, LoopbackCluster, LoopbackConfig, TxClient};
 use mahimahi_sim::LatencyStats;
+use mahimahi_telemetry::{Stage, StageSnapshot};
 use mahimahi_types::{Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt, TxVerdict};
 use std::collections::HashMap;
 use std::io::Write;
@@ -99,6 +100,9 @@ struct PhaseReport {
     committed: u64,
     throughput_tps: f64,
     latency: LatencyStats,
+    /// Commit-path stage histograms merged across the cluster's
+    /// validators, when the phase collects them.
+    stages: Option<StageSnapshot>,
     peak_occupancy: u64,
     capacity: u64,
     rejected_full: u64,
@@ -107,7 +111,7 @@ struct PhaseReport {
 
 impl PhaseReport {
     fn print(&self, title: &str) {
-        let mut latency = self.latency.clone();
+        let latency = self.latency.snapshot();
         println!(
             "{title}: offered={:>6} tps | committed={:>8} | tput={:>8.0} tps | \
              lat p50={:>6.3}s p99={:>6.3}s max={:>6.3}s | peak mempool={}/{} | full-rejects={}",
@@ -116,22 +120,63 @@ impl PhaseReport {
             self.throughput_tps,
             latency.p50_s(),
             latency.p99_s(),
-            self.latency.max_s(),
+            latency.max_s(),
             self.peak_occupancy,
             self.capacity,
             self.rejected_full,
         );
+        if let Some(stages) = &self.stages {
+            for stage in Stage::ALL {
+                let histogram = stages.stage(stage);
+                println!(
+                    "  stage {:<16} count={:>8} | p50={:>9.6}s p99={:>9.6}s",
+                    stage.name(),
+                    histogram.count(),
+                    histogram.p50_s(),
+                    histogram.p99_s(),
+                );
+            }
+            println!(
+                "  stage p99 sum {:>6.3}s vs end-to-end p99 {:>6.3}s",
+                stages.p99_sum_s(),
+                latency.p99_s(),
+            );
+        }
         for violation in &self.violations {
             println!("  ✗ {violation}");
         }
     }
 
     fn json(&self, phase: &str) -> String {
-        let mut latency = self.latency.clone();
+        let latency = self.latency.snapshot();
+        let stages = self
+            .stages
+            .as_ref()
+            .map(|stages| {
+                let entries: Vec<String> = Stage::ALL
+                    .iter()
+                    .map(|&stage| {
+                        let histogram = stages.stage(stage);
+                        format!(
+                            "\"{}\":{{\"count\":{},\"p50_s\":{:.6},\"p99_s\":{:.6}}}",
+                            stage.name(),
+                            histogram.count(),
+                            histogram.p50_s(),
+                            histogram.p99_s(),
+                        )
+                    })
+                    .collect();
+                format!(
+                    ",\"stage_p99_sum_s\":{:.6},\"stages\":{{{}}}",
+                    stages.p99_sum_s(),
+                    entries.join(",")
+                )
+            })
+            .unwrap_or_default();
         format!(
             "{{\"phase\":\"{phase}\",\"offered_tps\":{},\"committed\":{},\
              \"throughput_tps\":{:.1},\"latency_p50_s\":{:.4},\"latency_p99_s\":{:.4},\
-             \"peak_occupancy\":{},\"capacity\":{},\"rejected_full\":{},\"pass\":{}}}",
+             \"peak_occupancy\":{},\"capacity\":{},\"rejected_full\":{}{stages},\"pass\":{}}}",
             self.offered_tps,
             self.committed,
             self.throughput_tps,
@@ -142,6 +187,31 @@ impl PhaseReport {
             self.rejected_full,
             self.violations.is_empty(),
         )
+    }
+}
+
+/// The stage-decomposition gates: every commit-path stage histogram must
+/// hold samples, and the per-stage p99 sum must land within a factor of
+/// two of the measured end-to-end p99 (the decomposition accounts for the
+/// latency rather than mislabeling it).
+fn check_stage_decomposition(stages: &StageSnapshot, e2e_p99_s: f64, violations: &mut Vec<String>) {
+    if !stages.all_stages_populated() {
+        let missing: Vec<&str> = Stage::ALL
+            .iter()
+            .filter(|&&stage| stages.stage(stage).is_empty())
+            .map(|&stage| stage.name())
+            .collect();
+        violations.push(format!(
+            "commit-path stages with empty histograms: {}",
+            missing.join(", ")
+        ));
+    }
+    let p99_sum = stages.p99_sum_s();
+    if e2e_p99_s > 0.0 && !(0.5 * e2e_p99_s..=2.0 * e2e_p99_s).contains(&p99_sum) {
+        violations.push(format!(
+            "stage p99 sum {p99_sum:.3}s outside [0.5x, 2x] of the \
+             end-to-end p99 {e2e_p99_s:.3}s"
+        ));
     }
 }
 
@@ -233,18 +303,26 @@ fn loopback_load_phase(args: &Args) -> PhaseReport {
                 "sustained throughput {throughput_tps:.0} tps below the 100k gate"
             ));
         }
-        let p99 = latency.p99_s();
+        let p99 = latency.snapshot().p99_s();
         if p99 > 0.5 {
             violations.push(format!(
                 "commit-latency p99 {p99:.3}s above the 500 ms gate"
             ));
         }
     }
+    // The stage decomposition merged across validators must populate
+    // every histogram and account for the end-to-end tail.
+    let mut stages = StageSnapshot::default();
+    for validator in 0..NODES {
+        stages.merge(&cluster.stage_snapshot(validator));
+    }
+    check_stage_decomposition(&stages, latency.snapshot().p99_s(), &mut violations);
     PhaseReport {
         offered_tps: offered,
         committed,
         throughput_tps,
         latency,
+        stages: Some(stages),
         peak_occupancy,
         capacity: args.capacity as u64,
         rejected_full,
@@ -311,6 +389,7 @@ fn loopback_saturation_phase() -> PhaseReport {
         committed: integrity.own_committed,
         throughput_tps: 0.0,
         latency,
+        stages: None,
         peak_occupancy: integrity.peak_occupancy_txs,
         capacity: CAPACITY as u64,
         rejected_full: integrity.rejected_full,
@@ -681,13 +760,15 @@ fn tcp_load_phase(args: &Args) -> PhaseReport {
     let mut verify_peak_depth = 0;
     let mut verify_verified = 0;
     let mut verify_rejected = 0;
+    let mut stages = StageSnapshot::default();
     for validator in 0..NODES {
-        peak = peak.max(cluster.handle(validator).mempool_gauges().peak_occupancy());
-        rejected_full += cluster.handle(validator).mempool_gauges().rejected_full();
-        let verify = cluster.handle(validator).verify_gauges();
-        verify_peak_depth = verify_peak_depth.max(verify.peak_depth());
-        verify_verified += verify.verified();
-        verify_rejected += verify.rejected();
+        let metrics = cluster.handle(validator).metrics();
+        peak = peak.max(metrics.peak_occupancy());
+        rejected_full += metrics.rejected_full();
+        verify_peak_depth = verify_peak_depth.max(metrics.verify_peak_depth());
+        verify_verified += metrics.verified();
+        verify_rejected += metrics.rejected();
+        stages.merge(&metrics.stage_snapshot());
     }
     cluster.stop();
     println!(
@@ -706,11 +787,15 @@ fn tcp_load_phase(args: &Args) -> PhaseReport {
             "verify stage rejected {verify_rejected} inputs from honest peers (tcp)"
         ));
     }
+    if !stages.all_stages_populated() {
+        violations.push("commit-path stage histograms left empty (tcp)".into());
+    }
     PhaseReport {
         offered_tps: args.rate_per_validator * NODES as u64,
         committed,
         throughput_tps: committed as f64 / started.elapsed().as_secs_f64(),
         latency,
+        stages: Some(stages),
         peak_occupancy: peak,
         capacity: u64::MAX,
         rejected_full,

@@ -30,6 +30,7 @@
 use crossbeam::channel::{self, Receiver, Sender};
 use mahimahi_crypto::coin::CoinShare;
 use mahimahi_crypto::schnorr::{self, PublicKey, Signature};
+use mahimahi_telemetry::{Stage, StageStats};
 use mahimahi_types::{Block, Committee, Decode, Envelope, Verified};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -107,9 +108,13 @@ pub struct AdmissionPipeline {
     committee: Arc<Committee>,
     queue_bound: usize,
     workers: Option<Workers>,
-    /// Out-of-order results parked until their predecessors arrive.
+    /// Out-of-order results parked until their predecessors arrive, each
+    /// with the time its verdict landed (for the resequence-wait stage).
     /// `None` marks a rejected input (counted, never released).
-    resequence: BTreeMap<u64, Option<Input>>,
+    resequence: BTreeMap<u64, (Option<Input>, u64)>,
+    /// Submission time per still-in-flight sequence number; the delta to
+    /// the verdict time is the verify-stage latency.
+    submitted_at: BTreeMap<u64, u64>,
     /// Sequence number of the next submission.
     next_seq: u64,
     /// Sequence number of the next input to release.
@@ -117,6 +122,9 @@ pub struct AdmissionPipeline {
     peak_depth: usize,
     verified: u64,
     rejected: u64,
+    /// Per-stage histograms ([`Stage::Verified`], [`Stage::Resequenced`]);
+    /// `None` skips recording entirely.
+    stages: Option<StageStats>,
 }
 
 impl AdmissionPipeline {
@@ -156,23 +164,43 @@ impl AdmissionPipeline {
             queue_bound: config.queue_bound.max(1),
             workers,
             resequence: BTreeMap::new(),
+            submitted_at: BTreeMap::new(),
             next_seq: 0,
             next_out: 0,
             peak_depth: 0,
             verified: 0,
             rejected: 0,
+            stages: None,
         }
+    }
+
+    /// Attaches per-stage histograms: every subsequent `*_at` call folds
+    /// the verify latency and resequence wait of each input into the
+    /// [`Stage::Verified`] / [`Stage::Resequenced`] histograms.
+    pub fn set_stage_stats(&mut self, stages: StageStats) {
+        self.stages = Some(stages);
     }
 
     /// Submits an already-typed input (timers, client batches).
     pub fn submit(&mut self, input: Input) {
-        self.enqueue(Job::Typed(input));
+        self.submit_at(input, 0);
+    }
+
+    /// [`AdmissionPipeline::submit`] with the driver's clock (µs), the
+    /// baseline for the input's verify-stage latency.
+    pub fn submit_at(&mut self, input: Input, now: u64) {
+        self.enqueue(Job::Typed(input), now);
     }
 
     /// Submits a raw wire frame from `from`; decoding happens in the
     /// verify stage. Undecodable frames are rejected.
     pub fn submit_frame(&mut self, from: usize, bytes: Vec<u8>) {
-        self.enqueue(Job::Frame { from, bytes });
+        self.submit_frame_at(from, bytes, 0);
+    }
+
+    /// [`AdmissionPipeline::submit_frame`] with the driver's clock (µs).
+    pub fn submit_frame_at(&mut self, from: usize, bytes: Vec<u8>, now: u64) {
+        self.enqueue(Job::Frame { from, bytes }, now);
     }
 
     /// Whether another submission fits under the queue bound. Callers that
@@ -206,19 +234,35 @@ impl AdmissionPipeline {
     /// Releases every verified input whose predecessors have all been
     /// resolved, in submission order. Never blocks.
     pub fn drain_ready(&mut self) -> Vec<Verified<Input>> {
+        self.drain_ready_at(0)
+    }
+
+    /// [`AdmissionPipeline::drain_ready`] with the driver's clock (µs):
+    /// verdicts collected now close their verify-stage interval, releases
+    /// close their resequence wait.
+    pub fn drain_ready_at(&mut self, now: u64) -> Vec<Verified<Input>> {
         if let Some(workers) = &self.workers {
-            while let Ok((seq, outcome)) = workers.result_rx.try_recv() {
-                self.resequence.insert(seq, outcome);
+            let mut arrived = Vec::new();
+            while let Ok(result) = workers.result_rx.try_recv() {
+                arrived.push(result);
+            }
+            for (seq, outcome) in arrived {
+                self.settle(seq, outcome, now);
             }
         }
-        self.pop_in_order()
+        self.pop_in_order(now)
     }
 
     /// Blocks until every in-flight submission is resolved and returns the
     /// remaining verified inputs in submission order. Used at shutdown and
     /// by tests; the event loop uses [`AdmissionPipeline::drain_ready`].
     pub fn flush(&mut self) -> Vec<Verified<Input>> {
-        let mut ready = self.drain_ready();
+        self.flush_at(0)
+    }
+
+    /// [`AdmissionPipeline::flush`] with the driver's clock (µs).
+    pub fn flush_at(&mut self, now: u64) -> Vec<Verified<Input>> {
+        let mut ready = self.drain_ready_at(now);
         while self.next_out < self.next_seq {
             let received = match &self.workers {
                 Some(workers) => workers.result_rx.recv().ok(),
@@ -227,34 +271,50 @@ impl AdmissionPipeline {
             let Some((seq, outcome)) = received else {
                 break;
             };
-            self.resequence.insert(seq, outcome);
-            ready.extend(self.pop_in_order());
+            self.settle(seq, outcome, now);
+            ready.extend(self.pop_in_order(now));
         }
         ready
     }
 
-    fn enqueue(&mut self, job: Job) {
+    fn enqueue(&mut self, job: Job, now: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
         match &self.workers {
             Some(workers) => {
+                self.submitted_at.insert(seq, now);
                 let _ = workers.job_tx.send((seq, job));
             }
             None => {
+                // Inline verification: the verdict lands in the same call,
+                // so the verify stage records an honest zero.
                 let outcome = verify_job(&self.committee, job);
-                self.resequence.insert(seq, outcome);
+                self.settle(seq, outcome, now);
             }
         }
         self.peak_depth = self.peak_depth.max(self.depth());
     }
 
-    fn pop_in_order(&mut self) -> Vec<Verified<Input>> {
+    /// Parks a verify verdict for resequencing, closing its verify-stage
+    /// interval (submission → verdict).
+    fn settle(&mut self, seq: u64, outcome: Option<Input>, now: u64) {
+        let submitted = self.submitted_at.remove(&seq).unwrap_or(now);
+        if let Some(stages) = &self.stages {
+            stages.record(Stage::Verified, now.saturating_sub(submitted));
+        }
+        self.resequence.insert(seq, (outcome, now));
+    }
+
+    fn pop_in_order(&mut self, now: u64) -> Vec<Verified<Input>> {
         let mut ready = Vec::new();
-        while let Some(outcome) = self.resequence.remove(&self.next_out) {
+        while let Some((outcome, seen_at)) = self.resequence.remove(&self.next_out) {
             self.next_out += 1;
             match outcome {
                 Some(input) => {
                     self.verified += 1;
+                    if let Some(stages) = &self.stages {
+                        stages.record(Stage::Resequenced, now.saturating_sub(seen_at));
+                    }
                     ready.push(Verified::vouch(input));
                 }
                 None => self.rejected += 1,

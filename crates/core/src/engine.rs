@@ -70,6 +70,8 @@ use crate::ingress::{IngressConfig, IngressPolicy, IngressReport};
 use crate::mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 use crate::protocol::ProtocolCommitter;
 use crate::sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};
+use crate::telemetry::{NoopSink, TelemetrySink};
+use mahimahi_telemetry::Stage;
 
 /// Engine time in microseconds. The engine is clock-free: this is whatever
 /// monotonic microsecond counter the driver feeds through
@@ -756,6 +758,9 @@ pub struct ValidatorEngine {
     /// Position of `commit_log[0]` (non-zero after a state-sync adoption:
     /// the log then covers only post-checkpoint decisions).
     commit_log_base: u64,
+    /// Record-only stage observer (default: [`NoopSink`]). Never consulted
+    /// for decisions — see [`crate::telemetry`] for the contract.
+    telemetry: Arc<dyn TelemetrySink>,
 }
 
 /// How many checkpoint positions the engine retains attestations and
@@ -831,8 +836,18 @@ impl ValidatorEngine {
             peer_checkpoints: BTreeMap::new(),
             latest_certified: None,
             commit_log_base: 0,
+            telemetry: Arc::new(NoopSink),
             config,
         }
+    }
+
+    /// Attaches a record-only telemetry sink (default: [`NoopSink`]). The
+    /// sink observes commit-path stage boundaries — apply, sequencing,
+    /// execution, receipt emission — with durations derived from the
+    /// driver-fed clock; it can never change an output (the sink-
+    /// equivalence proptest holds the engine to that).
+    pub fn set_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.telemetry = sink;
     }
 
     /// Replaces the execution state machine (default: [`BalanceLedger`]).
@@ -851,6 +866,11 @@ impl ValidatorEngine {
     /// Handles one input, returning the effects for the driver to perform,
     /// in order. See the module docs for the determinism contract.
     pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        // Timer ticks are the driver's clock feed, not commit-path work;
+        // everything else is an applied item.
+        if !matches!(input, Input::TimerFired { .. }) {
+            self.telemetry.record_stage(Stage::EngineApplied, 0);
+        }
         let mut outputs = Vec::new();
         match input {
             Input::TxSubmitted { transaction, tag } => {
@@ -1940,6 +1960,10 @@ impl ValidatorEngine {
                     self.committed_slots += 1;
                     self.sequenced_blocks += usize_gauge(sub_dag.blocks.len());
                     self.execution.apply(&sub_dag);
+                    // Execution is synchronous inside commit(): the honest
+                    // zero keeps the stage populated for the wiring day it
+                    // moves off-path.
+                    self.telemetry.record_stage(Stage::Executed, 0);
                     let mut tags = Vec::new();
                     for block in &sub_dag.blocks {
                         self.committed_transactions += usize_gauge(block.transactions().len());
@@ -1992,6 +2016,12 @@ impl ValidatorEngine {
                     self.own_committed_txs += usize_gauge(tags.len());
                     outputs.push(Output::Committed(sub_dag));
                     if !tags.is_empty() {
+                        // Tags are submission times (engine clock), so the
+                        // delta is the submit→linearize latency.
+                        for &tag in &tags {
+                            self.telemetry
+                                .record_stage(Stage::Sequenced, self.now.saturating_sub(tag));
+                        }
                         outputs.push(Output::TxsCommitted(tags));
                     }
                 }
@@ -2010,6 +2040,9 @@ impl ValidatorEngine {
         for (client, tags) in closed {
             self.ingress_counters.commit_notices += usize_gauge(tags.len());
             for chunk in tags.chunks(mahimahi_types::MAX_RECEIPT_TAGS) {
+                // The receipt leaves with this output batch; the driver owns
+                // any further queueing, so the engine's share is zero.
+                self.telemetry.record_stage(Stage::ReceiptSent, 0);
                 outputs.push(Output::TxReceipt {
                     peer: client,
                     receipt: TxReceipt::Committed {

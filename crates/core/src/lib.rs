@@ -50,6 +50,7 @@ pub mod mempool;
 mod protocol;
 mod sequencer;
 mod status;
+pub mod telemetry;
 
 pub use admission::{AdmissionConfig, AdmissionPipeline};
 pub use committer::{Committer, CommitterOptions};
@@ -65,3 +66,4 @@ pub use mempool::{Mempool, MempoolConfig, SubmitResult, TxIntegrityReport};
 pub use protocol::ProtocolCommitter;
 pub use sequencer::{CommitDecision, CommitSequencer, CommittedSubDag, SequencerSnapshot};
 pub use status::LeaderStatus;
+pub use telemetry::{NoopSink, TelemetrySink};

@@ -1,0 +1,52 @@
+//! The engine's telemetry boundary.
+//!
+//! The sans-I/O [`ValidatorEngine`](crate::ValidatorEngine) observes commit-
+//! path boundaries no driver can see from outside — when a transaction is
+//! linearized, when a sub-DAG is executed, when a commit receipt is owed —
+//! and reports them through [`TelemetrySink`]. The sink is **record-only**:
+//! it returns nothing, the engine never branches on it, and every duration
+//! the engine reports is derived from its driver-fed clock (`Input::
+//! TimerFired`), so attaching a recording sink cannot perturb consensus or
+//! replay (`tests/engine_proptest.rs` proves byte-identical outputs with
+//! and without one).
+
+use mahimahi_telemetry::{Stage, StageStats};
+
+/// A recipient for the engine's stage observations.
+///
+/// Implementations must be cheap (the engine calls this on the commit hot
+/// path — one call per committed transaction) and must not panic.
+pub trait TelemetrySink: Send + Sync {
+    /// Records that a commit-path item spent `micros` in `stage`.
+    fn record_stage(&self, stage: Stage, micros: u64);
+}
+
+/// The default sink: discards everything. Proven output-equivalent to any
+/// recording sink by the sink-equivalence proptest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn record_stage(&self, _stage: Stage, _micros: u64) {}
+}
+
+/// The standard recording sink: fold stage observations straight into the
+/// per-stage histograms of a registry-backed [`StageStats`].
+impl TelemetrySink for StageStats {
+    fn record_stage(&self, stage: Stage, micros: u64) {
+        self.record(stage, micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_stats_is_a_sink() {
+        let stats = StageStats::detached();
+        let sink: &dyn TelemetrySink = &stats;
+        sink.record_stage(Stage::Sequenced, 1234);
+        assert_eq!(stats.snapshot().stage(Stage::Sequenced).count(), 1);
+    }
+}

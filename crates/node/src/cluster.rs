@@ -40,6 +40,17 @@ impl LocalCluster {
         Self::start_with(n, seed, CommitterOptions::default(), &[])
     }
 
+    /// Starts `n` validators with default options and a metrics endpoint
+    /// per node on an ephemeral localhost port (see
+    /// [`LocalCluster::metrics_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/WAL errors from node start-up.
+    pub fn start_observed(n: usize, seed: u64) -> std::io::Result<Self> {
+        Self::assemble(n, seed, CommitterOptions::default(), &[], true)
+    }
+
     /// Starts a cluster with explicit committer options; authorities listed
     /// in `silent` are *not* started (crash-from-boot faults).
     ///
@@ -51,6 +62,16 @@ impl LocalCluster {
         seed: u64,
         options: CommitterOptions,
         silent: &[u32],
+    ) -> std::io::Result<Self> {
+        Self::assemble(n, seed, options, silent, false)
+    }
+
+    fn assemble(
+        n: usize,
+        seed: u64,
+        options: CommitterOptions,
+        silent: &[u32],
+        observed: bool,
     ) -> std::io::Result<Self> {
         let setup = TestCommittee::new(n, seed);
         // Bind all transports first so every address is known.
@@ -73,6 +94,9 @@ impl LocalCluster {
             }
             let mut config = NodeConfig::local(id as u32, setup.clone());
             config.options = options;
+            if observed {
+                config.metrics_addr = Some("127.0.0.1:0".parse().expect("literal address"));
+            }
             let node = ValidatorNode::new(config, transport)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             handles.push(node.start());
@@ -109,6 +133,17 @@ impl LocalCluster {
     /// Panics if `index` is out of range.
     pub fn handle(&self, index: usize) -> &NodeHandle {
         &self.handles[index]
+    }
+
+    /// The metrics-endpoint address of the `index`-th *running* validator
+    /// (`None` unless the cluster was started with
+    /// [`LocalCluster::start_observed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn metrics_addr(&self, index: usize) -> Option<std::net::SocketAddr> {
+        self.handles[index].metrics_addr()
     }
 
     /// Submits a transaction to the `index`-th *running* validator.
@@ -161,5 +196,106 @@ impl LocalCluster {
         for handle in self.handles {
             handle.stop();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    /// One blocking HTTP GET against a node's metrics endpoint.
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    /// The value of the sample `name` in a Prometheus text exposition.
+    fn sample(body: &str, name: &str) -> f64 {
+        body.lines()
+            .find_map(|line| line.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("sample {name} missing"))
+            .trim()
+            .parse()
+            .expect("sample value parses")
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_and_status() {
+        let cluster = LocalCluster::start_observed(4, 99).expect("cluster starts");
+        for id in 0..16u64 {
+            cluster.submit(0, Transaction::benchmark(id));
+        }
+        cluster
+            .wait_for_commit(0, Duration::from_secs(30))
+            .expect("first commit");
+        let addr = cluster
+            .metrics_addr(0)
+            .expect("observed cluster exposes a metrics endpoint");
+
+        let first = scrape(addr, "/metrics");
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+        let body = first.split("\r\n\r\n").nth(1).expect("response body");
+        // Every sample line parses: name, one space, a finite number.
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty(), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparsable sample: {line}");
+        }
+        assert!(body.contains("# TYPE mahimahi_round gauge"));
+        assert!(body.contains("# TYPE mahimahi_stage_sequenced_seconds histogram"));
+        assert!(body.contains("mahimahi_stage_sequenced_seconds_bucket{le=\"+Inf\"}"));
+        let committed = sample(body, "mahimahi_committed_transactions");
+        assert!(committed >= 1.0, "commits visible in the exposition");
+
+        // More traffic advances the counters between scrapes.
+        for id in 100..116u64 {
+            cluster.submit(0, Transaction::benchmark(id));
+        }
+        cluster
+            .wait_for_commit(0, Duration::from_secs(30))
+            .expect("second commit");
+        let second = scrape(addr, "/metrics");
+        let body = second.split("\r\n\r\n").nth(1).expect("response body");
+        assert!(
+            sample(body, "mahimahi_committed_transactions") > committed,
+            "committed-transaction gauge must advance between scrapes"
+        );
+        assert!(sample(body, "mahimahi_mempool_accepted") >= 32.0);
+
+        let status = scrape(addr, "/status");
+        assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+        let json = status.split("\r\n\r\n").nth(1).expect("status body");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for field in [
+            "\"round\":",
+            "\"committed_transactions\":",
+            "\"mempool_pending\":",
+            "\"verify_depth\":",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+
+        let missing = scrape(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        cluster.stop();
+    }
+
+    #[test]
+    fn unobserved_clusters_have_no_endpoint() {
+        let cluster = LocalCluster::start(4, 100).expect("cluster starts");
+        assert_eq!(cluster.metrics_addr(0), None);
+        cluster.stop();
     }
 }

@@ -19,5 +19,5 @@ mod wire;
 pub use client::{ClientError, TxClient, CLIENT_PEER};
 pub use cluster::LocalCluster;
 pub use loopback::{LoopbackCluster, LoopbackConfig};
-pub use node::{MempoolGauges, NodeConfig, NodeHandle, RecordedStep, ValidatorNode, VerifyGauges};
+pub use node::{NodeConfig, NodeHandle, NodeMetrics, RecordedStep, StatusReport, ValidatorNode};
 pub use wire::NodeMessage;

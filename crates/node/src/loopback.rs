@@ -22,12 +22,14 @@ use mahimahi_core::{
     CommittedSubDag, Committer, CommitterOptions, IngressConfig, IngressReport, MempoolConfig,
     Output, ValidatorEngine, WalRecord,
 };
+use mahimahi_telemetry::{Registry, Stage, StageSnapshot, StageStats};
 use mahimahi_types::{
     AuthorityIndex, Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt, TxVerdict,
 };
 use mahimahi_wal::{MemStorage, Wal};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 use crate::wire::NodeMessage;
 
@@ -41,6 +43,10 @@ struct Frame {
     to: usize,
     /// The encoded [`NodeMessage`].
     bytes: Vec<u8>,
+    /// Virtual send time — the delivery delta is the ingress flight time.
+    /// (Heap order is decided by the `(time, sequence)` tuple prefix, so
+    /// this field never participates in a comparison that matters.)
+    sent: Time,
 }
 
 /// Configuration of a [`LoopbackCluster`].
@@ -94,14 +100,34 @@ pub struct LoopbackCluster {
     /// emission order — what the TCP node would frame down the client's
     /// connection (or the local handle's channel).
     receipts: Vec<Vec<(usize, TxReceipt)>>,
+    /// Per-validator metric registries (stage histograms live here).
+    registries: Vec<Arc<Registry>>,
+    /// Per-validator commit-path stage histograms: the cluster records the
+    /// driver-side boundaries, the engine reports its own through the
+    /// shared sink.
+    stage_stats: Vec<StageStats>,
 }
 
 impl LoopbackCluster {
     /// Builds the cluster (no events scheduled until [`Self::run_until`]).
     pub fn new(config: LoopbackConfig) -> Self {
         let setup = TestCommittee::new(config.nodes, config.seed);
+        let registries: Vec<Arc<Registry>> = (0..config.nodes)
+            .map(|_| Arc::new(Registry::new()))
+            .collect();
+        let stage_stats: Vec<StageStats> = registries
+            .iter()
+            .map(|registry| StageStats::new(registry))
+            .collect();
         let engines = (0..config.nodes)
-            .map(|index| Self::fresh_engine_for(&config, &setup, AuthorityIndex::from(index)))
+            .map(|index| {
+                let mut engine =
+                    Self::fresh_engine_for(&config, &setup, AuthorityIndex::from(index));
+                // Record-only sink: replay equivalence against a fresh
+                // (no-op-sink) engine is untouched.
+                engine.set_telemetry(Arc::new(stage_stats[index].clone()));
+                engine
+            })
             .collect();
         let wals = (0..config.nodes)
             .map(|_| Wal::open(MemStorage::new()).expect("fresh in-memory wal"))
@@ -121,6 +147,8 @@ impl LoopbackCluster {
             tx_commits: vec![Vec::new(); config.nodes],
             rejections: vec![0; config.nodes],
             receipts: vec![Vec::new(); config.nodes],
+            registries,
+            stage_stats,
             config,
         }
     }
@@ -210,10 +238,27 @@ impl LoopbackCluster {
                 self.feed(validator, Input::TimerFired { now: time });
                 continue;
             }
-            let Reverse((time, _, Frame { from, to, bytes })) = self.queue.pop().expect("peeked");
+            let Reverse((
+                time,
+                _,
+                Frame {
+                    from,
+                    to,
+                    bytes,
+                    sent,
+                },
+            )) = self.queue.pop().expect("peeked");
             let Ok(message) = NodeMessage::from_bytes_exact(&bytes) else {
                 continue; // torn frame: dropped, like the node
             };
+            // Driver-side stage boundaries: the link flight is the ingress
+            // stage; dequeue, verification, and resequencing happen inline
+            // in virtual time — honest zeros keep the histograms complete.
+            let stats = &self.stage_stats[to];
+            stats.record(Stage::IngressReceived, time.saturating_sub(sent));
+            stats.record(Stage::VerifyDequeued, 0);
+            stats.record(Stage::Verified, 0);
+            stats.record(Stage::Resequenced, 0);
             self.feed(to, Input::TimerFired { now: time });
             self.feed(to, Input::from_envelope(from, message));
         }
@@ -284,7 +329,12 @@ impl LoopbackCluster {
         self.queue.push(Reverse((
             self.now + self.config.link_delay,
             self.sequence,
-            Frame { from, to, bytes },
+            Frame {
+                from,
+                to,
+                bytes,
+                sent: self.now,
+            },
         )));
     }
 
@@ -338,6 +388,17 @@ impl LoopbackCluster {
     /// The current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Point-in-time copy of `validator`'s commit-path stage histograms.
+    pub fn stage_snapshot(&self, validator: usize) -> StageSnapshot {
+        self.stage_stats[validator].snapshot()
+    }
+
+    /// `validator`'s metric registry (renders the same exposition the TCP
+    /// node's metrics endpoint serves).
+    pub fn registry(&self, validator: usize) -> &Arc<Registry> {
+        &self.registries[validator]
     }
 
     /// Replays `validator`'s WAL into a fresh engine (recovery check).
@@ -467,6 +528,29 @@ mod tests {
         cluster.submit_batch(0, (0..8).map(|i| Transaction::benchmark(900 + i)).collect());
         cluster.run_until(3_400_000);
         assert_eq!(cluster.ingress_report(0).rate_limited, before);
+    }
+
+    #[test]
+    fn stage_histograms_cover_all_eight_stages() {
+        let mut cluster = LoopbackCluster::new(config());
+        cluster.run_until(200_000);
+        cluster.submit_batch(
+            0,
+            vec![Transaction::benchmark(1), Transaction::benchmark(2)],
+        );
+        cluster.run_until(3_000_000);
+        let snapshot = cluster.stage_snapshot(0);
+        assert!(
+            snapshot.all_stages_populated(),
+            "every stage histogram must see at least one sample"
+        );
+        // Ingress samples are link flights: exactly the configured delay.
+        let ingress = snapshot.stage(Stage::IngressReceived);
+        assert!((ingress.quantile_s(1.0) - 0.03).abs() < 0.005);
+        // The registry serves the same histograms as Prometheus text.
+        let text = cluster.registry(0).render_prometheus();
+        assert!(text.contains("mahimahi_stage_sequenced_seconds_bucket"));
+        assert!(text.contains("le=\"+Inf\""));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use mahimahi_core::{
     WalRecord,
 };
 use mahimahi_dag::BlockStore;
+use mahimahi_telemetry::{Gauge, Registry, Stage, StageSnapshot, StageStats};
 use mahimahi_transport::Transport;
 use mahimahi_types::{
     AuthorityIndex, Committee, Decode, Encode, Envelope, Round, TestCommittee, Transaction,
@@ -36,8 +37,10 @@ use mahimahi_types::{
 };
 use mahimahi_wal::{FileWal, MemStorage, Wal};
 use parking_lot::Mutex;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -108,6 +111,17 @@ pub struct NodeConfig {
     /// backpressure propagates to the peer's TCP connection rather than
     /// growing an unbounded local queue.
     pub verify_queue_bound: usize,
+    /// Where to serve this node's metrics endpoint, or `None` (the default)
+    /// to run without one. Binding `127.0.0.1:0` picks an ephemeral port;
+    /// the bound address is available as [`NodeHandle::metrics_addr`]. The
+    /// endpoint is a minimal HTTP server with two routes: `GET /metrics`
+    /// returns the node's [`Registry`] in the Prometheus text exposition
+    /// (commit-path stage histograms plus every mempool/verify/commit
+    /// gauge), and `GET /status` returns a [`StatusReport`] as JSON. The
+    /// server thread only *reads* lock-free metric handles — it cannot
+    /// perturb the consensus loop, and a bind failure downgrades to running
+    /// without the endpoint rather than failing the node.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl NodeConfig {
@@ -130,6 +144,7 @@ impl NodeConfig {
             checkpoint_interval: 32,
             verify_workers: 2,
             verify_queue_bound: 1024,
+            metrics_addr: None,
         }
     }
 
@@ -148,111 +163,330 @@ impl NodeConfig {
     }
 }
 
-/// Mempool/ingress gauges exported by a running node, updated once per
-/// event-loop iteration (lock-free reads for load generators and
-/// monitoring).
-#[derive(Debug, Default)]
-pub struct MempoolGauges {
-    accepted: AtomicU64,
-    rejected_duplicate: AtomicU64,
-    rejected_full: AtomicU64,
-    rejected_rate_limited: AtomicU64,
-    forwarded: AtomicU64,
-    pending: AtomicU64,
-    peak_occupancy: AtomicU64,
+/// Registry-backed node metrics, refreshed once per event-loop iteration
+/// (lock-free reads for load generators and monitoring).
+///
+/// Every gauge lives in the node's [`Registry`], so in-process readers
+/// (tests, the bench harness) and the HTTP metrics endpoint observe the
+/// same values — there is no parallel set of ad-hoc atomics to keep in
+/// sync. The same registry also holds the eight commit-path stage
+/// histograms ([`StageStats`]).
+pub struct NodeMetrics {
+    registry: Arc<Registry>,
+    round: Arc<Gauge>,
+    highest_round: Arc<Gauge>,
+    committed_slots: Arc<Gauge>,
+    committed_transactions: Arc<Gauge>,
+    convictions: Arc<Gauge>,
+    mempool_accepted: Arc<Gauge>,
+    mempool_rejected_duplicate: Arc<Gauge>,
+    mempool_rejected_full: Arc<Gauge>,
+    mempool_rejected_rate_limited: Arc<Gauge>,
+    mempool_forwarded: Arc<Gauge>,
+    mempool_pending: Arc<Gauge>,
+    mempool_peak_occupancy: Arc<Gauge>,
+    verify_depth: Arc<Gauge>,
+    verify_peak_depth: Arc<Gauge>,
+    verify_verified: Arc<Gauge>,
+    verify_rejected: Arc<Gauge>,
+    stage_stats: StageStats,
 }
 
-impl MempoolGauges {
-    fn update(&self, report: &TxIntegrityReport) {
-        self.accepted.store(report.accepted, Ordering::Relaxed);
-        self.rejected_duplicate
-            .store(report.rejected_duplicate, Ordering::Relaxed);
-        self.rejected_full
-            .store(report.rejected_full, Ordering::Relaxed);
-        self.rejected_rate_limited
-            .store(report.rejected_rate_limited, Ordering::Relaxed);
-        self.forwarded.store(report.forwarded, Ordering::Relaxed);
-        self.pending.store(report.pending, Ordering::Relaxed);
-        self.peak_occupancy
-            .store(report.peak_occupancy_txs, Ordering::Relaxed);
+impl NodeMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        let gauge = |name, help| registry.gauge(name, help);
+        NodeMetrics {
+            stage_stats: StageStats::new(&registry),
+            round: gauge("mahimahi_round", "Last produced DAG round"),
+            highest_round: gauge("mahimahi_highest_round", "Highest round in the local DAG"),
+            committed_slots: gauge("mahimahi_committed_slots", "Leader slots committed"),
+            committed_transactions: gauge(
+                "mahimahi_committed_transactions",
+                "Transactions linearized into the committed order",
+            ),
+            convictions: gauge(
+                "mahimahi_convictions",
+                "Authorities convicted of equivocation",
+            ),
+            mempool_accepted: gauge(
+                "mahimahi_mempool_accepted",
+                "Transactions accepted into the pool",
+            ),
+            mempool_rejected_duplicate: gauge(
+                "mahimahi_mempool_rejected_duplicate",
+                "Submissions rejected as digest duplicates",
+            ),
+            mempool_rejected_full: gauge(
+                "mahimahi_mempool_rejected_full",
+                "Submissions rejected for pool capacity",
+            ),
+            mempool_rejected_rate_limited: gauge(
+                "mahimahi_mempool_rejected_rate_limited",
+                "Submissions bounced by the per-client rate limiter",
+            ),
+            mempool_forwarded: gauge(
+                "mahimahi_mempool_forwarded",
+                "Transactions handed to a peer by age-based forwarding",
+            ),
+            mempool_pending: gauge(
+                "mahimahi_mempool_pending",
+                "Transactions currently pending inclusion",
+            ),
+            mempool_peak_occupancy: gauge(
+                "mahimahi_mempool_peak_occupancy",
+                "Peak pool occupancy in transactions",
+            ),
+            verify_depth: gauge(
+                "mahimahi_verify_depth",
+                "Inputs in flight inside the verify stage",
+            ),
+            verify_peak_depth: gauge(
+                "mahimahi_verify_peak_depth",
+                "High-water mark of the verify-stage depth",
+            ),
+            verify_verified: gauge(
+                "mahimahi_verify_verified",
+                "Inputs that passed verification and reached the engine",
+            ),
+            verify_rejected: gauge(
+                "mahimahi_verify_rejected",
+                "Inputs dropped by the verify stage",
+            ),
+            registry,
+        }
+    }
+
+    /// Refreshes the engine-derived gauges (rounds, commits, mempool).
+    fn update_engine(&self, engine: &ValidatorEngine) {
+        let report: TxIntegrityReport = engine.tx_integrity();
+        self.round.set(engine.round());
+        self.highest_round.set(engine.store().highest_round());
+        self.committed_slots.set(engine.committed_slots());
+        self.committed_transactions
+            .set(engine.committed_transactions());
+        self.convictions.set(engine.convicted().len() as u64);
+        self.mempool_accepted.set(report.accepted);
+        self.mempool_rejected_duplicate
+            .set(report.rejected_duplicate);
+        self.mempool_rejected_full.set(report.rejected_full);
+        self.mempool_rejected_rate_limited
+            .set(report.rejected_rate_limited);
+        self.mempool_forwarded.set(report.forwarded);
+        self.mempool_pending.set(report.pending);
+        self.mempool_peak_occupancy.set(report.peak_occupancy_txs);
+    }
+
+    /// Refreshes the verify-stage gauges from the admission pipeline.
+    fn update_pipeline(&self, pipeline: &AdmissionPipeline) {
+        self.verify_depth.set(pipeline.depth() as u64);
+        self.verify_peak_depth.set(pipeline.peak_depth() as u64);
+        self.verify_verified.set(pipeline.verified());
+        self.verify_rejected.set(pipeline.rejected());
+    }
+
+    /// The registry every metric of this node lives in (stage histograms
+    /// included) — render it with [`Registry::render_prometheus`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Point-in-time copy of the eight commit-path stage histograms
+    /// (mergeable across validators — see `StageSnapshot::merge`).
+    pub fn stage_snapshot(&self) -> StageSnapshot {
+        self.stage_stats.snapshot()
+    }
+
+    /// A point-in-time status summary (the `/status` endpoint's payload).
+    pub fn status(&self) -> StatusReport {
+        StatusReport {
+            round: self.round.get(),
+            highest_round: self.highest_round.get(),
+            committed_slots: self.committed_slots.get(),
+            committed_transactions: self.committed_transactions.get(),
+            convictions: self.convictions.get(),
+            mempool_pending: self.mempool_pending.get(),
+            mempool_accepted: self.mempool_accepted.get(),
+            verify_depth: self.verify_depth.get(),
+        }
+    }
+
+    /// Last produced DAG round.
+    pub fn round(&self) -> u64 {
+        self.round.get()
+    }
+
+    /// Leader slots committed so far.
+    pub fn committed_slots(&self) -> u64 {
+        self.committed_slots.get()
     }
 
     /// Transactions accepted into the pool so far.
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.mempool_accepted.get()
     }
 
     /// Submissions rejected as digest duplicates so far.
     pub fn rejected_duplicate(&self) -> u64 {
-        self.rejected_duplicate.load(Ordering::Relaxed)
+        self.mempool_rejected_duplicate.get()
     }
 
     /// Submissions rejected for capacity (`SubmitResult::Full`) so far.
     pub fn rejected_full(&self) -> u64 {
-        self.rejected_full.load(Ordering::Relaxed)
+        self.mempool_rejected_full.get()
     }
 
     /// Submissions bounced by the per-client rate limiter so far.
     pub fn rejected_rate_limited(&self) -> u64 {
-        self.rejected_rate_limited.load(Ordering::Relaxed)
+        self.mempool_rejected_rate_limited.get()
     }
 
     /// Transactions handed to a peer by age-based mempool forwarding.
     pub fn forwarded(&self) -> u64 {
-        self.forwarded.load(Ordering::Relaxed)
+        self.mempool_forwarded.get()
     }
 
     /// Transactions currently pending inclusion.
     pub fn pending(&self) -> u64 {
-        self.pending.load(Ordering::Relaxed)
+        self.mempool_pending.get()
     }
 
     /// Peak pool occupancy (transactions) observed so far.
     pub fn peak_occupancy(&self) -> u64 {
-        self.peak_occupancy.load(Ordering::Relaxed)
-    }
-}
-
-/// Verify-stage gauges exported by a running node, updated once per
-/// event-loop iteration (lock-free reads for load generators and
-/// monitoring).
-#[derive(Debug, Default)]
-pub struct VerifyGauges {
-    depth: AtomicU64,
-    peak_depth: AtomicU64,
-    verified: AtomicU64,
-    rejected: AtomicU64,
-}
-
-impl VerifyGauges {
-    fn update(&self, pipeline: &AdmissionPipeline) {
-        self.depth.store(pipeline.depth() as u64, Ordering::Relaxed);
-        self.peak_depth
-            .store(pipeline.peak_depth() as u64, Ordering::Relaxed);
-        self.verified.store(pipeline.verified(), Ordering::Relaxed);
-        self.rejected.store(pipeline.rejected(), Ordering::Relaxed);
+        self.mempool_peak_occupancy.get()
     }
 
     /// Inputs currently in flight inside the verify stage.
-    pub fn depth(&self) -> u64 {
-        self.depth.load(Ordering::Relaxed)
+    pub fn verify_depth(&self) -> u64 {
+        self.verify_depth.get()
     }
 
     /// High-water mark of the verify-stage depth.
-    pub fn peak_depth(&self) -> u64 {
-        self.peak_depth.load(Ordering::Relaxed)
+    pub fn verify_peak_depth(&self) -> u64 {
+        self.verify_peak_depth.get()
     }
 
     /// Inputs that passed verification and reached the engine.
     pub fn verified(&self) -> u64 {
-        self.verified.load(Ordering::Relaxed)
+        self.verify_verified.get()
     }
 
     /// Inputs the verify stage dropped (undecodable frames, invalid
     /// signatures or proofs).
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.verify_rejected.get()
     }
+}
+
+impl std::fmt::Debug for NodeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeMetrics")
+            .field("status", &self.status())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time node status summary, served as JSON by the metrics
+/// endpoint's `GET /status` route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Last produced DAG round.
+    pub round: u64,
+    /// Highest round in the local DAG.
+    pub highest_round: u64,
+    /// Leader slots committed.
+    pub committed_slots: u64,
+    /// Transactions linearized into the committed order.
+    pub committed_transactions: u64,
+    /// Authorities convicted of equivocation.
+    pub convictions: u64,
+    /// Transactions currently pending inclusion.
+    pub mempool_pending: u64,
+    /// Transactions accepted into the pool so far.
+    pub mempool_accepted: u64,
+    /// Inputs in flight inside the verify stage.
+    pub verify_depth: u64,
+}
+
+impl StatusReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"round\":{},\"highest_round\":{},\"committed_slots\":{},",
+                "\"committed_transactions\":{},\"convictions\":{},",
+                "\"mempool_pending\":{},\"mempool_accepted\":{},",
+                "\"verify_depth\":{}}}"
+            ),
+            self.round,
+            self.highest_round,
+            self.committed_slots,
+            self.committed_transactions,
+            self.convictions,
+            self.mempool_pending,
+            self.mempool_accepted,
+            self.verify_depth,
+        )
+    }
+}
+
+/// The metrics endpoint's accept loop: a deliberately minimal HTTP/1.1
+/// server (request line + headers in, one response out, close). It reads
+/// only lock-free metric handles, so a slow or hostile scraper can never
+/// back-pressure consensus.
+fn serve_metrics(listener: TcpListener, metrics: Arc<NodeMetrics>, stop: Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = answer_scrape(stream, &metrics);
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one metrics-endpoint request (see [`NodeConfig::metrics_addr`]).
+fn answer_scrape(mut stream: TcpStream, metrics: &NodeMetrics) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&buf[..n]);
+        if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 8192 {
+            break;
+        }
+    }
+    let first_line = String::from_utf8_lossy(&request);
+    let path = first_line
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            metrics.registry().render_prometheus(),
+        ),
+        "/status" => ("200 OK", "application/json", metrics.status().to_json()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
 }
 
 /// Handle to a running [`ValidatorNode`].
@@ -264,11 +498,11 @@ pub struct NodeHandle {
     receipts: Receiver<TxReceipt>,
     transactions: Sender<Vec<Transaction>>,
     stop: Arc<AtomicBool>,
-    round: Arc<AtomicU64>,
-    gauges: Arc<MempoolGauges>,
-    verify: Arc<VerifyGauges>,
+    metrics: Arc<NodeMetrics>,
+    metrics_addr: Option<SocketAddr>,
     trace: Option<Arc<Mutex<Vec<RecordedStep>>>>,
     join: Option<JoinHandle<()>>,
+    metrics_join: Option<JoinHandle<()>>,
 }
 
 impl NodeHandle {
@@ -300,51 +534,54 @@ impl NodeHandle {
         let _ = self.transactions.send(batch);
     }
 
-    /// The node's current round (last produced).
+    /// The node's current round (last produced), refreshed once per
+    /// event-loop iteration.
     pub fn round(&self) -> Round {
-        self.round.load(Ordering::SeqCst)
+        self.metrics.round()
     }
 
-    /// Mempool/ingress gauges (occupancy, acceptance and rejection
-    /// counters), refreshed once per event-loop iteration.
-    pub fn mempool_gauges(&self) -> &MempoolGauges {
-        &self.gauges
+    /// The node's registry-backed metrics: mempool/ingress occupancy and
+    /// rejection gauges, verify-stage depth, commit progress — refreshed
+    /// once per event-loop iteration, read lock-free.
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
     }
 
-    /// Verify-stage gauges (pipeline depth, peak depth, verified/rejected
-    /// counters), refreshed once per event-loop iteration.
-    pub fn verify_gauges(&self) -> &VerifyGauges {
-        &self.verify
+    /// The bound address of the node's metrics endpoint, when
+    /// [`NodeConfig::metrics_addr`] was set and the bind succeeded.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Stops the node and waits for its thread to exit.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
+        self.shutdown();
     }
 
     /// Stops the node and returns the recorded engine trace (every
     /// [`Input`] handled, with the `Debug` rendering of its outputs), if
     /// the node was started with [`NodeConfig::record_trace`].
     pub fn stop_into_trace(mut self) -> Option<Vec<RecordedStep>> {
+        self.shutdown();
+        let trace = self.trace.take()?;
+        let steps = std::mem::take(&mut *trace.lock());
+        Some(steps)
+    }
+
+    fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
-        let trace = self.trace.take()?;
-        let steps = std::mem::take(&mut *trace.lock());
-        Some(steps)
+        if let Some(join) = self.metrics_join.take() {
+            let _ = join.join();
+        }
     }
 }
 
 impl Drop for NodeHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -409,6 +646,14 @@ pub struct ValidatorNode {
     /// next network send (durability-before-dissemination) or at the end
     /// of the batch.
     pending_sync: bool,
+    /// Registry-backed gauges, refreshed once per event-loop iteration.
+    metrics: Arc<NodeMetrics>,
+    /// Commit-path stage histograms: this clone records the driver-side
+    /// boundaries (ingress, verify, resequence); a second clone is the
+    /// engine's telemetry sink.
+    stage_stats: StageStats,
+    /// Requested metrics-endpoint address ([`NodeConfig::metrics_addr`]).
+    metrics_addr: Option<SocketAddr>,
     /// Input/output recording (determinism-contract replay tests).
     trace: Option<Arc<Mutex<Vec<RecordedStep>>>>,
 }
@@ -459,6 +704,15 @@ impl ValidatorNode {
             }
         }
 
+        // One registry per node: the gauges below, the eight stage
+        // histograms, and the engine's telemetry sink all render through
+        // the same `/metrics` exposition.
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(NodeMetrics::new(Arc::clone(&registry)));
+        let stage_stats = StageStats::new(&registry);
+        engine.set_telemetry(Arc::new(stage_stats.clone()));
+        metrics.update_engine(&engine);
+
         Ok(ValidatorNode {
             authority: config.authority,
             transport,
@@ -470,6 +724,9 @@ impl ValidatorNode {
             },
             wal,
             pending_sync: false,
+            metrics,
+            stage_stats,
+            metrics_addr: config.metrics_addr,
             trace: config
                 .record_trace
                 .then(|| Arc::new(Mutex::new(Vec::new()))),
@@ -502,45 +759,48 @@ impl ValidatorNode {
         self.engine.round()
     }
 
-    /// Spawns the protocol loop, returning the control handle.
+    /// Spawns the protocol loop (and the metrics endpoint, when
+    /// configured), returning the control handle.
     pub fn start(self) -> NodeHandle {
         let (commit_tx, commit_rx) = unbounded();
         let (receipt_tx, receipt_rx) = unbounded();
         let (tx_tx, tx_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
-        let round = Arc::new(AtomicU64::new(self.engine.round()));
-        let gauges = Arc::new(MempoolGauges::default());
-        let verify = Arc::new(VerifyGauges::default());
+        let metrics = Arc::clone(&self.metrics);
         let trace = self.trace.clone();
-        let loop_stop = Arc::clone(&stop);
-        let loop_round = Arc::clone(&round);
-        let loop_gauges = Arc::clone(&gauges);
-        let loop_verify = Arc::clone(&verify);
         let authority = self.authority;
+        // Metrics are advisory: a bind failure downgrades to running
+        // without the endpoint instead of failing the node.
+        let mut metrics_addr = None;
+        let mut metrics_join = None;
+        if let Some(requested) = self.metrics_addr {
+            if let Ok(listener) = TcpListener::bind(requested) {
+                metrics_addr = listener.local_addr().ok();
+                let server_metrics = Arc::clone(&metrics);
+                let server_stop = Arc::clone(&stop);
+                metrics_join = Some(
+                    std::thread::Builder::new()
+                        .name(format!("metrics-{authority}"))
+                        .spawn(move || serve_metrics(listener, server_metrics, server_stop))
+                        .expect("spawn metrics thread"),
+                );
+            }
+        }
+        let loop_stop = Arc::clone(&stop);
         let join = std::thread::Builder::new()
             .name(format!("validator-{authority}"))
-            .spawn(move || {
-                self.run(
-                    commit_tx,
-                    receipt_tx,
-                    tx_rx,
-                    loop_stop,
-                    loop_round,
-                    loop_gauges,
-                    loop_verify,
-                )
-            })
+            .spawn(move || self.run(commit_tx, receipt_tx, tx_rx, loop_stop))
             .expect("spawn validator thread");
         NodeHandle {
             commits: commit_rx,
             receipts: receipt_rx,
             transactions: tx_tx,
             stop,
-            round,
-            gauges,
-            verify,
+            metrics,
+            metrics_addr,
             trace,
             join: Some(join),
+            metrics_join,
         }
     }
 
@@ -560,18 +820,23 @@ impl ValidatorNode {
     /// invalid inputs the verify stage drops. Batching also amortizes WAL
     /// fsyncs across the inputs of an iteration (the sync is still forced
     /// before any network send, so durability-before-dissemination holds).
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// The loop also feeds the commit-path stage clocks: inputs enter the
+    /// pipeline through the `_at` variants stamped with the loop's
+    /// microsecond counter, so the verify and resequence histograms
+    /// measure real queueing time across iterations. The ingress stages
+    /// record honest zeros — a frame is submitted in the same iteration
+    /// that pulls it off the transport channel, and the wire carries no
+    /// send timestamp this driver could trust.
     fn run(
         mut self,
         commits: Sender<CommittedSubDag>,
         receipts: Sender<TxReceipt>,
         transactions: Receiver<Vec<Transaction>>,
         stop: Arc<AtomicBool>,
-        round: Arc<AtomicU64>,
-        gauges: Arc<MempoolGauges>,
-        verify: Arc<VerifyGauges>,
     ) {
         let mut pipeline = AdmissionPipeline::new(self.admission, self.committee.clone());
+        pipeline.set_stage_stats(self.stage_stats.clone());
         let started = Instant::now();
         let client_from = self.authority.as_usize();
         // State-sync: ask the committee for its latest quorum-certified
@@ -594,14 +859,20 @@ impl ValidatorNode {
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             };
             let now = started.elapsed().as_micros() as EngineTime;
-            pipeline.submit(Input::TimerFired { now });
+            pipeline.submit_at(Input::TimerFired { now }, now);
             // Drain client batches (enqueue-only inputs).
             loop {
                 match transactions.try_recv() {
-                    Ok(batch) => pipeline.submit(Input::TxBatchReceived {
-                        from: client_from,
-                        transactions: batch,
-                    }),
+                    Ok(batch) => {
+                        self.stage_stats.record(Stage::IngressReceived, 0);
+                        pipeline.submit_at(
+                            Input::TxBatchReceived {
+                                from: client_from,
+                                transactions: batch,
+                            },
+                            now,
+                        );
+                    }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => return,
                 }
@@ -613,7 +884,9 @@ impl ValidatorNode {
             let mut frame = first;
             let mut drained = 0;
             while let Some((peer, bytes)) = frame.take() {
-                pipeline.submit_frame(peer as usize, bytes);
+                self.stage_stats.record(Stage::IngressReceived, 0);
+                self.stage_stats.record(Stage::VerifyDequeued, 0);
+                pipeline.submit_frame_at(peer as usize, bytes, now);
                 drained += 1;
                 if drained < MAX_FRAMES_PER_ITERATION && pipeline.has_capacity() {
                     frame = self.transport.incoming().try_recv().ok();
@@ -622,15 +895,14 @@ impl ValidatorNode {
             // Apply every verified input the pipeline has released, in
             // submission order, and render the outputs once.
             let mut outputs = Vec::new();
-            for input in pipeline.drain_ready() {
+            for input in pipeline.drain_ready_at(now) {
                 self.handle_verified(input, &mut outputs);
             }
             if self.apply(outputs, &commits, &receipts).is_err() {
                 return;
             }
-            round.store(self.engine.round(), Ordering::SeqCst);
-            gauges.update(&self.engine.tx_integrity());
-            verify.update(&pipeline);
+            self.metrics.update_engine(&self.engine);
+            self.metrics.update_pipeline(&pipeline);
         }
         // Inputs still in flight inside the verify stage are dropped with
         // the pipeline: never applied, never traced.

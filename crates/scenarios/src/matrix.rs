@@ -322,6 +322,12 @@ pub struct ScenarioResult {
     pub latency_mean_s: f64,
     /// p99 client latency in seconds (0 when nothing committed).
     pub latency_p99_s: f64,
+    /// p99 of the verify stage (signature/structure checks) in seconds.
+    pub verify_p99_s: f64,
+    /// p99 of the resequence stage (submission-order release) in seconds.
+    pub resequence_p99_s: f64,
+    /// p99 of the execute stage (sub-DAG application) in seconds.
+    pub execute_p99_s: f64,
     /// The commit-frontier lag bound this cell was held to.
     pub lag_bound_rounds: u64,
     /// The wall-clock p99 commit-latency budget this cell was held to.
@@ -383,6 +389,7 @@ impl ScenarioResult {
             "{{\"name\":\"{}\",\"seed\":{},\"committee_size\":{},\
              \"committed_transactions\":{},\"committed_slots\":{},\"skipped_slots\":{},\
              \"highest_round\":{},\"latency_mean_s\":{:.4},\"latency_p99_s\":{:.4},\
+             \"verify_p99_s\":{:.6},\"resequence_p99_s\":{:.6},\"execute_p99_s\":{:.6},\
              \"lag_bound_rounds\":{},\"p99_bound_s\":{:.4},\
              \"culprits\":[{}],\"pass\":{},\"oracles\":[{}]}}",
             escape(&self.name),
@@ -394,6 +401,9 @@ impl ScenarioResult {
             self.highest_round,
             self.latency_mean_s,
             self.latency_p99_s,
+            self.verify_p99_s,
+            self.resequence_p99_s,
+            self.execute_p99_s,
             self.lag_bound_rounds,
             self.p99_bound_s,
             culprits,
@@ -425,8 +435,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
         latency_p99_s: if run.report.latency.is_empty() {
             0.0
         } else {
-            run.report.latency.clone().p99_s()
+            run.report.latency.snapshot().p99_s()
         },
+        verify_p99_s: run.report.stage_p99_s(mahimahi_telemetry::Stage::Verified),
+        resequence_p99_s: run
+            .report
+            .stage_p99_s(mahimahi_telemetry::Stage::Resequenced),
+        execute_p99_s: run.report.stage_p99_s(mahimahi_telemetry::Stage::Executed),
         lag_bound_rounds: CommitLatencyBound::bound(scenario),
         p99_bound_s: CommitLatencyP99::bound_s(scenario),
         culprits: run
@@ -556,6 +571,9 @@ mod tests {
             highest_round: 40,
             latency_mean_s: 0.5,
             latency_p99_s: 0.9,
+            verify_p99_s: 0.002,
+            resequence_p99_s: 0.001,
+            execute_p99_s: 0.0,
             lag_bound_rounds: 38,
             p99_bound_s: 2.5,
             culprits: vec![vec![3], vec![3], vec![3], Vec::new()],
@@ -574,6 +592,9 @@ mod tests {
         assert_eq!(result.failures().len(), 1);
         let json = result.to_json();
         assert!(json.contains("\"pass\":false"));
+        assert!(json.contains("\"verify_p99_s\":0.002000"));
+        assert!(json.contains("\"resequence_p99_s\":0.001000"));
+        assert!(json.contains("\"execute_p99_s\":0.000000"));
         assert!(json.contains("\\\"1\\\""));
         assert!(json.contains("\"culprits\":[[3],[3],[3],[]]"));
         let report = report_json(&[result]);

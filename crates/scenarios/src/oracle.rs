@@ -244,7 +244,7 @@ impl Oracle for CommitLatencyP99 {
         if run.report.latency.is_empty() {
             return Ok(()); // no commits at all: the liveness oracle decides
         }
-        let p99 = run.report.latency.clone().p99_s();
+        let p99 = run.report.latency.snapshot().p99_s();
         let bound = Self::bound_s(scenario);
         if p99 > bound {
             return Err(format!(

@@ -47,6 +47,6 @@ pub use mahimahi_core::{
     IngressConfig, IngressReport, MempoolConfig, SubmitResult, TxIntegrityReport,
 };
 pub use message::{SimMessage, WireModel};
-pub use metrics::{LatencyStats, SimReport};
+pub use metrics::{LatencySnapshot, LatencyStats, SimReport};
 pub use runner::{SimOutcome, Simulation};
 pub use validator::{Action, SimValidator};

@@ -1,88 +1,12 @@
 //! Run metrics: the quantities the paper's figures plot.
+//!
+//! The sample recorder itself ([`LatencyStats`]) lives in
+//! `mahimahi-telemetry` — quantiles are read through an immutable
+//! [`LatencySnapshot`](mahimahi_telemetry::LatencySnapshot), so reports can
+//! be queried through `&self`.
 
-use mahimahi_net::time::{self, Time};
-
-/// Latency sample statistics (client submission → commit).
-#[derive(Debug, Clone, Default)]
-pub struct LatencyStats {
-    samples: Vec<Time>,
-    sorted: bool,
-}
-
-impl LatencyStats {
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: Time) {
-        self.samples.push(latency);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Whether no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Mean latency in seconds (0 when empty).
-    ///
-    /// Computed entirely in `f64`: averaging in integer [`Time`] first
-    /// truncates (a sub-microsecond-resolved mean collapses toward 0 on
-    /// small samples), which skewed every latency table.
-    pub fn mean_s(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let sum: f64 = self.samples.iter().map(|&s| s as f64).sum();
-        sum / self.samples.len() as f64 / time::SECOND as f64
-    }
-
-    fn sort(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
-    /// The `q`-quantile latency in seconds (0 when empty), using the ceil
-    /// nearest-rank convention: the smallest sample such that at least
-    /// `q · n` samples are ≤ it (rank `⌈q · n⌉`). The previous
-    /// `round((n − 1) · q)` interpolation underestimates tail quantiles on
-    /// small samples — e.g. p99 of 60 samples picked the 59th sorted value
-    /// instead of the maximum that nearest-rank prescribes — so tail
-    /// latency on sparse runs looked better than it was.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile_s(&mut self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.sort();
-        let rank = (q * self.samples.len() as f64).ceil() as usize;
-        let index = rank.saturating_sub(1).min(self.samples.len() - 1);
-        time::as_secs_f64(self.samples[index])
-    }
-
-    /// Median latency in seconds.
-    pub fn p50_s(&mut self) -> f64 {
-        self.quantile_s(0.5)
-    }
-
-    /// 99th-percentile latency in seconds.
-    pub fn p99_s(&mut self) -> f64 {
-        self.quantile_s(0.99)
-    }
-
-    /// Maximum latency in seconds.
-    pub fn max_s(&self) -> f64 {
-        time::as_secs_f64(self.samples.iter().copied().max().unwrap_or(0))
-    }
-}
+pub use mahimahi_telemetry::{LatencySnapshot, LatencyStats};
+use mahimahi_telemetry::{Stage, StageSnapshot};
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -104,6 +28,8 @@ pub struct SimReport {
     pub throughput_tps: f64,
     /// Client-observed latency statistics (post-warm-up submissions).
     pub latency: LatencyStats,
+    /// Commit-path stage histograms merged across the honest validators.
+    pub stages: StageSnapshot,
     /// Highest DAG round reached by the observer.
     pub highest_round: u64,
     /// Leader slots committed at the observer.
@@ -119,7 +45,7 @@ pub struct SimReport {
 impl SimReport {
     /// One aligned text row for experiment tables (see the bench harness).
     pub fn table_row(&self) -> String {
-        let mut latency = self.latency.clone();
+        let latency = self.latency.snapshot();
         format!(
             "{:<22} n={:<3} faults={:<2} load={:>8} tps | tput={:>9.0} tps | lat avg={:>6.3}s p50={:>6.3}s p99={:>6.3}s | rounds={:<6} commits={:<5} skips={}",
             self.protocol,
@@ -127,7 +53,7 @@ impl SimReport {
             self.faulty,
             self.offered_load_tps,
             self.throughput_tps,
-            self.latency.mean_s(),
+            latency.mean_s(),
             latency.p50_s(),
             latency.p99_s(),
             self.highest_round,
@@ -138,7 +64,7 @@ impl SimReport {
 
     /// One CSV row (matching [`SimReport::csv_header`]).
     pub fn csv_row(&self) -> String {
-        let mut latency = self.latency.clone();
+        let latency = self.latency.snapshot();
         format!(
             "{},{},{},{},{:.1},{:.4},{:.4},{:.4},{},{},{}",
             self.protocol.replace(',', ";"),
@@ -146,7 +72,7 @@ impl SimReport {
             self.faulty,
             self.offered_load_tps,
             self.throughput_tps,
-            self.latency.mean_s(),
+            latency.mean_s(),
             latency.p50_s(),
             latency.p99_s(),
             self.highest_round,
@@ -159,89 +85,16 @@ impl SimReport {
     pub fn csv_header() -> &'static str {
         "protocol,n,faults,offered_tps,throughput_tps,latency_avg_s,latency_p50_s,latency_p99_s,rounds,commits,skips"
     }
+
+    /// The p99 of one commit-path stage in seconds (0 when unsampled).
+    pub fn stage_p99_s(&self, stage: Stage) -> f64 {
+        self.stages.stage(stage).p99_s()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stats_on_known_samples() {
-        let mut stats = LatencyStats::default();
-        for ms in [100u64, 200, 300, 400, 500] {
-            stats.record(time::from_millis(ms));
-        }
-        assert_eq!(stats.len(), 5);
-        assert!((stats.mean_s() - 0.3).abs() < 1e-9);
-        assert!((stats.p50_s() - 0.3).abs() < 1e-9);
-        assert!((stats.max_s() - 0.5).abs() < 1e-9);
-        assert!((stats.quantile_s(0.0) - 0.1).abs() < 1e-9);
-        assert!((stats.quantile_s(1.0) - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn mean_does_not_truncate_sub_unit_values() {
-        // Sub-microsecond means: integer division collapsed these to 0.
-        let mut stats = LatencyStats::default();
-        stats.record(0);
-        stats.record(1); // 1 µs; integer mean of {0, 1} truncated to 0
-        assert!(
-            (stats.mean_s() - 0.5e-6).abs() < 1e-12,
-            "{}",
-            stats.mean_s()
-        );
-        // Fractional microsecond mean on realistic values.
-        let mut stats = LatencyStats::default();
-        for us in [100u64, 101, 101] {
-            stats.record(us);
-        }
-        let expected = (302.0 / 3.0) * 1e-6;
-        assert!((stats.mean_s() - expected).abs() < 1e-12);
-    }
-
-    #[test]
-    fn quantiles_use_ceil_nearest_rank() {
-        // Known 10-sample vector: 100 ms … 1000 ms.
-        let mut stats = LatencyStats::default();
-        for ms in (1..=10u64).map(|i| i * 100) {
-            stats.record(time::from_millis(ms));
-        }
-        // p99 rank = ⌈0.99 × 10⌉ = 10 → the maximum. (The old rounding
-        // convention also happened to land there for n = 10; the cases
-        // below pin where the conventions differ.)
-        assert!((stats.p99_s() - 1.0).abs() < 1e-9, "{}", stats.p99_s());
-        // Nearest-rank p50 of 10 samples is the 5th sorted value (500 ms);
-        // round((n − 1) · q) picked the 6th (600 ms).
-        assert!((stats.p50_s() - 0.5).abs() < 1e-9, "{}", stats.p50_s());
-        assert!((stats.quantile_s(0.1) - 0.1).abs() < 1e-9);
-        assert!((stats.quantile_s(0.0) - 0.1).abs() < 1e-9);
-        assert!((stats.quantile_s(1.0) - 1.0).abs() < 1e-9);
-
-        // 60 samples: p99 rank = ⌈59.4⌉ = 60 → the maximum; the rounding
-        // convention underestimated with the 59th value.
-        let mut stats = LatencyStats::default();
-        for ms in (1..=60u64).map(|i| i * 10) {
-            stats.record(time::from_millis(ms));
-        }
-        assert!((stats.p99_s() - 0.6).abs() < 1e-9, "{}", stats.p99_s());
-    }
-
-    #[test]
-    fn empty_stats_are_zero() {
-        let mut stats = LatencyStats::default();
-        assert!(stats.is_empty());
-        assert_eq!(stats.mean_s(), 0.0);
-        assert_eq!(stats.p99_s(), 0.0);
-        assert_eq!(stats.max_s(), 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "quantile out of range")]
-    fn quantile_bounds_checked() {
-        let mut stats = LatencyStats::default();
-        stats.record(1);
-        let _ = stats.quantile_s(1.5);
-    }
 
     #[test]
     fn report_rows_render() {
@@ -255,5 +108,17 @@ mod tests {
         assert!(report.table_row().contains("Mahi-Mahi-5"));
         assert!(report.csv_row().starts_with("Mahi-Mahi-5"));
         assert!(SimReport::csv_header().contains("throughput_tps"));
+    }
+
+    #[test]
+    fn stage_p99_reads_from_the_snapshot() {
+        let stats = mahimahi_telemetry::StageStats::detached();
+        stats.record(Stage::Verified, 2_000_000);
+        let report = SimReport {
+            stages: stats.snapshot(),
+            ..SimReport::default()
+        };
+        assert!(report.stage_p99_s(Stage::Verified) > 1.0);
+        assert_eq!(report.stage_p99_s(Stage::Sequenced), 0.0);
     }
 }

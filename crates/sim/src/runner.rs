@@ -5,10 +5,12 @@ use mahimahi_net::{
     Adversary, GeoLatency, LatencyModel, MessageMeta, NetworkConfig, NoAdversary,
     PartitionAdversary, RandomSubsetAdversary, RotatingDelayAdversary, SimNetwork, UniformLatency,
 };
+use mahimahi_telemetry::{Stage, StageSnapshot, StageStats};
 use mahimahi_types::{AuthorityIndex, TestCommittee};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::config::{AdversaryChoice, Behavior, LatencyChoice, SimConfig};
 use crate::message::{SimMessage, WireModel};
@@ -124,6 +126,10 @@ pub struct Simulation {
     txs_due_per_validator: u64,
     /// Committed-transaction latency samples (post-warm-up submissions).
     latencies: LatencyStats,
+    /// Per-validator commit-path stage histograms: the runner records the
+    /// verify/resequence boundaries it owns (CPU cost, deferred wait), the
+    /// engines report theirs through shared [`StageStats`] sinks.
+    stage_stats: Vec<StageStats>,
     /// (commit time, count) pairs for throughput windowing at the observer.
     observer_commits: Vec<(Time, u64)>,
 }
@@ -189,9 +195,10 @@ impl Simulation {
             latency,
             adversary,
         );
+        let stage_stats: Vec<StageStats> = (0..nodes).map(|_| StageStats::detached()).collect();
         let validators = (0..nodes)
             .map(|index| {
-                SimValidator::new(
+                let mut validator = SimValidator::new(
                     AuthorityIndex::from(index),
                     setup.clone(),
                     config.protocol.committer(setup.committee().clone()),
@@ -202,7 +209,11 @@ impl Simulation {
                     config.track_tx_integrity,
                     config.inclusion_wait,
                     config.protocol.leader_schedule(),
-                )
+                );
+                // The engine shares this validator's stage histograms; the
+                // sink is record-only, so determinism is untouched.
+                validator.set_telemetry(Arc::new(stage_stats[index].clone()));
+                validator
             })
             .collect();
         Simulation {
@@ -218,6 +229,7 @@ impl Simulation {
             next_tx_id: 0,
             txs_due_per_validator: 0,
             latencies: LatencyStats::default(),
+            stage_stats,
             observer_commits: Vec::new(),
             config,
         }
@@ -387,6 +399,9 @@ impl Simulation {
     fn dispatch(&mut self, from: usize, to: usize, message: SimMessage) {
         let busy_until = self.cpu_busy_until[to];
         if busy_until > self.now {
+            // The deferred heap is the simulator's resequencer: the message
+            // waits exactly until the recipient's CPU frees up.
+            self.stage_stats[to].record(Stage::Resequenced, busy_until - self.now);
             self.deferred_sequence += 1;
             self.deferred.push(Reverse((
                 busy_until,
@@ -397,6 +412,7 @@ impl Simulation {
             )));
             return;
         }
+        self.stage_stats[to].record(Stage::Resequenced, 0);
         self.process_message(from, to, message);
     }
 
@@ -445,6 +461,8 @@ impl Simulation {
             }
         };
         self.cpu_busy_until[to] = self.now + cost;
+        // The charged CPU time *is* the verify-stage latency in this model.
+        self.stage_stats[to].record(Stage::Verified, cost);
         let actions = self.validators[to].on_message(self.now, from, message);
         self.perform(to, actions);
     }
@@ -519,6 +537,15 @@ impl Simulation {
             .count();
         let offered = self.config.txs_per_second_per_validator * honest as u64;
         self.observer_commits.clear();
+        // Merge the honest validators' stage histograms: faulty behaviors
+        // would pollute the pipeline picture with intentionally weird
+        // timings.
+        let mut stages = StageSnapshot::default();
+        for index in 0..self.config.committee_size {
+            if matches!(self.config.behavior_of(index), Behavior::Honest) {
+                stages.merge(&self.stage_stats[index].snapshot());
+            }
+        }
         SimReport {
             protocol: self.config.protocol.name(),
             committee_size: self.config.committee_size,
@@ -528,6 +555,7 @@ impl Simulation {
             committed_transactions: committed,
             throughput_tps: throughput,
             latency: self.latencies,
+            stages,
             highest_round: observer.store().highest_round(),
             committed_slots: observer.committed_slots(),
             skipped_slots: observer.skipped_slots(),

@@ -111,6 +111,12 @@ impl SimValidator {
         &self.engine
     }
 
+    /// Attaches a record-only telemetry sink to the engine (see
+    /// [`ValidatorEngine::set_telemetry`]).
+    pub fn set_telemetry(&mut self, sink: std::sync::Arc<dyn mahimahi_core::TelemetrySink>) {
+        self.engine.set_telemetry(sink);
+    }
+
     /// The evidence pool (verified convictions, slashing hooks).
     pub fn evidence(&self) -> &EvidencePool {
         self.engine.evidence()

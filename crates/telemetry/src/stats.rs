@@ -1,0 +1,206 @@
+//! Exact-sample latency statistics — the histogram's offline sibling.
+//!
+//! Where [`crate::Histogram`] trades resolution for a fixed footprint (the
+//! live node must bound memory), [`LatencyStats`] keeps every sample and is
+//! used by the offline harnesses (simulator reports, bench phases) where a
+//! run's samples comfortably fit in memory and exact quantiles matter.
+//!
+//! Quantile queries go through an immutable [`LatencySnapshot`] taken with
+//! [`LatencyStats::snapshot`]: the recorder itself never needs `&mut self`
+//! for reads, so reports can be rendered from shared references without
+//! mutating state (the previous design sorted in place behind `&mut self`,
+//! which forced every read path to clone or take exclusive access).
+
+/// Microsecond duration samples (client submission → commit, stage waits…).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Records one sample in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.samples.push(micros);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean in seconds (0 when empty).
+    ///
+    /// Computed entirely in `f64`: averaging in integer microseconds first
+    /// truncates (a sub-microsecond-resolved mean collapses toward 0 on
+    /// small samples), which skewed every latency table.
+    pub fn mean_s(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.samples.iter().map(|&s| s as f64).sum();
+        sum / self.samples.len() as f64 / crate::SECOND_MICROS as f64
+    }
+
+    /// Maximum in seconds.
+    pub fn max_s(&self) -> f64 {
+        crate::as_secs_f64(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// An immutable sorted copy for quantile queries.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        LatencySnapshot { sorted }
+    }
+}
+
+/// An immutable, sorted sample set: all quantile math happens here, behind
+/// `&self`, leaving the recording [`LatencyStats`] untouched.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySnapshot {
+    sorted: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.sorted.iter().map(|&s| s as f64).sum();
+        sum / self.sorted.len() as f64 / crate::SECOND_MICROS as f64
+    }
+
+    /// The `q`-quantile in seconds (0 when empty), using the ceil
+    /// nearest-rank convention: the smallest sample such that at least
+    /// `q · n` samples are ≤ it (rank `⌈q · n⌉`). Interpolating
+    /// conventions underestimate tail quantiles on small samples — e.g.
+    /// p99 of 60 samples must be the maximum, not the 59th value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        let index = rank.saturating_sub(1).min(self.sorted.len() - 1);
+        crate::as_secs_f64(self.sorted[index])
+    }
+
+    /// Median in seconds.
+    pub fn p50_s(&self) -> f64 {
+        self.quantile_s(0.5)
+    }
+
+    /// 99th percentile in seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.quantile_s(0.99)
+    }
+
+    /// Maximum in seconds.
+    pub fn max_s(&self) -> f64 {
+        crate::as_secs_f64(self.sorted.last().copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let mut stats = LatencyStats::default();
+        for ms in [100u64, 200, 300, 400, 500] {
+            stats.record(ms * MS);
+        }
+        assert_eq!(stats.len(), 5);
+        assert!((stats.mean_s() - 0.3).abs() < 1e-9);
+        let snapshot = stats.snapshot();
+        assert!((snapshot.p50_s() - 0.3).abs() < 1e-9);
+        assert!((snapshot.max_s() - 0.5).abs() < 1e-9);
+        assert!((snapshot.quantile_s(0.0) - 0.1).abs() < 1e-9);
+        assert!((snapshot.quantile_s(1.0) - 0.5).abs() < 1e-9);
+        // Taking a snapshot does not disturb the recorder.
+        assert_eq!(stats.len(), 5);
+        assert!((stats.max_s() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_readable_through_shared_references() {
+        let mut stats = LatencyStats::default();
+        stats.record(7 * MS);
+        let snapshot = stats.snapshot();
+        let by_ref: &LatencySnapshot = &snapshot;
+        // Quantiles through `&self`: the point of the snapshot split.
+        assert!((by_ref.p99_s() - 0.007).abs() < 1e-9);
+        assert!((by_ref.mean_s() - 0.007).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_does_not_truncate_sub_unit_values() {
+        let mut stats = LatencyStats::default();
+        stats.record(0);
+        stats.record(1); // 1 µs; integer mean of {0, 1} truncated to 0
+        assert!((stats.mean_s() - 0.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_use_ceil_nearest_rank() {
+        let mut stats = LatencyStats::default();
+        for ms in (1..=10u64).map(|i| i * 100) {
+            stats.record(ms * MS);
+        }
+        let snapshot = stats.snapshot();
+        // p99 rank = ⌈0.99 × 10⌉ = 10 → the maximum.
+        assert!((snapshot.p99_s() - 1.0).abs() < 1e-9);
+        // Nearest-rank p50 of 10 samples is the 5th sorted value.
+        assert!((snapshot.p50_s() - 0.5).abs() < 1e-9);
+        assert!((snapshot.quantile_s(0.1) - 0.1).abs() < 1e-9);
+
+        // 60 samples: p99 rank = ⌈59.4⌉ = 60 → the maximum.
+        let mut stats = LatencyStats::default();
+        for ms in (1..=60u64).map(|i| i * 10) {
+            stats.record(ms * MS);
+        }
+        assert!((stats.snapshot().p99_s() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LatencyStats::default();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean_s(), 0.0);
+        let snapshot = stats.snapshot();
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.p99_s(), 0.0);
+        assert_eq!(snapshot.max_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_bounds_checked() {
+        let mut stats = LatencyStats::default();
+        stats.record(1);
+        let _ = stats.snapshot().quantile_s(1.5);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`core`] | `mahimahi-core` | **the Mahi-Mahi committer** (Algorithms 1–2) |
 //! | [`baselines`] | `mahimahi-baselines` | Cordial Miners and Tusk committers |
 //! | [`net`] | `mahimahi-net` | deterministic WAN simulator with adversaries |
+//! | [`telemetry`] | `mahimahi-telemetry` | counters, gauges, log-scale histograms, stage tracing |
 //! | [`sim`] | `mahimahi-sim` | whole-protocol simulation harness and metrics |
 //! | [`scenarios`] | `mahimahi-scenarios` | attack scenarios, conformance oracles, matrix sweep |
 //! | [`transport`] | `mahimahi-transport` | length-prefixed TCP transport |
@@ -67,6 +68,8 @@ pub use mahimahi_node as node;
 pub use mahimahi_scenarios as scenarios;
 /// Whole-protocol simulation harness.
 pub use mahimahi_sim as sim;
+/// Metrics core: counters, gauges, histograms, stage tracing.
+pub use mahimahi_telemetry as telemetry;
 /// TCP transport.
 pub use mahimahi_transport as transport;
 /// Protocol types.

@@ -18,6 +18,7 @@ use mahi_mahi::core::{
     Input, MempoolConfig, Output, ValidatorEngine,
 };
 use mahi_mahi::dag::DagBuilder;
+use mahi_mahi::telemetry::{Stage, StageStats};
 use mahi_mahi::types::{
     AuthorityIndex, Block, Decode, Encode, Envelope, TestCommittee, Transaction, TxReceipt,
     TxVerdict,
@@ -358,6 +359,70 @@ proptest! {
             piped.store().highest_round()
         );
         prop_assert_eq!(serial.tx_integrity(), piped.tx_integrity());
+    }
+
+    /// Sink equivalence — the telemetry half of the determinism contract:
+    /// an engine with a recording [`StageStats`] sink attached renders
+    /// byte-identical outputs and end state to one running the default
+    /// no-op sink on the same trace, while the recording sink actually
+    /// observes the commit path (one engine-applied sample per non-timer
+    /// input). Recording is observation, never influence.
+    #[test]
+    fn recording_telemetry_sinks_never_perturb_outputs(
+        committee_seed in 0u64..500,
+        script_seed in 0u64..u64::MAX,
+        steps in 20usize..80,
+    ) {
+        let setup = TestCommittee::new(4, committee_seed);
+        let mut dag = DagBuilder::new(setup.clone());
+        dag.add_full_rounds(4);
+        let pool: Vec<Arc<Block>> = dag
+            .store()
+            .iter()
+            .filter(|block| block.round() > 0 && block.author() != AuthorityIndex(0))
+            .cloned()
+            .collect();
+        let trace = random_trace(script_seed, steps, &pool);
+
+        // Reference: the default no-op sink.
+        let mut plain = fresh_engine(&setup);
+        let mut rendered = Vec::with_capacity(trace.len());
+        for input in &trace {
+            rendered.push(format!("{:?}", plain.handle(input.clone())));
+        }
+
+        // Candidate: a recording sink over detached stage histograms.
+        let stats = StageStats::detached();
+        let mut observed = fresh_engine(&setup);
+        observed.set_telemetry(Arc::new(stats.clone()));
+        for (step, input) in trace.iter().enumerate() {
+            let outputs = observed.handle(input.clone());
+            prop_assert_eq!(
+                &format!("{outputs:?}"),
+                &rendered[step],
+                "the sink perturbed outputs at step {} ({:?})",
+                step,
+                input
+            );
+        }
+        prop_assert_eq!(plain.round(), observed.round());
+        prop_assert_eq!(plain.commit_log(), observed.commit_log());
+        prop_assert_eq!(
+            plain.store().highest_round(),
+            observed.store().highest_round()
+        );
+        prop_assert_eq!(plain.tx_integrity(), observed.tx_integrity());
+
+        // The sink is not vacuous: every non-timer input left a sample at
+        // the engine-applied stage.
+        let applied = trace
+            .iter()
+            .filter(|input| !matches!(input, Input::TimerFired { .. }))
+            .count() as u64;
+        prop_assert_eq!(
+            stats.snapshot().stage(Stage::EngineApplied).count(),
+            applied
+        );
     }
 }
 

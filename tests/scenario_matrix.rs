@@ -179,6 +179,47 @@ fn smoke_subset_upholds_all_oracles() {
 }
 
 #[test]
+fn smoke_cells_expose_populated_stage_telemetry() {
+    use mahi_mahi::telemetry::Stage;
+    // The simulator wires commit-path stage tracing into every run: the
+    // stages the sim drives (verify, resequence) and the stages the engine
+    // reports (apply, sequence, execute) must all carry samples, and the
+    // JSON row must break the verify/resequence/execute p99s out.
+    let scenario = smoke_matrix()
+        .into_iter()
+        .next()
+        .expect("smoke matrix is non-empty");
+    let run = scenario.run();
+    for stage in [
+        Stage::Verified,
+        Stage::Resequenced,
+        Stage::EngineApplied,
+        Stage::Sequenced,
+        Stage::Executed,
+    ] {
+        assert!(
+            run.report.stages.stage(stage).count() > 0,
+            "{}: stage {stage:?} unsampled",
+            scenario.name
+        );
+    }
+    let result = run_scenario(&scenario);
+    assert!(
+        result.verify_p99_s > 0.0,
+        "{}: verify p99 must reflect the charged CPU costs",
+        result.name
+    );
+    let json = result.to_json();
+    for field in [
+        "\"verify_p99_s\":",
+        "\"resequence_p99_s\":",
+        "\"execute_p99_s\":",
+    ] {
+        assert!(json.contains(field), "{field} missing from {json}");
+    }
+}
+
+#[test]
 fn mahi_mahi_5_cells_uphold_all_oracles() {
     run_cells(protocol_cells("Mahi-Mahi-5"));
 }

@@ -58,8 +58,8 @@ fn wire_clients_submit_batches_that_commit() {
         "every batched transaction must commit exactly once"
     );
     // The receiving validator's gauges saw the batch.
-    assert_eq!(cluster.handle(1).mempool_gauges().accepted(), 8);
-    assert_eq!(cluster.handle(1).mempool_gauges().rejected_full(), 0);
+    assert_eq!(cluster.handle(1).metrics().accepted(), 8);
+    assert_eq!(cluster.handle(1).metrics().rejected_full(), 0);
     cluster.stop();
 }
 
@@ -127,7 +127,7 @@ fn batches_to_a_withholding_validator_commit_via_forwarding() {
         .wait_committed(tag, Duration::from_secs(30))
         .expect("committed notice via forwarding");
     assert!(
-        handles[3].mempool_gauges().forwarded() > 0,
+        handles[3].metrics().forwarded() > 0,
         "the batch left validator 3's pool some other way than forwarding"
     );
 
